@@ -1,0 +1,25 @@
+"""E19 — adversarial activation search: bounded gain.
+
+Reproduces the worst-case nature of the guarantees operationally: an
+evolutionary adversary optimizing the activation subset cannot find
+instances dramatically slower than random ones (gain stays below a small
+constant), as the w.h.p. analysis predicts for a correct implementation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import adversarial_search
+
+
+def test_bench_e19_adversarial_search(benchmark, report):
+    config = adversarial_search.Config(
+        n=1 << 10,
+        cs=(8, 64),
+        active_counts=(8, 64),
+        generations=8,
+        population=8,
+        eval_seeds=6,
+    )
+    outcome = run_once(benchmark, lambda: adversarial_search.run(config))
+    report(outcome.table, footer=f"max adversarial gain: {outcome.max_gain:.2f}")
+    assert outcome.max_gain <= 4.0

@@ -1,0 +1,20 @@
+"""E6 — the Lemma 9 balls-in-bins bound.
+
+Reproduces: throwing ``b = m/beta`` balls into ``m`` bins leaves no
+singleton bin with probability below ``2^{-b/2}`` across the (m, beta) grid.
+"""
+
+from conftest import run_once
+
+from repro.experiments import balls_in_bins
+
+
+def test_bench_e6_balls_in_bins(benchmark, report):
+    config = balls_in_bins.Config(
+        ms=(32, 64, 128, 256), betas=(3, 4, 8), trials=4000
+    )
+    table = run_once(benchmark, lambda: balls_in_bins.run(config))
+    report(table)
+    assert table.rows
+    for row in table.rows:
+        assert row[-1] == "yes"

@@ -1,0 +1,44 @@
+"""E10 — the comparative landscape of Section 2: who wins, where.
+
+Reproduces the paper's qualitative claims:
+  1. collision detection beats no collision detection;
+  2. extra channels + CD beat the classical O(log n) single-channel CD
+     algorithm (the paper's raison d'etre) on dense instances at large C;
+  3. extra channels also help without CD (Daum < Decay);
+  4. fixed-probability ALOHA collapses on sparse activations.
+"""
+
+from conftest import run_once
+
+from repro.experiments import baseline_comparison
+
+
+def test_bench_e10_baselines(benchmark, report):
+    config = baseline_comparison.Config(
+        ns=(1 << 10, 1 << 13),
+        cs=(1, 8, 64, 512),
+        densities=(1.0, 0.02),
+        trials=40,
+    )
+    outcome = run_once(benchmark, lambda: baseline_comparison.run(config))
+    report(outcome.table)
+    means = outcome.means
+    for n in (1 << 10, 1 << 13):
+        dense = 1.0
+        # (1) CD beats no-CD on one channel, dense.
+        assert means[("binary-search-cd", n, 1, dense)] < means[("decay", n, 1, dense)]
+        # (2) ours with many channels beats the single-channel CD classic.
+        assert (
+            means[("fnw-general", n, 512, dense)]
+            < means[("binary-search-cd", n, 512, dense)]
+        )
+        # (3) channels help the no-CD algorithm.
+        assert (
+            means[("daum-multichannel", n, 512, dense)]
+            < means[("daum-multichannel", n, 1, dense)]
+        )
+        # (4) ALOHA collapses when sparse (vs its own dense performance).
+        assert (
+            means[("slotted-aloha", n, 1, 0.02)]
+            > 3 * means[("slotted-aloha", n, 1, dense)]
+        )

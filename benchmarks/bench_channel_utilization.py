@@ -1,0 +1,24 @@
+"""E17 (figure) — per-step channel-utilization footprints.
+
+Reproduces each step's spatial signature: channel 1 dominates the pipeline
+and IDReduction; IDReduction's renaming covers all of ``[C/2]``;
+LeafElection stays inside the ``C - 1`` tree channels and its hottest
+channel is a row channel (the CheckLevel echo round).
+"""
+
+from conftest import run_once
+
+from repro.experiments import channel_utilization
+
+
+def test_bench_e17_channel_utilization(benchmark, report):
+    config = channel_utilization.Config(
+        n=1 << 12, num_channels=32, active_count=700, trials=50
+    )
+    outcome = run_once(benchmark, lambda: channel_utilization.run(config))
+    report(outcome.table, footer=outcome.bars)
+    assert outcome.primary_busiest
+    assert outcome.id_reduction_covers_half_c
+    assert outcome.leaf_election_within_tree
+    assert outcome.leaf_election_busiest_is_row_channel
+    assert outcome.leaf_election_spread >= 0.5

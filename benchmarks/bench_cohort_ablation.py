@@ -1,0 +1,34 @@
+"""E8 — ablation of coalescing cohorts (the paper's headline technique).
+
+Reproduces: the ``(p+1)``-ary cohort search beats forced binary search on
+identical instances, with the speedup growing in the number of starting
+nodes ``x`` (more phases -> larger cohorts -> more parallel probing).
+"""
+
+from conftest import run_once
+
+from repro.experiments import cohort_ablation
+
+
+def test_bench_e8_cohort_ablation(benchmark, report):
+    config = cohort_ablation.Config(
+        grid=(
+            (256, 8),
+            (256, 32),
+            (256, 128),
+            (1024, 32),
+            (1024, 128),
+            (1024, 512),
+        ),
+        trials=60,
+    )
+    outcome = run_once(benchmark, lambda: cohort_ablation.run(config))
+    report(outcome.table)
+    # Never slower (deterministic, per instance), and the largest-x cells
+    # show a real speedup.
+    assert all(s >= 1.0 for s in outcome.speedups)
+    assert max(outcome.speedups) > 1.15
+    # Speedup grows with x within each C family.
+    for base in (0, 3):
+        family = outcome.speedups[base : base + 3]
+        assert family[-1] >= family[0]

@@ -1,0 +1,59 @@
+"""Substrate performance benchmarks: simulator throughput.
+
+Not a paper reproduction — these time the simulator itself so regressions
+in the substrate are visible.  pytest-benchmark runs the workload multiple
+times here (unlike the reproduction benches, which run once).
+
+Workloads:
+* dense knock-out (many nodes, few rounds) — stresses node bring-up;
+* long sparse execution (few nodes, many rounds) — stresses the round loop;
+* LeafElection at full occupancy — stresses multi-channel bookkeeping.
+"""
+
+from repro import FNWGeneral, LeafElection, solve
+from repro.baselines import Decay
+from repro.sim import Activation, activate_all, activate_random
+
+
+def test_engine_dense_bringup(benchmark):
+    def workload():
+        return solve(
+            FNWGeneral(),
+            n=1 << 12,
+            num_channels=64,
+            activation=activate_all(1 << 12),
+            seed=1,
+        )
+
+    result = benchmark(workload)
+    assert result.solved
+
+
+def test_engine_long_sparse_run(benchmark):
+    def workload():
+        return solve(
+            Decay(),
+            n=1 << 10,
+            num_channels=1,
+            activation=activate_random(1 << 10, 3, seed=2),
+            seed=2,
+        )
+
+    result = benchmark(workload)
+    assert result.solved
+
+
+def test_engine_multichannel_election(benchmark):
+    assignment = {i: i for i in range(1, 129)}  # full occupancy, C = 256
+
+    def workload():
+        return solve(
+            LeafElection(assignment),
+            n=256,
+            num_channels=256,
+            activation=Activation(active_ids=sorted(assignment)),
+            seed=3,
+        )
+
+    result = benchmark(workload)
+    assert result.solved

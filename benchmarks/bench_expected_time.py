@@ -1,0 +1,29 @@
+"""E15 — the expected-time regime of the paper's conclusion.
+
+Reproduces: with ~log n channels the folklore protocol's *mean* rounds are
+O(1) — flat across three decades of n and of |A| — while its tail is not,
+which is precisely the gap between the expected-time and high-probability
+metrics the conclusion discusses.
+"""
+
+from conftest import run_once
+
+from repro.experiments import expected_time
+
+
+def test_bench_e15_expected_time(benchmark, report):
+    config = expected_time.Config(
+        ns=(1 << 8, 1 << 12, 1 << 16),
+        num_channels=32,
+        actives=(1, 2, 32, 1024),
+        trials=200,
+    )
+    outcome = run_once(benchmark, lambda: expected_time.run(config))
+    report(
+        outcome.table,
+        footer=f"mean band: [{outcome.mean_band[0]:.2f}, {outcome.mean_band[1]:.2f}]",
+    )
+    low, high = outcome.mean_band
+    # O(1): the band is narrow and small in absolute terms.
+    assert high <= 10.0
+    assert high / max(low, 1.0) <= 6.0

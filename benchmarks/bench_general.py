@@ -1,0 +1,33 @@
+"""E9 — full general algorithm scaling (Theorem 4).
+
+Reproduces: end-to-end rounds stay within a constant band of
+``log n / log C + (log log n)(log log log n)`` across dense and sparse
+activations, and every trial solves.
+"""
+
+from conftest import run_once
+
+from repro.experiments import general_scaling
+
+
+def test_bench_e9_general_scaling(benchmark, report):
+    config = general_scaling.Config(
+        cells=(
+            (1 << 8, 1 << 8),
+            (1 << 12, 1 << 12),
+            (1 << 12, 41),
+            (1 << 16, 655),
+            (1 << 20, 10486),
+        ),
+        cs=(8, 64, 512),
+        trials=50,
+    )
+    outcome = run_once(benchmark, lambda: general_scaling.run(config))
+    report(
+        outcome.table,
+        footer=f"ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}]",
+    )
+    assert outcome.all_solved
+    # Upper bound shape: the mean never exceeds a small constant times the
+    # bound (the mean usually sits well below — Reduce often wins early).
+    assert outcome.ratio_max <= 3.0

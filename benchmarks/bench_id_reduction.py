@@ -1,0 +1,24 @@
+"""E5 — IDReduction rounds and exit validity (Theorem 6).
+
+Reproduces: starting from Theta(log n) actives, IDReduction terminates in
+``O(log n / log C)`` rounds with a valid exit state — at most ``C/2``
+survivors holding distinct ids from ``[C/2]`` — in every trial.
+"""
+
+from conftest import run_once
+
+from repro.experiments import id_reduction_scaling
+
+
+def test_bench_e5_id_reduction(benchmark, report):
+    config = id_reduction_scaling.Config(
+        ns=(1 << 8, 1 << 12, 1 << 16, 1 << 20), cs=(16, 64, 256), trials=120
+    )
+    outcome = run_once(benchmark, lambda: id_reduction_scaling.run(config))
+    report(
+        outcome.table,
+        footer=f"ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}]",
+    )
+    assert outcome.all_valid
+    # Means sit at or below the O(log n/log C) predictor's constant band.
+    assert outcome.ratio_max <= 3.0

@@ -1,0 +1,29 @@
+"""E14 — IDReduction knock-constant (kappa) ablation.
+
+Reproduces: the paper's ``k = sqrt(C)/144`` constant is an analysis
+convenience — correctness is unaffected across two orders of magnitude of
+kappa, and the round count barely moves, so the clamped constant used at
+laptop scale does not distort the reproduction.
+"""
+
+from conftest import run_once
+
+from repro.experiments import kappa_ablation
+
+
+def test_bench_e14_kappa_ablation(benchmark, report):
+    config = kappa_ablation.Config(
+        n=1 << 16,
+        cs=(64, 4096),
+        kappas=(2.0, 8.0, 32.0, 144.0, 288.0),
+        trials=80,
+    )
+    outcome = run_once(benchmark, lambda: kappa_ablation.run(config))
+    report(outcome.table)
+    assert outcome.all_valid
+    # Round counts insensitive to kappa: max/min mean within 2.5x per C.
+    by_c = {}
+    for row in outcome.table.rows:
+        by_c.setdefault(row[0], []).append(float(row[3]))
+    for means in by_c.values():
+        assert max(means) / min(means) <= 2.5

@@ -1,0 +1,49 @@
+"""E7 — LeafElection scaling (Theorem 17, Lemma 16, Corollary 15).
+
+Reproduces: total rounds track ``log h * log log x``; phases never exceed
+``lg x + 1``; per-phase SplitSearch cost shrinks as cohorts coalesce.
+"""
+
+from conftest import run_once
+
+from repro.experiments import leaf_election_scaling
+
+
+def test_bench_e7_leaf_election(benchmark, report):
+    config = leaf_election_scaling.Config(
+        grid=(
+            (64, 4),
+            (64, 16),
+            (64, 32),
+            (256, 16),
+            (256, 64),
+            (256, 128),
+            (1024, 64),
+            (1024, 256),
+            (1024, 512),
+        ),
+        trials=80,
+    )
+    outcome = run_once(benchmark, lambda: leaf_election_scaling.run(config))
+    report(
+        outcome.table,
+        outcome.per_phase_table,
+        footer=f"ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}]",
+    )
+    assert outcome.phase_bound_ok
+    # Flat band within a modest constant across a 64x spread in (C, x).
+    assert outcome.ratio_max / outcome.ratio_min <= 3.0
+    # Lemma 16: the per-phase search cost is non-increasing.
+    iteration_means = [float(row[2]) for row in outcome.per_phase_table.rows]
+    assert iteration_means == sorted(iteration_means, reverse=True)
+
+
+def test_bench_e7_adjacent_worst_case(benchmark, report):
+    """Adjacent leaf blocks share maximal path prefixes — the slowest
+    instances for tree searching; the bound must still hold."""
+    config = leaf_election_scaling.Config(
+        grid=((256, 32), (1024, 128)), trials=60, adjacent=True
+    )
+    outcome = run_once(benchmark, lambda: leaf_election_scaling.run(config))
+    report(outcome.table)
+    assert outcome.phase_bound_ok

@@ -1,0 +1,29 @@
+"""E11 — tightness against Newport's Omega(log n/log C + log log n) bound.
+
+Reproduces the paper's headline claim: TwoActive's measured cost divided by
+the lower bound stays in a constant band (tight), and the general
+algorithm's drift is bounded by the ``log log log n`` factor — which never
+exceeds 3 at any simulatable n, so its band is only slightly wider.
+"""
+
+from conftest import run_once
+
+from repro.experiments import lower_bound_ratio
+
+
+def test_bench_e11_lower_bound_ratio(benchmark, report):
+    config = lower_bound_ratio.Config(
+        ns=(1 << 8, 1 << 12, 1 << 16, 1 << 20), cs=(4, 64, 1024), trials=100
+    )
+    outcome = run_once(benchmark, lambda: lower_bound_ratio.run(config))
+    report(
+        outcome.table,
+        footer=(
+            f"two-active band: [{outcome.two_band[0]:.2f}, {outcome.two_band[1]:.2f}]; "
+            f"general band: [{outcome.general_band[0]:.2f}, {outcome.general_band[1]:.2f}]"
+        ),
+    )
+    two_low, two_high = outcome.two_band
+    assert two_high / two_low <= 4.0  # tight: constant band
+    general_low, general_high = outcome.general_band
+    assert general_high / general_low <= 12.0  # constant x logloglog drift

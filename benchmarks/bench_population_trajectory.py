@@ -1,0 +1,20 @@
+"""E16 (figure) — active-population trajectory through the pipeline.
+
+Reproduces the Section 5 narrative as a measured series: the dense
+population collapses during Reduce's fixed ``2*ceil(lg lg n)``-round
+schedule to (well below) ``O(log n)`` and keeps shrinking.
+"""
+
+from conftest import run_once
+
+from repro.experiments import population_trajectory
+
+
+def test_bench_e16_population_trajectory(benchmark, report):
+    config = population_trajectory.Config(
+        n=1 << 12, num_channels=64, trials=40
+    )
+    outcome = run_once(benchmark, lambda: population_trajectory.run(config))
+    report(outcome.table, footer=f"trajectory: {outcome.sparkline}")
+    assert outcome.non_increasing
+    assert outcome.reduce_target_met

@@ -1,0 +1,21 @@
+"""E4 — Reduce knock-out exit state (Theorem 5).
+
+Reproduces: the cascade ends with between 1 and ``alpha * log n`` active
+nodes, in exactly ``2 * ceil(lg lg n)`` rounds, at every density.
+"""
+
+from conftest import run_once
+
+from repro.experiments import reduce_knockout
+
+
+def test_bench_e4_reduce_knockout(benchmark, report):
+    config = reduce_knockout.Config(
+        ns=(1 << 8, 1 << 11, 1 << 14), densities=(1.0, 0.1), trials=120
+    )
+    table = run_once(benchmark, lambda: reduce_knockout.run(config))
+    report(table)
+    for row in table.rows:
+        assert float(row[-1]) >= 1.0  # Theorem 5 floor: never empty
+        assert float(row[-2]) == 0.0  # ceiling never exceeded
+        assert float(row[5]) <= 1.0  # survivors well below log n on average

@@ -1,0 +1,22 @@
+"""E3 — SplitCheck exhaustive verification (Lemma 3).
+
+Reproduces: the two-node tree search is deterministic, always returns the
+true divergence level with a unique winner, and never exceeds the
+``O(log log C)`` probe budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments import splitcheck_exact
+
+
+def test_bench_e3_splitcheck_exact(benchmark, report):
+    config = splitcheck_exact.Config(
+        cs=(2, 4, 8, 16, 64, 256, 1024, 4096), max_pairs=4000
+    )
+    table = run_once(benchmark, lambda: splitcheck_exact.run(config))
+    report(table)
+    for row in table.rows:
+        assert row[2] == "yes"  # all levels correct
+        assert row[3] == "yes"  # unique winner
+        assert int(row[4]) <= int(row[5])  # probes within the bound

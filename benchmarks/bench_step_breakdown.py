@@ -1,0 +1,24 @@
+"""E18 (figure) — per-step round attribution for the general algorithm.
+
+Reproduces: the measured rounds decompose exactly into the three steps'
+spans; Reduce never exceeds its fixed ``2*ceil(lg lg n)`` schedule; and the
+execution usually ends inside Reduce (a lone knock-out broadcaster is a
+leader — Figure 2), with LeafElection handling the remainder.
+"""
+
+from conftest import run_once
+
+from repro.experiments import step_breakdown
+
+
+def test_bench_e18_step_breakdown(benchmark, report):
+    config = step_breakdown.Config(
+        ns=(1 << 10, 1 << 14), cs=(16, 256), active_count=600, trials=100
+    )
+    outcome = run_once(benchmark, lambda: step_breakdown.run(config))
+    report(outcome.table)
+    assert outcome.reduce_within_schedule
+    assert outcome.spans_sum_to_total
+    # Most runs end inside Reduce (the lone-broadcaster rule).
+    for row in outcome.table.rows:
+        assert float(row[2]) >= 0.5

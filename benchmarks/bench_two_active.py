@@ -1,0 +1,35 @@
+"""E1 + E2 — TwoActive vs the tight bound (Theorem 1, Lemma 2).
+
+Reproduces: the whp round count tracks ``log n / log C + log log n`` within
+a flat constant band across four decades of n and three of C; the renaming
+failure rate is ``1/C``; the small-n tail quantile matches directly.
+"""
+
+from conftest import run_once
+
+from repro.experiments import two_active_scaling
+
+
+def test_bench_e1_two_active_scaling(benchmark, report):
+    config = two_active_scaling.Config(
+        ns=(1 << 8, 1 << 12, 1 << 16, 1 << 20),
+        cs=(4, 16, 64, 256, 1024),
+        trials=150,
+        tail_ns=(16, 64),
+        tail_cs=(4, 16),
+        tail_factor=25,
+    )
+    outcome = run_once(benchmark, lambda: two_active_scaling.run(config))
+    report(
+        outcome.table,
+        outcome.failure_rate_table,
+        outcome.tail_table,
+        footer=(
+            f"whp ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}] "
+            "(paper: within a constant of the lower bound)"
+        ),
+    )
+    # The theorem's shape: a flat constant band over the whole grid.
+    assert 0.25 <= outcome.ratio_min
+    assert outcome.ratio_max <= 4.0
+    assert outcome.ratio_max / outcome.ratio_min <= 4.0

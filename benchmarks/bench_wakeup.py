@@ -1,0 +1,21 @@
+"""E12 — the Section 3 wake-up transform at 2x cost.
+
+Reproduces: the transform is exactly ``2 * T + 2`` rounds on simultaneous
+instances (per trial, same seeds), always solves under random staggering,
+and stays within the theorem-level budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments import wakeup_transform
+
+
+def test_bench_e12_wakeup(benchmark, report):
+    config = wakeup_transform.Config(
+        n=1 << 12, cs=(16, 128), active_count=64, max_delays=(0, 4, 32), trials=60
+    )
+    outcome = run_once(benchmark, lambda: wakeup_transform.run(config))
+    report(outcome.table)
+    assert outcome.all_solved
+    assert outcome.exact_2x_law_holds
+    assert outcome.all_within_budget

@@ -1,0 +1,23 @@
+"""E13 — the "with high probability" claims, validated where observable.
+
+Reproduces: at small n (where 1/n is measurable with thousands of trials)
+every execution solves, and the fraction of trials slower than 3x the bound
+is consistent with the ``1 - 1/n`` guarantee.
+"""
+
+from conftest import run_once
+
+from repro.experiments import whp_validation
+
+
+def test_bench_e13_whp(benchmark, report):
+    config = whp_validation.Config(
+        ns=(16, 64, 256), cs=(4, 16), trials=1200, bound_multiplier=3.0
+    )
+    outcome = run_once(benchmark, lambda: whp_validation.run(config))
+    report(outcome.table)
+    assert outcome.all_solved
+    # The whp claim, observably: the slow-trial frequency is at most the
+    # 1/n target in every cell.
+    for row in outcome.table.rows:
+        assert float(row[5]) <= float(row[7])

@@ -1,0 +1,30 @@
+"""Shared plumbing for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md's index at a
+benchmark-sized configuration, times it with pytest-benchmark, prints its
+result tables (uncaptured, so they land in bench logs), and asserts the
+experiment's scale-free verdicts.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables past pytest's capture."""
+
+    def _report(*tables, footer=""):
+        with capsys.disabled():
+            print()
+            for table in tables:
+                print(table.render())
+                print()
+            if footer:
+                print(footer)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run `fn` exactly once under the benchmark timer and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

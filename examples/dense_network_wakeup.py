@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Sensor field with staggered boot — the nonsimultaneous wake-up model.
+
+Scenario: 500 sensors out of a 4096-node deployment power up over a ~50
+round window after a blackout and must elect a coordinator on a 32-channel
+collision-detecting radio.  The paper's Section 3 transform handles the
+staggered starts at a 2x round cost: nodes listen for two rounds, survivors
+alternate presence broadcasts (odd rounds) with the real algorithm (even
+rounds), and any later riser overhears the activity and stands down.
+
+Run:  python examples/dense_network_wakeup.py
+"""
+
+from repro import FNWGeneral, WakeupTransform, activate_random, solve, staggered
+from repro.analysis import Table, summarize
+
+N = 1 << 12
+CHANNELS = 32
+SENSORS_UP = 500
+TRIALS = 40
+
+
+def main() -> None:
+    table = Table(
+        ["wakeup_window", "mean_rounds", "max_rounds", "solved"],
+        caption=f"coordinator election, {SENSORS_UP} sensors, {CHANNELS} channels",
+    )
+    for window in (0, 10, 50):
+        rounds = []
+        for seed in range(TRIALS):
+            base = activate_random(N, SENSORS_UP, seed=seed)
+            activation = staggered(base, max_delay=window, seed=seed)
+            result = solve(
+                WakeupTransform(FNWGeneral()),
+                n=N,
+                num_channels=CHANNELS,
+                activation=activation,
+                seed=seed,
+            )
+            assert result.solved
+            rounds.append(result.rounds)
+        summary = summarize(rounds)
+        table.add_row(window, summary.mean, summary.maximum, "all")
+    table.print()
+
+    print("How it works, on one run (window = 50):")
+    base = activate_random(N, SENSORS_UP, seed=1)
+    activation = staggered(base, max_delay=50, seed=1)
+    result = solve(
+        WakeupTransform(FNWGeneral()),
+        n=N,
+        num_channels=CHANNELS,
+        activation=activation,
+        seed=1,
+    )
+    survivors = result.trace.marks_with_label("wakeup:survived_listen")
+    suppressed = result.trace.marks_with_label("wakeup:suppressed")
+    first_wake = min(activation.wake_rounds.values())
+    print(f"  earliest sensors woke in round {first_wake}")
+    print(f"  {len(survivors)} survivors entered the protocol; "
+          f"{len(suppressed)} later risers stood down")
+    print(f"  coordinator: node {result.winner}, elected in round {result.solved_round}")
+
+
+if __name__ == "__main__":
+    main()

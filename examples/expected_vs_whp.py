@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Expected time vs high-probability time — the paper's closing discussion.
+
+The conclusion notes that in *expected* time the problem nearly trivializes:
+with ~log n channels, O(1) expected rounds suffice.  So why does the paper
+fight for the w.h.p. metric?  Because the expected-time protocol's *tail* is
+fat: it is only O(log n) w.h.p., while the paper's algorithm is engineered
+so even its bad runs are fast.
+
+This example makes that visible: same instances, two protocols, and the
+full distribution (mean / p90 / p99 / max) instead of a single number.
+
+Run:  python examples/expected_vs_whp.py
+"""
+
+from repro import FNWGeneral, activate_random, solve
+from repro.analysis import Table, summarize
+from repro.extensions import ExpectedConstantTime
+from repro.viz import sparkline
+
+N = 1 << 14
+CHANNELS = 32
+TRIALS = 400
+
+
+def distribution(protocol, active):
+    rounds = []
+    for seed in range(TRIALS):
+        result = solve(
+            protocol,
+            n=N,
+            num_channels=CHANNELS,
+            activation=activate_random(N, active, seed=seed),
+            seed=seed,
+        )
+        assert result.solved
+        rounds.append(float(result.rounds))
+    return rounds
+
+
+def main() -> None:
+    table = Table(
+        ["protocol", "active", "mean", "p90", "p99", "max"],
+        caption=f"round distributions, n={N}, C={CHANNELS}, {TRIALS} trials",
+        digits=1,
+    )
+    histograms = {}
+    for active in (2, 256):
+        for protocol in (ExpectedConstantTime(), FNWGeneral()):
+            rounds = distribution(protocol, active)
+            summary = summarize(rounds)
+            table.add_row(
+                protocol.name, active, summary.mean, summary.p90, summary.p99,
+                summary.maximum,
+            )
+            # Bucket rounds 1..25+ for a quick visual of the tail.
+            buckets = [0] * 25
+            for value in rounds:
+                buckets[min(24, int(value) - 1)] += 1
+            histograms[(protocol.name, active)] = buckets
+    table.print()
+
+    print("shape of the distribution (rounds 1..25+, frequency sparklines):")
+    for (name, active), buckets in histograms.items():
+        print(f"  {name:>22} |A|={active:<4} {sparkline(buckets)}")
+    print()
+    print("Reading: the expected-time protocol's *mean* is tiny and flat in")
+    print("|A| and n, but its distribution stretches right — that tail is")
+    print("its O(log n)-whp cost, and it grows with n while the paper's")
+    print("algorithm's whp bound grows only like loglog terms.  At laptop")
+    print("scales the two are comparable — which is itself the conclusion's")
+    print("point: 'only a small band of parameters' remains where collision")
+    print("detection can pay, and that band lives at large n.")
+
+
+if __name__ == "__main__":
+    main()

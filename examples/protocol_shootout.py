@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Protocol shootout: four decades of contention-resolution ideas, head to
+head on the same instances.
+
+Scenario: a dense access burst (everyone has a packet) and a sparse one (a
+handful of stations), across channel budgets from 1 to 512.  Contestants:
+
+* slotted ALOHA (1970)                         — fixed probability 1/n;
+* tree splitting (late 1970s)                  — CD, coins, O(log |A|) exp.;
+* Decay (1980s)                                — no CD, O(log^2 n);
+* binary-search descent (1980s)                — CD, one channel, O(log n);
+* Daum et al.-style multichannel, no CD (2012) — O(log^2 n / C + log n);
+* Fineman-Newport-Wang (2016, this paper)      — CD + C channels.
+
+Run:  python examples/protocol_shootout.py
+"""
+
+from repro import (
+    BinarySearchCD,
+    DaumMultiChannel,
+    Decay,
+    FNWGeneral,
+    SlottedAloha,
+    TreeSplitting,
+    activate_random,
+    solve,
+)
+from repro.analysis import Table, summarize
+
+N = 1 << 12
+TRIALS = 30
+CONTESTANTS = [
+    ("aloha", SlottedAloha),
+    ("tree-split", TreeSplitting),
+    ("decay", Decay),
+    ("bsearch-cd", BinarySearchCD),
+    ("daum", DaumMultiChannel),
+    ("fnw (paper)", FNWGeneral),
+]
+
+
+def mean_rounds(protocol_cls, channels, active, seed_base):
+    rounds = []
+    for seed in range(TRIALS):
+        result = solve(
+            protocol_cls(),
+            n=N,
+            num_channels=channels,
+            activation=activate_random(N, active, seed=seed_base + seed),
+            seed=seed_base + seed,
+        )
+        assert result.solved
+        rounds.append(result.rounds)
+    return summarize(rounds).mean
+
+
+def main() -> None:
+    for active, label in ((N, "dense burst: every station has a packet"),
+                          (12, "sparse burst: 12 stations")):
+        table = Table(
+            ["channels"] + [name for name, _ in CONTESTANTS],
+            caption=f"{label}  (mean rounds over {TRIALS} seeds, n={N})",
+            digits=1,
+        )
+        for channels in (1, 8, 64, 512):
+            row = [channels]
+            for index, (_name, protocol_cls) in enumerate(CONTESTANTS):
+                row.append(
+                    mean_rounds(protocol_cls, channels, active, seed_base=1000 * index)
+                )
+            table.add_row(*row)
+        table.print()
+
+    print("Reading the tables:")
+    print(" * ALOHA is unbeatable when everyone is active (p = 1/n is then")
+    print("   the perfect density) and disastrous when few are — the classic")
+    print("   fragility that motivated adaptive protocols.")
+    print(" * Collision detection alone buys deterministic O(log n)")
+    print("   (bsearch-cd), at every activation density.")
+    print(" * Channels alone help the no-CD protocol (daum vs decay, dense).")
+    print(" * Channels + collision detection — this paper — beats the")
+    print("   O(log n) classic on dense bursts as soon as C > 1, without")
+    print("   knowing the activation density, and its advantage is the")
+    print("   asymptotic loglog regime the paper proves.")
+
+
+if __name__ == "__main__":
+    main()

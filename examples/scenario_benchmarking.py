@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Benchmark protocols on deployment scenarios, with proper significance.
+
+This example shows the downstream-user workflow: describe a deployment once
+(the scenario), measure several protocols on identical seeded trials, and
+test the "A beats B" claims with a one-sided Mann-Whitney U instead of
+eyeballing means.
+
+Run:  python examples/scenario_benchmarking.py
+"""
+
+from repro import BinarySearchCD, FNWGeneral, TreeSplitting, WakeupTransform
+from repro.analysis import Table
+from repro.analysis.advanced_stats import mann_whitney_faster
+from repro.scenarios import CATALOG
+from repro.sim.rng import derive_seed
+
+TRIALS = 60
+
+
+def protocols_for(scenario):
+    """Raw protocols for simultaneous starts; Section 3-wrapped otherwise.
+
+    The classical protocols assume a common start round; running them raw on
+    a staggered scenario would be incoherent (their interval/stack state
+    desynchronizes).  The paper's transform fixes exactly this, for any
+    protocol, at a 2x cost.
+    """
+    raw = [FNWGeneral(), BinarySearchCD(), TreeSplitting()]
+    if scenario.max_wake_delay == 0:
+        return raw
+    return [WakeupTransform(inner) for inner in raw]
+
+
+def rounds_sample(scenario, protocol, trials=TRIALS, master_seed=0):
+    values = []
+    for index in range(trials):
+        seed = derive_seed(master_seed, index, 0x5CE0)
+        result = scenario.run(protocol, seed=seed)
+        assert result.solved
+        values.append(float(result.rounds))
+    return values
+
+
+def main() -> None:
+    table = Table(
+        ["scenario", "fnw-general", "binary-search-cd", "tree-splitting"],
+        caption=f"mean rounds by scenario ({TRIALS} seeded trials each; "
+        "staggered scenario uses the Section 3 wrapper)",
+        digits=1,
+    )
+    samples = {}
+    for name, scenario in CATALOG.items():
+        if name == "half-duplex":
+            continue  # the CD protocols need the strong model; skip here
+        row = [name]
+        for protocol in protocols_for(scenario):
+            base_name = protocol.name.replace("wakeup(", "").rstrip(")")
+            values = rounds_sample(scenario, protocol)
+            samples[(name, base_name)] = values
+            row.append(sum(values) / len(values))
+        table.add_row(*row)
+    table.print()
+
+    print("significance of 'the paper's algorithm is faster' (one-sided")
+    print("Mann-Whitney U, alpha = 1%):")
+    for name, scenario in CATALOG.items():
+        if name == "half-duplex":
+            continue
+        ours = samples[(name, "fnw-general")]
+        for rival in ("binary-search-cd", "tree-splitting"):
+            comparison = mann_whitney_faster(ours, samples[(name, rival)])
+            verdict = (
+                "significantly faster"
+                if comparison.a_significantly_faster
+                else "not significantly faster"
+            )
+            print(
+                f"  {name:>20} vs {rival:<18} p = {comparison.p_value:.4f}  "
+                f"-> {verdict}"
+            )
+    print()
+    print("Scenario-level takeaway: multi-channel collision detection wins")
+    print("where the theory says it should (dense bursts, many channels) and")
+    print("ties elsewhere — no protocol dominates every deployment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Two-node spectrum race: the restricted case that matches the lower bound.
+
+Scenario: two cognitive radios appear in a licensed band with C sub-channels
+and must break symmetry — the classic motivation for the paper's Section 4.
+We sweep the channel count and watch the two regimes of the tight bound
+``Theta(log n / log C + log log n)``:
+
+* few channels -> the ``log n / log C`` renaming term dominates;
+* many channels -> the ``log log n`` tree-search term dominates.
+
+Run:  python examples/spectrum_race.py
+"""
+
+from repro import TwoActive, activate_pair, solve
+from repro.analysis import Table, summarize
+from repro.analysis.predictors import two_active_bound
+
+N = 1 << 20  # a million possible radios
+TRIALS = 150
+
+
+def main() -> None:
+    table = Table(
+        ["channels", "mean_rounds_to_finish", "p99", "theory_shape"],
+        caption=f"TwoActive over {TRIALS} random pairs, n = 2^20",
+    )
+    for channels in (2, 4, 16, 64, 256, 1024, 4096):
+        rounds = []
+        for seed in range(TRIALS):
+            result = solve(
+                TwoActive(),
+                n=N,
+                num_channels=channels,
+                activation=activate_pair(N, seed=seed),
+                seed=seed,
+                stop_on_solve=False,  # measure the algorithm's own finish
+            )
+            assert result.solved
+            rounds.append(result.rounds)
+        summary = summarize(rounds)
+        table.add_row(
+            channels, summary.mean, summary.p99, two_active_bound(N, channels)
+        )
+    table.print()
+    print(
+        "Note the mean is nearly flat: Step 1's attempt count is geometric\n"
+        "with success probability 1 - 1/C, so log n / log C governs the\n"
+        "*high-probability tail*, not the average — exactly as Lemma 2 says."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs in offline environments lacking the
+``wheel`` package (``pip install -e . --no-build-isolation --no-use-pep517``).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro — a faithful reproduction of
+
+    Fineman, Newport, Wang.
+    "Contention Resolution on Multiple Channels with Collision Detection."
+    PODC 2016.
+
+The library provides:
+
+* :mod:`repro.sim` — a round-exact simulator of the paper's model
+  (synchronous rounds, ``C`` channels, strong collision detection);
+* :mod:`repro.core` — the paper's algorithms: :class:`~repro.core.TwoActive`
+  (Section 4) and the general three-step algorithm
+  :class:`~repro.core.MultiChannelContentionResolution` (Section 5) with its
+  coalescing-cohorts LeafElection;
+* :mod:`repro.baselines` — the classical comparators from the surrounding
+  literature;
+* :mod:`repro.analysis` and :mod:`repro.experiments` — the measurement
+  harness that reproduces every theorem's predicted scaling.
+
+Quickstart::
+
+    from repro import FNWGeneral, solve, activate_random
+
+    result = solve(
+        FNWGeneral(),
+        n=1 << 12,
+        num_channels=64,
+        activation=activate_random(1 << 12, 300, seed=7),
+        seed=7,
+    )
+    print(result.solved_round, result.winner)
+"""
+
+from .baselines import (
+    BinarySearchCD,
+    DaumMultiChannel,
+    Decay,
+    SlottedAloha,
+    TreeSplitting,
+)
+from .core import (
+    FNWGeneral,
+    GeneralParams,
+    IDReduction,
+    LeafElection,
+    MultiChannelContentionResolution,
+    Reduce,
+    TwoActive,
+    WakeupTransform,
+    usable_channels,
+)
+from .protocols import Protocol, solve
+from .scenarios import Scenario
+from .sim import (
+    Activation,
+    CollisionDetection,
+    Engine,
+    ExecutionResult,
+    Network,
+    activate_adjacent,
+    activate_all,
+    activate_pair,
+    activate_random,
+    run_execution,
+    staggered,
+)
+from .tree import ChannelTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activation",
+    "BinarySearchCD",
+    "ChannelTree",
+    "CollisionDetection",
+    "DaumMultiChannel",
+    "Decay",
+    "Engine",
+    "ExecutionResult",
+    "FNWGeneral",
+    "GeneralParams",
+    "IDReduction",
+    "LeafElection",
+    "MultiChannelContentionResolution",
+    "Network",
+    "Protocol",
+    "Reduce",
+    "Scenario",
+    "SlottedAloha",
+    "TreeSplitting",
+    "TwoActive",
+    "WakeupTransform",
+    "activate_adjacent",
+    "activate_all",
+    "activate_pair",
+    "activate_random",
+    "run_execution",
+    "solve",
+    "staggered",
+    "usable_channels",
+    "__version__",
+]

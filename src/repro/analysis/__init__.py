@@ -1,0 +1,40 @@
+"""Measurement toolkit: sweeps, statistics, predictor fits, and tables."""
+
+from .distributions import (
+    GeometricFit,
+    empirical_cdf,
+    geometric_fit,
+    histogram,
+    ks_distance,
+)
+from .fitting import LinearFit, RatioSpread, fit_linear, log_log_slope, ratio_spread, ratios
+from .stats import Summary, geometric_mean, proportion_ci, quantile, summarize
+from .sweep import CellResult, SweepResult, TrialFn, grid_product, run_cell, run_sweep
+from .tables import Table, print_header
+
+__all__ = [
+    "CellResult",
+    "GeometricFit",
+    "empirical_cdf",
+    "geometric_fit",
+    "histogram",
+    "ks_distance",
+    "LinearFit",
+    "RatioSpread",
+    "Summary",
+    "SweepResult",
+    "Table",
+    "TrialFn",
+    "fit_linear",
+    "geometric_mean",
+    "grid_product",
+    "log_log_slope",
+    "print_header",
+    "proportion_ci",
+    "quantile",
+    "ratio_spread",
+    "ratios",
+    "run_cell",
+    "run_sweep",
+    "summarize",
+]

@@ -1,0 +1,154 @@
+"""Significance testing for reproduction claims (scipy-backed).
+
+The core library is dependency-free, but when scipy is available (it is in
+the reference environment) we can put proper statistics behind the
+comparative claims instead of eyeballing means:
+
+* :func:`t_confidence_interval` — small-sample CI for a mean (Student t,
+  instead of the normal approximation in :mod:`repro.analysis.stats`);
+* :func:`chi_square_geometric` — goodness-of-fit of attempt counts to the
+  fitted geometric law (Lemma 2's mechanism), with tail binning so expected
+  counts stay testable;
+* :func:`mann_whitney_faster` — one-sided Mann-Whitney U: "protocol A's
+  round counts are stochastically smaller than B's", the right
+  nonparametric form of every who-beats-whom claim in E10.
+
+All functions raise :class:`ImportError` with a clear message if scipy is
+missing, so the core library never silently depends on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def _require_scipy():
+    try:
+        import scipy.stats  # noqa: PLC0415
+
+        return scipy.stats
+    except ImportError as error:  # pragma: no cover - environment-dependent
+        raise ImportError(
+            "repro.analysis.advanced_stats requires scipy; install scipy or "
+            "use repro.analysis.stats for the dependency-free versions"
+        ) from error
+
+
+def t_confidence_interval(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Student-t confidence interval for the mean of a sample."""
+    stats = _require_scipy()
+    if len(values) < 2:
+        raise ValueError("need at least two samples for a t interval")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    sem = math.sqrt(variance / count)
+    critical = stats.t.ppf(0.5 + confidence / 2.0, df=count - 1)
+    return (mean - critical * sem, mean + critical * sem)
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Chi-square goodness-of-fit outcome."""
+
+    statistic: float
+    p_value: float
+    degrees_of_freedom: int
+    bins: int
+
+    @property
+    def consistent(self) -> bool:
+        """True when the data do not reject the model at the 1% level."""
+        return self.p_value > 0.01
+
+
+def chi_square_geometric(
+    attempts: Sequence[int], success_probability: float, *, min_expected: float = 5.0
+) -> ChiSquareResult:
+    """Chi-square test of attempt counts against Geometric(p).
+
+    Bins are ``{1}, {2}, ...`` with the tail merged so every bin's expected
+    count is at least ``min_expected`` (the standard validity rule).
+
+    Args:
+        attempts: observed attempt counts (each >= 1).
+        success_probability: the model's per-attempt success probability.
+        min_expected: minimum expected count per bin.
+    """
+    stats = _require_scipy()
+    if not attempts:
+        raise ValueError("empty sample")
+    if not 0.0 < success_probability <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {success_probability}")
+    total = len(attempts)
+    failure = 1.0 - success_probability
+
+    # Build bins 1, 2, ... until the remaining tail is small, then merge.
+    observed: List[float] = []
+    expected: List[float] = []
+    k = 1
+    tail_probability = 1.0
+    counted = 0
+    while True:
+        probability = success_probability * failure ** (k - 1)
+        if tail_probability * total < 2 * min_expected or probability * total < min_expected:
+            break
+        observed.append(sum(1 for a in attempts if a == k))
+        expected.append(probability * total)
+        counted += observed[-1]
+        tail_probability -= probability
+        k += 1
+    observed.append(total - counted)
+    expected.append(tail_probability * total)
+    if len(observed) < 2:
+        raise ValueError("sample too small to form two bins; add trials")
+
+    statistic, p_value = stats.chisquare(observed, f_exp=expected)
+    return ChiSquareResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        degrees_of_freedom=len(observed) - 1,
+        bins=len(observed),
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One-sided Mann-Whitney comparison of two round-count samples."""
+
+    u_statistic: float
+    p_value: float
+    median_a: float
+    median_b: float
+
+    @property
+    def a_significantly_faster(self) -> bool:
+        """True when A < B at the 1% significance level."""
+        return self.p_value < 0.01
+
+
+def mann_whitney_faster(
+    rounds_a: Sequence[float], rounds_b: Sequence[float]
+) -> ComparisonResult:
+    """Test whether protocol A's rounds are stochastically smaller than B's.
+
+    One-sided Mann-Whitney U (alternative: ``A < B``), the appropriate
+    nonparametric test for heavily skewed round-count distributions.
+    """
+    stats = _require_scipy()
+    if not rounds_a or not rounds_b:
+        raise ValueError("both samples must be non-empty")
+    result = stats.mannwhitneyu(rounds_a, rounds_b, alternative="less")
+    sorted_a, sorted_b = sorted(rounds_a), sorted(rounds_b)
+    return ComparisonResult(
+        u_statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        median_a=float(sorted_a[len(sorted_a) // 2]),
+        median_b=float(sorted_b[len(sorted_b) // 2]),
+    )

@@ -1,0 +1,150 @@
+"""Empirical-distribution tooling for validating the paper's probabilistic
+mechanisms.
+
+The probabilistic lemmas make *distributional* claims — e.g. Lemma 2's
+renaming attempts are geometric with failure rate exactly ``1/C``.  Checking
+only the mean would accept many wrong mechanisms, so this module provides:
+
+* :func:`empirical_cdf` — the step CDF of a sample;
+* :func:`geometric_fit` — MLE of a geometric success probability plus a
+  goodness-of-fit distance against the implied distribution;
+* :func:`ks_distance` — the Kolmogorov-Smirnov statistic between a sample
+  and a model CDF (used as a bounded-distance check, not a formal test —
+  simulation samples are large enough that a loose threshold is decisive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+
+def empirical_cdf(values: Sequence[float]) -> Callable[[float], float]:
+    """Return the empirical CDF function of a non-empty sample."""
+    if not values:
+        raise ValueError("empirical_cdf of empty sample")
+    data = sorted(values)
+    count = len(data)
+
+    def cdf(x: float) -> float:
+        # Number of samples <= x via binary search.
+        lo, hi = 0, count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if data[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / count
+
+    return cdf
+
+
+def ks_distance(values: Sequence[float], model_cdf: Callable[[float], float]) -> float:
+    """Kolmogorov-Smirnov distance between a sample and a model CDF.
+
+    Handles discrete models (CDFs with jumps, e.g. the geometric) correctly
+    by comparing both one-sided limits at every distinct sample value: the
+    empirical left limit is matched against the model's left limit
+    (evaluated just below the value), not against the model's jump.
+    """
+    if not values:
+        raise ValueError("ks_distance of empty sample")
+    data = sorted(values)
+    count = len(data)
+    worst = 0.0
+    cumulative = 0
+    index = 0
+    while index < count:
+        value = data[index]
+        ties = 1
+        while index + ties < count and data[index + ties] == value:
+            ties += 1
+        below = cumulative / count
+        cumulative += ties
+        at = cumulative / count
+        model_at = model_cdf(value)
+        model_below = model_cdf(math.nextafter(value, -math.inf))
+        worst = max(worst, abs(at - model_at), abs(below - model_below))
+        index += ties
+    return worst
+
+
+@dataclass(frozen=True)
+class GeometricFit:
+    """MLE fit of attempt counts to a geometric distribution.
+
+    Attributes:
+        success_probability: fitted per-attempt success probability
+            (MLE: ``trials / total_attempts``).
+        failure_probability: its complement.
+        ks: KS distance between the sample and the fitted geometric CDF.
+        sample_size: number of attempt counts fitted.
+    """
+
+    success_probability: float
+    failure_probability: float
+    ks: float
+    sample_size: int
+
+    def quantile(self, q: float) -> float:
+        """The fitted distribution's ``q``-quantile (attempt count)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        if self.failure_probability <= 0.0:
+            return 1.0
+        return max(
+            1.0, math.log(1.0 - q) / math.log(self.failure_probability)
+        )
+
+
+def geometric_fit(attempts: Sequence[int]) -> GeometricFit:
+    """Fit attempt counts (each >= 1) to a geometric distribution.
+
+    Args:
+        attempts: per-trial counts of attempts until the first success.
+
+    Returns:
+        The MLE fit with a KS goodness-of-fit distance.
+    """
+    if not attempts:
+        raise ValueError("geometric_fit of empty sample")
+    if any(a < 1 for a in attempts):
+        raise ValueError("attempt counts must be >= 1")
+    total = sum(attempts)
+    success = len(attempts) / total
+    failure = 1.0 - success
+
+    def model_cdf(x: float) -> float:
+        k = math.floor(x)
+        if k < 1:
+            return 0.0
+        return 1.0 - failure**k
+
+    return GeometricFit(
+        success_probability=success,
+        failure_probability=failure,
+        ks=ks_distance([float(a) for a in attempts], model_cdf),
+        sample_size=len(attempts),
+    )
+
+
+def histogram(values: Sequence[float], *, bins: int = 10) -> Dict[str, int]:
+    """Fixed-width histogram as an ordered label -> count mapping."""
+    if not values:
+        raise ValueError("histogram of empty sample")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    low, high = min(values), max(values)
+    if high == low:
+        return {f"[{low:g}, {high:g}]": len(values)}
+    width = (high - low) / bins
+    counts: List[int] = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / width))
+        counts[index] += 1
+    return {
+        f"[{low + i * width:.3g}, {low + (i + 1) * width:.3g})": counts[i]
+        for i in range(bins)
+    }

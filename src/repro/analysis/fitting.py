@@ -1,0 +1,116 @@
+"""Fitting measurements against theory predictors.
+
+Reproducing an asymptotic bound ``T(n, C) = O(f(n, C))`` empirically means
+showing the measured rounds are ``~ a * f + b`` with the *same* ``(a, b)``
+across the whole parameter grid.  Two complementary checks:
+
+* :func:`fit_linear` — ordinary least squares of measured vs predicted,
+  reporting the scale, intercept, and R^2;
+* :func:`ratio_spread` — max/min of measured/predicted across cells, the
+  bluntest possible flatness statistic (a bounded spread is exactly
+  "within a constant factor").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y ~ scale * x + intercept``.
+
+    Attributes:
+        scale: fitted slope (the bound's hidden constant).
+        intercept: fitted additive constant (lower-order terms).
+        r_squared: coefficient of determination in [0, 1] (1 = perfect).
+        max_relative_residual: worst ``|y - yhat| / max(1, yhat)`` over the
+            sample — a per-point sanity bound R^2 can hide.
+    """
+
+    scale: float
+    intercept: float
+    r_squared: float
+    max_relative_residual: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.scale * x + self.intercept
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares of ``ys`` against ``xs`` (with intercept)."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values identical; cannot fit")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    scale = sxy / sxx
+    intercept = mean_y - scale * mean_x
+
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    residuals = [y - (scale * x + intercept) for x, y in zip(xs, ys)]
+    ss_residual = sum(r * r for r in residuals)
+    r_squared = 1.0 if ss_total == 0 else max(0.0, 1.0 - ss_residual / ss_total)
+    max_rel = max(
+        abs(r) / max(1.0, abs(scale * x + intercept))
+        for r, x in zip(residuals, xs)
+    )
+    return LinearFit(
+        scale=scale,
+        intercept=intercept,
+        r_squared=r_squared,
+        max_relative_residual=max_rel,
+    )
+
+
+@dataclass(frozen=True)
+class RatioSpread:
+    """Spread statistics of measured/predicted ratios across a grid."""
+
+    minimum: float
+    maximum: float
+    mean: float
+
+    @property
+    def spread(self) -> float:
+        """max/min — 1.0 means a perfectly flat ratio."""
+        return self.maximum / self.minimum if self.minimum > 0 else math.inf
+
+
+def ratios(measured: Sequence[float], predicted: Sequence[float]) -> List[float]:
+    """Pointwise measured/predicted (predictions must be positive)."""
+    if len(measured) != len(predicted):
+        raise ValueError(f"length mismatch: {len(measured)} vs {len(predicted)}")
+    if any(p <= 0 for p in predicted):
+        raise ValueError("predictions must be strictly positive")
+    return [m / p for m, p in zip(measured, predicted)]
+
+
+def ratio_spread(measured: Sequence[float], predicted: Sequence[float]) -> RatioSpread:
+    """Flatness of measured/predicted over a grid (see module docstring)."""
+    values = ratios(measured, predicted)
+    if not values:
+        raise ValueError("empty sample")
+    return RatioSpread(
+        minimum=min(values), maximum=max(values), mean=sum(values) / len(values)
+    )
+
+
+def log_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of ``log y`` against ``log x`` — the empirical growth exponent.
+
+    Used to distinguish, e.g., ``Theta(log n)`` from ``Theta(log^2 n)``
+    behaviour by fitting rounds against ``log n`` on log-log axes.
+    """
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log slope requires positive data")
+    return fit_linear([math.log(x) for x in xs], [math.log(y) for y in ys]).scale

@@ -1,0 +1,135 @@
+"""Process-parallel Monte-Carlo sweeps.
+
+The serial harness (:mod:`repro.analysis.sweep`) accepts arbitrary closures,
+which cannot cross process boundaries.  This module trades that flexibility
+for throughput: trial functions are *registered by name* (so only the name
+and a parameter mapping are pickled), seeds are precomputed exactly as in
+the serial path, and the results are bitwise identical to a serial run of
+the same cell — a property the tests enforce.
+
+Usage::
+
+    @register_trial("my-trial")
+    def my_trial(seed, *, n, C):
+        ...
+        return {"rounds": ...}
+
+    cell = run_cell_parallel("my-trial", {"n": 1024, "C": 64},
+                             trials=500, processes=4)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..sim.rng import seed_sequence
+from .sweep import CellResult
+
+#: name -> trial function taking (seed, **params).
+_TRIAL_REGISTRY: Dict[str, Callable[..., Mapping[str, float]]] = {}
+
+
+def register_trial(name: str):
+    """Decorator registering a picklable-by-name trial function."""
+
+    def decorator(fn: Callable[..., Mapping[str, float]]):
+        if name in _TRIAL_REGISTRY:
+            raise ValueError(f"trial {name!r} already registered")
+        _TRIAL_REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def registered_trials() -> Tuple[str, ...]:
+    """Names of all registered trial functions."""
+    return tuple(sorted(_TRIAL_REGISTRY))
+
+
+def _execute(task: Tuple[str, Dict[str, Any], int]) -> Mapping[str, float]:
+    """Worker entry point: resolve the trial by name and run one seed."""
+    name, params, seed = task
+    try:
+        fn = _TRIAL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"trial {name!r} not registered in the worker; ensure it is "
+            "registered at import time of its defining module"
+        ) from None
+    return dict(fn(seed, **params))
+
+
+def run_cell_parallel(
+    trial_name: str,
+    params: Dict[str, Any],
+    *,
+    trials: int,
+    master_seed: int = 0,
+    stream: int = 0,
+    processes: Optional[int] = None,
+) -> CellResult:
+    """Run one cell's trials across a process pool.
+
+    Produces exactly the trials (same seeds, same order) as
+    :func:`repro.analysis.sweep.run_cell` with an equivalent closure.
+
+    Args:
+        trial_name: a name registered via :func:`register_trial`.
+        params: keyword parameters forwarded to every trial.
+        trials: number of independent trials.
+        master_seed / stream: seed derivation, identical to the serial path.
+        processes: pool size; ``None`` uses ``os.cpu_count()``; ``1`` (or a
+            single trial) short-circuits to in-process execution.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_name not in _TRIAL_REGISTRY:
+        raise KeyError(f"unknown trial {trial_name!r}; known: {registered_trials()}")
+    seeds = list(seed_sequence(master_seed, trials, stream=stream))
+    tasks = [(trial_name, params, seed) for seed in seeds]
+
+    cell = CellResult(params=dict(params))
+    if processes == 1 or trials == 1:
+        cell.trials = [dict(_execute(task)) for task in tasks]
+        return cell
+
+    with multiprocessing.Pool(processes=processes) as pool:
+        cell.trials = [dict(result) for result in pool.map(_execute, tasks)]
+    return cell
+
+
+# ----------------------------------------------------- standard registrations
+
+@register_trial("two-active")
+def _two_active(seed: int, *, n: int, C: int) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.two_active_trial`."""
+    from ..experiments.common import two_active_trial
+
+    return two_active_trial(n, C, seed)
+
+
+@register_trial("general")
+def _general(seed: int, *, n: int, C: int, active: int) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.general_trial`."""
+    from ..experiments.common import general_trial
+
+    return general_trial(n, C, active, seed)
+
+
+@register_trial("baseline")
+def _baseline(
+    seed: int, *, protocol: str, n: int, C: int, active: int
+) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.baseline_trial`."""
+    from ..experiments.common import baseline_trial
+
+    return baseline_trial(protocol, n, C, active, seed)
+
+
+@register_trial("leaf-election")
+def _leaf_election(seed: int, *, C: int, x: int) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.leaf_election_trial`."""
+    from ..experiments.common import leaf_election_trial
+
+    return leaf_election_trial(C, x, seed)

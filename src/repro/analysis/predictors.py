@@ -1,0 +1,78 @@
+"""Theory predictors: the asymptotic formulas the measurements are checked
+against.
+
+Each reproduces one bound from the paper (or from the related work it
+compares to).  All are in "round units up to a constant": experiments fit a
+single scale constant per predictor and then test that the *ratio*
+measured/predicted stays flat across the parameter grid — that flatness (not
+absolute values) is what reproducing an asymptotic theorem means.
+
+Logs are base 2 with small-argument clamps (documented in
+:mod:`repro.mathutil`) so the predictors stay positive, finite, and monotone
+at laptop scales.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..mathutil import log2f, loglog2f
+
+
+def _lg(x: float) -> float:
+    return log2f(max(2.0, float(x)))
+
+
+def lower_bound_two_channel_cd(n: int, num_channels: int) -> float:
+    """Newport (DISC 2014): ``Omega(log n / log C + log log n)`` — the lower
+    bound both of the paper's algorithms are measured against (E11)."""
+    return _lg(n) / _lg(num_channels) + loglog2f(n)
+
+
+def two_active_bound(n: int, num_channels: int) -> float:
+    """Theorem 1: TwoActive runs in ``O(log n / log C + log log n)``."""
+    return lower_bound_two_channel_cd(n, num_channels)
+
+
+def general_bound(n: int, num_channels: int) -> float:
+    """Theorem 4: ``O(log n / log C + (log log n)(log log log n))``."""
+    logloglog = max(1.0, math.log2(max(2.0, loglog2f(n))))
+    return _lg(n) / _lg(num_channels) + loglog2f(n) * logloglog
+
+
+def reduce_bound(n: int) -> float:
+    """Theorem 5's round count: ``O(log log n)``."""
+    return loglog2f(n)
+
+
+def id_reduction_bound(n: int, num_channels: int) -> float:
+    """Theorem 6: IDReduction terminates in ``O(log n / log C)``."""
+    return _lg(n) / _lg(num_channels)
+
+
+def leaf_election_bound(num_channels: int, x: int) -> float:
+    """Theorem 17: ``O(log h * log log x)`` with ``h = lg C``."""
+    h = _lg(num_channels)
+    return max(1.0, math.log2(max(2.0, h))) * loglog2f(max(2, x))
+
+
+def leaf_election_binary_bound(num_channels: int, x: int) -> float:
+    """The non-cohort strawman: a fresh *binary* search per phase costs
+    ``O(log h)`` for each of ``O(log x)`` phases — ``O(log h * log x)``.
+    The cohort ablation (E8) contrasts this with Theorem 17."""
+    h = _lg(num_channels)
+    return max(1.0, math.log2(max(2.0, h))) * _lg(max(2, x))
+
+def binary_search_cd_bound(n: int) -> float:
+    """Classical single-channel CD algorithm: ``O(log n)`` (Section 2)."""
+    return _lg(n)
+
+
+def decay_bound(n: int) -> float:
+    """Classical single-channel no-CD Decay: ``O(log^2 n)`` (Section 2)."""
+    return _lg(n) ** 2
+
+
+def daum_bound(n: int, num_channels: int) -> float:
+    """Daum et al. (PODC 2012): ``O(log^2 n / C + log n)`` (Section 2)."""
+    return _lg(n) ** 2 / max(1, num_channels) + _lg(n)

@@ -1,0 +1,117 @@
+"""Summary statistics for Monte-Carlo round-count measurements.
+
+Pure-python, exact where possible; everything here is deliberately boring —
+the scientific content lives in the experiments, and these helpers just make
+their outputs trustworthy (confidence intervals, quantiles) and printable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary of one measured quantity.
+
+    Attributes:
+        count: number of samples.
+        mean: arithmetic mean.
+        std: sample standard deviation (n-1 denominator; 0 for n < 2).
+        minimum / maximum: extremes.
+        median: 50th percentile.
+        p90 / p99: upper quantiles (nearest-rank).
+        ci95_half_width: half-width of the normal-approximation 95%
+            confidence interval for the mean.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    p99: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def format(self, digits: int = 1) -> str:
+        """One-line human-readable rendering of the summary."""
+        return (
+            f"{self.mean:.{digits}f} +/- {self.ci95_half_width:.{digits}f} "
+            f"(median {self.median:.{digits}f}, p99 {self.p99:.{digits}f}, "
+            f"max {self.maximum:.{digits}f}, n={self.count})"
+        )
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of pre-sorted values, ``q`` in [0, 1]."""
+    if not sorted_values:
+        raise ValueError("quantile of empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    rank = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return float(sorted_values[rank])
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    data: List[float] = sorted(float(v) for v in values)
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    ci95 = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=data[0],
+        maximum=data[-1],
+        median=quantile(data, 0.5),
+        p90=quantile(data, 0.9),
+        p99=quantile(data, 0.99),
+        ci95_half_width=ci95,
+    )
+
+
+def proportion_ci(successes: int, trials: int) -> tuple:
+    """Wilson 95% confidence interval for a binomial proportion.
+
+    Used by the w.h.p. validation experiment (E13), where failure counts are
+    tiny and the normal approximation would be misleading.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    z = 1.96
+    phat = successes / trials
+    denominator = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric mean of empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

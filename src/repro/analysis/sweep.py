@@ -1,0 +1,129 @@
+"""Monte-Carlo sweep harness.
+
+An *experiment cell* is one parameter setting (e.g. ``n = 2^16, C = 64``)
+measured over many independent seeded trials; a *sweep* is a grid of cells.
+This module runs them deterministically (every trial's seed derives from the
+sweep's master seed) and aggregates per-cell summaries, so that every table
+in EXPERIMENTS.md is reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..sim.rng import seed_sequence
+from .stats import Summary, summarize
+
+#: A trial function: seed -> metrics mapping (must include the key "rounds").
+TrialFn = Callable[[int], Mapping[str, float]]
+
+
+@dataclass
+class CellResult:
+    """All trials of one parameter setting, plus per-metric summaries."""
+
+    params: Dict[str, Any]
+    trials: List[Mapping[str, float]] = field(default_factory=list)
+
+    def metric(self, name: str) -> List[float]:
+        """Raw per-trial values of one metric (trials missing it are skipped)."""
+        return [float(t[name]) for t in self.trials if name in t]
+
+    def summary(self, name: str = "rounds") -> Summary:
+        """Distribution summary of one metric across this cell's trials."""
+        values = self.metric(name)
+        if not values:
+            raise KeyError(f"metric {name!r} absent from all trials")
+        return summarize(values)
+
+    def mean(self, name: str = "rounds") -> float:
+        """Mean of one metric across this cell's trials."""
+        return self.summary(name).mean
+
+
+@dataclass
+class SweepResult:
+    """Results for a whole parameter grid."""
+
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, **params: Any) -> CellResult:
+        """The unique cell whose parameters include all given key/values."""
+        matches = [
+            c for c in self.cells if all(c.params.get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {params!r}, expected exactly 1")
+        return matches[0]
+
+    def column(self, metric: str = "rounds") -> List[float]:
+        """Per-cell mean of a metric, in grid order."""
+        return [c.mean(metric) for c in self.cells]
+
+
+def run_cell(
+    trial_fn: TrialFn,
+    *,
+    trials: int,
+    master_seed: int = 0,
+    stream: int = 0,
+    params: Optional[Dict[str, Any]] = None,
+) -> CellResult:
+    """Run one cell: ``trials`` independent seeded executions of ``trial_fn``."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    cell = CellResult(params=dict(params or {}))
+    for seed in seed_sequence(master_seed, trials, stream=stream):
+        metrics = dict(trial_fn(seed))
+        cell.trials.append(metrics)
+    return cell
+
+
+def run_sweep(
+    grid: Sequence[Dict[str, Any]],
+    make_trial_fn: Callable[[Dict[str, Any]], TrialFn],
+    *,
+    trials: int,
+    master_seed: int = 0,
+) -> SweepResult:
+    """Run every cell of a parameter grid.
+
+    Args:
+        grid: list of parameter dicts (one per cell), in output order.
+        make_trial_fn: builds the cell's trial function from its parameters.
+        trials: trials per cell.
+        master_seed: root seed; each cell gets an independent stream.
+
+    Returns:
+        A :class:`SweepResult` with cells in grid order.
+    """
+    result = SweepResult()
+    for index, params in enumerate(grid):
+        trial_fn = make_trial_fn(params)
+        result.cells.append(
+            run_cell(
+                trial_fn,
+                trials=trials,
+                master_seed=master_seed,
+                stream=index,
+                params=params,
+            )
+        )
+    return result
+
+
+def grid_product(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes, in row-major order.
+
+    ``grid_product(n=[16, 256], C=[4, 8])`` yields four cells ordered by
+    ``n`` then ``C``.
+    """
+    names = list(axes)
+    cells: List[Dict[str, Any]] = [{}]
+    for name in names:
+        values = axes[name]
+        if not values:
+            raise ValueError(f"axis {name!r} is empty")
+        cells = [{**cell, name: value} for cell in cells for value in values]
+    return cells

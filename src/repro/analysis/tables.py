@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its results through :class:`Table` so EXPERIMENTS.md
+and the bench logs share one format: a header row, one aligned row per cell,
+and an optional caption tying the table back to the paper's claim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any, digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+class Table:
+    """An append-only text table.
+
+    Args:
+        columns: header names, fixed at construction.
+        caption: optional text printed above the table.
+        digits: decimal places for float cells.
+    """
+
+    def __init__(self, columns: Sequence[str], *, caption: str = "", digits: int = 2):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.caption = caption
+        self.digits = digits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(v, self.digits) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append several rows at once."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        widths = [len(name) for name in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        parts: List[str] = []
+        if self.caption:
+            parts.append(self.caption)
+        parts.append(line(self.columns))
+        parts.append("  ".join("-" * w for w in widths))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def markdown(self) -> str:
+        """The table as GitHub-flavored markdown (for EXPERIMENTS.md)."""
+        parts: List[str] = []
+        if self.caption:
+            parts.append(f"**{self.caption}**")
+            parts.append("")
+        parts.append("| " + " | ".join(self.columns) + " |")
+        parts.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            parts.append("| " + " | ".join(row) + " |")
+        return "\n".join(parts)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors render()
+        """Print the rendered table followed by a blank line."""
+        print(self.render())
+        print()
+
+
+def print_header(title: str, detail: Optional[str] = None) -> None:
+    """Banner used by every experiment's CLI output."""
+    print("=" * 72)
+    print(title)
+    if detail:
+        print(detail)
+    print("=" * 72)

@@ -1,0 +1,22 @@
+"""Baseline contention-resolution protocols from the surrounding literature.
+
+These realize the bounds the paper's Section 2 surveys, so the benchmark
+harness can reproduce the paper's comparative landscape: who wins, by what
+factor, and where the crossovers fall.
+"""
+
+from .aloha import SlottedAloha
+from .binary_search_cd import BinarySearchCD, binary_search_descent
+from .daum_multichannel import DaumMultiChannel
+from .decay import Decay, decay_sweep_length
+from .tree_splitting import TreeSplitting
+
+__all__ = [
+    "BinarySearchCD",
+    "DaumMultiChannel",
+    "Decay",
+    "SlottedAloha",
+    "TreeSplitting",
+    "binary_search_descent",
+    "decay_sweep_length",
+]

@@ -1,0 +1,55 @@
+"""Slotted ALOHA: the historical root of contention resolution (Abramson
+1970, Roberts 1975), included as the classical reference point.
+
+Every active node independently transmits on channel 1 with a fixed
+probability ``p`` each round.  With ``a = |A|`` actives, the per-round solo
+probability is ``a * p * (1 - p)^{a-1}``, maximized at ``p = 1/a`` where it
+approaches ``1/e``.  Since ``a`` is unknown, the classical protocol fixes
+``p = 1/n``:
+
+* when ``a ~ n`` (dense activation) this is near-optimal and solves in
+  ``O(log n)`` rounds w.h.p.;
+* when ``a`` is small the solo probability collapses to ``~a/n`` and the
+  protocol needs ``Theta(n/a * log n)`` rounds — the failure mode that
+  motivated four decades of adaptive protocols, visible in experiment E10's
+  sparse-activation rows.
+
+The transmission probability is configurable so experiments can also show
+the genie-aided optimum (``p = 1/a``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+
+
+class SlottedAloha(Protocol):
+    """Fixed-probability slotted ALOHA on the primary channel."""
+
+    name = "slotted-aloha"
+
+    def __init__(self, probability: Optional[float] = None):
+        """Args:
+        probability: per-round transmission probability; defaults to
+            ``1/n`` (resolved per execution from the node context).
+        """
+        if probability is not None and not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self.probability = probability
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        probability = self.probability if self.probability is not None else 1.0 / ctx.n
+        while True:
+            if ctx.rng.random() < probability:
+                observation = yield transmit(PRIMARY_CHANNEL, ("aloha", ctx.node_id))
+                if observation.alone:
+                    return
+            else:
+                observation = yield listen(PRIMARY_CHANNEL)
+                if observation.got_message:
+                    return

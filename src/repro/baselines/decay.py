@@ -1,0 +1,52 @@
+"""Decay: classical single-channel contention resolution WITHOUT collision
+detection — ``O(log^2 n)`` rounds w.h.p.
+
+This reproduces the classical upper bound for the no-collision-detection
+single-channel setting that the paper's Section 2 surveys (Bar-Yehuda et
+al.-style "Decay", proved near-optimal by Jurdzinski & Stachowiak and tight
+by Newport).  It is a comparator in experiment E10.
+
+Mechanics: time is divided into *sweeps* of ``ceil(lg n) + 1`` rounds.  In
+round ``j`` of a sweep every active node transmits on channel 1 with
+probability ``2^{-j}``.  When ``2^{-j}`` is within a constant factor of
+``1/|A|``, the round has exactly one transmitter with constant probability,
+so each sweep succeeds with constant probability and ``O(log n)`` sweeps
+suffice w.h.p. — ``O(log^2 n)`` rounds in total.
+
+No-CD discipline: the protocol never branches on the silence/collision
+distinction or on a transmitter's own feedback; nodes keep sweeping until
+the engine observes a solo on channel 1.  (A listener that hears a message
+could stop, and we let it — hearing a message is legal information without
+collision detection — but by then the problem is already solved.)
+"""
+
+from __future__ import annotations
+
+from ..mathutil import ceil_log2
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+
+
+def decay_sweep_length(n: int) -> int:
+    """Number of rounds in one Decay sweep for a given ``n``."""
+    return ceil_log2(max(2, n)) + 1
+
+
+class Decay(Protocol):
+    """The classical Decay protocol (single channel, no collision detection)."""
+
+    name = "decay"
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        sweep = decay_sweep_length(ctx.n)
+        while True:
+            for j in range(1, sweep + 1):
+                if ctx.rng.random() < 2.0 ** (-j):
+                    yield transmit(PRIMARY_CHANNEL, ("decay", j))
+                else:
+                    observation = yield listen(PRIMARY_CHANNEL)
+                    if observation.got_message:
+                        # A solo happened; the problem is solved. Stop.
+                        return

@@ -1,0 +1,56 @@
+"""Tree-splitting (stack) collision resolution — the classical adaptive
+protocol of Capetanakis / Tsybakov-Mikhailov (late 1970s), the lineage of
+the deterministic conflict-resolution work the paper cites (Komlos &
+Greenberg; Greenberg & Winograd).
+
+Single channel, collision detection, **no ids needed** (randomized splits):
+the active set is managed as a stack of groups.  Each round the top group
+transmits; on a collision it splits by fair coins (heads stay, tails wait
+behind); on silence the next group is popped.  The first singleton group
+produces a solo transmission on channel 1 and solves contention resolution.
+
+Distributed realization: each node keeps a *stack depth counter* ``c``
+(``c = 0``: I am in the transmitting group; ``c > 0``: groups ahead of me).
+
+* ``c == 0``: transmit.  On a collision, flip a coin — heads keeps ``c = 0``
+  (the front split), tails sets ``c = 1`` (pushed behind).
+* ``c > 0``: listen.  On a collision, ``c += 1`` (a new group was pushed
+  ahead); on silence, ``c -= 1`` (an empty group was popped).
+
+Expected ``O(log |A|)`` rounds to the first solo; termination with
+probability 1.  A useful contrast to :class:`~repro.baselines.BinarySearchCD`
+(deterministic, but needs unique ids) in experiment E10.
+"""
+
+from __future__ import annotations
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+
+
+class TreeSplitting(Protocol):
+    """Classical randomized tree-splitting on channel 1 (CD, no ids)."""
+
+    name = "tree-splitting"
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        depth = 0
+        while True:
+            if depth == 0:
+                observation = yield transmit(PRIMARY_CHANNEL, ("split", ctx.node_id))
+                if observation.alone:
+                    ctx.mark("tree_splitting:leader", ctx.node_id)
+                    return
+                # Collision: split the front group by a fair coin.
+                if observation.collision and ctx.rng.random() < 0.5:
+                    depth = 1
+            else:
+                observation = yield listen(PRIMARY_CHANNEL)
+                if observation.got_message:
+                    return  # someone transmitted alone: solved
+                if observation.collision:
+                    depth += 1  # the front group split; one more ahead of us
+                elif observation.silence:
+                    depth -= 1  # an empty group was popped; we move up

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands:
+
+* ``repro list`` — list the experiment registry;
+* ``repro experiment e7`` — run one experiment's full configuration;
+* ``repro all`` — run every experiment (the full reproduction pass);
+* ``repro solve --protocol fnw-general --n 4096 --channels 64 --active 100``
+  — run a single execution and print the outcome (and optionally the trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import print_header
+from .experiments import REGISTRY
+from .experiments.common import make_protocol
+from .protocols import solve as run_solve
+from .sim import activate_random
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for key, (_module, description) in REGISTRY.items():
+        print(f"{key:>4}  {description}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.lower()
+    if key not in REGISTRY:
+        print(f"unknown experiment {key!r}; try 'repro list'", file=sys.stderr)
+        return 2
+    module, description = REGISTRY[key]
+    print_header(f"Experiment {key}", description)
+    module.main()
+    return 0
+
+
+def _cmd_all(_args: argparse.Namespace) -> int:
+    for key, (module, description) in REGISTRY.items():
+        print_header(f"Experiment {key}", description)
+        module.main()
+        print()
+    return 0
+
+
+def _cmd_verify(_args: argparse.Namespace) -> int:
+    from .verify import verify_all
+
+    reports = verify_all()
+    for report in reports:
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  FAIL: {failure}")
+    return 0 if all(report.ok for report in reports) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import ReportOptions, write_report
+
+    options = ReportOptions(scale=args.scale, only=args.only)
+    write_report(args.output, options)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .sim.serialize import load_trace
+
+    trace = load_trace(args.path)
+    print(trace.render(max_rounds=args.rounds, max_channels=args.channels))
+    usage = trace.channel_utilization()
+    if usage:
+        print()
+        busiest = max(usage, key=lambda channel: usage[channel])
+        print(
+            f"{len(trace.rounds)} recorded rounds; {len(usage)} channels "
+            f"touched; busiest: ch{busiest} ({usage[busiest]} participant-rounds)"
+        )
+    labels = {}
+    for mark in trace.marks:
+        labels[mark.label] = labels.get(mark.label, 0) + 1
+    if labels:
+        print("marks: " + ", ".join(f"{k} x{v}" for k, v in sorted(labels.items())))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    protocol = make_protocol(args.protocol)
+    active = args.active if args.active is not None else args.n
+    activation = activate_random(args.n, active, seed=args.seed)
+    result = run_solve(
+        protocol,
+        n=args.n,
+        num_channels=args.channels,
+        activation=activation,
+        seed=args.seed,
+        record_trace=args.trace or bool(args.save_trace),
+    )
+    print(
+        f"protocol={protocol.name} n={args.n} C={args.channels} "
+        f"active={active} seed={args.seed}"
+    )
+    print(
+        f"solved={result.solved} round={result.solved_round} "
+        f"winner=node-{result.winner}"
+    )
+    if args.trace:
+        print()
+        print(result.trace.render(max_channels=min(args.channels, 16)))
+    if args.save_trace:
+        from .sim.serialize import save_result
+
+        save_result(result, args.save_trace)
+        print(f"trace saved to {args.save_trace}")
+    return 0 if result.solved else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Contention Resolution on Multiple Channels "
+            "with Collision Detection' (PODC 2016)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(fn=_cmd_list)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment")
+    experiment_parser.add_argument("id", help="experiment id, e.g. e7")
+    experiment_parser.set_defaults(fn=_cmd_experiment)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.set_defaults(fn=_cmd_all)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="exhaustively verify the deterministic components"
+    )
+    verify_parser.set_defaults(fn=_cmd_verify)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from live runs"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    report_parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    report_parser.add_argument(
+        "--only", nargs="*", help="experiment keys to include, e.g. e1 e7"
+    )
+    report_parser.set_defaults(fn=_cmd_report)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="render a saved execution trace"
+    )
+    replay_parser.add_argument("path", help="JSON file from 'solve --save-trace'")
+    replay_parser.add_argument("--rounds", type=int, default=40)
+    replay_parser.add_argument("--channels", type=int, default=16)
+    replay_parser.set_defaults(fn=_cmd_replay)
+
+    solve_parser = subparsers.add_parser("solve", help="run one execution")
+    solve_parser.add_argument("--protocol", default="fnw-general")
+    solve_parser.add_argument("--n", type=int, default=1 << 12)
+    solve_parser.add_argument("--channels", type=int, default=64)
+    solve_parser.add_argument("--active", type=int, default=None)
+    solve_parser.add_argument("--seed", type=int, default=0)
+    solve_parser.add_argument("--trace", action="store_true")
+    solve_parser.add_argument(
+        "--save-trace", metavar="PATH", help="write the execution as JSON"
+    )
+    solve_parser.set_defaults(fn=_cmd_solve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

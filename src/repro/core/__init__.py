@@ -1,0 +1,49 @@
+"""The paper's algorithms: TwoActive (Section 4) and the three-step general
+contention-resolution algorithm (Section 5)."""
+
+from .general import FNWGeneral, MultiChannelContentionResolution
+from .id_reduction import IDReduction, IDReductionStep
+from .leaf_election import (
+    LeafElection,
+    LeafElectionStep,
+    ROUNDS_PER_SEARCH_ITERATION,
+    check_level,
+    split_search,
+)
+from .params import (
+    GeneralParams,
+    MIN_CHANNELS_FOR_GENERAL,
+    PAPER_KAPPA,
+    PAPER_REDUCE_REPEATS,
+    usable_channels,
+    usable_channels_for,
+)
+from .reduce import Reduce, ReduceStep, reduce_round_count
+from .splitcheck import split_check, split_check_rounds_worst_case
+from .two_active import TwoActive
+from .wakeup import WakeupTransform
+
+__all__ = [
+    "FNWGeneral",
+    "GeneralParams",
+    "IDReduction",
+    "IDReductionStep",
+    "LeafElection",
+    "LeafElectionStep",
+    "MIN_CHANNELS_FOR_GENERAL",
+    "MultiChannelContentionResolution",
+    "PAPER_KAPPA",
+    "PAPER_REDUCE_REPEATS",
+    "ROUNDS_PER_SEARCH_ITERATION",
+    "Reduce",
+    "ReduceStep",
+    "TwoActive",
+    "WakeupTransform",
+    "check_level",
+    "reduce_round_count",
+    "split_check",
+    "split_check_rounds_worst_case",
+    "split_search",
+    "usable_channels",
+    "usable_channels_for",
+]

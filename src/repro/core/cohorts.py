@@ -1,0 +1,168 @@
+"""Reference (channel-free) model of coalescing cohorts.
+
+LeafElection's correctness argument (Section 5.3) is entirely structural:
+given the set of occupied leaves, the sequence of split levels, pairings,
+eliminations, and the eventual leader are all *determined* — the channels
+only exist to let the distributed nodes discover this structure.  This
+module computes that determined evolution directly from the leaf set, giving
+tests an independent oracle to check every phase of the distributed
+execution against (Property 11, Lemmas 12-14, and the final winner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..tree.channel_tree import ChannelTree
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One cohort: ordered members (index 0 has cID 1) and its tree node."""
+
+    members: Tuple[int, ...]
+    node: int
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def master(self) -> int:
+        """The leaf whose node holds cID = 1."""
+        return self.members[0]
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """What one phase of the reference evolution did."""
+
+    split_level: int
+    merged: Tuple[Cohort, ...]
+    eliminated: Tuple[Cohort, ...]
+
+
+@dataclass(frozen=True)
+class ReferenceElection:
+    """Full reference evolution for one occupied-leaf set."""
+
+    leader: int
+    phases: Tuple[PhaseOutcome, ...]
+    initial: Tuple[Cohort, ...]
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.phases)
+
+
+def _representative_ancestor(tree: ChannelTree, cohort: Cohort, level: int) -> int:
+    """A cohort's level-``level`` ancestor (shared by all members for levels
+    at or above the cohort node)."""
+    return tree.ancestor(cohort.master, level)
+
+
+def global_split_level(tree: ChannelTree, cohorts: Sequence[Cohort]) -> int:
+    """Smallest level at which all cohorts have distinct ancestors.
+
+    This is exactly what SplitSearch computes over the channels.
+    """
+    if len(cohorts) < 2:
+        return 0
+    level_of_cohorts = tree.level_of(cohorts[0].node)
+    for level in range(level_of_cohorts + 1):
+        ancestors = [_representative_ancestor(tree, c, level) for c in cohorts]
+        if len(set(ancestors)) == len(ancestors):
+            return level
+    raise AssertionError("cohort nodes must themselves be distinct")
+
+
+def evolve_one_phase(tree: ChannelTree, cohorts: Sequence[Cohort]) -> PhaseOutcome:
+    """Apply one LeafElection phase to a set of >= 2 same-level cohorts."""
+    if len(cohorts) < 2:
+        raise ValueError("a phase only runs with at least two cohorts")
+    split = global_split_level(tree, cohorts)
+    groups: Dict[int, List[Cohort]] = {}
+    for cohort in cohorts:
+        parent = _representative_ancestor(tree, cohort, split - 1)
+        groups.setdefault(parent, []).append(cohort)
+
+    merged: List[Cohort] = []
+    eliminated: List[Cohort] = []
+    for parent, group in sorted(groups.items()):
+        if len(group) == 1:
+            eliminated.append(group[0])
+            continue
+        if len(group) != 2:
+            raise AssertionError(
+                "at the split level each parent has at most two descendant cohorts"
+            )
+        # The left-subtree cohort keeps its cIDs; right-subtree members are
+        # shifted up by the cohort size, so order is left members then right.
+        first, second = group
+        first_is_left = not tree.in_right_subtree(first.master, split - 1)
+        left, right = (first, second) if first_is_left else (second, first)
+        merged.append(Cohort(members=left.members + right.members, node=parent))
+    return PhaseOutcome(
+        split_level=split, merged=tuple(merged), eliminated=tuple(eliminated)
+    )
+
+
+def reference_election(tree: ChannelTree, leaves: Sequence[int]) -> ReferenceElection:
+    """Predict LeafElection's complete run for a set of occupied leaves.
+
+    Args:
+        tree: the channel tree (``C/2`` leaves).
+        leaves: distinct occupied leaf labels (the renamed ids).
+
+    Returns:
+        The deterministic evolution, including the leader — the member
+        holding cID 1 in the last surviving cohort.
+    """
+    distinct = sorted(set(leaves))
+    if len(distinct) != len(list(leaves)):
+        raise ValueError("leaves must be distinct")
+    if not distinct:
+        raise ValueError("need at least one occupied leaf")
+
+    cohorts: List[Cohort] = [
+        Cohort(members=(leaf,), node=tree.leaf_node(leaf)) for leaf in distinct
+    ]
+    phases: List[PhaseOutcome] = []
+    initial = tuple(cohorts)
+    while len(cohorts) > 1:
+        outcome = evolve_one_phase(tree, cohorts)
+        phases.append(outcome)
+        cohorts = list(outcome.merged)
+        if not cohorts:
+            raise AssertionError("at least one pair always merges")
+    return ReferenceElection(
+        leader=cohorts[0].master, phases=tuple(phases), initial=initial
+    )
+
+
+def check_cohort_invariants(tree: ChannelTree, cohorts: Sequence[Cohort], phase_index: int) -> None:
+    """Assert Property 11 for a cohort set at the start of phase ``phase_index``
+    (1-based).  Raises ``AssertionError`` with a description on violation.
+    """
+    expected_size = 1 << (phase_index - 1)
+    levels = set()
+    nodes = set()
+    for cohort in cohorts:
+        assert cohort.size == expected_size, (
+            f"phase {phase_index}: cohort size {cohort.size} != {expected_size}"
+        )
+        assert len(set(cohort.members)) == cohort.size, "duplicate members"
+        lca_level = tree.lca_level_of_set(list(cohort.members))
+        node_level = tree.level_of(cohort.node)
+        assert node_level == lca_level or cohort.size == 1, (
+            f"cohort node level {node_level} != LCA level {lca_level}"
+        )
+        for member in cohort.members:
+            assert tree.ancestor(member, node_level) == cohort.node, (
+                f"member {member} not under cohort node {cohort.node}"
+            )
+        levels.add(node_level)
+        nodes.add(cohort.node)
+    assert len(levels) <= 1, f"cohort nodes at multiple levels: {levels}"
+    assert len(nodes) == len(cohorts), "cohort nodes must be distinct"

@@ -1,0 +1,74 @@
+"""The paper's main algorithm: contention resolution for any number of
+active nodes in ``O(log n / log C + (log log n)(log log log n))`` rounds
+w.h.p. (Section 5, Theorem 4).
+
+Three steps run back to back, each synchronized by construction:
+
+1. :class:`~repro.core.reduce.ReduceStep` — knock the active count down to
+   ``O(log n)`` on channel 1, in exactly ``reduce_repeats * ceil(lg lg n)``
+   rounds (Theorem 5);
+2. :class:`~repro.core.id_reduction.IDReductionStep` — rename survivors with
+   unique ids from ``[C/2]`` in ``O(log n / log C)`` rounds (Theorem 6);
+3. :class:`~repro.core.leaf_election.LeafElectionStep` — deterministically
+   elect a leader via coalescing cohorts in ``O(log h * log log x)`` rounds
+   (Theorem 17).
+
+Because a solo transmission on channel 1 *is* the problem's solution, the
+execution frequently ends inside step 1 or 2 (a lone knock-out broadcaster,
+or a single renaming adopter confirming alone) — the engine detects this;
+the steps themselves also recognize it and terminate.
+
+When the normalized channel count is below
+:data:`~repro.core.params.MIN_CHANNELS_FOR_GENERAL`, the lower bound
+degenerates to ``Omega(log n)`` and — exactly as the paper prescribes — we
+run the optimal single-channel collision-detection algorithm instead
+(:func:`~repro.baselines.binary_search_cd.binary_search_descent`).
+"""
+
+from __future__ import annotations
+
+from ..baselines.binary_search_cd import binary_search_descent
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.compose import SequentialProtocol
+from ..sim.context import NodeContext
+from .id_reduction import IDReductionStep
+from .leaf_election import LeafElectionStep
+from .params import MIN_CHANNELS_FOR_GENERAL, GeneralParams, usable_channels_for
+from .reduce import ReduceStep
+
+
+class MultiChannelContentionResolution(Protocol):
+    """The complete Section 5 algorithm (with the paper's small-C fallback).
+
+    This is the library's flagship protocol: it solves contention resolution
+    for *any* unknown subset of active nodes on *any* number of channels
+    with strong collision detection.
+
+    Args:
+        params: tunable constants (defaults follow the paper; see
+            :class:`~repro.core.params.GeneralParams`).
+    """
+
+    name = "fnw-general"
+
+    def __init__(self, params: GeneralParams | None = None):
+        self.params = params or GeneralParams()
+        self._pipeline = SequentialProtocol(
+            steps=[
+                ReduceStep(repeats=self.params.reduce_repeats),
+                IDReductionStep(params=self.params),
+                LeafElectionStep(),
+            ],
+            name=self.name,
+        )
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        if usable_channels_for(ctx) < MIN_CHANNELS_FOR_GENERAL:
+            ctx.mark("general:fallback_single_channel")
+            yield from binary_search_descent(ctx)
+            return
+        yield from self._pipeline.run(ctx)
+
+
+#: Short alias used throughout examples and benchmarks.
+FNWGeneral = MultiChannelContentionResolution

@@ -1,0 +1,110 @@
+"""Step #2 of the general algorithm: IDReduction (Section 5.2).
+
+Renames the surviving active nodes with unique ids from ``[C/2]``, reducing
+the active set further whenever it is still too crowded for renaming to
+succeed.  Terminates in ``O(log n / log C)`` rounds w.h.p. (Theorem 6).
+
+The step cycles through a fixed three-round schedule:
+
+1. **Renaming round** — every active node picks a channel from ``[C/2]``
+   uniformly at random and transmits; a node alone on its channel adopts the
+   channel label as its unique id.
+2. **Confirmation round** — everyone goes to channel 1; nodes that just
+   adopted an id transmit.  If the channel is non-silent the step is over:
+   adopters proceed (with their new ids) and everyone else halts.  (If
+   exactly one node adopted, its confirmation is itself a solo transmission
+   on channel 1 — contention resolution is solved on the spot, which the
+   engine detects; the paper's algorithm would simply carry on to
+   LeafElection with a single participant and win there.)
+3. **Reduction round** — every active node transmits on channel 1 with
+   probability ``1/k`` (``k = max(2, sqrt(C)/kappa)``); if there was at
+   least one transmission, all non-transmitters halt.
+
+The renaming analysis is the balls-in-bins Lemma 9 (reproduced empirically
+by experiment E6): once the active count is below ``C/6``, each renaming
+round leaves some ball alone with probability at least ``1 - 2^{-lg(C/2)/2}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.compose import HALT, Step
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+from .params import GeneralParams, usable_channels_for
+
+
+class IDReductionStep(Step):
+    """Renaming/reduction alternation as a composable step.
+
+    Carry out: the node's new unique id in ``[C/2]`` (an ``int``); halts for
+    nodes that lose the renaming race or are knocked out.
+
+    Requires the normalized channel count to be at least 4 so the target
+    space ``[C/2]`` has at least two ids; the general protocol guarantees
+    this by falling back to the single-channel algorithm below that.
+    """
+
+    name = "id_reduction"
+
+    def __init__(self, params: GeneralParams | None = None):
+        self.params = params or GeneralParams()
+
+    def run(self, ctx: NodeContext, carry: Any) -> ProtocolCoroutine:
+        num_channels = usable_channels_for(ctx)
+        if num_channels < 4:
+            raise ValueError(
+                f"IDReduction requires >= 4 normalized channels, got {num_channels}"
+            )
+        half = num_channels // 2
+        knock_probability = 1.0 / self.params.knock_k(num_channels)
+        rounds_used = 0
+
+        while True:
+            # ---- Renaming round: uniform channel in [C/2], transmit.
+            candidate = ctx.rng.randint(1, half)
+            observation = yield transmit(candidate, ("rename", candidate))
+            rounds_used += 1
+            adopted = observation.alone
+
+            # ---- Confirmation round on channel 1.
+            if adopted:
+                yield transmit(PRIMARY_CHANNEL, ("adopted", candidate))
+                rounds_used += 1
+                # My own transmission makes the round non-silent, so the
+                # step ends now for everyone; I continue with my new id.
+                ctx.mark("id_reduction:renamed", {"id": candidate, "rounds": rounds_used})
+                return candidate
+            observation = yield listen(PRIMARY_CHANNEL)
+            rounds_used += 1
+            if not observation.silence:
+                # Somebody adopted an id; I did not. I am out.
+                ctx.mark("id_reduction:lost_renaming")
+                return HALT
+
+            # ---- Reduction round: knock out with probability 1/k.
+            if ctx.rng.random() < knock_probability:
+                yield transmit(PRIMARY_CHANNEL, ("knock",))
+                rounds_used += 1
+                # Transmitters always stay active for the next cycle.
+            else:
+                observation = yield listen(PRIMARY_CHANNEL)
+                rounds_used += 1
+                if not observation.silence:
+                    ctx.mark("id_reduction:knocked_out")
+                    return HALT
+
+
+class IDReduction(Protocol):
+    """Standalone wrapper so IDReduction can be run and measured alone."""
+
+    name = "id-reduction"
+
+    def __init__(self, params: GeneralParams | None = None):
+        self._step = IDReductionStep(params=params)
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        yield from self._step.run(ctx, None)

@@ -1,0 +1,261 @@
+"""Step #3 of the general algorithm: LeafElection (Section 5.3, Figure 3).
+
+Deterministic leader election among ``x <= C/2`` nodes holding unique ids in
+``[C/2]``, over a *tree of channels* (each tree node owns a channel), in
+``O(log h * log log x)`` rounds where ``h = lg(C)`` (Theorem 17).
+
+The novel device is **coalescing cohorts**: coordinated groups that all have
+the same size ``2^{i-1}`` at the start of phase ``i``, whose members hold
+distinct cohort ids (cIDs) from ``[2^{i-1}]`` (Property 11).  Each phase:
+
+1. *Root check* (1 round): every cohort's master (cID 1) broadcasts on the
+   root channel — which is channel 1, so a lone master's broadcast both
+   announces victory and solves contention resolution in the same instant.
+2. *SplitSearch*: find the level ``l`` closest to the root at which all
+   cohorts have distinct ancestors.  The cohort's ``p`` members run Snir's
+   CREW-PRAM ``(p+1)``-ary search in parallel — member ``cID = i`` tests the
+   boundary levels of subrange ``i`` via CheckLevel — so the search takes
+   ``O(log h / log(p+1))`` iterations of 5 rounds each (Lemma 16).
+3. *Pairing* (1 round): masters broadcast on their level-``l-1`` ancestor's
+   channel.  A collision there identifies exactly two cohorts sharing that
+   ancestor — they merge (right-subtree members shift their cIDs up by the
+   cohort size); a lone master's cohort is eliminated.
+
+Every surviving cohort doubles each phase, so the per-phase search cost
+decays like ``log h / i`` and the total is
+``sum_i O(log h / i) = O(log h * log log x)``.
+
+Implementation notes (divergences from the Figure 3 pseudocode, each
+recorded in DESIGN.md):
+
+* ``probedist`` uses ``ceil(span / (cSize + 1))`` — the ``(p+1)``-ary
+  subdivision the text describes — rather than the figure's
+  ``ceil(span / cSize)``, which degenerates to a single subrange (no
+  progress) when ``cSize = 1``.
+* CheckLevel's two rounds and the announcement round are padded so that
+  *every* member of every cohort spends exactly 5 rounds per search
+  iteration, keeping all cohorts in lockstep (the figure's "do nothing for
+  4 rounds").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..mathutil import ceil_div
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.compose import HALT, Step
+from ..sim.actions import Action, IDLE, listen, transmit
+from ..sim.context import NodeContext
+from ..sim.errors import ProtocolViolation
+from ..sim.feedback import Observation
+from ..sim.network import PRIMARY_CHANNEL
+from ..tree.channel_tree import ChannelTree
+from .params import usable_channels_for
+
+#: Rounds per SplitSearch iteration: two 2-round CheckLevels + 1 announcement.
+ROUNDS_PER_SEARCH_ITERATION = 5
+
+
+def check_level(
+    ctx: NodeContext, tree: ChannelTree, level: int, leaf: int
+) -> Generator[Action, Observation, bool]:
+    """CheckLevel(l) from Figure 3: does any pair of cohorts share a
+    level-``level`` ancestor?
+
+    Two rounds.  First, the calling node (exactly one per cohort for a given
+    level) broadcasts on its level-``level`` ancestor's channel; a collision
+    there means two cohorts share that ancestor.  Second, any node that saw a
+    collision re-broadcasts on the level's *row channel* so that nodes whose
+    own ancestor was collision-free still learn the global answer.
+
+    Returns ``True`` for "collision" (some shared ancestor) and ``False``
+    for "no collision" (all distinct) — the same verdict at every caller
+    (Lemma 12).
+    """
+    ancestor = tree.ancestor(leaf, level)
+    observation = yield transmit(tree.node_channel(ancestor), ("probe", level))
+    if observation.collision:
+        echo = yield transmit(tree.row_channel(level), ("echo", level))
+    else:
+        echo = yield listen(tree.row_channel(level))
+    return not echo.silence
+
+
+def split_search(
+    ctx: NodeContext,
+    tree: ChannelTree,
+    level_min: int,
+    level_max: int,
+    c_size: int,
+    c_id: int,
+    cohort_channel: int,
+    leaf: int,
+) -> Generator[Action, Observation, int]:
+    """SplitSearch from Figure 3: the cohort-parallel ``(p+1)``-ary search.
+
+    Finds the smallest level ``l`` in ``(level_min, level_max]`` such that
+    all cohorts have distinct level-``l`` ancestors, assuming (as the
+    invariants guarantee) a collision at ``level_min`` and none at
+    ``level_max``.
+
+    Every member of every cohort executes this concurrently with identical
+    ``(level_min, level_max, c_size)``; CheckLevel's row-channel echo makes
+    the per-subrange verdicts global, so all cohorts recurse into the same
+    subrange and stay synchronized (Lemma 13).
+
+    Returns the level; also marks ``leaf_election:search_iterations``.
+    """
+    iterations = 0
+    while level_max - level_min > 1:
+        iterations += 1
+        span = level_max - level_min
+        probedist = max(1, ceil_div(span, c_size + 1))
+        subranges = ceil_div(span, probedist)  # the figure's k
+        boundaries = [level_min + i * probedist for i in range(subranges)]
+        boundaries.append(level_max)
+
+        first_collides = second_collides = None
+        if c_id <= subranges - 1:
+            first_collides = yield from check_level(ctx, tree, boundaries[c_id], leaf)
+            second_collides = yield from check_level(
+                ctx, tree, boundaries[c_id + 1], leaf
+            )
+        else:
+            for _ in range(2 * 2):
+                yield IDLE
+
+        # Announcement round: the unique member that bracketed the boundary
+        # announces the subrange index on the cohort's own channel.
+        if c_id == 1 and first_collides is False:
+            chosen = 0
+            yield transmit(cohort_channel, ("range", chosen))
+        elif c_id <= subranges - 1 and first_collides and not second_collides:
+            chosen = c_id
+            yield transmit(cohort_channel, ("range", chosen))
+        else:
+            announcement = yield listen(cohort_channel)
+            if not announcement.got_message:
+                raise ProtocolViolation(
+                    "expected exactly one subrange announcement per cohort",
+                    node_id=ctx.node_id,
+                )
+            chosen = announcement.message[1]
+        level_min, level_max = boundaries[chosen], boundaries[chosen + 1]
+
+    ctx.mark("leaf_election:search_iterations", iterations)
+    return level_max
+
+
+class LeafElectionStep(Step):
+    """LeafElection as a composable step.
+
+    Carry in: the node's unique id (leaf label) in ``[C/2]``.
+    Carry out: the leaf id for the elected leader; eliminated nodes halt.
+    """
+
+    name = "leaf_election"
+
+    def __init__(self, *, use_cohort_search: bool = True):
+        """Args:
+        use_cohort_search: when ``True`` (the paper's algorithm) SplitSearch
+            exploits the full cohort for a ``(p+1)``-ary search; when
+            ``False`` it is forced down to plain binary search (only the
+            master probes), the strawman the coalescing-cohorts technique
+            improves on — total cost ``O(log h * log x)`` instead of
+            ``O(log h * log log x)``.  Experiment E8 contrasts the two.
+        """
+        self.use_cohort_search = use_cohort_search
+
+    def run(self, ctx: NodeContext, carry: Any) -> ProtocolCoroutine:
+        leaf = carry
+        num_channels = usable_channels_for(ctx)
+        if num_channels < 4:
+            raise ValueError(
+                f"LeafElection requires >= 4 normalized channels, got {num_channels}"
+            )
+        tree = ChannelTree(num_channels // 2)
+        if not isinstance(leaf, int) or not 1 <= leaf <= tree.num_leaves:
+            raise ValueError(f"carry must be a leaf id in [1, {tree.num_leaves}], got {leaf!r}")
+
+        c_size = 1
+        c_id = 1
+        c_node = tree.leaf_node(leaf)
+        phase = 0
+
+        while True:
+            phase += 1
+            ctx.mark(
+                "leaf_election:phase",
+                {"phase": phase, "c_size": c_size, "c_id": c_id, "c_node": c_node},
+            )
+
+            # ---- Root check: masters broadcast on the root channel (= 1).
+            if c_id == 1:
+                observation = yield transmit(PRIMARY_CHANNEL, ("master", leaf))
+            else:
+                observation = yield listen(PRIMARY_CHANNEL)
+            if not observation.collision:
+                # A lone master broadcast: the leader is decided (and the
+                # solo transmission on channel 1 already solved the problem).
+                if c_id == 1 and observation.alone:
+                    ctx.mark("leaf_election:leader", leaf)
+                    return leaf
+                return HALT
+
+            # ---- SplitSearch for the global divergence level.
+            level_max = tree.level_of(c_node)
+            search_size = c_size if self.use_cohort_search else 1
+            level = yield from split_search(
+                ctx,
+                tree,
+                0,
+                level_max,
+                search_size,
+                c_id,
+                tree.node_channel(c_node),
+                leaf,
+            )
+            ctx.mark("leaf_election:split_level", {"phase": phase, "level": level})
+
+            # ---- Pairing round at the level-(l-1) ancestor.
+            ancestor = tree.ancestor(leaf, level - 1)
+            if c_id == 1:
+                observation = yield transmit(tree.node_channel(ancestor), ("pair", leaf))
+            else:
+                observation = yield listen(tree.node_channel(ancestor))
+            if observation.collision:
+                if tree.in_right_subtree(leaf, level - 1):
+                    c_id += c_size
+                c_size *= 2
+                c_node = ancestor
+                ctx.mark(
+                    "leaf_election:merged",
+                    {"phase": phase, "c_size": c_size, "c_id": c_id, "c_node": c_node},
+                )
+            else:
+                ctx.mark("leaf_election:eliminated", {"phase": phase})
+                return HALT
+
+
+class LeafElection(Protocol):
+    """Standalone wrapper: run LeafElection from a fixed leaf assignment.
+
+    Args:
+        leaf_assignment: mapping from node id to its unique leaf label in
+            ``[C/2]``.  Activate exactly these node ids when running.
+    """
+
+    name = "leaf-election"
+
+    def __init__(self, leaf_assignment: Dict[int, int], *, use_cohort_search: bool = True):
+        values: List[int] = list(leaf_assignment.values())
+        if len(set(values)) != len(values):
+            raise ValueError("leaf assignment must be injective")
+        self.leaf_assignment = dict(leaf_assignment)
+        self._step = LeafElectionStep(use_cohort_search=use_cohort_search)
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        if ctx.node_id not in self.leaf_assignment:
+            raise ValueError(f"node {ctx.node_id} has no leaf assignment")
+        yield from self._step.run(ctx, self.leaf_assignment[ctx.node_id])

@@ -1,0 +1,81 @@
+"""Parameter normalization and tunable constants for the paper's algorithms.
+
+The paper (Sections 4 and 5) makes two standing normalizations:
+
+* ``C`` is assumed to be a power of two ("the strategies are easily modified
+  to handle other values") — we handle other values by rounding down;
+* ``C <= n`` — "for the case where C > n, we use only the first n channels"
+  (footnote 4: no optimality is lost).
+
+It also fixes constants inside the algorithms (e.g. the knock probability
+``1/k`` with ``k = sqrt(C)/144`` in IDReduction).  Asymptotically any
+constant works; at simulatable scales ``sqrt(C)/144 < 1``, so we clamp ``k``
+to at least 2 and expose the divisor ``kappa`` for the ablation experiment
+(E14 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..mathutil import largest_power_of_two_at_most
+from ..sim.context import NodeContext
+
+#: Paper constant from Section 5.2: ``k = sqrt(C) / 144``.
+PAPER_KAPPA = 144.0
+
+#: Figure 2 repeats each knock-out probability twice.
+PAPER_REDUCE_REPEATS = 2
+
+#: Below this many (normalized) channels the general algorithm falls back to
+#: the optimal single-channel collision-detection algorithm, exactly as the
+#: paper prescribes for ``C = O(1)`` ("the lower bound simplifies to
+#: Omega(log n), which we can match with the well-known O(log n) contention
+#: resolution algorithm").  4 is the smallest power of two giving IDReduction
+#: a non-degenerate target space ``[C/2]`` with a two-leaf channel tree.
+MIN_CHANNELS_FOR_GENERAL = 4
+
+
+def usable_channels(n: int, num_channels: int) -> int:
+    """The paper's normalized channel count: largest power of two that is
+    at most both ``num_channels`` and ``n``.
+
+    Always at least 1.
+    """
+    if n < 1 or num_channels < 1:
+        raise ValueError(f"need n >= 1 and num_channels >= 1, got {n}, {num_channels}")
+    return largest_power_of_two_at_most(min(num_channels, max(1, n)))
+
+
+def usable_channels_for(ctx: NodeContext) -> int:
+    """Normalization applied to a node's own view of the system."""
+    return usable_channels(ctx.n, ctx.num_channels)
+
+
+@dataclass(frozen=True)
+class GeneralParams:
+    """Tunable constants of the Section 5 algorithm.
+
+    Attributes:
+        kappa: divisor in IDReduction's knock probability
+            ``1/k, k = max(2, sqrt(C)/kappa)``.  Paper value 144.
+        reduce_repeats: how many rounds each knock-out probability is used in
+            Reduce (Figure 2 uses 2; larger values trade rounds for a lower
+            failure probability, the ``beta`` of Theorem 5).
+    """
+
+    kappa: float = PAPER_KAPPA
+    reduce_repeats: int = PAPER_REDUCE_REPEATS
+
+    def __post_init__(self) -> None:
+        if self.kappa <= 0:
+            raise ValueError(f"kappa must be > 0, got {self.kappa}")
+        if self.reduce_repeats < 1:
+            raise ValueError(
+                f"reduce_repeats must be >= 1, got {self.reduce_repeats}"
+            )
+
+    def knock_k(self, num_channels: int) -> float:
+        """The ``k`` of Section 5.2 for a (normalized) channel count."""
+        return max(2.0, math.sqrt(num_channels) / self.kappa)

@@ -1,0 +1,87 @@
+"""Step #1 of the general algorithm: Reduce (Section 5.1, Figure 2).
+
+A standard knock-out cascade on channel 1 that brings the active-node count
+from up to ``n`` down to ``O(log n)`` in ``O(log log n)`` rounds (Theorem 5).
+
+The schedule tries exponentially rising broadcast probabilities: round group
+``r`` uses probability ``1 / n_hat`` with ``n_hat`` square-rooted after each
+group, i.e. ``n, n^(1/2), n^(1/4), ...`` over ``ceil(lg lg n)`` groups of
+``reduce_repeats`` rounds each.  In every round:
+
+* a node that broadcasts **alone** is, by definition, a leader — its solo
+  transmission on channel 1 solves contention resolution outright;
+* a node that listens and hears anything (message or collision) is knocked
+  out and terminates;
+* everyone else stays active.
+
+Survivor counts: when ``n_hat`` first falls to roughly the current active
+count ``a``, the expected number of broadcasters is ``Theta(a / n_hat)`` and
+listeners die en masse, leaving ``O(log n)`` survivors w.h.p. by the time the
+schedule ends.  The step always leaves at least one active node: in a round
+with a collision every broadcaster survives, and in a silent round nobody is
+knocked out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..mathutil import lg_lg
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.compose import HALT, Step
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+from .params import PAPER_REDUCE_REPEATS
+
+
+def reduce_round_count(n: int, repeats: int = PAPER_REDUCE_REPEATS) -> int:
+    """Exact number of rounds Reduce occupies for a given ``n``."""
+    return repeats * lg_lg(n)
+
+
+class ReduceStep(Step):
+    """The knock-out cascade as a composable protocol step.
+
+    Returns the incoming carry unchanged for survivors; knocked-out nodes
+    (and the rare early leader) halt.
+    """
+
+    name = "reduce"
+
+    def __init__(self, repeats: int = PAPER_REDUCE_REPEATS):
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.repeats = repeats
+
+    def run(self, ctx: NodeContext, carry: Any) -> ProtocolCoroutine:
+        n_hat = float(max(2, ctx.n))
+        for _group in range(lg_lg(ctx.n)):
+            for _attempt in range(self.repeats):
+                if ctx.rng.random() < 1.0 / n_hat:
+                    observation = yield transmit(PRIMARY_CHANNEL, ("knockout",))
+                    if observation.alone:
+                        # Solo broadcast on channel 1: contention resolution
+                        # is solved; this node is the leader.
+                        ctx.mark("reduce:leader", ctx.node_id)
+                        return HALT
+                else:
+                    observation = yield listen(PRIMARY_CHANNEL)
+                    if not observation.silence:
+                        ctx.mark("reduce:knocked_out")
+                        return HALT
+            n_hat = max(2.0, n_hat**0.5)
+        ctx.mark("reduce:survived")
+        return carry
+
+
+class Reduce(Protocol):
+    """Standalone protocol wrapper so Reduce can be run and measured alone."""
+
+    name = "reduce"
+
+    def __init__(self, repeats: int = PAPER_REDUCE_REPEATS):
+        self._step = ReduceStep(repeats=repeats)
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        yield from self._step.run(ctx, None)

@@ -1,0 +1,79 @@
+"""SplitCheck: the two-node binary search of Section 4 (Figure 1).
+
+After the two active nodes hold distinct ids from ``[C]``, consider the
+canonical binary tree ``T_C`` with ``C`` leaves and the root-to-leaf paths
+``P_i`` and ``P_j`` of the two ids.  Define the monotone boolean array
+``B[0..lg C]`` with ``B[m] = 1`` iff the paths share their level-``m`` node;
+``B`` reads ``1...10...0`` and SplitCheck binary-searches for
+``l = min{m : B[m] = 0}``.
+
+Testing position ``m`` takes one round: both nodes transmit on the channel
+indexed by their level-``m`` ancestor's position within its level (the
+pseudocode's ``ceil(id / 2^(lg C - m))``); a collision means the ancestors
+coincide (``B[m] = 1``).  Because both nodes observe the same feedback they
+take identical branches, keeping the search synchronized with no extra
+communication.
+
+The subroutine is deterministic and costs at most
+``bit_length(lg C)`` probe rounds — the ``O(log log C)`` of Lemma 3
+(instances where the collision branch discards the probed level finish
+sooner).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.actions import Action, transmit
+from ..sim.context import NodeContext
+from ..sim.feedback import Observation
+from ..tree.channel_tree import ChannelTree
+
+
+def split_check_rounds_worst_case(height: int) -> int:
+    """Worst-case number of probe rounds on a tree of this height.
+
+    The search keeps an interval ``[lo, hi]`` whose span starts at ``height``
+    and, in the worst case, halves (floor) each probe; the recurrence
+    ``I(s) = 1 + I(floor(s/2))``, ``I(0) = 0`` solves to ``bit_length(s)``.
+    Individual instances can finish sooner (the collision branch discards the
+    probed level itself).
+    """
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    return height.bit_length()
+
+
+def _probe_channel(tree: ChannelTree, leaf_id: int, level: int) -> int:
+    """Channel used to test level ``level``: the ancestor's index in its level.
+
+    Matches the pseudocode's ``ceil(id / 2^(lg C - m))``.
+    """
+    return tree.ancestor_index_in_level(leaf_id, level)
+
+
+def split_check(
+    ctx: NodeContext, tree: ChannelTree, leaf_id: int
+) -> Generator[Action, Observation, int]:
+    """Coroutine implementing SPLITCHECK(0, lg C, id) from Figure 1.
+
+    Args:
+        ctx: the node's context (used only for marks).
+        tree: the C-leaf channel tree.
+        leaf_id: this node's id in ``[C]`` from the renaming step.
+
+    Returns (as the generator's return value): the divergence level
+    ``l = min{m : B[m] = 0}``, identical at both nodes.
+    """
+    lo, hi = 0, tree.height
+    while lo < hi:
+        mid = (lo + hi) // 2
+        observation = yield transmit(_probe_channel(tree, leaf_id, mid), ("probe", mid))
+        if observation.collision:
+            # Shared ancestor at `mid` (B[mid] = 1): answer lies above.
+            lo = mid + 1
+        else:
+            # Distinct ancestors (B[mid] = 0): answer is mid or below.
+            hi = mid
+    ctx.mark("splitcheck:level", lo)
+    return lo

@@ -1,0 +1,102 @@
+"""The TwoActive algorithm of Section 4 (Figure 1).
+
+Solves contention resolution when exactly two of the ``n`` possible nodes
+are active, in ``O(log n / log C + log log n)`` rounds w.h.p. — matching the
+lower bound of Newport (DISC 2014) exactly.
+
+Two steps:
+
+1. **ID reduction.**  Each node repeatedly picks a channel from ``[C]``
+   uniformly at random and transmits on it, using strong collision detection
+   to test whether it is alone.  The two nodes either collide (same channel;
+   both retry) or are both alone (distinct channels; both stop in the same
+   round and adopt their channel label as their new id).  Each attempt
+   succeeds with probability ``1 - 1/C``, so ``O(log n / log C)`` attempts
+   suffice w.h.p. (Lemma 2).
+
+2. **Symmetry breaking.**  :func:`~repro.core.splitcheck.split_check` finds
+   the first tree level where the two ids' root-to-leaf paths diverge; the
+   node whose level-``l`` ancestor is the *left* child of the shared
+   level-``l-1`` parent wins and transmits alone on channel 1
+   (``O(log log C)`` rounds, deterministic — Lemma 3).
+
+Degenerate case ``C = 1`` (or ``n = 1``): the channel tree is trivial, so we
+fall back to classic coin-flipping symmetry breaking on channel 1 — each
+round both nodes independently transmit with probability 1/2 until exactly
+one transmits, which takes ``O(log n)`` rounds w.h.p., matching the
+single-channel lower bound (the multichannel bound degenerates to
+``Omega(log n)`` at ``C = 1``).
+"""
+
+from __future__ import annotations
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+from ..tree.channel_tree import ChannelTree
+from .params import usable_channels_for
+from .splitcheck import split_check
+
+
+class TwoActive(Protocol):
+    """Protocol object for the Section 4 algorithm.
+
+    The protocol is written for the restricted case ``|A| = 2``; its Step 1
+    termination test ("I was alone on my chosen channel") is only guaranteed
+    to synchronize the two steps when exactly two nodes run it.  Tests and
+    benchmarks always activate exactly two nodes for this protocol.
+    """
+
+    name = "two-active"
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        num_channels = usable_channels_for(ctx)
+        if num_channels < 2:
+            yield from _coin_flip_fallback(ctx)
+            return
+
+        tree = ChannelTree(num_channels)
+
+        # -------- Step 1: ID reduction (rename into [C]).
+        attempts = 0
+        while True:
+            attempts += 1
+            candidate = ctx.rng.randint(1, num_channels)
+            observation = yield transmit(candidate, ("claim", candidate))
+            if observation.alone:
+                my_id = candidate
+                break
+        ctx.mark("two_active:renamed", {"id": my_id, "attempts": attempts})
+
+        # -------- Step 2: symmetry breaking via SplitCheck.
+        level = yield from split_check(ctx, tree, my_id)
+
+        # Exactly one of the two nodes' level-`level` ancestors is the left
+        # child of the shared level-(level-1) parent; that node wins.
+        winner = tree.is_left_child(tree.ancestor(my_id, level))
+        if winner:
+            ctx.mark("two_active:winner", my_id)
+            yield transmit(PRIMARY_CHANNEL, ("leader", my_id))
+        else:
+            # The loser merely observes the winner's solo transmission.
+            yield listen(PRIMARY_CHANNEL)
+
+
+def _coin_flip_fallback(ctx: NodeContext) -> ProtocolCoroutine:
+    """Single-channel symmetry breaking for the degenerate ``C = 1`` case.
+
+    Both nodes flip fair coins each round; the first round in which exactly
+    one transmits solves the problem.  Success probability per round is 1/2,
+    so the w.h.p. bound is ``O(log n)`` — optimal at ``C = 1``.
+    """
+    while True:
+        if ctx.rng.random() < 0.5:
+            observation = yield transmit(PRIMARY_CHANNEL, ("flip",))
+            if observation.alone:
+                ctx.mark("two_active:winner", ctx.node_id)
+                return
+        else:
+            observation = yield listen(PRIMARY_CHANNEL)
+            if observation.got_message:
+                return

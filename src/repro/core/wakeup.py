@@ -1,0 +1,73 @@
+"""The Section 3 wake-up transform: nonsimultaneous starts at a 2x cost.
+
+The paper's model assumes all active nodes start in the same round, and
+notes the standard transform to the harder staggered-start model:
+
+    "we can have each node listen for two rounds on channel 1.  If both
+    rounds are silent, it starts running a modified version of the protocol
+    where [the] node broadcasts in the odd rounds (on channel 1) and runs
+    the protocol in the even.  If the node instead hears a collision or
+    message in the first two rounds, it just stop[s] participating."
+
+Why it works: any node that survives its two-round listen must have woken in
+the same round as every other survivor — a node waking even one round later
+would overhear a survivor's alternating channel-1 broadcast during its
+listen window (two consecutive rounds always contain one broadcast round of
+any earlier survivor).  Survivors therefore share a round-parity and run the
+inner protocol in lockstep on the even (relative) rounds, doubling its round
+count; a survivor whose odd-round broadcast happens to be alone solves the
+problem immediately (only possible when it is the only survivor).
+
+The transform costs a factor of 2 plus the two listen rounds, which
+experiment E12 verifies.
+"""
+
+from __future__ import annotations
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+
+
+class WakeupTransform(Protocol):
+    """Wraps any synchronous-start protocol for the staggered-start model."""
+
+    name = "wakeup-transform"
+
+    def __init__(self, inner: Protocol):
+        self.inner = inner
+        self.name = f"wakeup({inner.name})"
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        # ---- Two listen rounds on channel 1.
+        for _ in range(2):
+            observation = yield listen(PRIMARY_CHANNEL)
+            if not observation.silence:
+                # An earlier cohort of survivors is already running; yield
+                # to them by dropping out (their execution will solve).
+                ctx.mark("wakeup:suppressed")
+                return
+
+        ctx.mark("wakeup:survived_listen")
+        inner_coroutine = self.inner.run(ctx)
+        try:
+            inner_action = next(inner_coroutine)
+        except StopIteration:
+            return
+
+        while True:
+            # Odd (relative) round: presence broadcast on channel 1.  If we
+            # are the only survivor this is a solo on the primary channel
+            # and the problem is solved outright.
+            presence = yield transmit(PRIMARY_CHANNEL, ("presence",))
+            if presence.alone:
+                ctx.mark("wakeup:solo_presence")
+                return
+
+            # Even (relative) round: one round of the inner protocol.
+            inner_observation = yield inner_action
+            try:
+                inner_action = inner_coroutine.send(inner_observation)
+            except StopIteration:
+                return

@@ -1,0 +1,72 @@
+"""Experiment modules — one per reproduction target in DESIGN.md's index.
+
+Each module exposes a frozen ``Config`` dataclass, a ``run(config)``
+returning printable tables (plus scalar verdicts), and a ``main()`` for
+command-line use.  The benchmarks under ``benchmarks/`` call ``run`` with
+reduced configurations; ``python -m repro`` runs the full versions.
+"""
+
+from . import (
+    adversarial_search,
+    balls_in_bins,
+    baseline_comparison,
+    channel_utilization,
+    cohort_ablation,
+    expected_time,
+    general_scaling,
+    id_reduction_scaling,
+    kappa_ablation,
+    leaf_election_scaling,
+    lower_bound_ratio,
+    population_trajectory,
+    reduce_knockout,
+    splitcheck_exact,
+    step_breakdown,
+    two_active_scaling,
+    wakeup_transform,
+    whp_validation,
+)
+
+#: Experiment registry: id -> (module, one-line description).
+REGISTRY = {
+    "e1": (two_active_scaling, "TwoActive scaling vs the tight bound (Thm 1 + Lemma 2)"),
+    "e3": (splitcheck_exact, "SplitCheck exhaustive verification (Lemma 3)"),
+    "e4": (reduce_knockout, "Reduce knock-out exit state (Thm 5)"),
+    "e5": (id_reduction_scaling, "IDReduction rounds and exit validity (Thm 6)"),
+    "e6": (balls_in_bins, "Lemma 9 balls-in-bins bound"),
+    "e7": (leaf_election_scaling, "LeafElection scaling (Thm 17, Lemma 16)"),
+    "e8": (cohort_ablation, "Coalescing-cohorts ablation"),
+    "e9": (general_scaling, "General algorithm scaling (Thm 4)"),
+    "e10": (baseline_comparison, "Baseline landscape (Section 2)"),
+    "e11": (lower_bound_ratio, "Tightness vs Newport's lower bound"),
+    "e12": (wakeup_transform, "Wake-up transform 2x cost (Section 3)"),
+    "e13": (whp_validation, "w.h.p. validation at small n"),
+    "e14": (kappa_ablation, "IDReduction knock-constant ablation"),
+    "e15": (expected_time, "Expected-O(1) regime with ~log n channels (conclusion)"),
+    "e16": (population_trajectory, "Figure: active-population trajectory"),
+    "e17": (channel_utilization, "Figure: channel-utilization footprint"),
+    "e18": (step_breakdown, "Figure: per-step round attribution"),
+    "e19": (adversarial_search, "Adversarial activation search (bounded gain)"),
+}
+
+__all__ = [
+    "REGISTRY",
+    "adversarial_search",
+    "balls_in_bins",
+    "baseline_comparison",
+    "channel_utilization",
+    "cohort_ablation",
+    "expected_time",
+    "general_scaling",
+    "id_reduction_scaling",
+    "kappa_ablation",
+    "leaf_election_scaling",
+    "lower_bound_ratio",
+    "population_trajectory",
+    "reduce_knockout",
+    "splitcheck_exact",
+    "step_breakdown",
+    "two_active_scaling",
+    "wakeup_transform",
+    "whp_validation",
+]

@@ -1,0 +1,117 @@
+"""E10 — the comparative landscape of Section 2: who wins, where, by how much.
+
+Head-to-head round counts for:
+
+* ``fnw-general`` — this paper (multi-channel + collision detection);
+* ``binary-search-cd`` — classical ``O(log n)`` single-channel CD algorithm,
+  the best previously known bound for the multichannel+CD setting;
+* ``decay`` — classical ``O(log^2 n)`` single-channel no-CD algorithm;
+* ``daum-multichannel`` — ``O(log^2 n / C + log n)``-shaped multichannel
+  no-CD protocol (simplified; see its module docstring);
+* ``slotted-aloha`` — the historical fixed-probability reference.
+
+The paper's qualitative claims this table must reproduce:
+
+1. with both channels and CD, the general algorithm beats the ``O(log n)``
+   single-channel CD algorithm once ``C`` is large (the
+   ``(loglog n)(logloglog n)`` regime), and never loses badly at small C;
+2. collision detection beats no-CD at every channel count;
+3. extra channels help the no-CD algorithm (Daum < Decay for C > 1);
+4. fixed-probability ALOHA collapses when ``|A| << n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis import Table, run_sweep
+from .common import baseline_trial
+
+DEFAULT_PROTOCOLS = (
+    "fnw-general",
+    "binary-search-cd",
+    "tree-splitting",
+    "decay",
+    "daum-multichannel",
+    "slotted-aloha",
+)
+DEFAULT_NS = (1 << 10, 1 << 13)
+DEFAULT_CS = (1, 8, 64, 512)
+DEFAULT_DENSITIES = (1.0, 0.02)
+
+
+@dataclass(frozen=True)
+class Config:
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    ns: Sequence[int] = DEFAULT_NS
+    cs: Sequence[int] = DEFAULT_CS
+    densities: Sequence[float] = DEFAULT_DENSITIES
+    trials: int = 30
+    master_seed: int = 10
+
+
+@dataclass
+class Outcome:
+    table: Table
+    #: mean rounds keyed by (protocol, n, C, density)
+    means: Dict[tuple, float]
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    grid = [
+        {"protocol": p, "n": n, "C": c, "density": d}
+        for n in config.ns
+        for d in config.densities
+        for c in config.cs
+        for p in config.protocols
+    ]
+
+    def make(params):
+        active = max(2, int(params["n"] * params["density"]))
+        return lambda seed: baseline_trial(
+            params["protocol"], params["n"], params["C"], active, seed
+        )
+
+    sweep = run_sweep(grid, make, trials=config.trials, master_seed=config.master_seed)
+
+    table = Table(
+        ["n", "active", "C"] + [p for p in config.protocols],
+        caption=(
+            "E10: mean rounds to solve, by protocol "
+            "(rows: instance; columns: protocol)"
+        ),
+        digits=1,
+    )
+    means: Dict[tuple, float] = {}
+    for cell in sweep.cells:
+        p = cell.params["protocol"]
+        key = (
+            p,
+            cell.params["n"],
+            cell.params["C"],
+            cell.params["density"],
+        )
+        means[key] = cell.summary("rounds").mean
+
+    for n in config.ns:
+        for d in config.densities:
+            active = max(2, int(n * d))
+            for c in config.cs:
+                row: List = [n, active, c]
+                for p in config.protocols:
+                    row.append(means[(p, n, c, d)])
+                table.add_row(*row)
+    return Outcome(table=table, means=means)
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+
+
+if __name__ == "__main__":
+    main()

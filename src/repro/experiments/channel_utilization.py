@@ -1,0 +1,184 @@
+"""E17 (figure) — where each step spends its channel budget.
+
+A spatial companion to E16's temporal view: total participant-rounds per
+channel.  Because a solo on channel 1 inside Reduce usually ends a full
+pipeline run (the model hands out victory at the first solo), the
+interesting footprints are *per step*; each has a distinctive signature the
+paper's structure predicts:
+
+* **Full pipeline** — channel 1 dominates (Reduce and the confirmation/
+  knock-out rounds live there);
+* **IDReduction** (standalone) — renaming transmissions spread uniformly
+  over channels ``1..C/2``, plus the channel-1 coordination rounds;
+* **LeafElection** (standalone) — only tree-node channels ``1..C-1`` are
+  used, and the busiest channel is a *row channel* (a power-of-two index):
+  CheckLevel's echo round puts one node per cohort on the probed level's
+  row channel, so deep levels — probed by every cohort in every early
+  search — accumulate the most traffic.  (A measured detail the pseudocode
+  alone would not make obvious.)
+
+Verdicts: channel 1 is the busiest in the pipeline and IDReduction
+footprints; IDReduction touches every channel in ``[C/2]``; LeafElection
+touches no channel beyond ``C - 1``, spreads over a majority of tree
+channels, and its busiest channel is a row channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis import Table
+from ..core import FNWGeneral, IDReduction, LeafElection, usable_channels
+from ..protocols import solve
+from ..sim import Activation, activate_random
+from ..sim.rng import derive_seed
+from ..viz import horizontal_bars
+
+
+@dataclass(frozen=True)
+class Config:
+    n: int = 1 << 12
+    num_channels: int = 32
+    active_count: int = 700
+    trials: int = 50
+    master_seed: int = 17
+
+
+@dataclass
+class Outcome:
+    table: Table
+    bars: str
+    footprints: Dict[str, Dict[int, int]]
+    primary_busiest: bool
+    id_reduction_covers_half_c: bool
+    leaf_election_within_tree: bool
+    leaf_election_busiest_is_row_channel: bool
+    leaf_election_spread: float
+
+
+def _accumulate(usage: Dict[int, int], result) -> None:
+    for channel, count in result.trace.channel_utilization().items():
+        usage[channel] = usage.get(channel, 0) + count
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    normalized = usable_channels(config.n, config.num_channels)
+    half = normalized // 2
+    rng = random.Random(derive_seed(config.master_seed, 0xE17))
+
+    footprints: Dict[str, Dict[int, int]] = {
+        "pipeline": {},
+        "id_reduction": {},
+        "leaf_election": {},
+    }
+
+    for seed in range(config.trials):
+        base_seed = config.master_seed * 10_000 + seed
+
+        result = solve(
+            FNWGeneral(),
+            n=config.n,
+            num_channels=config.num_channels,
+            activation=activate_random(config.n, config.active_count, seed=seed),
+            seed=base_seed,
+            record_trace=True,
+            stop_on_solve=False,
+        )
+        _accumulate(footprints["pipeline"], result)
+
+        result = solve(
+            IDReduction(),
+            n=config.n,
+            num_channels=config.num_channels,
+            activation=activate_random(config.n, 14, seed=seed),
+            seed=base_seed,
+            record_trace=True,
+            stop_on_solve=False,
+        )
+        _accumulate(footprints["id_reduction"], result)
+
+        occupied = rng.sample(range(1, half + 1), max(2, half // 2))
+        assignment = {index + 1: leaf for index, leaf in enumerate(occupied)}
+        result = solve(
+            LeafElection(assignment),
+            n=config.n,
+            num_channels=config.num_channels,
+            activation=Activation(active_ids=sorted(assignment)),
+            seed=base_seed,
+            record_trace=True,
+        )
+        _accumulate(footprints["leaf_election"], result)
+
+    table = Table(
+        ["footprint", "channels_touched", "busiest", "busiest_share", "max_channel"],
+        caption=(
+            f"E17: per-step channel footprints (n={config.n}, "
+            f"C={config.num_channels} -> normalized {normalized}, "
+            f"{config.trials} runs each)"
+        ),
+    )
+    for name, usage in footprints.items():
+        total = sum(usage.values())
+        busiest = max(usage, key=lambda channel: usage[channel])
+        table.add_row(
+            name,
+            len(usage),
+            busiest,
+            usage[busiest] / total,
+            max(usage),
+        )
+
+    leaf_usage = footprints["leaf_election"]
+    id_usage = footprints["id_reduction"]
+    tree_channels = normalized - 1  # a tree with C/2 leaves has C-1 nodes
+    outcome = Outcome(
+        table=table,
+        bars=horizontal_bars(
+            [f"ch{c}" for c in sorted(leaf_usage)][:16],
+            [leaf_usage[c] for c in sorted(leaf_usage)][:16],
+            unit="",
+        ),
+        footprints=footprints,
+        primary_busiest=all(
+            max(usage, key=lambda channel: usage[channel]) == 1
+            for name, usage in footprints.items()
+            if name != "leaf_election"
+        ),
+        leaf_election_busiest_is_row_channel=(
+            (busiest_leaf := max(leaf_usage, key=lambda ch: leaf_usage[ch]))
+            & (busiest_leaf - 1)
+        )
+        == 0,
+        id_reduction_covers_half_c=all(
+            id_usage.get(channel, 0) > 0 for channel in range(1, half + 1)
+        ),
+        leaf_election_within_tree=max(leaf_usage) <= tree_channels,
+        leaf_election_spread=sum(
+            1 for channel in range(1, tree_channels + 1) if leaf_usage.get(channel)
+        )
+        / tree_channels,
+    )
+    return outcome
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print("LeafElection footprint (first 16 channels):")
+    print(outcome.bars)
+    print(
+        f"channel 1 busiest (pipeline, IDReduction): {outcome.primary_busiest}; "
+        f"IDReduction covers all of [C/2]: {outcome.id_reduction_covers_half_c}; "
+        f"LeafElection within tree channels: {outcome.leaf_election_within_tree}, "
+        f"busiest is a row channel: {outcome.leaf_election_busiest_is_row_channel}, "
+        f"spread {outcome.leaf_election_spread:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

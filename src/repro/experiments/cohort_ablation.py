@@ -1,0 +1,114 @@
+"""E8 — ablation of the paper's headline technique: coalescing cohorts.
+
+LeafElection's cohorts exist for one purpose: to turn each phase's binary
+search (``O(log h)`` rounds) into a ``(p+1)``-ary search (``O(log h / log p)``
+rounds).  Without them the total is ``O(log h * log x)``; with them it is
+``O(log h * log log x)`` — the difference between the paper's result and the
+obvious algorithm.
+
+We run LeafElection twice per instance — identical leaves, identical seeds —
+once with cohort search and once forced down to binary search, and report
+rounds for both plus the speedup.  The speedup must grow with ``x`` (more
+phases means bigger cohorts doing more of the work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis import Table, run_sweep
+from .common import leaf_election_trial
+
+DEFAULT_GRID: Tuple[Tuple[int, int], ...] = (
+    (256, 8),
+    (256, 32),
+    (256, 128),
+    (1024, 32),
+    (1024, 128),
+    (1024, 512),
+)
+
+
+@dataclass(frozen=True)
+class Config:
+    grid: Sequence[Tuple[int, int]] = DEFAULT_GRID
+    trials: int = 60
+    master_seed: int = 8
+
+
+@dataclass
+class Outcome:
+    table: Table
+    speedups: List[float]
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    grid = [{"C": c, "x": x} for c, x in config.grid]
+
+    cohort = run_sweep(
+        grid,
+        lambda params: (
+            lambda seed: leaf_election_trial(
+                params["C"], params["x"], seed, use_cohort_search=True
+            )
+        ),
+        trials=config.trials,
+        master_seed=config.master_seed,
+    )
+    binary = run_sweep(
+        grid,
+        lambda params: (
+            lambda seed: leaf_election_trial(
+                params["C"], params["x"], seed, use_cohort_search=False
+            )
+        ),
+        trials=config.trials,
+        master_seed=config.master_seed,
+    )
+
+    table = Table(
+        [
+            "C",
+            "x",
+            "cohort_rounds",
+            "binary_rounds",
+            "speedup",
+            "cohort_iters",
+            "binary_iters",
+        ],
+        caption=(
+            "E8: coalescing-cohort (p+1)-ary search vs forced binary search "
+            "(same instances, same seeds)"
+        ),
+    )
+    speedups: List[float] = []
+    for cohort_cell, binary_cell in zip(cohort.cells, binary.cells):
+        c, x = cohort_cell.params["C"], cohort_cell.params["x"]
+        cohort_rounds = cohort_cell.summary("rounds").mean
+        binary_rounds = binary_cell.summary("rounds").mean
+        speedup = binary_rounds / cohort_rounds
+        table.add_row(
+            c,
+            x,
+            cohort_rounds,
+            binary_rounds,
+            speedup,
+            cohort_cell.summary("search_iterations").mean,
+            binary_cell.summary("search_iterations").mean,
+        )
+        speedups.append(speedup)
+    return Outcome(table=table, speedups=speedups)
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(f"speedups: {['%.2f' % s for s in outcome.speedups]}")
+
+
+if __name__ == "__main__":
+    main()

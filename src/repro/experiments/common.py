@@ -1,0 +1,254 @@
+"""Shared trial runners used by the experiment modules and benchmarks.
+
+Each function runs one seeded execution and returns a flat metrics mapping
+(always including ``"rounds"``), in the shape
+:mod:`repro.analysis.sweep` expects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from ..baselines import (
+    BinarySearchCD,
+    DaumMultiChannel,
+    Decay,
+    SlottedAloha,
+    TreeSplitting,
+)
+from ..core import (
+    FNWGeneral,
+    GeneralParams,
+    IDReduction,
+    LeafElection,
+    Reduce,
+    TwoActive,
+    WakeupTransform,
+    usable_channels,
+)
+from ..protocols import Protocol, solve
+from ..sim import Activation, activate_pair, activate_random, staggered
+from ..sim.rng import derive_seed
+
+
+def two_active_trial(n: int, num_channels: int, seed: int) -> Mapping[str, float]:
+    """One TwoActive execution on a random pair.
+
+    Reports two round counts:
+
+    * ``rounds`` — when the problem was solved, i.e. the first solo on
+      channel 1.  This can happen *before* the algorithm finishes: a Step-1
+      renaming transmission that lands alone on channel 1 already solves the
+      problem.  This is the honest headline number.
+    * ``completion_rounds`` — when the algorithm itself finished (winner's
+      deliberate final transmission); this is the quantity whose shape
+      Theorem 1 bounds, so scaling checks use it.
+    """
+    activation = activate_pair(n, seed=seed)
+    result = solve(
+        TwoActive(),
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+        stop_on_solve=False,
+    )
+    metrics: Dict[str, float] = {
+        "rounds": float(result.solved_round if result.solved_round else result.rounds),
+        "completion_rounds": float(result.rounds),
+        "solved": float(result.solved),
+    }
+    attempts = [
+        m.payload["attempts"] for m in result.trace.marks_with_label("two_active:renamed")
+    ]
+    if attempts:
+        metrics["rename_attempts"] = float(max(attempts))
+    return metrics
+
+
+def general_trial(
+    n: int,
+    num_channels: int,
+    active_count: int,
+    seed: int,
+    *,
+    params: Optional[GeneralParams] = None,
+) -> Mapping[str, float]:
+    """One full-pipeline execution of the Section 5 algorithm."""
+    activation = activate_random(n, active_count, seed=seed)
+    result = solve(
+        FNWGeneral(params=params),
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+    )
+    labels = {m.label for m in result.trace.marks}
+    return {
+        "rounds": float(result.rounds),
+        "solved": float(result.solved),
+        "reached_id_reduction": float("step:id_reduction:begin" in labels),
+        "reached_leaf_election": float("step:leaf_election:begin" in labels),
+    }
+
+
+def reduce_trial(n: int, active_count: int, seed: int, *, repeats: int = 2) -> Mapping[str, float]:
+    """One Reduce execution run to completion (not stopped at a solve), so
+    the survivor count of Theorem 5 is observable."""
+    activation = activate_random(n, active_count, seed=seed)
+    result = solve(
+        Reduce(repeats=repeats),
+        n=n,
+        num_channels=1,
+        activation=activation,
+        seed=seed,
+        stop_on_solve=False,
+    )
+    survivors = len(result.trace.marks_with_label("reduce:survived"))
+    leaders = len(result.trace.marks_with_label("reduce:leader"))
+    return {
+        "rounds": float(result.rounds),
+        "survivors": float(survivors),
+        "leaders": float(leaders),
+        # Theorem 5's "active nodes when REDUCE terminates": survivors, or
+        # the early leader when the cascade ended the execution by winning.
+        "final_active": float(survivors if survivors > 0 else leaders),
+    }
+
+
+def id_reduction_trial(
+    n: int,
+    num_channels: int,
+    active_count: int,
+    seed: int,
+    *,
+    params: Optional[GeneralParams] = None,
+) -> Mapping[str, float]:
+    """One standalone IDReduction run; validates the exit state too."""
+    activation = activate_random(n, active_count, seed=seed)
+    result = solve(
+        IDReduction(params=params),
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+        stop_on_solve=False,
+    )
+    renamed = [
+        m.payload["id"] for m in result.trace.marks_with_label("id_reduction:renamed")
+    ]
+    half = usable_channels(n, num_channels) // 2
+    valid = (
+        len(renamed) >= 1
+        and len(set(renamed)) == len(renamed)
+        and len(renamed) <= half
+        and all(1 <= r <= half for r in renamed)
+    )
+    # A lone renaming adoption is a solo on channel 1; with stop_on_solve
+    # off the run continues, but the round count of interest is termination.
+    return {
+        "rounds": float(result.rounds),
+        "renamed_count": float(len(renamed)),
+        "valid_exit": float(valid),
+    }
+
+
+def leaf_election_trial(
+    num_channels: int,
+    occupied: int,
+    seed: int,
+    *,
+    use_cohort_search: bool = True,
+    adjacent: bool = False,
+) -> Mapping[str, float]:
+    """One standalone LeafElection run from a random (or adjacent) leaf set.
+
+    Reports rounds, phase count, and total SplitSearch iterations.
+    """
+    leaves_available = usable_channels(num_channels, num_channels) // 2
+    if occupied > leaves_available:
+        raise ValueError(
+            f"cannot occupy {occupied} of {leaves_available} leaves"
+        )
+    rng = random.Random(derive_seed(seed, num_channels, occupied, 0x1EAF))
+    if adjacent:
+        start = rng.randint(1, leaves_available - occupied + 1)
+        leaves = list(range(start, start + occupied))
+    else:
+        leaves = rng.sample(range(1, leaves_available + 1), occupied)
+    assignment = {index + 1: leaf for index, leaf in enumerate(leaves)}
+    protocol = LeafElection(assignment, use_cohort_search=use_cohort_search)
+    result = solve(
+        protocol,
+        n=max(num_channels, occupied),
+        num_channels=num_channels,
+        activation=Activation(active_ids=sorted(assignment)),
+        seed=seed,
+    )
+    phases = {m.payload["phase"] for m in result.trace.marks_with_label("leaf_election:phase")}
+    # The winner participates in every phase, so its per-phase search
+    # iterations add up to the execution's full search cost.
+    iterations = sum(
+        m.payload
+        for m in result.trace.marks_with_label("leaf_election:search_iterations")
+        if m.node_id == result.winner
+    )
+    return {
+        "rounds": float(result.rounds),
+        "solved": float(result.solved),
+        "phases": float(max(phases) if phases else 0),
+        "search_iterations": float(iterations),
+    }
+
+
+def baseline_trial(
+    protocol_name: str,
+    n: int,
+    num_channels: int,
+    active_count: int,
+    seed: int,
+) -> Mapping[str, float]:
+    """One execution of a named protocol (ours or a baseline)."""
+    protocol = make_protocol(protocol_name)
+    activation = activate_random(n, active_count, seed=seed)
+    result = solve(
+        protocol, n=n, num_channels=num_channels, activation=activation, seed=seed
+    )
+    return {"rounds": float(result.rounds), "solved": float(result.solved)}
+
+
+def make_protocol(name: str) -> Protocol:
+    """Protocol registry used by benchmarks and the CLI."""
+    registry = {
+        "fnw-general": lambda: FNWGeneral(),
+        "two-active": lambda: TwoActive(),
+        "binary-search-cd": lambda: BinarySearchCD(),
+        "decay": lambda: Decay(),
+        "daum-multichannel": lambda: DaumMultiChannel(),
+        "slotted-aloha": lambda: SlottedAloha(),
+        "tree-splitting": lambda: TreeSplitting(),
+    }
+    if name not in registry:
+        raise KeyError(f"unknown protocol {name!r}; known: {sorted(registry)}")
+    return registry[name]()
+
+
+def wakeup_trial(
+    n: int,
+    num_channels: int,
+    active_count: int,
+    max_delay: int,
+    seed: int,
+) -> Mapping[str, float]:
+    """One staggered-start execution of the transformed general algorithm."""
+    base = activate_random(n, active_count, seed=seed)
+    activation = staggered(base, max_delay=max_delay, seed=seed)
+    result = solve(
+        WakeupTransform(FNWGeneral()),
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+    )
+    return {"rounds": float(result.rounds), "solved": float(result.solved)}

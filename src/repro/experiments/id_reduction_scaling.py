@@ -1,0 +1,125 @@
+"""E5 — Theorem 6 / Corollary 8 / Lemma 10: IDReduction.
+
+Starting from ``|A| = O(log n)`` survivors (we feed it ``Theta(log n)``
+actives directly, as Reduce guarantees), IDReduction must terminate in
+``O(log n / log C)`` rounds w.h.p., leaving at most ``C/2`` active nodes
+holding distinct ids from ``[C/2]``.
+
+We measure, over a grid of ``(n, C)``:
+
+* rounds to termination (mean and p99) against the predictor
+  ``log n / log C``;
+* the exit-state validity rate (distinct ids, in range, at most ``C/2``) —
+  must be 1.0;
+* the number of renamed survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis import Table, ratio_spread, run_sweep
+from ..analysis.predictors import id_reduction_bound
+from ..mathutil import ceil_log2
+from .common import id_reduction_trial
+
+DEFAULT_NS = (1 << 8, 1 << 12, 1 << 16, 1 << 20)
+DEFAULT_CS = (16, 64, 256)
+
+
+@dataclass(frozen=True)
+class Config:
+    ns: Sequence[int] = DEFAULT_NS
+    cs: Sequence[int] = DEFAULT_CS
+    #: Actives fed in, as a multiple of log2(n) (Theorem 6 assumes O(log n)).
+    log_multiplier: float = 1.0
+    trials: int = 150
+    master_seed: int = 6
+
+
+@dataclass
+class Outcome:
+    table: Table
+    ratio_min: float = 0.0
+    ratio_max: float = 0.0
+    all_valid: bool = True
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    grid = [{"n": n, "C": c} for n in config.ns for c in config.cs]
+
+    def make(params):
+        active = max(2, int(config.log_multiplier * ceil_log2(params["n"])))
+        return lambda seed: id_reduction_trial(
+            params["n"], params["C"], active, seed
+        )
+
+    sweep = run_sweep(grid, make, trials=config.trials, master_seed=config.master_seed)
+
+    table = Table(
+        [
+            "n",
+            "C",
+            "active_in",
+            "rounds_mean",
+            "rounds_p99",
+            "renamed_mean",
+            "valid_rate",
+            "predicted",
+            "ratio",
+        ],
+        caption=(
+            "E5: IDReduction rounds vs log n/log C (Theorem 6), with exit-state "
+            "validity (unique ids in [C/2])"
+        ),
+    )
+    measured: List[float] = []
+    predictions: List[float] = []
+    all_valid = True
+    for cell in sweep.cells:
+        n, c = cell.params["n"], cell.params["C"]
+        active = max(2, int(config.log_multiplier * ceil_log2(n)))
+        rounds = cell.summary("rounds")
+        renamed = cell.summary("renamed_count")
+        valid = cell.summary("valid_exit").mean
+        bound = id_reduction_bound(n, c)
+        table.add_row(
+            n,
+            c,
+            active,
+            rounds.mean,
+            rounds.p99,
+            renamed.mean,
+            valid,
+            bound,
+            rounds.mean / bound,
+        )
+        measured.append(rounds.mean)
+        predictions.append(bound)
+        if valid < 1.0:
+            all_valid = False
+
+    spread = ratio_spread(measured, predictions)
+    return Outcome(
+        table=table,
+        ratio_min=spread.minimum,
+        ratio_max=spread.maximum,
+        all_valid=all_valid,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(
+        f"ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}]; "
+        f"exit state always valid: {outcome.all_valid}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""E7 — Theorem 17 and Lemma 16: LeafElection scaling.
+
+Theorem 17: starting from ``x`` nodes at distinct leaves of the channel
+tree, LeafElection elects a leader in ``O(log h * log log x)`` rounds,
+``h = lg C``.  Lemma 16: the phase-``i`` search costs ``O((1/i) * log h)``
+rounds, because phase-``i`` cohorts have ``2^{i-1}`` members running a
+``(2^{i-1}+1)``-ary search.
+
+Measurements over a grid of ``(C, x)`` with both random and adjacent
+(worst-case, shared-prefix) leaf sets:
+
+* total rounds vs the predictor ``log h * log log x`` — flat ratio;
+* phase count vs the exact ``<= lg x + 1`` of Corollary 15;
+* per-phase SplitSearch iterations, which must be non-increasing in the
+  phase index (the coalescing-cohorts acceleration in action).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis import Table, ratio_spread, run_sweep, summarize
+from ..analysis.predictors import leaf_election_bound
+from ..core import usable_channels
+from ..sim import run_execution
+from .common import leaf_election_trial
+
+DEFAULT_GRID: Tuple[Tuple[int, int], ...] = (
+    (64, 4),
+    (64, 16),
+    (64, 32),
+    (256, 16),
+    (256, 64),
+    (1024, 64),
+    (1024, 256),
+)
+
+
+@dataclass(frozen=True)
+class Config:
+    #: (C, x) cells; x must be at most C/2.
+    grid: Sequence[Tuple[int, int]] = DEFAULT_GRID
+    trials: int = 100
+    adjacent: bool = False
+    master_seed: int = 17
+
+
+@dataclass
+class Outcome:
+    table: Table
+    per_phase_table: Table
+    ratio_min: float = 0.0
+    ratio_max: float = 0.0
+    phase_bound_ok: bool = True
+
+
+def per_phase_iterations(num_channels: int, occupied: int, seed: int) -> Dict[int, int]:
+    """Phase -> SplitSearch iterations, for one full-occupancy-style run."""
+    from ..core import LeafElection  # local import to avoid cycles
+    import random
+    from ..sim.rng import derive_seed
+
+    leaves_available = usable_channels(num_channels, num_channels) // 2
+    rng = random.Random(derive_seed(seed, num_channels, occupied, 0xFA5E))
+    leaves = rng.sample(range(1, leaves_available + 1), occupied)
+    assignment = {index + 1: leaf for index, leaf in enumerate(leaves)}
+    result = run_execution(
+        LeafElection(assignment),
+        n=num_channels,
+        num_channels=num_channels,
+        active_ids=sorted(assignment),
+        seed=seed,
+    )
+    winner = result.winner
+    phases: Dict[int, int] = {}
+    pending_phase = None
+    for mark in result.trace.marks:
+        if mark.node_id != winner:
+            continue
+        if mark.label == "leaf_election:phase":
+            pending_phase = mark.payload["phase"]
+        elif mark.label == "leaf_election:search_iterations" and pending_phase:
+            phases[pending_phase] = mark.payload
+    return phases
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    grid = [{"C": c, "x": x} for c, x in config.grid]
+    sweep = run_sweep(
+        grid,
+        lambda params: (
+            lambda seed: leaf_election_trial(
+                params["C"], params["x"], seed, adjacent=config.adjacent
+            )
+        ),
+        trials=config.trials,
+        master_seed=config.master_seed,
+    )
+
+    table = Table(
+        [
+            "C",
+            "x",
+            "rounds_mean",
+            "rounds_max",
+            "phases_mean",
+            "phase_bound",
+            "predicted",
+            "ratio",
+        ],
+        caption=(
+            "E7: LeafElection rounds vs log h * log log x (Theorem 17); "
+            "phases vs lg x + 1 (Corollary 15)"
+        ),
+    )
+    measured: List[float] = []
+    predictions: List[float] = []
+    phase_bound_ok = True
+    for cell in sweep.cells:
+        c, x = cell.params["C"], cell.params["x"]
+        rounds = cell.summary("rounds")
+        phases = cell.summary("phases")
+        phase_bound = (max(1, x - 1)).bit_length() + 1
+        bound = leaf_election_bound(c, x)
+        table.add_row(
+            c, x, rounds.mean, rounds.maximum, phases.mean, phase_bound, bound,
+            rounds.mean / bound,
+        )
+        measured.append(rounds.mean)
+        predictions.append(bound)
+        if phases.maximum > phase_bound:
+            phase_bound_ok = False
+
+    spread = ratio_spread(measured, predictions)
+
+    # ---- Lemma 16: per-phase search iterations shrink with the phase index.
+    big_c, big_x = max(config.grid, key=lambda cx: cx[0] * cx[1])
+    per_phase: Dict[int, List[int]] = {}
+    for seed in range(min(40, config.trials)):
+        for phase, iterations in per_phase_iterations(
+            big_c, big_x, config.master_seed * 1000 + seed
+        ).items():
+            per_phase.setdefault(phase, []).append(iterations)
+    per_phase_table = Table(
+        ["phase", "cohort_size", "search_iterations_mean", "lemma16_shape_1_over_i"],
+        caption=(
+            f"E7b: per-phase SplitSearch iterations at C={big_c}, x={big_x} "
+            "(Lemma 16: cost shrinks as the cohorts grow)"
+        ),
+    )
+    first_mean = None
+    for phase in sorted(per_phase):
+        mean = summarize(per_phase[phase]).mean
+        if first_mean is None:
+            first_mean = mean
+        per_phase_table.add_row(
+            phase, 1 << (phase - 1), mean, first_mean / phase
+        )
+
+    return Outcome(
+        table=table,
+        per_phase_table=per_phase_table,
+        ratio_min=spread.minimum,
+        ratio_max=spread.maximum,
+        phase_bound_ok=phase_bound_ok,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    outcome.per_phase_table.print()
+    print(
+        f"ratio band: [{outcome.ratio_min:.2f}, {outcome.ratio_max:.2f}]; "
+        f"phase bound respected: {outcome.phase_bound_ok}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""E16 (figure) — the active-population trajectory through the pipeline.
+
+The paper's Section 5 narrative is a story about *population*: ``|A|`` drops
+to ``O(log n)`` in Reduce, to ``<= C/2`` uniquely-named survivors in
+IDReduction, then halves (at least) per LeafElection phase.  This experiment
+renders that story as a measured series: mean active count per round, with
+the step boundaries marked — the repository's equivalent of the "population
+vs time" figure such papers typically sketch.
+
+Verdicts: the trajectory is non-increasing; by the end of Reduce's fixed
+schedule the mean population is below ``alpha * log n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis import Table
+from ..core import FNWGeneral
+from ..core.reduce import reduce_round_count
+from ..mathutil import ceil_log2
+from ..protocols import solve
+from ..sim import activate_all
+from ..viz import sparkline
+
+
+@dataclass(frozen=True)
+class Config:
+    n: int = 1 << 12
+    num_channels: int = 64
+    trials: int = 40
+    master_seed: int = 16
+
+
+@dataclass
+class Outcome:
+    table: Table
+    sparkline: str
+    mean_series: List[float]
+    non_increasing: bool
+    reduce_target_met: bool
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    per_round: Dict[int, List[int]] = {}
+    longest = 0
+    for seed in range(config.trials):
+        result = solve(
+            FNWGeneral(),
+            n=config.n,
+            num_channels=config.num_channels,
+            activation=activate_all(config.n),
+            seed=config.master_seed * 10_000 + seed,
+            record_trace=True,
+            stop_on_solve=False,
+        )
+        for record in result.trace.rounds:
+            per_round.setdefault(record.round_index, []).append(record.active_count)
+        longest = max(longest, len(result.trace.rounds))
+
+    mean_series: List[float] = []
+    for round_index in range(1, longest + 1):
+        counts = per_round.get(round_index, [])
+        # Runs that already ended contribute zero active nodes.
+        total = sum(counts)
+        mean_series.append(total / config.trials)
+
+    reduce_end = reduce_round_count(config.n)
+    table = Table(
+        ["round", "mean_active", "phase"],
+        caption=(
+            f"E16: mean active population per round (n={config.n}, dense "
+            f"activation, C={config.num_channels}; Reduce occupies rounds "
+            f"1..{reduce_end})"
+        ),
+    )
+    for index, value in enumerate(mean_series, start=1):
+        phase = "reduce" if index <= reduce_end else "rename/elect"
+        table.add_row(index, value, phase)
+
+    non_increasing = all(
+        earlier >= later - 1e-9
+        for earlier, later in zip(mean_series, mean_series[1:])
+    )
+    at_reduce_end = mean_series[min(reduce_end, len(mean_series)) - 1]
+    reduce_target_met = at_reduce_end <= 4 * ceil_log2(config.n)
+
+    return Outcome(
+        table=table,
+        sparkline=sparkline(mean_series),
+        mean_series=mean_series,
+        non_increasing=non_increasing,
+        reduce_target_met=reduce_target_met,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(f"trajectory: {outcome.sparkline}")
+    print(
+        f"non-increasing: {outcome.non_increasing}; "
+        f"O(log n) by end of Reduce: {outcome.reduce_target_met}"
+    )
+
+
+if __name__ == "__main__":
+    main()

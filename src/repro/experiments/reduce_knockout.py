@@ -1,0 +1,105 @@
+"""E4 — Theorem 5: Reduce leaves between 1 and ``alpha * beta * log n``
+active nodes, in ``Theta(log log n)`` rounds.
+
+We run the knock-out cascade to completion (the execution is *not* stopped
+when an early lone broadcaster happens to solve the problem — Theorem 5 is
+about the cascade's exit state) and measure:
+
+* the distribution of final active counts across seeds, normalized by
+  ``log n`` — Theorem 5 predicts a bounded normalized value and a floor of 1;
+* the fixed round count ``reduce_repeats * ceil(lg lg n)``;
+* the empirical frequency of the bad events (0 survivors is impossible by
+  construction; > alpha*log n survivors should be polynomially rare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis import Table, run_sweep
+from ..core.reduce import reduce_round_count
+from ..mathutil import ceil_log2
+from .common import reduce_trial
+
+#: Dense instances simulate every node, so n is capped where that stays fast.
+DEFAULT_NS = (1 << 8, 1 << 11, 1 << 14)
+
+
+@dataclass(frozen=True)
+class Config:
+    ns: Sequence[int] = DEFAULT_NS
+    #: Active counts as fractions of n (1.0 = everyone; Theorem 5 covers any).
+    densities: Sequence[float] = (1.0, 0.1)
+    trials: int = 150
+    repeats: int = 2
+    #: The empirical alpha: survivors above alpha*log n count as failures.
+    alpha: float = 4.0
+    master_seed: int = 5
+
+
+def run(config: Config = Config()) -> Table:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    grid = [
+        {"n": n, "density": d}
+        for n in config.ns
+        for d in config.densities
+    ]
+    sweep = run_sweep(
+        grid,
+        lambda params: (
+            lambda seed: reduce_trial(
+                params["n"],
+                max(2, int(params["n"] * params["density"])),
+                seed,
+                repeats=config.repeats,
+            )
+        ),
+        trials=config.trials,
+        master_seed=config.master_seed,
+    )
+
+    table = Table(
+        [
+            "n",
+            "active",
+            "rounds",
+            "survivors_mean",
+            "survivors_max",
+            "norm_by_log_n",
+            "exceed_alpha_log_n",
+            "min_final_active",
+        ],
+        caption=(
+            "E4: Reduce exit state vs Theorem 5 "
+            "(1 <= survivors <= alpha*beta*log n, in O(log log n) rounds)"
+        ),
+    )
+    for cell in sweep.cells:
+        n = cell.params["n"]
+        active = max(2, int(n * cell.params["density"]))
+        log_n = ceil_log2(n)
+        finals = cell.metric("final_active")
+        survivors = cell.summary("final_active")
+        exceed = sum(1 for s in finals if s > config.alpha * log_n) / len(finals)
+        table.add_row(
+            n,
+            active,
+            reduce_round_count(n, config.repeats),
+            survivors.mean,
+            survivors.maximum,
+            survivors.mean / log_n,
+            exceed,
+            min(finals),
+        )
+    return table
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""E18 (figure) — where the general algorithm's rounds go, step by step.
+
+Theorem 4's bound is a sum of three step costs:
+``Reduce = O(log log n)``, ``IDReduction = O(log n / log C)``,
+``LeafElection = O(log log n * log log log n)``.  This experiment attributes
+every measured round to its step (via the composition marks) and reports,
+per ``(n, C)``:
+
+* how often the run *ends* inside each step (a solo on channel 1 ends the
+  problem wherever it happens — usually inside Reduce, per Figure 2's
+  "become leader and terminate" rule);
+* the mean rounds spent inside each step, conditional on entering it.
+
+Verdicts: Reduce's span never exceeds its fixed ``2*ceil(lg lg n)``
+schedule, and total = sum of the parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import Table, summarize
+from ..core import FNWGeneral
+from ..core.reduce import reduce_round_count
+from ..protocols import solve
+from ..sim import activate_random
+
+
+@dataclass(frozen=True)
+class Config:
+    ns: Sequence[int] = (1 << 10, 1 << 14)
+    cs: Sequence[int] = (16, 256)
+    #: |A| as an absolute count (kept moderate so later steps get exercised).
+    active_count: int = 600
+    trials: int = 120
+    master_seed: int = 18
+
+
+@dataclass
+class StepSpans:
+    """Round spans of one execution's steps (None = step not entered)."""
+
+    reduce: int
+    id_reduction: Optional[int]
+    leaf_election: Optional[int]
+    total: int
+
+    @property
+    def ended_in(self) -> str:
+        """Name of the step the execution ended in."""
+        if self.leaf_election is not None:
+            return "leaf_election"
+        if self.id_reduction is not None:
+            return "id_reduction"
+        return "reduce"
+
+
+@dataclass
+class Outcome:
+    table: Table
+    spans: Dict[tuple, List[StepSpans]]
+    reduce_within_schedule: bool
+    spans_sum_to_total: bool
+
+
+def measure_spans(n: int, num_channels: int, active_count: int, seed: int) -> StepSpans:
+    """Run one execution and attribute its rounds to steps via marks.
+
+    A ``step:<name>:begin`` mark is stamped with the round in which the
+    *previous* step returned (the coroutine advances within that round's
+    observation delivery), so step N+1's first own round is ``mark + 1``;
+    the first step's begin mark carries its own first round.
+    """
+    result = solve(
+        FNWGeneral(),
+        n=n,
+        num_channels=num_channels,
+        activation=activate_random(n, active_count, seed=seed),
+        seed=seed,
+    )
+    total = result.solved_round or result.rounds
+    id_begin = result.trace.first_mark_round("step:id_reduction:begin")
+    leaf_begin = result.trace.first_mark_round("step:leaf_election:begin")
+    if id_begin is None:
+        return StepSpans(reduce=total, id_reduction=None, leaf_election=None, total=total)
+    reduce_span = id_begin  # Reduce ran rounds 1..id_begin
+    if leaf_begin is None:
+        return StepSpans(
+            reduce=reduce_span,
+            id_reduction=total - id_begin,
+            leaf_election=None,
+            total=total,
+        )
+    return StepSpans(
+        reduce=reduce_span,
+        id_reduction=leaf_begin - id_begin,
+        leaf_election=total - leaf_begin,
+        total=total,
+    )
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the experiment at the given configuration and return its tables
+    and verdicts (see the module docstring for what is reproduced)."""
+    table = Table(
+        [
+            "n",
+            "C",
+            "ends_reduce",
+            "ends_idred",
+            "ends_leaf",
+            "reduce_mean",
+            "idred_mean",
+            "leaf_mean",
+            "total_mean",
+        ],
+        caption=(
+            "E18: per-step round attribution for the general algorithm "
+            f"(|A|={config.active_count}; step means conditional on entry)"
+        ),
+    )
+    spans_by_cell: Dict[tuple, List[StepSpans]] = {}
+    reduce_ok = True
+    sums_ok = True
+    for n in config.ns:
+        for c in config.cs:
+            spans = [
+                measure_spans(
+                    n, c, min(config.active_count, n), config.master_seed * 10_000 + s
+                )
+                for s in range(config.trials)
+            ]
+            spans_by_cell[(n, c)] = spans
+            endings = {"reduce": 0, "id_reduction": 0, "leaf_election": 0}
+            for span in spans:
+                endings[span.ended_in] += 1
+                if span.reduce > reduce_round_count(n):
+                    reduce_ok = False
+                parts = span.reduce
+                parts += span.id_reduction or 0
+                parts += span.leaf_election or 0
+                if parts != span.total:
+                    sums_ok = False
+
+            def conditional_mean(values: List[Optional[int]]) -> float:
+                present = [v for v in values if v is not None]
+                return summarize(present).mean if present else 0.0
+
+            table.add_row(
+                n,
+                c,
+                endings["reduce"] / config.trials,
+                endings["id_reduction"] / config.trials,
+                endings["leaf_election"] / config.trials,
+                conditional_mean([s.reduce for s in spans]),
+                conditional_mean([s.id_reduction for s in spans]),
+                conditional_mean([s.leaf_election for s in spans]),
+                summarize([s.total for s in spans]).mean,
+            )
+    return Outcome(
+        table=table,
+        spans=spans_by_cell,
+        reduce_within_schedule=reduce_ok,
+        spans_sum_to_total=sums_ok,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(
+        f"Reduce within its fixed schedule: {outcome.reduce_within_schedule}; "
+        f"step spans sum to totals: {outcome.spans_sum_to_total}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's main results.
+
+The paper's conclusion discusses the *expected-time* regime: "the best
+expected time solutions are really fast, reaching O(1) expected complexity
+with as few as log n channels".  :mod:`repro.extensions.expected_time`
+implements that regime in our (collision-detecting) model, so the repository
+can also explore the open problem the conclusion poses — where, between
+expected time and high-probability time, collision detection stops helping.
+"""
+
+from .expected_time import ExpectedConstantTime
+
+__all__ = ["ExpectedConstantTime"]

@@ -1,0 +1,65 @@
+"""Expected-O(1) contention resolution with ~log n channels.
+
+The paper's conclusion notes that in the *expected time* metric the problem
+collapses: with ``Omega(log n)`` channels, O(1) expected rounds suffice.
+The folklore construction (which we implement here in the paper's
+strong-collision-detection model) parallelizes the classic density sweep:
+
+* **Density round.**  Each active node draws a *geometric* channel index —
+  channel ``c`` with probability ``2^{-c}``, ``c`` in ``[m]``,
+  ``m = min(C, ceil(lg n) + 1)``, leftover mass on channel ``m`` — and
+  transmits there (with certainty).  The expected number of transmitters on
+  channel ``c`` is ``|A| * 2^{-c}``, so on the channel ``c* ~ lg|A|`` it is
+  ``Theta(1)``: with constant probability some node transmits *alone*
+  there — and, with strong collision detection, knows it.  This holds for
+  every ``|A|`` from 1 to ``n`` simultaneously; no density sweep is needed
+  because the channels try all densities at once.
+* **Claim round.**  Every node that was alone on its channel transmits on
+  channel 1.  The expected number of such winners is ``Theta(1)``, so with
+  constant probability exactly one claims — a solo on channel 1, solving
+  the problem.
+
+Each attempt is 2 rounds and succeeds with probability ``Omega(1)``
+(for any unknown ``|A|``), giving O(1) *expected* rounds — but only
+``O(log n)`` rounds with high probability, which is why this protocol does
+not supersede the paper's results: the paper plays the much harder
+high-probability game, where the lower bound is
+``Omega(log n/log C + log log n)``.
+
+Experiment e15 measures both metrics side by side.
+"""
+
+from __future__ import annotations
+
+from ..mathutil import ceil_log2
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..sim.actions import listen, transmit
+from ..sim.context import NodeContext
+from ..sim.network import PRIMARY_CHANNEL
+
+
+class ExpectedConstantTime(Protocol):
+    """Folklore expected-O(1) protocol (needs ~log n channels and strong CD)."""
+
+    name = "expected-constant-time"
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        densities = min(ctx.num_channels, ceil_log2(max(2, ctx.n)) + 1)
+        while True:
+            # ---- Density round: geometric channel choice, certain transmit.
+            channel = 1
+            while channel < densities and ctx.rng.random() < 0.5:
+                channel += 1
+            observation = yield transmit(channel, ("density", channel))
+            winner = observation.alone
+
+            # ---- Claim round.
+            if winner:
+                observation = yield transmit(PRIMARY_CHANNEL, ("claim",))
+                if observation.alone:
+                    ctx.mark("expected_time:leader", ctx.node_id)
+                    return
+            else:
+                observation = yield listen(PRIMARY_CHANNEL)
+                if observation.got_message:
+                    return

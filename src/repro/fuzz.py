@@ -1,0 +1,145 @@
+"""Adversarial instance search: hunting for slow activations.
+
+The paper's bounds are worst-case over the adversary's activation choice.
+Random sampling explores typical instances; this module *searches* for bad
+ones: a simple evolutionary loop mutates activation subsets to maximize the
+measured round count of a protocol (averaged over a few seeds, so the
+adversary optimizes the instance, not the coin flips).
+
+Uses: tightness probing (how close can an adversary push a protocol to its
+bound?) and regression hunting (a code change that helps typical instances
+but hurts adversarial ones shows up here first).  The search itself is
+seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .protocols import Protocol, solve
+from .sim import Activation
+from .sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """The worst instance an adversarial search found.
+
+    Attributes:
+        worst_activation: the activation maximizing mean rounds.
+        worst_mean_rounds: its measured mean over the evaluation seeds.
+        baseline_mean_rounds: the mean over the initial random population,
+            for contrast ("how much worse than typical is worst?").
+        evaluations: number of instances measured.
+    """
+
+    worst_activation: Activation
+    worst_mean_rounds: float
+    baseline_mean_rounds: float
+    evaluations: int
+
+    @property
+    def adversarial_gain(self) -> float:
+        """worst/typical — how much the adversary gained by searching."""
+        return self.worst_mean_rounds / max(1e-9, self.baseline_mean_rounds)
+
+
+def _mean_rounds(
+    protocol: Protocol,
+    n: int,
+    num_channels: int,
+    active_ids: List[int],
+    eval_seeds: List[int],
+) -> float:
+    total = 0.0
+    for seed in eval_seeds:
+        result = solve(
+            protocol,
+            n=n,
+            num_channels=num_channels,
+            activation=Activation(active_ids=sorted(active_ids)),
+            seed=seed,
+        )
+        if not result.solved:
+            raise AssertionError("protocol failed to solve during fuzzing")
+        total += result.rounds
+    return total / len(eval_seeds)
+
+
+def _mutate(rng: random.Random, members: List[int], n: int) -> List[int]:
+    """Swap a random member for a random non-member (size-preserving)."""
+    members = list(members)
+    inside = rng.randrange(len(members))
+    outside = rng.randint(1, n)
+    attempts = 0
+    while outside in members and attempts < 20:
+        outside = rng.randint(1, n)
+        attempts += 1
+    if outside not in members:
+        members[inside] = outside
+    return members
+
+
+def fuzz_activations(
+    protocol: Protocol,
+    *,
+    n: int,
+    num_channels: int,
+    active_count: int,
+    generations: int = 15,
+    population: int = 8,
+    eval_seeds: int = 5,
+    master_seed: int = 0,
+) -> FuzzResult:
+    """Search for the activation subset that slows ``protocol`` down most.
+
+    A (mu + lambda)-style loop: keep the worst-so-far instances, mutate
+    them, re-evaluate.  Each instance's fitness is the mean round count over
+    a fixed set of execution seeds.
+
+    Args:
+        protocol: the protocol under attack.
+        n / num_channels: the system.
+        active_count: fixed size of the activation subsets searched over.
+        generations / population: search budget.
+        eval_seeds: execution seeds per fitness evaluation.
+        master_seed: seeds the whole search (deterministic end to end).
+    """
+    if not 1 <= active_count <= n:
+        raise ValueError(f"active_count must be in [1, {n}], got {active_count}")
+    rng = random.Random(derive_seed(master_seed, n, num_channels, 0xF022))
+    seeds = [derive_seed(master_seed, i, 0xE7A1) for i in range(eval_seeds)]
+
+    candidates: List[List[int]] = [
+        sorted(rng.sample(range(1, n + 1), active_count)) for _ in range(population)
+    ]
+    scores = [
+        _mean_rounds(protocol, n, num_channels, member, seeds)
+        for member in candidates
+    ]
+    evaluations = len(candidates)
+    baseline = sum(scores) / len(scores)
+
+    for _generation in range(generations):
+        ranked = sorted(zip(scores, candidates), key=lambda pair: -pair[0])
+        survivors = [candidate for _score, candidate in ranked[: population // 2]]
+        next_generation = list(survivors)
+        while len(next_generation) < population:
+            parent = rng.choice(survivors)
+            next_generation.append(sorted(_mutate(rng, parent, n)))
+        candidates = next_generation
+        scores = [
+            _mean_rounds(protocol, n, num_channels, member, seeds)
+            for member in candidates
+        ]
+        evaluations += len(candidates)
+
+    best_index = max(range(len(scores)), key=lambda index: scores[index])
+    return FuzzResult(
+        worst_activation=Activation(active_ids=candidates[best_index]),
+        worst_mean_rounds=scores[best_index],
+        baseline_mean_rounds=baseline,
+        evaluations=evaluations,
+    )

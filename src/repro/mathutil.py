@@ -1,0 +1,78 @@
+"""Small exact integer-math helpers shared across the library.
+
+Everything here is exact (no floating point) because the algorithms'
+correctness depends on integer quantities like ``lg C`` and ceil-divisions;
+floats are used only in the analysis layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def floor_log2(x: int) -> int:
+    """Exact floor of ``log2(x)`` for ``x >= 1``."""
+    if x < 1:
+        raise ValueError(f"floor_log2 requires x >= 1, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Exact ceiling of ``log2(x)`` for ``x >= 1``."""
+    if x < 1:
+        raise ValueError(f"ceil_log2 requires x >= 1, got {x}")
+    return (x - 1).bit_length()
+
+
+def exact_log2(x: int) -> int:
+    """``log2(x)`` for ``x`` a power of two; raises otherwise."""
+    if not is_power_of_two(x):
+        raise ValueError(f"exact_log2 requires a power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def largest_power_of_two_at_most(x: int) -> int:
+    """The greatest power of two ``<= x``, for ``x >= 1``."""
+    if x < 1:
+        raise ValueError(f"requires x >= 1, got {x}")
+    return 1 << (x.bit_length() - 1)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Exact ceiling of ``a / b`` for ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def lg_lg(n: int) -> int:
+    """``ceil(lg lg n)`` as used by Reduce's loop bound (Figure 2).
+
+    Defined as 1 for ``n <= 4`` so the loop always executes at least once.
+    """
+    if n < 2:
+        return 1
+    inner = ceil_log2(n)
+    return max(1, ceil_log2(max(2, inner)))
+
+
+def log2f(x: float) -> float:
+    """Float ``log2`` guarded against non-positive input (analysis layer)."""
+    if x <= 0:
+        raise ValueError(f"log2f requires x > 0, got {x}")
+    return math.log2(x)
+
+
+def loglog2f(x: float) -> float:
+    """``log2(log2(x))`` clamped below at 1.0, for predictor formulas.
+
+    The asymptotic predictors divide and multiply by ``log log n`` terms;
+    clamping keeps them finite and monotone at small ``n`` without changing
+    their shape where the asymptotics are meaningful.
+    """
+    return max(1.0, math.log2(max(2.0, math.log2(max(2.0, x)))))

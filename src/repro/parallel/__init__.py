@@ -1,0 +1,5 @@
+"""Reference implementations from the parallel-algorithms literature."""
+
+from .snir_search import SearchResult, parallel_steps_upper_bound, snir_search, subdivide
+
+__all__ = ["SearchResult", "parallel_steps_upper_bound", "snir_search", "subdivide"]

@@ -1,0 +1,118 @@
+"""Snir's parallel search (SIAM J. Comput. 1985) — the CREW-PRAM strategy
+that LeafElection's coalescing cohorts simulate.
+
+Problem: locate the boundary in a monotone boolean array using ``p``
+processors, where any position can be probed in unit time and all processors
+see all results (CREW).  Snir's strategy: subdivide the candidate range into
+``p + 1`` subranges, probe the ``p`` interior boundaries in parallel (one
+per processor), and recurse into the unique subrange whose endpoints
+bracket the boundary — a ``(p+1)``-ary search taking
+``ceil(log(range) / log(p+1))`` parallel steps.
+
+This standalone implementation exists for cross-validation: the number of
+parallel steps it takes must exactly match the number of 5-round iterations
+LeafElection's SplitSearch spends, and the answer must match the channel
+tree's true global divergence level.  Tests enforce both.
+
+The predicate convention mirrors CheckLevel: ``predicate(m)`` is True
+("collision") for ``m < answer`` and False ("no collision") for
+``m >= answer``; the search finds the smallest False position in
+``(lo, hi]`` given ``predicate(lo) == True`` and ``predicate(hi) == False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..mathutil import ceil_div
+
+Predicate = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a parallel search.
+
+    Attributes:
+        answer: the smallest position where the predicate is False.
+        parallel_steps: number of synchronous probe steps used.
+        probes: total individual probes issued (work, not span).
+    """
+
+    answer: int
+    parallel_steps: int
+    probes: int
+
+
+def subdivide(lo: int, hi: int, processors: int) -> List[int]:
+    """Boundary positions ``lo = b_0 < b_1 < ... < b_k = hi`` for one step.
+
+    Matches SplitSearch's subdivision: stride ``ceil(span / (p + 1))``
+    (clamped to 1), giving ``k <= p + 1`` subranges.
+    """
+    if hi <= lo:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    if processors < 1:
+        raise ValueError(f"need >= 1 processor, got {processors}")
+    span = hi - lo
+    stride = max(1, ceil_div(span, processors + 1))
+    count = ceil_div(span, stride)
+    boundaries = [lo + i * stride for i in range(count)]
+    boundaries.append(hi)
+    return boundaries
+
+
+def snir_search(lo: int, hi: int, processors: int, predicate: Predicate) -> SearchResult:
+    """Run the ``(p+1)``-ary parallel search over ``(lo, hi]``.
+
+    Args:
+        lo: known-True position (exclusive lower end).
+        hi: known-False position (inclusive upper end).
+        processors: ``p >= 1``.
+        predicate: the monotone boolean oracle.
+
+    Returns:
+        The boundary position plus step/probe accounting.
+    """
+    if hi <= lo:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    steps = 0
+    probes = 0
+    while hi - lo > 1:
+        steps += 1
+        boundaries = subdivide(lo, hi, processors)
+        # Probe all interior boundaries "in parallel" (and the top end,
+        # mirroring SplitSearch where member k-1's second check hits hi).
+        verdicts: List[Tuple[int, bool]] = []
+        for boundary in boundaries[1:]:
+            verdicts.append((boundary, predicate(boundary)))
+            probes += 1
+        chosen_lo, chosen_hi = lo, boundaries[1]
+        previous = lo
+        for boundary, collides in verdicts:
+            if not collides:
+                chosen_lo, chosen_hi = previous, boundary
+                break
+            previous = boundary
+        else:
+            raise ValueError("predicate is not False at hi: not a monotone boundary")
+        lo, hi = chosen_lo, chosen_hi
+    return SearchResult(answer=hi, parallel_steps=steps, probes=probes)
+
+
+def parallel_steps_upper_bound(span: int, processors: int) -> int:
+    """A closed-form upper bound on the steps: ``ceil(log(span)/log(p+1))``
+    plus one step of slack for the stride rounding.
+    """
+    if span < 1:
+        raise ValueError(f"span must be >= 1, got {span}")
+    if span == 1:
+        return 0
+    steps = 0
+    remaining = span
+    while remaining > 1:
+        stride = max(1, ceil_div(remaining, processors + 1))
+        remaining = stride
+        steps += 1
+    return steps

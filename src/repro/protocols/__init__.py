@@ -1,0 +1,15 @@
+"""Protocol framework: coroutine protocols, composition, and runners."""
+
+from .base import FunctionProtocol, Protocol, ProtocolCoroutine
+from .compose import HALT, SequentialProtocol, Step
+from .runner import solve
+
+__all__ = [
+    "FunctionProtocol",
+    "HALT",
+    "Protocol",
+    "ProtocolCoroutine",
+    "SequentialProtocol",
+    "Step",
+    "solve",
+]

@@ -1,0 +1,57 @@
+"""Protocol abstractions.
+
+A *protocol* describes the behaviour of a single node as a generator
+coroutine: it yields an :class:`~repro.sim.actions.Action` for each round and
+receives the round's :class:`~repro.sim.feedback.Observation` in return.
+Returning from the coroutine terminates the node (it is out of the execution
+for good — the model has no resurrection).
+
+Generator coroutines compose naturally with ``yield from``, which is exactly
+how the paper's general algorithm sequences its three steps; the
+:mod:`repro.protocols.compose` module packages that pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+from ..sim.actions import Action
+from ..sim.context import NodeContext
+from ..sim.feedback import Observation
+
+ProtocolCoroutine = Generator[Action, Observation, Any]
+
+
+class Protocol(abc.ABC):
+    """A complete contention-resolution protocol (one object shared by all
+    nodes; all per-node state lives inside the coroutine).
+
+    Subclasses implement :meth:`run`.  Instances must be stateless across
+    nodes/executions so one instance can drive arbitrarily many simulations.
+    """
+
+    #: Short human-readable name used in tables and traces.
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        """Return the coroutine governing the node described by ``ctx``."""
+
+    def __call__(self, ctx: NodeContext) -> ProtocolCoroutine:
+        """Protocols are directly usable as engine protocol factories."""
+        return self.run(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionProtocol(Protocol):
+    """Adapts a bare generator function into a :class:`Protocol`."""
+
+    def __init__(self, fn, name: str | None = None):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "protocol")
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        return self._fn(ctx)

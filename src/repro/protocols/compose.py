@@ -1,0 +1,78 @@
+"""Sequential composition of protocol steps.
+
+The paper's general algorithm (Section 5) is "three steps that are executed
+one after another in a synchronized manner".  :class:`SequentialProtocol`
+captures that pattern: each :class:`Step` is a coroutine segment that may
+pass a *carry* value to its successor (e.g. IDReduction hands the node's new
+unique id to LeafElection), or end the node's participation by returning
+:data:`HALT`.
+
+Synchronization is the steps' own responsibility — and each of the paper's
+steps provides it: Reduce runs a fixed number of rounds; IDReduction ends at
+a channel-1 confirmation round every survivor observes; LeafElection runs to
+the solving round.  The composition layer just guarantees that a node enters
+step ``i + 1`` on the round immediately after it leaves step ``i``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+from ..sim.context import NodeContext
+from .base import Protocol, ProtocolCoroutine
+
+
+class _Halt:
+    """Sentinel: the node leaves the execution after this step."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HALT"
+
+
+#: Returned by a step to terminate the node (knocked out, or already leader).
+HALT = _Halt()
+
+
+class Step(abc.ABC):
+    """One synchronized segment of a composed protocol."""
+
+    #: Name used in trace marks (``step:<name>:begin`` / ``:end``).
+    name: str = "step"
+
+    @abc.abstractmethod
+    def run(self, ctx: NodeContext, carry: Any) -> ProtocolCoroutine:
+        """Coroutine for this node's segment.
+
+        Args:
+            ctx: the node's execution context.
+            carry: value returned by the preceding step (or the protocol's
+                ``initial_carry`` for the first step).
+
+        Returns (via generator return value): the carry for the next step, or
+        :data:`HALT` to terminate the node.
+        """
+
+
+class SequentialProtocol(Protocol):
+    """Runs a list of :class:`Step` segments back to back.
+
+    Emits trace marks ``step:<name>:begin`` and ``step:<name>:end`` around
+    each segment so tests and benchmarks can attribute rounds to steps.
+    """
+
+    def __init__(self, steps: Sequence[Step], *, name: str = "sequential", initial_carry: Any = None):
+        if not steps:
+            raise ValueError("SequentialProtocol requires at least one step")
+        self.steps = list(steps)
+        self.name = name
+        self.initial_carry = initial_carry
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        carry: Any = self.initial_carry
+        for step in self.steps:
+            ctx.mark(f"step:{step.name}:begin")
+            carry = yield from step.run(ctx, carry)
+            ctx.mark(f"step:{step.name}:end", carry if carry is not HALT else None)
+            if carry is HALT:
+                return

@@ -1,0 +1,56 @@
+"""Convenience runners tying protocols to the simulation engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.adversary import Activation
+from ..sim.cd_modes import CollisionDetection
+from ..sim.engine import Engine, ExecutionResult
+from ..sim.network import Network
+from .base import Protocol
+
+
+def solve(
+    protocol: Protocol,
+    *,
+    n: int,
+    num_channels: int,
+    activation: Optional[Activation] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    record_trace: bool = False,
+    stop_on_solve: bool = True,
+    collision_detection: Optional[CollisionDetection] = None,
+) -> ExecutionResult:
+    """Run ``protocol`` on one instance and return the execution result.
+
+    Args:
+        protocol: the protocol every active node executes.
+        n: maximum possible number of nodes.
+        num_channels: number of channels ``C``.
+        activation: which nodes are active and when they wake; defaults to
+            all ``n`` nodes waking in round 1.
+        seed: master seed (drives every node's private randomness).
+        max_rounds: optional round budget override.
+        record_trace: keep per-round channel records.
+        stop_on_solve: stop at the first solving round (default) or run until
+            every node's coroutine returns.
+        collision_detection: feedback model override (the paper's strong
+            model by default); see :mod:`repro.sim.cd_modes`.
+    """
+    network = Network(
+        n=n,
+        num_channels=num_channels,
+        collision_detection=collision_detection or CollisionDetection.STRONG,
+    )
+    engine = Engine(network, seed=seed, record_trace=record_trace)
+    active_ids = activation.active_ids if activation is not None else None
+    wake_rounds = activation.wake_rounds if activation is not None else None
+    return engine.run(
+        protocol,
+        active_ids=active_ids,
+        wake_rounds=wake_rounds,
+        max_rounds=max_rounds,
+        stop_on_solve=stop_on_solve,
+    )

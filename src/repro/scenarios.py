@@ -1,0 +1,165 @@
+"""High-level scenario API: one object describing a deployment, one call to
+run any protocol on it.
+
+The paper's introduction motivates contention resolution with concrete
+settings — shared-spectrum radios, dense sensor fields, bursty access.  A
+:class:`Scenario` captures such a setting (system size, channel budget,
+collision-detection capability, activation pattern, wake-up behaviour) so a
+downstream user picks a scenario and a protocol and gets comparable,
+reproducible measurements without touching the engine.
+
+Canned scenarios mirror the settings the examples walk through; custom ones
+are just dataclass instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from .analysis.stats import Summary, summarize
+from .protocols import Protocol, solve
+from .sim import (
+    Activation,
+    CollisionDetection,
+    ExecutionResult,
+    activate_all,
+    activate_random,
+    staggered,
+)
+from .sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible deployment description.
+
+    Attributes:
+        name: short label used in reports.
+        n: maximum possible nodes.
+        num_channels: channel budget.
+        active_count: how many nodes wake with a packet (``None`` = all).
+        max_wake_delay: spread of wake-up rounds (0 = simultaneous start).
+        collision_detection: the feedback model of the hardware.
+        description: one-line story for humans.
+    """
+
+    name: str
+    n: int
+    num_channels: int
+    active_count: Optional[int] = None
+    max_wake_delay: int = 0
+    collision_detection: CollisionDetection = CollisionDetection.STRONG
+    description: str = ""
+
+    def activation(self, seed: int) -> Activation:
+        """The activation pattern for one trial of this scenario."""
+        if self.active_count is None:
+            base = activate_all(self.n)
+        else:
+            base = activate_random(self.n, self.active_count, seed=seed)
+        if self.max_wake_delay > 0:
+            base = staggered(base, max_delay=self.max_wake_delay, seed=seed)
+        return base
+
+    def run(
+        self,
+        protocol: Protocol,
+        *,
+        seed: int = 0,
+        record_trace: bool = False,
+        max_rounds: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Run one execution of ``protocol`` on this scenario."""
+        return solve(
+            protocol,
+            n=self.n,
+            num_channels=self.num_channels,
+            activation=self.activation(seed),
+            seed=seed,
+            record_trace=record_trace,
+            max_rounds=max_rounds,
+            collision_detection=self.collision_detection,
+        )
+
+    def measure(
+        self, protocol: Protocol, *, trials: int = 50, master_seed: int = 0
+    ) -> Summary:
+        """Round-count summary of ``protocol`` over seeded trials."""
+        rounds: List[float] = []
+        for index in range(trials):
+            seed = derive_seed(master_seed, index, 0x5CE0)
+            result = self.run(protocol, seed=seed)
+            if not result.solved:
+                raise AssertionError(
+                    f"{protocol.name} failed to solve scenario {self.name!r}"
+                )
+            rounds.append(float(result.rounds))
+        return summarize(rounds)
+
+    def with_channels(self, num_channels: int) -> "Scenario":
+        """A copy of this scenario with a different channel budget."""
+        return replace(self, num_channels=num_channels)
+
+
+def compare(
+    scenario: Scenario,
+    protocols: List[Protocol],
+    *,
+    trials: int = 50,
+    master_seed: int = 0,
+) -> Dict[str, Summary]:
+    """Measure several protocols on one scenario (identical trial seeds)."""
+    return {
+        protocol.name: scenario.measure(
+            protocol, trials=trials, master_seed=master_seed
+        )
+        for protocol in protocols
+    }
+
+
+# --------------------------------------------------------------- canned set
+
+#: A crowded shared-spectrum cell: everyone has a packet, hardware has CD.
+DENSE_BURST = Scenario(
+    name="dense-burst",
+    n=1 << 12,
+    num_channels=64,
+    active_count=None,
+    description="all 4096 stations contend at once on 64 channels with CD",
+)
+
+#: A quiet wide-area deployment: few of many possible stations are up.
+SPARSE_UPLINK = Scenario(
+    name="sparse-uplink",
+    n=1 << 14,
+    num_channels=32,
+    active_count=24,
+    description="24 of 16384 possible stations wake with a packet",
+)
+
+#: Sensors booting over a window after a power event (Section 3 model).
+STAGGERED_SENSORS = Scenario(
+    name="staggered-sensors",
+    n=1 << 12,
+    num_channels=32,
+    active_count=500,
+    max_wake_delay=40,
+    description="500 sensors boot over a 40-round window",
+)
+
+#: Legacy half-duplex hardware: only receivers detect collisions.
+HALF_DUPLEX = Scenario(
+    name="half-duplex",
+    n=1 << 10,
+    num_channels=16,
+    active_count=100,
+    collision_detection=CollisionDetection.RECEIVER_ONLY,
+    description="receiver-only collision detection (the footnote-2 model)",
+)
+
+#: Every canned scenario, by name.
+CATALOG: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (DENSE_BURST, SPARSE_UPLINK, STAGGERED_SENSORS, HALF_DUPLEX)
+}

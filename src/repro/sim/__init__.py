@@ -1,0 +1,87 @@
+"""Round-based simulator for multiple-access channels with strong collision
+detection — the substrate every algorithm in this repository runs on.
+
+The model is the one defined in Section 3 of the paper: synchronous rounds,
+``C`` channels, one channel occupied per node per round, and the classical
+collision-detection semantics in which every participant on a channel learns
+whether 0, 1, or more nodes transmitted.
+"""
+
+from .actions import IDLE, Action, idle, listen, transmit
+from .cd_modes import CollisionDetection, observed_feedback
+from .adversary import (
+    Activation,
+    activate_adjacent,
+    activate_all,
+    activate_pair,
+    activate_random,
+    staggered,
+)
+from .context import MarkRecord, NodeContext
+from .engine import (
+    Engine,
+    ExecutionResult,
+    ProtocolFactory,
+    default_round_budget,
+    run_execution,
+)
+from .errors import (
+    ConfigurationError,
+    ProtocolViolation,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from .feedback import Feedback, Observation, resolve
+from .network import PRIMARY_CHANNEL, Network
+from .rng import derive_seed, node_rng, seed_sequence
+from .serialize import (
+    load_trace,
+    result_to_dict,
+    result_to_json,
+    save_result,
+    trace_from_dict,
+)
+from .trace import ChannelRound, ExecutionTrace, RoundRecord
+
+__all__ = [
+    "Action",
+    "CollisionDetection",
+    "observed_feedback",
+    "Activation",
+    "ChannelRound",
+    "ConfigurationError",
+    "Engine",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "Feedback",
+    "IDLE",
+    "MarkRecord",
+    "Network",
+    "NodeContext",
+    "Observation",
+    "PRIMARY_CHANNEL",
+    "ProtocolFactory",
+    "ProtocolViolation",
+    "RoundLimitExceeded",
+    "RoundRecord",
+    "SimulationError",
+    "activate_adjacent",
+    "activate_all",
+    "activate_pair",
+    "activate_random",
+    "default_round_budget",
+    "derive_seed",
+    "idle",
+    "listen",
+    "load_trace",
+    "result_to_dict",
+    "result_to_json",
+    "save_result",
+    "trace_from_dict",
+    "node_rng",
+    "resolve",
+    "run_execution",
+    "seed_sequence",
+    "staggered",
+    "transmit",
+]

@@ -1,0 +1,56 @@
+"""Per-round actions a node may take on the multi-channel MAC.
+
+In every synchronous round each *active* node either participates on exactly
+one channel (as a transmitter or a receiver) or idles.  This mirrors the
+model of Section 3 of the paper: "(1) it must choose a single channel from 1
+to C on which to participate; and (2) it must decide whether to transmit a
+message or receive."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Action:
+    """What one node does in one round.
+
+    Attributes:
+        channel: 1-based channel index, or ``None`` to idle this round.  An
+            idling node observes nothing.
+        transmit: whether the node transmits (``True``) or receives
+            (``False``) on ``channel``.  Ignored when idling.
+        message: payload carried by a transmission.  The simulator treats it
+            as opaque; it is delivered verbatim when the transmission is the
+            only one on its channel.  ``None`` is a valid payload (a "ping").
+    """
+
+    channel: Optional[int]
+    transmit: bool = False
+    message: Any = None
+
+    @property
+    def participates(self) -> bool:
+        """True when the node occupies a channel this round."""
+        return self.channel is not None
+
+
+def transmit(channel: int, message: Any = None) -> Action:
+    """Build a transmission action on ``channel`` carrying ``message``."""
+    return Action(channel=channel, transmit=True, message=message)
+
+
+def listen(channel: int) -> Action:
+    """Build a receive action on ``channel``."""
+    return Action(channel=channel, transmit=False)
+
+
+def idle() -> Action:
+    """Build an action that skips the round entirely."""
+    return Action(channel=None)
+
+
+#: Shared singleton for the common idle case; protocols may yield it directly.
+IDLE = idle()

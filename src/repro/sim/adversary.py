@@ -1,0 +1,104 @@
+"""Activation adversaries: who wakes up, and when.
+
+The model lets an arbitrary subset ``A`` of the ``n`` possible nodes be
+activated.  These helpers produce activation patterns for experiments:
+uniform random subsets, worst-case-flavored subsets (adjacent ids, which
+stress the channel-tree algorithms since the nodes' paths share long
+prefixes), and staggered wake-up schedules for the Section 3 transform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import ConfigurationError
+from .rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A fully specified activation pattern.
+
+    Attributes:
+        active_ids: the activated subset of ``[1, n]``.
+        wake_rounds: per-node wake round; empty means all wake in round 1.
+    """
+
+    active_ids: List[int]
+    wake_rounds: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.active_ids)
+
+    @property
+    def simultaneous(self) -> bool:
+        return all(r == 1 for r in self.wake_rounds.values())
+
+
+def activate_all(n: int) -> Activation:
+    """Every possible node is active (the paper's hardest density)."""
+    return Activation(active_ids=list(range(1, n + 1)))
+
+
+def activate_random(n: int, count: int, *, seed: int = 0) -> Activation:
+    """A uniformly random size-``count`` subset of ``[1, n]``."""
+    if not 1 <= count <= n:
+        raise ConfigurationError(f"count must be in [1, {n}], got {count}")
+    rng = random.Random(derive_seed(seed, n, count, 0xAC71))
+    return Activation(active_ids=sorted(rng.sample(range(1, n + 1), count)))
+
+
+def activate_pair(n: int, *, seed: int = 0) -> Activation:
+    """A uniformly random pair (the restricted two-node case of Section 4)."""
+    return activate_random(n, 2, seed=seed)
+
+
+def activate_adjacent(n: int, count: int, *, start: int = 1) -> Activation:
+    """``count`` consecutive ids starting at ``start``.
+
+    Adjacent ids share long prefixes in the channel tree, which maximizes the
+    depth at which SplitCheck/SplitSearch find the divergence level — a
+    stress case for the tree-search steps.
+    """
+    if not 1 <= count <= n:
+        raise ConfigurationError(f"count must be in [1, {n}], got {count}")
+    if start < 1 or start + count - 1 > n:
+        raise ConfigurationError(
+            f"adjacent block [{start}, {start + count - 1}] outside [1, {n}]"
+        )
+    return Activation(active_ids=list(range(start, start + count)))
+
+
+def staggered(
+    base: Activation,
+    *,
+    max_delay: int,
+    seed: int = 0,
+    delays: Optional[Dict[int, int]] = None,
+) -> Activation:
+    """Give each active node a wake round in ``[1, 1 + max_delay]``.
+
+    Args:
+        base: the activation whose membership to keep.
+        max_delay: largest extra delay (0 reproduces simultaneous start).
+        seed: drives the random delays when ``delays`` is not given.
+        delays: explicit per-node delays (0-based) overriding randomness.
+    """
+    if max_delay < 0:
+        raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+    rng = random.Random(derive_seed(seed, max_delay, 0x57A6))
+    wake: Dict[int, int] = {}
+    for nid in base.active_ids:
+        if delays is not None:
+            delay = delays.get(nid, 0)
+            if delay < 0 or delay > max_delay:
+                raise ConfigurationError(
+                    f"delay {delay} for node {nid} outside [0, {max_delay}]"
+                )
+        else:
+            delay = rng.randint(0, max_delay)
+        wake[nid] = 1 + delay
+    return Activation(active_ids=list(base.active_ids), wake_rounds=wake)

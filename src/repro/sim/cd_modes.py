@@ -1,0 +1,65 @@
+"""Collision-detection model variants.
+
+The paper assumes the *classical* ("strong") collision-detection model —
+"both transmitters and receivers learn about message collisions on their
+channel in a given round" (Section 3) — and notes in a footnote that more
+recent work sometimes assumes *receiver* collision detection, where
+half-duplex transmitters learn nothing about their own round.
+
+This module lets the simulator realize three models, so experiments and
+tests can show which assumptions each algorithm actually needs:
+
+* ``STRONG`` — every participant sees SILENCE / MESSAGE / COLLISION.  This
+  is the paper's model and the default everywhere.
+* ``RECEIVER_ONLY`` — receivers see the full outcome; a transmitter learns
+  nothing (it observes :attr:`~repro.sim.feedback.Feedback.NONE`).
+  TwoActive's renaming step ("transmit and use the collision detector to
+  see if you are alone") is impossible here — the test suite demonstrates
+  the resulting livelock.
+* ``NONE`` — no collision detection: receivers can distinguish only
+  "heard a message" from "did not" (silence and collision both surface as
+  SILENCE), and transmitters learn nothing.  This is the model of the
+  Decay and Daum baselines.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .feedback import Feedback
+
+
+class CollisionDetection(enum.Enum):
+    """Which participants learn what about a round's outcome."""
+
+    STRONG = "strong"
+    RECEIVER_ONLY = "receiver-only"
+    NONE = "none"
+
+
+def observed_feedback(
+    mode: CollisionDetection, outcome: Feedback, transmitted: bool
+) -> Feedback:
+    """Degrade a channel outcome to what one participant may observe.
+
+    Args:
+        mode: the collision-detection model in force.
+        outcome: the true channel outcome (from :func:`repro.sim.feedback.resolve`).
+        transmitted: whether this participant transmitted.
+
+    Returns:
+        The feedback this participant actually receives under ``mode``.
+    """
+    if mode is CollisionDetection.STRONG:
+        return outcome
+    if mode is CollisionDetection.RECEIVER_ONLY:
+        if transmitted:
+            return Feedback.NONE
+        return outcome
+    # NONE: transmitters learn nothing; receivers cannot tell collision
+    # from silence.
+    if transmitted:
+        return Feedback.NONE
+    if outcome is Feedback.COLLISION:
+        return Feedback.SILENCE
+    return outcome

@@ -1,0 +1,101 @@
+"""Per-node execution context handed to protocol coroutines.
+
+A :class:`NodeContext` is the only window a protocol has onto the system: the
+public model parameters (``n`` possible nodes, ``num_channels`` channels), the
+node's private random stream, and an instrumentation hook (:meth:`mark`).
+
+Protocols must not communicate through the context — all coordination goes
+through the channels, as in the paper's model.  The ``node_id`` is exposed
+because the *model* allows nodes to have ids (the paper's algorithms simply
+do not use them; the baselines from the classical literature do).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+MarkCallback = Callable[[int, str, Any], None]
+
+
+@dataclass
+class NodeContext:
+    """Everything a single node may consult while executing.
+
+    Attributes:
+        node_id: the node's index in ``[1, n]``.  Paper algorithms ignore it;
+            classical baselines (which assume unique ids) use it.
+        n: the maximum possible number of nodes (the ``n`` of the paper);
+            known to every node, as the model assumes.
+        num_channels: the number of available channels ``C``.
+        rng: this node's private deterministic random stream.
+        wake_round: the first round in which this node participates.
+    """
+
+    node_id: int
+    n: int
+    num_channels: int
+    rng: random.Random
+    wake_round: int = 1
+    _mark_sink: MarkCallback | None = field(default=None, repr=False)
+    _round_supplier: Callable[[], int] | None = field(default=None, repr=False)
+
+    @property
+    def current_round(self) -> int:
+        """The 1-based index of the round currently being decided."""
+        if self._round_supplier is None:
+            return 0
+        return self._round_supplier()
+
+    def mark(self, label: str, payload: Any = None) -> None:
+        """Record an instrumentation event visible in the execution trace.
+
+        Marks never influence execution; they exist so tests and benchmarks
+        can observe internal milestones (e.g. "reduce finished", "renamed
+        with id 7") without giving protocols a side channel.
+        """
+        if self._mark_sink is not None:
+            self._mark_sink(self.node_id, label, payload)
+
+
+@dataclass
+class MarkRecord:
+    """One instrumentation event captured during an execution."""
+
+    round_index: int
+    node_id: int
+    label: str
+    payload: Any = None
+
+
+class MarkCollector:
+    """Accumulates :class:`MarkRecord` entries for a whole execution."""
+
+    def __init__(self) -> None:
+        self.records: List[MarkRecord] = []
+        self._current_round = 0
+
+    def set_round(self, round_index: int) -> None:
+        """Stamp subsequent marks with this round index."""
+        self._current_round = round_index
+
+    def sink(self, node_id: int, label: str, payload: Any) -> None:
+        """Record one mark (wired into each node context as its sink)."""
+        self.records.append(MarkRecord(self._current_round, node_id, label, payload))
+
+    def with_label(self, label: str) -> List[MarkRecord]:
+        """All marks with the given label, in emission order."""
+        return [m for m in self.records if m.label == label]
+
+    def labels(self) -> List[str]:
+        """Distinct labels in first-appearance order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.label not in seen:
+                seen.append(record.label)
+        return seen
+
+    def pairs(self) -> List[Tuple[str, Any]]:
+        """(label, payload) tuples in emission order."""
+        return [(m.label, m.payload) for m in self.records]

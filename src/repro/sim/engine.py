@@ -1,0 +1,361 @@
+"""The synchronous round engine.
+
+The engine realizes the model of Section 3 of the paper exactly:
+
+* time is a sequence of synchronous rounds, starting at round 1;
+* in each round every active node either idles or participates on exactly one
+  channel, transmitting or receiving;
+* each channel independently resolves to SILENCE / MESSAGE / COLLISION, and
+  every participant on that channel observes the same outcome (strong
+  collision detection: transmitters learn of collisions too);
+* the execution *solves contention resolution* in the first round in which
+  exactly one node transmits on the primary channel (channel 1).
+
+Protocols are generator coroutines: they ``yield`` an
+:class:`~repro.sim.actions.Action` for the upcoming round and are sent back
+the :class:`~repro.sim.feedback.Observation` for that round.  Returning from
+the generator terminates the node.
+
+Solve detection is performed by the engine, not by protocols, so an algorithm
+cannot claim success it did not achieve on the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from .actions import Action
+from .cd_modes import CollisionDetection, observed_feedback
+from .context import MarkCollector, NodeContext
+from .errors import ConfigurationError, ProtocolViolation, RoundLimitExceeded
+from .feedback import Feedback, Observation, resolve
+from .network import PRIMARY_CHANNEL, Network
+from .rng import node_rng
+from .trace import ChannelRound, ExecutionTrace, RoundRecord
+
+ProtocolCoroutine = Generator[Action, Observation, None]
+ProtocolFactory = Callable[[NodeContext], ProtocolCoroutine]
+
+
+def default_round_budget(n: int) -> int:
+    """A generous default round limit: far above any algorithm in this repo.
+
+    The slowest protocol we ship is the no-CD Decay baseline at
+    ``O(log^2 n)`` rounds, so a budget cubic in ``log n`` (plus a constant
+    floor) never truncates a healthy execution while still catching livelock.
+    """
+    log_n = max(1, n.bit_length())
+    return 4096 + 64 * log_n * log_n
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one engine run.
+
+    Attributes:
+        solved: whether some round had exactly one transmitter on channel 1.
+        solved_round: 1-based round index of the solving round, or ``None``.
+        winner: node id of the lone channel-1 transmitter, or ``None``.
+        rounds: number of rounds executed (== ``solved_round`` when solved
+            and the engine stopped on solve).
+        all_terminated: whether every node's coroutine returned before the
+            run ended (relevant when the run did not solve).
+        trace: the recorded trace (marks always present; per-round channel
+            records only when ``record_trace=True``).
+    """
+
+    solved: bool
+    solved_round: Optional[int]
+    winner: Optional[int]
+    rounds: int
+    all_terminated: bool
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    def require_solved(self) -> "ExecutionResult":
+        """Return self, raising if the run did not solve (test convenience)."""
+        if not self.solved:
+            raise AssertionError(
+                f"execution did not solve contention resolution in {self.rounds} rounds"
+            )
+        return self
+
+
+class Engine:
+    """Runs protocol coroutines over a :class:`~repro.sim.network.Network`.
+
+    Args:
+        network: static system parameters (n, number of channels).
+        seed: master seed; every node derives a private stream from it.
+        record_trace: keep per-round channel records (memory-heavy; tests and
+            examples only).
+    """
+
+    def __init__(self, network: Network, *, seed: int = 0, record_trace: bool = False):
+        self.network = network
+        self.seed = seed
+        self.record_trace = record_trace
+
+    def run(
+        self,
+        protocol_factory: ProtocolFactory,
+        *,
+        active_ids: Optional[Iterable[int]] = None,
+        wake_rounds: Optional[Dict[int, int]] = None,
+        max_rounds: Optional[int] = None,
+        stop_on_solve: bool = True,
+    ) -> ExecutionResult:
+        """Execute one instance of the protocol on this network.
+
+        Args:
+            protocol_factory: called once per active node with its
+                :class:`NodeContext`; must return the node's coroutine.
+            active_ids: which node ids (from ``[1, n]``) are activated.
+                Defaults to all ``n`` nodes.
+            wake_rounds: optional per-node wake round (default: every active
+                node starts in round 1).  Models nonsimultaneous wake-up.
+            max_rounds: round budget; defaults to
+                :func:`default_round_budget`.
+            stop_on_solve: stop at the first solving round (the problem is,
+                by definition, over).  When ``False`` the engine keeps going
+                until every coroutine returns or the budget runs out, but
+                still reports the *first* solving round.
+
+        Returns:
+            An :class:`ExecutionResult`.
+
+        Raises:
+            RoundLimitExceeded: the budget ran out before the run finished.
+            ProtocolViolation: a coroutine yielded an illegal action.
+        """
+        ids = self._resolve_active_ids(active_ids)
+        wake = self._resolve_wake_rounds(ids, wake_rounds)
+        budget = max_rounds if max_rounds is not None else default_round_budget(self.network.n)
+        if budget < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+
+        marks = MarkCollector()
+        trace = ExecutionTrace()
+        current_round_holder = [0]
+
+        coroutines: Dict[int, ProtocolCoroutine] = {}
+        pending: Dict[int, Action] = {}
+        unwoken = sorted(ids, key=lambda i: wake[i])
+        unwoken_cursor = 0
+
+        solved = False
+        solved_round: Optional[int] = None
+        winner: Optional[int] = None
+        rounds_executed = 0
+
+        for round_index in range(1, budget + 1):
+            current_round_holder[0] = round_index
+            marks.set_round(round_index)
+
+            # Wake nodes whose time has come and prime their first action.
+            while unwoken_cursor < len(unwoken) and wake[unwoken[unwoken_cursor]] <= round_index:
+                nid = unwoken[unwoken_cursor]
+                unwoken_cursor += 1
+                ctx = NodeContext(
+                    node_id=nid,
+                    n=self.network.n,
+                    num_channels=self.network.num_channels,
+                    rng=node_rng(self.seed, nid),
+                    wake_round=wake[nid],
+                    _mark_sink=marks.sink,
+                    _round_supplier=lambda: current_round_holder[0],
+                )
+                coroutine = protocol_factory(ctx)
+                try:
+                    first_action = next(coroutine)
+                except StopIteration:
+                    continue  # the protocol terminated immediately
+                coroutines[nid] = coroutine
+                pending[nid] = self._validate_action(first_action, nid, round_index)
+
+            if not coroutines and unwoken_cursor >= len(unwoken):
+                # Everyone has terminated; nothing can ever happen again.
+                rounds_executed = round_index - 1
+                break
+            rounds_executed = round_index
+
+            # Resolve each channel's outcome from this round's actions.
+            transmitters: Dict[int, List[int]] = {}
+            receivers: Dict[int, List[int]] = {}
+            lone_payload: Dict[int, Any] = {}
+            for nid, action in pending.items():
+                if not action.participates:
+                    continue
+                channel = action.channel
+                assert channel is not None
+                if action.transmit:
+                    transmitters.setdefault(channel, []).append(nid)
+                    lone_payload[channel] = action.message
+                else:
+                    receivers.setdefault(channel, []).append(nid)
+
+            outcomes: Dict[int, Feedback] = {}
+            for channel in set(transmitters) | set(receivers):
+                outcomes[channel] = resolve(len(transmitters.get(channel, ())))
+
+            primary_count = len(transmitters.get(PRIMARY_CHANNEL, ()))
+            if primary_count == 1 and not solved:
+                solved = True
+                solved_round = round_index
+                winner = transmitters[PRIMARY_CHANNEL][0]
+
+            if self.record_trace:
+                channel_records = {
+                    channel: ChannelRound(
+                        transmitters=tuple(sorted(transmitters.get(channel, ()))),
+                        receivers=tuple(sorted(receivers.get(channel, ()))),
+                        feedback=outcome,
+                        message=(
+                            lone_payload.get(channel)
+                            if outcome is Feedback.MESSAGE
+                            else None
+                        ),
+                    )
+                    for channel, outcome in outcomes.items()
+                }
+                trace.rounds.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        channels=channel_records,
+                        active_count=len(coroutines),
+                    )
+                )
+
+            # Deliver observations and collect next-round actions.
+            finished: List[int] = []
+            for nid, action in pending.items():
+                if action.participates:
+                    channel = action.channel
+                    assert channel is not None
+                    outcome = outcomes[channel]
+                    seen = observed_feedback(
+                        self.network.collision_detection, outcome, action.transmit
+                    )
+                    observation = Observation(
+                        feedback=seen,
+                        message=(
+                            lone_payload.get(channel)
+                            if seen is Feedback.MESSAGE
+                            else None
+                        ),
+                        channel=channel,
+                        round_index=round_index,
+                        transmitted=action.transmit,
+                    )
+                else:
+                    observation = Observation(
+                        feedback=Feedback.NONE,
+                        round_index=round_index,
+                        transmitted=False,
+                    )
+                try:
+                    next_action = coroutines[nid].send(observation)
+                except StopIteration:
+                    finished.append(nid)
+                    continue
+                pending[nid] = self._validate_action(next_action, nid, round_index + 1)
+            for nid in finished:
+                del coroutines[nid]
+                del pending[nid]
+
+            if solved and stop_on_solve:
+                break
+        else:
+            # Budget exhausted without breaking out of the loop.
+            if not solved:
+                raise RoundLimitExceeded(
+                    budget,
+                    detail=f"{len(coroutines)} node(s) still running",
+                )
+
+        trace.marks = marks.records
+        return ExecutionResult(
+            solved=solved,
+            solved_round=solved_round,
+            winner=winner,
+            rounds=rounds_executed,
+            all_terminated=not coroutines and unwoken_cursor >= len(unwoken),
+            trace=trace,
+        )
+
+    def _resolve_active_ids(self, active_ids: Optional[Iterable[int]]) -> List[int]:
+        if active_ids is None:
+            return list(range(1, self.network.n + 1))
+        ids = sorted(set(active_ids))
+        if not ids:
+            raise ConfigurationError("at least one node must be activated")
+        if ids[0] < 1 or ids[-1] > self.network.n:
+            raise ConfigurationError(
+                f"active ids must lie in [1, {self.network.n}], got {ids[0]}..{ids[-1]}"
+            )
+        return ids
+
+    def _resolve_wake_rounds(
+        self, ids: List[int], wake_rounds: Optional[Dict[int, int]]
+    ) -> Dict[int, int]:
+        wake = {nid: 1 for nid in ids}
+        if wake_rounds:
+            for nid, round_index in wake_rounds.items():
+                if nid not in wake:
+                    raise ConfigurationError(f"wake round given for inactive node {nid}")
+                if round_index < 1:
+                    raise ConfigurationError(
+                        f"wake round must be >= 1, got {round_index} for node {nid}"
+                    )
+                wake[nid] = round_index
+        return wake
+
+    def _validate_action(self, action: Any, node_id: int, round_index: int) -> Action:
+        if not isinstance(action, Action):
+            raise ProtocolViolation(
+                f"protocol yielded {type(action).__name__}, expected Action",
+                node_id=node_id,
+                round_index=round_index,
+            )
+        if action.channel is not None and not (
+            1 <= action.channel <= self.network.num_channels
+        ):
+            raise ProtocolViolation(
+                f"channel {action.channel} outside [1, {self.network.num_channels}]",
+                node_id=node_id,
+                round_index=round_index,
+            )
+        return action
+
+
+def run_execution(
+    protocol_factory: ProtocolFactory,
+    *,
+    n: int,
+    num_channels: int,
+    active_ids: Optional[Iterable[int]] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    record_trace: bool = False,
+    wake_rounds: Optional[Dict[int, int]] = None,
+    stop_on_solve: bool = True,
+    collision_detection: Optional[CollisionDetection] = None,
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`Engine`.
+
+    Builds the network, runs the protocol, and returns the result.  This is
+    the entry point most examples and benchmarks use.
+    """
+    network = Network(
+        n=n,
+        num_channels=num_channels,
+        collision_detection=collision_detection or CollisionDetection.STRONG,
+    )
+    engine = Engine(network, seed=seed, record_trace=record_trace)
+    return engine.run(
+        protocol_factory,
+        active_ids=active_ids,
+        wake_rounds=wake_rounds,
+        max_rounds=max_rounds,
+        stop_on_solve=stop_on_solve,
+    )

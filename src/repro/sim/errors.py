@@ -1,0 +1,46 @@
+"""Exception hierarchy for the MAC simulator.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimulationError`
+so callers can catch substrate failures without masking protocol bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigurationError(SimulationError):
+    """An engine or network was constructed with invalid parameters."""
+
+
+class ProtocolViolation(SimulationError):
+    """A protocol produced an action the model does not permit.
+
+    Examples: choosing a channel outside ``[1, C]``, yielding something that
+    is not an :class:`~repro.sim.actions.Action`, or resuming after
+    termination.
+    """
+
+    def __init__(self, message: str, node_id: int | None = None, round_index: int | None = None):
+        self.node_id = node_id
+        self.round_index = round_index
+        context = []
+        if node_id is not None:
+            context.append(f"node={node_id}")
+        if round_index is not None:
+            context.append(f"round={round_index}")
+        suffix = f" ({', '.join(context)})" if context else ""
+        super().__init__(message + suffix)
+
+
+class RoundLimitExceeded(SimulationError):
+    """The execution hit ``max_rounds`` before the stop condition was met."""
+
+    def __init__(self, max_rounds: int, detail: str = ""):
+        self.max_rounds = max_rounds
+        message = f"execution exceeded the limit of {max_rounds} rounds"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)

@@ -1,0 +1,90 @@
+"""Channel feedback: what a participating node observes at the end of a round.
+
+The paper assumes the classical *strong* collision-detection model
+(Section 3): fix a node ``u`` participating on channel ``i`` in round ``r``.
+
+* If no node transmits on ``i``: ``u`` detects **silence**.
+* If exactly one node transmits on ``i``: ``u`` receives the **message**
+  (this includes the transmitter itself, which thereby learns it was alone).
+* If two or more nodes transmit on ``i``: ``u`` receives a **collision**
+  notification (transmitters included — strong CD).
+
+Feedback is identical for every participant on the same channel, which is
+exactly what lets the paper's algorithms reach common knowledge in one round.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class Feedback(enum.Enum):
+    """Outcome of one round on one channel, as seen by a participant."""
+
+    SILENCE = "silence"
+    MESSAGE = "message"
+    COLLISION = "collision"
+    #: The node idled this round and observed nothing.
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything a node learns from one round.
+
+    Attributes:
+        feedback: the channel outcome (or :attr:`Feedback.NONE` if idle).
+        message: delivered payload when ``feedback`` is ``MESSAGE``.
+        channel: the channel the node participated on (``None`` if idle).
+        round_index: 1-based index of the round just completed.
+        transmitted: whether this node itself transmitted this round; this is
+            the node's own local knowledge, echoed back for convenience so
+            protocols need not track it separately.
+    """
+
+    feedback: Feedback
+    message: Any = None
+    channel: Optional[int] = None
+    round_index: int = 0
+    transmitted: bool = False
+
+    @property
+    def silence(self) -> bool:
+        return self.feedback is Feedback.SILENCE
+
+    @property
+    def collision(self) -> bool:
+        return self.feedback is Feedback.COLLISION
+
+    @property
+    def got_message(self) -> bool:
+        return self.feedback is Feedback.MESSAGE
+
+    @property
+    def alone(self) -> bool:
+        """True when this node transmitted and detected no collision.
+
+        Under strong CD a lone transmitter observes its own message, so
+        "transmitted and feedback is MESSAGE" is exactly "I was alone".
+        """
+        return self.transmitted and self.feedback is Feedback.MESSAGE
+
+
+def resolve(transmission_count: int, lone_message: Any = None) -> Feedback:
+    """Map a channel's transmitter count to the feedback every participant sees.
+
+    Args:
+        transmission_count: number of nodes that transmitted on the channel.
+        lone_message: unused here; kept for signature symmetry with callers
+            that pair the feedback with a payload.
+
+    Returns:
+        The :class:`Feedback` value dictated by the strong-CD model.
+    """
+    if transmission_count == 0:
+        return Feedback.SILENCE
+    if transmission_count == 1:
+        return Feedback.MESSAGE
+    return Feedback.COLLISION

@@ -1,0 +1,47 @@
+"""Static description of the simulated multi-channel MAC system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cd_modes import CollisionDetection
+from .errors import ConfigurationError
+
+#: The distinguished channel on which contention resolution must be solved.
+PRIMARY_CHANNEL = 1
+
+
+@dataclass(frozen=True)
+class Network:
+    """Model parameters of one system instance.
+
+    Attributes:
+        n: maximum number of possible nodes (``n >= 2`` in the paper).
+        num_channels: number of available channels ``C >= 1``.
+        collision_detection: the feedback model; the paper's strong model by
+            default.  See :mod:`repro.sim.cd_modes`.
+
+    The primary channel is always channel 1 (:data:`PRIMARY_CHANNEL`), per
+    the paper's definition of multichannel contention resolution.
+    """
+
+    n: int
+    num_channels: int
+    collision_detection: CollisionDetection = field(
+        default=CollisionDetection.STRONG
+    )
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.num_channels < 1:
+            raise ConfigurationError(
+                f"num_channels must be >= 1, got {self.num_channels}"
+            )
+
+    def validate_channel(self, channel: int) -> None:
+        """Raise :class:`ConfigurationError` unless ``channel`` is usable."""
+        if not 1 <= channel <= self.num_channels:
+            raise ConfigurationError(
+                f"channel {channel} outside [1, {self.num_channels}]"
+            )

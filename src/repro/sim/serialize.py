@@ -1,0 +1,127 @@
+"""Serialization of execution results and traces to plain JSON.
+
+Round-exact traces are the ground truth of every reproduction claim, so
+being able to save one next to a table (and reload it later to re-check an
+assertion) matters for auditability.  The format is deliberately dumb JSON:
+no pickles, no versioned binary — a trace saved today must be readable by
+anything, forever.
+
+Payload messages are serialized with ``repr`` when they are not already
+JSON-representable; traces are for auditing, not for resuming execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .context import MarkRecord
+from .engine import ExecutionResult
+from .feedback import Feedback
+from .trace import ChannelRound, ExecutionTrace, RoundRecord
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def result_to_dict(result: ExecutionResult) -> Dict[str, Any]:
+    """Convert an :class:`ExecutionResult` to a JSON-ready dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "solved": result.solved,
+        "solved_round": result.solved_round,
+        "winner": result.winner,
+        "rounds": result.rounds,
+        "all_terminated": result.all_terminated,
+        "marks": [
+            {
+                "round": mark.round_index,
+                "node": mark.node_id,
+                "label": mark.label,
+                "payload": _jsonable(mark.payload),
+            }
+            for mark in result.trace.marks
+        ],
+        "rounds_detail": [
+            {
+                "round": record.round_index,
+                "active": record.active_count,
+                "channels": {
+                    str(channel): {
+                        "transmitters": list(activity.transmitters),
+                        "receivers": list(activity.receivers),
+                        "feedback": activity.feedback.value,
+                        "message": _jsonable(activity.message),
+                    }
+                    for channel, activity in record.channels.items()
+                },
+            }
+            for record in result.trace.rounds
+        ],
+    }
+
+
+def result_to_json(result: ExecutionResult, *, indent: int = 2) -> str:
+    """Serialize an execution result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def save_result(result: ExecutionResult, path: str) -> None:
+    """Write an execution result to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(result))
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> ExecutionTrace:
+    """Rebuild an :class:`ExecutionTrace` from a serialized dictionary.
+
+    Payload messages that were serialized via ``repr`` come back as strings;
+    everything structural (rounds, channels, feedback, participants, marks)
+    round-trips exactly.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    trace = ExecutionTrace()
+    trace.marks = [
+        MarkRecord(
+            round_index=mark["round"],
+            node_id=mark["node"],
+            label=mark["label"],
+            payload=mark["payload"],
+        )
+        for mark in payload.get("marks", [])
+    ]
+    for record in payload.get("rounds_detail", []):
+        channels = {
+            int(channel): ChannelRound(
+                transmitters=tuple(activity["transmitters"]),
+                receivers=tuple(activity["receivers"]),
+                feedback=Feedback(activity["feedback"]),
+                message=activity["message"],
+            )
+            for channel, activity in record["channels"].items()
+        }
+        trace.rounds.append(
+            RoundRecord(
+                round_index=record["round"],
+                channels=channels,
+                active_count=record["active"],
+            )
+        )
+    return trace
+
+
+def load_trace(path: str) -> ExecutionTrace:
+    """Read a serialized execution back as an :class:`ExecutionTrace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_dict(json.load(handle))

@@ -1,0 +1,115 @@
+"""Execution traces: per-round channel activity plus instrumentation marks.
+
+Traces serve three audiences:
+
+* tests, which assert on exact channel usage and model invariants;
+* benchmarks, which need per-step round accounting (via marks);
+* examples, which render executions for humans.
+
+Recording full traces costs memory proportional to rounds x participants, so
+the engine only keeps them when asked (``record_trace=True``).  Marks are
+always kept — they are tiny and drive step accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .context import MarkRecord
+from .feedback import Feedback
+
+
+@dataclass(frozen=True)
+class ChannelRound:
+    """Activity on one channel during one round.
+
+    Attributes:
+        transmitters: node ids that transmitted.
+        receivers: node ids that listened.
+        feedback: the outcome every participant observed.
+        message: the delivered payload when feedback is ``MESSAGE``.
+    """
+
+    transmitters: Tuple[int, ...]
+    receivers: Tuple[int, ...]
+    feedback: Feedback
+    message: Any = None
+
+    @property
+    def participant_count(self) -> int:
+        return len(self.transmitters) + len(self.receivers)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round's activity across all channels that saw participants."""
+
+    round_index: int
+    channels: Dict[int, ChannelRound]
+    active_count: int
+
+    def busiest_channel(self) -> Optional[int]:
+        """Channel with the most participants this round (``None`` if quiet)."""
+        if not self.channels:
+            return None
+        return max(self.channels, key=lambda c: self.channels[c].participant_count)
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything recorded about one execution."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    marks: List[MarkRecord] = field(default_factory=list)
+
+    def marks_with_label(self, label: str) -> List[MarkRecord]:
+        """All marks carrying ``label``, in emission order."""
+        return [m for m in self.marks if m.label == label]
+
+    def first_mark_round(self, label: str) -> Optional[int]:
+        """Round of the first mark with ``label`` (``None`` if absent)."""
+        for mark in self.marks:
+            if mark.label == label:
+                return mark.round_index
+        return None
+
+    def last_mark_round(self, label: str) -> Optional[int]:
+        """Round of the last mark with ``label`` (``None`` if absent)."""
+        result: Optional[int] = None
+        for mark in self.marks:
+            if mark.label == label:
+                result = mark.round_index
+        return result
+
+    def channel_utilization(self) -> Dict[int, int]:
+        """Total participant-rounds per channel over the whole execution."""
+        usage: Dict[int, int] = {}
+        for record in self.rounds:
+            for channel, activity in record.channels.items():
+                usage[channel] = usage.get(channel, 0) + activity.participant_count
+        return usage
+
+    def render(self, max_rounds: int = 40, max_channels: int = 16) -> str:
+        """Human-readable sketch of the execution (for examples/debugging).
+
+        Each line is one round; each cell shows the number of transmitters on
+        a channel (``.`` for unused, ``*`` for collision).
+        """
+        lines = []
+        header = "round | " + " ".join(f"ch{c:<3d}" for c in range(1, max_channels + 1))
+        lines.append(header)
+        for record in self.rounds[:max_rounds]:
+            cells = []
+            for channel in range(1, max_channels + 1):
+                activity = record.channels.get(channel)
+                if activity is None:
+                    cells.append("  .  ")
+                else:
+                    count = len(activity.transmitters)
+                    marker = "*" if count >= 2 else str(count)
+                    cells.append(f"  {marker}  ")
+            lines.append(f"{record.round_index:5d} | " + " ".join(cells))
+        if len(self.rounds) > max_rounds:
+            lines.append(f"... ({len(self.rounds) - max_rounds} more rounds)")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Closed-form theory: exact probabilities and expectations for the simple
+protocols, used to cross-check the simulator against mathematics.
+
+Shape experiments (EXPERIMENTS.md) validate asymptotics; this module pins
+down *absolute* numbers where clean formulas exist, so tests can demand the
+simulator's measurements match theory to within Monte-Carlo error:
+
+* slotted ALOHA's per-round solo probability and expected solve round;
+* the two-node renaming attempt distribution (geometric with rate 1/C);
+* the probability that ``b`` uniform balls in ``m`` bins leave a singleton
+  (exact inclusion-exclusion for small inputs — the quantity Lemma 9
+  bounds);
+* the expected rounds of the coin-flip symmetry breaker (TwoActive's
+  ``C = 1`` fallback).
+
+A simulator that matches these exactly and the asymptotic shapes broadly is
+very unlikely to be wrong in between.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from fractions import Fraction
+
+
+def aloha_solo_probability(active: int, probability: float) -> float:
+    """P[exactly one of ``active`` nodes transmits] with i.i.d. prob ``p``."""
+    if active < 1:
+        raise ValueError(f"active must be >= 1, got {active}")
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"probability must be in (0, 1], got {probability}")
+    if probability == 1.0:
+        return 1.0 if active == 1 else 0.0
+    return active * probability * (1.0 - probability) ** (active - 1)
+
+
+def aloha_expected_rounds(active: int, probability: float) -> float:
+    """Expected solve round of slotted ALOHA (geometric waiting time)."""
+    solo = aloha_solo_probability(active, probability)
+    if solo <= 0.0:
+        return math.inf
+    return 1.0 / solo
+
+
+def renaming_attempt_pmf(num_channels: int, attempts: int) -> float:
+    """P[the two-node renaming needs exactly ``attempts`` attempts].
+
+    Geometric with success probability ``1 - 1/C`` (Lemma 2's mechanism).
+    """
+    if num_channels < 1:
+        raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    failure = 1.0 / num_channels
+    return (failure ** (attempts - 1)) * (1.0 - failure)
+
+
+def renaming_whp_attempts(num_channels: int, n: int) -> float:
+    """The (1 - 1/n)-quantile of the renaming attempt count."""
+    if num_channels < 2:
+        raise ValueError("needs >= 2 channels (C = 1 never succeeds)")
+    return max(1.0, math.log(n) / math.log(num_channels))
+
+
+@lru_cache(maxsize=None)
+def _surjection_count(balls: int, bins: int) -> int:
+    """Number of functions from ``balls`` onto exactly the ``bins`` targets."""
+    # Inclusion-exclusion: sum_k (-1)^k C(bins,k) (bins-k)^balls.
+    total = 0
+    for k in range(bins + 1):
+        total += (-1) ** k * math.comb(bins, k) * (bins - k) ** balls
+    return total
+
+
+def no_singleton_probability(balls: int, bins: int) -> float:
+    """Exact P[no bin holds exactly one ball] for uniform throws.
+
+    Inclusion-exclusion over the set of singleton bins: the probability that
+    a *specific* set of ``j`` bins are singletons (with specified occupants)
+    accumulates to
+
+        P = sum_j (-1)^j C(bins, j) * balls!/(balls-j)! * (bins-j)^(balls-j)
+            / bins^balls
+
+    Exact rational arithmetic keeps it stable; intended for the small inputs
+    (``balls, bins <= 64``) tests compare the simulator against.
+    """
+    if balls < 0 or bins < 1:
+        raise ValueError(f"need balls >= 0 and bins >= 1, got {balls}, {bins}")
+    if balls == 0:
+        return 1.0
+    total = Fraction(0)
+    denominator = Fraction(bins) ** balls
+    for j in range(0, min(balls, bins) + 1):
+        ways = (
+            math.comb(bins, j)
+            * math.perm(balls, j)
+            * (bins - j) ** (balls - j)
+        )
+        total += Fraction((-1) ** j * ways)
+    return float(total / denominator)
+
+
+def coin_flip_expected_rounds() -> float:
+    """Expected rounds of the two-node coin-flip breaker (C = 1 fallback).
+
+    Each round succeeds iff exactly one of two fair coins is heads: p = 1/2,
+    so the expectation is 2.
+    """
+    return 2.0
+
+
+def binary_search_cd_rounds(n: int) -> int:
+    """Exact worst-case rounds of the classical binary descent: the opening
+    everyone-transmits round plus one halving per bit of ``n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 + max(0, (n - 1).bit_length())

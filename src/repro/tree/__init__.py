@@ -1,0 +1,5 @@
+"""Channel-tree structures shared by SplitCheck and LeafElection."""
+
+from .channel_tree import ChannelTree, split_levels
+
+__all__ = ["ChannelTree", "split_levels"]

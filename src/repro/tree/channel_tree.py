@@ -1,0 +1,259 @@
+"""The canonical binary *tree of channels* used by SplitCheck and LeafElection.
+
+Both of the paper's tree-based steps consider a complete binary tree whose
+leaves are labelled with the (reduced) id space:
+
+* **TwoActive / SplitCheck** (Section 4) uses a tree with ``C`` leaves and
+  addresses a level-``m`` ancestor by its *1-based index within level m* —
+  the pseudocode's channel formula ``ceil(id / 2^(lg C - m))``.
+* **LeafElection** (Section 5.3) uses a tree with ``C/2`` leaves and assigns
+  each *tree node* its own dedicated channel; a complete binary tree with
+  ``L`` leaves has ``2L - 1`` nodes, so ``C/2`` leaves need ``C - 1 <= C``
+  channels.  We use heap indexing (root = 1, children of ``p`` are ``2p`` and
+  ``2p + 1``) and map tree node ``t`` to channel ``t``.
+
+This module implements both addressings over one structure, plus the path
+algebra (ancestors, divergence levels, least common ancestors) that the
+algorithms and their tests rely on.
+
+Conventions: levels are depths — the root is level 0 and leaves are level
+``height = lg(num_leaves)``.  Leaf labels are 1-based: ``1 .. num_leaves``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..mathutil import exact_log2, is_power_of_two
+
+
+@dataclass(frozen=True)
+class ChannelTree:
+    """A complete binary tree over a power-of-two leaf space.
+
+    Attributes:
+        num_leaves: number of leaves; must be a power of two (>= 1).
+    """
+
+    num_leaves: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_leaves):
+            raise ValueError(
+                f"num_leaves must be a power of two, got {self.num_leaves}"
+            )
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def height(self) -> int:
+        """Depth of the leaves (the paper's ``h = lg C``)."""
+        return exact_log2(self.num_leaves)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total tree nodes: ``2 * num_leaves - 1``."""
+        return 2 * self.num_leaves - 1
+
+    def level_width(self, level: int) -> int:
+        """Number of tree nodes at ``level``."""
+        self._check_level(level)
+        return 1 << level
+
+    def level_nodes(self, level: int) -> range:
+        """Heap indices of the nodes at ``level``, left to right."""
+        self._check_level(level)
+        return range(1 << level, 1 << (level + 1))
+
+    # ------------------------------------------------------- node navigation
+
+    def level_of(self, node: int) -> int:
+        """The level (depth) of heap node ``node``."""
+        self._check_node(node)
+        return node.bit_length() - 1
+
+    def parent(self, node: int) -> int:
+        """Heap index of the parent (root has no parent)."""
+        self._check_node(node)
+        if node == 1:
+            raise ValueError("the root has no parent")
+        return node >> 1
+
+    def left_child(self, node: int) -> int:
+        """Heap index of the left child of an internal node."""
+        self._check_internal(node)
+        return node << 1
+
+    def right_child(self, node: int) -> int:
+        """Heap index of the right child of an internal node."""
+        self._check_internal(node)
+        return (node << 1) | 1
+
+    def is_leaf_node(self, node: int) -> bool:
+        """True iff the heap node is a leaf."""
+        self._check_node(node)
+        return node >= self.num_leaves
+
+    def is_left_child(self, node: int) -> bool:
+        """True iff ``node`` is the left child of its parent."""
+        self._check_node(node)
+        if node == 1:
+            raise ValueError("the root is neither child")
+        return node % 2 == 0
+
+    # ----------------------------------------------------------- leaf algebra
+
+    def leaf_node(self, leaf: int) -> int:
+        """Heap index of the leaf labelled ``leaf`` (1-based)."""
+        self._check_leaf(leaf)
+        return self.num_leaves + leaf - 1
+
+    def leaf_label(self, node: int) -> int:
+        """Inverse of :meth:`leaf_node`."""
+        self._check_node(node)
+        if not self.is_leaf_node(node):
+            raise ValueError(f"node {node} is not a leaf")
+        return node - self.num_leaves + 1
+
+    def ancestor(self, leaf: int, level: int) -> int:
+        """Heap index of the level-``level`` ancestor of leaf ``leaf``.
+
+        This is the paper's ``a_l(v)`` notation (Figure 3).  The leaf itself
+        is its own level-``height`` ancestor; the root is everyone's level-0
+        ancestor.
+        """
+        self._check_leaf(leaf)
+        self._check_level(level)
+        return self.leaf_node(leaf) >> (self.height - level)
+
+    def ancestor_index_in_level(self, leaf: int, level: int) -> int:
+        """1-based position of the level-``level`` ancestor within its level.
+
+        Equals the SplitCheck channel formula ``ceil(leaf / 2^(h - level))``;
+        we compute it from the heap index, and the equivalence is covered by
+        tests.
+        """
+        return self.ancestor(leaf, level) - (1 << level) + 1
+
+    def path(self, leaf: int) -> List[int]:
+        """Heap indices of the root-to-leaf path (levels 0..height)."""
+        return [self.ancestor(leaf, level) for level in range(self.height + 1)]
+
+    def in_right_subtree(self, leaf: int, ancestor_level: int) -> bool:
+        """True iff ``leaf`` lies in the *right* subtree of its
+        level-``ancestor_level`` ancestor.
+
+        Requires ``ancestor_level < height`` (a leaf is in neither subtree of
+        itself).
+        """
+        if ancestor_level >= self.height:
+            raise ValueError(
+                f"ancestor_level must be < height={self.height}, got {ancestor_level}"
+            )
+        child = self.ancestor(leaf, ancestor_level + 1)
+        return not self.is_left_child(child)
+
+    # ----------------------------------------------------- divergence algebra
+
+    def divergence_level(self, leaf_a: int, leaf_b: int) -> int:
+        """Smallest level at which the paths to two distinct leaves differ.
+
+        This is the ``l = min{m : B[m] = 0}`` of Lemma 3.  Always in
+        ``[1, height]`` for distinct leaves.
+        """
+        if leaf_a == leaf_b:
+            raise ValueError("divergence level undefined for identical leaves")
+        node_a, node_b = self.leaf_node(leaf_a), self.leaf_node(leaf_b)
+        # XOR of heap indices: the highest set bit marks the first differing
+        # path step; leading equal bits are the shared prefix.
+        differing = node_a ^ node_b
+        shared_prefix_bits = node_a.bit_length() - differing.bit_length()
+        # Ancestors at level m are the top m+1 bits of the heap index, so the
+        # paths first differ at level == number of shared leading bits.
+        return shared_prefix_bits
+
+    def lca(self, leaf_a: int, leaf_b: int) -> int:
+        """Heap index of the least common ancestor of two leaves."""
+        level = 0 if leaf_a == leaf_b else self.divergence_level(leaf_a, leaf_b) - 1
+        if leaf_a == leaf_b:
+            return self.leaf_node(leaf_a)
+        return self.ancestor(leaf_a, level)
+
+    def lca_level_of_set(self, leaves: Sequence[int]) -> int:
+        """Level of the least common ancestor of a non-empty leaf set."""
+        if not leaves:
+            raise ValueError("need at least one leaf")
+        if len(set(leaves)) == 1:
+            return self.height
+        lowest = self.height
+        first = leaves[0]
+        for other in leaves[1:]:
+            if other != first:
+                lowest = min(lowest, self.divergence_level(first, other) - 1)
+        # Pairwise against a fixed leaf is enough: LCA level of a set equals
+        # the minimum pairwise LCA level with any fixed member.
+        return lowest
+
+    def global_divergence_level(self, leaves: Iterable[int]) -> int:
+        """Smallest level at which *all* given leaves have distinct ancestors.
+
+        This is the level LeafElection's SplitSearch must return: the level
+        closest to the root such that every subtree rooted there contains at
+        most one of the given leaves.  For a single leaf this is 0 (already
+        distinct at the root).
+        """
+        distinct = sorted(set(leaves))
+        if not distinct:
+            raise ValueError("need at least one leaf")
+        if len(distinct) == 1:
+            return 0
+        worst = 1
+        for left, right in zip(distinct, distinct[1:]):
+            worst = max(worst, self.divergence_level(left, right))
+        # Sorted adjacency suffices: ancestors at a level are monotone in the
+        # leaf label, so equal ancestors imply an equal adjacent pair.
+        return worst
+
+    # ------------------------------------------------------- channel mapping
+
+    def node_channel(self, node: int) -> int:
+        """Dedicated channel of a tree node (LeafElection mapping)."""
+        self._check_node(node)
+        return node
+
+    def row_channel(self, level: int) -> int:
+        """The level's representative channel: its leftmost tree node."""
+        self._check_level(level)
+        return 1 << level
+
+    # -------------------------------------------------------------- checking
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} outside [0, {self.height}]")
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not 1 <= leaf <= self.num_leaves:
+            raise ValueError(f"leaf {leaf} outside [1, {self.num_leaves}]")
+
+    def _check_node(self, node: int) -> None:
+        if not 1 <= node <= self.num_nodes:
+            raise ValueError(f"node {node} outside [1, {self.num_nodes}]")
+
+    def _check_internal(self, node: int) -> None:
+        self._check_node(node)
+        if self.is_leaf_node(node):
+            raise ValueError(f"node {node} is a leaf and has no children")
+
+
+def split_levels(tree: ChannelTree, leaves: Sequence[int]) -> Tuple[int, ...]:
+    """Divergence levels of all adjacent pairs of the sorted distinct leaves.
+
+    A diagnostic helper used by tests and examples to reason about how
+    LeafElection's pairing rounds will proceed.
+    """
+    distinct = sorted(set(leaves))
+    return tuple(
+        tree.divergence_level(a, b) for a, b in zip(distinct, distinct[1:])
+    )

@@ -1,0 +1,26 @@
+"""Exhaustive verification of the deterministic components.
+
+For small channel counts the deterministic parts of the paper's algorithms
+have finitely many behaviours, so instead of sampling we can check *all* of
+them — model checking by brute force:
+
+* SplitCheck over every ordered pair of ids;
+* LeafElection over every non-empty subset of leaves (driven through real
+  channels, compared against the structural oracle).
+
+``python -m repro verify`` runs the whole battery.
+"""
+
+from .exhaustive import (
+    VerificationReport,
+    verify_all,
+    verify_leaf_election_subsets,
+    verify_splitcheck_pairs,
+)
+
+__all__ = [
+    "VerificationReport",
+    "verify_all",
+    "verify_leaf_election_subsets",
+    "verify_splitcheck_pairs",
+]

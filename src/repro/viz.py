@@ -1,0 +1,119 @@
+"""Plain-text visualization helpers for traces and series.
+
+Everything renders to strings (no plotting dependencies) so examples,
+experiment outputs, and EXPERIMENTS.md can embed the "figures" directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .tree import ChannelTree
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, maximum: Optional[float] = None) -> str:
+    """One-line bar chart of a non-negative series.
+
+    Args:
+        values: the series (non-negative).
+        maximum: scale ceiling; defaults to ``max(values)``.
+
+    Returns:
+        A string of block characters, one per value.
+    """
+    if not values:
+        return ""
+    if any(v < 0 for v in values):
+        raise ValueError("sparkline requires non-negative values")
+    ceiling = maximum if maximum is not None else max(values)
+    if ceiling <= 0:
+        return _BLOCKS[0] * len(values)
+    cells = []
+    for value in values:
+        level = min(len(_BLOCKS) - 1, int(value / ceiling * (len(_BLOCKS) - 1) + 0.5))
+        cells.append(_BLOCKS[level])
+    return "".join(cells)
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Labelled horizontal bar chart (one line per entry)."""
+    if len(labels) != len(values):
+        raise ValueError(f"length mismatch: {len(labels)} vs {len(values)}")
+    if not values:
+        return ""
+    if any(v < 0 for v in values):
+        raise ValueError("horizontal_bars requires non-negative values")
+    ceiling = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / ceiling * width))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def render_channel_tree(
+    tree: ChannelTree,
+    occupied_leaves: Sequence[int] = (),
+    *,
+    highlight: Optional[Dict[int, str]] = None,
+) -> str:
+    """ASCII rendering of the tree of channels, level by level.
+
+    Each tree node prints as its channel number; occupied leaves are marked
+    with ``*`` and nodes in ``highlight`` are annotated with the given
+    single-character tag (e.g. cohort nodes).
+
+    Small trees only (width grows as ``2^height``); raises for trees wider
+    than 64 leaves.
+    """
+    if tree.num_leaves > 64:
+        raise ValueError("render_channel_tree is for trees with <= 64 leaves")
+    occupied = set(occupied_leaves)
+    tags = highlight or {}
+    cell = max(4, len(str(tree.num_nodes)) + 2)
+    total_width = tree.num_leaves * cell
+    lines: List[str] = []
+    for level in range(tree.height + 1):
+        nodes = list(tree.level_nodes(level))
+        slot = total_width // len(nodes)
+        row = []
+        for node in nodes:
+            text = str(node)
+            if node in tags:
+                text += tags[node]
+            if tree.is_leaf_node(node) and tree.leaf_label(node) in occupied:
+                text += "*"
+            row.append(text.center(slot))
+        lines.append("".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def series_table(
+    round_indices: Sequence[int],
+    series: Dict[str, Sequence[float]],
+    *,
+    stride: int = 1,
+) -> str:
+    """Multi-series text table: one row per (strided) round."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(round_indices):
+            raise ValueError(f"series {name!r} length mismatch")
+    header = "round  " + "  ".join(name.rjust(12) for name in names)
+    lines = [header, "-" * len(header)]
+    for position in range(0, len(round_indices), stride):
+        row = f"{round_indices[position]:5d}  " + "  ".join(
+            f"{series[name][position]:12.2f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Tests for the scipy-backed significance tooling."""
+
+import random
+
+import pytest
+
+pytest.importorskip("scipy")
+
+from repro.analysis.advanced_stats import (
+    chi_square_geometric,
+    mann_whitney_faster,
+    t_confidence_interval,
+)
+
+
+def geometric_sample(p, count, seed):
+    rng = random.Random(seed)
+    sample = []
+    for _ in range(count):
+        attempts = 1
+        while rng.random() >= p:
+            attempts += 1
+        sample.append(attempts)
+    return sample
+
+
+class TestTConfidenceInterval:
+    def test_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = t_confidence_interval(values)
+        assert low < 3.0 < high
+
+    def test_wider_than_normal_at_small_n(self):
+        from repro.analysis import summarize
+
+        values = [1.0, 2.0, 3.0]
+        low, high = t_confidence_interval(values)
+        summary = summarize(values)
+        assert (high - low) / 2 > summary.ci95_half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_confidence_interval([1.0])
+        with pytest.raises(ValueError):
+            t_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestChiSquareGeometric:
+    def test_accepts_true_model(self):
+        sample = geometric_sample(0.25, 3000, seed=1)
+        result = chi_square_geometric(sample, 0.25)
+        assert result.consistent
+        assert result.bins >= 2
+
+    def test_rejects_wrong_rate(self):
+        sample = geometric_sample(0.25, 3000, seed=2)
+        result = chi_square_geometric(sample, 0.6)
+        assert not result.consistent
+
+    def test_rejects_non_geometric_data(self):
+        result = chi_square_geometric([3] * 2000, 0.5)
+        assert not result.consistent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_geometric([], 0.5)
+        with pytest.raises(ValueError):
+            chi_square_geometric([1, 2], 0.0)
+        with pytest.raises(ValueError):
+            chi_square_geometric([1, 2, 3], 0.5)  # too small to bin
+
+
+class TestMannWhitney:
+    def test_detects_clear_winner(self):
+        fast = [3.0 + (i % 3) for i in range(100)]
+        slow = [10.0 + (i % 5) for i in range(100)]
+        result = mann_whitney_faster(fast, slow)
+        assert result.a_significantly_faster
+        assert result.median_a < result.median_b
+
+    def test_no_false_positive_on_identical(self):
+        same = [5.0 + (i % 4) for i in range(100)]
+        result = mann_whitney_faster(same, list(same))
+        assert not result.a_significantly_faster
+
+    def test_real_protocols(self):
+        # The classical adaptive CD algorithm crushes fixed-probability
+        # ALOHA on sparse activations — the canonical comparative claim.
+        from repro import BinarySearchCD, SlottedAloha, solve
+        from repro.sim import activate_random
+
+        def rounds(protocol_cls):
+            values = []
+            for seed in range(30):
+                result = solve(
+                    protocol_cls(),
+                    n=256,
+                    num_channels=1,
+                    activation=activate_random(256, 3, seed=seed),
+                    seed=seed,
+                )
+                values.append(float(result.rounds))
+            return values
+
+        comparison = mann_whitney_faster(rounds(BinarySearchCD), rounds(SlottedAloha))
+        assert comparison.a_significantly_faster
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mann_whitney_faster([], [1.0])

@@ -1,0 +1,133 @@
+"""Tests for the empirical-distribution tooling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distributions import (
+    empirical_cdf,
+    geometric_fit,
+    histogram,
+    ks_distance,
+)
+
+
+class TestEmpiricalCdf:
+    def test_step_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_duplicates(self):
+        cdf = empirical_cdf([2.0, 2.0, 2.0])
+        assert cdf(1.9) == 0.0
+        assert cdf(2.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=100))
+    def test_monotone_and_bounded(self, values):
+        cdf = empirical_cdf(values)
+        points = sorted(set(values))
+        previous = 0.0
+        for point in points:
+            current = cdf(point)
+            assert 0.0 <= current <= 1.0
+            assert current >= previous
+            previous = current
+
+
+class TestKsDistance:
+    def test_zero_for_own_cdf_limit(self):
+        # Sample vs its own empirical CDF: distance bounded by 1/n.
+        values = [1.0, 2.0, 3.0, 4.0]
+        cdf = empirical_cdf(values)
+        assert ks_distance(values, cdf) <= 1.0 / len(values) + 1e-9
+
+    def test_detects_wrong_model(self):
+        values = [10.0] * 100
+        distance = ks_distance(values, lambda x: 0.0)  # model: mass at +inf
+        assert distance == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], lambda x: 0.5)
+
+
+class TestGeometricFit:
+    def test_recovers_known_rate(self):
+        rng = random.Random(1)
+        p = 0.25
+        attempts = []
+        for _ in range(4000):
+            count = 1
+            while rng.random() >= p:
+                count += 1
+            attempts.append(count)
+        fit = geometric_fit(attempts)
+        assert fit.success_probability == pytest.approx(p, abs=0.02)
+        assert fit.ks < 0.03  # the data really is geometric
+
+    def test_rejects_non_geometric(self):
+        # Constant attempts are maximally non-geometric at this rate.
+        fit = geometric_fit([5] * 1000)
+        assert fit.ks > 0.5
+
+    def test_all_first_try(self):
+        fit = geometric_fit([1] * 50)
+        assert fit.success_probability == 1.0
+        assert fit.failure_probability == 0.0
+        assert fit.quantile(0.99) == 1.0
+
+    def test_quantile_formula(self):
+        fit = geometric_fit([1, 1, 2, 2, 3, 3])
+        q = fit.quantile(0.9)
+        # CDF at the quantile is at least 0.9.
+        assert 1.0 - fit.failure_probability ** q >= 0.9 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_fit([])
+        with pytest.raises(ValueError):
+            geometric_fit([0, 1])
+        with pytest.raises(ValueError):
+            geometric_fit([1]).quantile(1.0)
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = [1, 2, 2, 3, 9]
+        result = histogram(values, bins=4)
+        assert sum(result.values()) == len(values)
+
+    def test_single_value(self):
+        result = histogram([5.0, 5.0])
+        assert list(result.values()) == [2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.05, max_value=0.95), st.integers(min_value=0, max_value=1000))
+def test_geometric_fit_property(p, seed):
+    """MLE recovers the rate of synthetic geometric data within tolerance."""
+    rng = random.Random(seed)
+    attempts = []
+    for _ in range(800):
+        count = 1
+        while rng.random() >= p:
+            count += 1
+        attempts.append(count)
+    fit = geometric_fit(attempts)
+    assert abs(fit.success_probability - p) < 0.08
+    assert fit.ks < 0.08

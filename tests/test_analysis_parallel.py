@@ -1,0 +1,71 @@
+"""Tests for the process-parallel sweep runner."""
+
+import pytest
+
+from repro.analysis.parallel import (
+    register_trial,
+    registered_trials,
+    run_cell_parallel,
+)
+from repro.analysis.sweep import run_cell
+from repro.experiments.common import two_active_trial
+
+
+class TestRegistry:
+    def test_standard_trials_registered(self):
+        names = registered_trials()
+        for expected in ("two-active", "general", "baseline", "leaf-election"):
+            assert expected in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_trial("two-active")(lambda seed: {"rounds": 0.0})
+
+    def test_unknown_trial_rejected(self):
+        with pytest.raises(KeyError):
+            run_cell_parallel("nope", {}, trials=2)
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            run_cell_parallel("two-active", {"n": 64, "C": 4}, trials=0)
+
+
+class TestEquivalenceWithSerial:
+    def test_in_process_path_matches_serial(self):
+        params = {"n": 1 << 10, "C": 16}
+        parallel = run_cell_parallel(
+            "two-active", params, trials=20, master_seed=3, processes=1
+        )
+        serial = run_cell(
+            lambda seed: two_active_trial(params["n"], params["C"], seed),
+            trials=20,
+            master_seed=3,
+        )
+        assert parallel.metric("rounds") == serial.metric("rounds")
+        assert parallel.metric("completion_rounds") == serial.metric(
+            "completion_rounds"
+        )
+
+    def test_pool_path_matches_serial(self):
+        params = {"n": 1 << 10, "C": 16}
+        try:
+            parallel = run_cell_parallel(
+                "two-active", params, trials=12, master_seed=5, processes=2
+            )
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        serial = run_cell(
+            lambda seed: two_active_trial(params["n"], params["C"], seed),
+            trials=12,
+            master_seed=5,
+        )
+        assert parallel.metric("rounds") == serial.metric("rounds")
+
+    def test_general_trial_via_registry(self):
+        cell = run_cell_parallel(
+            "general",
+            {"n": 256, "C": 16, "active": 40},
+            trials=5,
+            processes=1,
+        )
+        assert all(t["solved"] == 1.0 for t in cell.trials)

@@ -1,0 +1,106 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import geometric_mean, proportion_ci, quantile, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.median == 3.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.ci95_half_width == 0.0
+        assert summary.p99 == 7.0
+
+    def test_std_matches_textbook(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        summary = summarize(values)
+        assert summary.std == pytest.approx(2.138, abs=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format_contains_fields(self):
+        text = summarize([1, 2, 3]).format()
+        assert "median" in text
+        assert "n=3" in text
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_invariants(self, values):
+        summary = summarize(values)
+        tolerance = 1e-6 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+        assert summary.p90 <= summary.p99 <= summary.maximum
+        assert summary.std >= 0.0
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        data = list(range(1, 101))
+        assert quantile(data, 0.5) == 50
+        assert quantile(data, 0.99) == 99
+        assert quantile(data, 1.0) == 100
+        assert quantile(data, 0.0) == 1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+
+class TestProportionCI:
+    def test_zero_successes(self):
+        low, high = proportion_ci(0, 100)
+        assert low == 0.0
+        assert 0.0 < high < 0.05
+
+    def test_all_successes(self):
+        low, high = proportion_ci(100, 100)
+        assert high == pytest.approx(1.0)
+        assert 0.95 < low < 1.0
+
+    def test_half(self):
+        low, high = proportion_ci(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            proportion_ci(5, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(11, 10)
+
+    def test_narrows_with_trials(self):
+        _low_small, high_small = proportion_ci(1, 20)
+        _low_big, high_big = proportion_ci(50, 1000)
+        assert high_big - _low_big < high_small - _low_small
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=50))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

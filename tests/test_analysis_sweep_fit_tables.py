@@ -1,0 +1,201 @@
+"""Tests for sweeps, fitting, predictors, and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    fit_linear,
+    grid_product,
+    log_log_slope,
+    ratio_spread,
+    ratios,
+    run_cell,
+    run_sweep,
+)
+from repro.analysis.predictors import (
+    daum_bound,
+    decay_bound,
+    general_bound,
+    id_reduction_bound,
+    leaf_election_bound,
+    leaf_election_binary_bound,
+    lower_bound_two_channel_cd,
+    two_active_bound,
+)
+
+
+class TestGridProduct:
+    def test_row_major_order(self):
+        grid = grid_product(n=[1, 2], C=[10, 20])
+        assert grid == [
+            {"n": 1, "C": 10},
+            {"n": 1, "C": 20},
+            {"n": 2, "C": 10},
+            {"n": 2, "C": 20},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid_product(n=[])
+
+
+class TestRunCellAndSweep:
+    def test_deterministic_seeds(self):
+        seen = []
+
+        def trial(seed):
+            seen.append(seed)
+            return {"rounds": float(seed % 7)}
+
+        first = run_cell(trial, trials=10, master_seed=3)
+        seeds_first = list(seen)
+        seen.clear()
+        run_cell(trial, trials=10, master_seed=3)
+        assert seen == seeds_first
+        assert first.summary("rounds").count == 10
+
+    def test_cell_lookup(self):
+        sweep = run_sweep(
+            grid_product(n=[1, 2]),
+            lambda params: (lambda seed: {"rounds": float(params["n"])}),
+            trials=3,
+        )
+        assert sweep.cell(n=2).mean("rounds") == 2.0
+        with pytest.raises(KeyError):
+            sweep.cell(n=99)
+
+    def test_missing_metric_raises(self):
+        cell = run_cell(lambda seed: {"rounds": 1.0}, trials=2)
+        with pytest.raises(KeyError):
+            cell.summary("absent")
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            run_cell(lambda seed: {"rounds": 1.0}, trials=0)
+
+    def test_column(self):
+        sweep = run_sweep(
+            grid_product(n=[3, 5]),
+            lambda params: (lambda seed: {"rounds": float(params["n"])}),
+            trials=2,
+        )
+        assert sweep.column("rounds") == [3.0, 5.0]
+
+
+class TestFitting:
+    def test_perfect_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0, 5.0, 7.0, 9.0]
+        fit = fit_linear(xs, ys)
+        assert fit.scale == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(5.0) == pytest.approx(11.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_linear([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_linear([1.0, 2.0], [2.0])
+
+    def test_ratio_spread(self):
+        spread = ratio_spread([2.0, 4.0, 3.0], [1.0, 2.0, 1.0])
+        assert spread.minimum == 2.0
+        assert spread.maximum == 3.0
+        assert spread.spread == 1.5
+
+    def test_ratios_validation(self):
+        with pytest.raises(ValueError):
+            ratios([1.0], [0.0])
+        with pytest.raises(ValueError):
+            ratios([1.0, 2.0], [1.0])
+
+    def test_log_log_slope(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [4.0, 16.0, 64.0, 256.0]  # y = x^2
+        assert log_log_slope(xs, ys) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            log_log_slope([0.0, 1.0], [1.0, 2.0])
+
+
+class TestPredictors:
+    def test_two_active_matches_lower_bound(self):
+        assert two_active_bound(1 << 16, 64) == lower_bound_two_channel_cd(1 << 16, 64)
+
+    def test_two_active_components(self):
+        # log n/log C + loglog n with exact powers: 16/6 + 4.
+        assert two_active_bound(1 << 16, 64) == pytest.approx(16 / 6 + 4)
+
+    def test_general_exceeds_two_active(self):
+        for n_exp in (8, 16, 24):
+            assert general_bound(1 << n_exp, 64) >= two_active_bound(1 << n_exp, 64)
+
+    def test_monotone_in_n(self):
+        values = [general_bound(1 << k, 64) for k in range(4, 30)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_channels(self):
+        values = [id_reduction_bound(1 << 20, 1 << k) for k in range(2, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_decay_vs_daum(self):
+        n = 1 << 16
+        assert daum_bound(n, 1) == pytest.approx(decay_bound(n) + 16)
+        assert daum_bound(n, 256) < decay_bound(n)
+
+    def test_leaf_election_binary_dominates_cohort(self):
+        for x in (4, 16, 256):
+            assert leaf_election_binary_bound(1024, x) >= leaf_election_bound(1024, x)
+
+    def test_all_positive(self):
+        for fn, args in [
+            (two_active_bound, (2, 1)),
+            (general_bound, (2, 1)),
+            (leaf_election_bound, (4, 1)),
+            (decay_bound, (2,)),
+            (daum_bound, (2, 1)),
+        ]:
+            assert fn(*args) > 0
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["a", "bbb"], caption="cap")
+        table.add_row(1, 2.345)
+        text = table.render()
+        assert "cap" in text
+        assert "a" in text and "bbb" in text
+        assert "2.35" in text  # 2 digits default
+
+    def test_row_length_validated(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_markdown(self):
+        table = Table(["x", "y"], caption="t")
+        table.add_row(1, True)
+        md = table.markdown()
+        assert "| x | y |" in md
+        assert "| 1 | yes |" in md
+
+    def test_bool_and_digits_formatting(self):
+        table = Table(["v"], digits=3)
+        table.add_row(1.23456)
+        assert "1.235" in table.render()
+        table2 = Table(["v"])
+        table2.add_row(False)
+        assert "no" in table2.render()
+
+    def test_add_rows(self):
+        table = Table(["a", "b"])
+        table.add_rows([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])

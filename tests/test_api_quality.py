@@ -1,0 +1,88 @@
+"""API quality gates: documentation coverage and export hygiene.
+
+Not tests of behaviour — tests that the library stays usable: every public
+module, class, and function carries a docstring, and every name promised in
+an ``__all__`` actually resolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = ["repro"]
+
+
+def iter_modules():
+    seen = set()
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+            if info.name in seen:
+                continue
+            seen.add(info.name)
+            yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(member):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__ for module in iter_modules() if not module.__doc__
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, member in public_members(module):
+                if not inspect.getdoc(member):
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, member in public_members(module):
+                if not inspect.isclass(member):
+                    continue
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    if not inspect.getdoc(method):
+                        undocumented.append(
+                            f"{module.__name__}.{name}.{method_name}"
+                        )
+        assert not undocumented, f"undocumented methods: {undocumented}"
+
+
+class TestExports:
+    def test_all_entries_resolve(self):
+        broken = []
+        for module in iter_modules():
+            for name in getattr(module, "__all__", []):
+                if not hasattr(module, name):
+                    broken.append(f"{module.__name__}.{name}")
+        assert not broken, f"__all__ names that do not resolve: {broken}"
+
+    def test_top_level_all_sorted_unique(self):
+        names = repro.__all__
+        assert len(names) == len(set(names))
+
+    def test_version_present(self):
+        assert repro.__version__

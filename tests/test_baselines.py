@@ -1,0 +1,204 @@
+"""Tests for the classical baseline protocols."""
+
+import pytest
+
+from repro import BinarySearchCD, DaumMultiChannel, Decay, SlottedAloha, solve
+from repro.baselines import decay_sweep_length
+from repro.mathutil import ceil_log2
+from repro.sim import Activation, activate_all, activate_random
+
+
+class TestBinarySearchCD:
+    def test_solves_deterministically(self):
+        for seed in range(3):
+            result = solve(
+                BinarySearchCD(),
+                n=1 << 10,
+                num_channels=1,
+                activation=activate_all(1 << 10),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_rounds_at_most_log_n_plus_one(self):
+        for n_exp in (4, 8, 12):
+            n = 1 << n_exp
+            result = solve(
+                BinarySearchCD(),
+                n=n,
+                num_channels=1,
+                activation=activate_all(n),
+                seed=0,
+            )
+            assert result.rounds <= ceil_log2(n) + 1
+
+    def test_winner_is_smallest_active_id(self):
+        activation = Activation(active_ids=[37, 100, 512, 513])
+        result = solve(
+            BinarySearchCD(),
+            n=1 << 10,
+            num_channels=1,
+            activation=activation,
+            seed=0,
+        )
+        assert result.winner == 37
+
+    def test_single_active_solves_in_one_round(self):
+        result = solve(
+            BinarySearchCD(),
+            n=256,
+            num_channels=1,
+            activation=Activation(active_ids=[99]),
+            seed=0,
+        )
+        assert result.solved_round == 1
+        assert result.winner == 99
+
+    def test_identical_rounds_regardless_of_seed(self):
+        activation = Activation(active_ids=[3, 900])
+        rounds = {
+            solve(
+                BinarySearchCD(),
+                n=1 << 10,
+                num_channels=1,
+                activation=activation,
+                seed=seed,
+            ).rounds
+            for seed in range(5)
+        }
+        assert len(rounds) == 1  # fully deterministic
+
+    def test_adjacent_pair(self):
+        activation = Activation(active_ids=[511, 512])
+        result = solve(
+            BinarySearchCD(), n=1 << 10, num_channels=1, activation=activation
+        )
+        assert result.winner == 511
+
+
+class TestDecay:
+    def test_sweep_length(self):
+        assert decay_sweep_length(1024) == 11
+        assert decay_sweep_length(2) == 2
+
+    def test_solves_dense(self):
+        for seed in range(5):
+            result = solve(
+                Decay(),
+                n=1 << 8,
+                num_channels=1,
+                activation=activate_all(1 << 8),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_solves_sparse(self):
+        for seed in range(5):
+            result = solve(
+                Decay(),
+                n=1 << 10,
+                num_channels=1,
+                activation=activate_random(1 << 10, 3, seed=seed),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_no_cd_discipline(self):
+        # Structural check: the Decay source must never consult the
+        # silence/collision distinction or a transmitter's own feedback.
+        import inspect
+
+        from repro.baselines import decay
+
+        source = inspect.getsource(decay.Decay.run)
+        assert ".collision" not in source
+        assert ".silence" not in source
+        assert ".alone" not in source
+
+
+class TestDaumMultiChannel:
+    @pytest.mark.parametrize("num_channels", [1, 4, 32, 256])
+    def test_solves(self, num_channels):
+        for seed in range(4):
+            result = solve(
+                DaumMultiChannel(),
+                n=1 << 8,
+                num_channels=num_channels,
+                activation=activate_all(1 << 8),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_no_cd_discipline(self):
+        import inspect
+
+        from repro.baselines import daum_multichannel
+
+        source = inspect.getsource(daum_multichannel.DaumMultiChannel.run)
+        assert ".collision" not in source
+        assert ".silence" not in source
+        assert ".alone" not in source
+
+    def test_channels_speed_up_dense_instances(self):
+        # Statistical: mean over seeds with C=64 should beat C=1 on dense
+        # instances (the whole point of Daum et al.).
+        def mean_rounds(num_channels):
+            total = 0
+            for seed in range(25):
+                result = solve(
+                    DaumMultiChannel(),
+                    n=1 << 9,
+                    num_channels=num_channels,
+                    activation=activate_all(1 << 9),
+                    seed=seed,
+                )
+                total += result.rounds
+            return total / 25
+
+        assert mean_rounds(64) < mean_rounds(1)
+
+
+class TestSlottedAloha:
+    def test_solves_dense(self):
+        for seed in range(5):
+            result = solve(
+                SlottedAloha(),
+                n=1 << 8,
+                num_channels=1,
+                activation=activate_all(1 << 8),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_custom_probability(self):
+        result = solve(
+            SlottedAloha(probability=0.5),
+            n=1 << 8,
+            num_channels=1,
+            activation=activate_random(1 << 8, 2, seed=1),
+            seed=1,
+        )
+        assert result.solved
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SlottedAloha(probability=0.0)
+        with pytest.raises(ValueError):
+            SlottedAloha(probability=1.5)
+
+    def test_sparse_is_slow(self):
+        # The classical failure mode: p = 1/n with few actives.
+        def mean_rounds(active_count):
+            total = 0
+            for seed in range(15):
+                result = solve(
+                    SlottedAloha(),
+                    n=1 << 9,
+                    num_channels=1,
+                    activation=activate_random(1 << 9, active_count, seed=seed),
+                    seed=seed,
+                )
+                total += result.rounds
+            return total / 15
+
+        assert mean_rounds(2) > 4 * mean_rounds(1 << 8)

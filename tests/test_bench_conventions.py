@@ -1,0 +1,59 @@
+"""Convention gates for the benchmark harness.
+
+Every reproduction benchmark must: exist for its DESIGN.md index row, carry
+a docstring saying what it reproduces, and define at least one
+``test_bench_*`` function taking the ``benchmark`` fixture.  These gates
+keep the harness aligned with the experiment registry without importing the
+bench modules (they import a local conftest, so we inspect source).
+"""
+
+import ast
+import pathlib
+
+from repro.experiments import REGISTRY
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def bench_sources():
+    for path in sorted(BENCHMARKS.glob("bench_*.py")):
+        yield path, path.read_text(encoding="utf-8")
+
+
+class TestBenchmarkConventions:
+    def test_every_experiment_has_a_bench(self):
+        all_sources = "\n".join(source for _path, source in bench_sources())
+        for key, (module, _description) in REGISTRY.items():
+            module_name = module.__name__.rsplit(".", 1)[-1]
+            assert (
+                f"import {module_name}" in all_sources
+                or f"experiments import {module_name}" in all_sources
+                or module_name in all_sources
+            ), f"no benchmark exercises experiment {key} ({module_name})"
+
+    def test_docstrings_state_what_is_reproduced(self):
+        for path, source in bench_sources():
+            if path.name == "bench_engine_throughput.py":
+                continue  # substrate timing, not a reproduction
+            tree = ast.parse(source)
+            docstring = ast.get_docstring(tree) or ""
+            assert "Reproduces" in docstring, path.name
+
+    def test_bench_functions_use_benchmark_fixture(self):
+        for path, source in bench_sources():
+            tree = ast.parse(source)
+            functions = [
+                node
+                for node in tree.body
+                if isinstance(node, ast.FunctionDef) and node.name.startswith("test_")
+            ]
+            assert functions, f"{path.name} defines no test functions"
+            for function in functions:
+                argument_names = [arg.arg for arg in function.args.args]
+                assert "benchmark" in argument_names, (
+                    f"{path.name}::{function.name} must take the benchmark fixture"
+                )
+
+    def test_reproduction_benches_assert_something(self):
+        for path, source in bench_sources():
+            assert "assert" in source, f"{path.name} asserts nothing"

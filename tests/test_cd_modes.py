@@ -1,0 +1,161 @@
+"""Tests for the collision-detection model variants, including demonstrations
+that the paper's algorithms genuinely need the strong model.
+
+The paper's footnote 2 distinguishes classical ("strong") collision
+detection — transmitters learn of collisions too — from receiver-only
+collision detection.  TwoActive's renaming step and Reduce's leader rule
+both hinge on a transmitter knowing whether it was alone, so under weaker
+models they must break in specific, observable ways.
+"""
+
+import pytest
+
+from repro import CollisionDetection, Decay, FNWGeneral, TwoActive, solve
+from repro.sim import Feedback, activate_all, activate_pair, observed_feedback
+
+
+class TestObservedFeedback:
+    def test_strong_is_identity(self):
+        for outcome in (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION):
+            for transmitted in (True, False):
+                assert (
+                    observed_feedback(CollisionDetection.STRONG, outcome, transmitted)
+                    is outcome
+                )
+
+    def test_receiver_only_blinds_transmitters(self):
+        for outcome in (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION):
+            assert (
+                observed_feedback(CollisionDetection.RECEIVER_ONLY, outcome, True)
+                is Feedback.NONE
+            )
+            assert (
+                observed_feedback(CollisionDetection.RECEIVER_ONLY, outcome, False)
+                is outcome
+            )
+
+    def test_none_collapses_collision_to_silence(self):
+        assert (
+            observed_feedback(CollisionDetection.NONE, Feedback.COLLISION, False)
+            is Feedback.SILENCE
+        )
+        assert (
+            observed_feedback(CollisionDetection.NONE, Feedback.MESSAGE, False)
+            is Feedback.MESSAGE
+        )
+        assert (
+            observed_feedback(CollisionDetection.NONE, Feedback.MESSAGE, True)
+            is Feedback.NONE
+        )
+
+
+class TestAlgorithmsNeedStrongCD:
+    def test_two_active_livelocks_without_transmitter_cd(self):
+        # Step 1's exit test is "I transmitted and detected no collision";
+        # under receiver-only CD a transmitter sees nothing, `alone` is never
+        # true, and the renaming loop never terminates: no node ever renames
+        # and the coroutines never return.  (The *instance* may still be
+        # "solved" by an accidental channel-1 solo — the model hands that
+        # out for free — but the algorithm itself makes zero progress.)
+        result = solve(
+            TwoActive(),
+            n=1 << 10,
+            num_channels=64,
+            activation=activate_pair(1 << 10, seed=0),
+            seed=0,
+            max_rounds=2000,
+            collision_detection=CollisionDetection.RECEIVER_ONLY,
+        )
+        assert not result.trace.marks_with_label("two_active:renamed")
+        assert not result.all_terminated
+
+    def test_two_active_never_completes_across_seeds(self):
+        # The livelock is seed-independent: across many seeds, no run ever
+        # completes the algorithm under receiver-only collision detection.
+        for seed in range(5):
+            result = solve(
+                TwoActive(),
+                n=1 << 10,
+                num_channels=64,
+                activation=activate_pair(1 << 10, seed=seed),
+                seed=seed,
+                max_rounds=2000,
+                collision_detection=CollisionDetection.RECEIVER_ONLY,
+            )
+            assert not result.all_terminated
+
+    def test_two_active_works_under_strong_cd_same_instance(self):
+        result = solve(
+            TwoActive(),
+            n=1 << 10,
+            num_channels=64,
+            activation=activate_pair(1 << 10, seed=0),
+            seed=0,
+            stop_on_solve=False,
+            max_rounds=2000,
+            collision_detection=CollisionDetection.STRONG,
+        )
+        assert result.solved
+
+
+class TestTreeSplittingNeedsTransmitterCD:
+    def test_livelocks_under_receiver_only(self):
+        # Tree splitting's front group splits only when its members *detect*
+        # their own collision; blinded transmitters never split, so a front
+        # group of >= 2 nodes collides forever and no solo can occur.
+        from repro import TreeSplitting
+        from repro.sim import Activation
+        from repro.sim.errors import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            solve(
+                TreeSplitting(),
+                n=64,
+                num_channels=1,
+                activation=Activation(active_ids=[3, 7, 11]),
+                seed=0,
+                max_rounds=500,
+                collision_detection=CollisionDetection.RECEIVER_ONLY,
+            )
+
+    def test_same_instance_fine_under_strong(self):
+        from repro import TreeSplitting
+        from repro.sim import Activation
+
+        result = solve(
+            TreeSplitting(),
+            n=64,
+            num_channels=1,
+            activation=Activation(active_ids=[3, 7, 11]),
+            seed=0,
+            max_rounds=500,
+            collision_detection=CollisionDetection.STRONG,
+        )
+        assert result.solved
+
+
+class TestNoCDProtocolsUnaffected:
+    def test_decay_identical_under_none(self):
+        # Decay was written for the no-CD model, so degrading the feedback
+        # must not change its execution at all (same seeds).
+        kwargs = dict(
+            n=1 << 8,
+            num_channels=1,
+            activation=activate_all(1 << 8),
+            seed=5,
+        )
+        strong = solve(Decay(), collision_detection=CollisionDetection.STRONG, **kwargs)
+        none = solve(Decay(), collision_detection=CollisionDetection.NONE, **kwargs)
+        assert strong.solved_round == none.solved_round
+        assert strong.winner == none.winner
+
+    def test_general_algorithm_still_fine_under_strong(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 8,
+            num_channels=16,
+            activation=activate_all(1 << 8),
+            seed=3,
+            collision_detection=CollisionDetection.STRONG,
+        )
+        assert result.solved

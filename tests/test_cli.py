@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.protocol == "fnw-general"
+        assert args.n == 1 << 12
+        assert args.channels == 64
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "e14" in out
+
+    def test_solve_success_exit_code(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--protocol",
+                "fnw-general",
+                "--n",
+                "256",
+                "--channels",
+                "16",
+                "--active",
+                "20",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solved=True" in out
+
+    def test_solve_with_trace(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--protocol",
+                "binary-search-cd",
+                "--n",
+                "64",
+                "--channels",
+                "4",
+                "--seed",
+                "0",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round |" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_verify_command(self, capsys, monkeypatch):
+        # Shrink the battery so the CLI test stays fast.
+        from repro.verify import verify_all as full_battery
+
+        def small_battery(**_kwargs):
+            return full_battery(
+                splitcheck_channels=(4,), election_channels=(8,)
+            )
+
+        monkeypatch.setattr("repro.verify.verify_all", small_battery)
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            main(["solve", "--protocol", "bogus", "--n", "16", "--channels", "4"])
+
+    def test_save_and_replay_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        assert (
+            main(
+                [
+                    "solve",
+                    "--protocol",
+                    "fnw-general",
+                    "--n",
+                    "128",
+                    "--channels",
+                    "8",
+                    "--active",
+                    "20",
+                    "--seed",
+                    "4",
+                    "--save-trace",
+                    path,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", path, "--channels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "round |" in out
+        assert "recorded rounds" in out

@@ -1,0 +1,151 @@
+"""Tests for the channel-free cohort reference model itself."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cohorts import (
+    Cohort,
+    check_cohort_invariants,
+    evolve_one_phase,
+    global_split_level,
+    reference_election,
+)
+from repro.tree import ChannelTree
+
+
+def singleton_cohorts(tree, leaves):
+    return [Cohort(members=(leaf,), node=tree.leaf_node(leaf)) for leaf in leaves]
+
+
+class TestGlobalSplitLevel:
+    def test_matches_tree_divergence(self):
+        tree = ChannelTree(16)
+        rng = random.Random(0)
+        for _ in range(30):
+            leaves = rng.sample(range(1, 17), rng.randint(2, 16))
+            cohorts = singleton_cohorts(tree, leaves)
+            assert global_split_level(tree, cohorts) == tree.global_divergence_level(
+                leaves
+            )
+
+    def test_single_cohort_is_zero(self):
+        tree = ChannelTree(8)
+        assert global_split_level(tree, singleton_cohorts(tree, [3])) == 0
+
+
+class TestEvolveOnePhase:
+    def test_pairs_merge_singletons_die(self):
+        tree = ChannelTree(8)
+        # Leaves 1,2 share a level-2 parent; leaf 8 is alone under its
+        # level-2 ancestor once 1,2 force the split level to 3.
+        outcome = evolve_one_phase(tree, singleton_cohorts(tree, [1, 2, 8]))
+        assert outcome.split_level == 3
+        assert len(outcome.merged) == 1
+        assert outcome.merged[0].members == (1, 2)
+        assert len(outcome.eliminated) == 1
+        assert outcome.eliminated[0].members == (8,)
+
+    def test_merge_order_left_then_right(self):
+        tree = ChannelTree(8)
+        outcome = evolve_one_phase(tree, singleton_cohorts(tree, [2, 1]))
+        assert outcome.merged[0].members == (1, 2)
+
+    def test_merged_node_is_parent(self):
+        tree = ChannelTree(8)
+        outcome = evolve_one_phase(tree, singleton_cohorts(tree, [3, 4]))
+        merged = outcome.merged[0]
+        assert tree.level_of(merged.node) == outcome.split_level - 1
+        assert merged.node == tree.lca(3, 4)
+
+    def test_requires_two_cohorts(self):
+        tree = ChannelTree(8)
+        with pytest.raises(ValueError):
+            evolve_one_phase(tree, singleton_cohorts(tree, [1]))
+
+
+class TestReferenceElection:
+    def test_leader_always_leftmost_survivor_path(self):
+        # For a full leaf set the leader is leaf 1 (always the left child).
+        tree = ChannelTree(16)
+        assert reference_election(tree, list(range(1, 17))).leader == 1
+
+    def test_two_leaves(self):
+        tree = ChannelTree(16)
+        assert reference_election(tree, [9, 10]).leader == 9
+        # 8 and 9 split at the root; 8 is in the left subtree.
+        assert reference_election(tree, [8, 9]).leader == 8
+
+    def test_single_leaf(self):
+        tree = ChannelTree(16)
+        reference = reference_election(tree, [7])
+        assert reference.leader == 7
+        assert reference.phase_count == 0
+
+    def test_rejects_duplicates(self):
+        tree = ChannelTree(8)
+        with pytest.raises(ValueError):
+            reference_election(tree, [1, 1])
+
+    def test_rejects_empty(self):
+        tree = ChannelTree(8)
+        with pytest.raises(ValueError):
+            reference_election(tree, [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_invariants_hold_along_evolution(self, data):
+        exponent = data.draw(st.integers(min_value=1, max_value=7))
+        tree = ChannelTree(1 << exponent)
+        size = data.draw(st.integers(min_value=1, max_value=tree.num_leaves))
+        leaves = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=tree.num_leaves),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        reference = reference_election(tree, leaves)
+        cohorts = list(reference.initial)
+        check_cohort_invariants(tree, cohorts, 1)
+        for phase_index, outcome in enumerate(reference.phases, start=1):
+            # Each phase keeps at least one cohort and doubles sizes.
+            assert outcome.merged
+            check_cohort_invariants(tree, list(outcome.merged), phase_index + 1)
+            cohorts = list(outcome.merged)
+        assert len(cohorts) == 1
+        assert cohorts[0].master == reference.leader
+
+    def test_phase_count_bound(self):
+        tree = ChannelTree(64)
+        rng = random.Random(3)
+        for _ in range(20):
+            leaves = rng.sample(range(1, 65), rng.randint(2, 64))
+            reference = reference_election(tree, leaves)
+            assert reference.phase_count <= (len(leaves) - 1).bit_length() + 1
+
+
+class TestCheckCohortInvariants:
+    def test_detects_bad_size(self):
+        tree = ChannelTree(8)
+        bad = [Cohort(members=(1, 2), node=tree.lca(1, 2))]
+        with pytest.raises(AssertionError):
+            check_cohort_invariants(tree, bad, 1)  # phase 1 expects size 1
+
+    def test_detects_wrong_node(self):
+        tree = ChannelTree(8)
+        bad = [Cohort(members=(1,), node=tree.leaf_node(2))]
+        with pytest.raises(AssertionError):
+            check_cohort_invariants(tree, bad, 1)
+
+    def test_detects_mixed_levels(self):
+        tree = ChannelTree(8)
+        bad = [
+            Cohort(members=(1, 2), node=tree.lca(1, 2)),
+            Cohort(members=(5, 7), node=tree.lca(5, 7)),
+        ]
+        # (1,2) LCA is at level 2; (5,7) LCA is at level 1: mixed levels.
+        with pytest.raises(AssertionError):
+            check_cohort_invariants(tree, bad, 2)

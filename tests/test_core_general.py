@@ -1,0 +1,185 @@
+"""Integration tests for the full general algorithm (Section 5, Theorem 4)."""
+
+import pytest
+
+from repro import FNWGeneral, MultiChannelContentionResolution, solve
+from repro.core import GeneralParams
+from repro.sim import Activation, activate_all, activate_random
+
+
+class TestSolvesEverywhere:
+    @pytest.mark.parametrize("num_channels", [1, 2, 4, 8, 64, 512])
+    def test_channel_grid_dense(self, num_channels):
+        for seed in range(5):
+            result = solve(
+                FNWGeneral(),
+                n=1 << 10,
+                num_channels=num_channels,
+                activation=activate_all(1 << 10),
+                seed=seed,
+            )
+            assert result.solved
+            assert result.winner is not None
+
+    @pytest.mark.parametrize("active_count", [1, 2, 3, 10, 100])
+    def test_activation_sizes(self, active_count):
+        for seed in range(5):
+            result = solve(
+                FNWGeneral(),
+                n=1 << 12,
+                num_channels=64,
+                activation=activate_random(1 << 12, active_count, seed=seed),
+                seed=seed,
+            )
+            assert result.solved
+
+    def test_single_active_node(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 10,
+            num_channels=64,
+            activation=Activation(active_ids=[77]),
+            seed=0,
+        )
+        assert result.solved
+        assert result.winner == 77
+
+    def test_winner_is_active(self):
+        for seed in range(10):
+            activation = activate_random(1 << 12, 50, seed=seed)
+            result = solve(
+                FNWGeneral(),
+                n=1 << 12,
+                num_channels=128,
+                activation=activation,
+                seed=seed,
+            )
+            assert result.winner in activation.active_ids
+
+    def test_small_n(self):
+        for n in (2, 3, 4, 5, 8):
+            for seed in range(5):
+                result = solve(
+                    FNWGeneral(),
+                    n=n,
+                    num_channels=8,
+                    activation=activate_all(n),
+                    seed=seed,
+                )
+                assert result.solved
+
+
+class TestFallback:
+    def test_small_c_uses_single_channel_algorithm(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 8,
+            num_channels=2,
+            activation=activate_all(1 << 8),
+            seed=1,
+        )
+        assert result.solved
+        assert result.trace.marks_with_label("general:fallback_single_channel")
+
+    def test_fallback_round_bound(self):
+        # The classical algorithm is O(log n) with probability 1.
+        for seed in range(5):
+            result = solve(
+                FNWGeneral(),
+                n=1 << 10,
+                num_channels=1,
+                activation=activate_all(1 << 10),
+                seed=seed,
+            )
+            assert result.solved
+            assert result.rounds <= 12  # 1 + ceil(lg 1024) + slack
+
+    def test_large_c_no_fallback(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 8,
+            num_channels=64,
+            activation=activate_all(1 << 8),
+            seed=1,
+        )
+        assert not result.trace.marks_with_label("general:fallback_single_channel")
+
+
+class TestStepStructure:
+    def test_steps_run_in_order(self):
+        # Find a seed where the pipeline reaches LeafElection and check the
+        # step boundaries are ordered for every surviving node.
+        for seed in range(200):
+            result = solve(
+                FNWGeneral(),
+                n=1 << 12,
+                num_channels=256,
+                activation=activate_random(1 << 12, 500, seed=seed),
+                seed=seed,
+            )
+            assert result.solved
+            begins = {
+                label: result.trace.first_mark_round(label)
+                for label in (
+                    "step:reduce:begin",
+                    "step:id_reduction:begin",
+                    "step:leaf_election:begin",
+                )
+            }
+            if begins["step:leaf_election:begin"] is not None:
+                assert (
+                    begins["step:reduce:begin"]
+                    < begins["step:id_reduction:begin"]
+                    <= begins["step:leaf_election:begin"]
+                )
+                return
+        pytest.fail("no execution reached LeafElection in 200 seeds")
+
+    def test_id_reduction_entered_synchronously(self):
+        for seed in range(50):
+            result = solve(
+                FNWGeneral(),
+                n=1 << 10,
+                num_channels=64,
+                activation=activate_all(1 << 10),
+                seed=seed,
+                stop_on_solve=False,
+            )
+            marks = [
+                m
+                for m in result.trace.marks
+                if m.label == "step:id_reduction:begin"
+            ]
+            if marks:
+                assert len({m.round_index for m in marks}) == 1
+                return
+        pytest.fail("IDReduction never entered in 50 seeds")
+
+    def test_params_accepted(self):
+        protocol = MultiChannelContentionResolution(
+            params=GeneralParams(kappa=8.0, reduce_repeats=3)
+        )
+        result = solve(
+            protocol,
+            n=1 << 10,
+            num_channels=64,
+            activation=activate_all(1 << 10),
+            seed=2,
+        )
+        assert result.solved
+
+
+class TestDeterminism:
+    def test_reproducible(self):
+        def once():
+            return solve(
+                FNWGeneral(),
+                n=1 << 12,
+                num_channels=64,
+                activation=activate_random(1 << 12, 100, seed=9),
+                seed=9,
+            )
+
+        first, second = once(), once()
+        assert first.solved_round == second.solved_round
+        assert first.winner == second.winner

@@ -1,0 +1,99 @@
+"""Tests for IDReduction (Section 5.2, Theorem 6)."""
+
+import pytest
+
+from repro import IDReduction, solve
+from repro.core import GeneralParams
+from repro.sim import activate_random
+
+
+def run_id_reduction(n, num_channels, active_count, seed, **kwargs):
+    return solve(
+        IDReduction(**kwargs),
+        n=n,
+        num_channels=num_channels,
+        activation=activate_random(n, active_count, seed=seed),
+        seed=seed,
+        stop_on_solve=False,
+    )
+
+
+def renamed_ids(result):
+    return [
+        m.payload["id"] for m in result.trace.marks_with_label("id_reduction:renamed")
+    ]
+
+
+class TestExitState:
+    @pytest.mark.parametrize("num_channels", [8, 16, 64, 256])
+    def test_renamed_ids_unique_and_in_range(self, num_channels):
+        half = num_channels // 2
+        for seed in range(15):
+            result = run_id_reduction(1 << 12, num_channels, 12, seed)
+            ids = renamed_ids(result)
+            assert len(ids) >= 1
+            assert len(set(ids)) == len(ids)
+            assert all(1 <= i <= half for i in ids)
+
+    def test_at_most_half_c_survivors(self):
+        # Theorem 6: at most C/2 active nodes at exit.
+        for seed in range(15):
+            result = run_id_reduction(1 << 10, 16, 10, seed)
+            assert len(renamed_ids(result)) <= 8
+
+    def test_everyone_terminates(self):
+        for seed in range(10):
+            result = run_id_reduction(1 << 10, 64, 10, seed)
+            assert result.all_terminated
+
+    def test_single_active_renames_immediately(self):
+        result = run_id_reduction(1 << 10, 64, 1, 0)
+        ids = renamed_ids(result)
+        assert len(ids) == 1
+        # Renaming + confirmation: exactly 2 rounds.
+        assert result.rounds == 2
+
+    def test_all_adopters_return_in_confirmation_round(self):
+        for seed in range(10):
+            result = run_id_reduction(1 << 12, 128, 14, seed)
+            marks = result.trace.marks_with_label("id_reduction:renamed")
+            rounds = {m.round_index for m in marks}
+            assert len(rounds) == 1  # synchronized exit
+
+    def test_crowded_start_still_terminates(self):
+        # |A| far above C/6 forces reduction rounds before renaming works.
+        for seed in range(5):
+            result = run_id_reduction(1 << 12, 16, 60, seed)
+            ids = renamed_ids(result)
+            assert 1 <= len(ids) <= 8
+
+
+class TestKnockConstant:
+    def test_kappa_insensitive_correctness(self):
+        for kappa in (2.0, 16.0, 144.0):
+            result = run_id_reduction(
+                1 << 10, 64, 12, 7, params=GeneralParams(kappa=kappa)
+            )
+            ids = renamed_ids(result)
+            assert len(set(ids)) == len(ids) >= 1
+
+
+class TestValidation:
+    def test_requires_enough_channels(self):
+        with pytest.raises(ValueError):
+            run_id_reduction(1 << 10, 2, 5, 0)
+
+
+class TestRoundBudget:
+    def test_terminates_fast_when_sparse(self):
+        # With |A| << C/6 renaming succeeds almost immediately; generous cap.
+        for seed in range(10):
+            result = run_id_reduction(1 << 16, 256, 16, seed)
+            assert result.rounds <= 30
+
+    def test_rounds_scale_reasonably_when_crowded(self):
+        # Crowded instances need reduction cycles but remain far below the
+        # engine budget: a loose sanity ceiling.
+        for seed in range(5):
+            result = run_id_reduction(1 << 16, 16, 64, seed)
+            assert result.rounds <= 200

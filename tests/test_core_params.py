@@ -1,0 +1,62 @@
+"""Tests for parameter normalization (Sections 4/5 standing assumptions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import GeneralParams, usable_channels
+from repro.mathutil import is_power_of_two
+
+
+class TestUsableChannels:
+    def test_power_of_two_rounding(self):
+        assert usable_channels(1000, 100) == 64
+        assert usable_channels(1000, 64) == 64
+        assert usable_channels(1000, 63) == 32
+
+    def test_capped_at_n(self):
+        # Footnote 4: for C > n use only the first n channels.
+        assert usable_channels(10, 1000) == 8
+        assert usable_channels(16, 1000) == 16
+
+    def test_minimum_one(self):
+        assert usable_channels(1, 1) == 1
+        assert usable_channels(100, 1) == 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            usable_channels(0, 4)
+        with pytest.raises(ValueError):
+            usable_channels(4, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_properties(self, n, c):
+        usable = usable_channels(n, c)
+        assert is_power_of_two(usable)
+        assert usable <= c
+        assert usable <= max(1, n)
+        # Never wastes more than half the allowed budget.
+        assert 2 * usable > min(c, n)
+
+
+class TestGeneralParams:
+    def test_defaults_follow_paper(self):
+        params = GeneralParams()
+        assert params.kappa == 144.0
+        assert params.reduce_repeats == 2
+
+    def test_knock_k_clamped(self):
+        # sqrt(64)/144 << 1, so k clamps to 2.
+        assert GeneralParams().knock_k(64) == 2.0
+
+    def test_knock_k_formula_beyond_clamp(self):
+        params = GeneralParams(kappa=2.0)
+        assert params.knock_k(256) == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralParams(kappa=0.0)
+        with pytest.raises(ValueError):
+            GeneralParams(reduce_repeats=0)

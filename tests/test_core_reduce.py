@@ -1,0 +1,116 @@
+"""Tests for the Reduce knock-out cascade (Section 5.1, Theorem 5)."""
+
+import pytest
+
+from repro import Reduce, solve
+from repro.core.reduce import reduce_round_count
+from repro.mathutil import ceil_log2, lg_lg
+from repro.sim import activate_random
+
+
+def run_reduce(n, active_count, seed, repeats=2):
+    return solve(
+        Reduce(repeats=repeats),
+        n=n,
+        num_channels=1,
+        activation=activate_random(n, active_count, seed=seed),
+        seed=seed,
+        stop_on_solve=False,
+    )
+
+
+def final_active(result):
+    survivors = len(result.trace.marks_with_label("reduce:survived"))
+    leaders = len(result.trace.marks_with_label("reduce:leader"))
+    return survivors, leaders
+
+
+class TestRoundCount:
+    def test_formula(self):
+        assert reduce_round_count(1 << 16) == 2 * lg_lg(1 << 16)
+        assert reduce_round_count(1 << 16, repeats=3) == 3 * lg_lg(1 << 16)
+
+    def test_execution_never_exceeds_schedule(self):
+        for seed in range(10):
+            result = run_reduce(1 << 12, 1 << 12, seed)
+            assert result.rounds <= reduce_round_count(1 << 12)
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            Reduce(repeats=0)
+
+
+class TestExitState:
+    @pytest.mark.parametrize("n", [1 << 8, 1 << 12, 1 << 16])
+    def test_at_least_one_node_remains(self, n):
+        # Theorem 5's floor: the cascade can never knock everyone out.
+        for seed in range(20):
+            survivors, leaders = final_active(run_reduce(n, n, seed))
+            assert survivors + leaders >= 1
+
+    @pytest.mark.parametrize("n", [1 << 8, 1 << 12, 1 << 16])
+    def test_survivors_bounded_by_log(self, n):
+        # Theorem 5's ceiling, with alpha*beta = 8 as a generous constant.
+        bound = 8 * ceil_log2(n)
+        for seed in range(20):
+            survivors, leaders = final_active(run_reduce(n, n, seed))
+            assert survivors + leaders <= bound
+
+    def test_sparse_activation_also_reduced(self):
+        n = 1 << 14
+        for seed in range(10):
+            survivors, leaders = final_active(run_reduce(n, 30, seed))
+            assert 1 <= survivors + leaders <= 8 * ceil_log2(n)
+
+    def test_at_most_one_leader(self):
+        for seed in range(30):
+            _survivors, leaders = final_active(run_reduce(1 << 10, 1 << 10, seed))
+            assert leaders <= 1
+
+    def test_leader_implies_solved(self):
+        # A reduce:leader mark means a solo on channel 1 happened.
+        for seed in range(30):
+            result = run_reduce(1 << 10, 1 << 10, seed)
+            if result.trace.marks_with_label("reduce:leader"):
+                assert result.solved
+
+    def test_two_actives_edge_case(self):
+        for seed in range(10):
+            result = run_reduce(1 << 10, 2, seed)
+            survivors, leaders = final_active(result)
+            assert survivors + leaders >= 1
+
+
+class TestKnockoutDiscipline:
+    def test_knocked_out_nodes_heard_something(self):
+        # A node is knocked out only in a round where someone transmitted;
+        # structural consequence: knocked_out marks never appear in a round
+        # where the execution recorded silence on channel 1.
+        result = solve(
+            Reduce(),
+            n=1 << 10,
+            num_channels=1,
+            activation=activate_random(1 << 10, 1 << 10, seed=3),
+            seed=3,
+            stop_on_solve=False,
+            record_trace=True,
+        )
+        knocked_rounds = {
+            m.round_index for m in result.trace.marks_with_label("reduce:knocked_out")
+        }
+        for record in result.trace.rounds:
+            if record.round_index in knocked_rounds:
+                assert len(record.channels[1].transmitters) >= 1
+
+    def test_uses_only_primary_channel(self):
+        result = solve(
+            Reduce(),
+            n=1 << 8,
+            num_channels=8,
+            activation=activate_random(1 << 8, 100, seed=1),
+            seed=1,
+            stop_on_solve=False,
+            record_trace=True,
+        )
+        for record in result.trace.rounds:
+            assert set(record.channels) <= {1}

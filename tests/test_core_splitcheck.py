@@ -1,0 +1,108 @@
+"""Tests for SplitCheck (Section 4, Lemma 3).
+
+SplitCheck is deterministic given the two renamed ids, so beyond running it
+through real channels we can check it exhaustively against the channel
+tree's ground truth.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.splitcheck import split_check, split_check_rounds_worst_case
+from repro.experiments.splitcheck_exact import pure_split_check
+from repro.sim import Activation, run_execution
+from repro.tree import ChannelTree
+
+
+def run_split_check_pair(num_channels, id_a, id_b, record=False):
+    """Drive the real coroutine for two nodes holding given ids."""
+    tree = ChannelTree(num_channels)
+    levels = {}
+
+    def factory(ctx):
+        def coroutine():
+            my_id = id_a if ctx.node_id == 1 else id_b
+            level = yield from split_check(ctx, tree, my_id)
+            levels[ctx.node_id] = level
+
+        return coroutine()
+
+    result = run_execution(
+        factory,
+        n=num_channels,
+        num_channels=num_channels,
+        active_ids=[1, 2],
+        record_trace=record,
+        # A probe can land alone on channel 1 (an "accidental solve"); run
+        # to completion so we observe the search's own answer.
+        stop_on_solve=False,
+    )
+    return levels, result
+
+
+class TestPureSearch:
+    @pytest.mark.parametrize("num_channels", [2, 4, 8, 16, 32])
+    def test_exhaustive_correctness(self, num_channels):
+        tree = ChannelTree(num_channels)
+        for id_a, id_b in itertools.combinations(range(1, num_channels + 1), 2):
+            level, probes = pure_split_check(tree, id_a, id_b)
+            assert level == tree.divergence_level(id_a, id_b)
+            assert probes <= split_check_rounds_worst_case(tree.height)
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_property(self, exponent, data):
+        tree = ChannelTree(1 << exponent)
+        id_a = data.draw(st.integers(min_value=1, max_value=tree.num_leaves))
+        id_b = data.draw(
+            st.integers(min_value=1, max_value=tree.num_leaves).filter(
+                lambda x: x != id_a
+            )
+        )
+        level, probes = pure_split_check(tree, id_a, id_b)
+        assert level == tree.divergence_level(id_a, id_b)
+        assert 0 < level <= tree.height
+        assert probes >= 1
+
+
+class TestDistributedSearch:
+    @pytest.mark.parametrize(
+        "num_channels,id_a,id_b",
+        [(4, 1, 2), (4, 1, 4), (8, 3, 6), (16, 15, 16), (64, 1, 64), (64, 33, 34)],
+    )
+    def test_both_nodes_agree_on_true_level(self, num_channels, id_a, id_b):
+        tree = ChannelTree(num_channels)
+        levels, _result = run_split_check_pair(num_channels, id_a, id_b)
+        expected = tree.divergence_level(id_a, id_b)
+        assert levels == {1: expected, 2: expected}
+
+    def test_search_is_synchronized(self):
+        # Both coroutines finish in the same round: the execution terminates
+        # with both marks present and no protocol violation.
+        levels, result = run_split_check_pair(32, 5, 29)
+        assert len(levels) == 2
+        assert result.all_terminated
+
+    def test_round_cost_is_loglog(self):
+        # For C = 1024, height 10: at most bit_length(10) = 4 probe rounds.
+        _levels, result = run_split_check_pair(1024, 1, 2)
+        assert result.rounds <= split_check_rounds_worst_case(10)
+
+    def test_exhaustive_small_tree_through_channels(self):
+        tree = ChannelTree(8)
+        for id_a, id_b in itertools.combinations(range(1, 9), 2):
+            levels, _ = run_split_check_pair(8, id_a, id_b)
+            assert levels[1] == levels[2] == tree.divergence_level(id_a, id_b)
+
+
+class TestWorstCaseBound:
+    def test_values(self):
+        assert split_check_rounds_worst_case(0) == 0
+        assert split_check_rounds_worst_case(1) == 1
+        assert split_check_rounds_worst_case(2) == 2
+        assert split_check_rounds_worst_case(10) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            split_check_rounds_worst_case(-1)

@@ -1,0 +1,111 @@
+"""Tests for the TwoActive algorithm (Section 4, Theorem 1)."""
+
+import pytest
+
+from repro import TwoActive, solve
+from repro.analysis.predictors import two_active_bound
+from repro.sim import Activation, activate_pair
+from repro.tree import ChannelTree
+
+
+def run_pair(n, num_channels, pair, seed=0, **kwargs):
+    return solve(
+        TwoActive(),
+        n=n,
+        num_channels=num_channels,
+        activation=Activation(active_ids=list(pair)),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestSolves:
+    @pytest.mark.parametrize("num_channels", [2, 4, 16, 256])
+    def test_solves_across_channel_counts(self, num_channels):
+        for seed in range(10):
+            result = solve(
+                TwoActive(),
+                n=1 << 10,
+                num_channels=num_channels,
+                activation=activate_pair(1 << 10, seed=seed),
+                seed=seed,
+            )
+            assert result.solved
+            assert result.winner is not None
+
+    def test_single_channel_fallback(self):
+        for seed in range(10):
+            result = run_pair(256, 1, (10, 20), seed=seed)
+            assert result.solved
+
+    def test_more_channels_than_nodes(self):
+        # Footnote 4: C > n uses only n channels; still solves.
+        for seed in range(5):
+            result = run_pair(16, 1 << 12, (3, 9), seed=seed)
+            assert result.solved
+
+    def test_adjacent_pair_deep_divergence(self):
+        # Ids 7,8 under C = n = 1024: adjacent leaves force the deepest
+        # possible SplitCheck answer once renamed adjacently; regardless,
+        # the algorithm must solve.
+        for seed in range(5):
+            result = run_pair(1024, 1024, (7, 8), seed=seed)
+            assert result.solved
+
+    def test_winner_is_one_of_the_pair(self):
+        for seed in range(10):
+            result = run_pair(512, 64, (100, 400), seed=seed)
+            assert result.winner in (100, 400)
+
+
+class TestStructure:
+    def test_renamed_ids_distinct_and_in_range(self):
+        result = run_pair(1 << 12, 64, (5, 4000), seed=2, stop_on_solve=False)
+        marks = result.trace.marks_with_label("two_active:renamed")
+        assert len(marks) == 2
+        ids = [m.payload["id"] for m in marks]
+        assert ids[0] != ids[1]
+        assert all(1 <= i <= 64 for i in ids)
+
+    def test_both_nodes_rename_in_same_round(self):
+        result = run_pair(1 << 12, 64, (5, 4000), seed=2, stop_on_solve=False)
+        marks = result.trace.marks_with_label("two_active:renamed")
+        assert marks[0].round_index == marks[1].round_index
+
+    def test_winner_is_left_child_at_divergence(self):
+        for seed in range(8):
+            result = run_pair(1 << 10, 32, (17, 900), seed=seed, stop_on_solve=False)
+            renamed = {
+                m.node_id: m.payload["id"]
+                for m in result.trace.marks_with_label("two_active:renamed")
+            }
+            winner_marks = result.trace.marks_with_label("two_active:winner")
+            assert len(winner_marks) == 1
+            tree = ChannelTree(32)
+            id_a, id_b = renamed[17], renamed[900]
+            level = tree.divergence_level(id_a, id_b)
+            winner_id = winner_marks[0].payload
+            assert tree.is_left_child(tree.ancestor(winner_id, level))
+
+    def test_completion_within_worst_case_budget(self):
+        # Deterministic Step 2 + geometric Step 1: a 6x bound on the
+        # theorem's formula holds with enormous margin at these scales.
+        for seed in range(20):
+            result = run_pair(1 << 14, 64, (1, 2), seed=seed, stop_on_solve=False)
+            assert result.rounds <= 6 * two_active_bound(1 << 14, 64) + 6
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        first = run_pair(1 << 10, 64, (3, 700), seed=11)
+        second = run_pair(1 << 10, 64, (3, 700), seed=11)
+        assert (first.solved_round, first.winner) == (
+            second.solved_round,
+            second.winner,
+        )
+
+    def test_different_seeds_vary(self):
+        outcomes = {
+            run_pair(1 << 10, 64, (3, 700), seed=s).solved_round for s in range(20)
+        }
+        assert len(outcomes) > 1

@@ -1,0 +1,176 @@
+"""Model-based property test of the engine.
+
+Hypothesis generates arbitrary per-node action scripts; we re-derive every
+observation and the solve round from the scripts with an independent
+10-line reference model and demand the engine agrees exactly.  This is the
+strongest guarantee we can give that the substrate implements Section 3's
+model and nothing else.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Action, Feedback, run_execution
+
+MAX_NODES = 5
+MAX_ROUNDS = 6
+MAX_CHANNELS = 4
+
+
+def action_strategy():
+    return st.one_of(
+        st.just(Action(channel=None)),
+        st.builds(
+            Action,
+            channel=st.integers(min_value=1, max_value=MAX_CHANNELS),
+            transmit=st.booleans(),
+            message=st.integers(min_value=0, max_value=9),
+        ),
+    )
+
+
+def scripts_strategy():
+    return st.dictionaries(
+        keys=st.integers(min_value=1, max_value=MAX_NODES),
+        values=st.lists(action_strategy(), min_size=0, max_size=MAX_ROUNDS),
+        min_size=1,
+        max_size=MAX_NODES,
+    )
+
+
+def reference_model(scripts):
+    """Independently compute per-node observations and the solve round."""
+    observations = {nid: [] for nid in scripts}
+    solve_round = None
+    longest = max((len(s) for s in scripts.values()), default=0)
+    for round_index in range(longest):
+        transmitters = {}
+        payload = {}
+        for nid, script in scripts.items():
+            if round_index >= len(script):
+                continue
+            action = script[round_index]
+            if action.participates and action.transmit:
+                transmitters.setdefault(action.channel, []).append(nid)
+                payload[action.channel] = action.message
+        if len(transmitters.get(1, ())) == 1 and solve_round is None:
+            solve_round = round_index + 1
+        for nid, script in scripts.items():
+            if round_index >= len(script):
+                continue
+            action = script[round_index]
+            if not action.participates:
+                observations[nid].append(("none", None))
+                continue
+            count = len(transmitters.get(action.channel, ()))
+            if count == 0:
+                observations[nid].append(("silence", None))
+            elif count == 1:
+                observations[nid].append(("message", payload[action.channel]))
+            else:
+                observations[nid].append(("collision", None))
+    return observations, solve_round
+
+
+def run_engine(scripts):
+    seen = {nid: [] for nid in scripts}
+
+    def factory(ctx):
+        def coroutine():
+            for action in scripts.get(ctx.node_id, []):
+                observation = yield action
+                seen[ctx.node_id].append(observation)
+
+        return coroutine()
+
+    result = run_execution(
+        factory,
+        n=MAX_NODES,
+        num_channels=MAX_CHANNELS,
+        active_ids=sorted(scripts),
+        stop_on_solve=False,
+        max_rounds=MAX_ROUNDS + 1,
+    )
+    return seen, result
+
+
+FEEDBACK_NAME = {
+    Feedback.NONE: "none",
+    Feedback.SILENCE: "silence",
+    Feedback.MESSAGE: "message",
+    Feedback.COLLISION: "collision",
+}
+
+
+@settings(max_examples=300, deadline=None)
+@given(scripts_strategy())
+def test_engine_matches_reference_model(scripts):
+    expected_observations, expected_solve = reference_model(scripts)
+    seen, result = run_engine(scripts)
+
+    for nid, script in scripts.items():
+        got = [
+            (FEEDBACK_NAME[obs.feedback], obs.message) for obs in seen[nid]
+        ]
+        assert got == expected_observations[nid], f"node {nid}"
+
+    assert result.solved == (expected_solve is not None)
+    assert result.solved_round == expected_solve
+
+
+@settings(max_examples=100, deadline=None)
+@given(scripts_strategy())
+def test_transmitted_flag_faithful(scripts):
+    seen, _result = run_engine(scripts)
+    for nid, script in scripts.items():
+        for action, observation in zip(script, seen[nid]):
+            assert observation.transmitted == (
+                action.participates and action.transmit
+            )
+
+
+def run_engine_no_cd(scripts):
+    from repro.sim import CollisionDetection
+
+    seen = {nid: [] for nid in scripts}
+
+    def factory(ctx):
+        def coroutine():
+            for action in scripts.get(ctx.node_id, []):
+                observation = yield action
+                seen[ctx.node_id].append(observation)
+
+        return coroutine()
+
+    run_execution(
+        factory,
+        n=MAX_NODES,
+        num_channels=MAX_CHANNELS,
+        active_ids=sorted(scripts),
+        stop_on_solve=False,
+        max_rounds=MAX_ROUNDS + 1,
+        collision_detection=CollisionDetection.NONE,
+    )
+    return seen
+
+
+@settings(max_examples=150, deadline=None)
+@given(scripts_strategy())
+def test_no_cd_mode_matches_degraded_reference(scripts):
+    """Under the no-CD model the engine must deliver exactly the strong-CD
+    reference observations degraded per the model: transmitters see nothing;
+    receivers see collisions as silence."""
+    expected_observations, _solve = reference_model(scripts)
+    seen = run_engine_no_cd(scripts)
+    for nid, script in scripts.items():
+        got = [(FEEDBACK_NAME[obs.feedback], obs.message) for obs in seen[nid]]
+        expected = []
+        for action, (kind, message) in zip(script, expected_observations[nid]):
+            if not action.participates:
+                expected.append(("none", None))
+            elif action.transmit:
+                expected.append(("none", None))
+            elif kind == "collision":
+                expected.append(("silence", None))
+            else:
+                expected.append((kind, message))
+        assert got == expected, f"node {nid}"

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run and make their point.
+
+Only the fast examples run as subprocesses (the sweep-heavy ones are
+exercised through the experiment tests that share their code paths).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "solved:   True" in result.stdout
+        assert "identical outcome" in result.stdout
+
+    def test_cohort_coalescing_demo(self):
+        result = run_example("cohort_coalescing_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "predicted leader: leaf 1" in result.stdout
+        assert "winner node 1" in result.stdout
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "spectrum_race.py",
+            "dense_network_wakeup.py",
+            "protocol_shootout.py",
+            "scenario_benchmarking.py",
+            "expected_vs_whp.py",
+        ],
+    )
+    def test_heavier_examples_importable(self, name):
+        # Compile-check without executing the sweeps (they run in benches).
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+
+
+class TestExamplesInventory:
+    def test_at_least_five_examples(self):
+        examples = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert len(examples) >= 5
+        assert "quickstart.py" in examples
+
+    def test_every_example_has_docstring_and_main(self):
+        for path in EXAMPLES.glob("*.py"):
+            source = path.read_text()
+            assert source.lstrip().startswith(('"""', '#!')), path.name
+            assert "def main()" in source, path.name
+            assert '__name__ == "__main__"' in source, path.name

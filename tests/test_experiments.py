@@ -1,0 +1,257 @@
+"""Tests for the experiment harness: every experiment runs at a reduced
+configuration and its verdicts hold.
+
+These are integration tests of the full measurement pipeline (trial runners
+-> sweeps -> predictors -> tables), not statistical validations of the paper
+— those live in the benchmarks with larger budgets.  Still, the scale-free
+verdicts (validity rates, bound respect, winner identity) must already hold
+at small scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    adversarial_search,
+    balls_in_bins,
+    baseline_comparison,
+    channel_utilization,
+    cohort_ablation,
+    expected_time,
+    general_scaling,
+    id_reduction_scaling,
+    kappa_ablation,
+    leaf_election_scaling,
+    lower_bound_ratio,
+    population_trajectory,
+    reduce_knockout,
+    splitcheck_exact,
+    step_breakdown,
+    two_active_scaling,
+    wakeup_transform,
+    whp_validation,
+)
+from repro.experiments.common import make_protocol
+
+
+class TestRegistry:
+    def test_every_entry_has_run_and_main(self):
+        for key, (module, description) in REGISTRY.items():
+            assert hasattr(module, "run"), key
+            assert hasattr(module, "main"), key
+            assert hasattr(module, "Config"), key
+            assert description
+
+    def test_make_protocol_registry(self):
+        for name in (
+            "fnw-general",
+            "two-active",
+            "binary-search-cd",
+            "tree-splitting",
+            "decay",
+            "daum-multichannel",
+            "slotted-aloha",
+        ):
+            assert make_protocol(name).name == name
+
+    def test_make_protocol_unknown(self):
+        with pytest.raises(KeyError):
+            make_protocol("nope")
+
+
+class TestTwoActiveScaling:
+    def test_small_run(self):
+        outcome = two_active_scaling.run(
+            two_active_scaling.Config(
+                ns=(256, 4096),
+                cs=(4, 64),
+                trials=40,
+                tail_ns=(16,),
+                tail_cs=(4,),
+                tail_factor=20,
+            )
+        )
+        assert outcome.table.rows
+        assert outcome.tail_table.rows
+        # whp ratio flat within a small constant band.
+        assert 0.3 <= outcome.ratio_min <= outcome.ratio_max <= 3.0
+
+
+class TestSplitcheckExact:
+    def test_all_verdicts_positive(self):
+        table = splitcheck_exact.run(splitcheck_exact.Config(cs=(2, 8, 32), max_pairs=300))
+        for row in table.rows:
+            assert row[2] == "yes"  # all_correct
+            assert row[3] == "yes"  # unique_winner
+
+
+class TestReduceKnockout:
+    def test_survivor_floor(self):
+        table = reduce_knockout.run(
+            reduce_knockout.Config(ns=(256, 4096), densities=(1.0,), trials=30)
+        )
+        for row in table.rows:
+            assert float(row[-1]) >= 1.0  # min_final_active
+            assert float(row[-2]) == 0.0  # never exceeded alpha*log n
+
+
+class TestIdReductionScaling:
+    def test_always_valid(self):
+        outcome = id_reduction_scaling.run(
+            id_reduction_scaling.Config(ns=(256, 4096), cs=(16, 64), trials=25)
+        )
+        assert outcome.all_valid
+
+
+class TestBallsInBins:
+    def test_bound_respected(self):
+        table = balls_in_bins.run(
+            balls_in_bins.Config(ms=(32, 64), betas=(3, 4), trials=800)
+        )
+        assert table.rows
+        for row in table.rows:
+            assert row[-1] == "yes"
+
+
+class TestLeafElectionScaling:
+    def test_phase_bound(self):
+        outcome = leaf_election_scaling.run(
+            leaf_election_scaling.Config(grid=((64, 4), (64, 16)), trials=15)
+        )
+        assert outcome.phase_bound_ok
+        assert outcome.per_phase_table.rows
+
+
+class TestCohortAblation:
+    def test_cohorts_never_slower(self):
+        outcome = cohort_ablation.run(
+            cohort_ablation.Config(grid=((256, 16), (256, 64)), trials=10)
+        )
+        # Deterministic per instance: binary >= cohort, so mean speedup >= 1.
+        assert all(s >= 1.0 for s in outcome.speedups)
+
+
+class TestGeneralScaling:
+    def test_all_solved(self):
+        outcome = general_scaling.run(
+            general_scaling.Config(
+                cells=((256, 256), (1024, 1024)), cs=(8, 64), trials=15
+            )
+        )
+        assert outcome.all_solved
+
+
+class TestBaselineComparison:
+    def test_landscape_shape(self):
+        outcome = baseline_comparison.run(
+            baseline_comparison.Config(
+                ns=(1024,),
+                cs=(1, 64),
+                densities=(1.0,),
+                trials=25,
+            )
+        )
+        # CD beats no-CD on the dense single-channel instance.
+        assert outcome.means[("binary-search-cd", 1024, 1, 1.0)] < outcome.means[
+            ("decay", 1024, 1, 1.0)
+        ]
+        # Our algorithm with 64 channels beats the single-channel classic.
+        assert outcome.means[("fnw-general", 1024, 64, 1.0)] < outcome.means[
+            ("binary-search-cd", 1024, 64, 1.0)
+        ]
+
+
+class TestLowerBoundRatio:
+    def test_bands_finite(self):
+        outcome = lower_bound_ratio.run(
+            lower_bound_ratio.Config(ns=(256, 4096), cs=(4, 64), trials=30)
+        )
+        low, high = outcome.two_band
+        assert 0.1 < low <= high < 10.0
+
+
+class TestWakeupTransform:
+    def test_verdicts(self):
+        outcome = wakeup_transform.run(
+            wakeup_transform.Config(
+                n=512, cs=(16,), active_count=20, max_delays=(0, 4), trials=20
+            )
+        )
+        assert outcome.all_solved
+        assert outcome.exact_2x_law_holds
+        assert outcome.all_within_budget
+
+
+class TestWhpValidation:
+    def test_everything_solves(self):
+        outcome = whp_validation.run(
+            whp_validation.Config(ns=(16, 64), cs=(4,), trials=150)
+        )
+        assert outcome.all_solved
+
+
+class TestKappaAblation:
+    def test_kappa_independent_validity(self):
+        outcome = kappa_ablation.run(
+            kappa_ablation.Config(
+                n=4096, cs=(64,), kappas=(2.0, 144.0), trials=20
+            )
+        )
+        assert outcome.all_valid
+
+
+class TestExpectedTime:
+    def test_mean_band_small(self):
+        outcome = expected_time.run(
+            expected_time.Config(ns=(256, 4096), actives=(1, 32), trials=60)
+        )
+        _low, high = outcome.mean_band
+        assert high <= 12.0
+
+
+class TestPopulationTrajectory:
+    def test_trajectory_verdicts(self):
+        outcome = population_trajectory.run(
+            population_trajectory.Config(n=512, num_channels=32, trials=10)
+        )
+        assert outcome.non_increasing
+        assert outcome.reduce_target_met
+        assert outcome.sparkline
+
+
+class TestAdversarialSearch:
+    def test_gain_bounded(self):
+        outcome = adversarial_search.run(
+            adversarial_search.Config(
+                n=256,
+                cs=(16,),
+                active_counts=(8,),
+                generations=2,
+                population=4,
+                eval_seeds=2,
+            )
+        )
+        assert 1.0 <= outcome.max_gain <= 10.0
+
+
+class TestStepBreakdown:
+    def test_spans_consistent(self):
+        outcome = step_breakdown.run(
+            step_breakdown.Config(
+                ns=(512,), cs=(16,), active_count=200, trials=25
+            )
+        )
+        assert outcome.reduce_within_schedule
+        assert outcome.spans_sum_to_total
+
+
+class TestChannelUtilization:
+    def test_footprint_verdicts(self):
+        outcome = channel_utilization.run(
+            channel_utilization.Config(
+                n=512, num_channels=32, active_count=200, trials=10
+            )
+        )
+        assert outcome.primary_busiest
+        assert outcome.id_reduction_covers_half_c
+        assert outcome.leaf_election_within_tree

@@ -1,0 +1,83 @@
+"""Tests for the expected-time extension protocol (conclusion's regime)."""
+
+import statistics
+
+import pytest
+
+from repro.extensions import ExpectedConstantTime
+from repro.protocols import solve
+from repro.sim import activate_all, activate_random
+
+
+def mean_rounds(n, num_channels, active, trials=150, seed_base=0):
+    rounds = []
+    for seed in range(trials):
+        result = solve(
+            ExpectedConstantTime(),
+            n=n,
+            num_channels=num_channels,
+            activation=activate_random(n, active, seed=seed_base + seed),
+            seed=seed_base + seed,
+        )
+        assert result.solved
+        rounds.append(result.rounds)
+    return statistics.mean(rounds)
+
+
+class TestSolves:
+    @pytest.mark.parametrize("active", [1, 2, 5, 100, 512])
+    def test_all_activation_sizes(self, active):
+        for seed in range(5):
+            result = solve(
+                ExpectedConstantTime(),
+                n=512,
+                num_channels=16,
+                activation=activate_random(512, active, seed=seed),
+                seed=seed,
+            )
+            assert result.solved
+            assert result.winner is not None
+
+    def test_dense(self):
+        result = solve(
+            ExpectedConstantTime(),
+            n=1 << 10,
+            num_channels=16,
+            activation=activate_all(1 << 10),
+            seed=1,
+        )
+        assert result.solved
+
+    def test_needs_logarithmically_many_channels(self):
+        # The conclusion's O(1)-expected claim is specifically "with as few
+        # as log n channels" — with only 2 channels and 50 actives, no
+        # density in {1/2, 1/4} can isolate a lone transmitter, and the
+        # protocol stalls (P[solo] ~ 50 * 2^-50 per round).  This is the
+        # boundary of the regime, demonstrated.
+        from repro.sim.errors import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            solve(
+                ExpectedConstantTime(),
+                n=1 << 10,
+                num_channels=2,
+                activation=activate_random(1 << 10, 50, seed=0),
+                seed=0,
+                max_rounds=3000,
+            )
+
+
+class TestExpectedConstant:
+    def test_mean_flat_in_n(self):
+        # O(1) expected: the mean does not grow with n (3 decades).
+        small = mean_rounds(1 << 8, 32, 16)
+        large = mean_rounds(1 << 16, 32, 16)
+        assert large <= 2.5 * small + 2
+
+    def test_mean_flat_in_activation(self):
+        sparse = mean_rounds(1 << 12, 32, 2)
+        dense = mean_rounds(1 << 12, 32, 1 << 12)
+        assert max(sparse, dense) <= 4 * min(sparse, dense) + 4
+
+    def test_mean_is_small(self):
+        assert mean_rounds(1 << 12, 32, 64) <= 12

@@ -1,0 +1,78 @@
+"""Golden-trace regression tests.
+
+Each golden file is a full serialized execution (every round, every channel,
+every mark) of a fixed instance under a fixed seed.  Re-running the same
+configuration must reproduce it *bit for bit* — these tests freeze the
+algorithms' exact behaviour and the RNG discipline, so any unintended change
+to either is caught immediately.
+
+Regenerating after an *intentional* behaviour change::
+
+    python - <<'PY'
+    from repro import FNWGeneral, TwoActive, solve
+    from repro.sim import activate_pair, activate_random
+    from repro.sim.serialize import save_result
+    r = solve(TwoActive(), n=1024, num_channels=32,
+              activation=activate_pair(1024, seed=7), seed=7,
+              record_trace=True, stop_on_solve=False)
+    save_result(r, "tests/data/golden_two_active_n1024_c32_seed7.json")
+    r = solve(FNWGeneral(), n=512, num_channels=32,
+              activation=activate_random(512, 60, seed=11), seed=11,
+              record_trace=True, stop_on_solve=False)
+    save_result(r, "tests/data/golden_general_n512_c32_seed11.json")
+    PY
+"""
+
+import json
+import pathlib
+
+from repro import FNWGeneral, TwoActive, solve
+from repro.sim import activate_pair, activate_random
+from repro.sim.serialize import result_to_dict
+
+DATA = pathlib.Path(__file__).resolve().parent / "data"
+
+
+def load_golden(name):
+    with open(DATA / name, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestGoldenTraces:
+    def test_two_active_golden(self):
+        result = solve(
+            TwoActive(),
+            n=1024,
+            num_channels=32,
+            activation=activate_pair(1024, seed=7),
+            seed=7,
+            record_trace=True,
+            stop_on_solve=False,
+        )
+        assert result_to_dict(result) == load_golden(
+            "golden_two_active_n1024_c32_seed7.json"
+        )
+
+    def test_general_golden(self):
+        result = solve(
+            FNWGeneral(),
+            n=512,
+            num_channels=32,
+            activation=activate_random(512, 60, seed=11),
+            seed=11,
+            record_trace=True,
+            stop_on_solve=False,
+        )
+        assert result_to_dict(result) == load_golden(
+            "golden_general_n512_c32_seed11.json"
+        )
+
+    def test_golden_files_are_sane(self):
+        for name in (
+            "golden_two_active_n1024_c32_seed7.json",
+            "golden_general_n512_c32_seed11.json",
+        ):
+            payload = load_golden(name)
+            assert payload["solved"] is True
+            assert payload["rounds_detail"]
+            assert payload["format_version"] == 1

@@ -1,0 +1,180 @@
+"""Cross-module integration tests: every solver, over grids of instances,
+must solve with a live winner; instrumentation must not perturb execution;
+everything must be reproducible from the seed."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BinarySearchCD,
+    DaumMultiChannel,
+    Decay,
+    FNWGeneral,
+    SlottedAloha,
+    TwoActive,
+    WakeupTransform,
+    solve,
+)
+from repro.sim import activate_adjacent, activate_all, activate_pair, activate_random
+
+ALL_ANY_A_PROTOCOLS = [
+    FNWGeneral,
+    BinarySearchCD,
+    Decay,
+    DaumMultiChannel,
+]
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_ANY_A_PROTOCOLS)
+class TestAllSolversGrid:
+    @pytest.mark.parametrize("num_channels", [1, 4, 64])
+    def test_dense(self, protocol_cls, num_channels):
+        result = solve(
+            protocol_cls(),
+            n=256,
+            num_channels=num_channels,
+            activation=activate_all(256),
+            seed=0,
+        )
+        assert result.solved
+        assert result.winner is not None
+
+    @pytest.mark.parametrize("active_count", [1, 2, 7])
+    def test_sparse(self, protocol_cls, active_count):
+        result = solve(
+            protocol_cls(),
+            n=512,
+            num_channels=16,
+            activation=activate_random(512, active_count, seed=1),
+            seed=1,
+        )
+        assert result.solved
+
+    def test_adjacent_ids(self, protocol_cls):
+        result = solve(
+            protocol_cls(),
+            n=512,
+            num_channels=32,
+            activation=activate_adjacent(512, 16, start=100),
+            seed=2,
+        )
+        assert result.solved
+
+    def test_winner_among_actives(self, protocol_cls):
+        activation = activate_random(512, 20, seed=3)
+        result = solve(
+            protocol_cls(),
+            n=512,
+            num_channels=32,
+            activation=activation,
+            seed=3,
+        )
+        assert result.winner in activation.active_ids
+
+
+class TestInstrumentationPurity:
+    """Recording a trace must not change the execution (observer effect)."""
+
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [
+            lambda: FNWGeneral(),
+            lambda: TwoActive(),
+            lambda: Decay(),
+        ],
+    )
+    def test_trace_toggle_preserves_outcome(self, protocol_factory):
+        activation = activate_random(512, 2, seed=6)
+        kwargs = dict(
+            n=512, num_channels=32, activation=activation, seed=6
+        )
+        plain = solve(protocol_factory(), **kwargs)
+        traced = solve(protocol_factory(), record_trace=True, **kwargs)
+        assert plain.solved_round == traced.solved_round
+        assert plain.winner == traced.winner
+
+
+class TestSeedSensitivity:
+    def test_seed_changes_executions(self):
+        rounds = {
+            solve(
+                FNWGeneral(),
+                n=1 << 10,
+                num_channels=32,
+                activation=activate_all(1 << 10),
+                seed=seed,
+            ).solved_round
+            for seed in range(25)
+        }
+        assert len(rounds) >= 2
+
+    def test_activation_independent_of_execution_seed(self):
+        a = activate_random(1 << 10, 10, seed=5)
+        b = activate_random(1 << 10, 10, seed=5)
+        assert a.active_ids == b.active_ids
+
+
+class TestWakeupComposesWithEverything:
+    @pytest.mark.parametrize("inner_cls", [FNWGeneral, BinarySearchCD, Decay])
+    def test_wrapped_solvers(self, inner_cls):
+        result = solve(
+            WakeupTransform(inner_cls()),
+            n=256,
+            num_channels=16,
+            activation=activate_all(256),
+            seed=1,
+        )
+        assert result.solved
+
+
+class TestAlohaContrast:
+    def test_aloha_solves_eventually_dense(self):
+        result = solve(
+            SlottedAloha(),
+            n=128,
+            num_channels=1,
+            activation=activate_all(128),
+            seed=0,
+        )
+        assert result.solved
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_exp=st.integers(min_value=3, max_value=10),
+    c_exp=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_general_solves_arbitrary_instances(n_exp, c_exp, seed, data):
+    """Hypothesis: the flagship algorithm solves any (n, C, A, seed)."""
+    n = 1 << n_exp
+    num_channels = 1 << c_exp
+    active_count = data.draw(st.integers(min_value=1, max_value=n))
+    result = solve(
+        FNWGeneral(),
+        n=n,
+        num_channels=num_channels,
+        activation=activate_random(n, active_count, seed=seed),
+        seed=seed,
+    )
+    assert result.solved
+    assert result.winner is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_exp=st.integers(min_value=2, max_value=12),
+    c_exp=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_two_active_solves_arbitrary_instances(n_exp, c_exp, seed):
+    n = 1 << n_exp
+    result = solve(
+        TwoActive(),
+        n=n,
+        num_channels=1 << c_exp,
+        activation=activate_pair(n, seed=seed),
+        seed=seed,
+    )
+    assert result.solved

@@ -1,0 +1,140 @@
+"""Unit tests for the exact integer-math helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutil import (
+    ceil_div,
+    ceil_log2,
+    exact_log2,
+    floor_log2,
+    is_power_of_two,
+    largest_power_of_two_at_most,
+    lg_lg,
+    log2f,
+    loglog2f,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestFloorCeilLog2:
+    def test_exact_on_powers(self):
+        for exponent in range(16):
+            assert floor_log2(1 << exponent) == exponent
+            assert ceil_log2(1 << exponent) == exponent
+
+    def test_between_powers(self):
+        assert floor_log2(5) == 2
+        assert ceil_log2(5) == 3
+        assert floor_log2(1023) == 9
+        assert ceil_log2(1023) == 10
+
+    def test_one(self):
+        assert floor_log2(1) == 0
+        assert ceil_log2(1) == 0
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            floor_log2(bad)
+        with pytest.raises(ValueError):
+            ceil_log2(bad)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_matches_float_log(self, x):
+        assert floor_log2(x) == int(math.floor(math.log2(x) + 1e-12))
+        assert 2 ** ceil_log2(x) >= x > 2 ** (ceil_log2(x) - 1) or x == 1
+
+
+class TestExactLog2:
+    def test_powers(self):
+        for exponent in range(12):
+            assert exact_log2(1 << exponent) == exponent
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            exact_log2(3)
+        with pytest.raises(ValueError):
+            exact_log2(0)
+
+
+class TestLargestPowerOfTwoAtMost:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 2), (3, 2), (4, 4), (5, 4), (7, 4), (8, 8), (1000, 512)],
+    )
+    def test_values(self, value, expected):
+        assert largest_power_of_two_at_most(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            largest_power_of_two_at_most(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_properties(self, x):
+        p = largest_power_of_two_at_most(x)
+        assert is_power_of_two(p)
+        assert p <= x < 2 * p
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3), (10, 3, 4)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_non_positive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestLgLg:
+    def test_small(self):
+        assert lg_lg(2) == 1
+        assert lg_lg(4) == 1
+        assert lg_lg(16) == 2
+        assert lg_lg(256) == 3
+        assert lg_lg(1 << 16) == 4
+
+    def test_floor_values(self):
+        assert lg_lg(1) == 1
+        assert lg_lg(0) == 1
+
+    def test_monotone(self):
+        previous = 0
+        for exponent in range(1, 30):
+            current = lg_lg(1 << exponent)
+            assert current >= previous
+            previous = current
+
+
+class TestFloatHelpers:
+    def test_log2f(self):
+        assert log2f(8.0) == 3.0
+        with pytest.raises(ValueError):
+            log2f(0.0)
+
+    def test_loglog2f_clamps(self):
+        assert loglog2f(2.0) == 1.0
+        assert loglog2f(0.5) == 1.0
+        assert loglog2f(1 << 16) == 4.0
+
+    def test_loglog2f_monotone(self):
+        values = [loglog2f(2.0**k) for k in range(1, 40)]
+        assert values == sorted(values)

@@ -1,0 +1,102 @@
+"""Gap-filling tests for small API corners not exercised elsewhere."""
+
+import pytest
+
+from repro import FNWGeneral, solve
+from repro.analysis import Summary, summarize
+from repro.analysis.sweep import CellResult
+from repro.sim import (
+    Activation,
+    activate_all,
+    run_execution,
+    transmit,
+)
+
+
+class TestExecutionResultHelpers:
+    def test_require_solved_passthrough(self):
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activate_all(64),
+            seed=0,
+        )
+        assert result.require_solved() is result
+
+    def test_require_solved_raises(self):
+        def silent(ctx):
+            def coroutine():
+                return
+                yield  # pragma: no cover
+
+            return coroutine()
+
+        result = run_execution(silent, n=4, num_channels=2, active_ids=[1])
+        with pytest.raises(AssertionError):
+            result.require_solved()
+
+
+class TestSummaryHelpers:
+    def test_ci95_tuple(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        low, high = summary.ci95
+        assert low < summary.mean < high
+        assert high - low == pytest.approx(2 * summary.ci95_half_width)
+
+
+class TestCellResultHelpers:
+    def test_metric_skips_missing_keys(self):
+        cell = CellResult(params={})
+        cell.trials = [{"rounds": 1.0}, {"rounds": 2.0, "extra": 9.0}]
+        assert cell.metric("extra") == [9.0]
+        assert cell.metric("rounds") == [1.0, 2.0]
+
+
+class TestActivationEdgeCases:
+    def test_single_node_activation(self):
+        activation = Activation(active_ids=[3])
+        result = solve(
+            FNWGeneral(),
+            n=16,
+            num_channels=8,
+            activation=activation,
+            seed=0,
+        )
+        assert result.winner == 3
+
+    def test_wake_rounds_default_empty(self):
+        assert Activation(active_ids=[1, 2]).wake_rounds == {}
+
+
+class TestEngineCornerCases:
+    def test_message_payload_none_still_message(self):
+        observations = []
+
+        def factory(ctx):
+            def coroutine():
+                if ctx.node_id == 1:
+                    yield transmit(2, None)
+                else:
+                    obs = yield __import__("repro.sim", fromlist=["listen"]).listen(2)
+                    observations.append(obs)
+
+            return coroutine()
+
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        [obs] = observations
+        assert obs.got_message
+        assert obs.message is None
+
+    def test_two_transmitters_same_payload_still_collision(self):
+        outcomes = []
+
+        def factory(ctx):
+            def coroutine():
+                obs = yield transmit(3, "same")
+                outcomes.append(obs.feedback.value)
+
+            return coroutine()
+
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert outcomes == ["collision", "collision"]

@@ -1,0 +1,111 @@
+"""Additional coverage for convenience APIs and secondary paths."""
+
+import pytest
+
+from repro import CollisionDetection, Decay, FNWGeneral
+from repro.experiments.common import leaf_election_trial
+from repro.sim import (
+    ConfigurationError,
+    Network,
+    activate_random,
+    run_execution,
+    transmit,
+)
+
+
+class TestNetworkHelpers:
+    def test_validate_channel_accepts_range(self):
+        network = Network(n=8, num_channels=4)
+        for channel in (1, 2, 3, 4):
+            network.validate_channel(channel)  # no raise
+
+    def test_validate_channel_rejects_outside(self):
+        network = Network(n=8, num_channels=4)
+        with pytest.raises(ConfigurationError):
+            network.validate_channel(0)
+        with pytest.raises(ConfigurationError):
+            network.validate_channel(5)
+
+    def test_default_cd_is_strong(self):
+        assert Network(n=2, num_channels=2).collision_detection is (
+            CollisionDetection.STRONG
+        )
+
+
+class TestRunExecutionConvenience:
+    def test_collision_detection_kwarg(self):
+        observations = []
+
+        def factory(ctx):
+            def coroutine():
+                obs = yield transmit(1, "x")
+                observations.append(obs)
+
+            return coroutine()
+
+        run_execution(
+            factory,
+            n=2,
+            num_channels=2,
+            active_ids=[1],
+            collision_detection=CollisionDetection.RECEIVER_ONLY,
+        )
+        # Lone transmitter, but blinded: observes NONE instead of MESSAGE.
+        assert observations[0].feedback.value == "none"
+
+    def test_default_strong(self):
+        observations = []
+
+        def factory(ctx):
+            def coroutine():
+                obs = yield transmit(1, "x")
+                observations.append(obs)
+
+            return coroutine()
+
+        run_execution(factory, n=2, num_channels=2, active_ids=[1])
+        assert observations[0].alone
+
+
+class TestLeafElectionTrialHelpers:
+    def test_adjacent_mode(self):
+        metrics = leaf_election_trial(64, 8, seed=1, adjacent=True)
+        assert metrics["solved"] == 1.0
+        assert metrics["rounds"] > 0
+
+    def test_too_many_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_election_trial(16, 100, seed=0)
+
+    def test_cohort_flag_changes_nothing_for_tiny_x(self):
+        # With x = 1 there is no search at all; both modes take 1 round.
+        fast = leaf_election_trial(64, 1, seed=2, use_cohort_search=True)
+        slow = leaf_election_trial(64, 1, seed=2, use_cohort_search=False)
+        assert fast["rounds"] == slow["rounds"] == 1.0
+
+
+class TestProtocolReuse:
+    def test_single_instance_many_executions(self):
+        protocol = FNWGeneral()
+        outcomes = set()
+        for seed in range(5):
+            result = run_execution(
+                protocol,
+                n=256,
+                num_channels=16,
+                active_ids=list(activate_random(256, 50, seed=seed).active_ids),
+                seed=seed,
+            )
+            assert result.solved
+            outcomes.add(result.winner)
+        assert len(outcomes) > 1  # no state leaked across executions
+
+    def test_instance_statelessness_decay(self):
+        protocol = Decay()
+        first = run_execution(
+            protocol, n=128, num_channels=1, seed=9
+        )
+        second = run_execution(
+            protocol, n=128, num_channels=1, seed=9
+        )
+        assert first.solved_round == second.solved_round

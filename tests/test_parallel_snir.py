@@ -1,0 +1,100 @@
+"""Tests for the standalone Snir parallel search."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel import parallel_steps_upper_bound, snir_search, subdivide
+
+
+def boundary_predicate(answer):
+    """Monotone predicate: True ("collision") below `answer`."""
+    return lambda position: position < answer
+
+
+class TestSubdivide:
+    def test_covers_range(self):
+        boundaries = subdivide(0, 10, 3)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == 10
+        assert boundaries == sorted(boundaries)
+
+    def test_at_most_p_plus_one_subranges(self):
+        for span in range(2, 50):
+            for processors in range(1, 10):
+                boundaries = subdivide(0, span, processors)
+                assert len(boundaries) - 1 <= processors + 1
+
+    def test_single_processor_is_binary(self):
+        assert subdivide(0, 10, 1) == [0, 5, 10]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            subdivide(5, 5, 2)
+        with pytest.raises(ValueError):
+            subdivide(0, 5, 0)
+
+
+class TestSnirSearch:
+    @pytest.mark.parametrize("processors", [1, 2, 4, 8])
+    def test_exhaustive_small_ranges(self, processors):
+        for hi in range(1, 30):
+            for answer in range(1, hi + 1):
+                result = snir_search(0, hi, processors, boundary_predicate(answer))
+                assert result.answer == answer
+
+    def test_steps_decrease_with_processors(self):
+        span = 64
+        steps = [
+            snir_search(0, span, p, boundary_predicate(33)).parallel_steps
+            for p in (1, 3, 7, 63)
+        ]
+        assert steps == sorted(steps, reverse=True)
+        assert steps[-1] == 1  # 63 processors probe everything at once
+
+    def test_steps_within_upper_bound(self):
+        for span in (2, 10, 100, 1000):
+            for processors in (1, 2, 5, 31):
+                for answer in (1, span // 2 + 1, span):
+                    result = snir_search(
+                        0, span, processors, boundary_predicate(answer)
+                    )
+                    assert result.parallel_steps <= parallel_steps_upper_bound(
+                        span, processors
+                    )
+
+    def test_binary_equivalence(self):
+        # p = 1 must take ceil(log2(span)) steps for the worst answers.
+        result = snir_search(0, 64, 1, boundary_predicate(64))
+        assert result.parallel_steps == 6
+
+    def test_non_monotone_predicate_detected(self):
+        with pytest.raises(ValueError):
+            snir_search(0, 8, 2, lambda position: True)  # never False
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            snir_search(5, 5, 2, boundary_predicate(5))
+
+    @given(
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=1, max_value=64),
+        st.data(),
+    )
+    def test_property(self, span, processors, data):
+        answer = data.draw(st.integers(min_value=1, max_value=span))
+        result = snir_search(0, span, processors, boundary_predicate(answer))
+        assert result.answer == answer
+        assert result.probes >= result.parallel_steps
+
+
+class TestUpperBound:
+    def test_values(self):
+        assert parallel_steps_upper_bound(1, 4) == 0
+        assert parallel_steps_upper_bound(2, 1) == 1
+        assert parallel_steps_upper_bound(64, 1) == 6
+        # 63 processors cover a 64-range in one step.
+        assert parallel_steps_upper_bound(64, 63) == 1
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            parallel_steps_upper_bound(0, 2)

@@ -1,0 +1,191 @@
+"""Extra hypothesis property tests across module boundaries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cohorts import reference_election
+from repro.sim import Feedback
+from repro.sim.context import MarkRecord
+from repro.sim.serialize import FORMAT_VERSION, trace_from_dict
+from repro.sim.trace import ChannelRound, ExecutionTrace, RoundRecord
+from repro.tree import ChannelTree
+
+
+# ---------------------------------------------------------------- tree algebra
+
+@given(
+    exponent=st.integers(min_value=1, max_value=10),
+    data=st.data(),
+)
+def test_ancestor_index_within_level_width(exponent, data):
+    tree = ChannelTree(1 << exponent)
+    leaf = data.draw(st.integers(min_value=1, max_value=tree.num_leaves))
+    level = data.draw(st.integers(min_value=0, max_value=tree.height))
+    index = tree.ancestor_index_in_level(leaf, level)
+    assert 1 <= index <= tree.level_width(level)
+
+
+@given(
+    exponent=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_ancestor_monotone_in_leaf(exponent, data):
+    """At every level, the ancestor index is non-decreasing in the leaf."""
+    tree = ChannelTree(1 << exponent)
+    level = data.draw(st.integers(min_value=0, max_value=tree.height))
+    indices = [
+        tree.ancestor_index_in_level(leaf, level)
+        for leaf in range(1, tree.num_leaves + 1)
+    ]
+    assert indices == sorted(indices)
+
+
+@given(
+    exponent=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_divergence_at_most_adjacent(exponent, data):
+    """Adjacent leaves diverge at least as deep as any enclosing pair."""
+    tree = ChannelTree(1 << exponent)
+    if tree.num_leaves < 3:
+        return
+    a = data.draw(st.integers(min_value=1, max_value=tree.num_leaves - 2))
+    c = data.draw(st.integers(min_value=a + 2, max_value=tree.num_leaves))
+    b = data.draw(st.integers(min_value=a + 1, max_value=c - 1))
+    # The pair (a, c) diverges no deeper than (a, b) or (b, c):
+    assert tree.divergence_level(a, c) <= max(
+        tree.divergence_level(a, b), tree.divergence_level(b, c)
+    )
+
+
+# ----------------------------------------------------------- reference oracle
+
+@settings(max_examples=60, deadline=None)
+@given(
+    exponent=st.integers(min_value=1, max_value=7),
+    data=st.data(),
+)
+def test_reference_leader_invariant_under_order(exponent, data):
+    """The oracle's leader depends only on the leaf *set*, not its order."""
+    tree = ChannelTree(1 << exponent)
+    size = data.draw(st.integers(min_value=1, max_value=tree.num_leaves))
+    leaves = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=tree.num_leaves),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    shuffled = data.draw(st.permutations(leaves))
+    assert (
+        reference_election(tree, leaves).leader
+        == reference_election(tree, list(shuffled)).leader
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    exponent=st.integers(min_value=2, max_value=7),
+    data=st.data(),
+)
+def test_reference_leader_is_member(exponent, data):
+    tree = ChannelTree(1 << exponent)
+    size = data.draw(st.integers(min_value=1, max_value=tree.num_leaves))
+    leaves = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=tree.num_leaves),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    reference = reference_election(tree, leaves)
+    assert reference.leader in leaves
+    # Monotone structural fact: the leader never beats a leaf strictly to
+    # its left *in the same phase-1 pair*; globally, the leader is the
+    # master of every cohort it ever belonged to, which starts at cID 1.
+    assert reference.phase_count <= (len(leaves) - 1).bit_length() + 1
+
+
+# ------------------------------------------------------------- serialization
+
+def trace_strategy():
+    feedback = st.sampled_from([Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION])
+    channel_round = st.builds(
+        ChannelRound,
+        transmitters=st.tuples(*[st.integers(min_value=1, max_value=9)] * 2),
+        receivers=st.tuples(),
+        feedback=feedback,
+        message=st.one_of(st.none(), st.integers(), st.text(max_size=5)),
+    )
+    record = st.builds(
+        RoundRecord,
+        round_index=st.integers(min_value=1, max_value=100),
+        channels=st.dictionaries(
+            st.integers(min_value=1, max_value=8), channel_round, max_size=4
+        ),
+        active_count=st.integers(min_value=0, max_value=50),
+    )
+    mark = st.builds(
+        MarkRecord,
+        round_index=st.integers(min_value=1, max_value=100),
+        node_id=st.integers(min_value=1, max_value=50),
+        label=st.text(min_size=1, max_size=10),
+        payload=st.one_of(st.none(), st.integers(), st.text(max_size=5)),
+    )
+    return st.builds(
+        lambda rounds, marks: _mk_trace(rounds, marks),
+        st.lists(record, max_size=5),
+        st.lists(mark, max_size=5),
+    )
+
+
+def _mk_trace(rounds, marks):
+    trace = ExecutionTrace()
+    trace.rounds = rounds
+    trace.marks = marks
+    return trace
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace_strategy())
+def test_trace_roundtrip_property(trace):
+    """Any trace structurally round-trips through the JSON format."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "marks": [
+            {
+                "round": m.round_index,
+                "node": m.node_id,
+                "label": m.label,
+                "payload": m.payload,
+            }
+            for m in trace.marks
+        ],
+        "rounds_detail": [
+            {
+                "round": r.round_index,
+                "active": r.active_count,
+                "channels": {
+                    str(c): {
+                        "transmitters": list(a.transmitters),
+                        "receivers": list(a.receivers),
+                        "feedback": a.feedback.value,
+                        "message": a.message,
+                    }
+                    for c, a in r.channels.items()
+                },
+            }
+            for r in trace.rounds
+        ],
+    }
+    restored = trace_from_dict(payload)
+    assert len(restored.rounds) == len(trace.rounds)
+    assert len(restored.marks) == len(trace.marks)
+    for original, back in zip(trace.rounds, restored.rounds):
+        assert back.round_index == original.round_index
+        for channel in original.channels:
+            assert (
+                back.channels[channel].feedback
+                is original.channels[channel].feedback
+            )

@@ -1,0 +1,145 @@
+"""Tests for the protocol framework: Protocol objects, sequential
+composition with carries and HALT, and the solve() runner."""
+
+import pytest
+
+from repro.protocols import (
+    HALT,
+    FunctionProtocol,
+    Protocol,
+    SequentialProtocol,
+    Step,
+    solve,
+)
+from repro.sim import Activation, listen, transmit
+
+
+class EchoStep(Step):
+    """Listens once and carries forward (carry + suffix)."""
+
+    def __init__(self, suffix, name="echo"):
+        self.suffix = suffix
+        self.name = name
+
+    def run(self, ctx, carry):
+        yield listen(1)
+        return (carry or "") + self.suffix
+
+
+class HaltingStep(Step):
+    name = "halting"
+
+    def run(self, ctx, carry):
+        yield listen(1)
+        return HALT
+
+
+class WinnerStep(Step):
+    name = "winner"
+
+    def run(self, ctx, carry):
+        yield transmit(1, carry)
+        return carry
+
+
+class TestFunctionProtocol:
+    def test_wraps_generator_function(self):
+        def my_protocol(ctx):
+            yield transmit(1, "x")
+
+        protocol = FunctionProtocol(my_protocol)
+        assert protocol.name == "my_protocol"
+        result = solve(protocol, n=2, num_channels=2, activation=Activation([1]))
+        assert result.solved
+
+    def test_custom_name(self):
+        protocol = FunctionProtocol(lambda ctx: iter(()), name="custom")
+        assert protocol.name == "custom"
+
+
+class TestSequentialProtocol:
+    def test_requires_steps(self):
+        with pytest.raises(ValueError):
+            SequentialProtocol([])
+
+    def test_carry_flows_through_steps(self):
+        protocol = SequentialProtocol(
+            [EchoStep("a", "first"), EchoStep("b", "second"), WinnerStep()],
+            initial_carry="",
+        )
+        result = solve(protocol, n=2, num_channels=2, activation=Activation([1]))
+        assert result.solved
+        # The winner transmitted the accumulated carry on round 3.
+        assert result.solved_round == 3
+
+    def test_halt_stops_the_node(self):
+        protocol = SequentialProtocol([HaltingStep(), WinnerStep()])
+        result = solve(protocol, n=2, num_channels=2, activation=Activation([1]))
+        # WinnerStep never ran: no transmission ever happened.
+        assert not result.solved
+        assert result.rounds == 1
+
+    def test_step_marks_emitted(self):
+        protocol = SequentialProtocol([EchoStep("a"), WinnerStep()], initial_carry="")
+        result = solve(protocol, n=2, num_channels=2, activation=Activation([1]))
+        labels = [m.label for m in result.trace.marks]
+        assert "step:echo:begin" in labels
+        assert "step:echo:end" in labels
+        assert "step:winner:begin" in labels
+
+    def test_steps_synchronized_across_nodes(self):
+        # Two nodes run the same two-step protocol; both must hit the
+        # winner step in the same round (collision, not a solve).
+        protocol = SequentialProtocol([EchoStep("a"), WinnerStep()], initial_carry="")
+        result = solve(protocol, n=2, num_channels=2, activation=Activation([1, 2]))
+        assert not result.solved  # both transmitted together in round 2
+
+
+class TestSolveRunner:
+    def test_default_activation_is_everyone(self):
+        seen = []
+
+        class Recorder(Protocol):
+            name = "recorder"
+
+            def run(self, ctx):
+                seen.append(ctx.node_id)
+                return
+                yield  # pragma: no cover
+
+        solve(Recorder(), n=5, num_channels=2)
+        assert sorted(seen) == [1, 2, 3, 4, 5]
+
+    def test_wake_rounds_passed_through(self):
+        rounds_seen = {}
+
+        class WakeRecorder(Protocol):
+            name = "wake"
+
+            def run(self, ctx):
+                observation = yield listen(1)
+                rounds_seen[ctx.node_id] = observation.round_index
+
+        solve(
+            WakeRecorder(),
+            n=3,
+            num_channels=2,
+            activation=Activation([1, 2], wake_rounds={1: 1, 2: 4}),
+        )
+        assert rounds_seen == {1: 1, 2: 4}
+
+    def test_protocol_callable_as_factory(self):
+        class Direct(Protocol):
+            name = "direct"
+
+            def run(self, ctx):
+                yield transmit(1)
+
+        protocol = Direct()
+        # Protocol instances are usable directly where factories are expected.
+        coroutine = protocol(
+            __import__("repro.sim.context", fromlist=["NodeContext"]).NodeContext(
+                node_id=1, n=2, num_channels=2, rng=__import__("random").Random(0)
+            )
+        )
+        assert next(coroutine).channel == 1

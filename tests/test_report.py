@@ -1,0 +1,32 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.report import ReportOptions, SECTIONS, build_report, write_report
+
+
+class TestReportStructure:
+    def test_sections_cover_registry(self):
+        # Every experiment id e1..e19 (except e2, folded into e1) appears.
+        keys = {title.split(" ")[0].lower().split("/")[0] for title, _, _ in SECTIONS}
+        expected = {f"e{i}" for i in range(1, 20) if i != 2}
+        assert keys == expected
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(ReportOptions(scale="huge"))
+
+    def test_single_section_report(self):
+        text = build_report(ReportOptions(scale="quick", only=["e3"]))
+        assert "# EXPERIMENTS — paper vs measured" in text
+        assert "## E3 — Lemma 3: SplitCheck" in text
+        assert "**Paper claim.**" in text
+        assert "**Measured verdict.**" in text
+        assert "| C |" in text  # the markdown table
+        # Other sections excluded.
+        assert "## E9" not in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "out.md"
+        write_report(str(path), ReportOptions(scale="quick", only=["e3"]))
+        assert path.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,78 @@
+"""Unit tests for the action and feedback primitives of the simulator."""
+
+import pytest
+
+from repro.sim import Action, Feedback, IDLE, Observation, idle, listen, resolve, transmit
+
+
+class TestActions:
+    def test_transmit_builder(self):
+        action = transmit(3, "payload")
+        assert action.channel == 3
+        assert action.transmit is True
+        assert action.message == "payload"
+        assert action.participates
+
+    def test_listen_builder(self):
+        action = listen(7)
+        assert action.channel == 7
+        assert action.transmit is False
+        assert action.message is None
+        assert action.participates
+
+    def test_idle_builder(self):
+        action = idle()
+        assert action.channel is None
+        assert not action.participates
+
+    def test_idle_singleton_is_idle(self):
+        assert IDLE.channel is None
+        assert not IDLE.participates
+
+    def test_actions_are_frozen(self):
+        action = transmit(1)
+        with pytest.raises(AttributeError):
+            action.channel = 2
+
+    def test_none_message_is_valid_payload(self):
+        assert transmit(1, None).message is None
+
+
+class TestResolve:
+    def test_zero_transmitters_is_silence(self):
+        assert resolve(0) is Feedback.SILENCE
+
+    def test_one_transmitter_is_message(self):
+        assert resolve(1) is Feedback.MESSAGE
+
+    @pytest.mark.parametrize("count", [2, 3, 10, 1000])
+    def test_many_transmitters_is_collision(self, count):
+        assert resolve(count) is Feedback.COLLISION
+
+
+class TestObservation:
+    def test_silence_flags(self):
+        obs = Observation(feedback=Feedback.SILENCE, channel=1, round_index=4)
+        assert obs.silence
+        assert not obs.collision
+        assert not obs.got_message
+        assert not obs.alone
+
+    def test_collision_flags(self):
+        obs = Observation(feedback=Feedback.COLLISION, channel=2, transmitted=True)
+        assert obs.collision
+        assert not obs.alone
+
+    def test_alone_requires_transmission(self):
+        heard = Observation(feedback=Feedback.MESSAGE, message="m", transmitted=False)
+        assert heard.got_message
+        assert not heard.alone
+        solo = Observation(feedback=Feedback.MESSAGE, message="m", transmitted=True)
+        assert solo.alone
+
+    def test_idle_observation(self):
+        obs = Observation(feedback=Feedback.NONE, round_index=9)
+        assert not obs.silence
+        assert not obs.collision
+        assert not obs.got_message
+        assert not obs.alone

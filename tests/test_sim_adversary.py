@@ -1,0 +1,100 @@
+"""Tests for activation adversaries (who wakes up, and when)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    ConfigurationError,
+    activate_adjacent,
+    activate_all,
+    activate_pair,
+    activate_random,
+    staggered,
+)
+
+
+class TestActivateAll:
+    def test_everyone(self):
+        activation = activate_all(10)
+        assert activation.active_ids == list(range(1, 11))
+        assert activation.size == 10
+        assert activation.simultaneous
+
+
+class TestActivateRandom:
+    def test_size_and_range(self):
+        activation = activate_random(100, 7, seed=1)
+        assert activation.size == 7
+        assert all(1 <= i <= 100 for i in activation.active_ids)
+        assert len(set(activation.active_ids)) == 7
+
+    def test_deterministic_in_seed(self):
+        assert activate_random(100, 7, seed=3).active_ids == activate_random(
+            100, 7, seed=3
+        ).active_ids
+        assert activate_random(100, 7, seed=3).active_ids != activate_random(
+            100, 7, seed=4
+        ).active_ids
+
+    @pytest.mark.parametrize("count", [0, 101, -1])
+    def test_invalid_count(self, count):
+        with pytest.raises(ConfigurationError):
+            activate_random(100, count)
+
+    @given(st.integers(min_value=2, max_value=200), st.integers(min_value=0, max_value=50))
+    def test_property(self, n, seed):
+        count = max(1, n // 2)
+        activation = activate_random(n, count, seed=seed)
+        assert activation.size == count
+        assert activation.active_ids == sorted(set(activation.active_ids))
+
+
+class TestActivatePair:
+    def test_exactly_two(self):
+        activation = activate_pair(1000, seed=2)
+        assert activation.size == 2
+        a, b = activation.active_ids
+        assert a != b
+
+
+class TestActivateAdjacent:
+    def test_block(self):
+        activation = activate_adjacent(100, 5, start=10)
+        assert activation.active_ids == [10, 11, 12, 13, 14]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            activate_adjacent(100, 5, start=98)
+        with pytest.raises(ConfigurationError):
+            activate_adjacent(100, 101)
+
+
+class TestStaggered:
+    def test_zero_delay_is_simultaneous(self):
+        activation = staggered(activate_all(5), max_delay=0)
+        assert activation.simultaneous
+        assert set(activation.wake_rounds.values()) == {1}
+
+    def test_delays_within_bound(self):
+        activation = staggered(activate_all(50), max_delay=7, seed=1)
+        assert all(1 <= r <= 8 for r in activation.wake_rounds.values())
+        assert set(activation.wake_rounds) == set(range(1, 51))
+
+    def test_explicit_delays(self):
+        activation = staggered(
+            activate_all(3), max_delay=5, delays={1: 0, 2: 3, 3: 5}
+        )
+        assert activation.wake_rounds == {1: 1, 2: 4, 3: 6}
+
+    def test_explicit_delay_out_of_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staggered(activate_all(2), max_delay=2, delays={1: 3})
+
+    def test_negative_max_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staggered(activate_all(2), max_delay=-1)
+
+    def test_deterministic(self):
+        a = staggered(activate_all(20), max_delay=9, seed=4)
+        b = staggered(activate_all(20), max_delay=9, seed=4)
+        assert a.wake_rounds == b.wake_rounds

@@ -1,0 +1,342 @@
+"""Engine semantics tests: the channel model of Section 3, solve detection,
+lifecycle, validation, and tracing.
+
+Most tests drive the engine with small scripted protocols so every round's
+expected outcome is known exactly.
+"""
+
+import pytest
+
+from repro.sim import (
+    Action,
+    ConfigurationError,
+    Engine,
+    Feedback,
+    Network,
+    ProtocolViolation,
+    RoundLimitExceeded,
+    idle,
+    listen,
+    run_execution,
+    transmit,
+)
+
+
+def scripted(script_by_node):
+    """Protocol factory replaying a fixed per-node list of actions.
+
+    Each node also records the observations it saw in ``observations``.
+    """
+    observations = {}
+
+    def factory(ctx):
+        def coroutine():
+            seen = observations.setdefault(ctx.node_id, [])
+            for action in script_by_node.get(ctx.node_id, []):
+                observation = yield action
+                seen.append(observation)
+
+        return coroutine()
+
+    factory.observations = observations
+    return factory
+
+
+class TestChannelSemantics:
+    def test_silence_for_lone_listener(self):
+        factory = scripted({1: [listen(2)]})
+        run_execution(factory, n=4, num_channels=4, active_ids=[1])
+        [obs] = factory.observations[1]
+        assert obs.feedback is Feedback.SILENCE
+        assert obs.channel == 2
+
+    def test_message_delivered_to_listener_and_transmitter(self):
+        factory = scripted({1: [transmit(3, "hello")], 2: [listen(3)]})
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        [tx_obs] = factory.observations[1]
+        [rx_obs] = factory.observations[2]
+        # Strong CD: the lone transmitter learns it was alone (MESSAGE).
+        assert tx_obs.feedback is Feedback.MESSAGE
+        assert tx_obs.alone
+        assert rx_obs.feedback is Feedback.MESSAGE
+        assert rx_obs.message == "hello"
+
+    def test_collision_seen_by_everyone_including_transmitters(self):
+        factory = scripted(
+            {1: [transmit(2, "a")], 2: [transmit(2, "b")], 3: [listen(2)]}
+        )
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2, 3])
+        for node in (1, 2, 3):
+            [obs] = factory.observations[node]
+            assert obs.feedback is Feedback.COLLISION
+            assert obs.message is None
+
+    def test_channels_are_independent(self):
+        factory = scripted(
+            {
+                1: [transmit(2, "x")],
+                2: [listen(2)],
+                3: [transmit(3, "y")],
+                4: [transmit(3, "z")],
+            }
+        )
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2, 3, 4])
+        assert factory.observations[2][0].message == "x"
+        assert factory.observations[3][0].feedback is Feedback.COLLISION
+        assert factory.observations[4][0].feedback is Feedback.COLLISION
+
+    def test_idle_node_observes_nothing(self):
+        factory = scripted({1: [idle()], 2: [transmit(1, "m")]})
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        [obs] = factory.observations[1]
+        assert obs.feedback is Feedback.NONE
+        assert obs.channel is None
+
+    def test_transmitted_flag_echoed(self):
+        factory = scripted({1: [transmit(2)], 2: [listen(2)]})
+        run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert factory.observations[1][0].transmitted
+        assert not factory.observations[2][0].transmitted
+
+
+class TestSolveDetection:
+    def test_solo_on_primary_solves(self):
+        factory = scripted({1: [transmit(1, "win")]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1])
+        assert result.solved
+        assert result.solved_round == 1
+        assert result.winner == 1
+
+    def test_solo_on_other_channel_does_not_solve(self):
+        factory = scripted({1: [transmit(2, "nope")]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1])
+        assert not result.solved
+        assert result.winner is None
+
+    def test_collision_on_primary_does_not_solve(self):
+        factory = scripted({1: [transmit(1)], 2: [transmit(1)]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert not result.solved
+
+    def test_first_solving_round_reported(self):
+        factory = scripted(
+            {
+                1: [listen(1), transmit(1, "a"), transmit(1, "late")],
+                2: [listen(1), listen(1), listen(1)],
+            }
+        )
+        result = run_execution(
+            factory, n=4, num_channels=4, active_ids=[1, 2], stop_on_solve=False
+        )
+        assert result.solved
+        assert result.solved_round == 2
+        assert result.winner == 1
+
+    def test_stop_on_solve_halts_execution(self):
+        factory = scripted({1: [transmit(1, "w"), transmit(2), transmit(2)]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1])
+        assert result.solved_round == 1
+        assert result.rounds == 1
+
+    def test_receiver_on_primary_does_not_block_solve(self):
+        factory = scripted({1: [transmit(1, "w")], 2: [listen(1)]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert result.solved
+        assert result.winner == 1
+
+
+class TestLifecycle:
+    def test_all_terminated_without_solving(self):
+        factory = scripted({1: [listen(2)], 2: [listen(3)]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert not result.solved
+        assert result.all_terminated
+        assert result.rounds == 1
+
+    def test_immediately_returning_protocol(self):
+        def factory(ctx):
+            def coroutine():
+                return
+                yield  # pragma: no cover - makes this a generator
+
+            return coroutine()
+
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert not result.solved
+        assert result.all_terminated
+        assert result.rounds == 0
+
+    def test_round_limit_exceeded_raises(self):
+        def factory(ctx):
+            def forever():
+                while True:
+                    yield listen(2)
+
+            return forever()
+
+        with pytest.raises(RoundLimitExceeded):
+            run_execution(factory, n=4, num_channels=4, active_ids=[1], max_rounds=10)
+
+    def test_mixed_lifetimes(self):
+        factory = scripted({1: [listen(2)] * 5, 2: [listen(3)] * 2})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        assert result.rounds == 5
+        assert len(factory.observations[1]) == 5
+        assert len(factory.observations[2]) == 2
+
+
+class TestWakeRounds:
+    def test_late_wake(self):
+        factory = scripted({1: [listen(2), listen(2)], 2: [transmit(2, "hi")]})
+        run_execution(
+            factory,
+            n=4,
+            num_channels=4,
+            active_ids=[1, 2],
+            wake_rounds={2: 2},
+        )
+        first, second = factory.observations[1]
+        assert first.feedback is Feedback.SILENCE
+        assert second.feedback is Feedback.MESSAGE
+
+    def test_wake_round_observation_indices(self):
+        factory = scripted({1: [listen(1), listen(1)]})
+        run_execution(
+            factory, n=4, num_channels=4, active_ids=[1], wake_rounds={1: 3}
+        )
+        rounds = [obs.round_index for obs in factory.observations[1]]
+        assert rounds == [3, 4]
+
+    def test_invalid_wake_round_rejected(self):
+        factory = scripted({1: [listen(1)]})
+        with pytest.raises(ConfigurationError):
+            run_execution(
+                factory, n=4, num_channels=4, active_ids=[1], wake_rounds={1: 0}
+            )
+
+    def test_wake_round_for_inactive_node_rejected(self):
+        factory = scripted({1: [listen(1)]})
+        with pytest.raises(ConfigurationError):
+            run_execution(
+                factory, n=4, num_channels=4, active_ids=[1], wake_rounds={2: 2}
+            )
+
+
+class TestValidation:
+    def test_channel_out_of_range_rejected(self):
+        factory = scripted({1: [transmit(5)]})
+        with pytest.raises(ProtocolViolation):
+            run_execution(factory, n=4, num_channels=4, active_ids=[1])
+
+    def test_channel_zero_rejected(self):
+        factory = scripted({1: [transmit(0)]})
+        with pytest.raises(ProtocolViolation):
+            run_execution(factory, n=4, num_channels=4, active_ids=[1])
+
+    def test_non_action_yield_rejected(self):
+        def factory(ctx):
+            def bad():
+                yield "not an action"
+
+            return bad()
+
+        with pytest.raises(ProtocolViolation):
+            run_execution(factory, n=4, num_channels=4, active_ids=[1])
+
+    def test_empty_activation_rejected(self):
+        factory = scripted({})
+        with pytest.raises(ConfigurationError):
+            run_execution(factory, n=4, num_channels=4, active_ids=[])
+
+    def test_activation_outside_range_rejected(self):
+        factory = scripted({})
+        with pytest.raises(ConfigurationError):
+            run_execution(factory, n=4, num_channels=4, active_ids=[5])
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(n=0, num_channels=4)
+        with pytest.raises(ConfigurationError):
+            Network(n=4, num_channels=0)
+
+
+class TestTraceRecording:
+    def test_trace_rounds_recorded_when_enabled(self):
+        factory = scripted({1: [transmit(2, "x")], 2: [listen(2)]})
+        result = run_execution(
+            factory, n=4, num_channels=4, active_ids=[1, 2], record_trace=True
+        )
+        assert len(result.trace.rounds) == 1
+        record = result.trace.rounds[0]
+        assert record.channels[2].transmitters == (1,)
+        assert record.channels[2].receivers == (2,)
+        assert record.channels[2].feedback is Feedback.MESSAGE
+        assert record.channels[2].message == "x"
+
+    def test_trace_rounds_skipped_when_disabled(self):
+        factory = scripted({1: [transmit(2)]})
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1])
+        assert result.trace.rounds == []
+
+    def test_marks_always_collected(self):
+        def factory(ctx):
+            def coroutine():
+                ctx.mark("started", {"id": ctx.node_id})
+                yield listen(2)
+                ctx.mark("finished")
+
+            return coroutine()
+
+        result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
+        started = result.trace.marks_with_label("started")
+        assert {m.node_id for m in started} == {1, 2}
+        assert result.trace.first_mark_round("started") == 1
+
+    def test_determinism_across_runs(self):
+        from repro import TwoActive
+        from repro.sim import activate_pair
+
+        def once():
+            from repro.protocols import solve
+
+            return solve(
+                TwoActive(),
+                n=1 << 10,
+                num_channels=32,
+                activation=activate_pair(1 << 10, seed=5),
+                seed=5,
+            )
+
+        first, second = once(), once()
+        assert first.rounds == second.rounds
+        assert first.winner == second.winner
+        assert first.solved_round == second.solved_round
+
+
+class TestEngineObject:
+    def test_engine_reusable_across_runs(self):
+        engine = Engine(Network(n=4, num_channels=4), seed=1)
+        factory = scripted({1: [transmit(1, "w")]})
+        first = engine.run(factory, active_ids=[1])
+        second = engine.run(scripted({1: [transmit(1, "w")]}), active_ids=[1])
+        assert first.solved and second.solved
+
+    def test_default_active_set_is_everyone(self):
+        counts = []
+
+        def factory(ctx):
+            def coroutine():
+                counts.append(ctx.node_id)
+                return
+                yield  # pragma: no cover
+
+            return coroutine()
+
+        engine = Engine(Network(n=6, num_channels=2))
+        engine.run(factory)
+        assert sorted(counts) == [1, 2, 3, 4, 5, 6]
+
+    def test_invalid_max_rounds(self):
+        engine = Engine(Network(n=2, num_channels=2))
+        with pytest.raises(ConfigurationError):
+            engine.run(scripted({1: [listen(1)]}), active_ids=[1], max_rounds=0)

@@ -1,0 +1,85 @@
+"""Tests for execution-trace serialization."""
+
+import json
+
+import pytest
+
+from repro import FNWGeneral, solve
+from repro.sim import Feedback, activate_random
+from repro.sim.serialize import (
+    load_trace,
+    result_to_dict,
+    result_to_json,
+    save_result,
+    trace_from_dict,
+)
+
+
+@pytest.fixture
+def executed():
+    return solve(
+        FNWGeneral(),
+        n=256,
+        num_channels=16,
+        activation=activate_random(256, 40, seed=3),
+        seed=3,
+        record_trace=True,
+        stop_on_solve=False,
+    )
+
+
+class TestRoundTrip:
+    def test_structural_roundtrip(self, executed):
+        payload = result_to_dict(executed)
+        trace = trace_from_dict(payload)
+        assert len(trace.rounds) == len(executed.trace.rounds)
+        assert len(trace.marks) == len(executed.trace.marks)
+        for original, restored in zip(executed.trace.rounds, trace.rounds):
+            assert restored.round_index == original.round_index
+            assert restored.active_count == original.active_count
+            assert set(restored.channels) == set(original.channels)
+            for channel in original.channels:
+                assert (
+                    restored.channels[channel].transmitters
+                    == original.channels[channel].transmitters
+                )
+                assert (
+                    restored.channels[channel].feedback
+                    is original.channels[channel].feedback
+                )
+
+    def test_marks_roundtrip(self, executed):
+        trace = trace_from_dict(result_to_dict(executed))
+        original = [(m.round_index, m.node_id, m.label) for m in executed.trace.marks]
+        restored = [(m.round_index, m.node_id, m.label) for m in trace.marks]
+        assert restored == original
+
+    def test_channel_utilization_preserved(self, executed):
+        trace = trace_from_dict(result_to_dict(executed))
+        assert trace.channel_utilization() == executed.trace.channel_utilization()
+
+    def test_json_is_valid(self, executed):
+        payload = json.loads(result_to_json(executed))
+        assert payload["solved"] is True
+        assert payload["winner"] == executed.winner
+
+    def test_file_roundtrip(self, executed, tmp_path):
+        path = tmp_path / "trace.json"
+        save_result(executed, str(path))
+        trace = load_trace(str(path))
+        assert len(trace.rounds) == len(executed.trace.rounds)
+
+
+class TestRobustness:
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"format_version": 99})
+
+    def test_non_jsonable_payloads_reprd(self, executed):
+        # Tuples in mark payloads and messages must not break serialization.
+        text = result_to_json(executed)
+        assert isinstance(text, str)
+
+    def test_feedback_values_roundtrip(self):
+        for feedback in Feedback:
+            assert Feedback(feedback.value) is feedback

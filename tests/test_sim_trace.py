@@ -1,0 +1,95 @@
+"""Tests for execution traces and mark bookkeeping."""
+
+from repro.sim import ChannelRound, ExecutionTrace, Feedback, RoundRecord
+from repro.sim.context import MarkCollector, MarkRecord
+
+
+def make_trace():
+    trace = ExecutionTrace()
+    trace.rounds = [
+        RoundRecord(
+            round_index=1,
+            channels={
+                1: ChannelRound((3,), (4, 5), Feedback.MESSAGE, "hello"),
+                2: ChannelRound((6, 7), (), Feedback.COLLISION),
+            },
+            active_count=5,
+        ),
+        RoundRecord(
+            round_index=2,
+            channels={2: ChannelRound((), (6,), Feedback.SILENCE)},
+            active_count=3,
+        ),
+    ]
+    trace.marks = [
+        MarkRecord(1, 3, "renamed", {"id": 9}),
+        MarkRecord(2, 4, "renamed", {"id": 2}),
+        MarkRecord(2, 4, "done", None),
+    ]
+    return trace
+
+
+class TestExecutionTrace:
+    def test_marks_with_label(self):
+        trace = make_trace()
+        assert len(trace.marks_with_label("renamed")) == 2
+        assert trace.marks_with_label("missing") == []
+
+    def test_first_and_last_mark_round(self):
+        trace = make_trace()
+        assert trace.first_mark_round("renamed") == 1
+        assert trace.last_mark_round("renamed") == 2
+        assert trace.first_mark_round("missing") is None
+        assert trace.last_mark_round("missing") is None
+
+    def test_channel_utilization(self):
+        usage = make_trace().channel_utilization()
+        assert usage == {1: 3, 2: 3}
+
+    def test_busiest_channel(self):
+        trace = make_trace()
+        assert trace.rounds[0].busiest_channel() == 1
+        assert trace.rounds[1].busiest_channel() == 2
+
+    def test_render_contains_rounds(self):
+        text = make_trace().render(max_channels=4)
+        assert "round" in text
+        assert "1" in text
+        # Collisions rendered as '*'.
+        assert "*" in text
+
+    def test_render_truncation_notice(self):
+        trace = make_trace()
+        text = trace.render(max_rounds=1, max_channels=2)
+        assert "more rounds" in text
+
+
+class TestMarkCollector:
+    def test_rounds_stamped(self):
+        collector = MarkCollector()
+        collector.set_round(3)
+        collector.sink(1, "a", None)
+        collector.set_round(5)
+        collector.sink(2, "b", "x")
+        assert [(m.round_index, m.node_id, m.label) for m in collector.records] == [
+            (3, 1, "a"),
+            (5, 2, "b"),
+        ]
+
+    def test_labels_in_first_appearance_order(self):
+        collector = MarkCollector()
+        for label in ("b", "a", "b", "c", "a"):
+            collector.sink(1, label, None)
+        assert collector.labels() == ["b", "a", "c"]
+
+    def test_pairs(self):
+        collector = MarkCollector()
+        collector.sink(1, "k", 1)
+        collector.sink(1, "k", 2)
+        assert collector.pairs() == [("k", 1), ("k", 2)]
+
+    def test_with_label(self):
+        collector = MarkCollector()
+        collector.sink(1, "x", None)
+        collector.sink(2, "y", None)
+        assert len(collector.with_label("x")) == 1

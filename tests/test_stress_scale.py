@@ -1,0 +1,68 @@
+"""Scale smoke tests: single large instances of every major component.
+
+Not statistical — one seeded execution each, proving the implementation
+holds up at the largest sizes the test suite touches (n = 2^20, C = 2^12).
+"""
+
+import pytest
+
+from repro import FNWGeneral, TwoActive, solve
+from repro.sim import Activation, activate_pair, activate_random
+
+
+class TestScaleSmoke:
+    def test_two_active_n_2_20_c_4096(self):
+        result = solve(
+            TwoActive(),
+            n=1 << 20,
+            num_channels=1 << 12,
+            activation=activate_pair(1 << 20, seed=0),
+            seed=0,
+        )
+        assert result.solved
+        assert result.rounds <= 12
+
+    def test_general_sparse_n_2_20(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 20,
+            num_channels=256,
+            activation=activate_random(1 << 20, 5000, seed=0),
+            seed=0,
+        )
+        assert result.solved
+
+    def test_general_two_actives_in_huge_space(self):
+        # |A| = 2 inside n = 2^20: the hardest sparse case for Reduce (its
+        # early probabilities are far too small to fire), exercising the
+        # full pipeline depth.
+        result = solve(
+            FNWGeneral(),
+            n=1 << 20,
+            num_channels=64,
+            activation=Activation(active_ids=[1, 1 << 20]),
+            seed=0,
+        )
+        assert result.solved
+        assert result.winner in (1, 1 << 20)
+
+    def test_general_dense_mid_scale(self):
+        result = solve(
+            FNWGeneral(),
+            n=1 << 15,
+            num_channels=128,
+            activation=activate_random(1 << 15, 1 << 15, seed=1),
+            seed=1,
+        )
+        assert result.solved
+
+    @pytest.mark.parametrize("channels", [1 << 10, 1 << 12])
+    def test_many_channels_two_nodes(self, channels):
+        result = solve(
+            TwoActive(),
+            n=1 << 16,
+            num_channels=channels,
+            activation=activate_pair(1 << 16, seed=3),
+            seed=3,
+        )
+        assert result.solved

@@ -1,0 +1,141 @@
+"""Theory-vs-simulation cross-checks: the simulator must match the exact
+closed-form numbers, not just asymptotic shapes."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import BinarySearchCD, SlottedAloha, solve
+from repro.sim import activate_all, activate_random
+from repro.theory import (
+    aloha_expected_rounds,
+    aloha_solo_probability,
+    binary_search_cd_rounds,
+    coin_flip_expected_rounds,
+    no_singleton_probability,
+    renaming_attempt_pmf,
+    renaming_whp_attempts,
+)
+
+
+class TestFormulas:
+    def test_aloha_solo_probability_values(self):
+        assert aloha_solo_probability(1, 0.3) == pytest.approx(0.3)
+        assert aloha_solo_probability(2, 0.5) == pytest.approx(0.5)
+        assert aloha_solo_probability(1, 1.0) == 1.0
+        assert aloha_solo_probability(5, 1.0) == 0.0
+
+    def test_aloha_optimum_near_one_over_e(self):
+        # At p = 1/a the solo probability approaches 1/e from above.
+        for active in (10, 100, 1000):
+            value = aloha_solo_probability(active, 1.0 / active)
+            assert 1 / math.e < value < 0.5
+
+    def test_renaming_pmf_sums_to_one(self):
+        total = sum(renaming_attempt_pmf(8, k) for k in range(1, 200))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_renaming_whp_formula(self):
+        assert renaming_whp_attempts(4, 256) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            renaming_whp_attempts(1, 16)
+
+    def test_no_singleton_edge_cases(self):
+        assert no_singleton_probability(0, 5) == 1.0
+        assert no_singleton_probability(1, 5) == 0.0  # one ball is a singleton
+        # Two balls in m bins: no singleton iff same bin: 1/m.
+        for bins in (2, 3, 10):
+            assert no_singleton_probability(2, bins) == pytest.approx(1.0 / bins)
+
+    def test_no_singleton_monte_carlo_agreement(self):
+        rng = random.Random(0)
+        balls, bins, trials = 6, 4, 200_000
+        hits = 0
+        for _ in range(trials):
+            counts = [0] * bins
+            for _b in range(balls):
+                counts[rng.randrange(bins)] += 1
+            if 1 not in counts:
+                hits += 1
+        exact = no_singleton_probability(balls, bins)
+        assert hits / trials == pytest.approx(exact, abs=0.005)
+
+    def test_no_singleton_within_lemma9_bound(self):
+        # The exact probability respects Lemma 9's bound in its regime.
+        for bins in (32, 64):
+            for beta in (3, 4, 8):
+                balls = bins // beta
+                assert no_singleton_probability(balls, bins) < 2.0 ** (-balls / 2)
+
+    def test_binary_search_rounds_formula(self):
+        assert binary_search_cd_rounds(1) == 1
+        assert binary_search_cd_rounds(2) == 2
+        assert binary_search_cd_rounds(1024) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aloha_solo_probability(0, 0.5)
+        with pytest.raises(ValueError):
+            aloha_solo_probability(2, 0.0)
+        with pytest.raises(ValueError):
+            renaming_attempt_pmf(4, 0)
+        with pytest.raises(ValueError):
+            no_singleton_probability(-1, 4)
+        with pytest.raises(ValueError):
+            binary_search_cd_rounds(0)
+
+
+class TestSimulationMatchesTheory:
+    def test_aloha_mean_rounds(self):
+        # Dense ALOHA: measured mean within 15% of 1/P (600 trials).
+        n = 256
+        expected = aloha_expected_rounds(n, 1.0 / n)
+        rounds = []
+        for seed in range(600):
+            result = solve(
+                SlottedAloha(),
+                n=n,
+                num_channels=1,
+                activation=activate_all(n),
+                seed=seed,
+            )
+            rounds.append(result.rounds)
+        measured = statistics.mean(rounds)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_aloha_sparse_mean_rounds(self):
+        n, active = 512, 4
+        expected = aloha_expected_rounds(active, 1.0 / n)
+        rounds = []
+        for seed in range(200):
+            result = solve(
+                SlottedAloha(),
+                n=n,
+                num_channels=1,
+                activation=activate_random(n, active, seed=seed),
+                seed=seed,
+            )
+            rounds.append(result.rounds)
+        measured = statistics.mean(rounds)
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_binary_search_exact_rounds_dense(self):
+        # With everyone active, the descent always recurses left: the
+        # worst case is achieved exactly.
+        for n_exp in (4, 8, 10):
+            n = 1 << n_exp
+            result = solve(
+                BinarySearchCD(),
+                n=n,
+                num_channels=1,
+                activation=activate_all(n),
+                seed=0,
+            )
+            # Solved at the first solo, which happens at or before the
+            # formula's worst case.
+            assert result.rounds <= binary_search_cd_rounds(n)
+
+    def test_coin_flip_expectation(self):
+        assert coin_flip_expected_rounds() == 2.0

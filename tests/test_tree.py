@@ -1,0 +1,214 @@
+"""Unit and property tests for the channel tree (heap algebra, ancestors,
+divergence levels) — the structure both SplitCheck and LeafElection rely on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutil import ceil_div
+from repro.tree import ChannelTree, split_levels
+
+TREES = [ChannelTree(1 << k) for k in range(0, 7)]
+
+
+def leaf_pairs(tree):
+    for a in range(1, tree.num_leaves + 1):
+        for b in range(1, tree.num_leaves + 1):
+            if a != b:
+                yield a, b
+
+
+class TestShape:
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 3, 6, 12):
+            with pytest.raises(ValueError):
+                ChannelTree(bad)
+
+    @pytest.mark.parametrize("leaves,height,nodes", [(1, 0, 1), (2, 1, 3), (8, 3, 15), (64, 6, 127)])
+    def test_dimensions(self, leaves, height, nodes):
+        tree = ChannelTree(leaves)
+        assert tree.height == height
+        assert tree.num_nodes == nodes
+
+    def test_level_widths_sum_to_nodes(self):
+        tree = ChannelTree(32)
+        assert sum(tree.level_width(level) for level in range(tree.height + 1)) == tree.num_nodes
+
+    def test_level_nodes_partition(self):
+        tree = ChannelTree(16)
+        seen = set()
+        for level in range(tree.height + 1):
+            nodes = set(tree.level_nodes(level))
+            assert not nodes & seen
+            seen |= nodes
+        assert seen == set(range(1, tree.num_nodes + 1))
+
+
+class TestNavigation:
+    def test_parent_child_inverse(self):
+        tree = ChannelTree(16)
+        for node in range(1, tree.num_nodes + 1):
+            if not tree.is_leaf_node(node):
+                assert tree.parent(tree.left_child(node)) == node
+                assert tree.parent(tree.right_child(node)) == node
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            ChannelTree(4).parent(1)
+
+    def test_left_right_children_classified(self):
+        tree = ChannelTree(8)
+        for node in range(1, tree.num_nodes + 1):
+            if not tree.is_leaf_node(node):
+                assert tree.is_left_child(tree.left_child(node))
+                assert not tree.is_left_child(tree.right_child(node))
+
+    def test_leaf_children_rejected(self):
+        tree = ChannelTree(4)
+        leaf = tree.leaf_node(2)
+        with pytest.raises(ValueError):
+            tree.left_child(leaf)
+
+    def test_level_of(self):
+        tree = ChannelTree(8)
+        assert tree.level_of(1) == 0
+        assert tree.level_of(2) == 1
+        assert tree.level_of(3) == 1
+        assert tree.level_of(8) == 3
+        assert tree.level_of(15) == 3
+
+
+class TestLeafAlgebra:
+    def test_leaf_node_label_roundtrip(self):
+        tree = ChannelTree(32)
+        for leaf in range(1, 33):
+            assert tree.leaf_label(tree.leaf_node(leaf)) == leaf
+
+    def test_ancestor_at_extremes(self):
+        tree = ChannelTree(16)
+        for leaf in range(1, 17):
+            assert tree.ancestor(leaf, 0) == 1
+            assert tree.ancestor(leaf, tree.height) == tree.leaf_node(leaf)
+
+    def test_ancestor_chain_is_parent_chain(self):
+        tree = ChannelTree(32)
+        for leaf in (1, 7, 18, 32):
+            path = tree.path(leaf)
+            assert path[0] == 1
+            assert path[-1] == tree.leaf_node(leaf)
+            for shallower, deeper in zip(path, path[1:]):
+                assert tree.parent(deeper) == shallower
+
+    def test_ancestor_index_matches_paper_formula(self):
+        # The SplitCheck channel formula: ceil(id / 2^(h - m)).
+        for tree in TREES[1:]:
+            h = tree.height
+            for leaf in range(1, tree.num_leaves + 1):
+                for level in range(0, h + 1):
+                    expected = ceil_div(leaf, 1 << (h - level))
+                    assert tree.ancestor_index_in_level(leaf, level) == expected
+
+    def test_in_right_subtree(self):
+        tree = ChannelTree(8)
+        # Leaf 1 is leftmost: never in a right subtree.
+        for level in range(tree.height):
+            assert not tree.in_right_subtree(1, level)
+        # Leaf 8 is rightmost: always in the right subtree.
+        for level in range(tree.height):
+            assert tree.in_right_subtree(8, level)
+
+    def test_in_right_subtree_rejects_leaf_level(self):
+        tree = ChannelTree(8)
+        with pytest.raises(ValueError):
+            tree.in_right_subtree(1, tree.height)
+
+
+class TestDivergence:
+    def test_identical_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTree(8).divergence_level(3, 3)
+
+    def test_exhaustive_against_definition(self):
+        for tree in TREES[1:5]:
+            for a, b in leaf_pairs(tree):
+                level = tree.divergence_level(a, b)
+                # Definition: smallest m with different level-m ancestors.
+                assert tree.ancestor(a, level) != tree.ancestor(b, level)
+                assert tree.ancestor(a, level - 1) == tree.ancestor(b, level - 1)
+
+    def test_symmetry(self):
+        tree = ChannelTree(64)
+        for a, b in [(1, 64), (13, 14), (32, 33), (5, 60)]:
+            assert tree.divergence_level(a, b) == tree.divergence_level(b, a)
+
+    def test_adjacent_leaves_deep_divergence(self):
+        tree = ChannelTree(64)
+        # Leaves 1 and 2 share everything except the last step.
+        assert tree.divergence_level(1, 2) == tree.height
+        # Leaves 32 and 33 split at the root.
+        assert tree.divergence_level(32, 33) == 1
+
+    def test_lca_is_shared_ancestor(self):
+        tree = ChannelTree(32)
+        for a, b in [(1, 32), (5, 6), (17, 24)]:
+            lca = tree.lca(a, b)
+            level = tree.level_of(lca)
+            assert tree.ancestor(a, level) == lca
+            assert tree.ancestor(b, level) == lca
+
+    def test_global_divergence_level_single_leaf(self):
+        assert ChannelTree(16).global_divergence_level([5]) == 0
+
+    def test_global_divergence_level_examples(self):
+        tree = ChannelTree(8)
+        assert tree.global_divergence_level([1, 8]) == 1
+        assert tree.global_divergence_level([1, 2]) == 3
+        assert tree.global_divergence_level([1, 4, 5, 8]) == 2
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    def test_global_divergence_property(self, exponent, data):
+        tree = ChannelTree(1 << exponent)
+        count = data.draw(
+            st.integers(min_value=2, max_value=min(8, tree.num_leaves))
+        )
+        leaves = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=tree.num_leaves),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        level = tree.global_divergence_level(leaves)
+        # At `level` all ancestors are distinct...
+        ancestors = [tree.ancestor(leaf, level) for leaf in leaves]
+        assert len(set(ancestors)) == len(leaves)
+        # ...and at level-1 (if it exists) some pair collides.
+        if level > 0:
+            shallower = [tree.ancestor(leaf, level - 1) for leaf in leaves]
+            assert len(set(shallower)) < len(leaves)
+
+    def test_split_levels_helper(self):
+        tree = ChannelTree(8)
+        assert split_levels(tree, [1, 2, 8]) == (3, 1)
+
+
+class TestChannels:
+    def test_node_channel_is_identity(self):
+        tree = ChannelTree(16)
+        for node in range(1, tree.num_nodes + 1):
+            assert tree.node_channel(node) == node
+
+    def test_row_channel_is_leftmost(self):
+        tree = ChannelTree(16)
+        for level in range(tree.height + 1):
+            assert tree.row_channel(level) == min(tree.level_nodes(level))
+
+    def test_all_channels_fit_in_capacity(self):
+        # A tree with C/2 leaves must fit in C channels (LeafElection).
+        for c_exponent in range(2, 8):
+            num_channels = 1 << c_exponent
+            tree = ChannelTree(num_channels // 2)
+            assert tree.num_nodes <= num_channels

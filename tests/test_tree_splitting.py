@@ -1,0 +1,75 @@
+"""Tests for the classical tree-splitting (stack) baseline."""
+
+import statistics
+
+import pytest
+
+from repro import TreeSplitting, solve
+from repro.sim import Activation, activate_all, activate_random
+
+
+def run(n, activation, seed):
+    return solve(
+        TreeSplitting(), n=n, num_channels=1, activation=activation, seed=seed
+    )
+
+
+class TestSolves:
+    @pytest.mark.parametrize("active", [1, 2, 3, 17, 256])
+    def test_activation_sizes(self, active):
+        for seed in range(10):
+            result = run(1 << 10, activate_random(1 << 10, active, seed=seed), seed)
+            assert result.solved
+            assert result.winner is not None
+
+    def test_single_active_one_round(self):
+        result = run(64, Activation(active_ids=[5]), 0)
+        assert result.solved_round == 1
+        assert result.winner == 5
+
+    def test_dense(self):
+        for seed in range(5):
+            assert run(1 << 10, activate_all(1 << 10), seed).solved
+
+    def test_no_ids_needed(self):
+        # The winner varies with the seed even for a fixed activation: the
+        # protocol breaks symmetry with coins, not identifiers.
+        activation = Activation(active_ids=[10, 20, 30])
+        winners = {run(64, activation, seed).winner for seed in range(30)}
+        assert len(winners) > 1
+
+
+class TestComplexityShape:
+    def test_logarithmic_growth(self):
+        # Mean rounds grow roughly like lg|A| (each split halves the front
+        # group): going from 4 to 256 actives (+6 doublings) should add
+        # clearly fewer than 6x the rounds.
+        def mean_rounds(active):
+            values = []
+            for seed in range(60):
+                result = run(
+                    1 << 10, activate_random(1 << 10, active, seed=seed), seed
+                )
+                values.append(result.rounds)
+            return statistics.mean(values)
+
+        small, large = mean_rounds(4), mean_rounds(256)
+        assert large < 4 * small
+        assert large > small  # but it does grow
+
+
+class TestStackDiscipline:
+    def test_counter_never_negative(self):
+        # Structural property via trace: silence rounds only happen when the
+        # front group is empty, i.e. there is never a round with zero
+        # transmitters AND zero listeners while nodes remain.
+        result = solve(
+            TreeSplitting(),
+            n=256,
+            num_channels=1,
+            activation=activate_random(256, 50, seed=2),
+            seed=2,
+            record_trace=True,
+        )
+        for record in result.trace.rounds:
+            assert record.channels  # someone participates every round

@@ -1,0 +1,104 @@
+"""Tests for the exhaustive verifier and the adversarial fuzzer."""
+
+import pytest
+
+from repro import BinarySearchCD, FNWGeneral
+from repro.fuzz import fuzz_activations
+from repro.verify import (
+    verify_all,
+    verify_leaf_election_subsets,
+    verify_splitcheck_pairs,
+)
+
+
+class TestExhaustiveVerification:
+    def test_splitcheck_all_pairs_small(self):
+        for channels in (2, 4, 8, 16):
+            report = verify_splitcheck_pairs(channels)
+            assert report.ok, report.failures
+            assert report.cases_checked == channels * (channels - 1)
+
+    def test_leaf_election_all_subsets_c8(self):
+        report = verify_leaf_election_subsets(8)
+        assert report.ok, report.failures
+        assert report.cases_checked == (1 << 4) - 1  # 4 leaves
+
+    def test_leaf_election_all_subsets_c16(self):
+        report = verify_leaf_election_subsets(16)
+        assert report.ok, report.failures
+        assert report.cases_checked == (1 << 8) - 1  # 8 leaves
+
+    def test_huge_subset_space_rejected(self):
+        with pytest.raises(ValueError):
+            verify_leaf_election_subsets(64)
+
+    def test_verify_all_reports(self):
+        reports = verify_all(
+            splitcheck_channels=(4, 8), election_channels=(8,)
+        )
+        assert len(reports) == 3
+        assert all(report.ok for report in reports)
+        assert all("cases" in report.summary() for report in reports)
+
+
+class TestFuzzer:
+    def test_finds_instances_and_is_deterministic(self):
+        first = fuzz_activations(
+            FNWGeneral(),
+            n=256,
+            num_channels=16,
+            active_count=10,
+            generations=3,
+            population=4,
+            eval_seeds=2,
+            master_seed=1,
+        )
+        second = fuzz_activations(
+            FNWGeneral(),
+            n=256,
+            num_channels=16,
+            active_count=10,
+            generations=3,
+            population=4,
+            eval_seeds=2,
+            master_seed=1,
+        )
+        assert first.worst_activation.active_ids == second.worst_activation.active_ids
+        assert first.worst_mean_rounds == second.worst_mean_rounds
+        assert first.evaluations == 4 * (3 + 1)
+
+    def test_worst_at_least_baseline(self):
+        result = fuzz_activations(
+            FNWGeneral(),
+            n=256,
+            num_channels=16,
+            active_count=10,
+            generations=3,
+            population=4,
+            eval_seeds=2,
+            master_seed=2,
+        )
+        assert result.worst_mean_rounds >= result.baseline_mean_rounds
+        assert result.adversarial_gain >= 1.0
+
+    def test_deterministic_protocol_immune(self):
+        # BinarySearchCD's rounds depend only on the smallest active id's
+        # position; the adversary can move it, but the bound lg n + 1 caps
+        # the gain.
+        result = fuzz_activations(
+            BinarySearchCD(),
+            n=256,
+            num_channels=1,
+            active_count=8,
+            generations=4,
+            population=4,
+            eval_seeds=1,
+            master_seed=3,
+        )
+        assert result.worst_mean_rounds <= 9  # ceil(lg 256) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fuzz_activations(
+                FNWGeneral(), n=16, num_channels=4, active_count=0
+            )

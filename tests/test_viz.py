@@ -1,0 +1,96 @@
+"""Tests for the text visualization helpers."""
+
+import pytest
+
+from repro.tree import ChannelTree
+from repro.viz import horizontal_bars, render_channel_tree, series_table, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_custom_maximum(self):
+        assert sparkline([5], maximum=10)[0] not in ("▁", "█")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sparkline([-1.0])
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline(list(range(9)))
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+
+class TestHorizontalBars:
+    def test_alignment_and_values(self):
+        text = horizontal_bars(["a", "bb"], [1.0, 2.0])
+        lines = text.split("\n")
+        assert len(lines) == 2
+        assert "2" in lines[1]
+        # The larger value has the longer bar.
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [-1.0])
+
+    def test_empty(self):
+        assert horizontal_bars([], []) == ""
+
+
+class TestRenderChannelTree:
+    def test_contains_all_node_numbers(self):
+        tree = ChannelTree(8)
+        text = render_channel_tree(tree)
+        for node in range(1, tree.num_nodes + 1):
+            assert str(node) in text
+
+    def test_occupied_leaves_starred(self):
+        tree = ChannelTree(4)
+        text = render_channel_tree(tree, occupied_leaves=[2])
+        # Leaf 2 is node 5.
+        assert "5*" in text
+
+    def test_highlight_tags(self):
+        tree = ChannelTree(4)
+        text = render_channel_tree(tree, highlight={1: "!"})
+        assert "1!" in text
+
+    def test_rejects_huge_trees(self):
+        with pytest.raises(ValueError):
+            render_channel_tree(ChannelTree(128))
+
+    def test_levels_equal_height_plus_one(self):
+        tree = ChannelTree(16)
+        assert len(render_channel_tree(tree).split("\n")) == tree.height + 1
+
+
+class TestSeriesTable:
+    def test_rows_and_stride(self):
+        text = series_table([1, 2, 3, 4], {"a": [1, 2, 3, 4]}, stride=2)
+        lines = text.split("\n")
+        assert len(lines) == 2 + 2  # header, rule, rows 1 and 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table([1, 2], {"a": [1.0]})
+
+    def test_multiple_series(self):
+        text = series_table([1], {"a": [1.0], "b": [2.0]})
+        assert "a" in text and "b" in text
