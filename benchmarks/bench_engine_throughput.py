@@ -8,10 +8,22 @@ Workloads:
 * dense knock-out (many nodes, few rounds) — stresses node bring-up;
 * long sparse execution (few nodes, many rounds) — stresses the round loop;
 * LeafElection at full occupancy — stresses multi-channel bookkeeping.
+
+The instrumented-vs-baseline comparisons at the bottom pin the
+observability layer's overhead guarantees (docs/observability.md): with
+``instrument=`` off the engine adds only a per-round branch (nothing to
+measure), and with a full ``RegistrySink`` attached the dense workloads
+stay within 10% of baseline.  The long-sparse workload instead bounds the
+*absolute* per-round instrumentation cost, since its rounds do almost no
+work (3 nodes, 1 channel) and a ratio there measures the constant, not the
+engine.
 """
+
+import time
 
 from repro import FNWGeneral, LeafElection, solve
 from repro.baselines import Decay
+from repro.obs import RegistrySink
 from repro.sim import Activation, activate_all, activate_random
 
 
@@ -57,3 +69,90 @@ def test_engine_multichannel_election(benchmark):
 
     result = benchmark(workload)
     assert result.solved
+
+
+# ------------------------------------------- instrumentation overhead gates
+
+def _dense_workload(instrumented):
+    sink = RegistrySink() if instrumented else None
+    return solve(
+        FNWGeneral(),
+        n=1 << 12,
+        num_channels=64,
+        activation=activate_all(1 << 12),
+        seed=1,
+        instrument=sink,
+    ), sink
+
+
+def _best_of(fn, repetitions):
+    """Minimum wall time over several runs (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_engine_instrumented_dense_bringup(benchmark):
+    def workload():
+        return _dense_workload(instrumented=True)
+
+    result, sink = benchmark(workload)
+    assert result.solved
+    counters = sink.registry.snapshot()["counters"]
+    assert counters["rounds"] == float(result.rounds)
+    assert counters["transmissions"] > 0
+
+
+def test_engine_instrumentation_overhead_dense(benchmark):
+    """Full RegistrySink instrumentation costs < 10% on a real workload."""
+
+    def compare():
+        # Interleave and keep the best of each so one-off stalls cannot
+        # charge either side unfairly.
+        for _ in range(2):  # warm-up both paths
+            _dense_workload(False)
+            _dense_workload(True)
+        baseline = _best_of(lambda: _dense_workload(False), 5)
+        instrumented = _best_of(lambda: _dense_workload(True), 5)
+        return baseline, instrumented
+
+    baseline, instrumented = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert instrumented <= baseline * 1.10, (
+        f"instrumentation overhead {instrumented / baseline - 1:.1%} "
+        f"exceeds the 10% budget ({baseline * 1e3:.2f} ms -> "
+        f"{instrumented * 1e3:.2f} ms)"
+    )
+
+
+def test_engine_instrumentation_cost_per_round_sparse(benchmark):
+    """On 2-microsecond rounds the absolute per-round cost stays tiny."""
+
+    def sparse(instrumented):
+        sink = RegistrySink() if instrumented else None
+        return solve(
+            Decay(),
+            n=1 << 10,
+            num_channels=1,
+            activation=activate_random(1 << 10, 3, seed=2),
+            seed=2,
+            instrument=sink,
+        )
+
+    def compare():
+        for _ in range(3):
+            sparse(False)
+            sparse(True)
+        baseline = _best_of(lambda: sparse(False), 15)
+        instrumented = _best_of(lambda: sparse(True), 15)
+        rounds = sparse(False).rounds
+        return baseline, instrumented, rounds
+
+    baseline, instrumented, rounds = benchmark.pedantic(compare, rounds=1, iterations=1)
+    per_round = (instrumented - baseline) / rounds
+    assert per_round < 20e-6, (
+        f"per-round instrumentation cost {per_round * 1e6:.2f} us "
+        f"(baseline {baseline * 1e3:.3f} ms over {rounds} rounds)"
+    )

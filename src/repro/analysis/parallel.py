@@ -21,30 +21,69 @@ Usage::
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from ..sim.rng import seed_sequence
-from .sweep import CellResult
+from .sweep import CellResult, ProfiledCellResult
 
 #: name -> trial function taking (seed, **params).
 _TRIAL_REGISTRY: Dict[str, Callable[..., Mapping[str, float]]] = {}
 
+#: name -> profiled trial taking (seed, **params) -> (metrics, registry).
+_PROFILED_TRIAL_REGISTRY: Dict[str, Callable[..., Tuple[Mapping[str, float], MetricsRegistry]]] = {}
 
-def register_trial(name: str):
-    """Decorator registering a picklable-by-name trial function."""
 
-    def decorator(fn: Callable[..., Mapping[str, float]]):
-        if name in _TRIAL_REGISTRY:
-            raise ValueError(f"trial {name!r} already registered")
-        _TRIAL_REGISTRY[name] = fn
+def _same_function(a: Callable, b: Callable) -> bool:
+    """Whether two callables are the same definition (possibly re-imported).
+
+    Re-importing a module creates fresh function objects, so identity is the
+    wrong test; the defining module and qualified name pin the definition
+    site, which is what "the same trial" means for registry purposes.
+    """
+    return (
+        getattr(a, "__module__", None) == getattr(b, "__module__", object())
+        and getattr(a, "__qualname__", None) == getattr(b, "__qualname__", object())
+    )
+
+
+def _register(registry: Dict[str, Callable], kind: str, name: str):
+    def decorator(fn: Callable):
+        existing = registry.get(name)
+        if existing is not None and not _same_function(existing, fn):
+            raise ValueError(f"{kind} {name!r} already registered")
+        registry[name] = fn
         return fn
 
     return decorator
 
 
+def register_trial(name: str):
+    """Decorator registering a picklable-by-name trial function.
+
+    Registering the *same* function twice (e.g. because its defining module
+    was re-imported) is an idempotent no-op; registering a *different*
+    function under a taken name raises ``ValueError``.
+    """
+    return _register(_TRIAL_REGISTRY, "trial", name)
+
+
+def register_profiled_trial(name: str):
+    """Like :func:`register_trial`, for trials returning ``(metrics, registry)``."""
+    return _register(_PROFILED_TRIAL_REGISTRY, "profiled trial", name)
+
+
 def registered_trials() -> Tuple[str, ...]:
     """Names of all registered trial functions."""
     return tuple(sorted(_TRIAL_REGISTRY))
+
+
+def registered_profiled_trials() -> Tuple[str, ...]:
+    """Names of all registered profiled trial functions."""
+    return tuple(sorted(_PROFILED_TRIAL_REGISTRY))
 
 
 def _execute(task: Tuple[str, Dict[str, Any], int]) -> Mapping[str, float]:
@@ -99,6 +138,129 @@ def run_cell_parallel(
     return cell
 
 
+# ------------------------------------------------------------ profiled cells
+
+@dataclass
+class WorkerStats:
+    """One worker process's share of a profiled parallel cell."""
+
+    worker: int
+    trials: int = 0
+    seconds: float = 0.0
+
+    def throughput(self) -> float:
+        """Trials per second inside this worker (0.0 before any trial)."""
+        return self.trials / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class ParallelProfile:
+    """A profiled parallel cell: results, merged metrics, worker accounting.
+
+    ``cell.trials`` and the registry's deterministic metrics are bitwise
+    identical to a serial :func:`repro.analysis.sweep.run_cell_profiled` of
+    the same trials (merge order-independence makes the sharding invisible);
+    only the wall-time observations differ, as they must.
+    """
+
+    cell: ProfiledCellResult
+    workers: List[WorkerStats] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The cell's merged metrics registry."""
+        return self.cell.registry
+
+    def throughput(self) -> float:
+        """Trials per second of end-to-end wall time."""
+        return (
+            len(self.cell.trials) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+
+def _execute_profiled(
+    task: Tuple[str, Dict[str, Any], int]
+) -> Tuple[Dict[str, float], Dict[str, Any], int, float]:
+    """Worker entry point for profiled trials.
+
+    Returns ``(metrics, registry.to_dict(), pid, seconds)`` — the registry
+    crosses the process boundary as plain data, and the pid/seconds pair
+    feeds per-worker accounting in the parent.
+    """
+    name, params, seed = task
+    try:
+        fn = _PROFILED_TRIAL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"profiled trial {name!r} not registered in the worker; ensure it "
+            "is registered at import time of its defining module"
+        ) from None
+    started = time.perf_counter()
+    metrics, registry = fn(seed, **params)
+    elapsed = time.perf_counter() - started
+    return dict(metrics), registry.to_dict(), os.getpid(), elapsed
+
+
+def run_cell_parallel_profiled(
+    trial_name: str,
+    params: Dict[str, Any],
+    *,
+    trials: int,
+    master_seed: int = 0,
+    stream: int = 0,
+    processes: Optional[int] = None,
+) -> ParallelProfile:
+    """Run one instrumented cell across a process pool, merging the streams.
+
+    The per-trial metric streams are merged at the process boundary (each
+    worker ships its trial's registry back as plain data); the parent folds
+    them together in seed order, so the merged registry equals the serial
+    profiled run's — worker-merge correctness is pinned by the Hypothesis
+    suite's histogram-merge properties and by the equivalence tests.
+
+    Args:
+        trial_name: a name registered via :func:`register_profiled_trial`.
+        params: keyword parameters forwarded to every trial.
+        trials: number of independent trials.
+        master_seed / stream: seed derivation, identical to the serial path.
+        processes: pool size; ``None`` uses ``os.cpu_count()``; ``1`` (or a
+            single trial) short-circuits to in-process execution.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_name not in _PROFILED_TRIAL_REGISTRY:
+        raise KeyError(
+            f"unknown profiled trial {trial_name!r}; "
+            f"known: {registered_profiled_trials()}"
+        )
+    seeds = list(seed_sequence(master_seed, trials, stream=stream))
+    tasks = [(trial_name, params, seed) for seed in seeds]
+
+    started = time.perf_counter()
+    if processes == 1 or trials == 1:
+        outputs = [_execute_profiled(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            outputs = pool.map(_execute_profiled, tasks)
+    wall_seconds = time.perf_counter() - started
+
+    cell = ProfiledCellResult(params=dict(params))
+    per_worker: Dict[int, WorkerStats] = {}
+    for metrics, registry_dict, pid, seconds in outputs:
+        cell.trials.append(metrics)
+        cell.trial_seconds.append(seconds)
+        cell.registry.merge_from(MetricsRegistry.from_dict(registry_dict))
+        stats = per_worker.setdefault(pid, WorkerStats(worker=pid))
+        stats.trials += 1
+        stats.seconds += seconds
+    return ParallelProfile(
+        cell=cell,
+        workers=sorted(per_worker.values(), key=lambda w: w.worker),
+        wall_seconds=wall_seconds,
+    )
+
+
 # ----------------------------------------------------- standard registrations
 
 @register_trial("two-active")
@@ -133,3 +295,13 @@ def _leaf_election(seed: int, *, C: int, x: int) -> Mapping[str, float]:
     from ..experiments.common import leaf_election_trial
 
     return leaf_election_trial(C, x, seed)
+
+
+@register_profiled_trial("solve-profiled")
+def _solve_profiled(
+    seed: int, *, protocol: str, n: int, C: int, active: int
+) -> Tuple[Mapping[str, float], MetricsRegistry]:
+    """Registered wrapper over :func:`repro.obs.profile.profiled_trial`."""
+    from ..obs.profile import profiled_trial
+
+    return profiled_trial(seed, protocol=protocol, n=n, C=C, active=active)

@@ -9,14 +9,19 @@ in EXPERIMENTS.md is reproducible from a single integer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from ..sim.rng import seed_sequence
 from .stats import Summary, summarize
 
 #: A trial function: seed -> metrics mapping (must include the key "rounds").
 TrialFn = Callable[[int], Mapping[str, float]]
+
+#: A profiled trial: seed -> (metrics mapping, the trial's metrics registry).
+ProfiledTrialFn = Callable[[int], Tuple[Mapping[str, float], MetricsRegistry]]
 
 
 @dataclass
@@ -60,6 +65,56 @@ class SweepResult:
     def column(self, metric: str = "rounds") -> List[float]:
         """Per-cell mean of a metric, in grid order."""
         return [c.mean(metric) for c in self.cells]
+
+
+@dataclass
+class ProfiledCellResult(CellResult):
+    """A cell plus the merged metric stream and per-trial wall times.
+
+    ``registry`` is the union (exact merge) of every trial's registry, so
+    per-channel utilization and outcome tallies aggregate across the whole
+    cell; ``trial_seconds`` holds each trial's harness-side wall time in
+    seed order.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    trial_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time spent inside trial functions."""
+        return sum(self.trial_seconds)
+
+    def throughput(self) -> float:
+        """Trials per second of trial wall time (0.0 before any trial ran)."""
+        total = self.wall_seconds
+        return len(self.trials) / total if total > 0 else 0.0
+
+
+def run_cell_profiled(
+    trial_fn: ProfiledTrialFn,
+    *,
+    trials: int,
+    master_seed: int = 0,
+    stream: int = 0,
+    params: Optional[Dict[str, Any]] = None,
+) -> ProfiledCellResult:
+    """Run one instrumented cell, merging every trial's metric stream.
+
+    Seeds are derived exactly as in :func:`run_cell`, so a profiled cell's
+    per-trial ``metrics`` match an unprofiled run of the same trials —
+    instrumentation only *adds* the merged registry and timing.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    cell = ProfiledCellResult(params=dict(params or {}))
+    for seed in seed_sequence(master_seed, trials, stream=stream):
+        started = time.perf_counter()
+        metrics, registry = trial_fn(seed)
+        cell.trial_seconds.append(time.perf_counter() - started)
+        cell.trials.append(dict(metrics))
+        cell.registry.merge_from(registry)
+    return cell
 
 
 def run_cell(

@@ -6,7 +6,10 @@ Subcommands:
 * ``repro experiment e7`` — run one experiment's full configuration;
 * ``repro all`` — run every experiment (the full reproduction pass);
 * ``repro solve --protocol fnw-general --n 4096 --channels 64 --active 100``
-  — run a single execution and print the outcome (and optionally the trace).
+  — run a single execution and print the outcome (and optionally the trace);
+* ``repro profile --protocol fnw-general --n 4096 --channels 64 --jsonl out.jsonl``
+  — run instrumented executions and report the utilization/timing profile
+  (see :mod:`repro.obs` and docs/observability.md).
 """
 
 from __future__ import annotations
@@ -61,9 +64,105 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report import ReportOptions, write_report
 
-    options = ReportOptions(scale=args.scale, only=args.only)
+    options = ReportOptions(
+        scale=args.scale, only=args.only, profile_appendix=args.profile_appendix
+    )
     write_report(args.output, options)
     print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.tables import Table
+    from .experiments.common import make_protocol
+    from .obs.profile import run_profiled
+
+    active = args.active if args.active is not None else args.n
+    if args.trials < 1:
+        raise SystemExit("repro profile: --trials must be >= 1")
+    if args.trials > 1:
+        from .analysis.parallel import run_cell_parallel_profiled
+
+        profile = run_cell_parallel_profiled(
+            "solve-profiled",
+            {"protocol": args.protocol, "n": args.n, "C": args.channels, "active": active},
+            trials=args.trials,
+            master_seed=args.seed,
+            processes=args.processes,
+        )
+        registry = profile.registry
+        counters = registry.snapshot()["counters"]
+        solved = int(counters.get("solved_runs", 0))
+        print(
+            f"protocol={args.protocol} n={args.n} C={args.channels} "
+            f"active={active} master_seed={args.seed} trials={args.trials}"
+        )
+        print(
+            f"solved {solved}/{args.trials}; mean rounds "
+            f"{profile.cell.mean('rounds'):.2f}; throughput "
+            f"{profile.throughput():.1f} trials/s over {profile.wall_seconds:.3f}s"
+        )
+        workers = Table(
+            ["worker", "trials", "seconds", "trials/s"],
+            caption="per-worker timing",
+            digits=3,
+        )
+        for stats in profile.workers:
+            workers.add_row(stats.worker, stats.trials, stats.seconds, stats.throughput())
+        print()
+        print(workers.render())
+    else:
+        protocol = make_protocol(args.protocol)
+        run = run_profiled(
+            protocol,
+            n=args.n,
+            num_channels=args.channels,
+            activation=activate_random(args.n, active, seed=args.seed),
+            seed=args.seed,
+        )
+        registry = run.registry
+        counters = registry.snapshot()["counters"]
+        result = run.result
+        print(
+            f"protocol={protocol.name} n={args.n} C={args.channels} "
+            f"active={active} seed={args.seed}"
+        )
+        print(
+            f"solved={result.solved} round={result.solved_round} "
+            f"winner=node-{result.winner} rounds={result.rounds}"
+        )
+        print(f"throughput: {run.rounds_per_second():.0f} rounds/s")
+        if args.jsonl:
+            run.write_jsonl(args.jsonl)
+            print(f"profile written to {args.jsonl} ({len(run.events) + 1} records)")
+
+    outcome_line = ", ".join(
+        f"{kind}={int(counters.get(f'channel_{kind}', 0))}"
+        for kind in ("silence", "message", "collision")
+    )
+    print(
+        f"channel-rounds: {outcome_line}; transmissions="
+        f"{int(counters.get('transmissions', 0))} "
+        f"listens={int(counters.get('listens', 0))}"
+    )
+    usage = {
+        int(name.split("/")[1]): value
+        for name, value in counters.items()
+        if name.startswith("channel/") and name.endswith("/participant_rounds")
+    }
+    if usage:
+        table = Table(
+            ["channel", "participant-rounds", "transmissions"],
+            caption="busiest channels",
+        )
+        for channel in sorted(usage, key=lambda c: (-usage[c], c))[: args.top]:
+            table.add_row(
+                channel,
+                int(usage[channel]),
+                int(counters.get(f"channel/{channel}/transmissions", 0)),
+            )
+        print()
+        print(table.render())
     return 0
 
 
@@ -153,7 +252,42 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--only", nargs="*", help="experiment keys to include, e.g. e1 e7"
     )
+    report_parser.add_argument(
+        "--profile-appendix",
+        action="store_true",
+        help="append a substrate utilization/throughput profile section",
+    )
     report_parser.set_defaults(fn=_cmd_report)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="run instrumented executions and report the profile"
+    )
+    profile_parser.add_argument("--protocol", default="fnw-general")
+    profile_parser.add_argument("--n", type=int, default=1 << 12)
+    profile_parser.add_argument("--channels", type=int, default=64)
+    profile_parser.add_argument("--active", type=int, default=None)
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="run a profiled sweep cell of this many seeded trials",
+    )
+    profile_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for --trials > 1 (default: cpu count)",
+    )
+    profile_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write per-round events + summary as JSON lines (single-run only)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=8, help="channels shown in the utilization table"
+    )
+    profile_parser.set_defaults(fn=_cmd_profile)
 
     replay_parser = subparsers.add_parser(
         "replay", help="render a saved execution trace"

@@ -1,0 +1,71 @@
+"""Observability layer: metrics, round-event instrumentation, profiling.
+
+Three pieces, layered so each is useful alone:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms and the
+  :class:`MetricsRegistry` that holds them, with exact order-independent
+  merge semantics (how parallel sweep workers combine their streams) and
+  the :class:`MetricsSink` protocol the engine instruments against;
+* :mod:`repro.obs.events` — the :class:`RoundEvent` stream the engine emits
+  under ``instrument=``, plus the standard sinks (:class:`EventLog`,
+  :class:`RegistrySink`, :class:`TeeSink`, :class:`NullSink`);
+* :mod:`repro.obs.profile` — profiled executions and the ``repro profile``
+  JSONL export/validation.
+
+Instrumentation is **off by default and observer-effect-free**: an
+instrumented run produces a bitwise-identical result and trace to an
+uninstrumented one (``tests/test_obs_differential.py`` proves it per
+protocol, per seed).  See ``docs/observability.md``.
+"""
+
+from .events import (
+    EventLog,
+    NullSink,
+    RegistrySink,
+    RoundEvent,
+    RunInfo,
+    RunSummary,
+    TeeSink,
+)
+from .metrics import (
+    COUNT_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    exponential_bounds,
+)
+from .profile import (
+    PROFILE_SCHEMA_VERSION,
+    ProfiledRun,
+    profiled_trial,
+    run_profiled,
+    validate_jsonl,
+    validate_record,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NullSink",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfiledRun",
+    "RegistrySink",
+    "RoundEvent",
+    "RunInfo",
+    "RunSummary",
+    "TIME_BUCKETS",
+    "TeeSink",
+    "exponential_bounds",
+    "profiled_trial",
+    "run_profiled",
+    "validate_jsonl",
+    "validate_record",
+]

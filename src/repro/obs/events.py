@@ -1,0 +1,252 @@
+"""Round-level instrumentation events and the standard sinks that consume them.
+
+The engine (:mod:`repro.sim.engine`), when handed an ``instrument=`` sink,
+emits exactly one :class:`RoundEvent` per executed round, bracketed by one
+:class:`RunInfo` / :class:`RunSummary` pair.  Events carry everything the
+paper-style utilization analyses need — per-channel transmitter/listener
+counts and outcomes, the active-population size, and per-round wall time —
+without exposing any engine state a sink could mutate.
+
+The contract, enforced by the differential test suite: consuming events must
+be **observer-effect-free**.  An instrumented run yields a bitwise-identical
+:class:`~repro.sim.engine.ExecutionResult` and trace to an uninstrumented
+one, because nodes own their random streams and the engine never consults a
+sink's return value.
+
+This module is intentionally standalone (stdlib + :mod:`repro.obs.metrics`
+only) so the engine can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .metrics import COUNT_BUCKETS, TIME_BUCKETS, MetricsRegistry
+
+#: Feedback names as they appear in events (decoupled from the enum so the
+#: event layer stays import-light; values match ``Feedback.*.value``).
+SILENCE = "silence"
+MESSAGE = "message"
+COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Static facts about the execution being instrumented."""
+
+    n: int
+    num_channels: int
+    seed: int
+    max_rounds: int
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Outcome facts delivered to sinks when a run ends normally."""
+
+    solved: bool
+    solved_round: Optional[int]
+    winner: Optional[int]
+    rounds: int
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """Everything observable about one executed round.
+
+    Attributes:
+        round_index: 1-based round number.
+        active_count: nodes whose coroutines were live this round.
+        transmitters: channel -> number of transmitters (only busy channels).
+        listeners: channel -> number of pure listeners (only busy channels).
+        outcomes: channel -> ``"silence"`` / ``"message"`` / ``"collision"``
+            for every channel with at least one participant.
+        wall_time_s: wall-clock duration of the round, including protocol
+            coroutine time (measured only when instrumentation is on).
+    """
+
+    round_index: int
+    active_count: int
+    transmitters: Dict[int, int]
+    listeners: Dict[int, int]
+    outcomes: Dict[int, str]
+    wall_time_s: float
+
+    @property
+    def total_transmitters(self) -> int:
+        """Transmitting nodes this round, summed over channels."""
+        return sum(self.transmitters.values())
+
+    @property
+    def total_listeners(self) -> int:
+        """Listening nodes this round, summed over channels."""
+        return sum(self.listeners.values())
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """How many channels resolved to each feedback kind this round."""
+        counts = {SILENCE: 0, MESSAGE: 0, COLLISION: 0}
+        for outcome in self.outcomes.values():
+            counts[outcome] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``repro profile`` JSONL round record body)."""
+        return {
+            "round": self.round_index,
+            "active": self.active_count,
+            "transmitters": self.total_transmitters,
+            "listeners": self.total_listeners,
+            "wall_time_s": self.wall_time_s,
+            "channels": {
+                str(channel): {
+                    "transmitters": self.transmitters.get(channel, 0),
+                    "listeners": self.listeners.get(channel, 0),
+                    "outcome": outcome,
+                }
+                for channel, outcome in sorted(self.outcomes.items())
+            },
+        }
+
+
+class NullSink:
+    """A sink that drops everything (useful as an explicit default)."""
+
+    def on_run_start(self, info: RunInfo) -> None:
+        """Ignore the run header."""
+
+    def on_round(self, event: RoundEvent) -> None:
+        """Ignore the round event."""
+
+    def on_run_end(self, summary: RunSummary) -> None:
+        """Ignore the run summary."""
+
+
+class EventLog:
+    """A sink that retains the raw event stream (for export and tests)."""
+
+    def __init__(self) -> None:
+        self.info: Optional[RunInfo] = None
+        self.events: List[RoundEvent] = []
+        self.summary: Optional[RunSummary] = None
+
+    def on_run_start(self, info: RunInfo) -> None:
+        """Remember the run header."""
+        self.info = info
+
+    def on_round(self, event: RoundEvent) -> None:
+        """Append the round event."""
+        self.events.append(event)
+
+    def on_run_end(self, summary: RunSummary) -> None:
+        """Remember the run summary."""
+        self.summary = summary
+
+
+class RegistrySink:
+    """A sink that folds the event stream into a :class:`MetricsRegistry`.
+
+    Metric names (all created lazily):
+
+    * counters ``runs``, ``rounds``, ``transmissions``, ``listens``,
+      ``channel_silence`` / ``channel_message`` / ``channel_collision``
+      (channel-rounds by outcome), ``solved_runs``;
+    * per-channel counters ``channel/<c>/transmissions`` and
+      ``channel/<c>/participant_rounds`` (the utilization footprint);
+    * histograms ``transmitters_per_round``, ``active_per_round``,
+      ``rounds_per_run`` (count buckets) and ``round_wall_time_s``,
+      ``run_wall_time_s`` (time buckets);
+    * gauge ``peak_active``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Instrument handles are resolved once here, not per round: the sink
+        # sits on the engine's hot path and name lookups dominate otherwise.
+        reg = self.registry
+        self._rounds = reg.counter("rounds")
+        self._transmissions = reg.counter("transmissions")
+        self._listens = reg.counter("listens")
+        self._by_outcome = {
+            SILENCE: reg.counter("channel_silence"),
+            MESSAGE: reg.counter("channel_message"),
+            COLLISION: reg.counter("channel_collision"),
+        }
+        self._channel_tx: Dict[int, Any] = {}
+        self._channel_part: Dict[int, Any] = {}
+        self._tx_hist = reg.histogram("transmitters_per_round", COUNT_BUCKETS)
+        self._active_hist = reg.histogram("active_per_round", COUNT_BUCKETS)
+        self._round_time_hist = reg.histogram("round_wall_time_s", TIME_BUCKETS)
+        self._peak = reg.gauge("peak_active")
+
+    def on_run_start(self, info: RunInfo) -> None:
+        """Count the run."""
+        self.registry.counter("runs").inc()
+
+    def on_round(self, event: RoundEvent) -> None:
+        """Aggregate one round into the registry."""
+        self._rounds.value += 1
+        total_tx = 0
+        total_rx = 0
+        transmitters = event.transmitters
+        listeners = event.listeners
+        channel_tx = self._channel_tx
+        channel_part = self._channel_part
+        by_outcome = self._by_outcome
+        for channel, outcome in event.outcomes.items():
+            tx = transmitters.get(channel, 0)
+            rx = listeners.get(channel, 0)
+            total_tx += tx
+            total_rx += rx
+            by_outcome[outcome].value += 1
+            try:
+                tx_counter = channel_tx[channel]
+            except KeyError:
+                tx_counter = channel_tx[channel] = self.registry.counter(
+                    f"channel/{channel}/transmissions"
+                )
+                channel_part[channel] = self.registry.counter(
+                    f"channel/{channel}/participant_rounds"
+                )
+            tx_counter.value += tx
+            channel_part[channel].value += tx + rx
+        self._transmissions.value += total_tx
+        self._listens.value += total_rx
+        self._tx_hist.observe(total_tx)
+        self._active_hist.observe(event.active_count)
+        self._round_time_hist.observe(event.wall_time_s)
+        if event.active_count >= self._peak.maximum or self._peak.updates == 0:
+            self._peak.set(event.active_count)
+
+    def on_run_end(self, summary: RunSummary) -> None:
+        """Aggregate the run-level outcome."""
+        registry = self.registry
+        if summary.solved:
+            registry.counter("solved_runs").inc()
+        registry.histogram("rounds_per_run", COUNT_BUCKETS).observe(summary.rounds)
+        registry.histogram("run_wall_time_s", TIME_BUCKETS).observe(
+            summary.wall_time_s
+        )
+
+
+@dataclass
+class TeeSink:
+    """Fan one event stream out to several sinks (e.g. log + registry)."""
+
+    sinks: List[Any] = field(default_factory=list)
+
+    def on_run_start(self, info: RunInfo) -> None:
+        """Forward the run header to every sink."""
+        for sink in self.sinks:
+            sink.on_run_start(info)
+
+    def on_round(self, event: RoundEvent) -> None:
+        """Forward the round event to every sink."""
+        for sink in self.sinks:
+            sink.on_round(event)
+
+    def on_run_end(self, summary: RunSummary) -> None:
+        """Forward the run summary to every sink."""
+        for sink in self.sinks:
+            sink.on_run_end(summary)

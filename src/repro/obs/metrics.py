@@ -1,0 +1,351 @@
+"""Lightweight metrics primitives: counters, gauges, histograms, a registry.
+
+This is the storage half of the observability layer (:mod:`repro.obs`):
+plain-Python accumulators with exact, order-independent merge semantics, so
+that per-worker metric streams collected during a parallel sweep can be
+combined at the process boundary without losing information.
+
+Design constraints (all enforced by tests):
+
+* **stdlib only** — no client libraries, no background threads;
+* **mergeable** — every instrument defines ``merge_from`` and the merge is
+  associative and commutative (counters add, gauges keep extrema, histograms
+  add bucket-wise), so the result of a sweep is independent of how trials
+  were sharded across workers;
+* **serializable** — ``to_dict`` / ``from_dict`` round-trip through plain
+  JSON-compatible structures, which is how registries cross process
+  boundaries (no pickled code objects).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # Protocol is stdlib from 3.8 on; guard only for exotic builds.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        """Fallback no-op decorator when typing.Protocol is unavailable."""
+        return cls
+
+
+@runtime_checkable
+class MetricsSink(Protocol):
+    """What the engine needs from an instrumentation consumer.
+
+    A sink receives the lifecycle of one execution: a single
+    :meth:`on_run_start`, one :meth:`on_round` per executed round (with a
+    :class:`~repro.obs.events.RoundEvent`), and a single :meth:`on_run_end`
+    when the engine returns normally.  Sinks must never influence execution;
+    the engine ignores their return values and exposes no mutable state to
+    them.
+    """
+
+    def on_run_start(self, info: Any) -> None:
+        """Called once before round 1 with a :class:`~repro.obs.events.RunInfo`."""
+        ...
+
+    def on_round(self, event: Any) -> None:
+        """Called after every executed round with a :class:`~repro.obs.events.RoundEvent`."""
+        ...
+
+    def on_run_end(self, summary: Any) -> None:
+        """Called once after the last round with a :class:`~repro.obs.events.RunSummary`."""
+        ...
+
+
+class Counter:
+    """A monotonically non-decreasing sum (e.g. total transmissions)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another counter in (values add)."""
+        self.value += other.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for process-boundary transport."""
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Counter":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(value=payload["value"])
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time reading with extrema tracking (e.g. active population).
+
+    The last-set ``value`` is meaningful within one process; across a merge
+    only the extrema are well-defined, so merging keeps ``minimum`` /
+    ``maximum`` and the *maximum* of the last-set values (a deterministic,
+    order-independent choice — tests rely on it).
+    """
+
+    __slots__ = ("value", "minimum", "maximum", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record a new reading."""
+        value = float(value)
+        self.value = value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.updates += 1
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another gauge in (extrema combine; value keeps the max)."""
+        if other.updates == 0:
+            return
+        if self.updates == 0:
+            self.value = other.value
+        else:
+            self.value = max(self.value, other.value)
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.updates += other.updates
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for process-boundary transport."""
+        return {
+            "value": self.value,
+            "minimum": None if self.updates == 0 else self.minimum,
+            "maximum": None if self.updates == 0 else self.maximum,
+            "updates": self.updates,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Gauge":
+        """Rebuild from :meth:`to_dict` output."""
+        gauge = cls()
+        gauge.value = float(payload["value"])
+        gauge.updates = int(payload["updates"])
+        if gauge.updates:
+            gauge.minimum = float(payload["minimum"])
+            gauge.maximum = float(payload["maximum"])
+        return gauge
+
+    def __repr__(self) -> str:
+        return f"Gauge(value={self.value}, updates={self.updates})"
+
+
+def exponential_bounds(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Geometric bucket boundaries ``start, start*factor, ...`` (length ``count``)."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Default histogram boundaries for small non-negative counts (powers of two).
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Default histogram boundaries for wall times, 1 microsecond .. ~1 second.
+TIME_BUCKETS: Tuple[float, ...] = exponential_bounds(1e-6, 4.0, 11)
+
+
+class Histogram:
+    """A fixed-boundary histogram with exact count/sum/extrema sidecars.
+
+    ``bounds`` are upper-inclusive bucket edges; values above the last edge
+    land in an implicit overflow bucket, so there are ``len(bounds) + 1``
+    buckets.  Merging requires identical bounds and is a bucket-wise add —
+    associative and order-independent by construction (the property tests
+    check this, since sweep-worker merge correctness rests on it).  Bucket
+    counts, ``count``, and the extrema merge *exactly*; ``total`` is an
+    IEEE-754 sum, so different merge orders agree only up to rounding.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Sequence[float] = COUNT_BUCKETS):
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bounds must be strictly increasing, got {bounds!r}")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram in (bounds must match exactly)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for process-boundary transport."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "minimum": None if self.count == 0 else self.minimum,
+            "maximum": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output."""
+        histogram = cls(bounds=payload["bounds"])
+        histogram.bucket_counts = [int(c) for c in payload["bucket_counts"]]
+        histogram.count = int(payload["count"])
+        histogram.total = float(payload["total"])
+        if histogram.count:
+            histogram.minimum = float(payload["minimum"])
+            histogram.maximum = float(payload["maximum"])
+        return histogram
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created on first access (``registry.counter("rounds")``)
+    and live in per-kind namespaces, so a counter and a histogram may share a
+    name without clashing.  Registries merge instrument-by-instrument, which
+    is how per-worker streams are combined after a parallel sweep.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at zero on first use)."""
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge()
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name`` (created with ``bounds`` on first use).
+
+        ``bounds`` is only consulted at creation; later calls must either
+        omit it or pass the same boundaries.
+        """
+        try:
+            histogram = self.histograms[name]
+        except KeyError:
+            histogram = self.histograms[name] = Histogram(
+                bounds=bounds if bounds is not None else COUNT_BUCKETS
+            )
+            return histogram
+        if bounds is not None and tuple(float(b) for b in bounds) != histogram.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds {histogram.bounds}"
+            )
+        return histogram
+
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one; returns ``self`` for chaining."""
+        for name, counter in other.counters.items():
+            self.counter(name).merge_from(counter)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).merge_from(gauge)
+        for name, histogram in other.histograms.items():
+            self.histogram(name, bounds=histogram.bounds).merge_from(histogram)
+        return self
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Readable summary: counter values, gauge extrema, histogram stats."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "min": g.minimum, "max": g.maximum}
+                for name, g in sorted(self.gauges.items())
+                if g.updates
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": None if h.count == 0 else h.minimum,
+                    "max": None if h.count == 0 else h.maximum,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full plain-data form (lossless, unlike :meth:`snapshot`)."""
+        return {
+            "counters": {name: c.to_dict() for name, c in self.counters.items()},
+            "gauges": {name: g.to_dict() for name, g in self.gauges.items()},
+            "histograms": {name: h.to_dict() for name, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name, data in payload.get("counters", {}).items():
+            registry.counters[name] = Counter.from_dict(data)
+        for name, data in payload.get("gauges", {}).items():
+            registry.gauges[name] = Gauge.from_dict(data)
+        for name, data in payload.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(data)
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

@@ -1,0 +1,278 @@
+"""Profiled executions: run a protocol with instrumentation, export JSONL.
+
+This is the orchestration half of :mod:`repro.obs`: it runs one (or many)
+executions with an :class:`~repro.obs.events.EventLog` +
+:class:`~repro.obs.events.RegistrySink` pair attached, and turns the event
+stream into the line-oriented JSON format the ``repro profile`` CLI writes.
+
+JSONL format (one JSON object per line, schema version ``1``):
+
+* ``{"schema": 1, "type": "round", "round": r, "active": a,``
+  ``"transmitters": t, "listeners": l, "wall_time_s": s, "channels": {...}}``
+  — one per executed round, in order; ``channels`` maps each busy channel to
+  ``{"transmitters": int, "listeners": int, "outcome": str}``.
+* ``{"schema": 1, "type": "summary", ...}`` — exactly one, last; carries the
+  run parameters, the outcome, and the full metrics-registry dump.
+
+Every field except ``wall_time_s`` (and the registry's wall-time histograms)
+is a deterministic function of ``(protocol, n, C, active set, seed)``, which
+is what lets a golden-file test pin the format.
+
+Imports of the wider library happen inside functions: the package
+``repro.obs`` must stay importable from :mod:`repro.sim.engine` without
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .events import COLLISION, MESSAGE, SILENCE, EventLog, RegistrySink, RoundEvent, TeeSink
+from .metrics import MetricsRegistry
+
+#: Version stamp present on every JSONL record this module writes.
+PROFILE_SCHEMA_VERSION = 1
+
+_OUTCOMES = (SILENCE, MESSAGE, COLLISION)
+
+
+@dataclass
+class ProfiledRun:
+    """One execution plus everything its instrumentation captured."""
+
+    result: Any  # repro.sim.engine.ExecutionResult (kept loose: no cycle)
+    log: EventLog
+    registry: MetricsRegistry
+    protocol_name: str
+    n: int
+    num_channels: int
+    seed: int
+
+    @property
+    def events(self) -> List[RoundEvent]:
+        """The per-round event stream, in round order."""
+        return self.log.events
+
+    def rounds_per_second(self) -> float:
+        """Engine throughput over this run (0.0 for an empty run)."""
+        if self.log.summary is None or self.log.summary.wall_time_s <= 0:
+            return 0.0
+        return self.log.summary.rounds / self.log.summary.wall_time_s
+
+    def to_jsonl_records(self) -> List[Dict[str, Any]]:
+        """The run as JSONL-ready dictionaries: round records, then summary."""
+        records: List[Dict[str, Any]] = []
+        for event in self.events:
+            record = {"schema": PROFILE_SCHEMA_VERSION, "type": "round"}
+            record.update(event.to_dict())
+            records.append(record)
+        summary = self.log.summary
+        records.append(
+            {
+                "schema": PROFILE_SCHEMA_VERSION,
+                "type": "summary",
+                "protocol": self.protocol_name,
+                "n": self.n,
+                "C": self.num_channels,
+                "seed": self.seed,
+                "solved": self.result.solved,
+                "solved_round": self.result.solved_round,
+                "winner": self.result.winner,
+                "rounds": self.result.rounds,
+                "wall_time_s": summary.wall_time_s if summary else 0.0,
+                "metrics": self.registry.to_dict(),
+            }
+        )
+        return records
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the run to ``path`` in the JSONL profile format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.to_jsonl_records():
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+
+
+def run_profiled(
+    protocol: Any,
+    *,
+    n: int,
+    num_channels: int,
+    activation: Optional[Any] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    stop_on_solve: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> ProfiledRun:
+    """Run ``protocol`` once with full instrumentation attached.
+
+    Same contract as :func:`repro.protocols.solve`, plus: the returned
+    :class:`ProfiledRun` carries the raw event stream and the aggregated
+    metrics registry (the caller's ``registry`` if given, so sweeps can
+    accumulate across trials).
+    """
+    from ..protocols.runner import solve
+
+    log = EventLog()
+    sink = RegistrySink(registry)
+    result = solve(
+        protocol,
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+        max_rounds=max_rounds,
+        stop_on_solve=stop_on_solve,
+        instrument=TeeSink([log, sink]),
+    )
+    return ProfiledRun(
+        result=result,
+        log=log,
+        registry=sink.registry,
+        protocol_name=getattr(protocol, "name", type(protocol).__name__),
+        n=n,
+        num_channels=num_channels,
+        seed=seed,
+    )
+
+
+def profiled_trial(
+    seed: int,
+    *,
+    protocol: str,
+    n: int,
+    C: int,
+    active: int,
+) -> Tuple[Mapping[str, float], MetricsRegistry]:
+    """One instrumented execution in sweep-trial shape.
+
+    Returns the usual flat metrics mapping (``rounds`` / ``solved``) plus
+    the trial's own metrics registry, ready for cell-level merging by
+    :func:`repro.analysis.sweep.run_cell_profiled` or its process-parallel
+    twin.
+    """
+    from ..experiments.common import make_protocol
+    from ..sim.adversary import activate_random
+
+    run = run_profiled(
+        make_protocol(protocol),
+        n=n,
+        num_channels=C,
+        activation=activate_random(n, active, seed=seed),
+        seed=seed,
+    )
+    metrics = {
+        "rounds": float(run.result.rounds),
+        "solved": float(run.result.solved),
+        "transmissions": run.registry.counter("transmissions").value,
+    }
+    return metrics, run.registry
+
+
+# ------------------------------------------------------------- JSONL schema
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid profile record: {message}")
+
+
+def validate_record(record: Dict[str, Any]) -> None:
+    """Check one JSONL record against the profile schema; raise on violation.
+
+    Beyond type checks, this enforces the model-level invariants the
+    Hypothesis suite proves for live streams: a channel's outcome is
+    ``collision`` iff it had >= 2 transmitters, ``message`` iff exactly 1,
+    ``silence`` iff 0; and the record's transmitter/listener totals equal
+    the sums over its channels.
+    """
+    _require(isinstance(record, dict), "record is not an object")
+    _require(record.get("schema") == PROFILE_SCHEMA_VERSION, "bad schema version")
+    kind = record.get("type")
+    if kind == "round":
+        for key in ("round", "active", "transmitters", "listeners"):
+            _require(
+                isinstance(record.get(key), int) and record[key] >= 0,
+                f"{key} must be a non-negative integer",
+            )
+        _require(record["round"] >= 1, "round must be >= 1")
+        _require(
+            isinstance(record.get("wall_time_s"), (int, float))
+            and record["wall_time_s"] >= 0,
+            "wall_time_s must be a non-negative number",
+        )
+        channels = record.get("channels")
+        _require(isinstance(channels, dict), "channels must be an object")
+        total_tx = total_rx = 0
+        for channel, activity in channels.items():
+            _require(channel.isdigit() and int(channel) >= 1, "channel keys are ids")
+            _require(isinstance(activity, dict), "channel activity must be an object")
+            tx = activity.get("transmitters")
+            rx = activity.get("listeners")
+            outcome = activity.get("outcome")
+            _require(
+                isinstance(tx, int) and tx >= 0 and isinstance(rx, int) and rx >= 0,
+                "channel counts must be non-negative integers",
+            )
+            _require(outcome in _OUTCOMES, f"unknown outcome {outcome!r}")
+            _require(tx + rx >= 1, "busy channels must have a participant")
+            expected = COLLISION if tx >= 2 else MESSAGE if tx == 1 else SILENCE
+            _require(
+                outcome == expected,
+                f"outcome {outcome!r} inconsistent with {tx} transmitter(s)",
+            )
+            total_tx += tx
+            total_rx += rx
+        _require(record["transmitters"] == total_tx, "transmitter total mismatch")
+        _require(record["listeners"] == total_rx, "listener total mismatch")
+        _require(record["active"] >= total_tx + total_rx, "more participants than actives")
+    elif kind == "summary":
+        for key, types in (
+            ("protocol", str),
+            ("n", int),
+            ("C", int),
+            ("seed", int),
+            ("solved", bool),
+            ("rounds", int),
+            ("metrics", dict),
+        ):
+            _require(isinstance(record.get(key), types), f"{key} must be {types}")
+        for key in ("solved_round", "winner"):
+            _require(
+                record.get(key) is None or isinstance(record[key], int),
+                f"{key} must be an integer or null",
+            )
+        _require(
+            record["solved"] == (record["solved_round"] is not None),
+            "solved flag inconsistent with solved_round",
+        )
+    else:
+        _require(False, f"unknown record type {kind!r}")
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate every record in a profile JSONL file; return the record count.
+
+    Also checks stream-level shape: round records in strictly increasing
+    round order, exactly one trailing summary.
+    """
+    count = 0
+    last_round = 0
+    saw_summary = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            validate_record(record)
+            _require(not saw_summary, "records after the summary")
+            if record["type"] == "round":
+                _require(record["round"] > last_round, "rounds out of order")
+                last_round = record["round"]
+            else:
+                saw_summary = True
+            count += 1
+    _require(saw_summary, "missing summary record")
+    return count

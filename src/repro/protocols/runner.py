@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.metrics import MetricsSink
 from ..sim.adversary import Activation
 from ..sim.cd_modes import CollisionDetection
 from ..sim.engine import Engine, ExecutionResult
@@ -22,6 +23,7 @@ def solve(
     record_trace: bool = False,
     stop_on_solve: bool = True,
     collision_detection: Optional[CollisionDetection] = None,
+    instrument: Optional[MetricsSink] = None,
 ) -> ExecutionResult:
     """Run ``protocol`` on one instance and return the execution result.
 
@@ -38,6 +40,9 @@ def solve(
             every node's coroutine returns.
         collision_detection: feedback model override (the paper's strong
             model by default); see :mod:`repro.sim.cd_modes`.
+        instrument: optional observability sink receiving round-level
+            events; see :mod:`repro.obs`.  Observer-effect-free and off by
+            default.
     """
     network = Network(
         n=n,
@@ -53,4 +58,5 @@ def solve(
         wake_rounds=wake_rounds,
         max_rounds=max_rounds,
         stop_on_solve=stop_on_solve,
+        instrument=instrument,
     )

@@ -22,9 +22,12 @@ cannot claim success it did not achieve on the channel.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
+from ..obs.events import RoundEvent, RunInfo, RunSummary
+from ..obs.metrics import MetricsSink
 from .actions import Action
 from .cd_modes import CollisionDetection, observed_feedback
 from .context import MarkCollector, NodeContext
@@ -104,6 +107,7 @@ class Engine:
         wake_rounds: Optional[Dict[int, int]] = None,
         max_rounds: Optional[int] = None,
         stop_on_solve: bool = True,
+        instrument: Optional[MetricsSink] = None,
     ) -> ExecutionResult:
         """Execute one instance of the protocol on this network.
 
@@ -120,6 +124,14 @@ class Engine:
                 by definition, over).  When ``False`` the engine keeps going
                 until every coroutine returns or the budget runs out, but
                 still reports the *first* solving round.
+            instrument: optional :class:`~repro.obs.metrics.MetricsSink`
+                receiving one :class:`~repro.obs.events.RoundEvent` per
+                executed round (plus run start/end callbacks).  Off by
+                default; instrumentation is observer-effect-free — the
+                result and trace are identical with or without it (the
+                differential test suite enforces this bit for bit).  Sinks
+                are only notified of runs that end normally; a raised
+                :class:`RoundLimitExceeded` skips ``on_run_end``.
 
         Returns:
             An :class:`ExecutionResult`.
@@ -148,7 +160,22 @@ class Engine:
         winner: Optional[int] = None
         rounds_executed = 0
 
+        run_started_at = 0.0
+        round_started_at = 0.0
+        if instrument is not None:
+            instrument.on_run_start(
+                RunInfo(
+                    n=self.network.n,
+                    num_channels=self.network.num_channels,
+                    seed=self.seed,
+                    max_rounds=budget,
+                )
+            )
+            run_started_at = time.perf_counter()
+
         for round_index in range(1, budget + 1):
+            if instrument is not None:
+                round_started_at = time.perf_counter()
             current_round_holder[0] = round_index
             marks.set_round(round_index)
 
@@ -263,6 +290,27 @@ class Engine:
                 del coroutines[nid]
                 del pending[nid]
 
+            if instrument is not None:
+                instrument.on_round(
+                    RoundEvent(
+                        round_index=round_index,
+                        active_count=len(coroutines) + len(finished),
+                        transmitters={
+                            channel: len(nodes)
+                            for channel, nodes in transmitters.items()
+                        },
+                        listeners={
+                            channel: len(nodes)
+                            for channel, nodes in receivers.items()
+                        },
+                        outcomes={
+                            channel: outcome.value
+                            for channel, outcome in outcomes.items()
+                        },
+                        wall_time_s=time.perf_counter() - round_started_at,
+                    )
+                )
+
             if solved and stop_on_solve:
                 break
         else:
@@ -272,6 +320,17 @@ class Engine:
                     budget,
                     detail=f"{len(coroutines)} node(s) still running",
                 )
+
+        if instrument is not None:
+            instrument.on_run_end(
+                RunSummary(
+                    solved=solved,
+                    solved_round=solved_round,
+                    winner=winner,
+                    rounds=rounds_executed,
+                    wall_time_s=time.perf_counter() - run_started_at,
+                )
+            )
 
         trace.marks = marks.records
         return ExecutionResult(
@@ -340,6 +399,7 @@ def run_execution(
     wake_rounds: Optional[Dict[int, int]] = None,
     stop_on_solve: bool = True,
     collision_detection: Optional[CollisionDetection] = None,
+    instrument: Optional[MetricsSink] = None,
 ) -> ExecutionResult:
     """One-call convenience wrapper around :class:`Engine`.
 
@@ -358,4 +418,5 @@ def run_execution(
         wake_rounds=wake_rounds,
         max_rounds=max_rounds,
         stop_on_solve=stop_on_solve,
+        instrument=instrument,
     )

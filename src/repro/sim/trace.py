@@ -90,6 +90,29 @@ class ExecutionTrace:
                 usage[channel] = usage.get(channel, 0) + activity.participant_count
         return usage
 
+    def outcome_counts(self) -> Dict[str, int]:
+        """Channel-rounds by feedback kind over the whole execution.
+
+        The same tallies the observability layer's ``RegistrySink`` keeps as
+        ``channel_*`` counters — the differential tests cross-check the two.
+        """
+        counts = {f.value: 0 for f in (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION)}
+        for record in self.rounds:
+            for activity in record.channels.values():
+                counts[activity.feedback.value] += 1
+        return counts
+
+    def transmitter_profile(self) -> List[int]:
+        """Per-round total transmitter counts, in round order.
+
+        Matches ``RoundEvent.total_transmitters`` per instrumented round,
+        which is how tests prove the event stream mirrors the trace.
+        """
+        return [
+            sum(len(activity.transmitters) for activity in record.channels.values())
+            for record in self.rounds
+        ]
+
     def render(self, max_rounds: int = 40, max_channels: int = 16) -> str:
         """Human-readable sketch of the execution (for examples/debugging).
 

@@ -1,8 +1,13 @@
 """Tests for the process-parallel sweep runner."""
 
+import importlib
+import sys
+import textwrap
+
 import pytest
 
 from repro.analysis.parallel import (
+    _TRIAL_REGISTRY,
     register_trial,
     registered_trials,
     run_cell_parallel,
@@ -20,6 +25,41 @@ class TestRegistry:
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):
             register_trial("two-active")(lambda seed: {"rounds": 0.0})
+
+    def test_reimporting_a_trial_module_is_idempotent(self, tmp_path, monkeypatch):
+        """Importing a trial-defining module twice must not raise.
+
+        Sphinx-style doc builds and pytest's module collection can both
+        re-import a module after dropping it from ``sys.modules``; the new
+        function object defines the *same* trial, so registration must accept
+        it rather than report a name clash.
+        """
+        module_path = tmp_path / "reimported_trials.py"
+        module_path.write_text(
+            textwrap.dedent(
+                '''
+                """Temp module that registers a sweep trial at import time."""
+
+                from repro.analysis.parallel import register_trial
+
+
+                @register_trial("reimport-probe")
+                def probe_trial(seed):
+                    """Trivial trial used to exercise re-registration."""
+                    return {"rounds": float(seed)}
+                '''
+            )
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        try:
+            importlib.import_module("reimported_trials")
+            del sys.modules["reimported_trials"]
+            module = importlib.import_module("reimported_trials")
+            assert "reimport-probe" in registered_trials()
+            assert _TRIAL_REGISTRY["reimport-probe"] is module.probe_trial
+        finally:
+            sys.modules.pop("reimported_trials", None)
+            _TRIAL_REGISTRY.pop("reimport-probe", None)
 
     def test_unknown_trial_rejected(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,164 @@
+"""Differential tests: instrumentation is provably observer-effect-free.
+
+For every core protocol and two baselines, across a seed grid, a run with a
+full instrumentation stack attached (``EventLog`` + ``RegistrySink`` behind
+a ``TeeSink``) must produce *exactly* the execution an uninstrumented run
+produces: same ``solved`` / ``winner`` / ``rounds``, and a bitwise-identical
+serialized trace (rounds, channels, feedback, payloads, marks).
+
+This is the contract that makes ``repro profile`` numbers trustworthy: the
+profile describes the very execution the un-instrumented engine would have
+run, not a perturbed cousin.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    BinarySearchCD,
+    Decay,
+    FNWGeneral,
+    LeafElection,
+    Reduce,
+    TwoActive,
+    activate_pair,
+    activate_random,
+    solve,
+)
+from repro.obs import EventLog, RegistrySink, TeeSink
+from repro.sim import Activation, result_to_dict
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _leaf_assignment():
+    # Occupy 5 of the 8 usable leaves of the C=16 channel tree.
+    return {1: 2, 2: 3, 3: 5, 4: 7, 5: 8}
+
+
+#: (name, protocol factory, solve kwargs factory) — one row per protocol.
+CASES = [
+    (
+        "two-active",
+        TwoActive,
+        lambda seed: dict(n=64, num_channels=8, activation=activate_pair(64, seed=seed)),
+    ),
+    (
+        "general",
+        FNWGeneral,
+        lambda seed: dict(
+            n=128, num_channels=8, activation=activate_random(128, 20, seed=seed)
+        ),
+    ),
+    (
+        "reduce",
+        Reduce,
+        lambda seed: dict(
+            n=64,
+            num_channels=1,
+            activation=activate_random(64, 16, seed=seed),
+            stop_on_solve=False,
+        ),
+    ),
+    (
+        "leaf-election",
+        lambda: LeafElection(_leaf_assignment()),
+        lambda seed: dict(
+            n=16,
+            num_channels=16,
+            activation=Activation(active_ids=sorted(_leaf_assignment())),
+        ),
+    ),
+    (
+        "baseline-decay",
+        Decay,
+        lambda seed: dict(
+            n=64, num_channels=1, activation=activate_random(64, 5, seed=seed)
+        ),
+    ),
+    (
+        "baseline-binary-search-cd",
+        BinarySearchCD,
+        lambda seed: dict(
+            n=64, num_channels=4, activation=activate_random(64, 9, seed=seed)
+        ),
+    ),
+]
+
+
+def _run(factory, kwargs, seed, instrument):
+    return solve(
+        factory(), seed=seed, record_trace=True, instrument=instrument, **kwargs
+    )
+
+
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_instrumented_run_is_bitwise_identical(name, factory, make_kwargs, seed):
+    kwargs = make_kwargs(seed)
+    plain = _run(factory, kwargs, seed, instrument=None)
+    log = EventLog()
+    sink = RegistrySink()
+    instrumented = _run(factory, kwargs, seed, instrument=TeeSink([log, sink]))
+
+    assert instrumented.solved == plain.solved
+    assert instrumented.winner == plain.winner
+    assert instrumented.rounds == plain.rounds
+    assert instrumented.solved_round == plain.solved_round
+    assert instrumented.all_terminated == plain.all_terminated
+
+    # The whole serialized execution — trace rounds, channel activity,
+    # feedback, payloads, and marks — must match byte for byte.
+    plain_json = json.dumps(result_to_dict(plain), sort_keys=True)
+    instrumented_json = json.dumps(result_to_dict(instrumented), sort_keys=True)
+    assert plain_json == instrumented_json
+
+    # And the instrumentation actually observed the execution it rode on.
+    assert len(log.events) == plain.rounds
+    assert sink.registry.counter("rounds").value == float(plain.rounds)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_event_stream_is_deterministic(seed):
+    """Two instrumented runs of the same seed emit identical event content."""
+
+    def capture():
+        log = EventLog()
+        solve(
+            FNWGeneral(),
+            n=128,
+            num_channels=8,
+            activation=activate_random(128, 20, seed=seed),
+            seed=seed,
+            instrument=log,
+        )
+        return [
+            (e.round_index, e.active_count, dict(e.transmitters), dict(e.listeners), dict(e.outcomes))
+            for e in log.events
+        ]
+
+    assert capture() == capture()
+
+
+def test_event_stream_mirrors_trace():
+    """Per-round event totals equal what the recorded trace says happened."""
+    log = EventLog()
+    result = solve(
+        FNWGeneral(),
+        n=256,
+        num_channels=16,
+        activation=activate_random(256, 40, seed=11),
+        seed=11,
+        record_trace=True,
+        instrument=log,
+    )
+    assert result.trace.transmitter_profile() == [
+        e.total_transmitters for e in log.events
+    ]
+    trace_outcomes = result.trace.outcome_counts()
+    event_outcomes = {"silence": 0, "message": 0, "collision": 0}
+    for event in log.events:
+        for kind, count in event.outcome_counts().items():
+            event_outcomes[kind] += count
+    assert event_outcomes == trace_outcomes

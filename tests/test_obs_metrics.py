@@ -1,0 +1,233 @@
+"""Unit tests for the metrics registry and the standard sinks."""
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    NullSink,
+    RegistrySink,
+    RoundEvent,
+    RunInfo,
+    RunSummary,
+    TeeSink,
+    exponential_bounds,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(2), Counter(3)
+        a.merge_from(b)
+        assert a.value == 5
+
+    def test_dict_round_trip(self):
+        counter = Counter(7)
+        assert Counter.from_dict(counter.to_dict()).value == 7
+
+
+class TestGauge:
+    def test_tracks_extrema(self):
+        gauge = Gauge()
+        for value in (5, 2, 9):
+            gauge.set(value)
+        assert gauge.value == 9
+        assert gauge.minimum == 2
+        assert gauge.maximum == 9
+        assert gauge.updates == 3
+
+    def test_merge_keeps_extrema(self):
+        a, b = Gauge(), Gauge()
+        a.set(4)
+        b.set(1)
+        b.set(10)
+        a.merge_from(b)
+        assert a.minimum == 1
+        assert a.maximum == 10
+        assert a.updates == 3
+
+    def test_merge_with_empty_is_identity(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.merge_from(Gauge())
+        assert gauge.value == 3
+        assert gauge.updates == 1
+
+    def test_dict_round_trip(self):
+        gauge = Gauge()
+        gauge.set(1)
+        gauge.set(8)
+        restored = Gauge.from_dict(gauge.to_dict())
+        assert (restored.value, restored.minimum, restored.maximum) == (8, 1, 8)
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_inclusive(self):
+        histogram = Histogram(bounds=(1, 10))
+        for value in (0.5, 1, 2, 10, 11):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 11
+
+    def test_mean(self):
+        histogram = Histogram()
+        histogram.observe(2)
+        histogram.observe(4)
+        assert histogram.mean == 3
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(3, 1))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1, 1))
+
+    def test_merge_requires_matching_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1, 2)).merge_from(Histogram(bounds=(1, 3)))
+
+    def test_dict_round_trip(self):
+        histogram = Histogram(bounds=(1, 4, 16))
+        for value in (0, 3, 100):
+            histogram.observe(value)
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored.bucket_counts == histogram.bucket_counts
+        assert restored.total == histogram.total
+        assert restored.bounds == histogram.bounds
+
+    def test_exponential_bounds(self):
+        assert exponential_bounds(1, 2, 4) == (1, 2, 4, 8)
+        with pytest.raises(ValueError):
+            exponential_bounds(0, 2, 4)
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1, 3))
+
+    def test_merge_combines_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.counter("only-b").inc(5)
+        b.gauge("g").set(7)
+        b.histogram("h").observe(3)
+        a.merge_from(b)
+        assert a.counter("c").value == 3
+        assert a.counter("only-b").value == 5
+        assert a.gauge("g").maximum == 7
+        assert a.histogram("h").count == 1
+
+    def test_dict_round_trip_preserves_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2)
+        registry.histogram("h", bounds=(1, 8)).observe(5)
+        restored = MetricsRegistry.from_dict(registry.to_dict())
+        assert restored.to_dict() == registry.to_dict()
+        assert restored.snapshot() == registry.snapshot()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1.0}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+
+def _event(**overrides):
+    base = dict(
+        round_index=1,
+        active_count=3,
+        transmitters={1: 2},
+        listeners={1: 1},
+        outcomes={1: "collision"},
+        wall_time_s=0.001,
+    )
+    base.update(overrides)
+    return RoundEvent(**base)
+
+
+class TestSinks:
+    def test_standard_sinks_satisfy_the_protocol(self):
+        for sink in (NullSink(), EventLog(), RegistrySink(), TeeSink()):
+            assert isinstance(sink, MetricsSink)
+
+    def test_event_log_retains_stream(self):
+        log = EventLog()
+        info = RunInfo(n=8, num_channels=2, seed=0, max_rounds=100)
+        summary = RunSummary(
+            solved=True, solved_round=1, winner=3, rounds=1, wall_time_s=0.1
+        )
+        log.on_run_start(info)
+        log.on_round(_event())
+        log.on_run_end(summary)
+        assert log.info == info
+        assert log.summary == summary
+        assert [e.round_index for e in log.events] == [1]
+
+    def test_registry_sink_aggregates(self):
+        sink = RegistrySink()
+        sink.on_run_start(RunInfo(n=8, num_channels=2, seed=0, max_rounds=100))
+        sink.on_round(_event())
+        sink.on_round(
+            _event(round_index=2, transmitters={2: 1}, listeners={}, outcomes={2: "message"})
+        )
+        sink.on_run_end(
+            RunSummary(solved=True, solved_round=2, winner=1, rounds=2, wall_time_s=0.2)
+        )
+        counters = sink.registry.snapshot()["counters"]
+        assert counters["rounds"] == 2
+        assert counters["transmissions"] == 3
+        assert counters["listens"] == 1
+        assert counters["channel_collision"] == 1
+        assert counters["channel_message"] == 1
+        assert counters["channel/1/participant_rounds"] == 3
+        assert counters["solved_runs"] == 1
+        assert sink.registry.gauge("peak_active").maximum == 3
+
+    def test_tee_fans_out(self):
+        log_a, log_b = EventLog(), EventLog()
+        tee = TeeSink([log_a, log_b])
+        tee.on_round(_event())
+        assert len(log_a.events) == len(log_b.events) == 1
+
+    def test_round_event_totals_and_outcome_counts(self):
+        event = _event(transmitters={1: 2, 3: 1}, listeners={1: 1, 2: 4},
+                       outcomes={1: "collision", 2: "silence", 3: "message"})
+        assert event.total_transmitters == 3
+        assert event.total_listeners == 5
+        assert event.outcome_counts() == {"silence": 1, "message": 1, "collision": 1}
+        payload = event.to_dict()
+        assert payload["channels"]["2"]["outcome"] == "silence"
+        assert payload["transmitters"] == 3
+
+    def test_count_buckets_cover_defaults(self):
+        assert COUNT_BUCKETS[0] == 1
+        assert COUNT_BUCKETS == tuple(sorted(COUNT_BUCKETS))

@@ -1,0 +1,192 @@
+"""Tests for the ``repro profile`` CLI: golden JSONL output + schema checks.
+
+The JSONL profile format is a public artifact (benchmark logs and
+EXPERIMENTS.md cite it), so it is pinned two ways:
+
+* a golden-file test on a fixed seed — every deterministic field must match
+  byte for byte (wall-time fields, the only nondeterministic ones, are
+  canonicalized out and checked for shape instead);
+* schema validation of every emitted record, including the model-level
+  outcome/transmitter-count consistency rules.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs.profile import PROFILE_SCHEMA_VERSION, validate_jsonl, validate_record
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_profile_general_n256_c16_seed3.jsonl"
+
+PROFILE_ARGS = [
+    "profile",
+    "--protocol",
+    "fnw-general",
+    "--n",
+    "256",
+    "--channels",
+    "16",
+    "--active",
+    "30",
+    "--seed",
+    "3",
+]
+
+#: Histograms fed by wall clocks; their bucket placement is nondeterministic.
+TIMING_HISTOGRAMS = ("round_wall_time_s", "run_wall_time_s")
+
+
+def canonical(records):
+    """Strip the wall-clock fields, leaving only deterministic content."""
+    cleaned = []
+    for record in records:
+        record = json.loads(json.dumps(record))  # deep copy
+        wall = record.pop("wall_time_s", None)
+        assert isinstance(wall, (int, float)) and wall >= 0
+        metrics = record.get("metrics")
+        if metrics:
+            for name in TIMING_HISTOGRAMS:
+                histogram = metrics["histograms"].pop(name)
+                assert histogram["count"] >= 1
+        cleaned.append(record)
+    return cleaned
+
+
+def run_profile(tmp_path, extra=()):
+    path = tmp_path / "profile.jsonl"
+    assert main(PROFILE_ARGS + ["--jsonl", str(path)] + list(extra)) == 0
+    with open(path, "r", encoding="utf-8") as handle:
+        return path, [json.loads(line) for line in handle if line.strip()]
+
+
+class TestGoldenOutput:
+    def test_matches_golden_jsonl(self, tmp_path, capsys):
+        _path, records = run_profile(tmp_path)
+        capsys.readouterr()
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = [json.loads(line) for line in handle if line.strip()]
+        assert canonical(records) == golden
+
+    def test_every_record_validates(self, tmp_path, capsys):
+        path, records = run_profile(tmp_path)
+        capsys.readouterr()
+        for record in records:
+            validate_record(record)
+        assert validate_jsonl(str(path)) == len(records)
+
+    def test_stream_shape(self, tmp_path, capsys):
+        _path, records = run_profile(tmp_path)
+        capsys.readouterr()
+        assert all(r["schema"] == PROFILE_SCHEMA_VERSION for r in records)
+        assert [r["type"] for r in records[:-1]] == ["round"] * (len(records) - 1)
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["rounds"] == len(records) - 1
+        assert summary["solved"] is True
+        assert summary["metrics"]["counters"]["rounds"]["value"] == float(
+            summary["rounds"]
+        )
+
+
+class TestSchemaValidation:
+    def _round_record(self):
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "type": "round",
+            "round": 1,
+            "active": 3,
+            "transmitters": 2,
+            "listeners": 1,
+            "wall_time_s": 0.001,
+            "channels": {
+                "1": {"transmitters": 2, "listeners": 1, "outcome": "collision"}
+            },
+        }
+
+    def test_valid_round_record_accepted(self):
+        validate_record(self._round_record())
+
+    @pytest.mark.parametrize(
+        "mutate,message",
+        [
+            (lambda r: r.update(schema=99), "schema"),
+            (lambda r: r.update(type="bogus"), "type"),
+            (lambda r: r.update(round=0), "round"),
+            (lambda r: r.update(transmitters=5), "total"),
+            (lambda r: r["channels"]["1"].update(outcome="message"), "inconsistent"),
+            (lambda r: r["channels"]["1"].update(outcome="nonsense"), "outcome"),
+            (lambda r: r.update(active=1), "participants"),
+            (lambda r: r.update(wall_time_s=-1), "wall_time_s"),
+        ],
+    )
+    def test_corrupt_round_records_rejected(self, mutate, message):
+        record = self._round_record()
+        mutate(record)
+        with pytest.raises(ValueError):
+            validate_record(record)
+
+    def test_silence_requires_a_listener(self):
+        record = self._round_record()
+        record["channels"]["1"] = {"transmitters": 0, "listeners": 0, "outcome": "silence"}
+        record.update(transmitters=0, listeners=0)
+        with pytest.raises(ValueError):
+            validate_record(record)
+
+    def test_summary_solved_consistency_enforced(self):
+        record = {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "type": "summary",
+            "protocol": "x",
+            "n": 8,
+            "C": 2,
+            "seed": 0,
+            "solved": True,
+            "solved_round": None,
+            "winner": None,
+            "rounds": 4,
+            "wall_time_s": 0.1,
+            "metrics": {},
+        }
+        with pytest.raises(ValueError):
+            validate_record(record)
+        record.update(solved=False)
+        validate_record(record)
+
+    def test_jsonl_stream_rules(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = self._round_record()
+        out_of_order = dict(good, round=1)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(good) + "\n")
+            handle.write(json.dumps(out_of_order) + "\n")
+        with pytest.raises(ValueError):
+            validate_jsonl(str(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(good) + "\n")
+        with pytest.raises(ValueError):  # missing summary
+            validate_jsonl(str(path))
+
+
+class TestProfileCommand:
+    def test_single_run_output(self, capsys):
+        assert main(PROFILE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "solved=True" in out
+        assert "rounds/s" in out
+        assert "busiest channels" in out
+
+    def test_sweep_mode_reports_workers(self, capsys):
+        try:
+            code = main(
+                PROFILE_ARGS
+                + ["--trials", "3", "--processes", "2"]
+            )
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solved 3/3" in out
+        assert "per-worker timing" in out
+        assert "trials/s" in out

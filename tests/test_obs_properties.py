@@ -1,0 +1,202 @@
+"""Hypothesis property tests for the observability layer's invariants.
+
+Three families, matching the guarantees the rest of the stack leans on:
+
+* **model invariants on live event streams** — per-round transmitter totals
+  equal the sum over channels, and a channel reports COLLISION iff its
+  transmitter count is >= 2 (MESSAGE iff exactly 1, SILENCE iff 0);
+* **merge algebra** — histogram (and registry) merge is associative and
+  order-independent, which is exactly worker-merge correctness for the
+  process-parallel profiled sweeps;
+* **serialization** — registries survive the process boundary losslessly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FNWGeneral, activate_random, solve
+from repro.baselines import Decay
+from repro.obs import EventLog, Histogram, MetricsRegistry
+
+
+# ------------------------------------------------- live-stream model invariants
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    active=st.integers(min_value=2, max_value=24),
+    channels=st.sampled_from([1, 4, 8, 16]),
+)
+def test_round_events_respect_the_model(seed, active, channels):
+    log = EventLog()
+    result = solve(
+        FNWGeneral(),
+        n=128,
+        num_channels=channels,
+        activation=activate_random(128, active, seed=seed),
+        seed=seed,
+        record_trace=True,
+        instrument=log,
+    )
+    assert len(log.events) == result.rounds
+    for event, record in zip(log.events, result.trace.rounds):
+        # Transmitter total is the sum over channels — on the event itself
+        # and against the independently recorded trace.
+        assert event.total_transmitters == sum(event.transmitters.values())
+        assert event.total_transmitters == sum(
+            len(activity.transmitters) for activity in record.channels.values()
+        )
+        assert event.active_count == record.active_count
+        assert set(event.outcomes) == set(record.channels)
+        for channel, outcome in event.outcomes.items():
+            tx = event.transmitters.get(channel, 0)
+            # COLLISION iff >= 2 transmitters; MESSAGE iff exactly 1;
+            # SILENCE iff 0 (with at least one listener present).
+            if tx >= 2:
+                assert outcome == "collision"
+            elif tx == 1:
+                assert outcome == "message"
+            else:
+                assert outcome == "silence"
+                assert event.listeners.get(channel, 0) >= 1
+        # Participants never exceed the live population.
+        assert event.total_transmitters + event.total_listeners <= event.active_count
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_single_channel_stream_invariants(seed):
+    """Same invariants on a protocol that exercises long silence stretches."""
+    log = EventLog()
+    solve(
+        Decay(),
+        n=256,
+        num_channels=1,
+        activation=activate_random(256, 3, seed=seed),
+        seed=seed,
+        instrument=log,
+    )
+    for event in log.events:
+        assert set(event.outcomes) <= {1}
+        for channel, outcome in event.outcomes.items():
+            tx = event.transmitters.get(channel, 0)
+            assert (outcome == "collision") == (tx >= 2)
+            assert (outcome == "message") == (tx == 1)
+
+
+# ------------------------------------------------------------- merge algebra
+
+values = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+BOUNDS = (1, 10, 100, 1000)
+
+
+def _hist(samples):
+    histogram = Histogram(bounds=BOUNDS)
+    for value in samples:
+        histogram.observe(value)
+    return histogram
+
+
+def _state(histogram):
+    """The exactly-mergeable part: buckets, count, extrema.
+
+    ``total`` is an IEEE-754 sum, so across merge orders it is only equal up
+    to rounding; it is asserted separately with ``isclose``.
+    """
+    return (
+        tuple(histogram.bucket_counts),
+        histogram.count,
+        histogram.minimum,
+        histogram.maximum,
+    )
+
+
+def _totals_close(a, b):
+    import math
+
+    return math.isclose(a.total, b.total, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=values, b=values, c=values)
+def test_histogram_merge_is_associative(a, b, c):
+    left = _hist(a)
+    left.merge_from(_hist(b))
+    left.merge_from(_hist(c))
+
+    bc = _hist(b)
+    bc.merge_from(_hist(c))
+    right = _hist(a)
+    right.merge_from(bc)
+
+    assert _state(left) == _state(right)
+    assert _totals_close(left, right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shards=st.lists(values, min_size=1, max_size=5),
+    permutation_seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_histogram_merge_is_order_independent(shards, permutation_seed):
+    import random
+
+    order = list(range(len(shards)))
+    random.Random(permutation_seed).shuffle(order)
+
+    in_order = Histogram(bounds=BOUNDS)
+    for shard in shards:
+        in_order.merge_from(_hist(shard))
+    shuffled = Histogram(bounds=BOUNDS)
+    for index in order:
+        shuffled.merge_from(_hist(shards[index]))
+
+    assert _state(in_order) == _state(shuffled)
+    assert _totals_close(in_order, shuffled)
+    # And merging equals observing everything in one histogram.
+    flat = _hist([value for shard in shards for value in shard])
+    assert _state(in_order) == _state(flat)
+    assert _totals_close(in_order, flat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    increments=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)), max_size=30
+    ),
+    split=st.integers(min_value=0, max_value=30),
+)
+def test_registry_counter_merge_matches_serial(increments, split):
+    """Sharding a counter stream across two registries then merging loses nothing.
+
+    Integer increments (what the engine sinks emit) make the sums exact, so
+    the sharded merge must equal the serial tally bit for bit.
+    """
+    serial = MetricsRegistry()
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for index, (name, amount) in enumerate(increments):
+        serial.counter(name).inc(amount)
+        (left if index < split else right).counter(name).inc(amount)
+    merged = MetricsRegistry()
+    merged.merge_from(left)
+    merged.merge_from(right)
+    assert merged.snapshot()["counters"] == serial.snapshot()["counters"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=values, b=values)
+def test_registry_round_trips_through_plain_data(a, b):
+    """to_dict/from_dict is lossless — the process-boundary transport."""
+    registry = MetricsRegistry()
+    for value in a:
+        registry.histogram("h", bounds=BOUNDS).observe(value)
+        registry.counter("n").inc()
+    for value in b:
+        registry.gauge("g").set(value)
+    restored = MetricsRegistry.from_dict(registry.to_dict())
+    assert restored.to_dict() == registry.to_dict()
+    merged = MetricsRegistry()
+    merged.merge_from(restored)
+    assert merged.to_dict() == registry.to_dict()

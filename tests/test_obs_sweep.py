@@ -1,0 +1,114 @@
+"""Tests for profiled sweeps: serial cells and their process-parallel twin.
+
+The contract under test is the one :class:`ParallelProfile` documents —
+the per-trial metrics and every deterministic instrument in the merged
+registry are identical whether the cell ran serially, in-process, or
+sharded across worker processes. Only wall-clock observations may differ.
+"""
+
+import pytest
+
+from repro.analysis.parallel import (
+    registered_profiled_trials,
+    run_cell_parallel_profiled,
+)
+from repro.analysis.sweep import ProfiledCellResult, run_cell_profiled
+from repro.obs.profile import profiled_trial
+
+PARAMS = {"protocol": "fnw-general", "n": 256, "C": 16, "active": 30}
+
+
+def _serial(trials, master_seed):
+    return run_cell_profiled(
+        lambda seed: profiled_trial(seed, **PARAMS),
+        trials=trials,
+        master_seed=master_seed,
+        params=PARAMS,
+    )
+
+
+def _deterministic_counters(registry):
+    return registry.snapshot()["counters"]
+
+
+class TestSerialProfiledCell:
+    def test_cell_shape_and_timing(self):
+        cell = _serial(trials=4, master_seed=9)
+        assert isinstance(cell, ProfiledCellResult)
+        assert len(cell.trials) == 4
+        assert len(cell.trial_seconds) == 4
+        assert all(seconds >= 0 for seconds in cell.trial_seconds)
+        assert cell.wall_seconds == sum(cell.trial_seconds)
+        assert cell.throughput() > 0
+
+    def test_registry_aggregates_all_trials(self):
+        cell = _serial(trials=4, master_seed=9)
+        counters = _deterministic_counters(cell.registry)
+        assert counters["runs"] == 4.0
+        assert counters["rounds"] == sum(t["rounds"] for t in cell.trials)
+        assert counters["solved_runs"] == sum(t["solved"] for t in cell.trials)
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            _serial(trials=0, master_seed=0)
+
+
+class TestParallelProfiledCell:
+    def test_registered(self):
+        assert "solve-profiled" in registered_profiled_trials()
+
+    def test_unknown_trial_rejected(self):
+        with pytest.raises(KeyError):
+            run_cell_parallel_profiled("nope", {}, trials=2)
+
+    def test_in_process_path_matches_serial(self):
+        serial = _serial(trials=6, master_seed=9)
+        parallel = run_cell_parallel_profiled(
+            "solve-profiled", PARAMS, trials=6, master_seed=9, processes=1
+        )
+        assert parallel.cell.trials == serial.trials
+        assert _deterministic_counters(parallel.registry) == _deterministic_counters(
+            serial.registry
+        )
+
+    def test_pool_path_matches_serial(self):
+        serial = _serial(trials=6, master_seed=9)
+        try:
+            parallel = run_cell_parallel_profiled(
+                "solve-profiled", PARAMS, trials=6, master_seed=9, processes=2
+            )
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        assert parallel.cell.trials == serial.trials
+        assert _deterministic_counters(parallel.registry) == _deterministic_counters(
+            serial.registry
+        )
+
+    def test_worker_accounting(self):
+        try:
+            parallel = run_cell_parallel_profiled(
+                "solve-profiled", PARAMS, trials=6, master_seed=9, processes=2
+            )
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        assert sum(stats.trials for stats in parallel.workers) == 6
+        assert all(stats.seconds >= 0 for stats in parallel.workers)
+        assert all(stats.throughput() >= 0 for stats in parallel.workers)
+        assert parallel.wall_seconds > 0
+        assert parallel.throughput() > 0
+
+    def test_process_count_is_invisible_to_metrics(self):
+        counters = []
+        for processes in (1, 2, 3):
+            try:
+                profile = run_cell_parallel_profiled(
+                    "solve-profiled",
+                    PARAMS,
+                    trials=5,
+                    master_seed=4,
+                    processes=processes,
+                )
+            except (OSError, PermissionError) as error:  # pragma: no cover
+                pytest.skip(f"process pools unavailable here: {error}")
+            counters.append(_deterministic_counters(profile.registry))
+        assert counters[0] == counters[1] == counters[2]
