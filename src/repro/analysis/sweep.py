@@ -46,6 +46,17 @@ class CellResult:
         """Mean of one metric across this cell's trials."""
         return self.summary(name).mean
 
+    def rate(self, name: str = "solved") -> float:
+        """Fraction of trials in which ``name`` is nonzero (e.g. solve rate).
+
+        The natural reading of 0/1 indicator metrics such as ``solved``
+        under fault injection, where not every trial succeeds.
+        """
+        values = self.metric(name)
+        if not values:
+            raise KeyError(f"metric {name!r} absent from all trials")
+        return sum(1.0 for value in values if value) / len(values)
+
 
 @dataclass
 class SweepResult:

@@ -9,7 +9,10 @@ Subcommands:
   — run a single execution and print the outcome (and optionally the trace);
 * ``repro profile --protocol fnw-general --n 4096 --channels 64 --jsonl out.jsonl``
   — run instrumented executions and report the utilization/timing profile
-  (see :mod:`repro.obs` and docs/observability.md).
+  (see :mod:`repro.obs` and docs/observability.md);
+* ``repro faults --models jamming cd-noise --trials 20`` — sweep the fault
+  models over a protocol grid and report solve-rate degradation and round
+  inflation (see :mod:`repro.faults` and docs/faults.md).
 """
 
 from __future__ import annotations
@@ -166,6 +169,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments import fault_tolerance
+
+    if args.trials < 1:
+        raise SystemExit("repro faults: --trials must be >= 1")
+    config = fault_tolerance.Config(
+        n=args.n,
+        num_channels=args.channels,
+        active_count=args.active,
+        protocols=tuple(args.protocols),
+        models=tuple(args.models),
+        intensities=tuple(args.intensities),
+        trials=args.trials,
+        max_rounds=args.max_rounds,
+        master_seed=args.seed,
+    )
+    print(
+        f"fault sweep: n={config.n} C={config.num_channels} "
+        f"active={config.active_count} trials={config.trials} "
+        f"max_rounds={config.max_rounds} master_seed={config.master_seed}"
+    )
+    print()
+    outcome = fault_tolerance.run(config)
+    print(outcome.table.render())
+    print()
+    print(
+        f"monotone degradation: {outcome.monotone_degradation()}; "
+        + "; ".join(
+            f"worst {model} solve rate {outcome.min_rate(model):.2f}"
+            for model in config.models
+        )
+    )
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .sim.serialize import load_trace
 
@@ -288,6 +326,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=8, help="channels shown in the utilization table"
     )
     profile_parser.set_defaults(fn=_cmd_profile)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="sweep fault models (jamming / cd-noise / churn) over protocols",
+    )
+    faults_parser.add_argument("--n", type=int, default=256)
+    faults_parser.add_argument("--channels", type=int, default=16)
+    faults_parser.add_argument("--active", type=int, default=24)
+    faults_parser.add_argument("--trials", type=int, default=30)
+    faults_parser.add_argument("--seed", type=int, default=20)
+    faults_parser.add_argument("--max-rounds", type=int, default=3000)
+    faults_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["two-active", "fnw-general", "decay", "daum-multichannel"],
+        help="protocol names from the solve registry",
+    )
+    faults_parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["jamming", "cd-noise", "churn"],
+        choices=["jamming", "cd-noise", "churn"],
+        help="fault models to sweep (each also gets a fault-free baseline)",
+    )
+    faults_parser.add_argument(
+        "--intensities",
+        nargs="+",
+        type=float,
+        default=[0.1, 0.3, 0.6],
+        help="intensity knob per model (see repro.faults.plan_for)",
+    )
+    faults_parser.set_defaults(fn=_cmd_faults)
 
     replay_parser = subparsers.add_parser(
         "replay", help="render a saved execution trace"

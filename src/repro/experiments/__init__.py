@@ -13,6 +13,7 @@ from . import (
     channel_utilization,
     cohort_ablation,
     expected_time,
+    fault_tolerance,
     general_scaling,
     id_reduction_scaling,
     kappa_ablation,
@@ -47,6 +48,7 @@ REGISTRY = {
     "e17": (channel_utilization, "Figure: channel-utilization footprint"),
     "e18": (step_breakdown, "Figure: per-step round attribution"),
     "e19": (adversarial_search, "Adversarial activation search (bounded gain)"),
+    "e20": (fault_tolerance, "Fault tolerance under jamming / CD noise / churn"),
 }
 
 __all__ = [
@@ -57,6 +59,7 @@ __all__ = [
     "channel_utilization",
     "cohort_ablation",
     "expected_time",
+    "fault_tolerance",
     "general_scaling",
     "id_reduction_scaling",
     "kappa_ablation",

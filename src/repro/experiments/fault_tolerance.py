@@ -1,0 +1,254 @@
+"""E20 — fault tolerance: what survives jamming, CD noise, and churn.
+
+The paper's guarantees are proved in a benign model: perfect strong
+collision detection and a crash-free activation set.  This experiment
+injects the three canonical violations (:mod:`repro.faults`) at increasing
+intensity and measures, per protocol:
+
+* **solve rate** — the fraction of trials that still produce a lone
+  transmission on channel 1 (the w.h.p. guarantee's survival);
+* **round inflation** — mean rounds-to-solve among solving trials, as a
+  multiple of the protocol's fault-free mean.
+
+Protocols compared: TwoActive and the general algorithm (the paper's two
+headline results, both *dependent* on trustworthy collision detection), and
+the no-CD baselines Decay and Daum — which never consult the collision
+detector and so should shrug off CD noise that cripples the CD-dependent
+algorithms, while remaining just as jammable.
+
+Qualitative expectations this table probes (from Jiang & Zheng's robust
+contention resolution and Biswas et al.'s noisy-collision line of work):
+
+1. degradation trends downward in intensity for every (protocol, model)
+   pair;
+2. CD noise hurts CD-dependent algorithms far more than the no-CD
+   baselines (misreads poison the "was I alone?" renaming logic);
+3. budgeted primary-channel jamming cannot starve a *retrying* protocol
+   forever — the budget runs out, so the no-CD baselines keep solving at
+   full rate with round inflation roughly linear in the budget.  The CD
+   algorithms, by contrast, are one-shot: they run their fixed schedule
+   once, trust what the channel told them, and terminate — so even a small
+   jamming budget during that window is fatal.  Robustness here *requires*
+   a retry loop, the central observation of Jiang & Zheng;
+4. churn only lowers contention for the dense protocols, so their solve
+   rates stay high; TwoActive is the exception — its guarantee is
+   conditional on both contenders staying alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..analysis import Table
+from ..analysis.sweep import CellResult, run_cell
+from ..faults import plan_for
+from ..protocols import solve
+from ..sim import activate_pair, activate_random
+from ..sim.errors import RoundLimitExceeded
+from .common import make_protocol
+
+DEFAULT_PROTOCOLS = ("two-active", "fnw-general", "decay", "daum-multichannel")
+DEFAULT_MODELS = ("jamming", "cd-noise", "churn")
+DEFAULT_INTENSITIES = (0.1, 0.3, 0.6)
+
+
+@dataclass(frozen=True)
+class Config:
+    """Sweep configuration (defaults are the report/CLI scale)."""
+
+    n: int = 256
+    num_channels: int = 16
+    active_count: int = 24
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    models: Sequence[str] = DEFAULT_MODELS
+    intensities: Sequence[float] = DEFAULT_INTENSITIES
+    trials: int = 30
+    max_rounds: int = 3000
+    master_seed: int = 20
+
+
+@dataclass
+class Outcome:
+    """Tables plus the per-cell verdict data."""
+
+    table: Table
+    #: (protocol, model, intensity) -> fraction of trials that solved.
+    solve_rates: Dict[Tuple[str, str, float], float]
+    #: (protocol, model, intensity) -> mean solved rounds / fault-free mean
+    #: (``None`` when no trial of the cell solved).
+    inflations: Dict[Tuple[str, str, float], float]
+    #: protocol -> fault-free mean rounds to solve.
+    baseline_rounds: Dict[str, float]
+
+    def rate(self, protocol: str, model: str, intensity: float) -> float:
+        """The solve rate of one (protocol, model, intensity) cell."""
+        return self.solve_rates[(protocol, model, intensity)]
+
+    def min_rate(self, model: str) -> float:
+        """The worst solve rate any protocol posts under ``model``."""
+        rates = [
+            rate for (_, m, _), rate in self.solve_rates.items() if m == model
+        ]
+        if not rates:
+            raise KeyError(f"no cells for model {model!r}")
+        return min(rates)
+
+    def monotone_degradation(self, tolerance: float = 0.1) -> bool:
+        """Whether each (protocol, model) solve rate trends downward.
+
+        Compares the highest intensity against the lowest per pair (the
+        trend), with a small tolerance, so mid-grid Monte-Carlo wobble
+        between adjacent intensities cannot flip the verdict.
+        """
+        by_pair: Dict[Tuple[str, str], list] = {}
+        for (protocol, model, intensity), rate in self.solve_rates.items():
+            by_pair.setdefault((protocol, model), []).append((intensity, rate))
+        for curve in by_pair.values():
+            curve.sort()
+            if curve[-1][1] > curve[0][1] + tolerance:
+                return False
+        return True
+
+
+def fault_trial(
+    protocol_name: str,
+    model: str,
+    intensity: float,
+    config: Config,
+    seed: int,
+) -> Mapping[str, float]:
+    """One seeded faulted execution, in sweep-trial shape.
+
+    TwoActive runs on a random pair (its defined regime); every other
+    protocol gets a random ``active_count``-subset.  A run that exhausts the
+    round budget counts as unsolved with the budget as its censored round
+    count — exactly how an operator would score a deadline miss.  A run in
+    which the protocol *crashes* also scores as unsolved (``crashed`` = 1):
+    the algorithms were written against the benign model, and misleading
+    feedback can drive them into states their own invariants reject — that
+    is a real failure mode of the fault, not of the harness.
+    """
+    if protocol_name == "two-active":
+        activation = activate_pair(config.n, seed=seed)
+    else:
+        activation = activate_random(config.n, config.active_count, seed=seed)
+    faults = plan_for(model, intensity)
+    crashed = False
+    try:
+        result = solve(
+            make_protocol(protocol_name),
+            n=config.n,
+            num_channels=config.num_channels,
+            activation=activation,
+            seed=seed,
+            max_rounds=config.max_rounds,
+            faults=faults,
+        )
+        solved = result.solved
+        rounds = result.solved_round if result.solved else config.max_rounds
+    except RoundLimitExceeded:
+        solved = False
+        rounds = config.max_rounds
+    except Exception:  # noqa: BLE001 - protocol died on a fault-violated invariant
+        solved = False
+        rounds = config.max_rounds
+        crashed = True
+    metrics: Dict[str, float] = {
+        "rounds": float(rounds),
+        "solved": float(solved),
+        "crashed": float(crashed),
+    }
+    if solved:
+        metrics["solved_rounds"] = float(rounds)
+    return metrics
+
+
+def _mean_solved_rounds(cell: CellResult) -> float:
+    """Mean rounds among solving trials, or ``nan`` if none solved."""
+    values = cell.metric("solved_rounds")
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the fault sweep and return its table and verdict data.
+
+    Every (protocol, model, intensity) cell gets its own seed stream, with
+    the fault-free baseline cell (model ``"none"``) first per protocol so
+    inflation is measured against the same trial count.
+    """
+    table = Table(
+        ["protocol", "model", "intensity", "solve_rate", "mean_rounds", "inflation"],
+        caption=(
+            f"E20: solve rate and round inflation under fault injection "
+            f"(n={config.n}, C={config.num_channels}, trials={config.trials})"
+        ),
+        digits=2,
+    )
+    solve_rates: Dict[Tuple[str, str, float], float] = {}
+    inflations: Dict[Tuple[str, str, float], float] = {}
+    baseline_rounds: Dict[str, float] = {}
+
+    grid = []
+    for protocol in config.protocols:
+        grid.append((protocol, "none", 0.0))
+        for model in config.models:
+            for intensity in config.intensities:
+                grid.append((protocol, model, intensity))
+
+    for stream, (protocol, model, intensity) in enumerate(grid):
+        cell = run_cell(
+            lambda seed, p=protocol, m=model, i=intensity: fault_trial(
+                p, m, i, config, seed
+            ),
+            trials=config.trials,
+            master_seed=config.master_seed,
+            stream=stream,
+            params={"protocol": protocol, "model": model, "intensity": intensity},
+        )
+        rate = cell.rate("solved")
+        mean_rounds = _mean_solved_rounds(cell)
+        if model == "none":
+            baseline_rounds[protocol] = mean_rounds
+            inflation = 1.0 if rate > 0 else None
+        else:
+            solve_rates[(protocol, model, intensity)] = rate
+            base = baseline_rounds.get(protocol, float("nan"))
+            inflation = mean_rounds / base if rate > 0 and base > 0 else None
+            inflations[(protocol, model, intensity)] = (
+                inflation if inflation is not None else float("nan")
+            )
+        table.add_row(
+            protocol,
+            model,
+            intensity,
+            rate,
+            mean_rounds if rate > 0 else "-",
+            inflation if inflation is not None else "-",
+        )
+
+    return Outcome(
+        table=table,
+        solve_rates=solve_rates,
+        inflations=inflations,
+        baseline_rounds=baseline_rounds,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(
+        f"monotone degradation: {outcome.monotone_degradation()}; "
+        + "; ".join(
+            f"worst {model} solve rate {outcome.min_rate(model):.2f}"
+            for model in DEFAULT_MODELS
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

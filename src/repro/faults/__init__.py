@@ -1,0 +1,46 @@
+"""Fault injection: jamming, noisy collision detection, node churn.
+
+The paper's guarantees assume a benign physical layer; this package asks
+what survives when that assumption breaks.  Fault models are small
+composable objects the engine consults at its channel-resolution boundary
+(pass them via the ``faults=`` keyword of :meth:`repro.sim.Engine.run`,
+:func:`repro.sim.run_execution`, or :func:`repro.protocols.solve`):
+
+* :class:`Jamming` / :class:`ScheduledJamming` — budgeted adversarial
+  jamming; a jammed channel physically reads COLLISION and a jammed
+  primary channel cannot host the solving solo;
+* :class:`CDNoise` — seeded probabilistic collision-detection misreads
+  (COLLISION <-> MESSAGE / SILENCE), observational only;
+* :class:`Churn` — crash-stop failures and late wake-ups layered on the
+  wake-round machinery;
+* :class:`FaultPlan` — composition of any of the above, itself a model.
+
+Everything is deterministic given the run seed (stateless ``derive_seed``
+hashing, never stream consumption), serializes to plain JSON
+(:func:`fault_from_dict`, plus :func:`repro.sim.serialize.save_fault_plan`),
+and with ``faults=None`` the engine is bitwise-identical to a build without
+this package.  Fault activity is measurable through the :mod:`repro.obs`
+round-event stream (``RoundEvent.faults``).  See ``docs/faults.md``.
+"""
+
+from .models import (
+    CDNoise,
+    Churn,
+    FaultModel,
+    FaultPlan,
+    Jamming,
+    ScheduledJamming,
+    fault_from_dict,
+    plan_for,
+)
+
+__all__ = [
+    "CDNoise",
+    "Churn",
+    "FaultModel",
+    "FaultPlan",
+    "Jamming",
+    "ScheduledJamming",
+    "fault_from_dict",
+    "plan_for",
+]

@@ -1,0 +1,613 @@
+"""Composable fault models injected at the engine's channel boundary.
+
+The paper's algorithms assume a benign physical layer: perfect strong
+collision detection and a fixed activation set.  The surrounding literature
+(Jiang & Zheng's robust contention resolution, Biswas et al.'s noisy
+collision models) asks how the guarantees degrade when that assumption
+breaks.  This module supplies the three canonical break modes as small,
+composable objects the engine consults at its channel-resolution boundary:
+
+* :class:`Jamming` / :class:`ScheduledJamming` — an adversary with a
+  channel-round *budget* injects energy on chosen channels; a jammed channel
+  physically reads COLLISION for every participant, and a lone transmission
+  on the primary channel during a jammed round does **not** solve the
+  problem (the message was destroyed);
+* :class:`CDNoise` — the collision detector misreads: with a per-channel,
+  per-round probability the outcome every participant perceives is replaced
+  by a different one (COLLISION <-> MESSAGE / SILENCE).  Noise is purely
+  observational — the physical outcome, the trace, and solve detection are
+  untouched;
+* :class:`Churn` — crash-stop failures and late wake-ups, layered on the
+  engine's existing wake-round machinery (the same delay-drawing scheme
+  :func:`repro.sim.adversary.staggered` uses).
+
+Models compose through :class:`FaultPlan`: jammed sets union, perception
+chains, crash rounds take the earliest, wake delays add.  Every random
+choice derives from the run's master seed via :func:`repro.sim.rng.derive_seed`
+(stateless hashing, not stream consumption), so a faulted execution is
+exactly as reproducible as a fault-free one and independent of engine
+iteration order.
+
+With ``faults=None`` (the default everywhere) the engine's behavior is
+bitwise-identical to a build without this module — the differential suite
+(``tests/test_faults_differential.py``) enforces it, as does the golden
+trace corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..sim.errors import ConfigurationError
+from ..sim.feedback import Feedback
+from ..sim.rng import derive_seed
+
+#: Domain-separation tags so the fault streams never alias node streams.
+_JAM_TAG = 0x1A44ED
+_NOISE_TAG = 0x2B0153
+_CHURN_TAG = 0x3C1124
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+#: The three physical channel outcomes a detector can (mis)read.
+_OUTCOMES = (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION)
+
+
+class FaultModel:
+    """Base fault model: injects nothing; subclasses override the hooks.
+
+    The engine calls :meth:`bind` once per run, then consults the remaining
+    hooks.  Hooks must be pure functions of the bound run parameters and
+    their arguments (no hidden per-call state), which is what makes faulted
+    runs reproducible and iteration-order independent.
+    """
+
+    #: Serialization discriminator; each concrete model overrides it.
+    kind = "none"
+
+    def bind(self, *, n: int, num_channels: int, seed: int, max_rounds: int) -> None:
+        """Attach the model to one run's parameters (called by the engine)."""
+        self._n = n
+        self._num_channels = num_channels
+        self._run_seed = seed
+        self._max_rounds = max_rounds
+
+    def jammed_channels(self, round_index: int) -> FrozenSet[int]:
+        """Channels the adversary jams in ``round_index`` (may be empty)."""
+        return _EMPTY
+
+    def perceive(self, round_index: int, channel: int, outcome: Feedback) -> Feedback:
+        """The outcome participants on ``channel`` perceive this round."""
+        return outcome
+
+    def crash_round(self, node_id: int) -> Optional[int]:
+        """The round at whose start ``node_id`` crash-stops, or ``None``."""
+        return None
+
+    def wake_delay(self, node_id: int) -> int:
+        """Extra rounds added to ``node_id``'s wake round (>= 0)."""
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form; see :func:`fault_from_dict` for the inverse."""
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Jamming(FaultModel):
+    """Adversarial jamming under a total channel-round budget.
+
+    The adversary spends ``budget`` channel-rounds of jamming energy,
+    ``channels_per_round`` channels at a time, starting at ``start_round``
+    and continuing until the budget runs out.  Channel choice per round:
+
+    * ``target="primary"`` — always include channel 1 (the channel that must
+      carry the solving solo: the strongest attack per unit budget), filling
+      any remaining per-round quota with seeded random channels;
+    * ``target="random"`` — a seeded random subset each round.
+
+    The per-round channel draw derives from ``seed`` (or, when ``seed`` is
+    ``None``, from the run's master seed at bind time), so the schedule is a
+    deterministic function of the run and serializes losslessly.
+    """
+
+    kind = "jamming"
+
+    def __init__(
+        self,
+        budget: int,
+        *,
+        channels_per_round: int = 1,
+        target: str = "primary",
+        start_round: int = 1,
+        seed: Optional[int] = None,
+    ):
+        if budget < 0:
+            raise ConfigurationError(f"jamming budget must be >= 0, got {budget}")
+        if channels_per_round < 1:
+            raise ConfigurationError(
+                f"channels_per_round must be >= 1, got {channels_per_round}"
+            )
+        if target not in ("primary", "random"):
+            raise ConfigurationError(
+                f"target must be 'primary' or 'random', got {target!r}"
+            )
+        if start_round < 1:
+            raise ConfigurationError(f"start_round must be >= 1, got {start_round}")
+        self.budget = int(budget)
+        self.channels_per_round = int(channels_per_round)
+        self.target = target
+        self.start_round = int(start_round)
+        self.seed = seed
+        self._bound_seed: Optional[int] = seed
+
+    def bind(self, *, n: int, num_channels: int, seed: int, max_rounds: int) -> None:
+        """Fix the channel universe and (if unseeded) derive the jam stream."""
+        super().bind(n=n, num_channels=num_channels, seed=seed, max_rounds=max_rounds)
+        self._bound_seed = self.seed if self.seed is not None else derive_seed(seed, _JAM_TAG)
+
+    def _quota(self, round_index: int) -> int:
+        """Channel-rounds the adversary spends in ``round_index``."""
+        per_round = min(self.channels_per_round, self._num_channels)
+        full_rounds, remainder = divmod(self.budget, per_round)
+        offset = round_index - self.start_round
+        if offset < 0:
+            return 0
+        if offset < full_rounds:
+            return per_round
+        if offset == full_rounds:
+            return remainder
+        return 0
+
+    def jammed_channels(self, round_index: int) -> FrozenSet[int]:
+        """The seeded jam set for ``round_index`` (within budget, else empty)."""
+        quota = self._quota(round_index)
+        if quota == 0:
+            return _EMPTY
+        channels: List[int] = []
+        if self.target == "primary":
+            channels.append(1)
+            quota -= 1
+        if quota > 0:
+            rng = random.Random(derive_seed(self._bound_seed or 0, round_index, _JAM_TAG))
+            pool = [c for c in range(1, self._num_channels + 1) if c not in channels]
+            channels.extend(rng.sample(pool, min(quota, len(pool))))
+        return frozenset(channels)
+
+    def schedule(self, horizon: int) -> Dict[int, Tuple[int, ...]]:
+        """The full jam schedule over rounds ``1..horizon`` (bound model only)."""
+        plan: Dict[int, Tuple[int, ...]] = {}
+        for round_index in range(1, horizon + 1):
+            jammed = self.jammed_channels(round_index)
+            if jammed:
+                plan[round_index] = tuple(sorted(jammed))
+        return plan
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (parameters only; the schedule re-derives)."""
+        return {
+            "kind": self.kind,
+            "budget": self.budget,
+            "channels_per_round": self.channels_per_round,
+            "target": self.target,
+            "start_round": self.start_round,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Jamming":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            payload["budget"],
+            channels_per_round=payload["channels_per_round"],
+            target=payload["target"],
+            start_round=payload["start_round"],
+            seed=payload["seed"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Jamming(budget={self.budget}, per_round={self.channels_per_round}, "
+            f"target={self.target!r}, start={self.start_round})"
+        )
+
+
+class ScheduledJamming(FaultModel):
+    """Jamming from an explicit ``{round: channels}`` schedule.
+
+    The fully-specified twin of :class:`Jamming` for tests, replays, and
+    adversarial-search drivers that need exact control.  The budget is the
+    schedule's total channel-round count.
+    """
+
+    kind = "scheduled-jamming"
+
+    def __init__(self, schedule: Mapping[int, Iterable[int]]):
+        plan: Dict[int, FrozenSet[int]] = {}
+        for round_index, channels in schedule.items():
+            if round_index < 1:
+                raise ConfigurationError(
+                    f"schedule rounds must be >= 1, got {round_index}"
+                )
+            jam = frozenset(int(c) for c in channels)
+            if any(c < 1 for c in jam):
+                raise ConfigurationError(f"channels must be >= 1, got {sorted(jam)}")
+            if jam:
+                plan[int(round_index)] = jam
+        self._schedule = plan
+
+    @property
+    def budget(self) -> int:
+        """Total channel-rounds of jamming this schedule spends."""
+        return sum(len(channels) for channels in self._schedule.values())
+
+    def jammed_channels(self, round_index: int) -> FrozenSet[int]:
+        """The scheduled jam set for ``round_index``."""
+        return self._schedule.get(round_index, _EMPTY)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (schedule serialized with string round keys)."""
+        return {
+            "kind": self.kind,
+            "schedule": {
+                str(round_index): sorted(channels)
+                for round_index, channels in sorted(self._schedule.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScheduledJamming":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            {int(r): channels for r, channels in payload["schedule"].items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"ScheduledJamming(rounds={len(self._schedule)}, budget={self.budget})"
+
+
+class CDNoise(FaultModel):
+    """Probabilistic collision-detection misreads.
+
+    With probability ``flip_probability``, independently per (channel,
+    round), every participant on the channel perceives a uniformly chosen
+    *different* outcome than the physical one (COLLISION <-> MESSAGE /
+    SILENCE).  The misread is common to the channel — the model keeps the
+    paper's common-knowledge structure but makes it unreliable, which is
+    exactly the failure mode TwoActive's "transmit and check you are alone"
+    renaming step cannot distinguish from truth.
+
+    Draws are stateless: per-channel streams derived from ``seed`` (or the
+    run's master seed), so noise is deterministic given the run seed and
+    independent of engine iteration order.  A phantom MESSAGE carries no
+    payload (the detector misfired; no bits arrived).
+    """
+
+    kind = "cd-noise"
+
+    def __init__(self, flip_probability: float, *, seed: Optional[int] = None):
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ConfigurationError(
+                f"flip_probability must be in [0, 1], got {flip_probability}"
+            )
+        self.flip_probability = float(flip_probability)
+        self.seed = seed
+        self._bound_seed: Optional[int] = seed
+
+    def bind(self, *, n: int, num_channels: int, seed: int, max_rounds: int) -> None:
+        """Derive the noise stream root from the run seed when unseeded."""
+        super().bind(n=n, num_channels=num_channels, seed=seed, max_rounds=max_rounds)
+        self._bound_seed = (
+            self.seed if self.seed is not None else derive_seed(seed, _NOISE_TAG)
+        )
+
+    def perceive(self, round_index: int, channel: int, outcome: Feedback) -> Feedback:
+        """Possibly replace ``outcome`` with a misread, per-channel seeded."""
+        if self.flip_probability == 0.0:
+            return outcome
+        rng = random.Random(
+            derive_seed(self._bound_seed or 0, channel, round_index, _NOISE_TAG)
+        )
+        if rng.random() >= self.flip_probability:
+            return outcome
+        alternatives = [o for o in _OUTCOMES if o is not outcome]
+        return rng.choice(alternatives)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form."""
+        return {
+            "kind": self.kind,
+            "flip_probability": self.flip_probability,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CDNoise":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(payload["flip_probability"], seed=payload["seed"])
+
+    def __repr__(self) -> str:
+        return f"CDNoise(p={self.flip_probability})"
+
+
+class Churn(FaultModel):
+    """Node churn: crash-stop failures and late wake-ups.
+
+    Two layers, each with an explicit and a seeded form:
+
+    * **crash-stop** — a node listed in ``crash_rounds`` dies at the start
+      of that round (it takes no action in it and never returns); with
+      ``crash_fraction > 0`` every node not explicitly listed crashes with
+      that probability, at a seeded round uniform in ``crash_window``;
+    * **late wake-up** — ``wake_delays`` adds rounds to a node's wake round
+      (on top of any :func:`repro.sim.adversary.staggered` schedule: delays
+      stack); with ``late_fraction > 0`` unlisted nodes are delayed with
+      that probability by a seeded ``1..max_extra_delay`` rounds.
+
+    Per-node draws are stateless functions of (seed, node id), so churn is
+    deterministic given the run seed and identical across repeat runs.
+    """
+
+    kind = "churn"
+
+    def __init__(
+        self,
+        *,
+        crash_rounds: Optional[Mapping[int, int]] = None,
+        wake_delays: Optional[Mapping[int, int]] = None,
+        crash_fraction: float = 0.0,
+        crash_window: Tuple[int, int] = (2, 32),
+        late_fraction: float = 0.0,
+        max_extra_delay: int = 8,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise ConfigurationError(
+                f"crash_fraction must be in [0, 1], got {crash_fraction}"
+            )
+        if not 0.0 <= late_fraction <= 1.0:
+            raise ConfigurationError(
+                f"late_fraction must be in [0, 1], got {late_fraction}"
+            )
+        low, high = crash_window
+        if not 1 <= low <= high:
+            raise ConfigurationError(
+                f"crash_window must satisfy 1 <= low <= high, got {crash_window}"
+            )
+        if max_extra_delay < 0:
+            raise ConfigurationError(
+                f"max_extra_delay must be >= 0, got {max_extra_delay}"
+            )
+        for nid, round_index in (crash_rounds or {}).items():
+            if round_index < 1:
+                raise ConfigurationError(
+                    f"crash round must be >= 1, got {round_index} for node {nid}"
+                )
+        for nid, delay in (wake_delays or {}).items():
+            if delay < 0:
+                raise ConfigurationError(
+                    f"wake delay must be >= 0, got {delay} for node {nid}"
+                )
+        self.crash_rounds = dict(crash_rounds or {})
+        self.wake_delays = dict(wake_delays or {})
+        self.crash_fraction = float(crash_fraction)
+        self.crash_window = (int(low), int(high))
+        self.late_fraction = float(late_fraction)
+        self.max_extra_delay = int(max_extra_delay)
+        self.seed = seed
+        self._bound_seed: Optional[int] = seed
+
+    def bind(self, *, n: int, num_channels: int, seed: int, max_rounds: int) -> None:
+        """Derive the churn stream root from the run seed when unseeded."""
+        super().bind(n=n, num_channels=num_channels, seed=seed, max_rounds=max_rounds)
+        self._bound_seed = (
+            self.seed if self.seed is not None else derive_seed(seed, _CHURN_TAG)
+        )
+
+    def _node_rng(self, node_id: int, layer: int) -> random.Random:
+        return random.Random(
+            derive_seed(self._bound_seed or 0, node_id, layer, _CHURN_TAG)
+        )
+
+    def crash_round(self, node_id: int) -> Optional[int]:
+        """Explicit crash round, else a seeded draw with ``crash_fraction``."""
+        if node_id in self.crash_rounds:
+            return self.crash_rounds[node_id]
+        if self.crash_fraction <= 0.0:
+            return None
+        rng = self._node_rng(node_id, 0)
+        if rng.random() >= self.crash_fraction:
+            return None
+        low, high = self.crash_window
+        return rng.randint(low, high)
+
+    def wake_delay(self, node_id: int) -> int:
+        """Explicit wake delay, else a seeded draw with ``late_fraction``."""
+        if node_id in self.wake_delays:
+            return self.wake_delays[node_id]
+        if self.late_fraction <= 0.0 or self.max_extra_delay == 0:
+            return 0
+        rng = self._node_rng(node_id, 1)
+        if rng.random() >= self.late_fraction:
+            return 0
+        return rng.randint(1, self.max_extra_delay)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (node-id keys serialized as strings)."""
+        return {
+            "kind": self.kind,
+            "crash_rounds": {str(k): v for k, v in sorted(self.crash_rounds.items())},
+            "wake_delays": {str(k): v for k, v in sorted(self.wake_delays.items())},
+            "crash_fraction": self.crash_fraction,
+            "crash_window": list(self.crash_window),
+            "late_fraction": self.late_fraction,
+            "max_extra_delay": self.max_extra_delay,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Churn":
+        """Rebuild from :meth:`to_dict` output."""
+        low, high = payload["crash_window"]
+        return cls(
+            crash_rounds={int(k): v for k, v in payload["crash_rounds"].items()},
+            wake_delays={int(k): v for k, v in payload["wake_delays"].items()},
+            crash_fraction=payload["crash_fraction"],
+            crash_window=(low, high),
+            late_fraction=payload["late_fraction"],
+            max_extra_delay=payload["max_extra_delay"],
+            seed=payload["seed"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Churn(crash_fraction={self.crash_fraction}, "
+            f"late_fraction={self.late_fraction}, "
+            f"explicit={len(self.crash_rounds) + len(self.wake_delays)})"
+        )
+
+
+class FaultPlan(FaultModel):
+    """A composition of fault models, itself a fault model.
+
+    Combination semantics: jammed channel sets union; perception chains in
+    model order (each model sees the previous model's output); crash rounds
+    take the earliest; wake delays add.  An empty plan injects nothing —
+    running with ``FaultPlan()`` is bitwise-identical to ``faults=None``
+    (the differential suite proves it).
+
+    At bind time each child model with no explicit seed receives a distinct
+    sub-seed derived from the run seed and its position, so two identical
+    unseeded models in one plan do not alias.
+    """
+
+    kind = "plan"
+
+    def __init__(self, models: Iterable[FaultModel] = ()):
+        self.models: Tuple[FaultModel, ...] = tuple(models)
+        for model in self.models:
+            if not isinstance(model, FaultModel):
+                raise ConfigurationError(
+                    f"fault plans compose FaultModel instances, got {type(model).__name__}"
+                )
+
+    @classmethod
+    def of(
+        cls, faults: Union[None, FaultModel, Iterable[FaultModel]]
+    ) -> Optional[FaultModel]:
+        """Normalize ``None`` / a model / an iterable of models to a plan."""
+        if faults is None:
+            return None
+        if isinstance(faults, FaultModel):
+            return faults
+        return cls(faults)
+
+    def bind(self, *, n: int, num_channels: int, seed: int, max_rounds: int) -> None:
+        """Bind every child with a position-derived sub-seed."""
+        super().bind(n=n, num_channels=num_channels, seed=seed, max_rounds=max_rounds)
+        for index, model in enumerate(self.models):
+            model.bind(
+                n=n,
+                num_channels=num_channels,
+                seed=derive_seed(seed, index),
+                max_rounds=max_rounds,
+            )
+
+    def jammed_channels(self, round_index: int) -> FrozenSet[int]:
+        """Union of every model's jam set for the round."""
+        jammed = _EMPTY
+        for model in self.models:
+            extra = model.jammed_channels(round_index)
+            if extra:
+                jammed = jammed | extra
+        return jammed
+
+    def perceive(self, round_index: int, channel: int, outcome: Feedback) -> Feedback:
+        """Chain every model's perception filter in order."""
+        for model in self.models:
+            outcome = model.perceive(round_index, channel, outcome)
+        return outcome
+
+    def crash_round(self, node_id: int) -> Optional[int]:
+        """The earliest crash round any model schedules for the node."""
+        rounds = [
+            r for r in (m.crash_round(node_id) for m in self.models) if r is not None
+        ]
+        return min(rounds) if rounds else None
+
+    def wake_delay(self, node_id: int) -> int:
+        """Sum of every model's wake delay for the node."""
+        return sum(model.wake_delay(node_id) for model in self.models)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: the child models in order."""
+        return {"kind": self.kind, "models": [m.to_dict() for m in self.models]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(fault_from_dict(entry) for entry in payload["models"])
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.models)!r})"
+
+
+#: Serialization registry: ``kind`` discriminator -> model class.
+_KINDS: Dict[str, type] = {
+    FaultModel.kind: FaultModel,
+    Jamming.kind: Jamming,
+    ScheduledJamming.kind: ScheduledJamming,
+    CDNoise.kind: CDNoise,
+    Churn.kind: Churn,
+    FaultPlan.kind: FaultPlan,
+}
+
+
+def fault_from_dict(payload: Dict[str, Any]) -> FaultModel:
+    """Rebuild any fault model (or plan) from its ``to_dict`` form."""
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise ConfigurationError(f"unknown fault model kind {kind!r}")
+    return _KINDS[kind].from_dict(payload)
+
+
+def plan_for(model: str, intensity: float, *, seed: Optional[int] = None) -> FaultModel:
+    """The standard intensity -> fault-model mapping used by sweeps.
+
+    One scalar knob per model keeps fault sweeps comparable across models
+    and protocols (the ``repro faults`` CLI and experiment e20 both use it):
+
+    * ``"none"`` — the empty plan at any intensity;
+    * ``"jamming"`` — primary-channel jamming with a budget of
+      ``round(96 * intensity)`` channel-rounds from round 1;
+    * ``"cd-noise"`` — per-channel misread probability ``intensity``;
+    * ``"churn"`` — crash fraction ``intensity`` (crash window rounds 2-24)
+      plus late wake-ups for an ``intensity`` fraction (up to 8 rounds).
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ConfigurationError(f"intensity must be in [0, 1], got {intensity}")
+    if model == "none" or intensity == 0.0:
+        return FaultPlan()
+    if model == "jamming":
+        return Jamming(int(round(96 * intensity)), target="primary", seed=seed)
+    if model == "cd-noise":
+        return CDNoise(intensity, seed=seed)
+    if model == "churn":
+        return Churn(
+            crash_fraction=intensity,
+            crash_window=(2, 24),
+            late_fraction=intensity,
+            max_extra_delay=8,
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown fault model {model!r}; known: none, jamming, cd-noise, churn"
+    )

@@ -65,6 +65,13 @@ class RoundEvent:
             for every channel with at least one participant.
         wall_time_s: wall-clock duration of the round, including protocol
             coroutine time (measured only when instrumentation is on).
+        faults: fault activity this round, present only under fault
+            injection (see :mod:`repro.faults`): ``"jammed"`` — channels
+            the adversary jammed, ``"misread"`` — busy channels whose
+            perceived outcome differed from the physical one, ``"crashed"``
+            — node ids that crash-stopped at the start of the round.  Empty
+            (and absent from :meth:`to_dict`) in fault-free runs, so the
+            event stream is unchanged for existing consumers.
     """
 
     round_index: int
@@ -73,6 +80,7 @@ class RoundEvent:
     listeners: Dict[int, int]
     outcomes: Dict[int, str]
     wall_time_s: float
+    faults: Dict[str, tuple] = field(default_factory=dict)
 
     @property
     def total_transmitters(self) -> int:
@@ -92,8 +100,12 @@ class RoundEvent:
         return counts
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready form (the ``repro profile`` JSONL round record body)."""
-        return {
+        """JSON-ready form (the ``repro profile`` JSONL round record body).
+
+        The ``faults`` key appears only when fault injection touched the
+        round, keeping fault-free JSONL byte-identical to earlier versions.
+        """
+        record = {
             "round": self.round_index,
             "active": self.active_count,
             "transmitters": self.total_transmitters,
@@ -108,6 +120,11 @@ class RoundEvent:
                 for channel, outcome in sorted(self.outcomes.items())
             },
         }
+        if self.faults:
+            record["faults"] = {
+                kind: sorted(values) for kind, values in sorted(self.faults.items())
+            }
+        return record
 
 
 class NullSink:
@@ -157,7 +174,10 @@ class RegistrySink:
     * histograms ``transmitters_per_round``, ``active_per_round``,
       ``rounds_per_run`` (count buckets) and ``round_wall_time_s``,
       ``run_wall_time_s`` (time buckets);
-    * gauge ``peak_active``.
+    * gauge ``peak_active``;
+    * under fault injection only (created lazily so fault-free registries
+      are unchanged): counters ``fault_jammed_channel_rounds``,
+      ``fault_misread_channel_rounds``, ``fault_crashes``.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -213,6 +233,16 @@ class RegistrySink:
             channel_part[channel].value += tx + rx
         self._transmissions.value += total_tx
         self._listens.value += total_rx
+        if event.faults:
+            registry = self.registry
+            for kind, name in (
+                ("jammed", "fault_jammed_channel_rounds"),
+                ("misread", "fault_misread_channel_rounds"),
+                ("crashed", "fault_crashes"),
+            ):
+                touched = event.faults.get(kind)
+                if touched:
+                    registry.counter(name).value += len(touched)
         self._tx_hist.observe(total_tx)
         self._active_hist.observe(event.active_count)
         self._round_time_hist.observe(event.wall_time_s)

@@ -105,13 +105,16 @@ def run_profiled(
     max_rounds: Optional[int] = None,
     stop_on_solve: bool = True,
     registry: Optional[MetricsRegistry] = None,
+    faults: Optional[Any] = None,
 ) -> ProfiledRun:
     """Run ``protocol`` once with full instrumentation attached.
 
     Same contract as :func:`repro.protocols.solve`, plus: the returned
     :class:`ProfiledRun` carries the raw event stream and the aggregated
     metrics registry (the caller's ``registry`` if given, so sweeps can
-    accumulate across trials).
+    accumulate across trials).  With ``faults=`` (see :mod:`repro.faults`)
+    the round records carry per-round fault activity and the registry gains
+    the ``fault_*`` counters.
     """
     from ..protocols.runner import solve
 
@@ -126,6 +129,7 @@ def run_profiled(
         max_rounds=max_rounds,
         stop_on_solve=stop_on_solve,
         instrument=TeeSink([log, sink]),
+        faults=faults,
     )
     return ProfiledRun(
         result=result,
@@ -185,7 +189,9 @@ def validate_record(record: Dict[str, Any]) -> None:
     Hypothesis suite proves for live streams: a channel's outcome is
     ``collision`` iff it had >= 2 transmitters, ``message`` iff exactly 1,
     ``silence`` iff 0; and the record's transmitter/listener totals equal
-    the sums over its channels.
+    the sums over its channels.  The one sanctioned exception: a channel
+    listed under ``faults.jammed`` (fault injection, :mod:`repro.faults`)
+    reads ``collision`` regardless of its transmitter count.
     """
     _require(isinstance(record, dict), "record is not an object")
     _require(record.get("schema") == PROFILE_SCHEMA_VERSION, "bad schema version")
@@ -202,6 +208,19 @@ def validate_record(record: Dict[str, Any]) -> None:
             and record["wall_time_s"] >= 0,
             "wall_time_s must be a non-negative number",
         )
+        faults = record.get("faults", {})
+        _require(isinstance(faults, dict), "faults must be an object")
+        for kind, touched in faults.items():
+            _require(
+                kind in ("jammed", "misread", "crashed"),
+                f"unknown fault kind {kind!r}",
+            )
+            _require(
+                isinstance(touched, list)
+                and all(isinstance(v, int) and v >= 1 for v in touched),
+                f"faults.{kind} must be a list of positive integers",
+            )
+        jammed = set(faults.get("jammed", ()))
         channels = record.get("channels")
         _require(isinstance(channels, dict), "channels must be an object")
         total_tx = total_rx = 0
@@ -217,11 +236,17 @@ def validate_record(record: Dict[str, Any]) -> None:
             )
             _require(outcome in _OUTCOMES, f"unknown outcome {outcome!r}")
             _require(tx + rx >= 1, "busy channels must have a participant")
-            expected = COLLISION if tx >= 2 else MESSAGE if tx == 1 else SILENCE
-            _require(
-                outcome == expected,
-                f"outcome {outcome!r} inconsistent with {tx} transmitter(s)",
-            )
+            if int(channel) in jammed:
+                _require(
+                    outcome == COLLISION,
+                    f"jammed channel read {outcome!r}, expected collision",
+                )
+            else:
+                expected = COLLISION if tx >= 2 else MESSAGE if tx == 1 else SILENCE
+                _require(
+                    outcome == expected,
+                    f"outcome {outcome!r} inconsistent with {tx} transmitter(s)",
+                )
             total_tx += tx
             total_rx += rx
         _require(record["transmitters"] == total_tx, "transmitter total mismatch")

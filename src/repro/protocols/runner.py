@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..obs.metrics import MetricsSink
 from ..sim.adversary import Activation
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
+    from ..faults.models import FaultModel
 from ..sim.cd_modes import CollisionDetection
 from ..sim.engine import Engine, ExecutionResult
 from ..sim.network import Network
@@ -24,6 +27,7 @@ def solve(
     stop_on_solve: bool = True,
     collision_detection: Optional[CollisionDetection] = None,
     instrument: Optional[MetricsSink] = None,
+    faults: Optional["FaultModel"] = None,
 ) -> ExecutionResult:
     """Run ``protocol`` on one instance and return the execution result.
 
@@ -43,6 +47,9 @@ def solve(
         instrument: optional observability sink receiving round-level
             events; see :mod:`repro.obs`.  Observer-effect-free and off by
             default.
+        faults: optional fault model (jamming / CD noise / churn) injected
+            at the channel boundary; see :mod:`repro.faults`.  ``None``
+            (default) leaves behavior bitwise-identical.
     """
     network = Network(
         n=n,
@@ -59,4 +66,5 @@ def solve(
         max_rounds=max_rounds,
         stop_on_solve=stop_on_solve,
         instrument=instrument,
+        faults=faults,
     )

@@ -14,7 +14,7 @@ are just dataclass instances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from .analysis.stats import Summary, summarize

@@ -15,6 +15,7 @@ from .adversary import (
     activate_all,
     activate_pair,
     activate_random,
+    random_delays,
     staggered,
 )
 from .context import MarkRecord, NodeContext
@@ -35,9 +36,13 @@ from .feedback import Feedback, Observation, resolve
 from .network import PRIMARY_CHANNEL, Network
 from .rng import derive_seed, node_rng, seed_sequence
 from .serialize import (
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    load_fault_plan,
     load_trace,
     result_to_dict,
     result_to_json,
+    save_fault_plan,
     save_result,
     trace_from_dict,
 )
@@ -71,14 +76,19 @@ __all__ = [
     "activate_random",
     "default_round_budget",
     "derive_seed",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
     "idle",
     "listen",
+    "load_fault_plan",
     "load_trace",
     "result_to_dict",
     "result_to_json",
+    "save_fault_plan",
     "save_result",
     "trace_from_dict",
     "node_rng",
+    "random_delays",
     "resolve",
     "run_execution",
     "seed_sequence",

@@ -5,6 +5,12 @@ activated.  These helpers produce activation patterns for experiments:
 uniform random subsets, worst-case-flavored subsets (adjacent ids, which
 stress the channel-tree algorithms since the nodes' paths share long
 prefixes), and staggered wake-up schedules for the Section 3 transform.
+
+This module covers the *activation* adversary only.  Channel-level
+adversaries — budgeted jamming, collision-detection noise — and crash-stop
+churn live in :mod:`repro.faults` and are injected through the engine's
+``faults=`` keyword; churn wake delays layer additively on top of any
+:func:`staggered` schedule produced here.
 """
 
 from __future__ import annotations
@@ -72,6 +78,25 @@ def activate_adjacent(n: int, count: int, *, start: int = 1) -> Activation:
     return Activation(active_ids=list(range(start, start + count)))
 
 
+#: Domain-separation salt for staggered wake-up delay draws.
+_STAGGER_SALT = 0x57A6
+
+
+def random_delays(active_ids: List[int], *, max_delay: int, seed: int = 0) -> Dict[int, int]:
+    """Seeded per-node wake delays in ``[0, max_delay]``, in id order.
+
+    This is the draw :func:`staggered` uses: one stream seeded from
+    ``(seed, max_delay)``, consumed sequentially over ``active_ids`` — so
+    the same ids, seed, and bound always reproduce the same schedule.
+    Exposed separately so tests and fault-model tooling can inspect or
+    replay a schedule without building an :class:`Activation`.
+    """
+    if max_delay < 0:
+        raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+    rng = random.Random(derive_seed(seed, max_delay, _STAGGER_SALT))
+    return {nid: rng.randint(0, max_delay) for nid in active_ids}
+
+
 def staggered(
     base: Activation,
     *,
@@ -84,21 +109,21 @@ def staggered(
     Args:
         base: the activation whose membership to keep.
         max_delay: largest extra delay (0 reproduces simultaneous start).
-        seed: drives the random delays when ``delays`` is not given.
+        seed: drives the random delays when ``delays`` is not given
+            (see :func:`random_delays` for the exact scheme).
         delays: explicit per-node delays (0-based) overriding randomness.
     """
     if max_delay < 0:
         raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
-    rng = random.Random(derive_seed(seed, max_delay, 0x57A6))
-    wake: Dict[int, int] = {}
-    for nid in base.active_ids:
-        if delays is not None:
+    if delays is not None:
+        for nid in base.active_ids:
             delay = delays.get(nid, 0)
             if delay < 0 or delay > max_delay:
                 raise ConfigurationError(
                     f"delay {delay} for node {nid} outside [0, {max_delay}]"
                 )
-        else:
-            delay = rng.randint(0, max_delay)
-        wake[nid] = 1 + delay
+        chosen = {nid: delays.get(nid, 0) for nid in base.active_ids}
+    else:
+        chosen = random_delays(base.active_ids, max_delay=max_delay, seed=seed)
+    wake = {nid: 1 + chosen[nid] for nid in base.active_ids}
     return Activation(active_ids=list(base.active_ids), wake_rounds=wake)

@@ -24,11 +24,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
+from ..mathutil import ceil_log2
 from ..obs.events import RoundEvent, RunInfo, RunSummary
 from ..obs.metrics import MetricsSink
 from .actions import Action
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
+    from ..faults.models import FaultModel
 from .cd_modes import CollisionDetection, observed_feedback
 from .context import MarkCollector, NodeContext
 from .errors import ConfigurationError, ProtocolViolation, RoundLimitExceeded
@@ -47,8 +62,11 @@ def default_round_budget(n: int) -> int:
     The slowest protocol we ship is the no-CD Decay baseline at
     ``O(log^2 n)`` rounds, so a budget cubic in ``log n`` (plus a constant
     floor) never truncates a healthy execution while still catching livelock.
+
+    The logarithm is ``ceil(log2 n)`` via :func:`repro.mathutil.ceil_log2`
+    (``n.bit_length()`` overshoots by one exactly at powers of two).
     """
-    log_n = max(1, n.bit_length())
+    log_n = max(1, ceil_log2(max(1, n)))
     return 4096 + 64 * log_n * log_n
 
 
@@ -108,6 +126,7 @@ class Engine:
         max_rounds: Optional[int] = None,
         stop_on_solve: bool = True,
         instrument: Optional[MetricsSink] = None,
+        faults: Optional["FaultModel"] = None,
     ) -> ExecutionResult:
         """Execute one instance of the protocol on this network.
 
@@ -132,6 +151,16 @@ class Engine:
                 differential test suite enforces this bit for bit).  Sinks
                 are only notified of runs that end normally; a raised
                 :class:`RoundLimitExceeded` skips ``on_run_end``.
+            faults: optional fault model (see :mod:`repro.faults`) injected
+                at the channel-resolution boundary.  Jammed channels
+                physically read COLLISION and a jammed primary channel
+                cannot host the solving solo; collision-detection noise
+                changes only what participants *perceive* (ground truth,
+                trace, and solve detection are untouched); churn crashes
+                nodes at the start of their crash round and delays wake
+                rounds additively.  ``None`` (the default) is bitwise-
+                identical to pre-fault-injection behavior — the
+                differential suite enforces it.
 
         Returns:
             An :class:`ExecutionResult`.
@@ -145,6 +174,33 @@ class Engine:
         budget = max_rounds if max_rounds is not None else default_round_budget(self.network.n)
         if budget < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+
+        # Fault schedules are resolved up front: wake delays shift the wake
+        # map (stacking with any staggered schedule), crash rounds split
+        # into "never participates" (crash <= wake) and a per-round agenda.
+        crash_by_round: Dict[int, List[int]] = {}
+        doomed: FrozenSet[int] = frozenset()
+        if faults is not None:
+            faults.bind(
+                n=self.network.n,
+                num_channels=self.network.num_channels,
+                seed=self.seed,
+                max_rounds=budget,
+            )
+            for nid in ids:
+                delay = faults.wake_delay(nid)
+                if delay:
+                    wake[nid] += delay
+            dead_on_arrival = []
+            for nid in ids:
+                crash = faults.crash_round(nid)
+                if crash is None:
+                    continue
+                if crash <= wake[nid]:
+                    dead_on_arrival.append(nid)
+                else:
+                    crash_by_round.setdefault(crash, []).append(nid)
+            doomed = frozenset(dead_on_arrival)
 
         marks = MarkCollector()
         trace = ExecutionTrace()
@@ -179,10 +235,26 @@ class Engine:
             current_round_holder[0] = round_index
             marks.set_round(round_index)
 
+            # Crash-stop churn: a node crashing this round takes no action
+            # in it and never returns (its coroutine is closed, not resumed).
+            crashed_now: Tuple[int, ...] = ()
+            if crash_by_round:
+                crashed: List[int] = []
+                for nid in crash_by_round.pop(round_index, ()):
+                    coroutine = coroutines.pop(nid, None)
+                    if coroutine is None:
+                        continue  # terminated on its own before the crash
+                    coroutine.close()
+                    del pending[nid]
+                    crashed.append(nid)
+                crashed_now = tuple(crashed)
+
             # Wake nodes whose time has come and prime their first action.
             while unwoken_cursor < len(unwoken) and wake[unwoken[unwoken_cursor]] <= round_index:
                 nid = unwoken[unwoken_cursor]
                 unwoken_cursor += 1
+                if nid in doomed:
+                    continue  # crashed at or before its wake round
                 ctx = NodeContext(
                     node_id=nid,
                     n=self.network.n,
@@ -225,8 +297,18 @@ class Engine:
             for channel in set(transmitters) | set(receivers):
                 outcomes[channel] = resolve(len(transmitters.get(channel, ())))
 
+            # Jamming is physical: a jammed busy channel reads COLLISION for
+            # everyone (the trace records it, payloads are destroyed), and a
+            # lone primary transmission during a jammed round does not solve.
+            jammed_now: FrozenSet[int] = frozenset()
+            if faults is not None:
+                jammed_now = faults.jammed_channels(round_index)
+                for channel in jammed_now:
+                    if channel in outcomes:
+                        outcomes[channel] = Feedback.COLLISION
+
             primary_count = len(transmitters.get(PRIMARY_CHANNEL, ()))
-            if primary_count == 1 and not solved:
+            if primary_count == 1 and not solved and PRIMARY_CHANNEL not in jammed_now:
                 solved = True
                 solved_round = round_index
                 winner = transmitters[PRIMARY_CHANNEL][0]
@@ -253,13 +335,29 @@ class Engine:
                     )
                 )
 
+            # Collision-detection noise is observational: it changes what
+            # every participant on a channel perceives (one shared misread
+            # per channel-round), never the physical outcome or the trace.
+            # A phantom MESSAGE carries no payload — no bits arrived.
+            perceived = outcomes
+            misread_now: Tuple[int, ...] = ()
+            if faults is not None:
+                perceived = {}
+                misread: List[int] = []
+                for channel, outcome in outcomes.items():
+                    felt = faults.perceive(round_index, channel, outcome)
+                    perceived[channel] = felt
+                    if felt is not outcome:
+                        misread.append(channel)
+                misread_now = tuple(misread)
+
             # Deliver observations and collect next-round actions.
             finished: List[int] = []
             for nid, action in pending.items():
                 if action.participates:
                     channel = action.channel
                     assert channel is not None
-                    outcome = outcomes[channel]
+                    outcome = perceived[channel]
                     seen = observed_feedback(
                         self.network.collision_detection, outcome, action.transmit
                     )
@@ -268,6 +366,7 @@ class Engine:
                         message=(
                             lone_payload.get(channel)
                             if seen is Feedback.MESSAGE
+                            and outcomes[channel] is Feedback.MESSAGE
                             else None
                         ),
                         channel=channel,
@@ -291,6 +390,13 @@ class Engine:
                 del pending[nid]
 
             if instrument is not None:
+                fault_info: Dict[str, Tuple[int, ...]] = {}
+                if jammed_now:
+                    fault_info["jammed"] = tuple(sorted(jammed_now))
+                if misread_now:
+                    fault_info["misread"] = misread_now
+                if crashed_now:
+                    fault_info["crashed"] = crashed_now
                 instrument.on_round(
                     RoundEvent(
                         round_index=round_index,
@@ -308,6 +414,7 @@ class Engine:
                             for channel, outcome in outcomes.items()
                         },
                         wall_time_s=time.perf_counter() - round_started_at,
+                        faults=fault_info,
                     )
                 )
 
@@ -400,6 +507,7 @@ def run_execution(
     stop_on_solve: bool = True,
     collision_detection: Optional[CollisionDetection] = None,
     instrument: Optional[MetricsSink] = None,
+    faults: Optional["FaultModel"] = None,
 ) -> ExecutionResult:
     """One-call convenience wrapper around :class:`Engine`.
 
@@ -419,4 +527,5 @@ def run_execution(
         max_rounds=max_rounds,
         stop_on_solve=stop_on_solve,
         instrument=instrument,
+        faults=faults,
     )

@@ -125,3 +125,35 @@ def load_trace(path: str) -> ExecutionTrace:
     """Read a serialized execution back as an :class:`ExecutionTrace`."""
     with open(path, "r", encoding="utf-8") as handle:
         return trace_from_dict(json.load(handle))
+
+
+def fault_plan_to_dict(model: Any) -> Dict[str, Any]:
+    """Convert a fault model / plan (see :mod:`repro.faults`) to plain JSON.
+
+    The format is the model's own ``to_dict`` under the same versioned
+    envelope traces use, so a saved adversary schedule is auditable and
+    replayable next to the trace it produced.
+    """
+    return {"format_version": FORMAT_VERSION, "faults": model.to_dict()}
+
+
+def fault_plan_from_dict(payload: Dict[str, Any]) -> Any:
+    """Rebuild a fault model / plan from :func:`fault_plan_to_dict` output."""
+    from ..faults.models import fault_from_dict  # deferred: keeps sim import-light
+
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported fault plan format version: {version!r}")
+    return fault_from_dict(payload["faults"])
+
+
+def save_fault_plan(model: Any, path: str) -> None:
+    """Write a fault model / plan to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fault_plan_to_dict(model), handle, indent=2, sort_keys=True)
+
+
+def load_fault_plan(path: str) -> Any:
+    """Read a fault model / plan saved by :func:`save_fault_plan`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return fault_plan_from_dict(json.load(handle))

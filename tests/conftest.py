@@ -1,0 +1,21 @@
+"""Shared test configuration: Hypothesis profiles.
+
+Two profiles:
+
+* ``default`` — Hypothesis's stock settings; what every local run and the
+  per-push CI job use.
+* ``nightly`` — many more examples with no deadline, for the scheduled
+  deep fuzz of the property suites (``.github/workflows/nightly.yml``
+  runs pytest with ``--hypothesis-profile=nightly``).
+
+Select with ``pytest --hypothesis-profile=<name>``; the plugin shipped with
+Hypothesis picks the flag up automatically.
+"""
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+else:
+    settings.register_profile("default", settings())
+    settings.register_profile("nightly", max_examples=600, deadline=None)

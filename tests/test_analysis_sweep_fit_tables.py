@@ -1,7 +1,5 @@
 """Tests for sweeps, fitting, predictors, and table rendering."""
 
-import math
-
 import pytest
 
 from repro.analysis import (

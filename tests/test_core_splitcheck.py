@@ -12,7 +12,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.splitcheck import split_check, split_check_rounds_worst_case
 from repro.experiments.splitcheck_exact import pure_split_check
-from repro.sim import Activation, run_execution
+from repro.sim import run_execution
 from repro.tree import ChannelTree
 
 

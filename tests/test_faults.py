@@ -1,0 +1,407 @@
+"""Unit tests for the fault models (``repro.faults``).
+
+Covers parameter validation, the jamming budget arithmetic, determinism of
+every seeded draw, composition semantics of ``FaultPlan``, the standard
+``plan_for`` intensity mapping, serialization round-trips, and the engine's
+fault semantics (jam blocks solve; crash removes nodes; noise is
+observational only).  The ``faults=None`` identity has its own differential
+suite in ``test_faults_differential.py``.
+"""
+
+import pytest
+
+from repro import Decay, FNWGeneral, TwoActive, activate_pair, activate_random, solve
+from repro.faults import (
+    CDNoise,
+    Churn,
+    FaultModel,
+    FaultPlan,
+    Jamming,
+    ScheduledJamming,
+    fault_from_dict,
+    plan_for,
+)
+from repro.obs import EventLog
+from repro.sim import (
+    ConfigurationError,
+    Feedback,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    load_fault_plan,
+    save_fault_plan,
+)
+
+
+def bound(model, *, n=64, num_channels=8, seed=7, max_rounds=512):
+    """Bind a model to a small run, the way the engine does."""
+    model.bind(n=n, num_channels=num_channels, seed=seed, max_rounds=max_rounds)
+    return model
+
+
+class TestValidation:
+    def test_jamming_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Jamming(-1)
+        with pytest.raises(ConfigurationError):
+            Jamming(4, channels_per_round=0)
+        with pytest.raises(ConfigurationError):
+            Jamming(4, target="everything")
+        with pytest.raises(ConfigurationError):
+            Jamming(4, start_round=0)
+
+    def test_scheduled_jamming_rejects_bad_schedule(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledJamming({0: [1]})
+        with pytest.raises(ConfigurationError):
+            ScheduledJamming({3: [0]})
+
+    def test_cd_noise_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            CDNoise(-0.1)
+        with pytest.raises(ConfigurationError):
+            CDNoise(1.5)
+
+    def test_churn_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Churn(crash_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            Churn(late_fraction=-0.5)
+        with pytest.raises(ConfigurationError):
+            Churn(crash_window=(5, 2))
+        with pytest.raises(ConfigurationError):
+            Churn(crash_window=(0, 2))
+        with pytest.raises(ConfigurationError):
+            Churn(max_extra_delay=-1)
+        with pytest.raises(ConfigurationError):
+            Churn(crash_rounds={3: 0})
+        with pytest.raises(ConfigurationError):
+            Churn(wake_delays={3: -1})
+
+    def test_plan_rejects_non_models(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(["jamming"])
+
+    def test_plan_for_rejects_unknown_model_and_intensity(self):
+        with pytest.raises(ConfigurationError):
+            plan_for("meteor-strike", 0.5)
+        with pytest.raises(ConfigurationError):
+            plan_for("jamming", 1.5)
+
+
+class TestJammingBudget:
+    def test_budget_is_spent_exactly(self):
+        model = bound(Jamming(10, channels_per_round=3, target="random", seed=5))
+        spent = sum(len(model.jammed_channels(r)) for r in range(1, 100))
+        assert spent == 10
+
+    def test_primary_target_always_includes_channel_one(self):
+        model = bound(Jamming(9, channels_per_round=3, target="primary", seed=5))
+        for round_index in range(1, 4):
+            jammed = model.jammed_channels(round_index)
+            assert 1 in jammed
+            assert len(jammed) == 3
+        assert model.jammed_channels(4) == frozenset()
+
+    def test_start_round_delays_the_attack(self):
+        model = bound(Jamming(2, start_round=5))
+        assert model.jammed_channels(4) == frozenset()
+        assert model.jammed_channels(5) == frozenset({1})
+        assert model.jammed_channels(6) == frozenset({1})
+        assert model.jammed_channels(7) == frozenset()
+
+    def test_remainder_round_spends_the_leftover(self):
+        # budget 7 at 3/round: two full rounds, then a remainder round of 1.
+        model = bound(Jamming(7, channels_per_round=3, seed=2))
+        assert len(model.jammed_channels(1)) == 3
+        assert len(model.jammed_channels(2)) == 3
+        assert len(model.jammed_channels(3)) == 1
+        assert model.jammed_channels(4) == frozenset()
+
+    def test_per_round_quota_capped_at_channel_count(self):
+        model = bound(Jamming(8, channels_per_round=99, seed=1), num_channels=4)
+        assert len(model.jammed_channels(1)) == 4
+        assert len(model.jammed_channels(2)) == 4
+        assert model.jammed_channels(3) == frozenset()
+
+    def test_schedule_matches_per_round_queries(self):
+        model = bound(Jamming(6, channels_per_round=2, target="random", seed=9))
+        plan = model.schedule(20)
+        assert sum(len(chs) for chs in plan.values()) == 6
+        for round_index, channels in plan.items():
+            assert model.jammed_channels(round_index) == frozenset(channels)
+
+    def test_scheduled_jamming_budget_property(self):
+        model = ScheduledJamming({1: [1, 2], 4: [3]})
+        assert model.budget == 3
+        assert model.jammed_channels(1) == frozenset({1, 2})
+        assert model.jammed_channels(2) == frozenset()
+        assert model.jammed_channels(4) == frozenset({3})
+
+
+class TestDeterminism:
+    def test_jamming_schedule_deterministic_in_run_seed(self):
+        a = bound(Jamming(12, channels_per_round=4, target="random"), seed=3)
+        b = bound(Jamming(12, channels_per_round=4, target="random"), seed=3)
+        c = bound(Jamming(12, channels_per_round=4, target="random"), seed=4)
+        assert a.schedule(10) == b.schedule(10)
+        assert a.schedule(10) != c.schedule(10)
+
+    def test_explicit_seed_overrides_run_seed(self):
+        a = bound(Jamming(12, channels_per_round=4, target="random", seed=5), seed=3)
+        b = bound(Jamming(12, channels_per_round=4, target="random", seed=5), seed=4)
+        assert a.schedule(10) == b.schedule(10)
+
+    def test_cd_noise_is_a_pure_function_of_its_arguments(self):
+        model = bound(CDNoise(0.5))
+        first = [
+            model.perceive(r, c, Feedback.SILENCE)
+            for r in range(1, 30)
+            for c in range(1, 9)
+        ]
+        second = [
+            model.perceive(r, c, Feedback.SILENCE)
+            for r in range(1, 30)
+            for c in range(1, 9)
+        ]
+        assert first == second
+        assert any(f is not Feedback.SILENCE for f in first)  # p=0.5 flips some
+
+    def test_cd_noise_misread_differs_from_truth(self):
+        model = bound(CDNoise(1.0))
+        for outcome in (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION):
+            for r in range(1, 20):
+                assert model.perceive(r, 1, outcome) is not outcome
+
+    def test_churn_draws_stable_per_node(self):
+        model = bound(Churn(crash_fraction=0.5, late_fraction=0.5))
+        crashes = {nid: model.crash_round(nid) for nid in range(1, 40)}
+        delays = {nid: model.wake_delay(nid) for nid in range(1, 40)}
+        assert crashes == {nid: model.crash_round(nid) for nid in range(1, 40)}
+        assert delays == {nid: model.wake_delay(nid) for nid in range(1, 40)}
+        assert any(r is not None for r in crashes.values())
+        assert any(r is None for r in crashes.values())
+        low, high = model.crash_window
+        assert all(low <= r <= high for r in crashes.values() if r is not None)
+        assert all(0 <= d <= model.max_extra_delay for d in delays.values())
+
+    def test_churn_explicit_entries_win_over_draws(self):
+        model = bound(
+            Churn(
+                crash_rounds={7: 3},
+                wake_delays={9: 5},
+                crash_fraction=1.0,
+                late_fraction=1.0,
+            )
+        )
+        assert model.crash_round(7) == 3
+        assert model.wake_delay(9) == 5
+
+
+class TestComposition:
+    def test_jam_sets_union(self):
+        plan = bound(
+            FaultPlan([ScheduledJamming({1: [2]}), ScheduledJamming({1: [3], 2: [4]})])
+        )
+        assert plan.jammed_channels(1) == frozenset({2, 3})
+        assert plan.jammed_channels(2) == frozenset({4})
+
+    def test_crash_takes_earliest(self):
+        plan = bound(
+            FaultPlan([Churn(crash_rounds={1: 9}), Churn(crash_rounds={1: 4})])
+        )
+        assert plan.crash_round(1) == 4
+        assert plan.crash_round(2) is None
+
+    def test_wake_delays_add(self):
+        plan = bound(
+            FaultPlan([Churn(wake_delays={1: 2}), Churn(wake_delays={1: 3})])
+        )
+        assert plan.wake_delay(1) == 5
+
+    def test_perception_chains_in_order(self):
+        plan = bound(FaultPlan([CDNoise(1.0), CDNoise(0.0)]))
+        # The certain flip happens; the zero-probability stage passes it on.
+        assert plan.perceive(1, 1, Feedback.SILENCE) is not Feedback.SILENCE
+
+    def test_unseeded_siblings_do_not_alias(self):
+        plan = bound(
+            FaultPlan(
+                [
+                    Jamming(8, channels_per_round=2, target="random"),
+                    Jamming(8, channels_per_round=2, target="random"),
+                ]
+            )
+        )
+        first, second = plan.models
+        assert first.schedule(10) != second.schedule(10)
+
+    def test_of_normalizes(self):
+        assert FaultPlan.of(None) is None
+        model = CDNoise(0.1)
+        assert FaultPlan.of(model) is model
+        plan = FaultPlan.of([model])
+        assert isinstance(plan, FaultPlan)
+        assert plan.models == (model,)
+
+    def test_plan_for_mapping(self):
+        assert plan_for("none", 0.9).models == ()
+        assert plan_for("jamming", 0.0).models == ()
+        jam = plan_for("jamming", 0.5)
+        assert isinstance(jam, Jamming) and jam.budget == 48
+        noise = plan_for("cd-noise", 0.25)
+        assert isinstance(noise, CDNoise) and noise.flip_probability == 0.25
+        churn = plan_for("churn", 0.3)
+        assert isinstance(churn, Churn)
+        assert churn.crash_fraction == churn.late_fraction == 0.3
+
+
+class TestSerialization:
+    MODELS = [
+        FaultModel(),
+        Jamming(12, channels_per_round=3, target="random", start_round=4, seed=8),
+        ScheduledJamming({2: [1, 5], 7: [3]}),
+        CDNoise(0.35, seed=None),
+        Churn(
+            crash_rounds={4: 6},
+            wake_delays={2: 1},
+            crash_fraction=0.2,
+            crash_window=(3, 9),
+            late_fraction=0.1,
+            max_extra_delay=4,
+            seed=13,
+        ),
+        FaultPlan([Jamming(5), CDNoise(0.1)]),
+    ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=[type(m).__name__ for m in MODELS])
+    def test_round_trip_preserves_parameters(self, model):
+        assert fault_from_dict(model.to_dict()).to_dict() == model.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_from_dict({"kind": "gremlins"})
+
+    def test_envelope_round_trip(self):
+        model = FaultPlan([Jamming(7, seed=3), Churn(crash_rounds={2: 5})])
+        payload = fault_plan_to_dict(model)
+        assert "format_version" in payload
+        rebuilt = fault_plan_from_dict(payload)
+        assert rebuilt.to_dict() == model.to_dict()
+
+    def test_file_round_trip_behaves_identically(self, tmp_path):
+        model = Jamming(10, channels_per_round=2, target="random", seed=21)
+        path = tmp_path / "plan.json"
+        save_fault_plan(model, str(path))
+        rebuilt = load_fault_plan(str(path))
+        bound(model, seed=3)
+        bound(rebuilt, seed=3)
+        assert rebuilt.schedule(40) == model.schedule(40)
+
+
+class TestEngineSemantics:
+    def test_primary_jam_blocks_solve(self):
+        # Jam channel 1 for the whole horizon: the lone transmission is
+        # destroyed every time, so the run cannot solve.
+        schedule = {r: [1] for r in range(1, 65)}
+        result = solve(
+            TwoActive(),
+            n=64,
+            num_channels=8,
+            activation=activate_pair(64, seed=0),
+            seed=0,
+            faults=ScheduledJamming(schedule),
+        )
+        assert not result.solved
+
+    def test_crashed_nodes_take_no_further_actions(self):
+        activation = activate_random(64, 8, seed=1)
+        doomed = activation.active_ids[0]
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=1,
+            faults=Churn(crash_rounds={doomed: 2}),
+            record_trace=True,
+        )
+        assert result.rounds >= 1
+        for record in result.trace.rounds:
+            if record.round_index < 2:
+                continue
+            for activity in record.channels.values():
+                assert doomed not in activity.transmitters
+                assert doomed not in activity.receivers
+
+    def test_all_crashed_before_wake_terminates_cleanly(self):
+        activation = activate_random(64, 6, seed=2)
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=2,
+            faults=Churn(crash_rounds={nid: 1 for nid in activation.active_ids}),
+        )
+        assert not result.solved
+        assert result.all_terminated
+        assert result.rounds == 0
+
+    def test_noise_is_observational_only(self):
+        # Physical outcomes (the trace) must be untouched by CD noise.
+        kwargs = dict(
+            n=64,
+            num_channels=8,
+            activation=activate_random(64, 12, seed=3),
+            seed=3,
+            record_trace=True,
+        )
+        plain = solve(FNWGeneral(), **kwargs)
+        noisy = solve(FNWGeneral(), faults=CDNoise(0.4), **kwargs)
+        plain_rounds = {record.round_index: record for record in plain.trace.rounds}
+        for record in noisy.trace.rounds:
+            before = plain_rounds.get(record.round_index)
+            if before is None:
+                continue
+            for channel, activity in record.channels.items():
+                # Identical participation => identical physical feedback.
+                twin = before.channels.get(channel)
+                if twin is None:
+                    continue
+                if (
+                    sorted(activity.transmitters) == sorted(twin.transmitters)
+                    and sorted(activity.receivers) == sorted(twin.receivers)
+                ):
+                    assert activity.feedback == twin.feedback
+
+    def test_faulted_runs_reproducible(self):
+        kwargs = dict(
+            n=64,
+            num_channels=8,
+            activation=activate_random(64, 10, seed=4),
+            seed=4,
+        )
+        plan = FaultPlan([Jamming(6), CDNoise(0.2), Churn(crash_fraction=0.2)])
+        first = solve(FNWGeneral(), faults=plan, **kwargs)
+        second = solve(FNWGeneral(), faults=plan, **kwargs)
+        assert (first.solved, first.winner, first.rounds) == (
+            second.solved,
+            second.winner,
+            second.rounds,
+        )
+
+    def test_fault_events_reach_instrumentation(self):
+        log = EventLog()
+        result = solve(
+            Decay(),
+            n=64,
+            num_channels=1,
+            activation=activate_random(64, 6, seed=5),
+            seed=5,
+            faults=ScheduledJamming({1: [1], 2: [1]}),
+            instrument=log,
+        )
+        assert result.rounds >= 3  # the jam held the solve off for two rounds
+        assert log.events[0].faults.get("jammed") == (1,)
+        assert log.events[1].faults.get("jammed") == (1,)
+        assert log.events[2].faults == {}

@@ -1,0 +1,51 @@
+"""Golden-file test for the ``repro faults`` CLI sweep.
+
+Pins the full stdout of one small, seeded invocation — header, table, and
+verdict line — so any drift in the fault models, the seed-stream layout,
+the intensity mapping, or the table renderer shows up as a readable diff.
+Regenerate after an intentional change with::
+
+    python -m repro faults --n 64 --channels 8 --active 8 --trials 4 \
+        --protocols two-active fnw-general --intensities 0.2 0.6 \
+        > tests/data/golden_faults_cli.txt
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_faults_cli.txt"
+
+ARGS = [
+    "faults",
+    "--n", "64",
+    "--channels", "8",
+    "--active", "8",
+    "--trials", "4",
+    "--protocols", "two-active", "fnw-general",
+    "--intensities", "0.2", "0.6",
+]
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.n == 256
+        assert args.channels == 16
+        assert args.trials == 30
+        assert list(args.models) == ["jamming", "cd-noise", "churn"]
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--models", "meteor-strike"])
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--trials", "0"])
+
+    def test_golden_output(self, capsys):
+        assert main(ARGS) == 0
+        out = capsys.readouterr().out
+        assert out == GOLDEN.read_text(encoding="utf-8")

@@ -1,0 +1,108 @@
+"""Differential tests: fault injection off means *exactly* off.
+
+The fault hooks sit on the engine's hottest path (channel resolution and
+delivery), so the `faults=None` default must leave the execution
+bitwise-identical to a build without :mod:`repro.faults` — same results,
+same serialized trace, byte for byte.  Three progressively stricter
+identities, over the same protocol/seed grid the observability differential
+suite uses (``test_obs_differential.CASES``):
+
+1. ``faults=None`` vs an empty ``FaultPlan()`` — the plan machinery itself
+   must inject nothing;
+2. ``faults=None`` vs zero-intensity models (budget-0 jamming, p=0 noise,
+   fraction-0 churn) — every model's "off" setting is genuinely off;
+3. all of the above with instrumentation attached — the fault and
+   observability layers must not interfere.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import CDNoise, Churn, FaultPlan, Jamming
+from repro.obs import EventLog, RegistrySink, TeeSink
+from repro.sim import result_to_dict
+
+from tests.test_obs_differential import CASES, SEEDS, _run
+
+
+def _fingerprint(result):
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def _solve(factory, kwargs, seed, faults, instrument=None):
+    from repro import solve
+
+    return solve(
+        factory(),
+        seed=seed,
+        record_trace=True,
+        instrument=instrument,
+        faults=faults,
+        **kwargs,
+    )
+
+
+#: Every "fault injection disabled" spelling the API admits.
+NO_OP_FAULTS = [
+    ("empty-plan", lambda: FaultPlan()),
+    ("zero-budget-jamming", lambda: Jamming(0)),
+    ("zero-probability-noise", lambda: CDNoise(0.0)),
+    ("zero-fraction-churn", lambda: Churn()),
+    (
+        "composite-of-zeros",
+        lambda: FaultPlan([Jamming(0), CDNoise(0.0), Churn()]),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_empty_plan_is_bitwise_identical(name, factory, make_kwargs, seed):
+    kwargs = make_kwargs(seed)
+    plain = _run(factory, kwargs, seed, instrument=None)
+    faulted = _solve(factory, kwargs, seed, faults=FaultPlan())
+    assert _fingerprint(faulted) == _fingerprint(plain)
+    assert (faulted.solved, faulted.winner, faulted.rounds) == (
+        plain.solved,
+        plain.winner,
+        plain.rounds,
+    )
+
+
+@pytest.mark.parametrize("fault_name,make_faults", NO_OP_FAULTS, ids=[f[0] for f in NO_OP_FAULTS])
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+def test_zero_intensity_models_are_bitwise_identical(
+    fault_name, make_faults, name, factory, make_kwargs
+):
+    seed = SEEDS[0]
+    kwargs = make_kwargs(seed)
+    plain = _run(factory, kwargs, seed, instrument=None)
+    faulted = _solve(factory, kwargs, seed, faults=make_faults())
+    assert _fingerprint(faulted) == _fingerprint(plain)
+
+
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+def test_instrumented_empty_plan_matches_and_emits_no_fault_events(
+    name, factory, make_kwargs
+):
+    seed = SEEDS[0]
+    kwargs = make_kwargs(seed)
+    plain = _run(factory, kwargs, seed, instrument=None)
+    log = EventLog()
+    sink = RegistrySink()
+    faulted = _solve(
+        factory, kwargs, seed, faults=FaultPlan(), instrument=TeeSink([log, sink])
+    )
+    assert _fingerprint(faulted) == _fingerprint(plain)
+    # No phantom fault activity in the event stream or the metric registry,
+    # and the serialized events stay byte-identical to fault-free JSONL.
+    for event in log.events:
+        assert event.faults == {}
+        assert "faults" not in event.to_dict()
+    for counter in (
+        "fault_jammed_channel_rounds",
+        "fault_misread_channel_rounds",
+        "fault_crashes",
+    ):
+        assert sink.registry.counter(counter).value == 0.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import FNWGeneral, solve
-from repro.analysis import Summary, summarize
+from repro.analysis import summarize
 from repro.analysis.sweep import CellResult
 from repro.sim import (
     Activation,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Action, Feedback, IDLE, Observation, idle, listen, resolve, transmit
+from repro.sim import Feedback, IDLE, Observation, idle, listen, resolve, transmit
 
 
 class TestActions:

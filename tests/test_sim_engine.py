@@ -340,3 +340,32 @@ class TestEngineObject:
         engine = Engine(Network(n=2, num_channels=2))
         with pytest.raises(ConfigurationError):
             engine.run(scripted({1: [listen(1)]}), active_ids=[1], max_rounds=0)
+
+
+class TestDefaultRoundBudget:
+    """Regression: the budget log must be ``ceil(log2 n)``, not bit_length.
+
+    ``n.bit_length()`` equals ``ceil(log2 n)`` everywhere except exact
+    powers of two, where it overshoots by one and inflated the budget.
+    """
+
+    def test_power_of_two_uses_exact_log(self):
+        from repro.sim import default_round_budget
+
+        # n = 1024: log2 is exactly 10 (bit_length would say 11).
+        assert default_round_budget(1024) == 4096 + 64 * 10 * 10
+        assert default_round_budget(2) == 4096 + 64 * 1 * 1
+        assert default_round_budget(4096) == 4096 + 64 * 12 * 12
+
+    def test_non_powers_unchanged(self):
+        from repro.sim import default_round_budget
+
+        assert default_round_budget(1000) == 4096 + 64 * 10 * 10
+        assert default_round_budget(1025) == 4096 + 64 * 11 * 11
+
+    def test_small_n_floor(self):
+        from repro.sim import default_round_budget
+
+        # ceil(log2 1) = 0, floored to 1 so the budget is never degenerate.
+        assert default_round_budget(1) == 4096 + 64
+        assert default_round_budget(1) == default_round_budget(2)
