@@ -1,0 +1,118 @@
+"""Substrate performance benchmarks: sweep orchestration throughput.
+
+Not a paper reproduction — these time the resilient sweep runner itself
+(:mod:`repro.analysis.runner`) so regressions in the orchestration layer
+are visible.
+
+Workloads:
+* ``sweep_runner_grid`` — a full grid through an in-process
+  :class:`~repro.analysis.runner.SweepRunner` (no pool, no checkpointing),
+  isolating the scheduling/reassembly overhead the runner adds on top of
+  the trials themselves.  This entry feeds ``check_regression.py``.
+* the pool-reuse comparison at the bottom — the reason the runner exists:
+  one persistent pool shared across every cell of a grid versus a fresh
+  pool per cell (what chaining :func:`run_cell_parallel` calls does).
+  Per-cell pools pay fork + import + warm-up once *per cell*; the shared
+  pool pays it once per grid.  The test asserts both strategies produce
+  bitwise-identical results and that the shared pool is faster.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.parallel import run_cell_parallel
+from repro.analysis.runner import SweepRunner
+from repro.analysis.sweep import grid_product, run_sweep
+from repro.experiments.common import two_active_trial
+
+#: Small grid of cheap cells: the trials are near-free, so the timings are
+#: dominated by what we want to measure (orchestration, pool lifecycle).
+GRID = grid_product(n=[64, 256], C=[2, 4, 8, 16])
+TRIALS = 6
+MASTER_SEED = 11
+
+
+def sweep_runner_grid():
+    """Grid through an in-process SweepRunner (regression-gate workload)."""
+    with SweepRunner(processes=1) as runner:
+        return runner.run_grid("two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED)
+
+
+#: Shared with ``check_regression.py`` so the CI regression guard times
+#: exactly what this benchmark times.
+WORKLOADS = {
+    "sweep_runner_grid": sweep_runner_grid,
+}
+
+
+def _serial_reference():
+    def make(params):
+        return lambda seed: two_active_trial(params["n"], params["C"], seed)
+
+    return run_sweep(GRID, make, trials=TRIALS, master_seed=MASTER_SEED)
+
+
+def _cells_as_data(result_cells):
+    return [(dict(c.params), [dict(t) for t in c.trials]) for c in result_cells]
+
+
+def test_sweep_runner_grid(benchmark):
+    sweep = benchmark(sweep_runner_grid)
+    assert _cells_as_data(sweep.cells) == _cells_as_data(_serial_reference().cells)
+
+
+# ------------------------------------------------- pool-reuse comparison
+
+
+def _shared_pool_grid(processes):
+    with SweepRunner(processes=processes) as runner:
+        return runner.run_grid("two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED)
+
+
+def _per_cell_pools_grid(processes):
+    return [
+        run_cell_parallel(
+            "two-active",
+            params,
+            trials=TRIALS,
+            master_seed=MASTER_SEED,
+            stream=index,
+            processes=processes,
+        )
+        for index, params in enumerate(GRID)
+    ]
+
+
+def _best_of(fn, repetitions):
+    """(best wall time, last result) over several runs — robust to noise."""
+    best, result = float("inf"), None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_shared_pool_beats_per_cell_pools(benchmark, report):
+    processes = 2
+
+    def compare():
+        shared_s, shared = _best_of(lambda: _shared_pool_grid(processes), 3)
+        per_cell_s, per_cell = _best_of(lambda: _per_cell_pools_grid(processes), 3)
+        return shared_s, shared, per_cell_s, per_cell
+
+    shared_s, shared, per_cell_s, per_cell = run_once(benchmark, compare)
+    # Identical work, identical results — only the pool lifecycle differs.
+    assert _cells_as_data(shared.cells) == _cells_as_data(per_cell)
+    report(
+        footer=(
+            f"shared pool: {shared_s * 1e3:.1f} ms per grid; per-cell pools: "
+            f"{per_cell_s * 1e3:.1f} ms ({per_cell_s / shared_s:.1f}x slower, "
+            f"{len(GRID)} cells)"
+        )
+    )
+    # One pool start-up per grid vs one per cell: with near-free trials the
+    # per-cell strategy pays ~|grid| times the fixed cost, so even a noisy
+    # machine shows the gap.
+    assert shared_s < per_cell_s

@@ -1,6 +1,7 @@
-"""Benchmark-regression guard for the engine throughput workloads.
+"""Benchmark-regression guard for the substrate throughput workloads.
 
-Times the workloads ``bench_engine_throughput.WORKLOADS`` defines and
+Times the workloads ``bench_engine_throughput.WORKLOADS`` and
+``bench_sweep_runner.WORKLOADS`` define and
 compares against the committed baseline (``BENCH_baseline.json``), failing
 when any workload is more than ``--tolerance`` slower.  Scores are
 *calibration-normalized*: each workload's best-of-N wall time is divided by
@@ -24,7 +25,10 @@ import pathlib
 import sys
 import time
 
-from bench_engine_throughput import WORKLOADS
+import bench_engine_throughput
+import bench_sweep_runner
+
+WORKLOADS = {**bench_engine_throughput.WORKLOADS, **bench_sweep_runner.WORKLOADS}
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_baseline.json"
 
@@ -34,7 +38,12 @@ _CALIBRATION_ITERATIONS = 2_000_000
 #: Batch sizes per workload: fast workloads are timed in batches so every
 #: timed unit is tens of milliseconds — a sub-millisecond sample would make
 #: the 25% gate fire on scheduler noise alone.
-_BATCH = {"dense_bringup": 1, "long_sparse_run": 200, "multichannel_election": 3}
+_BATCH = {
+    "dense_bringup": 1,
+    "long_sparse_run": 200,
+    "multichannel_election": 3,
+    "sweep_runner_grid": 5,
+}
 
 
 def _calibration_spin():

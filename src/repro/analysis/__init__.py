@@ -8,12 +8,22 @@ from .distributions import (
     ks_distance,
 )
 from .fitting import LinearFit, RatioSpread, fit_linear, log_log_slope, ratio_spread, ratios
+from .runner import CheckpointStore, SweepRunner, run_sweep_parallel
 from .stats import Summary, geometric_mean, proportion_ci, quantile, summarize
-from .sweep import CellResult, SweepResult, TrialFn, grid_product, run_cell, run_sweep
+from .sweep import (
+    CellResult,
+    SweepResult,
+    TrialFailure,
+    TrialFn,
+    grid_product,
+    run_cell,
+    run_sweep,
+)
 from .tables import Table, print_header
 
 __all__ = [
     "CellResult",
+    "CheckpointStore",
     "GeometricFit",
     "empirical_cdf",
     "geometric_fit",
@@ -23,7 +33,9 @@ __all__ = [
     "RatioSpread",
     "Summary",
     "SweepResult",
+    "SweepRunner",
     "Table",
+    "TrialFailure",
     "TrialFn",
     "fit_linear",
     "geometric_mean",
@@ -36,5 +48,6 @@ __all__ = [
     "ratios",
     "run_cell",
     "run_sweep",
+    "run_sweep_parallel",
     "summarize",
 ]

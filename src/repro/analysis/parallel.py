@@ -86,6 +86,35 @@ def registered_profiled_trials() -> Tuple[str, ...]:
     return tuple(sorted(_PROFILED_TRIAL_REGISTRY))
 
 
+def resolve_processes(processes: Optional[int]) -> int:
+    """Validated effective worker count for the parallel sweep paths.
+
+    ``processes`` given: must be ``>= 1`` (``0`` or a negative value used to
+    reach ``multiprocessing.Pool`` raw and die with an opaque error there).
+    ``None``: use ``os.cpu_count()``, falling back to in-process execution
+    (a count of 1) when the platform reports ``None`` or a single CPU —
+    a one-worker pool only adds fork and pickling overhead.
+    """
+    if processes is not None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        return processes
+    detected = os.cpu_count()
+    if detected is None or detected < 2:
+        return 1
+    return detected
+
+
+def _pool_context(start_method: Optional[str]):
+    """The multiprocessing context to build pools from.
+
+    ``None`` keeps the platform default (``fork`` on Linux); ``"spawn"`` is
+    what macOS/Windows use — workers then re-import the trial's defining
+    module, which is why trials must register at import time.
+    """
+    return multiprocessing.get_context(start_method)
+
+
 def _execute(task: Tuple[str, Dict[str, Any], int]) -> Mapping[str, float]:
     """Worker entry point: resolve the trial by name and run one seed."""
     name, params, seed = task
@@ -107,6 +136,7 @@ def run_cell_parallel(
     master_seed: int = 0,
     stream: int = 0,
     processes: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> CellResult:
     """Run one cell's trials across a process pool.
 
@@ -118,22 +148,27 @@ def run_cell_parallel(
         params: keyword parameters forwarded to every trial.
         trials: number of independent trials.
         master_seed / stream: seed derivation, identical to the serial path.
-        processes: pool size; ``None`` uses ``os.cpu_count()``; ``1`` (or a
-            single trial) short-circuits to in-process execution.
+        processes: pool size; must be ``>= 1`` when given.  ``None`` uses
+            ``os.cpu_count()``; an effective count of 1 (explicit, single
+            CPU, or an unknown CPU count) short-circuits to in-process
+            execution, as does a single trial.
+        start_method: multiprocessing start method (``"fork"`` / ``"spawn"``
+            / ``"forkserver"``); ``None`` keeps the platform default.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if trial_name not in _TRIAL_REGISTRY:
         raise KeyError(f"unknown trial {trial_name!r}; known: {registered_trials()}")
+    workers = resolve_processes(processes)
     seeds = list(seed_sequence(master_seed, trials, stream=stream))
     tasks = [(trial_name, params, seed) for seed in seeds]
 
     cell = CellResult(params=dict(params))
-    if processes == 1 or trials == 1:
+    if workers == 1 or trials == 1:
         cell.trials = [dict(_execute(task)) for task in tasks]
         return cell
 
-    with multiprocessing.Pool(processes=processes) as pool:
+    with _pool_context(start_method).Pool(processes=workers) as pool:
         cell.trials = [dict(result) for result in pool.map(_execute, tasks)]
     return cell
 
@@ -202,49 +237,12 @@ def _execute_profiled(
     return dict(metrics), registry.to_dict(), os.getpid(), elapsed
 
 
-def run_cell_parallel_profiled(
-    trial_name: str,
+def _assemble_profile(
+    outputs: List[Tuple[Dict[str, float], Dict[str, Any], int, float]],
     params: Dict[str, Any],
-    *,
-    trials: int,
-    master_seed: int = 0,
-    stream: int = 0,
-    processes: Optional[int] = None,
+    wall_seconds: float,
 ) -> ParallelProfile:
-    """Run one instrumented cell across a process pool, merging the streams.
-
-    The per-trial metric streams are merged at the process boundary (each
-    worker ships its trial's registry back as plain data); the parent folds
-    them together in seed order, so the merged registry equals the serial
-    profiled run's — worker-merge correctness is pinned by the Hypothesis
-    suite's histogram-merge properties and by the equivalence tests.
-
-    Args:
-        trial_name: a name registered via :func:`register_profiled_trial`.
-        params: keyword parameters forwarded to every trial.
-        trials: number of independent trials.
-        master_seed / stream: seed derivation, identical to the serial path.
-        processes: pool size; ``None`` uses ``os.cpu_count()``; ``1`` (or a
-            single trial) short-circuits to in-process execution.
-    """
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    if trial_name not in _PROFILED_TRIAL_REGISTRY:
-        raise KeyError(
-            f"unknown profiled trial {trial_name!r}; "
-            f"known: {registered_profiled_trials()}"
-        )
-    seeds = list(seed_sequence(master_seed, trials, stream=stream))
-    tasks = [(trial_name, params, seed) for seed in seeds]
-
-    started = time.perf_counter()
-    if processes == 1 or trials == 1:
-        outputs = [_execute_profiled(task) for task in tasks]
-    else:
-        with multiprocessing.Pool(processes=processes) as pool:
-            outputs = pool.map(_execute_profiled, tasks)
-    wall_seconds = time.perf_counter() - started
-
+    """Fold worker outputs (in seed order) into a :class:`ParallelProfile`."""
     cell = ProfiledCellResult(params=dict(params))
     per_worker: Dict[int, WorkerStats] = {}
     for metrics, registry_dict, pid, seconds in outputs:
@@ -259,6 +257,71 @@ def run_cell_parallel_profiled(
         workers=sorted(per_worker.values(), key=lambda w: w.worker),
         wall_seconds=wall_seconds,
     )
+
+
+def _profiled_tasks(
+    trial_name: str,
+    params: Dict[str, Any],
+    *,
+    trials: int,
+    master_seed: int,
+    stream: int,
+) -> List[Tuple[str, Dict[str, Any], int]]:
+    """Validated task list for a profiled cell (shared with the runner)."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_name not in _PROFILED_TRIAL_REGISTRY:
+        raise KeyError(
+            f"unknown profiled trial {trial_name!r}; "
+            f"known: {registered_profiled_trials()}"
+        )
+    seeds = seed_sequence(master_seed, trials, stream=stream)
+    return [(trial_name, params, seed) for seed in seeds]
+
+
+def run_cell_parallel_profiled(
+    trial_name: str,
+    params: Dict[str, Any],
+    *,
+    trials: int,
+    master_seed: int = 0,
+    stream: int = 0,
+    processes: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> ParallelProfile:
+    """Run one instrumented cell across a process pool, merging the streams.
+
+    The per-trial metric streams are merged at the process boundary (each
+    worker ships its trial's registry back as plain data); the parent folds
+    them together in seed order, so the merged registry equals the serial
+    profiled run's — worker-merge correctness is pinned by the Hypothesis
+    suite's histogram-merge properties and by the equivalence tests.
+
+    Args:
+        trial_name: a name registered via :func:`register_profiled_trial`.
+        params: keyword parameters forwarded to every trial.
+        trials: number of independent trials.
+        master_seed / stream: seed derivation, identical to the serial path.
+        processes: pool size; must be ``>= 1`` when given.  ``None`` uses
+            ``os.cpu_count()``; an effective count of 1 (explicit, single
+            CPU, or an unknown CPU count) short-circuits to in-process
+            execution, as does a single trial.
+        start_method: multiprocessing start method; ``None`` keeps the
+            platform default.
+    """
+    workers = resolve_processes(processes)
+    tasks = _profiled_tasks(
+        trial_name, params, trials=trials, master_seed=master_seed, stream=stream
+    )
+
+    started = time.perf_counter()
+    if workers == 1 or trials == 1:
+        outputs = [_execute_profiled(task) for task in tasks]
+    else:
+        with _pool_context(start_method).Pool(processes=workers) as pool:
+            outputs = pool.map(_execute_profiled, tasks)
+    wall_seconds = time.perf_counter() - started
+    return _assemble_profile(outputs, params, wall_seconds)
 
 
 # ----------------------------------------------------- standard registrations
@@ -295,6 +358,32 @@ def _leaf_election(seed: int, *, C: int, x: int) -> Mapping[str, float]:
     from ..experiments.common import leaf_election_trial
 
     return leaf_election_trial(C, x, seed)
+
+
+@register_trial("reduce")
+def _reduce(seed: int, *, n: int, active: int, repeats: int = 2) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.reduce_trial`."""
+    from ..experiments.common import reduce_trial
+
+    return reduce_trial(n, active, seed, repeats=repeats)
+
+
+@register_trial("id-reduction")
+def _id_reduction(seed: int, *, n: int, C: int, active: int) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.id_reduction_trial`."""
+    from ..experiments.common import id_reduction_trial
+
+    return id_reduction_trial(n, C, active, seed)
+
+
+@register_trial("wakeup")
+def _wakeup(
+    seed: int, *, n: int, C: int, active: int, max_delay: int
+) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.common.wakeup_trial`."""
+    from ..experiments.common import wakeup_trial
+
+    return wakeup_trial(n, C, active, max_delay, seed)
 
 
 @register_profiled_trial("solve-profiled")

@@ -1,0 +1,528 @@
+"""Resilient sweep orchestration: shared pools, containment, checkpoints.
+
+:func:`repro.analysis.sweep.run_sweep` executes a grid strictly serially,
+and :func:`repro.analysis.parallel.run_cell_parallel` pays for a fresh
+process pool per cell and aborts the whole cell when any single trial
+raises.  This module is the production harness on top of both:
+
+* **one persistent pool per sweep** — the :class:`SweepRunner` owns a
+  ``multiprocessing`` pool that every cell of a grid shares, so a
+  20-cell sweep forks workers once, not twenty times;
+* **chunked scheduling, deterministic reassembly** — trials are dealt to
+  workers in chunks via ``imap_unordered`` (fast workers are never idle
+  behind slow ones) and reassembled into seed order afterwards, so the
+  resulting cells are bitwise-identical to a serial :func:`run_sweep` of
+  the same grid regardless of pool size (the differential suite proves
+  this at the grid level);
+* **per-trial error containment** — a trial that raises becomes a
+  structured :class:`~repro.analysis.sweep.TrialFailure` on its cell
+  (surfaced by ``CellResult.rate`` / ``failure_rate``); it never kills the
+  worker, the pool, or the sweep;
+* **checkpoint/resume** — with a checkpoint directory attached, every
+  finished trial is appended (and flushed) to an on-disk JSONL store keyed
+  by ``(trial, params, master_seed, stream, seed)``; an interrupted sweep
+  resumes exactly where it stopped and re-running a completed sweep is a
+  pure cache hit that never touches the pool.
+
+Progress is reported through a :class:`~repro.obs.metrics.MetricsRegistry`
+(counters ``sweep/trials_executed`` / ``sweep/trials_cached`` /
+``sweep/trials_failed`` / ``sweep/cells_completed``) and an optional
+per-trial ``progress`` callback.  See docs/api.md ("Measure at scale") and
+the EXPERIMENTS.md appendix for the operational story.
+
+Usage::
+
+    from repro.analysis import SweepRunner, grid_product
+
+    with SweepRunner(processes=8, checkpoint_dir="ckpt") as runner:
+        sweep = runner.run_grid(
+            "general", grid_product(n=[1 << 12], C=[8, 64], active=[41]),
+            trials=500, master_seed=4,
+        )
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+import traceback
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..obs.metrics import MetricsRegistry
+from ..sim.rng import seed_sequence
+from ..sim.serialize import checkpoint_record_from_dict, checkpoint_record_to_dict
+from .parallel import (
+    _TRIAL_REGISTRY,
+    ParallelProfile,
+    _assemble_profile,
+    _execute_profiled,
+    _pool_context,
+    _profiled_tasks,
+    registered_trials,
+    resolve_processes,
+)
+from .sweep import CellResult, SweepResult, TrialFailure
+
+#: A task as shipped to workers: (trial name, params, seed, slot index).
+_Task = Tuple[str, Dict[str, Any], int, int]
+
+#: A worker reply: (slot index, "ok", metrics) or (slot index, "failed", info).
+_Output = Tuple[int, str, Dict[str, Any]]
+
+#: Progress callback: (trials done so far, total trials in this run).
+ProgressFn = Callable[[int, int], None]
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """The canonical JSON spelling of a cell's parameters.
+
+    Key-order independent (``sort_keys``) and type-faithful the same way
+    :meth:`SweepResult.cell` matching is: ``True``, ``1``, and ``1.0`` spell
+    differently, so a flag axis can never alias a count axis in the store.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def checkpoint_key(
+    trial: str, params: Mapping[str, Any], master_seed: int, stream: int, seed: int
+) -> Tuple[str, str, int, int, int]:
+    """The identity of one trial in the checkpoint store."""
+    return (trial, canonical_params(params), int(master_seed), int(stream), int(seed))
+
+
+def _record_key(record: Mapping[str, Any]) -> Tuple[str, str, int, int, int]:
+    return checkpoint_key(
+        record["trial"],
+        record["params"],
+        record["master_seed"],
+        record["stream"],
+        record["seed"],
+    )
+
+
+def _execute_contained(task: _Task) -> _Output:
+    """Worker entry point with error containment.
+
+    Never raises for a failing trial: the exception is flattened to plain
+    data (type name, message, formatted traceback) so the pool and its
+    siblings keep running.  ``KeyboardInterrupt`` still propagates — an
+    operator's ctrl-C must stop the sweep, not become a failure record.
+    """
+    name, params, seed, index = task
+    try:
+        fn = _TRIAL_REGISTRY[name]
+    except KeyError:
+        return (
+            index,
+            "failed",
+            {
+                "error": "KeyError",
+                "message": (
+                    f"trial {name!r} not registered in the worker; ensure it is "
+                    "registered at import time of its defining module"
+                ),
+                "traceback": "",
+            },
+        )
+    try:
+        return (index, "ok", dict(fn(seed, **params)))
+    except Exception as error:
+        return (
+            index,
+            "failed",
+            {
+                "error": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+            },
+        )
+
+
+class CheckpointStore:
+    """Append-only JSONL store of finished sweep trials.
+
+    One file per ``(trial, master_seed)`` pair inside ``directory`` (so
+    unrelated sweeps sharing a directory never contend), one record per
+    line in the :mod:`repro.sim.serialize` checkpoint schema.  Records are
+    flushed as they are appended, which makes the store kill-safe: a
+    process death mid-write loses at most the torn final line, which
+    :meth:`load` skips.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, trial: str, master_seed: int) -> str:
+        """The JSONL file backing one ``(trial, master_seed)`` sweep."""
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", trial)
+        return os.path.join(self.directory, f"{safe}-s{int(master_seed)}.jsonl")
+
+    def load(
+        self, trial: str, master_seed: int
+    ) -> Dict[Tuple[str, str, int, int, int], Dict[str, Any]]:
+        """All valid records for one sweep, keyed by trial identity.
+
+        Unparsable or structurally invalid lines (a torn tail write from a
+        killed process, a foreign format version) are skipped, not fatal —
+        the corresponding trials simply re-run.
+        """
+        path = self.path_for(trial, master_seed)
+        records: Dict[Tuple[str, str, int, int, int], Dict[str, Any]] = {}
+        if not os.path.exists(path):
+            return records
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = checkpoint_record_from_dict(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    continue
+                records[_record_key(record)] = record
+        return records
+
+    def open_writer(self, trial: str, master_seed: int) -> IO[str]:
+        """An append-mode handle for one sweep's file."""
+        return open(self.path_for(trial, master_seed), "a", encoding="utf-8")
+
+    @staticmethod
+    def append(handle: IO[str], record: Mapping[str, Any]) -> None:
+        """Write one record as a JSON line and flush it to the OS."""
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+
+class SweepRunner:
+    """Grid scheduler over one persistent process pool.
+
+    Args:
+        processes: pool size; must be ``>= 1`` when given.  ``None`` uses
+            ``os.cpu_count()``, and an effective count of 1 (explicit,
+            single CPU, or unknown CPU count) runs trials in-process with
+            no pool at all.
+        checkpoint_dir: directory for the JSONL checkpoint store; ``None``
+            disables checkpointing.
+        resume: when checkpointing, reuse records already in the store
+            (the default).  ``False`` ignores — but does not delete — the
+            store's prior contents.
+        retry_failures: on resume, drop cached *failed* records so those
+            trials re-run (completed trials stay cached).
+        start_method: multiprocessing start method; ``None`` keeps the
+            platform default.
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` receiving
+            the ``sweep/*`` progress counters; one is created when omitted.
+        progress: optional callback invoked after every finished trial with
+            ``(done, total)`` for the current :meth:`run_grid` /
+            :meth:`run_cell` call (cached trials count as done).
+        chunk_size: tasks per pool dispatch; ``None`` picks a size that
+            keeps every worker busy without serializing the tail.
+
+    Use as a context manager (or call :meth:`close`) so the pool is torn
+    down deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        processes: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = True,
+        retry_failures: bool = False,
+        start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressFn] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.processes = resolve_processes(processes)
+        self.checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        self.retry_failures = retry_failures
+        self.start_method = start_method
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.progress = progress
+        self.chunk_size = chunk_size
+        self._pool: Optional[Any] = None
+        self._done = 0
+        self._total = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear the pool down (idempotent); the runner can be reused after."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self) -> Optional[Any]:
+        if self.processes == 1:
+            return None
+        if self._pool is None:
+            self._pool = _pool_context(self.start_method).Pool(
+                processes=self.processes
+            )
+        return self._pool
+
+    # ------------------------------------------------------------- execution
+
+    def _chunk(self, pending: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        # ~4 chunks per worker balances dispatch overhead against tail skew.
+        return max(1, min(32, pending // (self.processes * 4) or 1))
+
+    def _iter_outputs(self, tasks: List[_Task]) -> Iterator[_Output]:
+        """Yield worker outputs as they complete (unordered under a pool)."""
+        if not tasks:
+            return  # a fully-cached cell must not fork a pool
+        pool = self._ensure_pool()
+        if pool is None:
+            for task in tasks:
+                yield _execute_contained(task)
+            return
+        for output in pool.imap_unordered(
+            _execute_contained, tasks, chunksize=self._chunk(len(tasks))
+        ):
+            yield output
+
+    def _note_done(self, cached: bool = False, failed: bool = False) -> None:
+        self._done += 1
+        if cached:
+            self.metrics.counter("sweep/trials_cached").inc()
+        else:
+            self.metrics.counter("sweep/trials_executed").inc()
+        if failed:
+            self.metrics.counter("sweep/trials_failed").inc()
+        if self.progress is not None:
+            self.progress(self._done, self._total)
+
+    def run_cell(
+        self,
+        trial_name: str,
+        params: Dict[str, Any],
+        *,
+        trials: int,
+        master_seed: int = 0,
+        stream: int = 0,
+    ) -> CellResult:
+        """Run one cell with containment and (optional) checkpointing.
+
+        Seeds and their order are exactly :func:`repro.analysis.sweep.run_cell`'s;
+        completed trials land in ``cell.trials`` in seed order, contained
+        errors in ``cell.failures`` (also in seed order).
+        """
+        self._done, self._total = 0, trials
+        return self._run_cell_inner(
+            trial_name, params, trials=trials, master_seed=master_seed, stream=stream
+        )
+
+    def _run_cell_inner(
+        self,
+        trial_name: str,
+        params: Dict[str, Any],
+        *,
+        trials: int,
+        master_seed: int,
+        stream: int,
+    ) -> CellResult:
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if trial_name not in _TRIAL_REGISTRY:
+            raise KeyError(
+                f"unknown trial {trial_name!r}; known: {registered_trials()}"
+            )
+        seeds = list(seed_sequence(master_seed, trials, stream=stream))
+
+        cached: Dict[Tuple[str, str, int, int, int], Dict[str, Any]] = {}
+        writer: Optional[IO[str]] = None
+        if self.checkpoint is not None:
+            if self.resume:
+                cached = self.checkpoint.load(trial_name, master_seed)
+                if self.retry_failures:
+                    cached = {
+                        key: record
+                        for key, record in cached.items()
+                        if record["status"] == "ok"
+                    }
+            writer = self.checkpoint.open_writer(trial_name, master_seed)
+
+        try:
+            slots: List[Optional[Dict[str, Any]]] = [None] * trials
+            pending: List[_Task] = []
+            for index, seed in enumerate(seeds):
+                record = cached.get(
+                    checkpoint_key(trial_name, params, master_seed, stream, seed)
+                )
+                if record is not None:
+                    slots[index] = record
+                    self._note_done(cached=True, failed=record["status"] == "failed")
+                else:
+                    pending.append((trial_name, dict(params), seed, index))
+
+            for index, status, payload in self._iter_outputs(pending):
+                if status == "ok":
+                    record = checkpoint_record_to_dict(
+                        trial=trial_name,
+                        params=params,
+                        master_seed=master_seed,
+                        stream=stream,
+                        seed=seeds[index],
+                        metrics=payload,
+                    )
+                else:
+                    record = checkpoint_record_to_dict(
+                        trial=trial_name,
+                        params=params,
+                        master_seed=master_seed,
+                        stream=stream,
+                        seed=seeds[index],
+                        failure=payload,
+                    )
+                if writer is not None:
+                    CheckpointStore.append(writer, record)
+                slots[index] = record
+                self._note_done(failed=status == "failed")
+        finally:
+            if writer is not None:
+                writer.close()
+
+        # Deterministic reassembly: slots are in seed order by construction.
+        cell = CellResult(params=dict(params))
+        for slot in slots:
+            assert slot is not None  # every index is either cached or pending
+            if slot["status"] == "ok":
+                cell.trials.append(dict(slot["metrics"]))
+            else:
+                failure = slot["failure"]
+                cell.failures.append(
+                    TrialFailure(
+                        seed=slot["seed"],
+                        error=failure["error"],
+                        message=failure["message"],
+                        traceback=failure.get("traceback", ""),
+                    )
+                )
+        return cell
+
+    def run_grid(
+        self,
+        trial_name: str,
+        grid: Sequence[Dict[str, Any]],
+        *,
+        trials: int,
+        master_seed: int = 0,
+    ) -> SweepResult:
+        """Run a whole parameter grid over the shared pool.
+
+        Cell ``i`` uses seed stream ``i`` — the same derivation as the
+        serial :func:`repro.analysis.sweep.run_sweep` — so the result is
+        bitwise-identical to a serial sweep of the same grid (and to itself
+        under any pool size).
+        """
+        self._done, self._total = 0, len(grid) * trials
+        self.metrics.gauge("sweep/grid_cells").set(len(grid))
+        result = SweepResult()
+        for index, params in enumerate(grid):
+            result.cells.append(
+                self._run_cell_inner(
+                    trial_name,
+                    params,
+                    trials=trials,
+                    master_seed=master_seed,
+                    stream=index,
+                )
+            )
+            self.metrics.counter("sweep/cells_completed").inc()
+        return result
+
+    def run_cell_profiled(
+        self,
+        trial_name: str,
+        params: Dict[str, Any],
+        *,
+        trials: int,
+        master_seed: int = 0,
+        stream: int = 0,
+    ) -> ParallelProfile:
+        """A profiled cell (metrics stream attached) on the shared pool.
+
+        Same contract as
+        :func:`repro.analysis.parallel.run_cell_parallel_profiled`, minus
+        the per-call pool: consecutive profiled cells reuse this runner's
+        workers.  Profiled trials are not contained or checkpointed (their
+        registries are not part of the checkpoint schema); a raising trial
+        propagates.
+        """
+        tasks = _profiled_tasks(
+            trial_name, params, trials=trials, master_seed=master_seed, stream=stream
+        )
+        pool = self._ensure_pool()
+        started = time.perf_counter()
+        if pool is None or trials == 1:
+            outputs = [_execute_profiled(task) for task in tasks]
+        else:
+            outputs = pool.map(_execute_profiled, tasks)
+        return _assemble_profile(outputs, params, time.perf_counter() - started)
+
+
+def run_sweep_parallel(
+    trial_name: str,
+    grid: Sequence[Dict[str, Any]],
+    *,
+    trials: int,
+    master_seed: int = 0,
+    processes: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    start_method: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """One-call convenience: build a :class:`SweepRunner`, run the grid."""
+    with SweepRunner(
+        processes=processes,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        start_method=start_method,
+        metrics=metrics,
+        progress=progress,
+    ) as runner:
+        return runner.run_grid(
+            trial_name, grid, trials=trials, master_seed=master_seed
+        )
+
+
+def format_failures(cells: Iterable[CellResult], *, limit: int = 5) -> List[str]:
+    """Human-readable lines for the first ``limit`` failures across cells."""
+    lines: List[str] = []
+    total = 0
+    for cell in cells:
+        for failure in cell.failures:
+            total += 1
+            if len(lines) < limit:
+                lines.append(f"{cell.params}: {failure}")
+    if total > len(lines):
+        lines.append(f"... and {total - len(lines)} more failure(s)")
+    return lines

@@ -24,22 +24,57 @@ TrialFn = Callable[[int], Mapping[str, float]]
 ProfiledTrialFn = Callable[[int], Tuple[Mapping[str, float], MetricsRegistry]]
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """One contained trial error: the seed that raised and what it raised.
+
+    Produced by the resilient sweep runner (:mod:`repro.analysis.runner`),
+    which captures a raising trial as data instead of letting it abort the
+    cell, the pool, or the sweep.  ``error`` is the exception type name and
+    ``traceback`` the formatted worker-side stack (empty when unavailable,
+    e.g. after a checkpoint round-trip that dropped it).
+    """
+
+    seed: int
+    error: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"seed {self.seed}: {self.error}: {self.message}"
+
+
 @dataclass
 class CellResult:
-    """All trials of one parameter setting, plus per-metric summaries."""
+    """All trials of one parameter setting, plus per-metric summaries.
+
+    ``trials`` holds the metrics of the trials that completed; ``failures``
+    holds a :class:`TrialFailure` per contained error (always empty on the
+    serial path, which propagates instead of containing).
+    """
 
     params: Dict[str, Any]
     trials: List[Mapping[str, float]] = field(default_factory=list)
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        """Trials attempted: completed plus failed."""
+        return len(self.trials) + len(self.failures)
 
     def metric(self, name: str) -> List[float]:
         """Raw per-trial values of one metric (trials missing it are skipped)."""
         return [float(t[name]) for t in self.trials if name in t]
 
     def summary(self, name: str = "rounds") -> Summary:
-        """Distribution summary of one metric across this cell's trials."""
+        """Distribution summary of one metric across this cell's *completed*
+        trials (contained failures contribute no samples)."""
         values = self.metric(name)
         if not values:
-            raise KeyError(f"metric {name!r} absent from all trials")
+            raise KeyError(
+                f"metric {name!r} absent from all trials"
+                + (f" ({len(self.failures)} trial(s) failed)" if self.failures else "")
+            )
         return summarize(values)
 
     def mean(self, name: str = "rounds") -> float:
@@ -47,15 +82,44 @@ class CellResult:
         return self.summary(name).mean
 
     def rate(self, name: str = "solved") -> float:
-        """Fraction of trials in which ``name`` is nonzero (e.g. solve rate).
+        """Fraction of attempted trials in which ``name`` is nonzero.
 
         The natural reading of 0/1 indicator metrics such as ``solved``
-        under fault injection, where not every trial succeeds.
+        under fault injection, where not every trial succeeds.  Contained
+        :class:`TrialFailure` records count against the denominator — a
+        trial that raised certainly did not solve — so a cell with failures
+        honestly reports a lower rate instead of hiding them.
         """
         values = self.metric(name)
-        if not values:
+        if not values and not self.failures:
             raise KeyError(f"metric {name!r} absent from all trials")
-        return sum(1.0 for value in values if value) / len(values)
+        return sum(1.0 for value in values if value) / (
+            len(values) + len(self.failures)
+        )
+
+    def failure_rate(self) -> float:
+        """Fraction of attempted trials that raised (0.0 for an empty cell)."""
+        return len(self.failures) / self.attempted if self.attempted else 0.0
+
+
+def _param_matches(actual: Any, expected: Any) -> bool:
+    """Type-aware parameter equality for :meth:`SweepResult.cell`.
+
+    Plain ``==`` would alias ``True`` with ``1`` and ``1.0`` (bool is an int
+    subclass), silently selecting the wrong cell in grids that mix flag and
+    count axes.  Rules, deliberately:
+
+    * bools only match bools (``True`` never matches ``1``);
+    * non-bool ints and floats cross-match by numeric value (``2`` selects a
+      cell recorded as ``2.0`` — the same grid point, e.g. after a JSON
+      round-trip);
+    * everything else requires the exact same type and equality.
+    """
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return type(actual) is type(expected) and actual == expected
+    if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+        return actual == expected
+    return type(actual) is type(expected) and actual == expected
 
 
 @dataclass
@@ -65,9 +129,19 @@ class SweepResult:
     cells: List[CellResult] = field(default_factory=list)
 
     def cell(self, **params: Any) -> CellResult:
-        """The unique cell whose parameters include all given key/values."""
+        """The unique cell whose parameters include all given key/values.
+
+        Matching is type-aware (see :func:`_param_matches`): ``cell(flag=True)``
+        selects only a cell whose ``flag`` is the boolean ``True``, never one
+        recorded as ``1`` or ``1.0``.
+        """
         matches = [
-            c for c in self.cells if all(c.params.get(k) == v for k, v in params.items())
+            c
+            for c in self.cells
+            if all(
+                k in c.params and _param_matches(c.params[k], v)
+                for k, v in params.items()
+            )
         ]
         if len(matches) != 1:
             raise KeyError(f"{len(matches)} cells match {params!r}, expected exactly 1")
@@ -148,22 +222,39 @@ def run_cell(
 
 def run_sweep(
     grid: Sequence[Dict[str, Any]],
-    make_trial_fn: Callable[[Dict[str, Any]], TrialFn],
+    make_trial_fn: Any,
     *,
     trials: int,
     master_seed: int = 0,
+    runner: Optional[Any] = None,
 ) -> SweepResult:
     """Run every cell of a parameter grid.
 
     Args:
         grid: list of parameter dicts (one per cell), in output order.
-        make_trial_fn: builds the cell's trial function from its parameters.
+        make_trial_fn: builds the cell's trial function from its parameters;
+            alternatively, when ``runner`` is given, the *name* of a trial
+            registered via :func:`repro.analysis.parallel.register_trial`.
         trials: trials per cell.
         master_seed: root seed; each cell gets an independent stream.
+        runner: optional :class:`repro.analysis.runner.SweepRunner`; the grid
+            then executes on the runner's shared process pool with per-trial
+            error containment and checkpointing, bitwise-identical (same
+            trials, same seed order) to the serial path here.
 
     Returns:
         A :class:`SweepResult` with cells in grid order.
     """
+    if runner is not None:
+        if not isinstance(make_trial_fn, str):
+            raise TypeError(
+                "run_sweep(runner=...) requires a registered trial *name*, "
+                f"got {type(make_trial_fn).__name__} (closures cannot cross "
+                "process boundaries)"
+            )
+        return runner.run_grid(
+            make_trial_fn, grid, trials=trials, master_seed=master_seed
+        )
     result = SweepResult()
     for index, params in enumerate(grid):
         trial_fn = make_trial_fn(params)

@@ -12,7 +12,11 @@ Subcommands:
   (see :mod:`repro.obs` and docs/observability.md);
 * ``repro faults --models jamming cd-noise --trials 20`` — sweep the fault
   models over a protocol grid and report solve-rate degradation and round
-  inflation (see :mod:`repro.faults` and docs/faults.md).
+  inflation (see :mod:`repro.faults` and docs/faults.md);
+* ``repro sweep --trial general --axis n=4096 --axis C=8,64 --axis active=100
+  --trials 200 --processes 4 --checkpoint-dir ckpt`` — run a registered
+  trial over a parameter grid on a shared process pool with per-trial error
+  containment and checkpoint/resume (see :mod:`repro.analysis.runner`).
 """
 
 from __future__ import annotations
@@ -204,6 +208,96 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_value(text: str):
+    """One grid-axis value: bool, int, float, or (fallback) string.
+
+    Booleans are spelled ``true`` / ``false`` and parsed before ints so a
+    flag axis stays a bool axis (cell lookup is type-aware).
+    """
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(specs) -> "dict":
+    axes = {}
+    for spec in specs:
+        name, separator, values = spec.partition("=")
+        if not separator or not name or not values:
+            raise SystemExit(
+                f"repro sweep: bad --axis {spec!r}; expected name=v1,v2,..."
+            )
+        axes[name] = [_parse_axis_value(value) for value in values.split(",")]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.runner import SweepRunner, format_failures
+    from .analysis.sweep import grid_product
+    from .analysis.tables import Table
+    from .obs.metrics import MetricsRegistry
+
+    if args.trials < 1:
+        raise SystemExit("repro sweep: --trials must be >= 1")
+    axes = _parse_axes(args.axis or [])
+    if not axes:
+        raise SystemExit("repro sweep: at least one --axis is required")
+    grid = grid_product(**axes)
+
+    metrics = MetricsRegistry()
+    print(
+        f"sweep: trial={args.trial} cells={len(grid)} trials/cell={args.trials} "
+        f"master_seed={args.seed} processes={args.processes or 'auto'} "
+        f"checkpoint={args.checkpoint_dir or 'off'}"
+    )
+    with SweepRunner(
+        processes=args.processes,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=not args.no_resume,
+        retry_failures=args.retry_failures,
+        metrics=metrics,
+    ) as runner:
+        sweep = runner.run_grid(
+            args.trial, grid, trials=args.trials, master_seed=args.seed
+        )
+
+    names = list(axes)
+    table = Table(
+        names + ["ok", "failed", f"mean_{args.metric}", "solve_rate"],
+        caption=f"{args.trial} sweep ({args.trials} trials/cell)",
+        digits=2,
+    )
+    for cell in sweep.cells:
+        values = cell.metric(args.metric)
+        has_solved = bool(cell.metric("solved")) or bool(cell.failures)
+        table.add_row(
+            *[cell.params[name] for name in names],
+            len(cell.trials),
+            len(cell.failures),
+            sum(values) / len(values) if values else "-",
+            cell.rate("solved") if has_solved else "-",
+        )
+    print()
+    print(table.render())
+
+    counters = metrics.snapshot()["counters"]
+    executed = int(counters.get("sweep/trials_executed", 0))
+    cached = int(counters.get("sweep/trials_cached", 0))
+    failed = int(counters.get("sweep/trials_failed", 0))
+    print()
+    print(f"trials: {executed} executed, {cached} cached, {failed} failed")
+    if failed:
+        for line in format_failures(sweep.cells):
+            print(f"  FAIL {line}")
+    return 1 if failed else 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .sim.serialize import load_trace
 
@@ -358,6 +452,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="intensity knob per model (see repro.faults.plan_for)",
     )
     faults_parser.set_defaults(fn=_cmd_faults)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a registered trial over a grid on a shared process pool",
+    )
+    sweep_parser.add_argument(
+        "--trial",
+        default="general",
+        help="registered trial name (see repro.analysis.parallel.registered_trials)",
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        metavar="NAME=V1,V2,...",
+        help="one grid axis (repeatable); values parse as bool/int/float/str",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=50)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="pool size shared by the whole grid (default: cpu count)",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="JSONL checkpoint store; finished trials are never re-run",
+    )
+    sweep_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore (but keep) existing checkpoint records",
+    )
+    sweep_parser.add_argument(
+        "--retry-failures",
+        action="store_true",
+        help="on resume, re-run trials whose checkpoint records are failures",
+    )
+    sweep_parser.add_argument(
+        "--metric", default="rounds", help="metric to average in the summary table"
+    )
+    sweep_parser.set_defaults(fn=_cmd_sweep)
 
     replay_parser = subparsers.add_parser(
         "replay", help="render a saved execution trace"

@@ -8,7 +8,7 @@ Each function runs one seeded execution and returns a flat metrics mapping
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..baselines import (
     BinarySearchCD,
@@ -232,6 +232,54 @@ def make_protocol(name: str) -> Protocol:
     if name not in registry:
         raise KeyError(f"unknown protocol {name!r}; known: {sorted(registry)}")
     return registry[name]()
+
+
+def run_registered_sweep(
+    trial_name: str,
+    grid: Sequence[Dict[str, Any]],
+    *,
+    trials: int,
+    master_seed: int = 0,
+    processes: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+):
+    """Run a registered trial over a grid, serially or on a shared pool.
+
+    The experiment modules call this so one knob chooses the execution
+    strategy: with neither ``processes`` nor ``checkpoint_dir`` set, the
+    classic serial :func:`repro.analysis.sweep.run_sweep` runs (no pools, a
+    raising trial propagates); with either set, the grid executes on a
+    :class:`repro.analysis.runner.SweepRunner` — shared process pool,
+    per-trial error containment, checkpoint/resume — with results
+    bitwise-identical to the serial path (same trials, same seed order).
+
+    ``trial_name`` must be registered via
+    :func:`repro.analysis.parallel.register_trial` and its keyword
+    parameters must match the grid's axes.
+    """
+    from ..analysis.parallel import _TRIAL_REGISTRY
+    from ..analysis.sweep import run_sweep
+
+    if trial_name not in _TRIAL_REGISTRY:
+        raise KeyError(f"unknown registered trial {trial_name!r}")
+    if processes is None and checkpoint_dir is None:
+        fn = _TRIAL_REGISTRY[trial_name]
+
+        def make(params: Dict[str, Any]):
+            return lambda seed: fn(seed, **params)
+
+        return run_sweep(grid, make, trials=trials, master_seed=master_seed)
+
+    from ..analysis.runner import run_sweep_parallel
+
+    return run_sweep_parallel(
+        trial_name,
+        list(grid),
+        trials=trials,
+        master_seed=master_seed,
+        processes=processes,
+        checkpoint_dir=checkpoint_dir,
+    )
 
 
 def wakeup_trial(

@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..analysis import Table, ratio_spread, run_sweep
+from typing import Optional
+
+from ..analysis import Table, ratio_spread
 from ..analysis.predictors import general_bound
-from .common import general_trial
+from .common import run_registered_sweep
 
 #: (n, |A|) cells: dense instances at small n (where simulating every node
 #: is affordable) plus ~1% sparse instances up to n = 2^20.  Theorem 4
@@ -37,6 +39,11 @@ class Config:
     cs: Sequence[int] = DEFAULT_CS
     trials: int = 60
     master_seed: int = 4
+    #: Shared-pool worker count; ``None`` keeps the serial path.  Either
+    #: this or ``checkpoint_dir`` routes the grid through the resilient
+    #: runner (bitwise-identical results; see repro.analysis.runner).
+    processes: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
 
 
 @dataclass
@@ -56,12 +63,14 @@ def run(config: Config = Config()) -> Outcome:
         for c in config.cs
     ]
 
-    def make(params):
-        return lambda seed: general_trial(
-            params["n"], params["C"], params["active"], seed
-        )
-
-    sweep = run_sweep(grid, make, trials=config.trials, master_seed=config.master_seed)
+    sweep = run_registered_sweep(
+        "general",
+        grid,
+        trials=config.trials,
+        master_seed=config.master_seed,
+        processes=config.processes,
+        checkpoint_dir=config.checkpoint_dir,
+    )
 
     table = Table(
         [

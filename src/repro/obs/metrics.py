@@ -40,7 +40,9 @@ class MetricsSink(Protocol):
     A sink receives the lifecycle of one execution: a single
     :meth:`on_run_start`, one :meth:`on_round` per executed round (with a
     :class:`~repro.obs.events.RoundEvent`), and a single :meth:`on_run_end`
-    when the engine returns normally.  Sinks must never influence execution;
+    when the run finishes — normally, or terminally with
+    ``RunSummary(solved=False, ...)`` just before the engine raises
+    ``RoundLimitExceeded``.  Sinks must never influence execution;
     the engine ignores their return values and exposes no mutable state to
     them.
     """

@@ -520,7 +520,50 @@ def build_report(options: ReportOptions = ReportOptions()) -> str:
     if options.profile_appendix:
         print("[report] running substrate profile appendix ...", flush=True)
         parts.extend(_profile_appendix(options.scale))
+    parts.extend(_sweep_runner_appendix())
     return "\n".join(parts)
+
+
+def _sweep_runner_appendix() -> List[str]:
+    """The operational appendix on running sweeps at scale (static text)."""
+    return [
+        "## Appendix — sweeps at scale",
+        "",
+        "Every grid above can run on the resilient sweep runner "
+        "(`repro.analysis.runner.SweepRunner`, or `python -m repro sweep` "
+        "from the shell) instead of the serial harness.  The runner keeps "
+        "**one process pool for the whole grid** (a 20-cell sweep forks "
+        "once, not twenty times), schedules trials in chunks, and "
+        "reassembles them into seed order, so its results are "
+        "**bitwise-identical to the serial path** regardless of pool size — "
+        "the differential suite (`tests/test_analysis_runner.py`) proves "
+        "this at the grid level.",
+        "",
+        "Operational semantics:",
+        "",
+        "* **Checkpoint layout.** With `checkpoint_dir` set, each "
+        "`(trial, master_seed)` sweep appends to its own JSONL file "
+        "(`<trial>-s<seed>.jsonl`); one record per finished trial, keyed by "
+        "`(trial, params, master_seed, stream, seed)` with the params "
+        "spelled canonically (sorted keys, type-faithful: `true`, `1`, and "
+        "`1.0` never alias).  Records are flushed as written, so a killed "
+        "process loses at most the torn final line, which resume skips.",
+        "* **Resume.** Re-running the same sweep reuses every valid record "
+        "and executes only what is missing; a completed sweep re-runs as a "
+        "pure cache hit that never forks a worker.  `resume=False` ignores "
+        "(but keeps) the store; `retry_failures=True` re-runs only the "
+        "failed seeds.",
+        "* **Failure records.** A raising trial never aborts the pool or "
+        "the sweep: it becomes a structured `TrialFailure` on its cell "
+        "(seed, exception type, message, traceback), checkpointed like a "
+        "success, counted in the denominator of `cell.rate(...)`, and "
+        "surfaced by the CLI (exit status 1).",
+        "* **Determinism.** Seeds derive from "
+        "`(master_seed, stream=cell_index)` exactly as in the serial "
+        "harness, so pool size, chunking, and scheduling order change "
+        "nothing about the numbers in this report.",
+        "",
+    ]
 
 
 def write_report(path: str, options: ReportOptions = ReportOptions()) -> None:

@@ -148,9 +148,11 @@ class Engine:
                 executed round (plus run start/end callbacks).  Off by
                 default; instrumentation is observer-effect-free — the
                 result and trace are identical with or without it (the
-                differential test suite enforces this bit for bit).  Sinks
-                are only notified of runs that end normally; a raised
-                :class:`RoundLimitExceeded` skips ``on_run_end``.
+                differential test suite enforces this bit for bit).  Every
+                ``on_run_start`` is balanced by exactly one ``on_run_end``:
+                a run that exhausts its budget delivers a terminal
+                ``RunSummary(solved=False, ...)`` before
+                :class:`RoundLimitExceeded` propagates.
             faults: optional fault model (see :mod:`repro.faults`) injected
                 at the channel-resolution boundary.  Jammed channels
                 physically read COLLISION and a jammed primary channel
@@ -423,6 +425,19 @@ class Engine:
         else:
             # Budget exhausted without breaking out of the loop.
             if not solved:
+                if instrument is not None:
+                    # The run is over even though it failed: sinks get a
+                    # terminal summary so every on_run_start is balanced by
+                    # exactly one on_run_end, then the error propagates.
+                    instrument.on_run_end(
+                        RunSummary(
+                            solved=False,
+                            solved_round=None,
+                            winner=None,
+                            rounds=rounds_executed,
+                            wall_time_s=time.perf_counter() - run_started_at,
+                        )
+                    )
                 raise RoundLimitExceeded(
                     budget,
                     detail=f"{len(coroutines)} node(s) still running",

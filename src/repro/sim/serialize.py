@@ -157,3 +157,93 @@ def load_fault_plan(path: str) -> Any:
     """Read a fault model / plan saved by :func:`save_fault_plan`."""
     with open(path, "r", encoding="utf-8") as handle:
         return fault_plan_from_dict(json.load(handle))
+
+
+# --------------------------------------------------- sweep checkpoint records
+
+#: Version of the sweep-checkpoint JSONL record format (one record per line).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def checkpoint_record_to_dict(
+    *,
+    trial: str,
+    params: Dict[str, Any],
+    master_seed: int,
+    stream: int,
+    seed: int,
+    metrics: Any = None,
+    failure: Any = None,
+) -> Dict[str, Any]:
+    """One finished sweep trial as a JSON-ready checkpoint record.
+
+    Exactly one of ``metrics`` (a flat name -> float mapping) or ``failure``
+    (an ``{"error", "message", "traceback"}`` mapping) must be given; the
+    record's ``status`` is derived from which.  The five identity fields
+    ``(trial, params, master_seed, stream, seed)`` key the record — the same
+    key the resilient runner uses to decide whether a trial is already done.
+    """
+    if (metrics is None) == (failure is None):
+        raise ValueError("exactly one of metrics/failure must be given")
+    record: Dict[str, Any] = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "trial": trial,
+        "params": dict(params),
+        "master_seed": master_seed,
+        "stream": stream,
+        "seed": seed,
+    }
+    if metrics is not None:
+        record["status"] = "ok"
+        record["metrics"] = {str(k): float(v) for k, v in dict(metrics).items()}
+    else:
+        record["status"] = "failed"
+        record["failure"] = {
+            "error": str(failure["error"]),
+            "message": str(failure["message"]),
+            "traceback": str(failure.get("traceback", "")),
+        }
+    return record
+
+
+def checkpoint_record_from_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and normalize a checkpoint record read back from JSONL.
+
+    Raises ``ValueError`` on version mismatch or a structurally invalid
+    record (the runner skips such lines — a torn final line from a killed
+    process must not poison the resume).
+    """
+    version = payload.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version: {version!r}")
+    for key in ("trial", "params", "master_seed", "stream", "seed", "status"):
+        if key not in payload:
+            raise ValueError(f"checkpoint record missing {key!r}")
+    if not isinstance(payload["params"], dict):
+        raise ValueError("checkpoint record params must be a mapping")
+    status = payload["status"]
+    if status == "ok":
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("ok record must carry a metrics mapping")
+        return checkpoint_record_to_dict(
+            trial=payload["trial"],
+            params=payload["params"],
+            master_seed=payload["master_seed"],
+            stream=payload["stream"],
+            seed=payload["seed"],
+            metrics=metrics,
+        )
+    if status == "failed":
+        failure = payload.get("failure")
+        if not isinstance(failure, dict) or not {"error", "message"} <= set(failure):
+            raise ValueError("failed record must carry error/message")
+        return checkpoint_record_to_dict(
+            trial=payload["trial"],
+            params=payload["params"],
+            master_seed=payload["master_seed"],
+            stream=payload["stream"],
+            seed=payload["seed"],
+            failure=failure,
+        )
+    raise ValueError(f"unknown checkpoint record status: {status!r}")

@@ -1,0 +1,483 @@
+"""Differential, resilience, and checkpoint tests for the sweep runner.
+
+The acceptance bar for :mod:`repro.analysis.runner` is differential: a grid
+through the shared pool must be bitwise-identical to a serial
+:func:`repro.analysis.sweep.run_sweep`, an interrupted-then-resumed sweep
+must equal an uninterrupted one, and a raising trial must become a
+:class:`TrialFailure` without aborting the pool or the sweep.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.parallel import (
+    register_trial,
+    resolve_processes,
+    run_cell_parallel,
+    run_cell_parallel_profiled,
+)
+from repro.analysis.runner import (
+    CheckpointStore,
+    SweepRunner,
+    canonical_params,
+    checkpoint_key,
+    format_failures,
+    run_sweep_parallel,
+)
+from repro.analysis.sweep import (
+    CellResult,
+    SweepResult,
+    TrialFailure,
+    grid_product,
+    run_cell,
+    run_sweep,
+)
+from repro.experiments.common import two_active_trial
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.serialize import (
+    checkpoint_record_from_dict,
+    checkpoint_record_to_dict,
+)
+
+GRID = grid_product(n=[32, 64], C=[2, 4])
+TRIALS = 5
+MASTER_SEED = 3
+
+
+@register_trial("runner-test-flaky")
+def flaky_trial(seed, n):
+    """A deterministic sometimes-raising trial (keyed on the seed)."""
+    if seed % 3 == 0:
+        raise RuntimeError(f"deliberate failure for seed {seed}")
+    return {"rounds": float(seed % 7 + 1), "solved": 1.0, "n": float(n)}
+
+
+def serial_reference(grid=GRID, trials=TRIALS, master_seed=MASTER_SEED):
+    def make(params):
+        return lambda seed: two_active_trial(params["n"], params["C"], seed)
+
+    return run_sweep(grid, make, trials=trials, master_seed=master_seed)
+
+
+def cells_data(cells):
+    """Cells flattened to comparable plain data (params + ordered trials)."""
+    return [(dict(c.params), [dict(t) for t in c.trials]) for c in cells]
+
+
+class TestGridDifferential:
+    def test_in_process_runner_matches_serial(self):
+        with SweepRunner(processes=1) as runner:
+            sweep = runner.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_shared_pool_matches_serial(self):
+        with SweepRunner(processes=2) as runner:
+            sweep = runner.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_results_invariant_under_pool_size(self):
+        with SweepRunner(processes=2) as two, SweepRunner(processes=3) as three:
+            a = two.run_grid("two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED)
+            b = three.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(a.cells) == cells_data(b.cells)
+
+    def test_chunk_size_does_not_change_results(self):
+        with SweepRunner(processes=2, chunk_size=1) as runner:
+            sweep = runner.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_run_sweep_delegates_to_runner(self):
+        with SweepRunner(processes=1) as runner:
+            sweep = run_sweep(
+                GRID, "two-active", trials=TRIALS, master_seed=MASTER_SEED,
+                runner=runner,
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_run_sweep_with_runner_rejects_callables(self):
+        with SweepRunner(processes=1) as runner:
+            with pytest.raises(TypeError):
+                run_sweep(GRID, lambda params: None, trials=2, runner=runner)
+
+    def test_run_sweep_parallel_convenience(self):
+        sweep = run_sweep_parallel(
+            "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED, processes=1
+        )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_runner_usable_again_after_close(self):
+        runner = SweepRunner(processes=2)
+        runner.run_cell("two-active", GRID[0], trials=2, master_seed=1)
+        runner.close()
+        cell = runner.run_cell("two-active", GRID[0], trials=2, master_seed=1)
+        runner.close()
+        assert len(cell.trials) == 2
+
+
+class TestProgressAndMetrics:
+    def test_counters_and_gauge(self):
+        metrics = MetricsRegistry()
+        with SweepRunner(processes=1, metrics=metrics) as runner:
+            runner.run_grid("two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["sweep/trials_executed"] == len(GRID) * TRIALS
+        assert snapshot["counters"]["sweep/cells_completed"] == len(GRID)
+        assert "sweep/trials_failed" not in snapshot["counters"]
+        assert snapshot["gauges"]["sweep/grid_cells"]["value"] == len(GRID)
+
+    def test_progress_callback_is_monotone_and_complete(self):
+        calls = []
+        with SweepRunner(processes=1, progress=lambda d, t: calls.append((d, t))) as r:
+            r.run_grid("two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED)
+        total = len(GRID) * TRIALS
+        assert [done for done, _ in calls] == list(range(1, total + 1))
+        assert all(t == total for _, t in calls)
+
+
+class TestContainment:
+    def test_raising_trial_becomes_trial_failure(self):
+        with SweepRunner(processes=1) as runner:
+            cell = runner.run_cell(
+                "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+            )
+        assert cell.failures, "the flaky trial never raised — bad fixture seeds"
+        assert len(cell.trials) + len(cell.failures) == 12
+        for failure in cell.failures:
+            assert isinstance(failure, TrialFailure)
+            assert failure.error == "RuntimeError"
+            assert "deliberate failure" in failure.message
+            assert "RuntimeError" in failure.traceback
+        # rate() denominates over attempted trials, not just completed ones.
+        assert cell.rate("solved") == len(cell.trials) / 12
+        assert cell.failure_rate() == len(cell.failures) / 12
+
+    def test_pool_survives_failures(self):
+        with SweepRunner(processes=2) as runner:
+            flaky = runner.run_cell(
+                "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+            )
+            assert flaky.failures
+            clean = runner.run_cell(
+                "two-active", dict(GRID[0]), trials=TRIALS, master_seed=MASTER_SEED
+            )
+        reference = run_cell(
+            lambda seed: two_active_trial(GRID[0]["n"], GRID[0]["C"], seed),
+            trials=TRIALS,
+            master_seed=MASTER_SEED,
+            params=GRID[0],
+        )
+        assert cells_data([clean]) == cells_data([reference])
+
+    def test_failure_seeds_are_deterministic(self):
+        def failed_seeds():
+            with SweepRunner(processes=1) as runner:
+                cell = runner.run_cell(
+                    "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+                )
+            return [failure.seed for failure in cell.failures]
+
+        assert failed_seeds() == failed_seeds()
+
+    def test_unknown_trial_raises_before_scheduling(self):
+        with SweepRunner(processes=1) as runner:
+            with pytest.raises(KeyError):
+                runner.run_cell("no-such-trial", {}, trials=2)
+
+    def test_format_failures_truncates(self):
+        cell = CellResult(params={"n": 8})
+        for seed in range(7):
+            cell.failures.append(
+                TrialFailure(seed=seed, error="RuntimeError", message="x")
+            )
+        lines = format_failures([cell], limit=5)
+        assert len(lines) == 6
+        assert lines[-1] == "... and 2 more failure(s)"
+
+
+class TestCheckpointResume:
+    def run_checkpointed(self, tmp_path, **kwargs):
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            checkpoint_dir=str(tmp_path / "ckpt"), metrics=metrics, **kwargs
+        ) as runner:
+            sweep = runner.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        return sweep, metrics.snapshot()["counters"]
+
+    def test_interrupted_then_resumed_equals_uninterrupted(self, tmp_path):
+        """The golden resume test: kill mid-sweep, resume, compare."""
+        self.run_checkpointed(tmp_path, processes=1)
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        path = store.path_for("two-active", MASTER_SEED)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == len(GRID) * TRIALS
+        # Simulate a kill mid-grid: keep roughly the first half of the
+        # records, with the last surviving line torn mid-write.
+        keep = lines[: len(lines) // 2]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(keep) + "\n")
+            handle.write(lines[len(lines) // 2][: 20])  # torn tail
+        resumed, counters = self.run_checkpointed(tmp_path, processes=1)
+        assert cells_data(resumed.cells) == cells_data(serial_reference().cells)
+        assert counters["sweep/trials_cached"] == len(keep)
+        assert counters["sweep/trials_executed"] == len(lines) - len(keep)
+
+    def test_rerun_is_pure_cache_hit_and_never_forks(self, tmp_path):
+        self.run_checkpointed(tmp_path, processes=1)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            checkpoint_dir=str(tmp_path / "ckpt"), processes=2, metrics=metrics
+        ) as runner:
+            sweep = runner.run_grid(
+                "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+            assert runner._pool is None, "a fully-cached sweep must not fork"
+        counters = metrics.snapshot()["counters"]
+        assert "sweep/trials_executed" not in counters
+        assert counters["sweep/trials_cached"] == len(GRID) * TRIALS
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_resume_false_ignores_but_keeps_store(self, tmp_path):
+        self.run_checkpointed(tmp_path, processes=1)
+        _, counters = self.run_checkpointed(tmp_path, processes=1, resume=False)
+        assert counters["sweep/trials_executed"] == len(GRID) * TRIALS
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        # Both runs appended: the store now holds duplicate keys on disk but
+        # load() deduplicates (last record wins).
+        assert len(store.load("two-active", MASTER_SEED)) == len(GRID) * TRIALS
+
+    def test_failed_trials_are_cached_and_retryable(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        with SweepRunner(checkpoint_dir=directory, processes=1) as runner:
+            first = runner.run_cell(
+                "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+            )
+        assert first.failures
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            checkpoint_dir=directory, processes=1, metrics=metrics
+        ) as runner:
+            second = runner.run_cell(
+                "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+            )
+        counters = metrics.snapshot()["counters"]
+        assert "sweep/trials_executed" not in counters
+        assert counters["sweep/trials_failed"] == len(first.failures)
+        assert [f.seed for f in second.failures] == [f.seed for f in first.failures]
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            checkpoint_dir=directory, processes=1, retry_failures=True,
+            metrics=metrics,
+        ) as runner:
+            third = runner.run_cell(
+                "runner-test-flaky", {"n": 8}, trials=12, master_seed=0
+            )
+        counters = metrics.snapshot()["counters"]
+        # Failed seeds re-ran (and failed again — the trial is deterministic);
+        # completed seeds stayed cached.
+        assert counters["sweep/trials_executed"] == len(first.failures)
+        assert counters["sweep/trials_cached"] == 12 - len(first.failures)
+        assert cells_data([third]) == cells_data([first])
+
+    def test_store_isolates_master_seeds(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.path_for("two-active", 1) != store.path_for("two-active", 2)
+        assert store.path_for("a/b c", 1).endswith("a_b_c-s1.jsonl")
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.path_for("two-active", 0)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"format_version": 999}) + "\n")
+            handle.write("\n")
+            record = checkpoint_record_to_dict(
+                trial="two-active", params={"n": 32, "C": 2}, master_seed=0,
+                stream=0, seed=17, metrics={"rounds": 4.0},
+            )
+            handle.write(json.dumps(record) + "\n")
+        loaded = store.load("two-active", 0)
+        assert list(loaded.values()) == [record]
+
+
+class TestProcessValidation:
+    """Satellite: ``processes`` validation and single-CPU fallback."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_rejected_everywhere(self, bad):
+        with pytest.raises(ValueError):
+            SweepRunner(processes=bad)
+        with pytest.raises(ValueError):
+            run_cell_parallel("two-active", dict(GRID[0]), trials=2, processes=bad)
+        with pytest.raises(ValueError):
+            run_cell_parallel_profiled(
+                "solve-profiled", dict(GRID[0]), trials=2, processes=bad
+            )
+
+    @pytest.mark.parametrize("detected", [None, 1])
+    def test_unknown_or_single_cpu_falls_back_in_process(self, monkeypatch, detected):
+        monkeypatch.setattr(os, "cpu_count", lambda: detected)
+        assert resolve_processes(None) == 1
+        with SweepRunner() as runner:
+            assert runner.processes == 1
+            runner.run_cell("two-active", dict(GRID[0]), trials=2, master_seed=1)
+            assert runner._pool is None
+
+    def test_multi_cpu_detection_used(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_processes(None) == 6
+        assert resolve_processes(3) == 3
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable on this platform",
+)
+class TestSpawnStartMethod:
+    """Satellite: registry-by-name trials must survive spawn workers.
+
+    Spawn workers import the function's defining module instead of
+    inheriting the parent's memory, so only trials registered at import
+    time of a real module (here ``repro.analysis.parallel``) resolve.
+    """
+
+    def test_run_cell_parallel_under_spawn(self):
+        params = {"n": 32, "C": 4}
+        cell = run_cell_parallel(
+            "two-active", params, trials=3, master_seed=2, processes=2,
+            start_method="spawn",
+        )
+        reference = run_cell(
+            lambda seed: two_active_trial(params["n"], params["C"], seed),
+            trials=3,
+            master_seed=2,
+            params=params,
+        )
+        assert cells_data([cell]) == cells_data([reference])
+
+    def test_runner_under_spawn(self):
+        grid = [{"n": 32, "C": 4}]
+        with SweepRunner(processes=2, start_method="spawn") as runner:
+            sweep = runner.run_grid("two-active", grid, trials=3, master_seed=2)
+        assert cells_data(sweep.cells) == cells_data(
+            serial_reference(grid=grid, trials=3, master_seed=2).cells
+        )
+
+
+class TestCellMatching:
+    """Satellite: type-aware ``SweepResult.cell`` parameter matching."""
+
+    @staticmethod
+    def build(params_list):
+        sweep = SweepResult()
+        for params in params_list:
+            sweep.cells.append(CellResult(params=dict(params)))
+        return sweep
+
+    def test_bool_axis_never_aliases_int_axis(self):
+        sweep = self.build([{"flag": True, "n": 4}, {"flag": 1, "n": 4}])
+        assert sweep.cell(flag=True).params["flag"] is True
+        assert sweep.cell(flag=1).params["flag"] == 1
+        assert not isinstance(sweep.cell(flag=1).params["flag"], bool)
+
+    def test_int_and_float_cross_match_numerically(self):
+        sweep = self.build([{"density": 1, "n": 4}, {"density": 0.5, "n": 4}])
+        assert sweep.cell(density=1.0).params["density"] == 1
+        assert sweep.cell(density=0.5).params["n"] == 4
+
+    def test_no_match_raises(self):
+        sweep = self.build([{"flag": 1}])
+        with pytest.raises(KeyError):
+            sweep.cell(flag=True)
+
+    def test_checkpoint_key_is_type_faithful(self):
+        keys = {
+            checkpoint_key("t", {"x": value}, 0, 0, 1)
+            for value in (True, 1, 1.0, "1")
+        }
+        assert len(keys) == 4
+        assert canonical_params({"b": 2, "a": 1}) == canonical_params({"a": 1, "b": 2})
+
+
+_PARAM_VALUES = (
+    st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=8)
+)
+
+
+class TestCheckpointRecordProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        params=st.dictionaries(st.text(min_size=1, max_size=6), _PARAM_VALUES, max_size=4),
+        metrics=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=2**63 - 1),
+        stream=st.integers(min_value=0, max_value=1000),
+    )
+    def test_ok_record_round_trips_through_json(self, params, metrics, seed, stream):
+        record = checkpoint_record_to_dict(
+            trial="probe", params=params, master_seed=7, stream=stream,
+            seed=seed, metrics=metrics,
+        )
+        assert checkpoint_record_from_dict(json.loads(json.dumps(record))) == record
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        message=st.text(max_size=40),
+        error=st.text(min_size=1, max_size=20),
+    )
+    def test_failure_record_round_trips_through_json(self, message, error):
+        record = checkpoint_record_to_dict(
+            trial="probe", params={"n": 2}, master_seed=0, stream=0, seed=5,
+            failure={"error": error, "message": message, "traceback": ""},
+        )
+        assert checkpoint_record_from_dict(json.loads(json.dumps(record))) == record
+
+    def test_record_requires_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            checkpoint_record_to_dict(
+                trial="probe", params={}, master_seed=0, stream=0, seed=1
+            )
+        with pytest.raises(ValueError):
+            checkpoint_record_to_dict(
+                trial="probe", params={}, master_seed=0, stream=0, seed=1,
+                metrics={"rounds": 1.0},
+                failure={"error": "E", "message": "m", "traceback": ""},
+            )
+
+
+class TestProfiledOnSharedPool:
+    def test_profiled_cell_matches_per_call_pool(self):
+        params = {"protocol": "two-active", "n": 32, "C": 4, "active": 2}
+        with SweepRunner(processes=2) as runner:
+            shared = runner.run_cell_profiled(
+                "solve-profiled", params, trials=3, master_seed=2
+            )
+        per_call = run_cell_parallel_profiled(
+            "solve-profiled", params, trials=3, master_seed=2, processes=2
+        )
+        assert [dict(t) for t in shared.cell.trials] == [
+            dict(t) for t in per_call.cell.trials
+        ]
+        assert (
+            shared.registry.snapshot()["counters"]
+            == per_call.registry.snapshot()["counters"]
+        )

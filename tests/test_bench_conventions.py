@@ -31,10 +31,14 @@ class TestBenchmarkConventions:
                 or module_name in all_sources
             ), f"no benchmark exercises experiment {key} ({module_name})"
 
+    #: Substrate-timing modules (engine / sweep-orchestration throughput),
+    #: not reproductions — exempt from the "Reproduces" docstring gate.
+    SUBSTRATE_BENCHES = {"bench_engine_throughput.py", "bench_sweep_runner.py"}
+
     def test_docstrings_state_what_is_reproduced(self):
         for path, source in bench_sources():
-            if path.name == "bench_engine_throughput.py":
-                continue  # substrate timing, not a reproduction
+            if path.name in self.SUBSTRATE_BENCHES:
+                continue
             tree = ast.parse(source)
             docstring = ast.get_docstring(tree) or ""
             assert "Reproduces" in docstring, path.name

@@ -111,3 +111,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "round |" in out
         assert "recorded rounds" in out
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep",
+        "--trial", "two-active",
+        "--axis", "n=32,64",
+        "--axis", "C=4",
+        "--trials", "2",
+        "--seed", "1",
+    ]
+
+    def test_sweep_runs_and_reports(self, capsys):
+        assert main(self.ARGS + ["--processes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: trial=two-active cells=2 trials/cell=2" in out
+        assert "mean_rounds" in out
+        assert "trials: 4 executed, 0 cached, 0 failed" in out
+
+    def test_sweep_checkpointed_rerun_is_cached(self, capsys, tmp_path):
+        args = self.ARGS + ["--processes", "1", "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "trials: 0 executed, 4 cached, 0 failed" in out
+
+    def test_sweep_rejects_bad_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--trial", "two-active", "--axis", "nonsense"])
+
+    def test_sweep_requires_an_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--trial", "two-active", "--trials", "2"])
+
+    def test_sweep_bool_axis_stays_bool(self, capsys):
+        # true/false spellings parse to booleans (type-aware cell lookup);
+        # an unknown trial name must fail loudly, not schedule anything.
+        with pytest.raises(KeyError):
+            main(["sweep", "--trial", "bogus", "--axis", "flag=true,false"])

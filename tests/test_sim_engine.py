@@ -177,6 +177,68 @@ class TestLifecycle:
         with pytest.raises(RoundLimitExceeded):
             run_execution(factory, n=4, num_channels=4, active_ids=[1], max_rounds=10)
 
+    def test_round_limit_delivers_terminal_summary_first(self):
+        """Every on_run_start is balanced by exactly one on_run_end.
+
+        A run that exhausts its budget must hand its sink a terminal
+        ``RunSummary(solved=False, ...)`` before ``RoundLimitExceeded``
+        propagates — otherwise long-lived aggregators (profiled sweeps,
+        the metrics CLI) leak a half-open run on every timeout.
+        """
+        from repro.obs import EventLog
+
+        def factory(ctx):
+            def forever():
+                while True:
+                    yield listen(2)
+
+            return forever()
+
+        log = EventLog()
+        with pytest.raises(RoundLimitExceeded):
+            run_execution(
+                factory,
+                n=4,
+                num_channels=4,
+                active_ids=[1],
+                max_rounds=10,
+                instrument=log,
+            )
+        assert log.info is not None
+        assert log.summary is not None, "no terminal summary before the raise"
+        assert log.summary.solved is False
+        assert log.summary.solved_round is None
+        assert log.summary.winner is None
+        assert log.summary.rounds == 10
+        assert log.summary.wall_time_s >= 0.0
+        assert len(log.events) == 10
+
+    def test_round_limit_registry_sink_stays_balanced(self):
+        from repro.obs import RegistrySink
+
+        def factory(ctx):
+            def forever():
+                while True:
+                    yield listen(2)
+
+            return forever()
+
+        sink = RegistrySink()
+        with pytest.raises(RoundLimitExceeded):
+            run_execution(
+                factory,
+                n=4,
+                num_channels=4,
+                active_ids=[1],
+                max_rounds=5,
+                instrument=sink,
+            )
+        snapshot = sink.registry.snapshot()
+        assert snapshot["counters"]["runs"] == 1.0
+        assert snapshot["counters"].get("solved_runs", 0.0) == 0.0
+        # The terminal summary folded in: the per-run histograms closed.
+        assert snapshot["histograms"]["rounds_per_run"]["count"] == 1
+
     def test_mixed_lifetimes(self):
         factory = scripted({1: [listen(2)] * 5, 2: [listen(3)] * 2})
         result = run_execution(factory, n=4, num_channels=4, active_ids=[1, 2])
