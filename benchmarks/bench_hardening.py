@@ -1,0 +1,108 @@
+"""E21 — hardening: the ``repro.robust`` combinators vs the fault models.
+
+Reproduces the inject→mitigate verdict of the hardening experiment
+(``repro.experiments.hardening``): wrapped in the per-threat combinator
+stack, every protocol solves at least as often as its bare self in every
+swept (model, intensity) cell — decisively so under primary-channel
+jamming, where the bare one-shot CD algorithms never solve and the
+watchdog-hardened ones always do.
+
+The second half gates the **zero-fault overhead** of each combinator
+individually, on fault-free paired runs: VerifiedSolve and WatchdogRestart
+must cost *zero* extra rounds to solve (the echo only fires on a perceived
+win, which under ``stop_on_solve`` already ended the run; the watchdog only
+counts), and MajorityVoteCD at most its repeat factor.  The
+``hardening_overhead`` workload feeds the same guarantee into the CI
+regression guard (``check_regression.py`` + ``BENCH_baseline.json``).
+"""
+
+from conftest import run_once
+
+from repro import FNWGeneral, solve
+from repro.experiments import hardening
+from repro.robust import COMBINATORS, harden
+from repro.sim import activate_random
+
+#: Fault-free paired-run settings for the overhead gates.
+_N, _C, _ACTIVE = 256, 16, 24
+_SEEDS = range(10)
+
+
+def _paired_rounds(force):
+    """(bare, hardened) total rounds-to-solve over the seed set."""
+    bare_total = hard_total = 0
+    for seed in _SEEDS:
+        activation = activate_random(_N, _ACTIVE, seed=seed)
+        bare = solve(
+            FNWGeneral(), n=_N, num_channels=_C, activation=activation, seed=seed
+        )
+        hard = solve(
+            harden(FNWGeneral(), None, force=force),
+            n=_N,
+            num_channels=_C,
+            activation=activation,
+            seed=seed,
+        )
+        assert bare.solved and hard.solved
+        bare_total += bare.solved_round
+        hard_total += hard.solved_round
+    return bare_total, hard_total
+
+
+def hardening_overhead():
+    """The full combinator stack solving fault-free instances (CI workload)."""
+    return _paired_rounds(COMBINATORS)
+
+
+#: Shared with ``check_regression.py`` so the CI regression guard times
+#: exactly what this benchmark gates.
+WORKLOADS = {"hardening_overhead": hardening_overhead}
+
+
+def test_bench_e21_hardened_vs_bare(benchmark, report):
+    config = hardening.Config(
+        n=256,
+        num_channels=16,
+        active_count=24,
+        trials=10,
+        intensities=(0.2, 0.5),
+    )
+    outcome = run_once(benchmark, lambda: hardening.run(config))
+    report(
+        outcome.table,
+        footer=(
+            f"hardened dominates bare: {outcome.hardened_dominates()}; "
+            f"max zero-fault overhead {outcome.max_zero_fault_overhead():.2f}x"
+        ),
+    )
+    # The headline: hardened never loses to bare, anywhere in the grid.
+    assert outcome.hardened_dominates()
+    # Jamming: bare one-shot CD algorithms are dead, hardened ones are not
+    # (the watchdog restart outlasts the jam budget).
+    for fragile in ("two-active", "fnw-general"):
+        for intensity in config.intensities:
+            assert outcome.bare_rates[(fragile, "jamming", intensity)] == 0.0
+            assert outcome.hardened_rates[(fragile, "jamming", intensity)] == 1.0
+    # The fault-free rows measured a bounded overhead: at most the vote's
+    # repeat factor (the other combinators are free).
+    assert outcome.max_zero_fault_overhead() <= 3.0
+
+
+def test_bench_verified_solve_zero_fault_overhead(benchmark):
+    bare, hardened = run_once(benchmark, lambda: _paired_rounds(("verify",)))
+    assert hardened == bare  # echoes never fire before the engine stops
+
+
+def test_bench_watchdog_zero_fault_overhead(benchmark):
+    bare, hardened = run_once(benchmark, lambda: _paired_rounds(("watchdog",)))
+    assert hardened == bare  # the watchdog only counts until a fault wedges
+
+
+def test_bench_vote_overhead_bounded_by_repeats(benchmark):
+    bare, hardened = run_once(benchmark, lambda: _paired_rounds(("vote",)))
+    assert bare < hardened <= 3 * bare  # k-fold repeat, k = 3
+
+
+def test_bench_full_stack_overhead(benchmark):
+    bare, hardened = run_once(benchmark, lambda: hardening_overhead())
+    assert hardened <= 3 * bare  # vote dominates; verify + watchdog add zero

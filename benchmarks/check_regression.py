@@ -1,7 +1,7 @@
 """Benchmark-regression guard for the substrate throughput workloads.
 
-Times the workloads ``bench_engine_throughput.WORKLOADS`` and
-``bench_sweep_runner.WORKLOADS`` define and
+Times the workloads ``bench_engine_throughput.WORKLOADS``,
+``bench_hardening.WORKLOADS``, and ``bench_sweep_runner.WORKLOADS`` define and
 compares against the committed baseline (``BENCH_baseline.json``), failing
 when any workload is more than ``--tolerance`` slower.  Scores are
 *calibration-normalized*: each workload's best-of-N wall time is divided by
@@ -26,9 +26,14 @@ import sys
 import time
 
 import bench_engine_throughput
+import bench_hardening
 import bench_sweep_runner
 
-WORKLOADS = {**bench_engine_throughput.WORKLOADS, **bench_sweep_runner.WORKLOADS}
+WORKLOADS = {
+    **bench_engine_throughput.WORKLOADS,
+    **bench_hardening.WORKLOADS,
+    **bench_sweep_runner.WORKLOADS,
+}
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_baseline.json"
 
@@ -43,6 +48,7 @@ _BATCH = {
     "long_sparse_run": 200,
     "multichannel_election": 3,
     "sweep_runner_grid": 5,
+    "hardening_overhead": 2,
 }
 
 

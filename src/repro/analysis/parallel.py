@@ -386,6 +386,35 @@ def _wakeup(
     return wakeup_trial(n, C, active, max_delay, seed)
 
 
+@register_trial("hardened-fault")
+def _hardened_fault(
+    seed: int,
+    *,
+    protocol: str,
+    model: str,
+    intensity: float,
+    hardened: bool,
+    n: int,
+    C: int,
+    active: int,
+    max_rounds: int,
+) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.hardening.hardened_fault_trial`."""
+    from ..experiments.hardening import hardened_fault_trial
+
+    return hardened_fault_trial(
+        seed,
+        protocol=protocol,
+        model=model,
+        intensity=intensity,
+        hardened=hardened,
+        n=n,
+        C=C,
+        active=active,
+        max_rounds=max_rounds,
+    )
+
+
 @register_profiled_trial("solve-profiled")
 def _solve_profiled(
     seed: int, *, protocol: str, n: int, C: int, active: int

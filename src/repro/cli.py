@@ -188,11 +188,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         trials=args.trials,
         max_rounds=args.max_rounds,
         master_seed=args.seed,
+        harden=args.harden,
     )
     print(
         f"fault sweep: n={config.n} C={config.num_channels} "
         f"active={config.active_count} trials={config.trials} "
         f"max_rounds={config.max_rounds} master_seed={config.master_seed}"
+        + (" hardened=repro.robust" if config.harden else "")
     )
     print()
     outcome = fault_tolerance.run(config)
@@ -205,6 +207,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             for model in config.models
         )
     )
+    dead = outcome.dead_cells()
+    if dead:
+        print()
+        print(
+            "unsolved cells (no trial solved; jammed/noised to the round "
+            "limit): "
+            + ", ".join(f"{p}/{m}@{i:g}" for p, m, i in dead)
+        )
+        return 1
     return 0
 
 
@@ -450,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=[0.1, 0.3, 0.6],
         help="intensity knob per model (see repro.faults.plan_for)",
+    )
+    faults_parser.add_argument(
+        "--harden",
+        action="store_true",
+        help="wrap each protocol with repro.robust.harden (combinators "
+        "chosen per fault plan) before injecting",
     )
     faults_parser.set_defaults(fn=_cmd_faults)
 

@@ -15,6 +15,7 @@ from . import (
     expected_time,
     fault_tolerance,
     general_scaling,
+    hardening,
     id_reduction_scaling,
     kappa_ablation,
     leaf_election_scaling,
@@ -49,6 +50,7 @@ REGISTRY = {
     "e18": (step_breakdown, "Figure: per-step round attribution"),
     "e19": (adversarial_search, "Adversarial activation search (bounded gain)"),
     "e20": (fault_tolerance, "Fault tolerance under jamming / CD noise / churn"),
+    "e21": (hardening, "Hardened (repro.robust) vs bare under fault injection"),
 }
 
 __all__ = [
@@ -61,6 +63,7 @@ __all__ = [
     "expected_time",
     "fault_tolerance",
     "general_scaling",
+    "hardening",
     "id_reduction_scaling",
     "kappa_ablation",
     "leaf_election_scaling",

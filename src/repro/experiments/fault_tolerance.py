@@ -66,6 +66,9 @@ class Config:
     trials: int = 30
     max_rounds: int = 3000
     master_seed: int = 20
+    #: Wrap each protocol with :func:`repro.robust.harden` (combinators
+    #: chosen per fault plan) before injecting — the ``--harden`` CLI flag.
+    harden: bool = False
 
 
 @dataclass
@@ -84,6 +87,12 @@ class Outcome:
     def rate(self, protocol: str, model: str, intensity: float) -> float:
         """The solve rate of one (protocol, model, intensity) cell."""
         return self.solve_rates[(protocol, model, intensity)]
+
+    def dead_cells(self) -> list:
+        """Swept (protocol, model, intensity) cells in which *no* trial
+        solved — the run was jammed (or noised) to the round limit every
+        single time.  The ``repro faults`` CLI exits 1 when any exist."""
+        return sorted(key for key, rate in self.solve_rates.items() if rate == 0.0)
 
     def min_rate(self, model: str) -> float:
         """The worst solve rate any protocol posts under ``model``."""
@@ -134,10 +143,15 @@ def fault_trial(
     else:
         activation = activate_random(config.n, config.active_count, seed=seed)
     faults = plan_for(model, intensity)
+    candidate = make_protocol(protocol_name)
+    if config.harden:
+        from ..robust import harden
+
+        candidate = harden(candidate, faults)
     crashed = False
     try:
         result = solve(
-            make_protocol(protocol_name),
+            candidate,
             n=config.n,
             num_channels=config.num_channels,
             activation=activation,
@@ -183,7 +197,8 @@ def run(config: Config = Config()) -> Outcome:
         ["protocol", "model", "intensity", "solve_rate", "mean_rounds", "inflation"],
         caption=(
             f"E20: solve rate and round inflation under fault injection "
-            f"(n={config.n}, C={config.num_channels}, trials={config.trials})"
+            f"(n={config.n}, C={config.num_channels}, trials={config.trials}"
+            + (", hardened via repro.robust)" if config.harden else ")")
         ),
         digits=2,
     )

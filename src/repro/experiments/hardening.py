@@ -1,0 +1,303 @@
+"""E21 — hardening: do the `repro.robust` combinators beat the faults?
+
+E20 measured how badly jamming, CD noise, and churn hurt the bare
+algorithms; this experiment closes the inject→mitigate loop.  For every
+(protocol, fault model, intensity) cell it runs *paired* sweeps — the bare
+protocol and :func:`repro.robust.harden`'s combinator stack, on identical
+seed streams, under the identical injected plan — and reports both solve
+rates side by side, plus the round overhead hardening costs when nothing
+is attacking (the fault-free rows, with every combinator forced on).
+
+Expectations the verdict helpers encode:
+
+1. **dominance** — the hardened stack solves at least as often as the bare
+   protocol in *every* swept cell (:meth:`Outcome.hardened_dominates`).
+   The combinators are chosen per threat, so this is the whole point;
+2. **decisive wins where bare collapses** — primary-channel jamming kills
+   the one-shot CD algorithms outright (E20 expectation 3); the watchdog's
+   restart outlasts the jam budget, so the hardened rate should be near 1
+   where the bare rate is near 0;
+3. **bounded zero-fault overhead** — with no faults injected, VerifiedSolve
+   and WatchdogRestart cost *zero* extra rounds (echoes only trigger on a
+   perceived win, which under ``stop_on_solve`` already ended the run; the
+   watchdog only counts), and MajorityVoteCD costs at most its repeat
+   factor (:meth:`Outcome.max_zero_fault_overhead`, benchmarked by
+   ``benchmarks/bench_hardening.py``).
+
+The sweep runs through :func:`repro.experiments.common.run_registered_sweep`
+(the ``hardened-fault`` registered trial), so ``processes=`` /
+``checkpoint_dir=`` buy the resilient :class:`~repro.analysis.runner.SweepRunner`
+path with results bitwise-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..analysis import Table
+from ..analysis.sweep import CellResult
+from ..faults import plan_for
+from ..robust import COMBINATORS, harden
+from ..sim import activate_pair, activate_random
+from ..sim.errors import RoundLimitExceeded
+from .common import make_protocol, run_registered_sweep
+
+DEFAULT_PROTOCOLS = ("two-active", "fnw-general", "decay")
+DEFAULT_MODELS = ("jamming", "cd-noise", "churn")
+DEFAULT_INTENSITIES = (0.2, 0.5)
+
+
+@dataclass(frozen=True)
+class Config:
+    """Sweep configuration (defaults are the report/CLI scale)."""
+
+    n: int = 256
+    num_channels: int = 16
+    active_count: int = 24
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    models: Sequence[str] = DEFAULT_MODELS
+    intensities: Sequence[float] = DEFAULT_INTENSITIES
+    trials: int = 20
+    max_rounds: int = 3000
+    master_seed: int = 21
+    #: Forwarded to :func:`run_registered_sweep`: either selects the
+    #: resilient SweepRunner path (shared pool / checkpointed), neither
+    #: selects the serial path.  Results are identical either way.
+    processes: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+
+
+def hardened_fault_trial(
+    seed: int,
+    *,
+    protocol: str,
+    model: str,
+    intensity: float,
+    hardened: bool,
+    n: int,
+    C: int,
+    active: int,
+    max_rounds: int,
+) -> Mapping[str, float]:
+    """One seeded execution, bare or hardened, in sweep-trial shape.
+
+    The same seed drives activation, the protocol's random streams, and the
+    fault plan, so a (bare, hardened) pair of trials differs *only* in the
+    combinator stack.  Scoring follows E20's ``fault_trial``: round-budget
+    exhaustion and protocol crashes both count as unsolved with the budget
+    as the censored round count.  For the fault-free rows (``model ==
+    "none"``) a hardened trial forces every combinator on — ``harden`` would
+    otherwise correctly select none and measure nothing — which is exactly
+    the zero-fault overhead question.
+    """
+    from ..protocols import solve
+
+    if protocol == "two-active":
+        activation = activate_pair(n, seed=seed)
+    else:
+        activation = activate_random(n, active, seed=seed)
+    faults = plan_for(model, intensity)
+    candidate = make_protocol(protocol)
+    if hardened:
+        force = COMBINATORS if model == "none" else ()
+        candidate = harden(candidate, faults, force=force)
+    crashed = False
+    try:
+        result = solve(
+            candidate,
+            n=n,
+            num_channels=C,
+            activation=activation,
+            seed=seed,
+            max_rounds=max_rounds,
+            faults=faults,
+        )
+        solved = result.solved
+        rounds = result.solved_round if result.solved else max_rounds
+    except RoundLimitExceeded:
+        # Watchdog-wrapped nodes never terminate on their own, so an
+        # unsolved hardened run always ends here rather than by quiescence.
+        solved = False
+        rounds = max_rounds
+    except Exception:  # noqa: BLE001 - protocol died on a fault-violated invariant
+        solved = False
+        rounds = max_rounds
+        crashed = True
+    metrics: Dict[str, float] = {
+        "rounds": float(rounds),
+        "solved": float(solved),
+        "crashed": float(crashed),
+    }
+    if solved:
+        metrics["solved_rounds"] = float(rounds)
+    return metrics
+
+
+@dataclass
+class Outcome:
+    """Tables plus the per-cell verdict data."""
+
+    table: Table
+    #: (protocol, model, intensity) -> bare / hardened solve rates.
+    bare_rates: Dict[Tuple[str, str, float], float]
+    hardened_rates: Dict[Tuple[str, str, float], float]
+    #: protocol -> (bare mean rounds, hardened mean rounds) with no faults.
+    zero_fault_rounds: Dict[str, Tuple[float, float]]
+
+    def gain(self, protocol: str, model: str, intensity: float) -> float:
+        """Hardened minus bare solve rate for one swept cell."""
+        key = (protocol, model, intensity)
+        return self.hardened_rates[key] - self.bare_rates[key]
+
+    def hardened_dominates(self) -> bool:
+        """Hardened solve rate >= bare in every swept (non-baseline) cell."""
+        return all(
+            self.hardened_rates[key] >= rate
+            for key, rate in self.bare_rates.items()
+        )
+
+    def max_zero_fault_overhead(self) -> float:
+        """Worst hardened/bare round ratio across the fault-free rows."""
+        ratios = [
+            hardened / bare
+            for bare, hardened in self.zero_fault_rounds.values()
+            if bare > 0 and not math.isnan(hardened)
+        ]
+        return max(ratios) if ratios else float("nan")
+
+    def worst_hardened_rate(self, model: str) -> float:
+        """The worst hardened solve rate any protocol posts under ``model``."""
+        rates = [
+            rate for (_, m, _), rate in self.hardened_rates.items() if m == model
+        ]
+        if not rates:
+            raise KeyError(f"no cells for model {model!r}")
+        return min(rates)
+
+
+def _grid(config: Config, hardened: bool):
+    cells = []
+    for protocol in config.protocols:
+        cells.append((protocol, "none", 0.0))
+        for model in config.models:
+            for intensity in config.intensities:
+                cells.append((protocol, model, intensity))
+    return [
+        {
+            "protocol": protocol,
+            "model": model,
+            "intensity": intensity,
+            "hardened": hardened,
+            "n": config.n,
+            "C": config.num_channels,
+            "active": config.active_count,
+            "max_rounds": config.max_rounds,
+        }
+        for protocol, model, intensity in cells
+    ]
+
+
+def _mean_solved_rounds(cell: CellResult) -> float:
+    values = cell.metric("solved_rounds")
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run the paired bare/hardened sweeps and return table plus verdicts.
+
+    The two sweeps share ``master_seed`` and enumerate the same grid in the
+    same order, so cell *i* of each draws the identical seed stream — every
+    hardened trial is compared against the bare run of the very same
+    instance (same activation, same fault plan randomness).
+    """
+    bare = run_registered_sweep(
+        "hardened-fault",
+        _grid(config, hardened=False),
+        trials=config.trials,
+        master_seed=config.master_seed,
+        processes=config.processes,
+        checkpoint_dir=config.checkpoint_dir,
+    )
+    hardened = run_registered_sweep(
+        "hardened-fault",
+        _grid(config, hardened=True),
+        trials=config.trials,
+        master_seed=config.master_seed,
+        processes=config.processes,
+        checkpoint_dir=config.checkpoint_dir,
+    )
+
+    table = Table(
+        [
+            "protocol",
+            "model",
+            "intensity",
+            "bare_rate",
+            "hard_rate",
+            "bare_rounds",
+            "hard_rounds",
+        ],
+        caption=(
+            f"E21: bare vs hardened (repro.robust) under fault injection "
+            f"(n={config.n}, C={config.num_channels}, trials={config.trials}, "
+            f"paired seeds)"
+        ),
+        digits=2,
+    )
+    bare_rates: Dict[Tuple[str, str, float], float] = {}
+    hardened_rates: Dict[Tuple[str, str, float], float] = {}
+    zero_fault_rounds: Dict[str, Tuple[float, float]] = {}
+
+    for bare_cell, hard_cell in zip(bare.cells, hardened.cells):
+        params = bare_cell.params
+        protocol = params["protocol"]
+        model = params["model"]
+        intensity = params["intensity"]
+        bare_rate = bare_cell.rate("solved")
+        hard_rate = hard_cell.rate("solved")
+        bare_rounds = _mean_solved_rounds(bare_cell)
+        hard_rounds = _mean_solved_rounds(hard_cell)
+        if model == "none":
+            zero_fault_rounds[protocol] = (bare_rounds, hard_rounds)
+        else:
+            bare_rates[(protocol, model, intensity)] = bare_rate
+            hardened_rates[(protocol, model, intensity)] = hard_rate
+        table.add_row(
+            protocol,
+            model,
+            intensity,
+            bare_rate,
+            hard_rate,
+            bare_rounds if bare_rate > 0 else "-",
+            hard_rounds if hard_rate > 0 else "-",
+        )
+
+    return Outcome(
+        table=table,
+        bare_rates=bare_rates,
+        hardened_rates=hardened_rates,
+        zero_fault_rounds=zero_fault_rounds,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    print(
+        f"hardened dominates bare: {outcome.hardened_dominates()}; "
+        f"max zero-fault round overhead: "
+        f"{outcome.max_zero_fault_overhead():.2f}x; "
+        + "; ".join(
+            f"worst hardened {model} rate {outcome.worst_hardened_rate(model):.2f}"
+            for model in DEFAULT_MODELS
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Protocol hardening: combinators that survive the fault models.
+
+``repro.faults`` injects adversity (jamming, CD noise, churn); this package
+*mitigates* it.  The combinators wrap any :class:`~repro.protocols.Protocol`
+without touching its code, and :func:`harden` picks the right ones for a
+fault plan::
+
+    from repro.faults import plan_for
+    from repro.robust import harden, solve_hardened
+
+    plan = plan_for("jamming", 0.5)
+    result = solve_hardened(FNWGeneral(), faults=plan, n=256, num_channels=16,
+                            activation=activate_random(256, 24, seed=7), seed=7)
+
+See docs/robustness.md for the threat-model → combinator → guarantee table,
+experiment ``e21`` for the hardened-vs-bare sweep, and
+``benchmarks/bench_hardening.py`` for the zero-fault overhead gates.
+"""
+
+from .combinators import (
+    MajorityVoteCD,
+    VerifiedSolve,
+    WatchdogRestart,
+    default_watchdog_budget,
+)
+from .harden import (
+    COMBINATORS,
+    DEFAULT_CONFIG,
+    HardeningConfig,
+    combinators_for,
+    harden,
+    iter_models,
+    solve_hardened,
+)
+
+__all__ = [
+    "COMBINATORS",
+    "DEFAULT_CONFIG",
+    "HardeningConfig",
+    "MajorityVoteCD",
+    "VerifiedSolve",
+    "WatchdogRestart",
+    "combinators_for",
+    "default_watchdog_budget",
+    "harden",
+    "iter_models",
+    "solve_hardened",
+]

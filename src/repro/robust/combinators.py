@@ -1,0 +1,355 @@
+"""Hardening combinators: `Protocol` wrappers that survive the fault models.
+
+Each combinator wraps an inner :class:`~repro.protocols.Protocol` and
+mediates the ``yield Action`` / ``send(Observation)`` conversation between
+the inner coroutine and the engine, so hardening composes with *any*
+protocol in the repo — the paper's algorithms, the baselines, and
+user-written ones — without touching their code.
+
+Three combinators, one per fault family (docs/robustness.md has the full
+threat-model table):
+
+* :class:`MajorityVoteCD` masks :class:`~repro.faults.CDNoise` misreads by
+  repeating every logical round ``repeats`` times and majority-voting the
+  per-channel feedback.
+* :class:`VerifiedSolve` eliminates false solves (a phantom ``MESSAGE``
+  conjured by noise, or a message heard through a part-time jammer) by
+  echoing on the primary channel before the inner protocol acts on a win.
+* :class:`WatchdogRestart` bounds the damage of a wedged execution (jammed
+  primary, crashed leader, a knock-out phase making no progress) by
+  restarting the inner protocol with fresh seed-derived randomness under
+  exponential backoff on the round budget.
+
+All three are *stream-stable*: they never draw from ``ctx.rng`` on the
+fault-free path, so wrapping a protocol does not perturb the inner
+protocol's random stream — the differential suite
+(`tests/test_robust_differential.py`) pins this bitwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..protocols.base import Protocol
+from ..sim.actions import IDLE, Action, listen, transmit
+from ..sim.context import NodeContext
+from ..sim.feedback import Feedback, Observation
+from ..sim.network import PRIMARY_CHANNEL
+from ..sim.rng import derive_seed
+
+__all__ = [
+    "MajorityVoteCD",
+    "VerifiedSolve",
+    "WatchdogRestart",
+    "default_watchdog_budget",
+]
+
+#: Tie-break order when a vote splits evenly: prefer the *more severe*
+#: reading, because the paper's algorithms are conservative under collision
+#: (a spurious COLLISION costs a retry; a spurious SILENCE/MESSAGE can end a
+#: knock-out phase early or declare a false winner).
+_SEVERITY = (Feedback.COLLISION, Feedback.MESSAGE, Feedback.SILENCE, Feedback.NONE)
+
+#: Domain-separation tag for watchdog restart seeds.
+_RESTART_TAG = "robust:watchdog"
+
+
+def _bump(metrics: Optional[MetricsRegistry], name: str, amount: int = 1) -> None:
+    if metrics is not None and amount:
+        metrics.counter(name).inc(amount)
+
+
+def _vote(observations: List[Observation]) -> Tuple[Observation, int]:
+    """Majority-vote a repeat block into one observation.
+
+    Returns the synthesized observation plus the number of repeats whose
+    feedback disagreed with the winner (the *masked* readings).
+    """
+    tally = {}
+    for obs in observations:
+        tally[obs.feedback] = tally.get(obs.feedback, 0) + 1
+    best = max(tally.values())
+    winner = next(fb for fb in _SEVERITY if tally.get(fb, 0) == best)
+    template = observations[-1]
+    message: Any = None
+    if winner is Feedback.MESSAGE:
+        message = next(
+            (o.message for o in observations
+             if o.feedback is Feedback.MESSAGE and o.message is not None),
+            None,
+        )
+    masked = len(observations) - tally[winner]
+    if winner is template.feedback and message == template.message:
+        return template, masked
+    return (
+        Observation(
+            feedback=winner,
+            message=message,
+            channel=template.channel,
+            round_index=template.round_index,
+            transmitted=template.transmitted,
+        ),
+        masked,
+    )
+
+
+class MajorityVoteCD(Protocol):
+    """Repeat each logical round ``repeats`` times and majority-vote the CD.
+
+    Every node (including idlers) repeats uniformly, so a population running
+    in lockstep stays in lockstep: logical round ``t`` of the inner protocol
+    occupies physical rounds ``(t-1)*k+1 .. t*k`` for every node.  Feedback
+    for the logical round is the majority feedback over the ``k`` physical
+    rounds, with ties broken toward the more severe reading
+    (COLLISION > MESSAGE > SILENCE > NONE).
+
+    Under :class:`~repro.faults.CDNoise` with misread probability ``p``,
+    a logical-round misread now requires ``ceil(k/2)`` correlated physical
+    misreads, shrinking the per-round error from ``p`` to ``O(p^{k/2})``.
+    The cost is a ``k``-fold round inflation — gated by
+    ``benchmarks/bench_hardening.py``.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        *,
+        repeats: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.inner = inner
+        self.repeats = repeats
+        self.metrics = metrics
+        self.name = f"vote{repeats}({inner.name})"
+
+    def run(self, ctx: NodeContext) -> Iterator[Action]:
+        inner = self.inner.run(ctx)
+        try:
+            action = next(inner)
+        except StopIteration:
+            return
+        while True:
+            observations = []
+            for _ in range(self.repeats):
+                observations.append((yield action))
+            decided, masked = _vote(observations)
+            _bump(self.metrics, "robust/vote_logical_rounds")
+            _bump(self.metrics, "robust/vote_physical_rounds", self.repeats)
+            if masked:
+                _bump(self.metrics, "robust/vote_masked_readings", masked)
+                ctx.mark("robust:vote_masked", {"masked": masked})
+            try:
+                action = inner.send(decided)
+            except StopIteration:
+                return
+
+
+class VerifiedSolve(Protocol):
+    """Echo on the primary channel before the inner protocol acts on a win.
+
+    Whenever the inner protocol participates on the primary channel and
+    perceives ``MESSAGE`` — "someone just won" — the wrapper holds that
+    observation back and replays the same action (retransmit the same
+    payload, or keep listening) for ``confirmations`` extra rounds.  Only a
+    strict majority of ``MESSAGE`` echoes confirms the win; otherwise the
+    original observation is replaced by a synthesized ``COLLISION``, the
+    conservative reading, and the inner protocol retries instead of
+    terminating on a phantom.
+
+    Because every participant on the primary channel perceives the *same*
+    feedback (common misreads included), all of them intercept and echo in
+    the same rounds — lockstep populations stay in lockstep.  The echo
+    rounds are themselves ordinary rounds: a true lone transmitter echoing
+    its win re-solves the execution for the engine, so under
+    ``stop_on_solve=True`` a fault-free run never pays a single extra round
+    (gated by ``benchmarks/bench_hardening.py``).
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        *,
+        confirmations: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if confirmations < 1:
+            raise ValueError("confirmations must be >= 1")
+        self.inner = inner
+        self.confirmations = confirmations
+        self.metrics = metrics
+        self.name = f"verify{confirmations}({inner.name})"
+
+    def run(self, ctx: NodeContext) -> Iterator[Action]:
+        inner = self.inner.run(ctx)
+        try:
+            action = next(inner)
+        except StopIteration:
+            return
+        while True:
+            obs = yield action
+            if (
+                action.participates
+                and action.channel == PRIMARY_CHANNEL
+                and obs.feedback is Feedback.MESSAGE
+            ):
+                echo = (
+                    transmit(PRIMARY_CHANNEL, action.message)
+                    if action.transmit
+                    else listen(PRIMARY_CHANNEL)
+                )
+                confirmed = 0
+                last = obs
+                for _ in range(self.confirmations):
+                    last = yield echo
+                    if last.feedback is Feedback.MESSAGE:
+                        confirmed += 1
+                _bump(self.metrics, "robust/verify_echo_rounds", self.confirmations)
+                if 2 * confirmed > self.confirmations:
+                    _bump(self.metrics, "robust/verify_confirmed_solves")
+                else:
+                    _bump(self.metrics, "robust/verify_blocked_solves")
+                    ctx.mark(
+                        "robust:false_solve_blocked",
+                        {"confirmed": confirmed, "of": self.confirmations},
+                    )
+                    obs = Observation(
+                        feedback=Feedback.COLLISION,
+                        message=None,
+                        channel=PRIMARY_CHANNEL,
+                        round_index=last.round_index,
+                        transmitted=obs.transmitted,
+                    )
+            try:
+                action = inner.send(obs)
+            except StopIteration:
+                return
+
+
+def default_watchdog_budget(n: int) -> int:
+    """Default per-attempt round budget.
+
+    ``32 + 2*ceil(lg n)^2`` — an order of magnitude above every protocol's
+    fault-free completion time (all solve in under 30 rounds at the scales
+    the repo sweeps), yet small enough that an execution jammed or noised
+    into a wedge gets several exponentially-backed-off retries before the
+    engine's own :func:`~repro.sim.engine.default_round_budget` expires.
+    """
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    return 32 + 2 * log_n * log_n
+
+
+class WatchdogRestart(Protocol):
+    """Restart a wedged inner protocol with fresh seed-derived randomness.
+
+    The wrapper counts the rounds the current attempt of the inner protocol
+    has consumed.  When the attempt exhausts its budget without returning —
+    a jammed primary channel, a crashed leader the survivors are waiting
+    on, a knock-out phase that stopped making progress — the inner
+    coroutine is closed and restarted from scratch with a fresh
+    ``random.Random`` seeded by ``derive_seed(base, node_id, attempt)``,
+    where ``base`` is drawn from ``ctx.rng`` lazily at the *first* restart
+    (so the fault-free stream is untouched).  Each restart multiplies the
+    budget by ``backoff``, so a transient adversary is retried quickly
+    while a persistent one converges to long, patient attempts.
+
+    A protocol can also fail by *terminating*: under a jammed primary
+    channel every Reduce listener hears a collision, knocks itself out, and
+    the whole population returns unsolved within a round or two.  The
+    watchdog therefore never lets the node leave: an inner coroutine that
+    returns is parked (idling) until the attempt budget expires, and then
+    restarted along with everyone else.  In a solved execution the engine
+    stops anyway (``stop_on_solve=True``, the default), so parking costs
+    nothing; in an unsolved one the parked population is exactly what must
+    retry.  Consequently a watchdog-wrapped protocol only ends via the
+    engine (solve or round budget) — pair it with ``stop_on_solve=True``.
+
+    Restarts are unlimited by default; the engine's own round budget is the
+    global stop.  A fault-free execution that solves within the first
+    budget replays the bare protocol's transmissions round for round.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        *,
+        budget: Optional[int] = None,
+        backoff: float = 2.0,
+        max_restarts: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be >= 1")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        self.inner = inner
+        self.budget = budget
+        self.backoff = backoff
+        self.max_restarts = max_restarts
+        self.metrics = metrics
+        label = budget if budget is not None else "auto"
+        self.name = f"watchdog[{label}]({inner.name})"
+
+    def run(self, ctx: NodeContext) -> Iterator[Action]:
+        budget = self.budget if self.budget is not None else default_watchdog_budget(ctx.n)
+        attempt = 0
+        restart_base: Optional[int] = None
+        while True:
+            if attempt == 0:
+                attempt_ctx = ctx
+            else:
+                if restart_base is None:
+                    restart_base = ctx.rng.getrandbits(63)
+                attempt_ctx = dataclasses.replace(
+                    ctx,
+                    rng=random.Random(
+                        derive_seed(restart_base, ctx.node_id, attempt, _RESTART_TAG)
+                    ),
+                )
+            inner = self.inner.run(attempt_ctx)
+            returned = False
+            action = IDLE
+            try:
+                action = next(inner)
+            except StopIteration:
+                returned = True
+            except Exception:
+                # An inner-protocol crash (e.g. a state machine wedged into
+                # an impossible configuration by churn) is just another way
+                # to be wedged: park and restart rather than kill the node.
+                returned = True
+                _bump(self.metrics, "robust/watchdog_inner_failures")
+                ctx.mark("robust:watchdog_inner_failure", {"attempt": attempt})
+            rounds = 0
+            while rounds < budget:
+                if returned:
+                    yield IDLE
+                    rounds += 1
+                    continue
+                obs = yield action
+                rounds += 1
+                try:
+                    action = inner.send(obs)
+                except StopIteration:
+                    returned = True
+                except Exception:
+                    returned = True
+                    _bump(self.metrics, "robust/watchdog_inner_failures")
+                    ctx.mark("robust:watchdog_inner_failure", {"attempt": attempt})
+            if not returned:
+                inner.close()
+            attempt += 1
+            if self.max_restarts is not None and attempt > self.max_restarts:
+                ctx.mark("robust:watchdog_gave_up", {"attempts": attempt})
+                return
+            budget = int(math.ceil(budget * self.backoff))
+            _bump(self.metrics, "robust/watchdog_restarts")
+            ctx.mark(
+                "robust:watchdog_restart",
+                {"attempt": attempt, "next_budget": budget},
+            )

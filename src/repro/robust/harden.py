@@ -1,0 +1,226 @@
+"""`harden(protocol, plan)`: pick the right combinators for a fault plan.
+
+The mapping from threat to mitigation (docs/robustness.md):
+
+==================  =========================================================
+fault model         combinators
+==================  =========================================================
+``CDNoise``         :class:`MajorityVoteCD` (mask misreads) +
+                    :class:`VerifiedSolve` (block phantom wins) +
+                    :class:`WatchdogRestart` (an all-knocked-out population
+                    — everyone fooled by phantom collisions — retries)
+``Jamming`` /       :class:`VerifiedSolve` (a message heard through a
+``ScheduledJamming``  part-time jammer must survive the echo) +
+                    :class:`WatchdogRestart` (a jammed primary knocks out
+                    every Reduce listener in one round; restart outlasts
+                    the jam budget)
+``Churn``           :class:`WatchdogRestart` (survivors waiting on a crashed
+                    leader restart instead of burning the round budget)
+==================  =========================================================
+
+``harden`` inspects the plan (recursively flattening nested
+:class:`~repro.faults.FaultPlan` containers), selects the combinators the
+*active* models call for, and wraps the protocol in canonical order::
+
+    WatchdogRestart(MajorityVoteCD(VerifiedSolve(protocol)))
+
+The watchdog is outermost so its per-attempt budget counts *engine* rounds
+(physical rounds at the channel), independent of the vote's repeat factor;
+the vote repeats each inner logical round as a block of physical rounds;
+and the echo runs inside both, so a restart re-arms all three.
+
+When nothing applies — no plan, an empty plan, every model inactive, or
+every combinator disabled via :class:`HardeningConfig` — ``harden`` returns
+the *same protocol object*, so the bare path is bitwise-identical by
+construction (pinned by ``tests/test_robust_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..faults.models import (
+    CDNoise,
+    Churn,
+    FaultModel,
+    FaultPlan,
+    Jamming,
+    ScheduledJamming,
+)
+from ..obs.metrics import MetricsRegistry
+from ..protocols.base import Protocol
+from ..protocols.runner import solve
+from .combinators import MajorityVoteCD, VerifiedSolve, WatchdogRestart
+
+__all__ = [
+    "COMBINATORS",
+    "HardeningConfig",
+    "combinators_for",
+    "harden",
+    "iter_models",
+    "solve_hardened",
+]
+
+#: Canonical combinator names, outermost-first in the wrapping order.
+COMBINATORS = ("watchdog", "vote", "verify")
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Tuning knobs for :func:`harden`.
+
+    Attributes:
+        vote_repeats: physical rounds per logical round in
+            :class:`MajorityVoteCD`.
+        confirmations: echo rounds in :class:`VerifiedSolve`.
+        watchdog_budget: per-attempt round budget for
+            :class:`WatchdogRestart` (``None`` = scale with ``n``).
+        watchdog_backoff: budget multiplier per restart.
+        max_restarts: give up after this many restarts (``None`` =
+            unlimited; the engine round budget is the global stop).
+        use_majority_vote / use_verified_solve / use_watchdog: master
+            switches — a disabled combinator is never selected from the
+            plan (``force=`` still applies it explicitly).
+    """
+
+    vote_repeats: int = 3
+    confirmations: int = 2
+    watchdog_budget: Optional[int] = None
+    watchdog_backoff: float = 2.0
+    max_restarts: Optional[int] = None
+    use_majority_vote: bool = True
+    use_verified_solve: bool = True
+    use_watchdog: bool = True
+
+
+DEFAULT_CONFIG = HardeningConfig()
+
+
+def iter_models(faults: Optional[FaultModel]) -> Iterator[FaultModel]:
+    """Yield the leaf models of ``faults``, flattening nested plans."""
+    if faults is None:
+        return
+    if isinstance(faults, FaultPlan):
+        for child in faults.models:
+            for leaf in iter_models(child):
+                yield leaf
+        return
+    yield faults
+
+
+def _is_active(model: FaultModel) -> bool:
+    """Whether the model can actually perturb an execution."""
+    if isinstance(model, Jamming):
+        return model.budget > 0 and model.channels_per_round > 0
+    if isinstance(model, ScheduledJamming):
+        return any(model._schedule.values())
+    if isinstance(model, CDNoise):
+        return model.flip_probability > 0.0
+    if isinstance(model, Churn):
+        return bool(
+            model.crash_rounds
+            or model.wake_delays
+            or model.crash_fraction > 0.0
+            or (model.late_fraction > 0.0 and model.max_extra_delay > 0)
+        )
+    return False
+
+
+def combinators_for(
+    faults: Optional[FaultModel],
+    config: HardeningConfig = DEFAULT_CONFIG,
+) -> Tuple[str, ...]:
+    """The combinators :func:`harden` would select for ``faults``."""
+    noise = jam = churn = False
+    for model in iter_models(faults):
+        if not _is_active(model):
+            continue
+        if isinstance(model, CDNoise):
+            noise = True
+        elif isinstance(model, (Jamming, ScheduledJamming)):
+            jam = True
+        elif isinstance(model, Churn):
+            churn = True
+    selected = []
+    if (noise or jam or churn) and config.use_watchdog:
+        selected.append("watchdog")
+    if noise and config.use_majority_vote and config.vote_repeats > 1:
+        selected.append("vote")
+    if (noise or jam) and config.use_verified_solve:
+        selected.append("verify")
+    return tuple(selected)
+
+
+def harden(
+    protocol: Protocol,
+    faults: Optional[FaultModel] = None,
+    *,
+    config: Optional[HardeningConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    force: Iterable[str] = (),
+) -> Protocol:
+    """Wrap ``protocol`` with the combinators ``faults`` calls for.
+
+    Args:
+        protocol: the inner protocol (never mutated).
+        faults: the fault plan the execution will run under; ``None`` or an
+            inactive plan selects nothing.
+        config: tuning knobs (:data:`DEFAULT_CONFIG` when omitted).
+        metrics: optional registry receiving the ``robust/*`` counters.
+        force: combinator names (from :data:`COMBINATORS`) applied
+            regardless of the plan — e.g. to measure zero-fault overhead.
+
+    Returns:
+        The wrapped protocol, or ``protocol`` itself (the identical object)
+        when no combinator applies.
+    """
+    cfg = config if config is not None else DEFAULT_CONFIG
+    forced = set(force)
+    unknown = forced.difference(COMBINATORS)
+    if unknown:
+        raise ValueError(
+            f"unknown combinator(s) {sorted(unknown)}; expected {COMBINATORS}"
+        )
+    selected = set(combinators_for(faults, cfg)) | forced
+    if not selected:
+        return protocol
+    hardened = protocol
+    if "verify" in selected:
+        hardened = VerifiedSolve(
+            hardened, confirmations=cfg.confirmations, metrics=metrics
+        )
+    if "vote" in selected:
+        hardened = MajorityVoteCD(
+            hardened, repeats=cfg.vote_repeats, metrics=metrics
+        )
+    if "watchdog" in selected:
+        hardened = WatchdogRestart(
+            hardened,
+            budget=cfg.watchdog_budget,
+            backoff=cfg.watchdog_backoff,
+            max_restarts=cfg.max_restarts,
+            metrics=metrics,
+        )
+    return hardened
+
+
+def solve_hardened(
+    protocol: Protocol,
+    *,
+    faults: Optional[FaultModel] = None,
+    config: Optional[HardeningConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    force: Iterable[str] = (),
+    **solve_kwargs,
+):
+    """:func:`harden` + :func:`repro.protocols.solve` in one call.
+
+    The same ``faults`` plan drives both combinator selection and the
+    engine's injection path, so the mitigation always matches the threat.
+    All other keyword arguments go straight to ``solve(...)``.
+    """
+    hardened = harden(
+        protocol, faults, config=config, metrics=metrics, force=force
+    )
+    return solve(hardened, faults=faults, **solve_kwargs)

@@ -25,9 +25,12 @@ from repro.obs import EventLog
 from repro.sim import (
     ConfigurationError,
     Feedback,
+    RoundLimitExceeded,
     fault_plan_from_dict,
     fault_plan_to_dict,
+    listen,
     load_fault_plan,
+    run_execution,
     save_fault_plan,
 )
 
@@ -405,3 +408,114 @@ class TestEngineSemantics:
         assert log.events[0].faults.get("jammed") == (1,)
         assert log.events[1].faults.get("jammed") == (1,)
         assert log.events[2].faults == {}
+
+
+class TestPlanEquivalence:
+    """`plan_for` / `FaultPlan` composition edge cases.
+
+    A plan is a transparent container: wrapping a *seeded* model in a
+    single-model plan, or nesting that plan inside further plans, must not
+    change any hook's answer.  (Seeding matters: an unseeded child gets a
+    position-derived sub-seed at bind time, so only explicitly seeded
+    models are bind-invariant across nesting depths.)
+    """
+
+    @staticmethod
+    def _hooks(model, rounds=range(1, 33), nodes=range(1, 17)):
+        outcomes = (Feedback.SILENCE, Feedback.MESSAGE, Feedback.COLLISION)
+        return {
+            "jam": [model.jammed_channels(r) for r in rounds],
+            "perceive": [
+                model.perceive(r, c, o)
+                for r in rounds
+                for c in (1, 2, 3)
+                for o in outcomes
+            ],
+            "crash": [model.crash_round(nid) for nid in nodes],
+            "wake": [model.wake_delay(nid) for nid in nodes],
+        }
+
+    def test_empty_plan_injects_nothing(self):
+        plan = bound(FaultPlan())
+        hooks = self._hooks(plan)
+        assert all(jam == frozenset() for jam in hooks["jam"])
+        assert all(crash is None for crash in hooks["crash"])
+        assert all(delay == 0 for delay in hooks["wake"])
+        # Perception is the identity on every outcome.
+        assert plan.perceive(3, 1, Feedback.MESSAGE) is Feedback.MESSAGE
+
+    @pytest.mark.parametrize("model_name", ["jamming", "cd-noise", "churn"])
+    def test_single_model_plan_equals_the_direct_model(self, model_name):
+        direct = bound(plan_for(model_name, 0.5, seed=99))
+        wrapped = bound(FaultPlan([plan_for(model_name, 0.5, seed=99)]))
+        assert self._hooks(wrapped) == self._hooks(direct)
+
+    @pytest.mark.parametrize("model_name", ["jamming", "cd-noise", "churn"])
+    def test_nested_plans_flatten_semantically(self, model_name):
+        direct = bound(plan_for(model_name, 0.5, seed=99))
+        nested = bound(
+            FaultPlan([FaultPlan([FaultPlan([plan_for(model_name, 0.5, seed=99)])])])
+        )
+        assert self._hooks(nested) == self._hooks(direct)
+
+    def test_unseeded_model_is_not_nesting_invariant(self):
+        # The counterexample that justifies the seeding requirement above:
+        # position-derived sub-seeds differ between nesting depths.
+        direct = bound(Jamming(16, channels_per_round=2, target="random"))
+        nested = bound(FaultPlan([Jamming(16, channels_per_round=2, target="random")]))
+        assert self._hooks(direct)["jam"] != self._hooks(nested)["jam"]
+
+
+class TestTerminalSummaryUnderFaults:
+    """Round-limit timeouts stay observable when fault injection is active.
+
+    The engine promises every ``on_run_start`` a balancing ``on_run_end``
+    with a terminal ``RunSummary(solved=False)`` *before*
+    ``RoundLimitExceeded`` propagates (``test_sim_engine`` pins the benign
+    case).  Fault hooks sit inside the round loop, so an active plan —
+    crash-heavy churn thinning the population, a jammer sitting on the
+    primary channel — must not break that balance; profiled fault sweeps
+    rely on it to close their per-run aggregates on every timeout.
+    """
+
+    @staticmethod
+    def _forever(ctx):
+        def forever():
+            while True:
+                yield listen(1)
+
+        return forever()
+
+    @pytest.mark.parametrize(
+        "plan_factory",
+        [
+            lambda: Churn(crash_fraction=0.75, crash_window=(2, 6), seed=13),
+            lambda: Jamming(10_000, channels_per_round=4, target="primary"),
+            lambda: FaultPlan(
+                [
+                    Jamming(10_000, target="primary"),
+                    CDNoise(0.5),
+                    Churn(crash_fraction=0.5, crash_window=(2, 8)),
+                ]
+            ),
+        ],
+        ids=["crash-heavy-churn", "full-budget-jamming", "composite"],
+    )
+    def test_terminal_summary_precedes_round_limit(self, plan_factory):
+        log = EventLog()
+        with pytest.raises(RoundLimitExceeded):
+            run_execution(
+                self._forever,
+                n=16,
+                num_channels=4,
+                active_ids=range(1, 9),
+                max_rounds=12,
+                faults=plan_factory(),
+                instrument=log,
+            )
+        assert log.summary is not None, "no terminal summary before the raise"
+        assert log.summary.solved is False
+        assert log.summary.winner is None
+        assert log.summary.solved_round is None
+        assert log.summary.rounds == 12
+        assert len(log.events) == 12

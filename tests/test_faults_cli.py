@@ -1,13 +1,19 @@
-"""Golden-file test for the ``repro faults`` CLI sweep.
+"""Golden-file tests for the ``repro faults`` CLI sweep.
 
-Pins the full stdout of one small, seeded invocation — header, table, and
-verdict line — so any drift in the fault models, the seed-stream layout,
-the intensity mapping, or the table renderer shows up as a readable diff.
-Regenerate after an intentional change with::
+Pins the full stdout of two small, seeded invocations — header, table,
+verdict line, and (bare only) the unsolved-cells diagnostic — so any drift
+in the fault models, the hardening combinators, the seed-stream layout, the
+intensity mapping, or the table renderer shows up as a readable diff.  The
+exit code is pinned on both paths: the bare sweep contains jamming cells no
+trial survives, so it must exit 1; the hardened sweep recovers every cell
+and must exit 0.  Regenerate after an intentional change with::
 
     python -m repro faults --n 64 --channels 8 --active 8 --trials 4 \
         --protocols two-active fnw-general --intensities 0.2 0.6 \
         > tests/data/golden_faults_cli.txt
+    python -m repro faults --n 64 --channels 8 --active 8 --trials 4 \
+        --protocols two-active fnw-general --intensities 0.2 0.6 --harden \
+        > tests/data/golden_faults_cli_hardened.txt
 """
 
 import pathlib
@@ -16,7 +22,9 @@ import pytest
 
 from repro.cli import build_parser, main
 
-GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_faults_cli.txt"
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN = DATA / "golden_faults_cli.txt"
+GOLDEN_HARDENED = DATA / "golden_faults_cli_hardened.txt"
 
 ARGS = [
     "faults",
@@ -36,6 +44,7 @@ class TestFaultsCommand:
         assert args.channels == 16
         assert args.trials == 30
         assert list(args.models) == ["jamming", "cd-noise", "churn"]
+        assert args.harden is False
 
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
@@ -45,7 +54,30 @@ class TestFaultsCommand:
         with pytest.raises(SystemExit):
             main(["faults", "--trials", "0"])
 
-    def test_golden_output(self, capsys):
-        assert main(ARGS) == 0
+    def test_golden_output_bare_exits_1_on_unsolved_cells(self, capsys):
+        # The bare sweep's jamming cells are jammed to the round limit in
+        # every trial, so the command reports them and exits 1.
+        assert main(ARGS) == 1
         out = capsys.readouterr().out
+        assert "unsolved cells" in out
         assert out == GOLDEN.read_text(encoding="utf-8")
+
+    def test_golden_output_hardened_exits_0(self, capsys):
+        # With --harden every cell solves at least once: exit 0, no
+        # unsolved-cells diagnostic.
+        assert main(ARGS + ["--harden"]) == 0
+        out = capsys.readouterr().out
+        assert "unsolved cells" not in out
+        assert "hardened=repro.robust" in out
+        assert out == GOLDEN_HARDENED.read_text(encoding="utf-8")
+
+    def test_solved_path_exits_0(self, capsys):
+        # A sweep whose every cell solves at least once (no jamming) keeps
+        # the historical exit-0 contract on the bare path too.
+        args = [
+            "faults", "--n", "64", "--channels", "8", "--active", "8",
+            "--trials", "4", "--protocols", "fnw-general",
+            "--models", "churn", "--intensities", "0.2",
+        ]
+        assert main(args) == 0
+        assert "unsolved cells" not in capsys.readouterr().out

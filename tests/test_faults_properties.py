@@ -1,0 +1,119 @@
+"""Property tests: fault-model serialization round-trips exactly.
+
+``to_dict`` -> JSON -> ``fault_from_dict`` must be lossless for every
+fault model the package can express — including arbitrarily nested
+:class:`~repro.faults.FaultPlan` compositions — because saved plans are
+how adversarial-search results and sweep configurations are replayed.
+The canonical form *is* ``to_dict()``: two models are the same iff their
+plain-data forms are equal, so the property under test is
+
+    fault_from_dict(json.loads(json.dumps(m.to_dict()))).to_dict()
+        == m.to_dict()
+
+with Hypothesis generating the parameter space (explicit and seeded
+variants, boundary fractions, empty and populated schedules, nested
+plans).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    CDNoise,
+    Churn,
+    FaultModel,
+    FaultPlan,
+    Jamming,
+    ScheduledJamming,
+    fault_from_dict,
+)
+
+_seeds = st.none() | st.integers(min_value=0, max_value=2**63 - 1)
+_fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+_jamming = st.builds(
+    Jamming,
+    st.integers(min_value=0, max_value=500),
+    channels_per_round=st.integers(min_value=1, max_value=16),
+    target=st.sampled_from(["primary", "random"]),
+    start_round=st.integers(min_value=1, max_value=64),
+    seed=_seeds,
+)
+
+_scheduled = st.builds(
+    ScheduledJamming,
+    st.dictionaries(
+        st.integers(min_value=1, max_value=96),
+        st.sets(st.integers(min_value=1, max_value=16), min_size=1, max_size=4),
+        max_size=8,
+    ),
+)
+
+_cd_noise = st.builds(CDNoise, _fractions, seed=_seeds)
+
+_windows = st.tuples(
+    st.integers(min_value=1, max_value=32), st.integers(min_value=0, max_value=32)
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+_churn = st.builds(
+    Churn,
+    crash_rounds=st.dictionaries(
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=1, max_value=200),
+        max_size=6,
+    ),
+    wake_delays=st.dictionaries(
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=0, max_value=24),
+        max_size=6,
+    ),
+    crash_fraction=_fractions,
+    crash_window=_windows,
+    late_fraction=_fractions,
+    max_extra_delay=st.integers(min_value=0, max_value=16),
+    seed=_seeds,
+)
+
+_leaf = st.one_of(_jamming, _scheduled, _cd_noise, _churn, st.builds(FaultModel))
+
+#: Leaves plus plans-of-plans up to a few levels deep.
+_any_model = st.recursive(
+    _leaf,
+    lambda children: st.lists(children, max_size=3).map(FaultPlan),
+    max_leaves=8,
+)
+
+
+def _round_trip(model: FaultModel) -> FaultModel:
+    payload = json.loads(json.dumps(model.to_dict()))
+    return fault_from_dict(payload)
+
+
+@given(model=_any_model)
+@settings(max_examples=200)
+def test_round_trip_is_lossless(model):
+    rebuilt = _round_trip(model)
+    assert type(rebuilt) is type(model)
+    assert rebuilt.to_dict() == model.to_dict()
+    # And the round trip is idempotent: a second pass changes nothing.
+    assert _round_trip(rebuilt).to_dict() == model.to_dict()
+
+
+@given(model=_any_model)
+@settings(max_examples=100)
+def test_serialized_form_is_plain_json(model):
+    # No exotic types leak into the payload: json round-trip is exact.
+    payload = model.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["kind"] == type(model).kind
+
+
+@given(models=st.lists(_leaf, max_size=4))
+@settings(max_examples=100)
+def test_plan_round_trip_preserves_order_and_kinds(models):
+    plan = FaultPlan(models)
+    rebuilt = _round_trip(plan)
+    assert isinstance(rebuilt, FaultPlan)
+    assert [type(m) for m in rebuilt.models] == [type(m) for m in plan.models]
+    assert [m.to_dict() for m in rebuilt.models] == [m.to_dict() for m in plan.models]

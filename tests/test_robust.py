@@ -1,0 +1,409 @@
+"""Unit tests for the hardening combinators (``repro.robust``).
+
+The combinators are generator wrappers, so most tests drive them directly
+— prime with ``next()``, feed hand-built observations with ``send()`` —
+and check the mediated conversation round by round.  A few engine-level
+tests confirm the wrappers actually survive the fault models they target
+(the full hardened-vs-bare sweep lives in ``benchmarks/bench_hardening.py``
+and experiment e21).
+"""
+
+import random
+
+import pytest
+
+from repro import FNWGeneral, TwoActive, activate_pair, activate_random, solve
+from repro.faults import CDNoise, Churn, FaultPlan, Jamming, ScheduledJamming, plan_for
+from repro.obs import MetricsRegistry
+from repro.protocols.base import Protocol
+from repro.robust import (
+    COMBINATORS,
+    HardeningConfig,
+    MajorityVoteCD,
+    VerifiedSolve,
+    WatchdogRestart,
+    combinators_for,
+    default_watchdog_budget,
+    harden,
+    iter_models,
+    solve_hardened,
+)
+from repro.robust.combinators import _vote
+from repro.sim import PRIMARY_CHANNEL
+from repro.sim.actions import IDLE, listen, transmit
+from repro.sim.context import MarkCollector, NodeContext
+from repro.sim.feedback import Feedback, Observation
+
+
+def _obs(feedback, *, channel=PRIMARY_CHANNEL, message=None, round_index=1,
+         transmitted=False):
+    return Observation(
+        feedback=feedback,
+        message=message,
+        channel=channel,
+        round_index=round_index,
+        transmitted=transmitted,
+    )
+
+
+def _ctx(node_id=1, n=16, num_channels=4, seed=0, marks=None):
+    return NodeContext(
+        node_id=node_id,
+        n=n,
+        num_channels=num_channels,
+        rng=random.Random(seed),
+        _mark_sink=marks.sink if marks is not None else None,
+    )
+
+
+class Script(Protocol):
+    """Replays a fixed action sequence, recording every observation."""
+
+    name = "script"
+
+    def __init__(self, actions):
+        self.actions = tuple(actions)
+        self.seen = []
+
+    def run(self, ctx):
+        for action in self.actions:
+            self.seen.append((yield action))
+
+
+class CtxRecorder(Protocol):
+    """Records the context of every attempt, then immediately returns."""
+
+    name = "ctx-recorder"
+
+    def __init__(self):
+        self.contexts = []
+
+    def run(self, ctx):
+        self.contexts.append(ctx)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class Exploder(Protocol):
+    """Raises from inside the coroutine on its first round."""
+
+    name = "exploder"
+
+    def run(self, ctx):
+        raise RuntimeError("wedged state machine")
+        yield  # pragma: no cover - makes this a generator
+
+
+class TestVote:
+    def test_majority_wins(self):
+        decided, masked = _vote(
+            [_obs(Feedback.SILENCE), _obs(Feedback.MESSAGE), _obs(Feedback.SILENCE)]
+        )
+        assert decided.feedback is Feedback.SILENCE
+        assert masked == 1
+
+    def test_tie_breaks_toward_severity(self):
+        # COLLISION > MESSAGE > SILENCE > NONE.
+        decided, masked = _vote([_obs(Feedback.SILENCE), _obs(Feedback.COLLISION)])
+        assert decided.feedback is Feedback.COLLISION
+        assert masked == 1
+        decided, _ = _vote([_obs(Feedback.SILENCE), _obs(Feedback.MESSAGE)])
+        assert decided.feedback is Feedback.MESSAGE
+
+    def test_message_payload_taken_from_a_real_message_repeat(self):
+        decided, masked = _vote(
+            [
+                _obs(Feedback.MESSAGE, message=None),  # phantom: no payload
+                _obs(Feedback.MESSAGE, message="hello"),
+                _obs(Feedback.SILENCE),
+            ]
+        )
+        assert decided.feedback is Feedback.MESSAGE
+        assert decided.message == "hello"
+        assert masked == 1
+
+    def test_unanimous_block_returns_the_template_object(self):
+        block = [_obs(Feedback.COLLISION, round_index=r) for r in (1, 2, 3)]
+        decided, masked = _vote(block)
+        assert decided is block[-1]
+        assert masked == 0
+
+
+class TestMajorityVoteCD:
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            MajorityVoteCD(Script([]), repeats=0)
+
+    def test_name_reflects_structure(self):
+        assert MajorityVoteCD(Script([]), repeats=3).name == "vote3(script)"
+
+    def test_each_logical_round_repeats_k_times(self):
+        inner = Script([listen(2), listen(3)])
+        gen = MajorityVoteCD(inner, repeats=3).run(_ctx())
+        actions = [next(gen)]
+        # First logical round: the same action three times.
+        actions.append(gen.send(_obs(Feedback.SILENCE, channel=2)))
+        actions.append(gen.send(_obs(Feedback.COLLISION, channel=2)))
+        assert all(a.channel == 2 for a in actions)
+        # Third repeat completes the block; the inner advances to listen(3).
+        nxt = gen.send(_obs(Feedback.COLLISION, channel=2))
+        assert nxt.channel == 3
+        assert inner.seen[0].feedback is Feedback.COLLISION  # 2-of-3 vote
+
+    def test_masking_counters_and_mark(self):
+        metrics = MetricsRegistry()
+        marks = MarkCollector()
+        inner = Script([listen(1)])
+        gen = MajorityVoteCD(inner, repeats=3, metrics=metrics).run(_ctx(marks=marks))
+        next(gen)
+        gen.send(_obs(Feedback.SILENCE))
+        gen.send(_obs(Feedback.MESSAGE))
+        with pytest.raises(StopIteration):
+            gen.send(_obs(Feedback.SILENCE))
+        assert metrics.counter("robust/vote_logical_rounds").value == 1
+        assert metrics.counter("robust/vote_physical_rounds").value == 3
+        assert metrics.counter("robust/vote_masked_readings").value == 1
+        assert len(marks.with_label("robust:vote_masked")) == 1
+
+    def test_fault_free_engine_run_still_solves(self):
+        bare = solve(
+            TwoActive(),
+            n=32,
+            num_channels=4,
+            activation=activate_pair(32, seed=5),
+            seed=5,
+        )
+        voted = solve(
+            MajorityVoteCD(TwoActive(), repeats=3),
+            n=32,
+            num_channels=4,
+            activation=activate_pair(32, seed=5),
+            seed=5,
+        )
+        assert bare.solved and voted.solved
+        assert voted.rounds <= 3 * bare.rounds
+
+
+class TestVerifiedSolve:
+    def test_rejects_bad_confirmations(self):
+        with pytest.raises(ValueError):
+            VerifiedSolve(Script([]), confirmations=0)
+
+    def test_confirmed_win_passes_the_original_observation_through(self):
+        inner = Script([transmit(PRIMARY_CHANNEL, "win"), listen(2)])
+        gen = VerifiedSolve(inner, confirmations=2).run(_ctx())
+        action = next(gen)
+        assert action.transmit and action.channel == PRIMARY_CHANNEL
+        win = _obs(Feedback.MESSAGE, message="win", transmitted=True)
+        echo = gen.send(win)
+        # The echo retransmits the same payload on the primary channel.
+        assert echo.transmit and echo.channel == PRIMARY_CHANNEL
+        assert echo.message == "win"
+        echo2 = gen.send(_obs(Feedback.MESSAGE, message="win", round_index=2,
+                              transmitted=True))
+        assert echo2.transmit and echo2.channel == PRIMARY_CHANNEL
+        nxt = gen.send(_obs(Feedback.MESSAGE, message="win", round_index=3,
+                            transmitted=True))
+        # Both echoes heard MESSAGE: the inner receives the held-back win.
+        assert inner.seen == [win]
+        assert nxt.channel == 2
+
+    def test_phantom_win_is_replaced_by_collision(self):
+        metrics = MetricsRegistry()
+        marks = MarkCollector()
+        inner = Script([listen(PRIMARY_CHANNEL)])
+        gen = VerifiedSolve(inner, confirmations=2, metrics=metrics).run(
+            _ctx(marks=marks)
+        )
+        action = next(gen)
+        assert not action.transmit
+        echo = gen.send(_obs(Feedback.MESSAGE, message=None))  # phantom
+        assert not echo.transmit and echo.channel == PRIMARY_CHANNEL
+        gen.send(_obs(Feedback.SILENCE, round_index=2))
+        with pytest.raises(StopIteration):
+            gen.send(_obs(Feedback.SILENCE, round_index=3))
+        [seen] = inner.seen
+        assert seen.feedback is Feedback.COLLISION
+        assert seen.channel == PRIMARY_CHANNEL
+        assert seen.round_index == 3  # stamped with the last echo round
+        assert metrics.counter("robust/verify_blocked_solves").value == 1
+        assert metrics.counter("robust/verify_echo_rounds").value == 2
+        assert len(marks.with_label("robust:false_solve_blocked")) == 1
+
+    def test_non_primary_message_is_not_intercepted(self):
+        inner = Script([listen(3)])
+        gen = VerifiedSolve(inner, confirmations=2).run(_ctx())
+        next(gen)
+        with pytest.raises(StopIteration):
+            gen.send(_obs(Feedback.MESSAGE, channel=3, message="side"))
+        assert inner.seen[0].feedback is Feedback.MESSAGE
+
+    def test_zero_fault_overhead_end_to_end(self):
+        kwargs = dict(
+            n=64,
+            num_channels=8,
+            activation=activate_random(64, 8, seed=11),
+            seed=11,
+        )
+        bare = solve(FNWGeneral(), **kwargs)
+        verified = solve(VerifiedSolve(FNWGeneral()), **kwargs)
+        assert bare.solved and verified.solved
+        assert verified.rounds == bare.rounds
+        assert verified.winner == bare.winner
+
+
+class TestWatchdogRestart:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WatchdogRestart(Script([]), budget=0)
+        with pytest.raises(ValueError):
+            WatchdogRestart(Script([]), backoff=0.5)
+
+    def test_returned_inner_is_parked_then_restarted_with_backoff(self):
+        marks = MarkCollector()
+        recorder = CtxRecorder()
+        gen = WatchdogRestart(recorder, budget=3, backoff=2.0).run(_ctx(marks=marks))
+        assert next(gen) is IDLE
+        for round_index in range(1, 4):  # exhaust the first attempt's budget
+            assert gen.send(_obs(Feedback.NONE, channel=None,
+                                 round_index=round_index)) is IDLE
+        [restart] = marks.with_label("robust:watchdog_restart")
+        assert restart.payload == {"attempt": 1, "next_budget": 6}
+        assert len(recorder.contexts) == 2
+
+    def test_restart_uses_fresh_seed_derived_randomness(self):
+        ctx = _ctx(seed=123)
+        recorder = CtxRecorder()
+        gen = WatchdogRestart(recorder, budget=2).run(ctx)
+        next(gen)
+        gen.send(_obs(Feedback.NONE, channel=None))
+        gen.send(_obs(Feedback.NONE, channel=None))
+        first, second = recorder.contexts
+        assert first is ctx  # attempt 0 runs on the pristine context
+        assert second is not ctx
+        assert second.rng is not ctx.rng
+        assert second.node_id == ctx.node_id and second.n == ctx.n
+
+    def test_inner_crash_is_contained_and_counted(self):
+        metrics = MetricsRegistry()
+        marks = MarkCollector()
+        gen = WatchdogRestart(Exploder(), budget=2, metrics=metrics).run(
+            _ctx(marks=marks)
+        )
+        assert next(gen) is IDLE  # crash on attempt 0 -> parked, not raised
+        gen.send(_obs(Feedback.NONE, channel=None))
+        gen.send(_obs(Feedback.NONE, channel=None))  # budget expiry -> restart
+        assert metrics.counter("robust/watchdog_inner_failures").value >= 2
+        assert len(marks.with_label("robust:watchdog_inner_failure")) >= 2
+        assert metrics.counter("robust/watchdog_restarts").value == 1
+
+    def test_max_restarts_gives_up_with_a_mark(self):
+        marks = MarkCollector()
+        gen = WatchdogRestart(
+            CtxRecorder(), budget=1, backoff=1.0, max_restarts=1
+        ).run(_ctx(marks=marks))
+        next(gen)
+        gen.send(_obs(Feedback.NONE, channel=None))  # attempt 0 done -> restart
+        with pytest.raises(StopIteration):
+            gen.send(_obs(Feedback.NONE, channel=None))  # attempt 1 done -> give up
+        assert len(marks.with_label("robust:watchdog_gave_up")) == 1
+
+    def test_default_budget_formula(self):
+        assert default_watchdog_budget(256) == 32 + 2 * 8 * 8
+        assert default_watchdog_budget(2) == 32 + 2 * 1 * 1
+        assert default_watchdog_budget(1) == default_watchdog_budget(2)
+        assert default_watchdog_budget(1 << 20) > default_watchdog_budget(256)
+
+    def test_outlasts_a_jamming_attack_the_bare_protocol_dies_under(self):
+        plan = plan_for("jamming", 0.4)
+        activation = activate_random(64, 8, seed=7)
+        bare = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=7,
+            max_rounds=2000,
+            faults=plan_for("jamming", 0.4),
+        )
+        assert not bare.solved  # jammed primary knocks every listener out
+        hardened = solve_hardened(
+            FNWGeneral(),
+            faults=plan,
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=7,
+            max_rounds=2000,
+        )
+        assert hardened.solved
+
+
+class TestHardenSelection:
+    def test_no_plan_selects_nothing(self):
+        assert combinators_for(None) == ()
+        assert combinators_for(FaultPlan()) == ()
+
+    def test_zero_intensity_models_select_nothing(self):
+        for model in (Jamming(0), CDNoise(0.0), Churn(), ScheduledJamming({})):
+            assert combinators_for(model) == (), model
+
+    def test_selection_per_fault_family(self):
+        assert combinators_for(plan_for("jamming", 0.5)) == ("watchdog", "verify")
+        assert combinators_for(plan_for("cd-noise", 0.5)) == (
+            "watchdog",
+            "vote",
+            "verify",
+        )
+        assert combinators_for(plan_for("churn", 0.5)) == ("watchdog",)
+        assert combinators_for(ScheduledJamming({3: [1]})) == ("watchdog", "verify")
+
+    def test_nested_plans_flatten(self):
+        nested = FaultPlan([FaultPlan([CDNoise(0.3)]), Jamming(10)])
+        assert list(iter_models(nested)) == [nested.models[0].models[0],
+                                             nested.models[1]]
+        assert combinators_for(nested) == ("watchdog", "vote", "verify")
+
+    def test_config_switches_disable_combinators(self):
+        noise = CDNoise(0.3)
+        off = HardeningConfig(
+            use_majority_vote=False, use_verified_solve=False, use_watchdog=False
+        )
+        assert combinators_for(noise, off) == ()
+        assert combinators_for(noise, HardeningConfig(vote_repeats=1)) == (
+            "watchdog",
+            "verify",
+        )
+
+    def test_harden_wraps_in_canonical_order(self):
+        hardened = harden(FNWGeneral(), plan_for("cd-noise", 0.5))
+        assert hardened.name.startswith("watchdog[")
+        assert "vote3(verify2(" in hardened.name
+
+    def test_force_applies_without_a_plan(self):
+        hardened = harden(FNWGeneral(), None, force=COMBINATORS)
+        assert "vote3(verify2(" in hardened.name
+
+    def test_force_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            harden(FNWGeneral(), None, force=("retry",))
+
+    def test_identity_when_nothing_applies(self):
+        protocol = FNWGeneral()
+        assert harden(protocol, None) is protocol
+        assert harden(protocol, FaultPlan()) is protocol
+
+    def test_solve_hardened_wires_metrics(self):
+        metrics = MetricsRegistry()
+        result = solve_hardened(
+            FNWGeneral(),
+            faults=plan_for("cd-noise", 0.2),
+            metrics=metrics,
+            n=64,
+            num_channels=8,
+            activation=activate_random(64, 8, seed=3),
+            seed=3,
+            max_rounds=2000,
+        )
+        assert result.solved
+        assert metrics.counter("robust/vote_physical_rounds").value > 0

@@ -1,0 +1,124 @@
+"""Differential tests: hardening off means *exactly* off.
+
+``harden()`` must be free when it has nothing to do: with no fault plan, an
+inactive plan, or every combinator disabled, the hardened run has to be
+bitwise-identical to the bare run — same results, same serialized trace,
+same random-stream draws.  Two layers of identity, over the protocol/seed
+grid the observability differential suite uses
+(``test_obs_differential.CASES``):
+
+1. object identity — ``harden`` returns the *same protocol instance* when
+   no combinator applies, so the bare path cannot drift by construction;
+2. run identity — fault-free hardened solves fingerprint identically to
+   bare solves, and under an *active* plan a fully-disabled
+   :class:`~repro.robust.HardeningConfig` reproduces the bare faulted run
+   byte for byte (the config switches really switch everything off).
+
+This is the contract behind e21's bare/hardened comparison: any measured
+difference is the combinators' doing, not a perturbed baseline.
+"""
+
+import json
+
+import pytest
+
+from repro import solve
+from repro.faults import CDNoise, Churn, FaultPlan, Jamming, plan_for
+from repro.robust import COMBINATORS, HardeningConfig, harden
+from repro.sim import result_to_dict
+
+from tests.test_obs_differential import CASES, SEEDS
+
+#: Every "hardening disabled" spelling the API admits.
+NO_OP_SPELLINGS = [
+    ("no-plan", lambda: None, None),
+    ("empty-plan", lambda: FaultPlan(), None),
+    ("zero-budget-jamming", lambda: Jamming(0), None),
+    ("zero-probability-noise", lambda: CDNoise(0.0), None),
+    ("zero-fraction-churn", lambda: Churn(), None),
+    (
+        "nested-plan-of-zeros",
+        lambda: FaultPlan([FaultPlan([Jamming(0), CDNoise(0.0)]), Churn()]),
+        None,
+    ),
+    (
+        "all-switches-off",
+        lambda: plan_for("cd-noise", 0.5),
+        HardeningConfig(
+            use_majority_vote=False,
+            use_verified_solve=False,
+            use_watchdog=False,
+        ),
+    ),
+]
+
+ALL_OFF = HardeningConfig(
+    use_majority_vote=False, use_verified_solve=False, use_watchdog=False
+)
+
+
+def _fingerprint(result):
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def _solve(factory, kwargs, seed, *, faults=None):
+    return solve(factory(), seed=seed, record_trace=True, faults=faults, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "spelling,make_faults,config", NO_OP_SPELLINGS, ids=[s[0] for s in NO_OP_SPELLINGS]
+)
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+def test_harden_returns_the_identical_object(
+    spelling, make_faults, config, name, factory, make_kwargs
+):
+    protocol = factory()
+    assert harden(protocol, make_faults(), config=config) is protocol
+
+
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_free_hardened_run_is_bitwise_identical(name, factory, make_kwargs, seed):
+    kwargs = make_kwargs(seed)
+    plain = _solve(factory, kwargs, seed)
+    hardened = solve(
+        harden(factory(), None),
+        seed=seed,
+        record_trace=True,
+        **kwargs,
+    )
+    assert _fingerprint(hardened) == _fingerprint(plain)
+    assert (hardened.solved, hardened.winner, hardened.rounds) == (
+        plain.solved,
+        plain.winner,
+        plain.rounds,
+    )
+
+
+@pytest.mark.parametrize("model", ["jamming", "cd-noise", "churn"])
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES[:2], ids=[c[0] for c in CASES[:2]])
+def test_disabled_config_reproduces_the_bare_faulted_run(model, name, factory, make_kwargs):
+    seed = SEEDS[0]
+    kwargs = dict(make_kwargs(seed))
+    kwargs.setdefault("max_rounds", 4000)
+    plan = plan_for(model, 0.3)
+
+    def faulted(protocol):
+        try:
+            return _fingerprint(
+                solve(protocol, seed=seed, record_trace=True, faults=plan, **kwargs)
+            )
+        except Exception as exc:  # bare protocols may die under faults
+            return f"{type(exc).__name__}"
+
+    assert faulted(harden(factory(), plan, config=ALL_OFF)) == faulted(factory())
+
+
+def test_force_overrides_a_disabled_config():
+    # `force=` measures overhead: it must wrap even when the plan selects
+    # nothing and the config disables everything.
+    from repro import FNWGeneral
+
+    hardened = harden(FNWGeneral(), None, config=ALL_OFF, force=COMBINATORS)
+    assert hardened is not None and hardened.name != FNWGeneral().name
+    assert hardened.name.startswith("watchdog[")
