@@ -23,9 +23,9 @@ import gc
 import time
 
 from repro import FNWGeneral, LeafElection, solve
-from repro.baselines import Decay
+from repro.baselines import Decay, SlottedAloha
 from repro.obs import RegistrySink
-from repro.sim import Activation, activate_all, activate_random
+from repro.sim import Activation, RoundLimitExceeded, activate_all, activate_random
 
 
 def dense_bringup():
@@ -59,12 +59,73 @@ def multichannel_election():
     )
 
 
+# --------------------------------------------------- engine hot-path gates
+#
+# The three ``engine_*`` workloads below gate the fault-free fast path
+# (docs/performance.md).  They are deliberately round-loop heavy: a dense
+# *knock-out* workload like ``dense_bringup`` solves in O(1) rounds, so its
+# cost is dominated by per-node seed derivation (SHA-256, pinned by the
+# determinism contract in ``repro.sim.rng``) rather than by the engine loop
+# the fast path optimizes.
+
+
+def engine_dense():
+    """Saturated dense traffic: 1024 live nodes, ~300 transmitters/round.
+
+    A fixed transmission probability far above ``1/n`` keeps the primary
+    channel in permanent collision, so the run deterministically exhausts its
+    round budget with every node still live — 200 rounds of full-width
+    resolution + delivery, the engine's worst case.
+    """
+    try:
+        solve(
+            SlottedAloha(probability=0.3),
+            n=1 << 10,
+            num_channels=1,
+            activation=activate_all(1 << 10),
+            seed=17,
+            stop_on_solve=False,
+            max_rounds=200,
+        )
+    except RoundLimitExceeded as exc:
+        return exc
+    raise AssertionError("saturated workload unexpectedly solved")
+
+
+def engine_sparse():
+    """Long sparse execution: 3 nodes over 4000 rounds (per-round constants)."""
+    return solve(
+        Decay(),
+        n=1 << 10,
+        num_channels=1,
+        activation=activate_random(1 << 10, 3, seed=23),
+        seed=23,
+        stop_on_solve=False,
+        max_rounds=4000,
+    )
+
+
+def engine_multichannel():
+    """LeafElection at full occupancy: 128 nodes spread over 256 channels."""
+    assignment = {i: i for i in range(1, 129)}
+    return solve(
+        LeafElection(assignment),
+        n=256,
+        num_channels=256,
+        activation=Activation(active_ids=sorted(assignment)),
+        seed=29,
+    )
+
+
 #: The throughput workloads, shared with ``check_regression.py`` so the CI
 #: regression guard times exactly what these benchmarks time.
 WORKLOADS = {
     "dense_bringup": dense_bringup,
     "long_sparse_run": long_sparse_run,
     "multichannel_election": multichannel_election,
+    "engine_dense": engine_dense,
+    "engine_sparse": engine_sparse,
+    "engine_multichannel": engine_multichannel,
 }
 
 
@@ -80,6 +141,21 @@ def test_engine_long_sparse_run(benchmark):
 
 def test_engine_multichannel_election(benchmark):
     result = benchmark(multichannel_election)
+    assert result.solved
+
+
+def test_engine_dense_saturated(benchmark):
+    exhausted = benchmark(engine_dense)
+    assert isinstance(exhausted, RoundLimitExceeded)
+
+
+def test_engine_sparse_long_run(benchmark):
+    result = benchmark(engine_sparse)
+    assert result.rounds == 4000
+
+
+def test_engine_multichannel_full_occupancy(benchmark):
+    result = benchmark(engine_multichannel)
     assert result.solved
 
 
@@ -119,7 +195,13 @@ def test_engine_instrumented_dense_bringup(benchmark):
 
 
 def test_engine_instrumentation_overhead_dense(benchmark):
-    """Full RegistrySink instrumentation costs < 10% on a real workload."""
+    """Full RegistrySink instrumentation costs < 10% on a real workload.
+
+    Both sides run the general path (see the sparse cost gate below): this
+    pins the sink's own overhead, while the fast→general switch cost is
+    gated by the ``engine_*`` regression workloads.
+    """
+    from repro.sim import engine as engine_module
 
     def compare():
         # Measure back-to-back pairs and judge each pair head-to-head. A
@@ -129,24 +211,29 @@ def test_engine_instrumentation_overhead_dense(benchmark):
         # bound on the true overhead. Collection cycles are the one skew this
         # cannot average out (they land on whichever side crosses the gen-2
         # threshold, persistently per process), so GC is fenced off.
-        for _ in range(2):  # warm-up both paths
-            _dense_workload(False)
-            _dense_workload(True)
-        ratios = []
-        for _ in range(7):
-            gc.collect()
-            gc.disable()
-            try:
-                started = time.perf_counter()
+        previous = engine_module._FAST_PATH_ENABLED
+        engine_module._FAST_PATH_ENABLED = False
+        try:
+            for _ in range(2):  # warm-up both paths
                 _dense_workload(False)
-                baseline = time.perf_counter() - started
-                started = time.perf_counter()
                 _dense_workload(True)
-                instrumented = time.perf_counter() - started
-            finally:
-                gc.enable()
-            ratios.append(instrumented / baseline)
-        return ratios
+            ratios = []
+            for _ in range(7):
+                gc.collect()
+                gc.disable()
+                try:
+                    started = time.perf_counter()
+                    _dense_workload(False)
+                    baseline = time.perf_counter() - started
+                    started = time.perf_counter()
+                    _dense_workload(True)
+                    instrumented = time.perf_counter() - started
+                finally:
+                    gc.enable()
+                ratios.append(instrumented / baseline)
+            return ratios
+        finally:
+            engine_module._FAST_PATH_ENABLED = previous
 
     ratios = benchmark.pedantic(compare, rounds=1, iterations=1)
     best = min(ratios)
@@ -158,18 +245,32 @@ def test_engine_instrumentation_overhead_dense(benchmark):
 
 
 def test_engine_instrumentation_cost_per_round_sparse(benchmark):
-    """On 2-microsecond rounds the absolute per-round cost stays tiny."""
+    """On 2-microsecond rounds the absolute per-round cost stays tiny.
+
+    Both sides run the general path (the kill switch disables the fast
+    path for the uninstrumented baseline) so the difference isolates the
+    instrumentation constant itself.  The cost of the fast→general path
+    switch that attaching a sink also implies is documented and gated
+    separately (docs/performance.md, the ``engine_*`` regression
+    workloads).
+    """
+    from repro.sim import engine as engine_module
 
     def sparse(instrumented):
         sink = RegistrySink() if instrumented else None
-        return solve(
-            Decay(),
-            n=1 << 10,
-            num_channels=1,
-            activation=activate_random(1 << 10, 3, seed=2),
-            seed=2,
-            instrument=sink,
-        )
+        previous = engine_module._FAST_PATH_ENABLED
+        engine_module._FAST_PATH_ENABLED = False
+        try:
+            return solve(
+                Decay(),
+                n=1 << 10,
+                num_channels=1,
+                activation=activate_random(1 << 10, 3, seed=2),
+                seed=2,
+                instrument=sink,
+            )
+        finally:
+            engine_module._FAST_PATH_ENABLED = previous
 
     def compare():
         for _ in range(3):

@@ -28,7 +28,6 @@ protocol's random stream — the differential suite
 
 from __future__ import annotations
 
-import dataclasses
 import math
 import random
 from typing import Any, Iterator, List, Optional, Tuple
@@ -305,11 +304,10 @@ class WatchdogRestart(Protocol):
             else:
                 if restart_base is None:
                     restart_base = ctx.rng.getrandbits(63)
-                attempt_ctx = dataclasses.replace(
-                    ctx,
-                    rng=random.Random(
+                attempt_ctx = ctx.with_rng(
+                    random.Random(
                         derive_seed(restart_base, ctx.node_id, attempt, _RESTART_TAG)
-                    ),
+                    )
                 )
             inner = self.inner.run(attempt_ctx)
             returned = False

@@ -8,7 +8,7 @@ whether 0, 1, or more nodes transmitted.
 """
 
 from .actions import IDLE, Action, idle, listen, transmit
-from .cd_modes import CollisionDetection, observed_feedback
+from .cd_modes import CollisionDetection, observed_feedback, perception_views
 from .adversary import (
     Activation,
     activate_adjacent,
@@ -52,6 +52,7 @@ __all__ = [
     "Action",
     "CollisionDetection",
     "observed_feedback",
+    "perception_views",
     "Activation",
     "ChannelRound",
     "ConfigurationError",

@@ -5,15 +5,33 @@ one channel (as a transmitter or a receiver) or idles.  This mirrors the
 model of Section 3 of the paper: "(1) it must choose a single channel from 1
 to C on which to participate; and (2) it must decide whether to transmit a
 message or receive."
+
+Actions sit on the engine's hottest path — every node yields one per round —
+so :class:`Action` is a ``__slots__`` value object rather than a dataclass,
+and the builder functions are flyweights:
+
+* :func:`idle` always returns the shared :data:`IDLE` singleton;
+* :func:`listen` returns one interned action per channel;
+* :func:`transmit` interns the payload-free case (``message=None``, the
+  "ping" most knock-out protocols send every round) per channel and only
+  allocates when a real payload is attached.
+
+Interning is safe because actions are immutable and compare by value;
+protocols must not rely on two equal actions being *distinct* objects
+(``is``-comparison against the shared builders' outputs is fine and is part
+of the documented semantics — see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Dict, Optional
+
+#: Channels up to this index get interned listen/ping actions; beyond it the
+#: builders fall back to plain allocation so pathological channel numbers
+#: cannot grow the caches without bound.
+_INTERN_CHANNEL_LIMIT = 4096
 
 
-@dataclass(frozen=True)
 class Action:
     """What one node does in one round.
 
@@ -25,11 +43,55 @@ class Action:
         message: payload carried by a transmission.  The simulator treats it
             as opaque; it is delivered verbatim when the transmission is the
             only one on its channel.  ``None`` is a valid payload (a "ping").
+
+    Immutable and compared by value, exactly like the frozen dataclass it
+    replaces; instances may be shared (see module docstring).
     """
 
+    __slots__ = ("channel", "transmit", "message")
+
     channel: Optional[int]
-    transmit: bool = False
-    message: Any = None
+    transmit: bool
+    message: Any
+
+    def __init__(
+        self,
+        channel: Optional[int],
+        transmit: bool = False,
+        message: Any = None,
+    ) -> None:
+        object.__setattr__(self, "channel", channel)
+        object.__setattr__(self, "transmit", transmit)
+        object.__setattr__(self, "message", message)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Action is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Action is immutable (cannot delete {name!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Action:
+            return NotImplemented
+        return (
+            self.channel == other.channel  # type: ignore[attr-defined]
+            and self.transmit == other.transmit  # type: ignore[attr-defined]
+            and self.message == other.message  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.channel, self.transmit, self.message))
+
+    def __repr__(self) -> str:
+        return (
+            f"Action(channel={self.channel!r}, transmit={self.transmit!r}, "
+            f"message={self.message!r})"
+        )
+
+    def __reduce__(self):
+        # __slots__ classes need explicit pickle support (the default
+        # setattr-based restore would trip the immutability guard).
+        return (Action, (self.channel, self.transmit, self.message))
 
     @property
     def participates(self) -> bool:
@@ -37,20 +99,38 @@ class Action:
         return self.channel is not None
 
 
+_LISTEN_CACHE: Dict[int, Action] = {}
+_PING_CACHE: Dict[int, Action] = {}
+
+
 def transmit(channel: int, message: Any = None) -> Action:
-    """Build a transmission action on ``channel`` carrying ``message``."""
-    return Action(channel=channel, transmit=True, message=message)
+    """Build a transmission action on ``channel`` carrying ``message``.
+
+    Payload-free transmissions (``message=None``) are interned per channel.
+    """
+    if message is None and 0 <= channel <= _INTERN_CHANNEL_LIMIT:
+        action = _PING_CACHE.get(channel)
+        if action is None:
+            action = Action(channel, True, None)
+            _PING_CACHE[channel] = action
+        return action
+    return Action(channel, True, message)
 
 
 def listen(channel: int) -> Action:
-    """Build a receive action on ``channel``."""
-    return Action(channel=channel, transmit=False)
-
-
-def idle() -> Action:
-    """Build an action that skips the round entirely."""
-    return Action(channel=None)
+    """Build a receive action on ``channel`` (interned per channel)."""
+    action = _LISTEN_CACHE.get(channel)
+    if action is None:
+        action = Action(channel, False, None)
+        if 0 <= channel <= _INTERN_CHANNEL_LIMIT:
+            _LISTEN_CACHE[channel] = action
+    return action
 
 
 #: Shared singleton for the common idle case; protocols may yield it directly.
-IDLE = idle()
+IDLE = Action(None)
+
+
+def idle() -> Action:
+    """Build an action that skips the round entirely (the :data:`IDLE` singleton)."""
+    return IDLE

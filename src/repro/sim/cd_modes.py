@@ -25,6 +25,7 @@ tests can show which assumptions each algorithm actually needs:
 from __future__ import annotations
 
 import enum
+from typing import Dict, Tuple
 
 from .feedback import Feedback
 
@@ -63,3 +64,33 @@ def observed_feedback(
     if outcome is Feedback.COLLISION:
         return Feedback.SILENCE
     return outcome
+
+
+#: ``perception_views(mode)[transmitted][outcome]`` — the precomputed form of
+#: :func:`observed_feedback` the engine hot loop uses.  Built once at import
+#: from the reference implementation above, so the two can never drift (a
+#: test asserts the table equals the function over its whole domain).
+_PERCEPTION_VIEWS: Dict[
+    CollisionDetection,
+    Tuple[Dict[Feedback, Feedback], Dict[Feedback, Feedback]],
+] = {
+    mode: (
+        {outcome: observed_feedback(mode, outcome, False) for outcome in Feedback},
+        {outcome: observed_feedback(mode, outcome, True) for outcome in Feedback},
+    )
+    for mode in CollisionDetection
+}
+
+
+def perception_views(
+    mode: CollisionDetection,
+) -> Tuple[Dict[Feedback, Feedback], Dict[Feedback, Feedback]]:
+    """Precomputed perception tables for ``mode``.
+
+    Returns:
+        A ``(receiver_view, transmitter_view)`` pair; each maps the true
+        channel outcome to the feedback that participant perspective
+        observes, exactly as :func:`observed_feedback` would compute it.
+        Index with ``views[transmitted][outcome]``.
+    """
+    return _PERCEPTION_VIEWS[mode]

@@ -8,18 +8,21 @@ Protocols must not communicate through the context — all coordination goes
 through the channels, as in the paper's model.  The ``node_id`` is exposed
 because the *model* allows nodes to have ids (the paper's algorithms simply
 do not use them; the baselines from the classical literature do).
+
+One context is built per node per run and one :class:`MarkRecord` per mark,
+so both are lean ``__slots__`` classes rather than dataclasses — node
+bring-up is the dominant cost of dense short executions (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 MarkCallback = Callable[[int, str, Any], None]
 
 
-@dataclass
 class NodeContext:
     """Everything a single node may consult while executing.
 
@@ -33,13 +36,84 @@ class NodeContext:
         wake_round: the first round in which this node participates.
     """
 
+    __slots__ = (
+        "node_id",
+        "n",
+        "num_channels",
+        "rng",
+        "wake_round",
+        "_mark_sink",
+        "_round_supplier",
+    )
+
     node_id: int
     n: int
     num_channels: int
     rng: random.Random
-    wake_round: int = 1
-    _mark_sink: MarkCallback | None = field(default=None, repr=False)
-    _round_supplier: Callable[[], int] | None = field(default=None, repr=False)
+    wake_round: int
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        num_channels: int,
+        rng: random.Random,
+        wake_round: int = 1,
+        _mark_sink: Optional[MarkCallback] = None,
+        _round_supplier: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.num_channels = num_channels
+        self.rng = rng
+        self.wake_round = wake_round
+        self._mark_sink = _mark_sink
+        self._round_supplier = _round_supplier
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeContext(node_id={self.node_id!r}, n={self.n!r}, "
+            f"num_channels={self.num_channels!r}, rng={self.rng!r}, "
+            f"wake_round={self.wake_round!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not NodeContext:
+            return NotImplemented
+        return (
+            self.node_id,
+            self.n,
+            self.num_channels,
+            self.rng,
+            self.wake_round,
+            self._mark_sink,
+            self._round_supplier,
+        ) == (
+            other.node_id,  # type: ignore[attr-defined]
+            other.n,
+            other.num_channels,
+            other.rng,
+            other.wake_round,
+            other._mark_sink,
+            other._round_supplier,
+        )
+
+    def with_rng(self, rng: random.Random) -> "NodeContext":
+        """A copy of this context with a different random stream.
+
+        Used by :class:`repro.robust.WatchdogRestart` to hand a restarted
+        inner protocol fresh randomness while keeping the node's identity,
+        mark sink, and round supplier intact.
+        """
+        return NodeContext(
+            node_id=self.node_id,
+            n=self.n,
+            num_channels=self.num_channels,
+            rng=rng,
+            wake_round=self.wake_round,
+            _mark_sink=self._mark_sink,
+            _round_supplier=self._round_supplier,
+        )
 
     @property
     def current_round(self) -> int:
@@ -59,14 +133,40 @@ class NodeContext:
             self._mark_sink(self.node_id, label, payload)
 
 
-@dataclass
 class MarkRecord:
     """One instrumentation event captured during an execution."""
+
+    __slots__ = ("round_index", "node_id", "label", "payload")
 
     round_index: int
     node_id: int
     label: str
-    payload: Any = None
+    payload: Any
+
+    def __init__(
+        self, round_index: int, node_id: int, label: str, payload: Any = None
+    ) -> None:
+        self.round_index = round_index
+        self.node_id = node_id
+        self.label = label
+        self.payload = payload
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.round_index, self.node_id, self.label, self.payload)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not MarkRecord:
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkRecord(round_index={self.round_index!r}, node_id={self.node_id!r}, "
+            f"label={self.label!r}, payload={self.payload!r})"
+        )
+
+    def __reduce__(self):
+        return (MarkRecord, self._key())
 
 
 class MarkCollector:

@@ -18,6 +18,20 @@ the generator terminates the node.
 
 Solve detection is performed by the engine, not by protocols, so an algorithm
 cannot claim success it did not achieve on the channel.
+
+Two implementations of the round loop coexist (see ``docs/performance.md``):
+
+* the **general path** handles every feature — fault injection,
+  instrumentation, trace recording;
+* the **fast path** is a specialized loop selected automatically when
+  ``faults``, ``instrument``, and ``record_trace`` are all off (the common
+  sweep configuration).  It shares per-round observations between
+  same-perspective participants, resolves perception through precomputed
+  lookup tables, and reuses its round buffers instead of reallocating them.
+
+The two paths are *bitwise identical* in results, marks, and raised errors —
+``tests/test_engine_fastpath_differential.py`` enforces it over a grid of
+protocols, seeds, and collision-detection modes.
 """
 
 from __future__ import annotations
@@ -44,16 +58,22 @@ from .actions import Action
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
     from ..faults.models import FaultModel
-from .cd_modes import CollisionDetection, observed_feedback
+from .cd_modes import CollisionDetection, perception_views
 from .context import MarkCollector, NodeContext
 from .errors import ConfigurationError, ProtocolViolation, RoundLimitExceeded
-from .feedback import Feedback, Observation, resolve
+from .feedback import FEEDBACK_BY_COUNT, Feedback, Observation, resolve
 from .network import PRIMARY_CHANNEL, Network
 from .rng import node_rng
 from .trace import ChannelRound, ExecutionTrace, RoundRecord
 
 ProtocolCoroutine = Generator[Action, Observation, None]
 ProtocolFactory = Callable[[NodeContext], ProtocolCoroutine]
+
+#: Escape hatch for the differential test suite: setting this to ``False``
+#: routes every run through the general path even when the fast path is
+#: eligible, so the two loops can be compared on identical inputs.  Not part
+#: of the public API.
+_FAST_PATH_ENABLED = True
 
 
 def default_round_budget(n: int) -> int:
@@ -80,8 +100,13 @@ class ExecutionResult:
         winner: node id of the lone channel-1 transmitter, or ``None``.
         rounds: number of rounds executed (== ``solved_round`` when solved
             and the engine stopped on solve).
-        all_terminated: whether every node's coroutine returned before the
-            run ended (relevant when the run did not solve).
+        all_terminated: whether every activated node's coroutine returned
+            *cleanly* before the run ended (relevant when the run did not
+            solve).  Crash-stopped nodes (churn fault injection) are not
+            clean terminations: any crash forces this to ``False``.
+        crashed: number of activated nodes that crash-stopped instead of
+            terminating (0 outside churn fault injection).  Counts both
+            mid-run crashes and nodes whose crash round preceded their wake.
         trace: the recorded trace (marks always present; per-round channel
             records only when ``record_trace=True``).
     """
@@ -91,6 +116,7 @@ class ExecutionResult:
     winner: Optional[int]
     rounds: int
     all_terminated: bool
+    crashed: int = 0
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
 
     def require_solved(self) -> "ExecutionResult":
@@ -110,12 +136,17 @@ class Engine:
         seed: master seed; every node derives a private stream from it.
         record_trace: keep per-round channel records (memory-heavy; tests and
             examples only).
+
+    After each :meth:`run`, the ``used_fast_path`` attribute reports which
+    round-loop implementation served it (diagnostics/tests only).
     """
 
     def __init__(self, network: Network, *, seed: int = 0, record_trace: bool = False):
         self.network = network
         self.seed = seed
         self.record_trace = record_trace
+        #: Whether the most recent :meth:`run` took the specialized fast path.
+        self.used_fast_path = False
 
     def run(
         self,
@@ -177,6 +208,227 @@ class Engine:
         if budget < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
 
+        self.used_fast_path = (
+            _FAST_PATH_ENABLED
+            and faults is None
+            and instrument is None
+            and not self.record_trace
+        )
+        if self.used_fast_path:
+            return self._run_fast(protocol_factory, ids, wake, budget, stop_on_solve)
+        return self._run_general(
+            protocol_factory, ids, wake, budget, stop_on_solve, instrument, faults
+        )
+
+    # ------------------------------------------------------------- fast path
+
+    def _run_fast(
+        self,
+        protocol_factory: ProtocolFactory,
+        ids: List[int],
+        wake: Dict[int, int],
+        budget: int,
+        stop_on_solve: bool,
+    ) -> ExecutionResult:
+        """Specialized round loop: no faults, no instrumentation, no trace.
+
+        Bitwise-identical to :meth:`_run_general` on the same inputs (the
+        differential suite proves it); the speed comes from shared per-round
+        observations, precomputed perception tables, reused buffers, and one
+        combined per-node record instead of parallel dicts.
+        """
+        network = self.network
+        n = network.n
+        num_channels = network.num_channels
+        seed = self.seed
+        rx_view, tx_view = perception_views(network.collision_detection)
+        feedback_by_count = FEEDBACK_BY_COUNT
+        none_feedback = Feedback.NONE
+        message_feedback = Feedback.MESSAGE
+        primary = PRIMARY_CHANNEL
+
+        marks = MarkCollector()
+        trace = ExecutionTrace()
+        current_round_holder = [0]
+
+        def _current_round() -> int:
+            return current_round_holder[0]
+
+        # nid -> [coroutine, pending_action]; one record per live node keeps
+        # the loop to a single dict traversal per phase.
+        live: Dict[int, List[Any]] = {}
+        unwoken = sorted(ids, key=lambda i: wake[i])
+        wake_count = len(unwoken)
+        cursor = 0
+
+        solved = False
+        solved_round: Optional[int] = None
+        winner: Optional[int] = None
+        rounds_executed = 0
+
+        # Reused per-round buffers (cleared, never reallocated).
+        tx_count: Dict[int, int] = {}
+        lone_payload: Dict[int, Any] = {}
+        obs_by_rx_channel: Dict[int, Observation] = {}
+        obs_by_tx_channel: Dict[int, Observation] = {}
+        finished: List[int] = []
+
+        for round_index in range(1, budget + 1):
+            current_round_holder[0] = round_index
+            marks.set_round(round_index)
+
+            # Wake nodes whose time has come and prime their first action.
+            while cursor < wake_count and wake[unwoken[cursor]] <= round_index:
+                nid = unwoken[cursor]
+                cursor += 1
+                ctx = NodeContext(
+                    node_id=nid,
+                    n=n,
+                    num_channels=num_channels,
+                    rng=node_rng(seed, nid),
+                    wake_round=wake[nid],
+                    _mark_sink=marks.sink,
+                    _round_supplier=_current_round,
+                )
+                coroutine = protocol_factory(ctx)
+                try:
+                    first_action = next(coroutine)
+                except StopIteration:
+                    continue  # the protocol terminated immediately
+                live[nid] = [coroutine, self._validate_action(first_action, nid, round_index)]
+
+            if not live and cursor >= wake_count:
+                # Everyone has terminated; nothing can ever happen again.
+                rounds_executed = round_index - 1
+                break
+            rounds_executed = round_index
+
+            # Resolve channels: transmitter counts + lone payloads only (no
+            # receiver bookkeeping — nothing downstream needs it here).
+            tx_count.clear()
+            lone_payload.clear()
+            primary_first: Optional[int] = None
+            for nid, entry in live.items():
+                action = entry[1]
+                channel = action.channel
+                if channel is None or not action.transmit:
+                    continue
+                count = tx_count.get(channel)
+                if count is None:
+                    tx_count[channel] = 1
+                    lone_payload[channel] = action.message
+                    if channel == primary:
+                        primary_first = nid
+                else:
+                    tx_count[channel] = count + 1
+
+            if not solved and tx_count.get(primary) == 1:
+                solved = True
+                solved_round = round_index
+                winner = primary_first
+
+            # Deliver observations and collect next-round actions.  Every
+            # same-perspective participant on a channel shares one interned
+            # Observation; idling nodes share a single per-round instance.
+            obs_by_rx_channel.clear()
+            obs_by_tx_channel.clear()
+            idle_observation: Optional[Observation] = None
+            del finished[:]
+            next_round = round_index + 1
+            for nid, entry in live.items():
+                action = entry[1]
+                channel = action.channel
+                if channel is None:
+                    observation = idle_observation
+                    if observation is None:
+                        observation = idle_observation = Observation(
+                            none_feedback, None, None, round_index, False
+                        )
+                elif action.transmit:
+                    observation = obs_by_tx_channel.get(channel)
+                    if observation is None:
+                        count = tx_count[channel]
+                        outcome = feedback_by_count[2 if count > 2 else count]
+                        seen = tx_view[outcome]
+                        observation = Observation(
+                            seen,
+                            lone_payload[channel] if seen is message_feedback else None,
+                            channel,
+                            round_index,
+                            True,
+                        )
+                        obs_by_tx_channel[channel] = observation
+                else:
+                    observation = obs_by_rx_channel.get(channel)
+                    if observation is None:
+                        count = tx_count.get(channel, 0)
+                        outcome = feedback_by_count[2 if count > 2 else count]
+                        seen = rx_view[outcome]
+                        observation = Observation(
+                            seen,
+                            lone_payload[channel] if seen is message_feedback else None,
+                            channel,
+                            round_index,
+                            False,
+                        )
+                        obs_by_rx_channel[channel] = observation
+                try:
+                    next_action = entry[0].send(observation)
+                except StopIteration:
+                    finished.append(nid)
+                    continue
+                # Inline _validate_action (same checks, same messages).
+                if not isinstance(next_action, Action):
+                    raise ProtocolViolation(
+                        f"protocol yielded {type(next_action).__name__}, expected Action",
+                        node_id=nid,
+                        round_index=next_round,
+                    )
+                next_channel = next_action.channel
+                if next_channel is not None and not (1 <= next_channel <= num_channels):
+                    raise ProtocolViolation(
+                        f"channel {next_channel} outside [1, {num_channels}]",
+                        node_id=nid,
+                        round_index=next_round,
+                    )
+                entry[1] = next_action
+            for nid in finished:
+                del live[nid]
+
+            if solved and stop_on_solve:
+                break
+        else:
+            # Budget exhausted without breaking out of the loop.
+            if not solved:
+                raise RoundLimitExceeded(
+                    budget,
+                    detail=f"{len(live)} node(s) still running",
+                )
+
+        trace.marks = marks.records
+        return ExecutionResult(
+            solved=solved,
+            solved_round=solved_round,
+            winner=winner,
+            rounds=rounds_executed,
+            all_terminated=not live and cursor >= wake_count,
+            crashed=0,
+            trace=trace,
+        )
+
+    # ---------------------------------------------------------- general path
+
+    def _run_general(
+        self,
+        protocol_factory: ProtocolFactory,
+        ids: List[int],
+        wake: Dict[int, int],
+        budget: int,
+        stop_on_solve: bool,
+        instrument: Optional[MetricsSink],
+        faults: Optional["FaultModel"],
+    ) -> ExecutionResult:
+        """Full-featured round loop: faults, instrumentation, trace recording."""
         # Fault schedules are resolved up front: wake delays shift the wake
         # map (stacking with any staggered schedule), crash rounds split
         # into "never participates" (crash <= wake) and a per-round agenda.
@@ -204,9 +456,13 @@ class Engine:
                     crash_by_round.setdefault(crash, []).append(nid)
             doomed = frozenset(dead_on_arrival)
 
+        rx_view, tx_view = perception_views(self.network.collision_detection)
         marks = MarkCollector()
         trace = ExecutionTrace()
         current_round_holder = [0]
+
+        def _current_round() -> int:
+            return current_round_holder[0]
 
         coroutines: Dict[int, ProtocolCoroutine] = {}
         pending: Dict[int, Action] = {}
@@ -217,6 +473,9 @@ class Engine:
         solved_round: Optional[int] = None
         winner: Optional[int] = None
         rounds_executed = 0
+        # Crash-stopped nodes are not clean terminations; nodes doomed to
+        # crash at or before their wake round never participate at all.
+        crashed_total = len(doomed)
 
         run_started_at = 0.0
         round_started_at = 0.0
@@ -250,6 +509,7 @@ class Engine:
                     del pending[nid]
                     crashed.append(nid)
                 crashed_now = tuple(crashed)
+                crashed_total += len(crashed_now)
 
             # Wake nodes whose time has come and prime their first action.
             while unwoken_cursor < len(unwoken) and wake[unwoken[unwoken_cursor]] <= round_index:
@@ -264,7 +524,7 @@ class Engine:
                     rng=node_rng(self.seed, nid),
                     wake_round=wake[nid],
                     _mark_sink=marks.sink,
-                    _round_supplier=lambda: current_round_holder[0],
+                    _round_supplier=_current_round,
                 )
                 coroutine = protocol_factory(ctx)
                 try:
@@ -295,9 +555,14 @@ class Engine:
                 else:
                     receivers.setdefault(channel, []).append(nid)
 
+            # Busy channels are exactly keys(transmitters) + keys(receivers);
+            # iterating both directly avoids two temporary sets per round.
             outcomes: Dict[int, Feedback] = {}
-            for channel in set(transmitters) | set(receivers):
-                outcomes[channel] = resolve(len(transmitters.get(channel, ())))
+            for channel, channel_transmitters in transmitters.items():
+                outcomes[channel] = resolve(len(channel_transmitters))
+            for channel in receivers:
+                if channel not in outcomes:
+                    outcomes[channel] = Feedback.SILENCE
 
             # Jamming is physical: a jammed busy channel reads COLLISION for
             # everyone (the trace records it, payloads are destroyed), and a
@@ -360,9 +625,7 @@ class Engine:
                     channel = action.channel
                     assert channel is not None
                     outcome = perceived[channel]
-                    seen = observed_feedback(
-                        self.network.collision_detection, outcome, action.transmit
-                    )
+                    seen = (tx_view if action.transmit else rx_view)[outcome]
                     observation = Observation(
                         feedback=seen,
                         message=(
@@ -460,7 +723,12 @@ class Engine:
             solved_round=solved_round,
             winner=winner,
             rounds=rounds_executed,
-            all_terminated=not coroutines and unwoken_cursor >= len(unwoken),
+            all_terminated=(
+                not coroutines
+                and unwoken_cursor >= len(unwoken)
+                and crashed_total == 0
+            ),
+            crashed=crashed_total,
             trace=trace,
         )
 

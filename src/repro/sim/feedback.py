@@ -11,13 +11,19 @@ The paper assumes the classical *strong* collision-detection model
 
 Feedback is identical for every participant on the same channel, which is
 exactly what lets the paper's algorithms reach common knowledge in one round.
+
+Because feedback is identical per channel, :class:`Observation` objects are
+shareable: the engine's fast path hands every same-perspective participant on
+a channel the *same* interned instance instead of allocating one per node.
+Observations are therefore ``__slots__`` value objects, immutable and
+compared by value; protocols must not rely on two equal observations being
+distinct objects (see ``docs/performance.md`` for the identity semantics).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 
 class Feedback(enum.Enum):
@@ -30,7 +36,6 @@ class Feedback(enum.Enum):
     NONE = "none"
 
 
-@dataclass(frozen=True)
 class Observation:
     """Everything a node learns from one round.
 
@@ -42,13 +47,70 @@ class Observation:
         transmitted: whether this node itself transmitted this round; this is
             the node's own local knowledge, echoed back for convenience so
             protocols need not track it separately.
+
+    Immutable and compared by value, exactly like the frozen dataclass it
+    replaces; instances may be shared between nodes (see module docstring).
     """
 
+    __slots__ = ("feedback", "message", "channel", "round_index", "transmitted")
+
     feedback: Feedback
-    message: Any = None
-    channel: Optional[int] = None
-    round_index: int = 0
-    transmitted: bool = False
+    message: Any
+    channel: Optional[int]
+    round_index: int
+    transmitted: bool
+
+    def __init__(
+        self,
+        feedback: Feedback,
+        message: Any = None,
+        channel: Optional[int] = None,
+        round_index: int = 0,
+        transmitted: bool = False,
+    ) -> None:
+        object.__setattr__(self, "feedback", feedback)
+        object.__setattr__(self, "message", message)
+        object.__setattr__(self, "channel", channel)
+        object.__setattr__(self, "round_index", round_index)
+        object.__setattr__(self, "transmitted", transmitted)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Observation is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Observation is immutable (cannot delete {name!r})")
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.feedback,
+            self.message,
+            self.channel,
+            self.round_index,
+            self.transmitted,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Observation:
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Observation(feedback={self.feedback!r}, message={self.message!r}, "
+            f"channel={self.channel!r}, round_index={self.round_index!r}, "
+            f"transmitted={self.transmitted!r})"
+        )
+
+    def __reduce__(self):
+        # __slots__ classes need explicit pickle support (the default
+        # setattr-based restore would trip the immutability guard).
+        return (
+            Observation,
+            (self.feedback, self.message, self.channel, self.round_index, self.transmitted),
+        )
 
     @property
     def silence(self) -> bool:
@@ -70,6 +132,15 @@ class Observation:
         "transmitted and feedback is MESSAGE" is exactly "I was alone".
         """
         return self.transmitted and self.feedback is Feedback.MESSAGE
+
+
+#: Channel feedback indexed by ``min(transmitter_count, 2)`` — the branch-free
+#: form of :func:`resolve` the engine's hot loop uses.
+FEEDBACK_BY_COUNT: Tuple[Feedback, Feedback, Feedback] = (
+    Feedback.SILENCE,
+    Feedback.MESSAGE,
+    Feedback.COLLISION,
+)
 
 
 def resolve(transmission_count: int, lone_message: Any = None) -> Feedback:

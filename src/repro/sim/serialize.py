@@ -42,6 +42,7 @@ def result_to_dict(result: ExecutionResult) -> Dict[str, Any]:
         "winner": result.winner,
         "rounds": result.rounds,
         "all_terminated": result.all_terminated,
+        "crashed": result.crashed,
         "marks": [
             {
                 "round": mark.round_index,

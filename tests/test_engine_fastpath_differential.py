@@ -1,0 +1,301 @@
+"""Differential tests: the fault-free fast path is bitwise-identical.
+
+``Engine.run`` serves eligible runs (``faults=None``, ``instrument=None``,
+``record_trace=False``) from a specialized round loop (``_run_fast``) that
+shares flyweight observations, reuses per-round buffers, and skips all
+instrumentation branching.  These tests prove, over a grid of protocols ×
+seeds × collision-detection modes, that the fast path produces *exactly*
+the execution the general path produces — same ``solved`` / ``winner`` /
+``rounds`` / ``crashed`` / marks, byte-identical serialized results, and
+the same ``RoundLimitExceeded`` on livelocked instances — and that any
+ineligible run (instrumented, faulted, or traced) still routes through the
+general path.
+
+The general path itself is pinned to the seed engine by the golden traces
+(``tests/test_golden_traces.py``) and the observability/fault differential
+suites, so equality here extends the bitwise-identity chain to the fast
+path.
+
+The interned-representation tests at the bottom document the identity
+semantics the flyweights introduce: payload-free actions and same-round
+observations may be *shared objects*, so protocol code must compare
+observations by value (``==`` / the ``silence`` / ``alone`` /
+``got_message`` accessors), never by ``is``.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Decay,
+    FNWGeneral,
+    LeafElection,
+    TwoActive,
+    activate_pair,
+    activate_random,
+    solve,
+)
+from repro.faults import FaultPlan, Jamming
+from repro.obs import RegistrySink
+from repro.sim import (
+    Activation,
+    CollisionDetection,
+    Engine,
+    Network,
+    RoundLimitExceeded,
+    result_to_dict,
+)
+from repro.sim import engine as engine_module
+from repro.sim.actions import IDLE, Action, idle, listen, transmit
+from repro.sim.feedback import Feedback, Observation
+
+SEEDS = (0, 1, 2)
+
+MODES = (
+    CollisionDetection.STRONG,
+    CollisionDetection.RECEIVER_ONLY,
+    CollisionDetection.NONE,
+)
+
+
+def _leaf_assignment():
+    return {1: 2, 2: 3, 3: 5, 4: 7, 5: 8}
+
+
+#: (name, protocol factory, solve kwargs factory).  ``max_rounds`` is kept
+#: small because several protocol × CD-mode combinations livelock by design
+#: (e.g. TwoActive without transmitter-side collision detection) — the
+#: budget-exhaustion behavior is part of what must match.
+CASES = [
+    (
+        "two-active",
+        TwoActive,
+        lambda seed: dict(
+            n=64,
+            num_channels=8,
+            activation=activate_pair(64, seed=seed),
+            max_rounds=256,
+        ),
+    ),
+    (
+        "general",
+        FNWGeneral,
+        lambda seed: dict(
+            n=128,
+            num_channels=8,
+            activation=activate_random(128, 20, seed=seed),
+            max_rounds=512,
+        ),
+    ),
+    (
+        "leaf-election",
+        lambda: LeafElection(_leaf_assignment()),
+        lambda seed: dict(
+            n=16,
+            num_channels=16,
+            activation=Activation(active_ids=sorted(_leaf_assignment())),
+            max_rounds=256,
+        ),
+    ),
+    (
+        "baseline-decay",
+        Decay,
+        lambda seed: dict(
+            n=64,
+            num_channels=1,
+            activation=activate_random(64, 5, seed=seed),
+            stop_on_solve=False,
+            max_rounds=512,
+        ),
+    ),
+]
+
+
+@pytest.fixture
+def force_general_path(monkeypatch):
+    """Route every eligible run through the general path for comparison."""
+
+    def apply():
+        monkeypatch.setattr(engine_module, "_FAST_PATH_ENABLED", False)
+
+    return apply
+
+
+def _outcome(factory, kwargs, seed, mode):
+    """Terminal outcome of a run: serialized result or round-limit details."""
+    try:
+        result = solve(factory(), seed=seed, collision_detection=mode, **kwargs)
+    except RoundLimitExceeded as exc:
+        return ("round-limit", str(exc))
+    return ("result", json.dumps(result_to_dict(result), sort_keys=True))
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,factory,make_kwargs", CASES, ids=[c[0] for c in CASES])
+def test_fast_path_matches_general_path(name, factory, make_kwargs, seed, mode, force_general_path):
+    kwargs = make_kwargs(seed)
+    fast = _outcome(factory, kwargs, seed, mode)
+    force_general_path()
+    general = _outcome(factory, kwargs, seed, mode)
+    assert fast == general
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_path_matches_recorded_trace_fields(seed):
+    """Shared result fields match a ``record_trace=True`` (general) run."""
+    kwargs = dict(
+        n=128, num_channels=8, activation=activate_random(128, 20, seed=seed)
+    )
+    fast = solve(FNWGeneral(), seed=seed, **kwargs)
+    traced = solve(FNWGeneral(), seed=seed, record_trace=True, **kwargs)
+    assert fast.solved == traced.solved
+    assert fast.solved_round == traced.solved_round
+    assert fast.winner == traced.winner
+    assert fast.rounds == traced.rounds
+    assert fast.all_terminated == traced.all_terminated
+    assert fast.crashed == traced.crashed
+    assert fast.trace.marks == traced.trace.marks
+    assert not fast.trace.rounds  # fast path never records channel rounds
+    assert traced.trace.rounds  # the traced run does
+
+
+# --------------------------------------------------------------- routing
+
+
+def _engine(n=64, num_channels=8, **kwargs):
+    return Engine(Network(n=n, num_channels=num_channels), seed=3, **kwargs)
+
+
+def _run(engine, **kwargs):
+    return engine.run(
+        TwoActive(), active_ids=sorted(activate_pair(64, seed=3).active_ids), **kwargs
+    )
+
+
+def test_eligible_run_takes_fast_path():
+    engine = _engine()
+    _run(engine)
+    assert engine.used_fast_path
+
+
+def test_instrumented_run_takes_general_path():
+    engine = _engine()
+    _run(engine, instrument=RegistrySink())
+    assert not engine.used_fast_path
+
+
+def test_faulted_run_takes_general_path():
+    engine = _engine()
+    _run(engine, faults=FaultPlan())
+    assert not engine.used_fast_path
+
+
+def test_empty_jamming_run_takes_general_path():
+    # Even a zero-budget fault model must route through the general path:
+    # eligibility is structural (``faults is None``), never semantic.
+    engine = _engine()
+    _run(engine, faults=Jamming(budget=0, seed=0))
+    assert not engine.used_fast_path
+
+
+def test_traced_run_takes_general_path():
+    engine = _engine(record_trace=True)
+    _run(engine)
+    assert not engine.used_fast_path
+
+
+def test_kill_switch_routes_to_general_path(monkeypatch):
+    monkeypatch.setattr(engine_module, "_FAST_PATH_ENABLED", False)
+    engine = _engine()
+    _run(engine)
+    assert not engine.used_fast_path
+
+
+# ------------------------------------------------- interning semantics
+
+
+class TestActionInterning:
+    def test_idle_is_a_singleton(self):
+        assert idle() is IDLE
+        assert idle() is idle()
+
+    def test_listen_is_interned_per_channel(self):
+        assert listen(1) is listen(1)
+        assert listen(2) is listen(2)
+        assert listen(1) is not listen(2)
+
+    def test_payload_free_transmit_is_interned(self):
+        assert transmit(1) is transmit(1)
+        assert transmit(3) is not transmit(1)
+
+    def test_transmit_with_payload_is_not_interned(self):
+        a = transmit(1, ("msg", 7))
+        b = transmit(1, ("msg", 7))
+        assert a is not b
+        assert a == b  # value equality is what protocols may rely on
+
+    def test_interned_and_direct_construction_compare_equal(self):
+        assert listen(4) == Action(channel=4)
+        assert transmit(4) == Action(channel=4, transmit=True)
+        assert idle() == Action(channel=None)
+
+
+class TestObservationSharing:
+    def test_same_round_receivers_share_one_observation(self):
+        """All listeners on one channel get the *same* Observation object."""
+        seen = []
+
+        class Recorder:
+            def run(self, ctx):
+                observation = yield listen(1)
+                seen.append(observation)
+
+            def __call__(self, ctx):
+                return self.run(ctx)
+
+        engine = Engine(Network(n=8, num_channels=2), seed=0)
+        engine.run(Recorder(), active_ids=[1, 2, 3], max_rounds=2)
+        assert engine.used_fast_path
+        assert len(seen) == 3
+        assert seen[0] is seen[1] is seen[2]
+        assert seen[0].feedback is Feedback.SILENCE
+
+    def test_shared_observations_compare_equal_across_paths(self, monkeypatch):
+        """Sharing is invisible to value comparisons: both paths agree."""
+
+        def observations(force_general):
+            collected = []
+
+            class Recorder:
+                def run(self, ctx):
+                    for _ in range(3):
+                        observation = yield (
+                            transmit(1, ("p", ctx.node_id))
+                            if ctx.rng.random() < 0.5
+                            else listen(1)
+                        )
+                        collected.append(observation)
+
+                def __call__(self, ctx):
+                    return self.run(ctx)
+
+            if force_general:
+                monkeypatch.setattr(engine_module, "_FAST_PATH_ENABLED", False)
+            else:
+                monkeypatch.setattr(engine_module, "_FAST_PATH_ENABLED", True)
+            engine = Engine(Network(n=8, num_channels=1), seed=5)
+            engine.run(Recorder(), active_ids=[1, 2, 3, 4], max_rounds=8, stop_on_solve=False)
+            return collected
+
+        fast = observations(force_general=False)
+        general = observations(force_general=True)
+        assert fast == general
+
+    def test_observation_equality_is_by_value_not_identity(self):
+        shared = Observation(feedback=Feedback.SILENCE, channel=1, round_index=2)
+        fresh = Observation(feedback=Feedback.SILENCE, channel=1, round_index=2)
+        assert shared is not fresh
+        assert shared == fresh
+        assert hash(shared) == hash(fresh)

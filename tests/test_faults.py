@@ -336,7 +336,10 @@ class TestEngineSemantics:
                 assert doomed not in activity.transmitters
                 assert doomed not in activity.receivers
 
-    def test_all_crashed_before_wake_terminates_cleanly(self):
+    def test_all_crashed_before_wake_is_not_clean_termination(self):
+        # Regression: crashed coroutines are popped from the live set, so a
+        # churn run used to report ``all_terminated=True`` as if every node
+        # had returned cleanly.  Crash-stops are now surfaced separately.
         activation = activate_random(64, 6, seed=2)
         result = solve(
             FNWGeneral(),
@@ -347,8 +350,39 @@ class TestEngineSemantics:
             faults=Churn(crash_rounds={nid: 1 for nid in activation.active_ids}),
         )
         assert not result.solved
-        assert result.all_terminated
+        assert not result.all_terminated
+        assert result.crashed == len(activation.active_ids)
         assert result.rounds == 0
+
+    def test_midrun_crashes_counted_and_block_all_terminated(self):
+        # A run where some nodes crash mid-flight must report exactly the
+        # crash-stopped count and refuse the "all terminated cleanly" label,
+        # even though every surviving coroutine runs to completion.
+        activation = activate_random(64, 8, seed=5)
+        crashing = sorted(activation.active_ids)[:3]
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=5,
+            stop_on_solve=False,
+            faults=Churn(crash_rounds={nid: 2 for nid in crashing}),
+        )
+        assert result.crashed == len(crashing)
+        assert not result.all_terminated
+
+    def test_fault_free_run_reports_zero_crashed(self):
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activate_random(64, 8, seed=5),
+            seed=5,
+            stop_on_solve=False,
+        )
+        assert result.crashed == 0
+        assert result.all_terminated
 
     def test_noise_is_observational_only(self):
         # Physical outcomes (the trace) must be untouched by CD noise.
