@@ -22,10 +22,13 @@ engine.
 import gc
 import time
 
+import pytest
+
 from repro import FNWGeneral, LeafElection, solve
 from repro.baselines import Decay, SlottedAloha
 from repro.obs import RegistrySink
 from repro.sim import Activation, RoundLimitExceeded, activate_all, activate_random
+from repro.sim.vec import numpy_available
 
 
 def dense_bringup():
@@ -117,6 +120,52 @@ def engine_multichannel():
     )
 
 
+# ------------------------------------------------ vectorized backend gates
+#
+# The ``engine_vec_*`` workloads time :mod:`repro.sim.vec` at mega scale —
+# sizes the coroutine engine cannot touch (10^6 nodes would mean 10^6 live
+# generator frames).  They only join ``WORKLOADS`` when NumPy is importable,
+# so ``check_regression.py`` stays runnable on a no-NumPy install (the
+# baseline entries are simply not compared there).
+
+
+def engine_vec_dense():
+    """Saturated mega-scale traffic: 10^6 nodes, 40 rounds, permanent collision.
+
+    The vectorized twin of ``engine_dense``: a fixed probability far above
+    ``1/n`` keeps channel 1 colliding, so the run deterministically exhausts
+    its budget with every node live — 40 full-width vectorized rounds.
+    """
+    from repro.sim import vec
+
+    try:
+        vec.run_protocol(
+            SlottedAloha(probability=0.3),
+            n=1_000_000,
+            num_channels=1,
+            seed=17,
+            stop_on_solve=False,
+            max_rounds=40,
+        )
+    except RoundLimitExceeded as exc:
+        return exc
+    raise AssertionError("saturated vec workload unexpectedly solved")
+
+
+def engine_vec_decay():
+    """Decay knock-out at 10^6 nodes: the realistic mega-scale solve."""
+    from repro.sim import vec
+
+    result = vec.run_protocol(
+        Decay(),
+        n=1_000_000,
+        num_channels=1,
+        seed=7,
+    )
+    assert result.solved
+    return result
+
+
 #: The throughput workloads, shared with ``check_regression.py`` so the CI
 #: regression guard times exactly what these benchmarks time.
 WORKLOADS = {
@@ -127,6 +176,10 @@ WORKLOADS = {
     "engine_sparse": engine_sparse,
     "engine_multichannel": engine_multichannel,
 }
+
+if numpy_available():
+    WORKLOADS["engine_vec_dense"] = engine_vec_dense
+    WORKLOADS["engine_vec_decay"] = engine_vec_decay
 
 
 def test_engine_dense_bringup(benchmark):
@@ -157,6 +210,79 @@ def test_engine_sparse_long_run(benchmark):
 def test_engine_multichannel_full_occupancy(benchmark):
     result = benchmark(engine_multichannel)
     assert result.solved
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+def test_engine_vec_dense_mega(benchmark):
+    exhausted = benchmark.pedantic(engine_vec_dense, rounds=1, iterations=1)
+    assert isinstance(exhausted, RoundLimitExceeded)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+def test_engine_vec_decay_mega(benchmark):
+    result = benchmark.pedantic(engine_vec_decay, rounds=1, iterations=1)
+    assert result.solved
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+def test_engine_vec_throughput_floor(benchmark):
+    """The vec backend clears >= 10x the coroutine engine's node-rounds/s.
+
+    Both sides run the same saturated SlottedAloha workload (40 rounds of
+    permanent collision, budget exhaustion) so a node-round costs the same
+    amount of protocol work; only the engine differs.  The coroutine side
+    runs at 8192 nodes — large enough to amortize bring-up, small enough to
+    keep the measurement quick — while vec runs the full 10^6.
+    """
+    from repro.sim import vec
+
+    n_coroutine, n_vec, rounds = 8192, 1_000_000, 40
+
+    def coroutine_side():
+        try:
+            solve(
+                SlottedAloha(probability=0.3),
+                n=n_coroutine,
+                num_channels=1,
+                activation=activate_all(n_coroutine),
+                seed=17,
+                stop_on_solve=False,
+                max_rounds=rounds,
+            )
+        except RoundLimitExceeded:
+            return
+        raise AssertionError("saturated workload unexpectedly solved")
+
+    def vec_side():
+        try:
+            vec.run_protocol(
+                SlottedAloha(probability=0.3),
+                n=n_vec,
+                num_channels=1,
+                seed=17,
+                stop_on_solve=False,
+                max_rounds=rounds,
+            )
+        except RoundLimitExceeded:
+            return
+        raise AssertionError("saturated vec workload unexpectedly solved")
+
+    def compare():
+        coroutine_side()  # warm-up both paths
+        vec_side()
+        coroutine_s = _best_of(coroutine_side, 3)
+        vec_s = _best_of(vec_side, 3)
+        return (
+            n_coroutine * rounds / coroutine_s,
+            n_vec * rounds / vec_s,
+        )
+
+    coroutine_tp, vec_tp = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ratio = vec_tp / coroutine_tp
+    assert ratio >= 10.0, (
+        f"vec throughput {vec_tp:.3g} node-rounds/s is only {ratio:.1f}x the "
+        f"coroutine engine's {coroutine_tp:.3g}; the floor is 10x"
+    )
 
 
 # ------------------------------------------- instrumentation overhead gates

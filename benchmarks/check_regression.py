@@ -52,6 +52,8 @@ _BATCH = {
     "engine_dense": 1,
     "engine_sparse": 5,
     "engine_multichannel": 5,
+    "engine_vec_dense": 1,
+    "engine_vec_decay": 1,
 }
 
 #: Workloads whose baseline carries a ``seed_engine_scores`` reference: the

@@ -344,12 +344,12 @@ def _general(seed: int, *, n: int, C: int, active: int) -> Mapping[str, float]:
 
 @register_trial("baseline")
 def _baseline(
-    seed: int, *, protocol: str, n: int, C: int, active: int
+    seed: int, *, protocol: str, n: int, C: int, active: int, backend: str = "coroutine"
 ) -> Mapping[str, float]:
     """Registered wrapper over :func:`repro.experiments.common.baseline_trial`."""
     from ..experiments.common import baseline_trial
 
-    return baseline_trial(protocol, n, C, active, seed)
+    return baseline_trial(protocol, n, C, active, seed, backend=backend)
 
 
 @register_trial("leaf-election")
@@ -417,9 +417,11 @@ def _hardened_fault(
 
 @register_profiled_trial("solve-profiled")
 def _solve_profiled(
-    seed: int, *, protocol: str, n: int, C: int, active: int
+    seed: int, *, protocol: str, n: int, C: int, active: int, backend: str = "coroutine"
 ) -> Tuple[Mapping[str, float], MetricsRegistry]:
     """Registered wrapper over :func:`repro.obs.profile.profiled_trial`."""
     from ..obs.profile import profiled_trial
 
-    return profiled_trial(seed, protocol=protocol, n=n, C=C, active=active)
+    return profiled_trial(
+        seed, protocol=protocol, n=n, C=C, active=active, backend=backend
+    )

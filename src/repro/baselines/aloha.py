@@ -23,9 +23,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.ir import RoundProgram, StateRule, Transition
 from ..sim.actions import listen, transmit
 from ..sim.context import NodeContext
-from ..sim.network import PRIMARY_CHANNEL
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
 
 
 class SlottedAloha(Protocol):
@@ -41,6 +43,38 @@ class SlottedAloha(Protocol):
         if probability is not None and not 0.0 < probability <= 1.0:
             raise ValueError(f"probability must be in (0, 1], got {probability}")
         self.probability = probability
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (exact: same draw per round).
+
+        One cyclic state with a single-slot schedule.  A transmitter that
+        perceives its own solo (``alone``, i.e. MESSAGE under strong CD)
+        terminates; a listener terminates on a heard message.
+        """
+        probability = self.probability if self.probability is not None else 1.0 / network.n
+        keep_going = Transition(next_state=0)
+        stop = Transition(next_state=None)
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=(probability,),
+            on_transmit={
+                Feedback.MESSAGE: stop,
+                Feedback.SILENCE: keep_going,
+                Feedback.COLLISION: keep_going,
+                Feedback.NONE: keep_going,
+            },
+            on_listen={
+                Feedback.MESSAGE: stop,
+                Feedback.SILENCE: keep_going,
+                Feedback.COLLISION: keep_going,
+                Feedback.NONE: keep_going,
+            },
+        )
+        program = RoundProgram(
+            name=self.name, schedule_length=1, cycle=True, states=(rule,)
+        )
+        program.validate_channels(network.num_channels)
+        return program
 
     def run(self, ctx: NodeContext) -> ProtocolCoroutine:
         probability = self.probability if self.probability is not None else 1.0 / ctx.n

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from ..mathutil import ceil_log2
 from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.ir import RoundProgram, StateRule, Transition, always
 from ..sim.actions import listen, transmit
 from ..sim.context import NodeContext
-from ..sim.network import PRIMARY_CHANNEL
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
 
 
 def decay_sweep_length(n: int) -> int:
@@ -38,6 +40,32 @@ class Decay(Protocol):
     """The classical Decay protocol (single channel, no collision detection)."""
 
     name = "decay"
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (exact: same draw per round).
+
+        One cyclic state whose schedule is a full sweep; transmitters ignore
+        feedback entirely, listeners stop on a heard message.
+        """
+        sweep = decay_sweep_length(network.n)
+        keep_sweeping = Transition(next_state=0)
+        stop = Transition(next_state=None)
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=tuple(2.0 ** (-j) for j in range(1, sweep + 1)),
+            on_transmit=always(keep_sweeping),
+            on_listen={
+                Feedback.MESSAGE: stop,
+                Feedback.SILENCE: keep_sweeping,
+                Feedback.COLLISION: keep_sweeping,
+                Feedback.NONE: keep_sweeping,
+            },
+        )
+        program = RoundProgram(
+            name=self.name, schedule_length=sweep, cycle=True, states=(rule,)
+        )
+        program.validate_channels(network.num_channels)
+        return program
 
     def run(self, ctx: NodeContext) -> ProtocolCoroutine:
         sweep = decay_sweep_length(ctx.n)

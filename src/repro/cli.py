@@ -90,9 +90,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.trials > 1:
         from .analysis.parallel import run_cell_parallel_profiled
 
+        params = {
+            "protocol": args.protocol,
+            "n": args.n,
+            "C": args.channels,
+            "active": active,
+        }
+        if args.backend != "coroutine":
+            params["backend"] = args.backend
         profile = run_cell_parallel_profiled(
             "solve-profiled",
-            {"protocol": args.protocol, "n": args.n, "C": args.channels, "active": active},
+            params,
             trials=args.trials,
             master_seed=args.seed,
             processes=args.processes,
@@ -126,6 +134,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             num_channels=args.channels,
             activation=activate_random(args.n, active, seed=args.seed),
             seed=args.seed,
+            backend=args.backend,
         )
         registry = run.registry
         counters = registry.snapshot()["counters"]
@@ -260,6 +269,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not axes:
         raise SystemExit("repro sweep: at least one --axis is required")
     grid = grid_product(**axes)
+    if args.backend is not None:
+        # Constant cell parameter, not an axis: forwarded to backend-aware
+        # trials (e.g. "baseline"); omitted entirely by default so existing
+        # checkpoint records keep their schema.
+        for cell in grid:
+            cell["backend"] = args.backend
 
     metrics = MetricsRegistry()
     print(
@@ -430,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--top", type=int, default=8, help="channels shown in the utilization table"
     )
+    profile_parser.add_argument(
+        "--backend",
+        choices=("coroutine", "vec"),
+        default="coroutine",
+        help="engine backend; 'vec' needs the [vec] extra (NumPy) and an "
+        "IR-lowerable protocol, falling back to 'coroutine' with a warning",
+    )
     profile_parser.set_defaults(fn=_cmd_profile)
 
     faults_parser = subparsers.add_parser(
@@ -510,6 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--metric", default="rounds", help="metric to average in the summary table"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        choices=("coroutine", "vec"),
+        default=None,
+        help="engine backend forwarded to backend-aware trials (e.g. "
+        "'baseline') as a constant cell parameter; omitted by default",
     )
     sweep_parser.set_defaults(fn=_cmd_sweep)
 

@@ -29,9 +29,11 @@ from typing import Any
 from ..mathutil import lg_lg
 from ..protocols.base import Protocol, ProtocolCoroutine
 from ..protocols.compose import HALT, Step
+from ..protocols.ir import RoundProgram, StateRule, Transition
 from ..sim.actions import listen, transmit
 from ..sim.context import NodeContext
-from ..sim.network import PRIMARY_CHANNEL
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
 from .params import PAPER_REDUCE_REPEATS
 
 
@@ -53,6 +55,45 @@ class ReduceStep(Step):
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
         self.repeats = repeats
+
+    def round_program(self, n: int) -> RoundProgram:
+        """IR lowering of the standalone cascade (exact: same draw per round).
+
+        The nested group × repeat loop flattens to a one-shot schedule; the
+        three marks mirror :meth:`run` exactly, with ``reduce:survived``
+        emitted by ``on_end`` in the schedule's final round.
+        """
+        probabilities = []
+        n_hat = float(max(2, n))
+        for _group in range(lg_lg(n)):
+            probabilities.extend([1.0 / n_hat] * self.repeats)
+            n_hat = max(2.0, n_hat**0.5)
+        keep_going = Transition(next_state=0)
+        leader = Transition(next_state=None, mark="reduce:leader", mark_node_id=True)
+        knocked_out = Transition(next_state=None, mark="reduce:knocked_out")
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=tuple(probabilities),
+            on_transmit={
+                Feedback.MESSAGE: leader,
+                Feedback.SILENCE: keep_going,
+                Feedback.COLLISION: keep_going,
+                Feedback.NONE: keep_going,
+            },
+            on_listen={
+                Feedback.SILENCE: keep_going,
+                Feedback.MESSAGE: knocked_out,
+                Feedback.COLLISION: knocked_out,
+                Feedback.NONE: knocked_out,
+            },
+            on_end=Transition(next_state=None, mark="reduce:survived"),
+        )
+        return RoundProgram(
+            name="reduce",
+            schedule_length=len(probabilities),
+            cycle=False,
+            states=(rule,),
+        )
 
     def run(self, ctx: NodeContext, carry: Any) -> ProtocolCoroutine:
         n_hat = float(max(2, ctx.n))
@@ -82,6 +123,12 @@ class Reduce(Protocol):
 
     def __init__(self, repeats: int = PAPER_REDUCE_REPEATS):
         self._step = ReduceStep(repeats=repeats)
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (:mod:`repro.sim.vec`)."""
+        program = self._step.round_program(network.n)
+        program.validate_channels(network.num_channels)
+        return program
 
     def run(self, ctx: NodeContext) -> ProtocolCoroutine:
         yield from self._step.run(ctx, None)

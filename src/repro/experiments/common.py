@@ -208,12 +208,18 @@ def baseline_trial(
     num_channels: int,
     active_count: int,
     seed: int,
+    backend: str = "coroutine",
 ) -> Mapping[str, float]:
     """One execution of a named protocol (ours or a baseline)."""
     protocol = make_protocol(protocol_name)
     activation = activate_random(n, active_count, seed=seed)
     result = solve(
-        protocol, n=n, num_channels=num_channels, activation=activation, seed=seed
+        protocol,
+        n=n,
+        num_channels=num_channels,
+        activation=activation,
+        seed=seed,
+        backend=backend,
     )
     return {"rounds": float(result.rounds), "solved": float(result.solved)}
 

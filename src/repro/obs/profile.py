@@ -106,6 +106,7 @@ def run_profiled(
     stop_on_solve: bool = True,
     registry: Optional[MetricsRegistry] = None,
     faults: Optional[Any] = None,
+    backend: str = "coroutine",
 ) -> ProfiledRun:
     """Run ``protocol`` once with full instrumentation attached.
 
@@ -130,6 +131,7 @@ def run_profiled(
         stop_on_solve=stop_on_solve,
         instrument=TeeSink([log, sink]),
         faults=faults,
+        backend=backend,
     )
     return ProfiledRun(
         result=result,
@@ -149,6 +151,7 @@ def profiled_trial(
     n: int,
     C: int,
     active: int,
+    backend: str = "coroutine",
 ) -> Tuple[Mapping[str, float], MetricsRegistry]:
     """One instrumented execution in sweep-trial shape.
 
@@ -166,6 +169,7 @@ def profiled_trial(
         num_channels=C,
         activation=activate_random(n, active, seed=seed),
         seed=seed,
+        backend=backend,
     )
     metrics = {
         "rounds": float(run.result.rounds),

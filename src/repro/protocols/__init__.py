@@ -1,15 +1,21 @@
-"""Protocol framework: coroutine protocols, composition, and runners."""
+"""Protocol framework: coroutine protocols, composition, IR, and runners."""
 
 from .base import FunctionProtocol, Protocol, ProtocolCoroutine
 from .compose import HALT, SequentialProtocol, Step
+from .ir import LoweringError, ProgramProtocol, RoundProgram, StateRule, Transition
 from .runner import solve
 
 __all__ = [
     "FunctionProtocol",
     "HALT",
+    "LoweringError",
+    "ProgramProtocol",
     "Protocol",
     "ProtocolCoroutine",
+    "RoundProgram",
     "SequentialProtocol",
+    "StateRule",
     "Step",
+    "Transition",
     "solve",
 ]

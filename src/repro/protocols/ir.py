@@ -1,0 +1,264 @@
+"""Declarative round-program IR for data-independent protocols.
+
+A :class:`RoundProgram` captures the round structure of a protocol whose
+behaviour depends only on (a) a per-state transmit-probability schedule and
+(b) the feedback the node observes — never on message *contents* or on
+inter-node data flow.  Decay, slotted ALOHA, and the Reduce knock-out phase
+all fit this shape; protocols that exchange payloads (TwoActive, the general
+algorithm's later stages) do not, and stay on the coroutine engine.
+
+The IR exists so one description can drive two executions:
+
+* :class:`ProgramProtocol` interprets a program as an ordinary generator
+  coroutine — the *reference semantics*, runnable on the coroutine engine
+  and differential-testable against the hand-written protocols it lowers.
+* :mod:`repro.sim.vec` compiles a program to NumPy lookup tables and runs
+  every node column-wise, one vectorized step per round.
+
+A node executes a program as follows.  Each round it draws **exactly one**
+uniform variate ``u = rng.random()`` (this fixed draw discipline is what
+makes the vectorized backend bitwise-reproducible).  With ``rule`` the
+:class:`StateRule` for its current state and ``slot`` the current schedule
+position, the node transmits on ``rule.channel`` iff
+``u < rule.probabilities[slot]``; otherwise it listens on the same channel
+(or idles, when ``idle_instead_of_listen`` is set).  The observed feedback —
+after collision-detection perception filtering — selects a
+:class:`Transition` from ``on_transmit`` / ``on_listen`` / ``on_idle``,
+which may emit a trace mark and either terminates the node or moves it to
+its next state and advances the schedule.  When a non-cyclic program's
+schedule runs out, the ``on_end`` transition of the state the node just
+moved *into* fires (in the same round) and the node terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..sim.actions import idle, listen, transmit
+from ..sim.context import NodeContext
+from ..sim.feedback import Feedback
+from .base import Protocol, ProtocolCoroutine
+
+__all__ = [
+    "FEEDBACK_CODE",
+    "CODE_TO_FEEDBACK",
+    "LoweringError",
+    "ProgramProtocol",
+    "RoundProgram",
+    "StateRule",
+    "Transition",
+    "always",
+]
+
+#: Stable integer codes for feedback values, shared by the vectorized
+#: backend's lookup tables.  The order matches
+#: :data:`repro.sim.feedback.FEEDBACK_BY_COUNT` (silence, message,
+#: collision) with NONE appended.
+FEEDBACK_CODE: Dict[Feedback, int] = {
+    Feedback.SILENCE: 0,
+    Feedback.MESSAGE: 1,
+    Feedback.COLLISION: 2,
+    Feedback.NONE: 3,
+}
+
+CODE_TO_FEEDBACK: Tuple[Feedback, ...] = tuple(
+    sorted(FEEDBACK_CODE, key=FEEDBACK_CODE.__getitem__)
+)
+
+
+class LoweringError(ValueError):
+    """A protocol (or program) cannot be lowered to the vectorized backend.
+
+    Raised both for structurally invalid programs and by
+    ``to_round_program`` hooks when an instance is not representable (e.g.
+    a channel outside the network).  ``Engine.run(backend="vec")`` treats it
+    as "fall back to the coroutine engine with a warning".
+    """
+
+
+@dataclass(frozen=True)
+class Transition:
+    """What happens to a node after it processes one round's observation.
+
+    ``next_state is None`` terminates the node.  ``mark`` optionally emits a
+    trace mark (stamped with the current round); ``mark_node_id`` makes the
+    node's own id the mark payload, mirroring ``ctx.mark(label, ctx.node_id)``.
+    """
+
+    next_state: Optional[int]
+    mark: Optional[str] = None
+    mark_node_id: bool = False
+
+
+@dataclass(frozen=True)
+class StateRule:
+    """Per-state behaviour: channel, transmit schedule, transition tables.
+
+    ``probabilities`` must have exactly ``RoundProgram.schedule_length``
+    entries; slot ``j`` gives the transmit probability at schedule position
+    ``j``.  ``on_transmit`` / ``on_listen`` must map *every*
+    :class:`Feedback` value — perception filtering (CD modes) happens in the
+    engine, so all four can reach a node.  ``on_idle`` defaults to "stay in
+    this state"; ``on_end`` (non-cyclic programs only) defaults to a silent
+    termination and must itself terminate.
+    """
+
+    channel: int
+    probabilities: Tuple[float, ...]
+    on_transmit: Mapping[Feedback, Transition]
+    on_listen: Mapping[Feedback, Transition]
+    on_idle: Optional[Transition] = None
+    on_end: Optional[Transition] = None
+    idle_instead_of_listen: bool = False
+
+
+@dataclass(frozen=True)
+class RoundProgram:
+    """A complete data-independent protocol description.
+
+    ``cycle=True`` repeats the schedule forever (Decay's sweep); with
+    ``cycle=False`` the program is a one-shot schedule and every surviving
+    node terminates via its state's ``on_end`` after the final slot.
+    """
+
+    name: str
+    schedule_length: int
+    cycle: bool
+    states: Tuple[StateRule, ...]
+    initial_state: int = 0
+
+    def __post_init__(self) -> None:
+        states = tuple(self.states)
+        if not states:
+            raise LoweringError("a round program needs at least one state")
+        if self.schedule_length < 1:
+            raise LoweringError(
+                f"schedule_length must be >= 1, got {self.schedule_length}"
+            )
+        if not 0 <= self.initial_state < len(states):
+            raise LoweringError(
+                f"initial_state {self.initial_state} outside [0, {len(states) - 1}]"
+            )
+        object.__setattr__(
+            self,
+            "states",
+            tuple(
+                self._normalize_rule(index, rule, len(states))
+                for index, rule in enumerate(states)
+            ),
+        )
+
+    def _normalize_rule(self, index: int, rule: StateRule, num_states: int) -> StateRule:
+        if rule.channel < 1:
+            raise LoweringError(f"state {index}: channel must be >= 1, got {rule.channel}")
+        if len(rule.probabilities) != self.schedule_length:
+            raise LoweringError(
+                f"state {index}: schedule has {len(rule.probabilities)} slots, "
+                f"expected {self.schedule_length}"
+            )
+        for slot, probability in enumerate(rule.probabilities):
+            if not 0.0 <= probability <= 1.0:
+                raise LoweringError(
+                    f"state {index} slot {slot}: probability {probability!r} "
+                    "outside [0, 1]"
+                )
+
+        def check(transition: Transition, where: str) -> Transition:
+            if transition.next_state is not None and not (
+                0 <= transition.next_state < num_states
+            ):
+                raise LoweringError(
+                    f"state {index} {where}: next_state {transition.next_state} "
+                    f"outside [0, {num_states - 1}]"
+                )
+            return transition
+
+        def table(mapping: Mapping[Feedback, Transition], where: str) -> Dict[Feedback, Transition]:
+            missing = [f for f in Feedback if f not in mapping]
+            if missing:
+                raise LoweringError(
+                    f"state {index} {where}: missing transitions for "
+                    f"{', '.join(f.value for f in missing)}"
+                )
+            return {f: check(mapping[f], where) for f in Feedback}
+
+        on_idle = rule.on_idle if rule.on_idle is not None else Transition(next_state=index)
+        on_end = rule.on_end if rule.on_end is not None else Transition(next_state=None)
+        if on_end.next_state is not None:
+            raise LoweringError(f"state {index} on_end: must terminate (next_state=None)")
+        return StateRule(
+            channel=rule.channel,
+            probabilities=tuple(float(p) for p in rule.probabilities),
+            on_transmit=table(rule.on_transmit, "on_transmit"),
+            on_listen=table(rule.on_listen, "on_listen"),
+            on_idle=check(on_idle, "on_idle"),
+            on_end=on_end,
+            idle_instead_of_listen=rule.idle_instead_of_listen,
+        )
+
+    def validate_channels(self, num_channels: int) -> None:
+        """Raise :class:`LoweringError` if any state uses an absent channel."""
+        for index, rule in enumerate(self.states):
+            if rule.channel > num_channels:
+                raise LoweringError(
+                    f"state {index} uses channel {rule.channel} but the network "
+                    f"has only {num_channels} channel(s)"
+                )
+
+
+def always(transition: Transition) -> Dict[Feedback, Transition]:
+    """A transition table applying ``transition`` to every feedback value."""
+    return {feedback: transition for feedback in Feedback}
+
+
+class ProgramProtocol(Protocol):
+    """Reference interpreter: run a :class:`RoundProgram` on any engine.
+
+    The coroutine below *is* the program semantics; the vectorized backend
+    must agree with it bitwise (same seeds, same draw discipline).  It draws
+    exactly one ``ctx.rng.random()`` per round, whatever action it takes.
+    """
+
+    def __init__(self, program: RoundProgram):
+        self.program = program
+        self.name = program.name
+
+    def to_round_program(self, network) -> RoundProgram:
+        """IR lowering: the wrapped program itself (validated for ``network``)."""
+        self.program.validate_channels(network.num_channels)
+        return self.program
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        program = self.program
+        states = program.states
+        length = program.schedule_length
+        cycle = program.cycle
+        state_index = program.initial_state
+        step = 0
+        while True:
+            rule = states[state_index]
+            slot = step % length if cycle else step
+            if ctx.rng.random() < rule.probabilities[slot]:
+                observation = yield transmit(rule.channel)
+                transition = rule.on_transmit[observation.feedback]
+            elif rule.idle_instead_of_listen:
+                yield idle()
+                transition = rule.on_idle
+            else:
+                observation = yield listen(rule.channel)
+                transition = rule.on_listen[observation.feedback]
+            if transition.mark is not None:
+                ctx.mark(
+                    transition.mark,
+                    ctx.node_id if transition.mark_node_id else None,
+                )
+            if transition.next_state is None:
+                return
+            state_index = transition.next_state
+            step += 1
+            if not cycle and step >= length:
+                end = states[state_index].on_end
+                if end.mark is not None:
+                    ctx.mark(end.mark, ctx.node_id if end.mark_node_id else None)
+                return

@@ -28,6 +28,7 @@ def solve(
     collision_detection: Optional[CollisionDetection] = None,
     instrument: Optional[MetricsSink] = None,
     faults: Optional["FaultModel"] = None,
+    backend: str = "coroutine",
 ) -> ExecutionResult:
     """Run ``protocol`` on one instance and return the execution result.
 
@@ -50,6 +51,8 @@ def solve(
         faults: optional fault model (jamming / CD noise / churn) injected
             at the channel boundary; see :mod:`repro.faults`.  ``None``
             (default) leaves behavior bitwise-identical.
+        backend: engine backend, ``"coroutine"`` (default) or ``"vec"``;
+            see :meth:`repro.sim.engine.Engine.run`.
     """
     network = Network(
         n=n,
@@ -67,4 +70,5 @@ def solve(
         stop_on_solve=stop_on_solve,
         instrument=instrument,
         faults=faults,
+        backend=backend,
     )

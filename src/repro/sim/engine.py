@@ -37,6 +37,7 @@ protocols, seeds, and collision-detection modes.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -74,6 +75,9 @@ ProtocolFactory = Callable[[NodeContext], ProtocolCoroutine]
 #: eligible, so the two loops can be compared on identical inputs.  Not part
 #: of the public API.
 _FAST_PATH_ENABLED = True
+
+#: Engine backends selectable via ``Engine.run(..., backend=...)``.
+_BACKENDS = ("coroutine", "vec")
 
 
 def default_round_budget(n: int) -> int:
@@ -147,6 +151,9 @@ class Engine:
         self.record_trace = record_trace
         #: Whether the most recent :meth:`run` took the specialized fast path.
         self.used_fast_path = False
+        #: Which backend ("coroutine" or "vec") served the most recent
+        #: :meth:`run` — "coroutine" after a vec fallback.
+        self.used_backend = "coroutine"
 
     def run(
         self,
@@ -158,6 +165,7 @@ class Engine:
         stop_on_solve: bool = True,
         instrument: Optional[MetricsSink] = None,
         faults: Optional["FaultModel"] = None,
+        backend: str = "coroutine",
     ) -> ExecutionResult:
         """Execute one instance of the protocol on this network.
 
@@ -194,6 +202,15 @@ class Engine:
                 rounds additively.  ``None`` (the default) is bitwise-
                 identical to pre-fault-injection behavior — the
                 differential suite enforces it.
+            backend: ``"coroutine"`` (default) runs per-node generator
+                coroutines; ``"vec"`` lowers the protocol to the
+                :mod:`repro.protocols.ir` round-program IR and executes all
+                nodes as NumPy columns (requires the ``[vec]`` extra).
+                Runs the vec backend cannot serve — fault injection, trace
+                recording, or a protocol without a lowering — fall back to
+                the coroutine engine with a
+                :class:`~repro.sim.vec.VecFallbackWarning`.  The
+                ``used_backend`` attribute reports what actually ran.
 
         Returns:
             An :class:`ExecutionResult`.
@@ -202,11 +219,24 @@ class Engine:
             RoundLimitExceeded: the budget ran out before the run finished.
             ProtocolViolation: a coroutine yielded an illegal action.
         """
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown engine backend {backend!r}; "
+                f"known backends: {', '.join(_BACKENDS)}"
+            )
         ids = self._resolve_active_ids(active_ids)
         wake = self._resolve_wake_rounds(ids, wake_rounds)
         budget = max_rounds if max_rounds is not None else default_round_budget(self.network.n)
         if budget < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+
+        self.used_backend = "coroutine"
+        if backend == "vec":
+            result = self._run_vec(
+                protocol_factory, ids, wake, budget, stop_on_solve, instrument, faults
+            )
+            if result is not None:
+                return result
 
         self.used_fast_path = (
             _FAST_PATH_ENABLED
@@ -218,6 +248,60 @@ class Engine:
             return self._run_fast(protocol_factory, ids, wake, budget, stop_on_solve)
         return self._run_general(
             protocol_factory, ids, wake, budget, stop_on_solve, instrument, faults
+        )
+
+    # ----------------------------------------------------------- vec backend
+
+    def _run_vec(
+        self,
+        protocol_factory: ProtocolFactory,
+        ids: List[int],
+        wake: Dict[int, int],
+        budget: int,
+        stop_on_solve: bool,
+        instrument: Optional[MetricsSink],
+        faults: Optional["FaultModel"],
+    ) -> Optional[ExecutionResult]:
+        """Serve the run on the vectorized backend, or return ``None``.
+
+        Capability detection: fault injection and trace recording are
+        coroutine-only features, and a protocol must expose an IR lowering
+        (``to_round_program``) that succeeds for this network.  Any miss
+        emits a :class:`~repro.sim.vec.VecFallbackWarning` and falls back to
+        the coroutine round loops.
+        """
+        from ..protocols.ir import LoweringError
+        from . import vec as vec_module
+
+        name = getattr(protocol_factory, "name", type(protocol_factory).__name__)
+        lower = getattr(protocol_factory, "to_round_program", None)
+        reason: Optional[str] = None
+        program = None
+        if faults is not None:
+            reason = "fault injection requires the coroutine backend"
+        elif self.record_trace:
+            reason = "record_trace requires the coroutine backend"
+        elif lower is None:
+            reason = "the protocol has no round-program lowering (to_round_program)"
+        else:
+            try:
+                program = lower(self.network)
+            except LoweringError as error:
+                reason = f"lowering failed: {error}"
+        if reason is not None:
+            warnings.warn(vec_module.VecFallbackWarning(name, reason), stacklevel=3)
+            return None
+        self.used_backend = "vec"
+        self.used_fast_path = False
+        return vec_module.run_program(
+            program,
+            self.network,
+            seed=self.seed,
+            ids=ids,
+            wake=wake,
+            budget=budget,
+            stop_on_solve=stop_on_solve,
+            instrument=instrument,
         )
 
     # ------------------------------------------------------------- fast path
@@ -791,6 +875,7 @@ def run_execution(
     collision_detection: Optional[CollisionDetection] = None,
     instrument: Optional[MetricsSink] = None,
     faults: Optional["FaultModel"] = None,
+    backend: str = "coroutine",
 ) -> ExecutionResult:
     """One-call convenience wrapper around :class:`Engine`.
 
@@ -811,4 +896,5 @@ def run_execution(
         stop_on_solve=stop_on_solve,
         instrument=instrument,
         faults=faults,
+        backend=backend,
     )

@@ -1,0 +1,611 @@
+"""Vectorized engine backend: whole-population rounds as NumPy column ops.
+
+The coroutine engine (:mod:`repro.sim.engine`) runs one generator per node —
+faithful but bounded around 10^4–10^5 nodes.  This module executes protocols
+lowered to the :class:`~repro.protocols.ir.RoundProgram` IR with the entire
+population held as columns (alive mask, state index), so one round costs a
+handful of array operations regardless of ``n`` and runs at n = 10^6+
+comfortably.
+
+Semantics contract (enforced by ``tests/test_engine_vec_differential.py``):
+
+* **Exact draws** (``draws="exact"``, the ``"auto"`` choice up to
+  :data:`_EXACT_DRAWS_MAX_NODES` columns): each column draws from the same
+  ``node_rng(seed, node_id)`` stream as the coroutine engine, one variate
+  per round per live node, in the engine's node order — results are
+  *bitwise identical* to the coroutine backend, including marks,
+  ``RoundLimitExceeded`` details, and instrumented event streams.
+* **Counter draws** (``draws="counter"``, the ``"auto"`` choice above the
+  threshold): one Philox counter-based batch of ``n`` uniforms per
+  participating round.  Fully reproducible run-to-run and across process
+  pools, but a *different* sample path — agreement with the coroutine
+  backend is distributional, not bitwise.
+
+NumPy itself is an optional dependency (the ``[vec]`` extra): importing this
+module never requires it; running does, and :func:`require_numpy` raises an
+``ImportError`` that names the extra.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.events import RoundEvent, RunInfo, RunSummary
+from ..obs.metrics import MetricsSink
+from ..protocols.ir import CODE_TO_FEEDBACK, FEEDBACK_CODE, LoweringError, RoundProgram
+from .cd_modes import CollisionDetection, perception_views
+from .context import MarkRecord
+from .engine import Engine, ExecutionResult, default_round_budget
+from .errors import ConfigurationError, RoundLimitExceeded
+from .network import PRIMARY_CHANNEL, Network
+from .rng import derive_seed, node_rng
+from .trace import ExecutionTrace
+
+__all__ = [
+    "DRAW_MODES",
+    "VecFallbackWarning",
+    "numpy_available",
+    "require_numpy",
+    "run_program",
+    "run_protocol",
+]
+
+#: Recognized values for the ``draws`` parameter.
+DRAW_MODES = ("auto", "exact", "counter")
+
+#: ``draws="auto"`` uses per-node exact streams up to this many columns.
+#: Beyond it, per-node ``random.Random`` state (~2.5 KB each) dominates
+#: memory and defeats the point of a columnar backend, so auto switches to
+#: counter-based draws.
+_EXACT_DRAWS_MAX_NODES = 4096
+
+#: Stream discriminator separating the counter-mode Philox key from every
+#: per-node/per-trial stream derived from the same master seed.
+_COUNTER_STREAM = 0x7EC
+
+_NUMPY_HINT = (
+    "the vectorized engine backend needs NumPy, which is an optional "
+    "dependency of this package; install it with: pip install 'repro[vec]'"
+)
+
+_np_cache: Optional[Any] = None
+
+
+def _import_numpy() -> Any:
+    """Import hook kept separate so tests can simulate a missing NumPy."""
+    import numpy
+
+    return numpy
+
+
+def require_numpy() -> Any:
+    """Return the numpy module, or raise ImportError naming the extra."""
+    global _np_cache
+    if _np_cache is None:
+        try:
+            _np_cache = _import_numpy()
+        except ImportError as error:
+            raise ImportError(_NUMPY_HINT) from error
+    return _np_cache
+
+
+def numpy_available() -> bool:
+    """Whether the vec backend can run in this environment."""
+    try:
+        require_numpy()
+    except ImportError:
+        return False
+    return True
+
+
+class VecFallbackWarning(UserWarning):
+    """``backend="vec"`` was requested but the coroutine engine served the run.
+
+    Attributes:
+        protocol: name of the protocol that could not be vectorized.
+        reason: human-readable explanation (no IR lowering, faults, ...).
+    """
+
+    def __init__(self, protocol: str, reason: str):
+        self.protocol = protocol
+        self.reason = reason
+        super().__init__(
+            f"vec backend unavailable for {protocol!r}: {reason}; "
+            "falling back to the coroutine engine"
+        )
+
+
+class _CompiledProgram:
+    """A :class:`RoundProgram` flattened into lookup arrays.
+
+    Transition tables become flat int arrays indexed by
+    ``(state * 3 + kind) * 4 + perceived_feedback_code`` with kind 0 =
+    listen, 1 = transmit, 2 = idle; ``-1`` encodes "terminate" in the
+    next-state table and "no mark" in the mark table.
+    """
+
+    def __init__(self, np: Any, program: RoundProgram):
+        states = program.states
+        num_states = len(states)
+        self.schedule_length = program.schedule_length
+        self.cycle = program.cycle
+        self.initial_state = program.initial_state
+        self.prob = np.array(
+            [rule.probabilities for rule in states], dtype=np.float64
+        )
+        self.prob_flat = self.prob.reshape(-1)
+        self.channel = np.array([rule.channel for rule in states], dtype=np.int64)
+        self.idle_instead = np.array(
+            [rule.idle_instead_of_listen for rule in states], dtype=bool
+        )
+
+        #: (label, mark_node_id) pairs referenced by index from mark tables.
+        self.marks: List[Tuple[str, bool]] = []
+        mark_ids: Dict[Tuple[str, bool], int] = {}
+
+        def mark_id(transition) -> int:
+            if transition.mark is None:
+                return -1
+            key = (transition.mark, transition.mark_node_id)
+            if key not in mark_ids:
+                mark_ids[key] = len(self.marks)
+                self.marks.append(key)
+            return mark_ids[key]
+
+        next_state = np.full((num_states, 3, 4), -1, dtype=np.int64)
+        mark_table = np.full((num_states, 3, 4), -1, dtype=np.int64)
+        for s, rule in enumerate(states):
+            for feedback, code in FEEDBACK_CODE.items():
+                transition = rule.on_listen[feedback]
+                next_state[s, 0, code] = (
+                    -1 if transition.next_state is None else transition.next_state
+                )
+                mark_table[s, 0, code] = mark_id(transition)
+                transition = rule.on_transmit[feedback]
+                next_state[s, 1, code] = (
+                    -1 if transition.next_state is None else transition.next_state
+                )
+                mark_table[s, 1, code] = mark_id(transition)
+            transition = rule.on_idle
+            next_state[s, 2, :] = (
+                -1 if transition.next_state is None else transition.next_state
+            )
+            mark_table[s, 2, :] = mark_id(transition)
+        self.next_flat = next_state.reshape(-1)
+        self.mark_flat = mark_table.reshape(-1)
+        # on_end is normalized to a terminating Transition by RoundProgram.
+        self.end_mark = np.array(
+            [mark_id(rule.on_end) for rule in states], dtype=np.int64
+        )
+        self.any_marks = bool(self.marks)
+
+
+def run_protocol(
+    protocol,
+    *,
+    n: int,
+    num_channels: int,
+    activation=None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    stop_on_solve: bool = True,
+    collision_detection: Optional[CollisionDetection] = None,
+    instrument: Optional[MetricsSink] = None,
+    draws: str = "auto",
+) -> ExecutionResult:
+    """Strict vectorized counterpart of :func:`repro.protocols.runner.solve`.
+
+    Unlike ``solve(..., backend="vec")`` this never falls back: a protocol
+    without an IR lowering raises :class:`~repro.protocols.ir.LoweringError`.
+    With ``activation=None`` the node columns are materialized directly as
+    arrays (no per-node Python objects), which is what makes n = 10^6 runs
+    fit in a few hundred MB.
+    """
+    require_numpy()
+    network = Network(
+        n=n,
+        num_channels=num_channels,
+        collision_detection=(
+            collision_detection
+            if collision_detection is not None
+            else CollisionDetection.STRONG
+        ),
+    )
+    lower = getattr(protocol, "to_round_program", None)
+    if lower is None:
+        name = getattr(protocol, "name", type(protocol).__name__)
+        raise LoweringError(
+            f"protocol {name!r} has no round-program lowering (to_round_program)"
+        )
+    program = lower(network)
+    budget = max_rounds if max_rounds is not None else default_round_budget(n)
+    if budget < 1:
+        raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+    active_ids = activation.active_ids if activation is not None else None
+    wake_rounds = activation.wake_rounds if activation is not None else None
+    if active_ids is None and wake_rounds is None:
+        ids: Optional[Sequence[int]] = None
+        wake: Optional[Dict[int, int]] = None
+    else:
+        engine = Engine(network, seed=seed)
+        ids = engine._resolve_active_ids(active_ids)
+        wake = engine._resolve_wake_rounds(ids, wake_rounds)
+    return run_program(
+        program,
+        network,
+        seed=seed,
+        ids=ids,
+        wake=wake,
+        budget=budget,
+        stop_on_solve=stop_on_solve,
+        instrument=instrument,
+        draws=draws,
+    )
+
+
+def run_program(
+    program: RoundProgram,
+    network: Network,
+    *,
+    seed: int,
+    ids: Optional[Sequence[int]],
+    wake: Optional[Dict[int, int]],
+    budget: int,
+    stop_on_solve: bool = True,
+    instrument: Optional[MetricsSink] = None,
+    draws: str = "auto",
+) -> ExecutionResult:
+    """Execute a compiled round program over the whole population at once.
+
+    ``ids=None`` means "all ``n`` nodes, waking in round 1" and skips
+    building any per-node Python containers.  Column order is the coroutine
+    engine's node order — ascending wake round, ties by ascending id — so
+    winner selection and mark emission order agree bitwise.
+
+    Because every live node advances its schedule by exactly one slot per
+    round, a node's schedule position is always ``round_index - wake_round``
+    — no per-node step column is maintained.
+    """
+    np = require_numpy()
+    if draws not in DRAW_MODES:
+        raise ConfigurationError(
+            f"unknown draw mode {draws!r}; known modes: {', '.join(DRAW_MODES)}"
+        )
+    program.validate_channels(network.num_channels)
+    compiled = _CompiledProgram(np, program)
+
+    if ids is None:
+        ncols = network.n
+        ids_arr = np.arange(1, network.n + 1, dtype=np.int64)
+        wake_arr = np.ones(ncols, dtype=np.int64)
+    else:
+        order = sorted(ids, key=lambda nid: wake[nid])
+        ncols = len(order)
+        ids_arr = np.array(order, dtype=np.int64)
+        wake_arr = np.array([wake[nid] for nid in order], dtype=np.int64)
+
+    exact = draws == "exact" or (draws == "auto" and ncols <= _EXACT_DRAWS_MAX_NODES)
+    if exact:
+        streams = [node_rng(seed, int(nid)) for nid in ids_arr]
+        counter_gen = None
+        draw_buffer = None
+    else:
+        streams = None
+        counter_gen = np.random.Generator(
+            np.random.Philox(derive_seed(seed, _COUNTER_STREAM))
+        )
+        draw_buffer = np.empty(ncols, dtype=np.float64)
+
+    alive = np.ones(ncols, dtype=bool)
+    state = np.full(ncols, compiled.initial_state, dtype=np.int64)
+
+    receiver_view, transmitter_view = perception_views(network.collision_detection)
+    rx_table = np.array(
+        [FEEDBACK_CODE[receiver_view[CODE_TO_FEEDBACK[c]]] for c in range(4)],
+        dtype=np.int64,
+    )
+    tx_table = np.array(
+        [FEEDBACK_CODE[transmitter_view[CODE_TO_FEEDBACK[c]]] for c in range(4)],
+        dtype=np.int64,
+    )
+    outcome_values = tuple(f.value for f in CODE_TO_FEEDBACK)
+
+    num_channels = network.num_channels
+    schedule_length = compiled.schedule_length
+    cycle = compiled.cycle
+    marks: List[MarkRecord] = []
+
+    # Scalar fast branch: a single-state, mark-free, uninstrumented program
+    # (Decay/ALOHA at mega scale) has at most two distinct per-round
+    # transitions — transmitters and everyone else — so the round resolves
+    # with scalar lookups instead of per-node gather/scatter.
+    single_state = len(program.states) == 1
+    fast = single_state and not compiled.any_marks and instrument is None
+    if single_state:
+        prob_row = compiled.prob[0]
+        chan0 = int(compiled.channel[0])
+        idle0 = bool(compiled.idle_instead[0])
+    wake0 = int(wake_arr[0]) if ncols else 1
+    uniform_wake = ncols == 0 or int(wake_arr[-1]) == wake0
+
+    solved = False
+    solved_round: Optional[int] = None
+    winner: Optional[int] = None
+    rounds_executed = 0
+    woken_count = 0
+
+    run_started_at = 0.0
+    round_started_at = 0.0
+    if instrument is not None:
+        instrument.on_run_start(
+            RunInfo(
+                n=network.n,
+                num_channels=num_channels,
+                seed=seed,
+                max_rounds=budget,
+            )
+        )
+        run_started_at = time.perf_counter()
+
+    for round_index in range(1, budget + 1):
+        if instrument is not None:
+            round_started_at = time.perf_counter()
+        if woken_count < ncols:
+            woken_count = int(np.searchsorted(wake_arr, round_index, side="right"))
+        active_cols = np.flatnonzero(alive[:woken_count])
+        active_count = int(active_cols.size)
+        if active_count == 0 and woken_count >= ncols:
+            # Everyone finished and nobody is left to wake: like the
+            # coroutine engine, the round does not execute.
+            rounds_executed = round_index - 1
+            break
+        rounds_executed = round_index
+
+        if active_count == 0:
+            # Nodes exist but none are awake yet: an empty round.
+            if instrument is not None:
+                instrument.on_round(
+                    RoundEvent(
+                        round_index=round_index,
+                        active_count=0,
+                        transmitters={},
+                        listeners={},
+                        outcomes={},
+                        wall_time_s=time.perf_counter() - round_started_at,
+                        faults={},
+                    )
+                )
+            continue
+
+        # ------------------------------------------------------------ draws
+        if exact:
+            draw_values = np.fromiter(
+                (streams[col].random() for col in active_cols),
+                dtype=np.float64,
+                count=active_count,
+            )
+        else:
+            counter_gen.random(out=draw_buffer)
+            draw_values = draw_buffer[active_cols]
+
+        # ------------------------------------------------ schedule position
+        if uniform_wake:
+            slot_scalar = round_index - wake0
+            if cycle:
+                slot_scalar %= schedule_length
+            slots: Any = slot_scalar
+            steps_now = None
+        else:
+            steps_now = round_index - wake_arr[active_cols]
+            slots = steps_now % schedule_length if cycle else steps_now
+
+        if fast:
+            # -------------------------------------------- scalar resolution
+            tx_mask = draw_values < prob_row[slots]
+            tx_total = int(np.count_nonzero(tx_mask))
+            outcome_code = 1 if tx_total == 1 else (0 if tx_total == 0 else 2)
+            if not solved and chan0 == PRIMARY_CHANNEL and tx_total == 1:
+                solved = True
+                solved_round = round_index
+                winner = int(ids_arr[active_cols[int(np.argmax(tx_mask))]])
+            tx_flat = 1 * 4 + int(tx_table[outcome_code])
+            other_flat = 2 * 4 + 3 if idle0 else int(rx_table[outcome_code])
+            tx_dies = int(compiled.next_flat[tx_flat]) < 0
+            other_dies = int(compiled.next_flat[other_flat]) < 0
+            at_end = not cycle and (
+                # Survivors with no schedule left terminate via on_end.
+                slot_scalar + 1 >= schedule_length
+                if uniform_wake
+                else None
+            )
+            if uniform_wake:
+                if (tx_dies and other_dies) or at_end is True:
+                    alive[active_cols] = False
+                elif tx_dies:
+                    alive[active_cols[tx_mask]] = False
+                elif other_dies:
+                    alive[active_cols[~tx_mask]] = False
+            else:
+                dies = np.where(tx_mask, tx_dies, other_dies)
+                if not cycle:
+                    dies = dies | (steps_now + 1 >= schedule_length)
+                if dies.any():
+                    alive[active_cols[dies]] = False
+        else:
+            # --------------------------------------------- array resolution
+            states_now = state[active_cols]
+            if single_state:
+                tx_mask = draw_values < prob_row[slots]
+                channels_now = None
+            else:
+                tx_mask = draw_values < compiled.prob_flat[
+                    states_now * schedule_length + slots
+                ]
+                channels_now = compiled.channel[states_now]
+
+            if single_state:
+                idle_mask = ~tx_mask if idle0 else np.zeros(active_count, dtype=bool)
+                listen_mask = (
+                    np.zeros(active_count, dtype=bool) if idle0 else ~tx_mask
+                )
+                tx_counts = np.zeros(num_channels + 1, dtype=np.int64)
+                tx_counts[chan0] = int(np.count_nonzero(tx_mask))
+            else:
+                idle_mask = ~tx_mask & compiled.idle_instead[states_now]
+                listen_mask = ~(tx_mask | idle_mask)
+                tx_counts = np.bincount(
+                    channels_now[tx_mask], minlength=num_channels + 1
+                )
+            if not solved and tx_counts[PRIMARY_CHANNEL] == 1:
+                solved = True
+                solved_round = round_index
+                if single_state:
+                    primary_col = active_cols[int(np.argmax(tx_mask))]
+                else:
+                    primary_col = active_cols[tx_mask][
+                        channels_now[tx_mask] == PRIMARY_CHANNEL
+                    ][0]
+                winner = int(ids_arr[primary_col])
+
+            outcome_codes = np.minimum(tx_counts, 2)
+            seen_codes = np.empty(active_count, dtype=np.int64)
+            if single_state:
+                code = int(outcome_codes[chan0])
+                seen_codes[tx_mask] = int(tx_table[code])
+                seen_codes[listen_mask] = int(rx_table[code])
+            else:
+                channel_outcomes = outcome_codes[channels_now]
+                seen_codes[tx_mask] = tx_table[channel_outcomes[tx_mask]]
+                seen_codes[listen_mask] = rx_table[channel_outcomes[listen_mask]]
+            # Idle nodes observe nothing; the engine's NONE is code 3.
+            seen_codes[idle_mask] = 3
+
+            kinds = tx_mask.astype(np.int64)
+            if idle_mask.any():
+                kinds[idle_mask] = 2
+            flat = (states_now * 3 + kinds) * 4 + seen_codes
+            next_states = compiled.next_flat[flat]
+            terminated = next_states < 0
+            if cycle:
+                ends = None
+            else:
+                past_schedule = (
+                    slot_scalar + 1 >= schedule_length
+                    if uniform_wake
+                    else steps_now + 1 >= schedule_length
+                )
+                ends = ~terminated & past_schedule
+
+            if compiled.any_marks:
+                mark_ids_now = compiled.mark_flat[flat]
+                emit = mark_ids_now >= 0
+                if ends is not None:
+                    emit = emit | ends
+                for local in np.flatnonzero(emit):
+                    node_id = int(ids_arr[active_cols[local]])
+                    mid = int(mark_ids_now[local])
+                    if mid >= 0:
+                        label, with_node_id = compiled.marks[mid]
+                        marks.append(
+                            MarkRecord(
+                                round_index,
+                                node_id,
+                                label,
+                                node_id if with_node_id else None,
+                            )
+                        )
+                    if ends is not None and ends[local]:
+                        end_mid = int(compiled.end_mark[int(next_states[local])])
+                        if end_mid >= 0:
+                            label, with_node_id = compiled.marks[end_mid]
+                            marks.append(
+                                MarkRecord(
+                                    round_index,
+                                    node_id,
+                                    label,
+                                    node_id if with_node_id else None,
+                                )
+                            )
+
+            if not single_state:
+                survivors = ~terminated
+                state[active_cols[survivors]] = next_states[survivors]
+            dead = terminated if ends is None else terminated | ends
+            if dead.any():
+                alive[active_cols[dead]] = False
+
+            if instrument is not None:
+                if single_state:
+                    rx_counts = np.zeros(num_channels + 1, dtype=np.int64)
+                    rx_counts[chan0] = int(np.count_nonzero(listen_mask))
+                else:
+                    rx_counts = np.bincount(
+                        channels_now[listen_mask], minlength=num_channels + 1
+                    )
+                busy = np.flatnonzero((tx_counts[1:] > 0) | (rx_counts[1:] > 0)) + 1
+                transmitters: Dict[int, int] = {}
+                listeners: Dict[int, int] = {}
+                outcomes: Dict[int, str] = {}
+                for raw_channel in busy:
+                    chan = int(raw_channel)
+                    tx_here = int(tx_counts[chan])
+                    rx_here = int(rx_counts[chan])
+                    if tx_here:
+                        transmitters[chan] = tx_here
+                    if rx_here:
+                        listeners[chan] = rx_here
+                    outcomes[chan] = outcome_values[int(outcome_codes[chan])]
+                instrument.on_round(
+                    RoundEvent(
+                        round_index=round_index,
+                        active_count=active_count,
+                        transmitters=transmitters,
+                        listeners=listeners,
+                        outcomes=outcomes,
+                        wall_time_s=time.perf_counter() - round_started_at,
+                        faults={},
+                    )
+                )
+
+        if solved and stop_on_solve:
+            break
+    else:
+        if not solved:
+            if instrument is not None:
+                instrument.on_run_end(
+                    RunSummary(
+                        solved=False,
+                        solved_round=None,
+                        winner=None,
+                        rounds=rounds_executed,
+                        wall_time_s=time.perf_counter() - run_started_at,
+                    )
+                )
+            still_running = int(np.count_nonzero(alive[:woken_count]))
+            raise RoundLimitExceeded(
+                budget, detail=f"{still_running} node(s) still running"
+            )
+
+    if instrument is not None:
+        instrument.on_run_end(
+            RunSummary(
+                solved=solved,
+                solved_round=solved_round,
+                winner=winner,
+                rounds=rounds_executed,
+                wall_time_s=time.perf_counter() - run_started_at,
+            )
+        )
+
+    trace = ExecutionTrace()
+    trace.marks = marks
+    return ExecutionResult(
+        solved=solved,
+        solved_round=solved_round,
+        winner=winner,
+        rounds=rounds_executed,
+        all_terminated=not bool(alive.any()),
+        crashed=0,
+        trace=trace,
+    )

@@ -1,0 +1,153 @@
+"""CLI ``--backend`` flag: golden outputs and schema parity across backends.
+
+``repro profile --backend vec`` and ``repro sweep --backend vec`` must emit
+the same artifacts as the coroutine backend — the profile JSONL stream and
+the sweep checkpoint store are public formats, so both are pinned two ways:
+
+* golden files under ``tests/data/`` (deterministic content only; wall-time
+  fields canonicalized out);
+* direct vec-vs-coroutine comparison in-process: at these sizes the vec
+  backend uses exact per-node draws, so the canonical records are not just
+  schema-identical but byte-identical (modulo the recorded ``backend``
+  cell parameter the sweep store keys trials by).
+
+Unknown backend names exit with argparse's usage error (status 2) before
+anything runs.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.cli import main
+
+DATA = pathlib.Path(__file__).parent / "data"
+PROFILE_GOLDEN = DATA / "golden_profile_decay_vec_n64_c2_seed5.jsonl"
+SWEEP_GOLDEN = DATA / "golden_sweep_baseline_vec_s3.jsonl"
+
+PROFILE_ARGS = [
+    "profile",
+    "--protocol", "decay",
+    "--n", "64",
+    "--channels", "2",
+    "--active", "5",
+    "--seed", "5",
+]
+
+SWEEP_ARGS = [
+    "sweep",
+    "--trial", "baseline",
+    "--axis", "protocol=decay",
+    "--axis", "n=64",
+    "--axis", "C=1",
+    "--axis", "active=4,8",
+    "--trials", "2",
+    "--seed", "3",
+    "--processes", "1",
+]
+
+#: Histograms fed by wall clocks; their bucket placement is nondeterministic.
+TIMING_HISTOGRAMS = ("round_wall_time_s", "run_wall_time_s")
+
+
+def canonical(records):
+    """Strip the wall-clock fields, leaving only deterministic content."""
+    cleaned = []
+    for record in records:
+        record = json.loads(json.dumps(record))  # deep copy
+        record.pop("wall_time_s", None)
+        metrics = record.get("metrics")
+        if metrics:
+            for name in TIMING_HISTOGRAMS:
+                metrics["histograms"].pop(name, None)
+        cleaned.append(record)
+    return cleaned
+
+
+def _read_jsonl(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def _run_profile(tmp_path, backend):
+    path = tmp_path / f"profile-{backend}.jsonl"
+    args = PROFILE_ARGS + ["--backend", backend, "--jsonl", str(path)]
+    assert main(args) == 0
+    return _read_jsonl(path)
+
+
+class TestProfileBackend:
+    def test_vec_profile_matches_golden(self, tmp_path, capsys):
+        records = _run_profile(tmp_path, "vec")
+        capsys.readouterr()
+        assert canonical(records) == _read_jsonl(PROFILE_GOLDEN)
+
+    def test_vec_profile_matches_coroutine_profile(self, tmp_path, capsys):
+        vec_records = _run_profile(tmp_path, "vec")
+        coroutine_records = _run_profile(tmp_path, "coroutine")
+        capsys.readouterr()
+        assert canonical(vec_records) == canonical(coroutine_records)
+
+    def test_vec_profile_validates_against_schema(self, tmp_path, capsys):
+        from repro.obs.profile import validate_record
+
+        records = _run_profile(tmp_path, "vec")
+        capsys.readouterr()
+        for record in records:
+            validate_record(record)
+
+    def test_unknown_backend_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(PROFILE_ARGS + ["--backend", "bogus"])
+        capsys.readouterr()
+        assert excinfo.value.code == 2
+
+
+def _strip_backend(records):
+    return [
+        dict(r, params={k: v for k, v in r["params"].items() if k != "backend"})
+        for r in records
+    ]
+
+
+class TestSweepBackend:
+    def _run_sweep(self, tmp_path, backend=None):
+        checkpoint = tmp_path / f"ckpt-{backend or 'default'}"
+        args = SWEEP_ARGS + ["--checkpoint-dir", str(checkpoint)]
+        if backend is not None:
+            args += ["--backend", backend]
+        assert main(args) == 0
+        return _read_jsonl(checkpoint / "baseline-s3.jsonl")
+
+    def test_vec_sweep_matches_golden(self, tmp_path, capsys):
+        records = self._run_sweep(tmp_path, "vec")
+        capsys.readouterr()
+        assert records == _read_jsonl(SWEEP_GOLDEN)
+
+    def test_vec_sweep_matches_coroutine_modulo_backend_param(self, tmp_path, capsys):
+        vec_records = self._run_sweep(tmp_path, "vec")
+        coroutine_records = self._run_sweep(tmp_path, "coroutine")
+        capsys.readouterr()
+        assert _strip_backend(vec_records) == _strip_backend(coroutine_records)
+        assert all(r["params"]["backend"] == "vec" for r in vec_records)
+        assert all(
+            r["params"]["backend"] == "coroutine" for r in coroutine_records
+        )
+
+    def test_default_sweep_omits_backend_param(self, tmp_path, capsys):
+        """No --backend flag: cell params keep their pre-vec schema."""
+        records = self._run_sweep(tmp_path, backend=None)
+        capsys.readouterr()
+        assert all("backend" not in r["params"] for r in records)
+        assert _strip_backend(records) == _strip_backend(
+            _read_jsonl(SWEEP_GOLDEN)
+        )
+
+    def test_unknown_backend_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(SWEEP_ARGS + ["--backend", "tensor"])
+        capsys.readouterr()
+        assert excinfo.value.code == 2

@@ -2,7 +2,13 @@
 
 Not statistical — one seeded execution each, proving the implementation
 holds up at the largest sizes the test suite touches (n = 2^20, C = 2^12).
+
+The vectorized tier at the bottom (``pytest.mark.slow``) runs the mega
+population the coroutine engine cannot touch — n = 10^6 *simultaneously
+active* nodes — and pins the memory contract that makes it possible.
 """
+
+import tracemalloc
 
 import pytest
 
@@ -66,3 +72,62 @@ class TestScaleSmoke:
             seed=3,
         )
         assert result.solved
+
+
+@pytest.mark.slow
+class TestVecMegaScale:
+    """n = 10^6 active nodes on the vectorized backend, with bounded memory.
+
+    The coroutine engine holds one live generator frame per node, so a
+    dense 10^6-node population is out of reach; the vec backend stores
+    a handful of int64/float64 columns instead.  The tracemalloc bound
+    (256 MB) pins that column representation: ~8 columns x 8 bytes x 10^6
+    nodes plus transient masks is well under 100 MB, so a regression to
+    per-node Python objects (~1 GB) fails loudly.
+    """
+
+    N = 1_000_000
+    MEMORY_BUDGET = 256 * 1024 * 1024
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_decay_mega_population_solves_within_memory_budget(self):
+        from repro.baselines import Decay
+        from repro.sim import vec
+
+        tracemalloc.start()
+        try:
+            result = vec.run_protocol(
+                Decay(),
+                n=self.N,
+                num_channels=1,
+                seed=7,
+            )
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert result.solved
+        assert 1 <= result.winner <= self.N
+        assert peak < self.MEMORY_BUDGET, f"peak {peak / 2**20:.1f} MB"
+
+    def test_saturated_mega_population_exhausts_budget_within_memory(self):
+        from repro.baselines import SlottedAloha
+        from repro.sim import RoundLimitExceeded, vec
+
+        tracemalloc.start()
+        try:
+            with pytest.raises(RoundLimitExceeded, match="still running"):
+                vec.run_protocol(
+                    SlottedAloha(probability=0.3),
+                    n=self.N,
+                    num_channels=1,
+                    seed=17,
+                    stop_on_solve=False,
+                    max_rounds=40,
+                )
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < self.MEMORY_BUDGET, f"peak {peak / 2**20:.1f} MB"

@@ -1,0 +1,187 @@
+"""Backend selection, capability detection, and fallback behavior.
+
+``Engine.run(backend=...)`` routes between the coroutine round loops and
+the vectorized backend.  These tests pin the selection contract:
+
+* unknown backend names are configuration errors (before anything runs);
+* an *explicit* ``backend="vec"`` without NumPy is a clean ``ImportError``
+  naming the ``repro[vec]`` extra — never a silent fallback;
+* ineligible runs (faults, traces, no IR lowering, failed lowering) fall
+  back to the coroutine engine with a structured
+  :class:`~repro.sim.vec.VecFallbackWarning` and still produce the run;
+* the ``used_backend`` / ``used_fast_path`` diagnostics report what ran;
+* degenerate activations (n=1 solo, empty set) behave identically on both
+  backends.
+
+Everything except the classes marked with ``importorskip`` runs without
+NumPy installed: backend validation, fallback detection, and activation
+resolution all happen before the first NumPy touch.
+"""
+
+import pytest
+
+from repro import solve
+from repro.baselines import Decay
+from repro.core import TwoActive
+from repro.faults import FaultPlan
+from repro.protocols.ir import LoweringError
+from repro.sim import (
+    Activation,
+    ConfigurationError,
+    Engine,
+    Network,
+    vec,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "error::repro.sim.vec.VecFallbackWarning"
+)
+
+
+class _Unlowerable:
+    """A Decay whose lowering always fails."""
+
+    name = "unlowerable-decay"
+
+    def __init__(self):
+        self._inner = Decay()
+
+    def to_round_program(self, network):
+        raise LoweringError("deliberately unlowerable")
+
+    def __call__(self, ctx):
+        return self._inner(ctx)
+
+
+def _engine(**kwargs):
+    return Engine(Network(n=16, num_channels=2), seed=3, **kwargs)
+
+
+class TestBackendValidation:
+    def test_unknown_backend_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown engine backend"):
+            solve(Decay(), n=16, num_channels=1, backend="bogus")
+
+    def test_unknown_backend_rejected_before_running(self):
+        engine = _engine()
+        with pytest.raises(ConfigurationError, match="known backends"):
+            engine.run(Decay(), backend="jax")
+
+    def test_missing_numpy_is_a_clean_import_error(self, monkeypatch):
+        def broken_import():
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(vec, "_np_cache", None)
+        monkeypatch.setattr(vec, "_import_numpy", broken_import)
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            vec.require_numpy()
+        # An explicit backend="vec" request surfaces the same error — a
+        # user who asked for vec must never be silently served coroutine.
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            solve(Decay(), n=16, num_channels=1, backend="vec")
+
+    def test_numpy_available_reflects_importability(self, monkeypatch):
+        def broken_import():
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(vec, "_np_cache", None)
+        monkeypatch.setattr(vec, "_import_numpy", broken_import)
+        assert not vec.numpy_available()
+
+
+class TestCapabilityFallback:
+    """Ineligible runs warn and fall back — and still produce the run."""
+
+    def _run(self, protocol, **kwargs):
+        return solve(
+            protocol, n=16, num_channels=2, seed=3, backend="vec", **kwargs
+        )
+
+    def test_protocol_without_lowering_falls_back(self):
+        with pytest.warns(vec.VecFallbackWarning, match="no round-program lowering"):
+            result = self._run(TwoActive(), activation=Activation(active_ids=[2, 9]))
+        assert result.solved
+
+    def test_failed_lowering_falls_back(self):
+        with pytest.warns(vec.VecFallbackWarning, match="deliberately unlowerable"):
+            result = self._run(_Unlowerable(), stop_on_solve=False, max_rounds=64)
+        assert result.rounds >= 1
+
+    def test_faulted_run_falls_back(self):
+        with pytest.warns(vec.VecFallbackWarning, match="fault injection"):
+            result = self._run(Decay(), faults=FaultPlan(), max_rounds=64)
+        assert result.rounds >= 1
+
+    def test_traced_run_falls_back(self):
+        engine = _engine(record_trace=True)
+        with pytest.warns(vec.VecFallbackWarning, match="record_trace"):
+            result = engine.run(Decay(), backend="vec", max_rounds=64)
+        assert engine.used_backend == "coroutine"
+        assert result.trace.rounds  # the trace was actually recorded
+
+    def test_fallback_warning_carries_protocol_and_reason(self):
+        with pytest.warns(vec.VecFallbackWarning) as captured:
+            self._run(TwoActive(), activation=Activation(active_ids=[2, 9]))
+        warning = captured[0].message
+        assert warning.protocol == "two-active" or "TwoActive" in str(warning)
+        assert "lowering" in str(warning)
+
+
+class TestDegenerateActivations:
+    def test_empty_activation_fails_identically(self):
+        for backend in ("coroutine", "vec"):
+            with pytest.raises(ConfigurationError, match="at least one node"):
+                solve(
+                    Decay(),
+                    n=16,
+                    num_channels=1,
+                    activation=Activation(active_ids=[]),
+                    backend=backend,
+                )
+
+
+class TestVecExecution:
+    """Tests that actually execute the vectorized backend (need NumPy)."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_solo_node_wins_round_one_on_both_backends(self):
+        from repro.baselines import SlottedAloha
+
+        results = {}
+        engines = {}
+        for backend in ("coroutine", "vec"):
+            engine = _engine()
+            results[backend] = engine.run(
+                SlottedAloha(probability=1.0), active_ids=[7], backend=backend
+            )
+            engines[backend] = engine
+        for backend, result in results.items():
+            assert result.solved, backend
+            assert result.solved_round == 1, backend
+            assert result.winner == 7, backend
+        assert engines["coroutine"].used_backend == "coroutine"
+        assert engines["vec"].used_backend == "vec"
+
+    def test_diagnostics_report_what_ran(self):
+        engine = _engine()
+        engine.run(Decay(), active_ids=[1, 5], backend="vec", max_rounds=64)
+        assert engine.used_backend == "vec"
+        assert not engine.used_fast_path
+
+        engine.run(Decay(), active_ids=[1, 5], backend="coroutine", max_rounds=64)
+        assert engine.used_backend == "coroutine"
+        assert engine.used_fast_path  # eligible run: fast coroutine loop
+
+    def test_default_backend_is_coroutine(self):
+        engine = _engine()
+        engine.run(Decay(), active_ids=[1, 5], max_rounds=64)
+        assert engine.used_backend == "coroutine"
+
+    def test_vec_run_protocol_is_strict(self):
+        with pytest.raises(LoweringError, match="no round-program lowering"):
+            vec.run_protocol(TwoActive(), n=16, num_channels=2)
+        with pytest.raises(ConfigurationError, match="unknown draw mode"):
+            vec.run_protocol(Decay(), n=16, num_channels=1, draws="quantum")
