@@ -1,0 +1,105 @@
+"""Substrate performance benchmarks: the continuous-traffic arrival layer.
+
+Not a paper reproduction — these time the streaming path itself
+(:mod:`repro.sim.arrivals`) so regressions in the wrapper, the per-packet
+accounting, or the vectorized streaming leg are visible.
+
+Workloads:
+* steady Poisson traffic served by the streaming-native sawtooth protocol
+  (the pure stream hot path: wake scheduling + service marks);
+* the same traffic through the ``StreamingService`` retry wrapper around a
+  one-shot protocol (wrapper dispatch + restart cost);
+* adversarial batch arrivals at high instantaneous contention (stresses the
+  backlog bookkeeping and the deadline retirement path);
+* the sawtooth stream on the vectorized backend (NumPy leg only).
+"""
+
+import pytest
+
+from repro.baselines import Decay, SawtoothBackoff
+from repro.sim.arrivals import BatchArrivals, PoissonArrivals, run_stream
+from repro.sim.vec import numpy_available
+
+
+def stream_sawtooth_poisson():
+    """Streaming-native service of steady traffic (the stream hot path)."""
+    result = run_stream(
+        SawtoothBackoff(),
+        PoissonArrivals(0.2),
+        horizon=600,
+        seed=11,
+    )
+    assert result.injected > 0
+    return result
+
+
+def stream_wrapped_decay():
+    """One-shot protocol through the retry wrapper on the same traffic."""
+    result = run_stream(
+        Decay(),
+        PoissonArrivals(0.2),
+        horizon=400,
+        seed=13,
+    )
+    assert result.injected > 0
+    return result
+
+
+def stream_batch_saturated():
+    """Adversarial bursts past the boundary: deadline retirement path."""
+    result = run_stream(
+        Decay(),
+        BatchArrivals(8, 10),
+        horizon=300,
+        drain=100,
+        seed=17,
+    )
+    assert result.metrics()["unserved"] > 0
+    return result
+
+
+def stream_vec_sawtooth():
+    """The vectorized streaming leg (falls into WORKLOADS only with NumPy)."""
+    result = run_stream(
+        SawtoothBackoff(),
+        PoissonArrivals(0.2),
+        horizon=600,
+        seed=11,
+        backend="vec",
+    )
+    assert result.backend_used == "vec"
+    return result
+
+
+#: Shared with ``check_regression.py`` so the CI regression guard times
+#: exactly what these benchmarks time.
+WORKLOADS = {
+    "stream_sawtooth_poisson": stream_sawtooth_poisson,
+    "stream_wrapped_decay": stream_wrapped_decay,
+    "stream_batch_saturated": stream_batch_saturated,
+}
+
+if numpy_available():
+    WORKLOADS["stream_vec_sawtooth"] = stream_vec_sawtooth
+
+
+def test_stream_sawtooth_poisson(benchmark):
+    result = benchmark(stream_sawtooth_poisson)
+    assert result.unserved == []
+
+
+def test_stream_wrapped_decay(benchmark):
+    result = benchmark(stream_wrapped_decay)
+    assert result.unserved == []
+
+
+def test_stream_batch_saturated(benchmark):
+    result = benchmark(stream_batch_saturated)
+    assert result.metrics()["drained"] == 0.0
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+def test_stream_vec_sawtooth(benchmark):
+    result = benchmark(stream_vec_sawtooth)
+    assert result.backend_used == "vec"
+    assert result.unserved == []

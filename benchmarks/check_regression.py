@@ -25,11 +25,13 @@ import pathlib
 import sys
 import time
 
+import bench_arrivals
 import bench_engine_throughput
 import bench_hardening
 import bench_sweep_runner
 
 WORKLOADS = {
+    **bench_arrivals.WORKLOADS,
     **bench_engine_throughput.WORKLOADS,
     **bench_hardening.WORKLOADS,
     **bench_sweep_runner.WORKLOADS,
@@ -54,6 +56,10 @@ _BATCH = {
     "engine_multichannel": 5,
     "engine_vec_dense": 1,
     "engine_vec_decay": 1,
+    "stream_sawtooth_poisson": 3,
+    "stream_wrapped_decay": 3,
+    "stream_batch_saturated": 2,
+    "stream_vec_sawtooth": 3,
 }
 
 #: Workloads whose baseline carries a ``seed_engine_scores`` reference: the

@@ -35,6 +35,7 @@ from .baselines import (
     BinarySearchCD,
     DaumMultiChannel,
     Decay,
+    SawtoothBackoff,
     SlottedAloha,
     TreeSplitting,
 )
@@ -53,15 +54,22 @@ from .protocols import Protocol, solve
 from .scenarios import Scenario
 from .sim import (
     Activation,
+    ArrivalSchedule,
+    BatchArrivals,
     CollisionDetection,
+    DiurnalArrivals,
     Engine,
     ExecutionResult,
     Network,
+    PoissonArrivals,
+    ReplayArrivals,
+    StreamResult,
     activate_adjacent,
     activate_all,
     activate_pair,
     activate_random,
     run_execution,
+    run_stream,
     staggered,
 )
 from .tree import ChannelTree
@@ -70,11 +78,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Activation",
+    "ArrivalSchedule",
+    "BatchArrivals",
     "BinarySearchCD",
     "ChannelTree",
     "CollisionDetection",
     "DaumMultiChannel",
     "Decay",
+    "DiurnalArrivals",
     "Engine",
     "ExecutionResult",
     "FNWGeneral",
@@ -83,10 +94,14 @@ __all__ = [
     "LeafElection",
     "MultiChannelContentionResolution",
     "Network",
+    "PoissonArrivals",
     "Protocol",
     "Reduce",
+    "ReplayArrivals",
+    "SawtoothBackoff",
     "Scenario",
     "SlottedAloha",
+    "StreamResult",
     "TreeSplitting",
     "TwoActive",
     "WakeupTransform",
@@ -95,6 +110,7 @@ __all__ = [
     "activate_pair",
     "activate_random",
     "run_execution",
+    "run_stream",
     "solve",
     "staggered",
     "usable_channels",

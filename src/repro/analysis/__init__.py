@@ -9,6 +9,12 @@ from .distributions import (
 )
 from .fitting import LinearFit, RatioSpread, fit_linear, log_log_slope, ratio_spread, ratios
 from .runner import CheckpointStore, SweepRunner, run_sweep_parallel
+from .stability import (
+    StabilityEstimate,
+    estimate_boundary,
+    estimate_from_cells,
+    leftover_fraction,
+)
 from .stats import Summary, geometric_mean, proportion_ci, quantile, summarize
 from .sweep import (
     CellResult,
@@ -31,13 +37,17 @@ __all__ = [
     "ks_distance",
     "LinearFit",
     "RatioSpread",
+    "StabilityEstimate",
     "Summary",
     "SweepResult",
     "SweepRunner",
     "Table",
     "TrialFailure",
     "TrialFn",
+    "estimate_boundary",
+    "estimate_from_cells",
     "fit_linear",
+    "leftover_fraction",
     "geometric_mean",
     "grid_product",
     "log_log_slope",

@@ -415,6 +415,41 @@ def _hardened_fault(
     )
 
 
+@register_trial("arrivals")
+def _arrivals(
+    seed: int,
+    *,
+    protocol: str,
+    C: int,
+    rate: float,
+    horizon: int,
+    process: str = "poisson",
+    initial: int = 0,
+    period: int = 0,
+    amplitude: float = 0.5,
+    model: Optional[str] = None,
+    intensity: float = 0.0,
+    backend: str = "coroutine",
+) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.sim.arrivals.arrival_trial`."""
+    from ..sim.arrivals import arrival_trial
+
+    return arrival_trial(
+        seed,
+        protocol=protocol,
+        C=C,
+        rate=rate,
+        horizon=horizon,
+        process=process,
+        initial=initial,
+        period=period,
+        amplitude=amplitude,
+        model=model,
+        intensity=intensity,
+        backend=backend,
+    )
+
+
 @register_profiled_trial("solve-profiled")
 def _solve_profiled(
     seed: int, *, protocol: str, n: int, C: int, active: int, backend: str = "coroutine"

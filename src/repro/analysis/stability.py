@@ -1,0 +1,131 @@
+"""Stability-boundary estimation for arrival-rate sweeps.
+
+A streaming system is *stable* at arrival rate λ when its backlog does not
+grow with time — served work keeps pace with injected work.  At a finite
+horizon the usable proxy is the **leftover fraction**: the share of injected
+packets still unserved when the run (arrival window plus drain window) ends.
+Subcritical rates leave a vanishing fraction; supercritical rates leave a
+fraction growing roughly linearly in ``λ - λ*``.
+
+The estimator sweeps λ in ascending order, finds the first rate whose mean
+leftover fraction crosses a threshold, and linearly interpolates between the
+bracketing rates to place the boundary λ*.  This deliberately mirrors how
+the streaming papers read their simulations: the knee of the
+latency/backlog curve, not a fitted queueing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .sweep import CellResult
+
+__all__ = [
+    "StabilityEstimate",
+    "estimate_boundary",
+    "estimate_from_cells",
+    "leftover_fraction",
+]
+
+
+def leftover_fraction(cell: CellResult) -> float:
+    """Mean unserved-packet fraction of one arrivals sweep cell.
+
+    Each trial's fraction is ``unserved / injected`` (0 for an empty
+    schedule); the cell value is the mean over completed trials.
+    """
+    unserved = cell.metric("unserved")
+    injected = cell.metric("injected")
+    fractions = [
+        (u / i) if i else 0.0 for u, i in zip(unserved, injected)
+    ]
+    return sum(fractions) / len(fractions) if fractions else 0.0
+
+
+@dataclass(frozen=True)
+class StabilityEstimate:
+    """A λ-sweep's stability readout.
+
+    Attributes:
+        rates: swept arrival rates, ascending.
+        fractions: mean leftover fraction at each rate.
+        threshold: the leftover fraction treated as "no longer stable".
+        boundary: interpolated λ* where the fraction crosses the threshold;
+            ``None`` when every swept rate stayed below it (the boundary
+            lies above the swept range).
+    """
+
+    rates: Tuple[float, ...]
+    fractions: Tuple[float, ...]
+    threshold: float
+    boundary: Optional[float]
+
+    @property
+    def stable_rates(self) -> Tuple[float, ...]:
+        """The swept rates whose leftover fraction stayed within threshold."""
+        return tuple(
+            rate
+            for rate, fraction in zip(self.rates, self.fractions)
+            if fraction <= self.threshold
+        )
+
+
+def estimate_boundary(
+    rates: Sequence[float],
+    fractions: Sequence[float],
+    *,
+    threshold: float = 0.05,
+) -> Optional[float]:
+    """Interpolated λ* from ``(rate, leftover fraction)`` samples.
+
+    Scans rates in ascending order for the first fraction above
+    ``threshold`` and interpolates linearly from the previous sample (or
+    from the origin, when already the smallest rate overshoots).  Returns
+    ``None`` when no sample crosses — the system looked stable everywhere
+    it was measured.
+    """
+    if len(rates) != len(fractions):
+        raise ValueError(
+            f"{len(rates)} rates vs {len(fractions)} fractions"
+        )
+    if threshold <= 0.0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    ordered = sorted(zip(rates, fractions))
+    previous_rate, previous_fraction = 0.0, 0.0
+    for rate, fraction in ordered:
+        if fraction > threshold:
+            span = fraction - previous_fraction
+            if span <= 0.0:
+                return float(rate)
+            weight = (threshold - previous_fraction) / span
+            return float(previous_rate + weight * (rate - previous_rate))
+        previous_rate, previous_fraction = rate, fraction
+    return None
+
+
+def estimate_from_cells(
+    cells: Iterable[CellResult],
+    *,
+    threshold: float = 0.05,
+    rate_key: str = "rate",
+) -> StabilityEstimate:
+    """Build a :class:`StabilityEstimate` from arrivals sweep cells.
+
+    ``cells`` should share every parameter except the arrival rate (the
+    caller groups per protocol / fault model); each must carry the
+    ``"unserved"`` and ``"injected"`` metrics the ``"arrivals"`` trial
+    reports.
+    """
+    samples: List[Tuple[float, float]] = []
+    for cell in cells:
+        samples.append((float(cell.params[rate_key]), leftover_fraction(cell)))
+    samples.sort()
+    rates = tuple(rate for rate, _ in samples)
+    fractions = tuple(fraction for _, fraction in samples)
+    return StabilityEstimate(
+        rates=rates,
+        fractions=fractions,
+        threshold=threshold,
+        boundary=estimate_boundary(rates, fractions, threshold=threshold),
+    )

@@ -9,14 +9,17 @@ from .aloha import SlottedAloha
 from .binary_search_cd import BinarySearchCD, binary_search_descent
 from .daum_multichannel import DaumMultiChannel
 from .decay import Decay, decay_sweep_length
+from .sawtooth import SawtoothBackoff, sawtooth_schedule
 from .tree_splitting import TreeSplitting
 
 __all__ = [
     "BinarySearchCD",
     "DaumMultiChannel",
     "Decay",
+    "SawtoothBackoff",
     "SlottedAloha",
     "TreeSplitting",
     "binary_search_descent",
     "decay_sweep_length",
+    "sawtooth_schedule",
 ]

@@ -1,0 +1,112 @@
+"""Sawtooth backoff: a streaming-native baseline from the robust
+contention-resolution line (Jiang–Zheng, arXiv 2111.06650; Chen–Jiang–Zheng,
+arXiv 2102.09716).
+
+The streaming literature's robust protocols replace monotone backoff with a
+*sawtooth* probability pattern: repeated downward sweeps of the transmission
+probability through ``2^-1, 2^-2, ...``, with the sweep depth growing so
+every backlog density up to ``n`` is matched somewhere in every cycle.  A
+packet keeps cycling until the round it transmits alone — it never gives up
+on hearing other packets win (that is precisely what makes it *streaming*:
+under dynamic arrivals a packet that stops on others' messages would starve).
+
+Concretely, with depth ``K = ceil(log2 n) + 1`` one cycle is the
+concatenation of runs ``i = 1..K``, where run ``i`` sweeps probabilities
+``2^-1 .. 2^-i`` — schedule length ``K(K+1)/2 = O(log^2 n)``.  Whatever the
+current backlog ``b <= 2^K``, every cycle contains a slot with probability
+within a factor 2 of ``1/b``, giving a constant per-cycle service
+probability; the short early runs retry high probabilities often, which is
+what keeps latency low in the sparse regime.
+
+The protocol is *data independent* — one transmit-probability draw per
+round, transitions on feedback only — so it lowers to the round-program IR
+and runs unwrapped on the vectorized backend, where its service transition
+emits the same :data:`repro.sim.arrivals.SERVED_MARK` trace mark that the
+coroutine streaming adapter writes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mathutil import ceil_log2
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.ir import ProgramProtocol, RoundProgram, StateRule, Transition
+from ..sim.context import NodeContext
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
+
+#: Kept in sync with :data:`repro.sim.arrivals.SERVED_MARK` (defined locally
+#: to keep this module importable without the arrivals layer).
+_SERVED_MARK = "arrivals:served"
+
+
+def sawtooth_schedule(depth: int) -> tuple:
+    """The transmit-probability cycle for a given sweep depth.
+
+    Runs ``i = 1..depth``, run ``i`` sweeping ``2^-1 .. 2^-i``; length
+    ``depth * (depth + 1) / 2``.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    return tuple(
+        2.0 ** -j for i in range(1, depth + 1) for j in range(1, i + 1)
+    )
+
+
+class SawtoothBackoff(Protocol):
+    """Cyclic sawtooth backoff on the primary channel (streaming-native)."""
+
+    name = "sawtooth-backoff"
+
+    #: Marks this protocol as safe to run unwrapped under a packet stream:
+    #: a node terminates exactly when it is served (its own solo) and never
+    #: exits on other packets' wins.
+    streaming = True
+
+    def __init__(self, depth: Optional[int] = None):
+        """Args:
+        depth: sweep depth ``K``; defaults to ``ceil(log2 n) + 1`` resolved
+            per execution, covering every backlog density up to ``n``.
+        """
+        if depth is not None and depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def _program(self, n: int) -> RoundProgram:
+        depth = self.depth if self.depth is not None else ceil_log2(max(2, n)) + 1
+        schedule = sawtooth_schedule(depth)
+        keep = Transition(next_state=0)
+        served = Transition(next_state=None, mark=_SERVED_MARK, mark_node_id=True)
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=schedule,
+            on_transmit={
+                Feedback.MESSAGE: served,
+                Feedback.SILENCE: keep,
+                Feedback.COLLISION: keep,
+                Feedback.NONE: keep,
+            },
+            on_listen={
+                # A streaming packet never exits on others' traffic.
+                Feedback.MESSAGE: keep,
+                Feedback.SILENCE: keep,
+                Feedback.COLLISION: keep,
+                Feedback.NONE: keep,
+            },
+        )
+        return RoundProgram(
+            name=self.name, schedule_length=len(schedule), cycle=True, states=(rule,)
+        )
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (exact: one draw per round)."""
+        program = self._program(network.n)
+        program.validate_channels(network.num_channels)
+        return program
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        # Delegate to the reference interpreter so the coroutine and vec
+        # executions share one semantics (and one draw discipline) by
+        # construction.
+        return ProgramProtocol(self._program(ctx.n)).run(ctx)

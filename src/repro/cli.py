@@ -324,6 +324,165 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_arrivals(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.runner import SweepRunner, format_failures
+    from .analysis.stability import estimate_from_cells
+    from .analysis.sweep import grid_product
+    from .analysis.tables import Table
+    from .experiments.common import make_protocol
+
+    if args.trials < 1:
+        raise SystemExit("repro arrivals: --trials must be >= 1")
+    if args.horizon < 1:
+        raise SystemExit("repro arrivals: --horizon must be >= 1")
+    if any(rate < 0 for rate in args.rates):
+        raise SystemExit("repro arrivals: rates must be >= 0")
+    for name in args.protocols:
+        try:
+            make_protocol(name)
+        except KeyError as error:
+            raise SystemExit(f"repro arrivals: {error.args[0]}")
+
+    grid = grid_product(protocol=args.protocols, rate=args.rates)
+    for cell in grid:
+        cell["C"] = args.channels
+        cell["horizon"] = args.horizon
+        cell["process"] = args.process
+        if args.initial:
+            cell["initial"] = args.initial
+        if args.period:
+            cell["period"] = args.period
+        if args.process == "diurnal":
+            cell["amplitude"] = args.amplitude
+        if args.model is not None:
+            cell["model"] = args.model
+            cell["intensity"] = args.intensity
+        if args.backend != "coroutine":
+            cell["backend"] = args.backend
+
+    print(
+        f"arrival sweep: protocols={','.join(args.protocols)} "
+        f"rates={','.join(f'{r:g}' for r in args.rates)} "
+        f"horizon={args.horizon} C={args.channels} process={args.process} "
+        f"trials={args.trials} master_seed={args.seed}"
+        + (f" faults={args.model}@{args.intensity:g}" if args.model else "")
+    )
+    with SweepRunner(
+        processes=args.processes,
+        checkpoint_dir=args.checkpoint_dir,
+    ) as runner:
+        sweep = runner.run_grid(
+            "arrivals", grid, trials=args.trials, master_seed=args.seed
+        )
+
+    table = Table(
+        [
+            "protocol",
+            "rate",
+            "ok",
+            "failed",
+            "throughput",
+            "p50",
+            "p95",
+            "p99",
+            "backlog",
+            "drained",
+        ],
+        caption=f"steady-state metrics ({args.trials} trials/cell)",
+        digits=2,
+    )
+    for cell in sweep.cells:
+        table.add_row(
+            cell.params["protocol"],
+            cell.params["rate"],
+            len(cell.trials),
+            len(cell.failures),
+            cell.mean("throughput") if cell.trials else "-",
+            cell.mean("latency_p50") if cell.trials else "-",
+            cell.mean("latency_p95") if cell.trials else "-",
+            cell.mean("latency_p99") if cell.trials else "-",
+            cell.mean("backlog_final") if cell.trials else "-",
+            cell.rate("drained") if cell.trials else "-",
+        )
+    print()
+    print(table.render())
+    print()
+
+    records = []
+    for cell in sweep.cells:
+        means = {
+            name: sum(values) / len(values)
+            for name in sorted(cell.trials[0])
+            for values in [cell.metric(name)]
+            if values
+        } if cell.trials else {}
+        records.append(
+            {
+                "schema": 1,
+                "type": "cell",
+                "protocol": cell.params["protocol"],
+                "rate": cell.params["rate"],
+                "params": dict(cell.params),
+                "trials": [dict(trial) for trial in cell.trials],
+                "failed": len(cell.failures),
+                "mean": means,
+            }
+        )
+
+    failed_total = 0
+    for protocol in args.protocols:
+        cells = [c for c in sweep.cells if c.params["protocol"] == protocol]
+        failed_total += sum(len(c.failures) for c in cells)
+        estimate = estimate_from_cells(
+            (c for c in cells if c.trials), threshold=args.threshold
+        )
+        if estimate.boundary is not None:
+            verdict = f"stability boundary lambda* ~= {estimate.boundary:.4f}"
+        else:
+            verdict = (
+                "no stability boundary within the swept range "
+                f"(all leftover fractions <= {args.threshold:g})"
+            )
+        print(f"{protocol}: {verdict}")
+        records.append(
+            {
+                "schema": 1,
+                "type": "stability",
+                "protocol": protocol,
+                "threshold": args.threshold,
+                "rates": list(estimate.rates),
+                "leftover_fractions": list(estimate.fractions),
+                "boundary": estimate.boundary,
+            }
+        )
+
+    if args.jsonl:
+        header = {
+            "schema": 1,
+            "type": "meta",
+            "trial": "arrivals",
+            "horizon": args.horizon,
+            "channels": args.channels,
+            "process": args.process,
+            "trials": args.trials,
+            "master_seed": args.seed,
+            "threshold": args.threshold,
+        }
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            for record in [header] + records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"\nmetrics written to {args.jsonl} ({len(records) + 1} records)")
+
+    if failed_total:
+        print()
+        for line in format_failures(sweep.cells):
+            print(f"  FAIL {line}")
+        return 1
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .sim.serialize import load_trace
 
@@ -541,6 +700,83 @@ def build_parser() -> argparse.ArgumentParser:
         "'baseline') as a constant cell parameter; omitted by default",
     )
     sweep_parser.set_defaults(fn=_cmd_sweep)
+
+    arrivals_parser = subparsers.add_parser(
+        "arrivals",
+        help="sweep arrival rates against protocols under continuous traffic",
+    )
+    arrivals_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["sawtooth-backoff"],
+        metavar="NAME",
+        help="protocol names from the registry (default: sawtooth-backoff)",
+    )
+    arrivals_parser.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=[0.05, 0.1, 0.2, 0.3],
+        metavar="LAMBDA",
+        help="arrival rates in packets per round",
+    )
+    arrivals_parser.add_argument("--horizon", type=int, default=400)
+    arrivals_parser.add_argument("--channels", type=int, default=1)
+    arrivals_parser.add_argument("--trials", type=int, default=5)
+    arrivals_parser.add_argument("--seed", type=int, default=0)
+    arrivals_parser.add_argument(
+        "--process",
+        choices=("poisson", "batch", "diurnal"),
+        default="poisson",
+        help="arrival process shape",
+    )
+    arrivals_parser.add_argument(
+        "--initial",
+        type=int,
+        default=0,
+        help="packets present at round 1 in addition to the stream",
+    )
+    arrivals_parser.add_argument(
+        "--period",
+        type=int,
+        default=0,
+        help="batch spacing / diurnal period in rounds (0: process default)",
+    )
+    arrivals_parser.add_argument(
+        "--amplitude",
+        type=float,
+        default=0.5,
+        help="diurnal modulation depth in [0, 1]",
+    )
+    arrivals_parser.add_argument(
+        "--model",
+        choices=("jamming", "cd-noise", "churn"),
+        default=None,
+        help="optional fault model applied to every run",
+    )
+    arrivals_parser.add_argument(
+        "--intensity", type=float, default=0.0, help="fault model intensity"
+    )
+    arrivals_parser.add_argument(
+        "--backend",
+        choices=("coroutine", "vec"),
+        default="coroutine",
+        help="engine backend (vec falls back per-run when unsupported)",
+    )
+    arrivals_parser.add_argument("--processes", type=int, default=None)
+    arrivals_parser.add_argument("--checkpoint-dir", metavar="DIR")
+    arrivals_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write per-cell metrics and stability records as JSON lines",
+    )
+    arrivals_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="leftover fraction above which a rate counts as unstable",
+    )
+    arrivals_parser.set_defaults(fn=_cmd_arrivals)
 
     replay_parser = subparsers.add_parser(
         "replay", help="render a saved execution trace"

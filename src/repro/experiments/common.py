@@ -14,6 +14,7 @@ from ..baselines import (
     BinarySearchCD,
     DaumMultiChannel,
     Decay,
+    SawtoothBackoff,
     SlottedAloha,
     TreeSplitting,
 )
@@ -232,6 +233,7 @@ def make_protocol(name: str) -> Protocol:
         "binary-search-cd": lambda: BinarySearchCD(),
         "decay": lambda: Decay(),
         "daum-multichannel": lambda: DaumMultiChannel(),
+        "sawtooth-backoff": lambda: SawtoothBackoff(),
         "slotted-aloha": lambda: SlottedAloha(),
         "tree-splitting": lambda: TreeSplitting(),
     }

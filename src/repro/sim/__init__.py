@@ -48,8 +48,37 @@ from .serialize import (
 )
 from .trace import ChannelRound, ExecutionTrace, RoundRecord
 
+# Imported last: the arrival layer pulls in repro.protocols, which itself
+# imports the sim submodules above (safe once they are in sys.modules).
+from .arrivals import (
+    SERVED_MARK,
+    ArrivalProcess,
+    ArrivalSchedule,
+    BatchArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    StreamResult,
+    StreamingService,
+    arrival_trial,
+    build_process,
+    run_stream,
+)
+
 __all__ = [
     "Action",
+    "ArrivalProcess",
+    "ArrivalSchedule",
+    "BatchArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "ReplayArrivals",
+    "SERVED_MARK",
+    "StreamResult",
+    "StreamingService",
+    "arrival_trial",
+    "build_process",
+    "run_stream",
     "CollisionDetection",
     "observed_feedback",
     "perception_views",

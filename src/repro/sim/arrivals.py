@@ -1,0 +1,734 @@
+"""Continuous-traffic arrival processes and steady-state stream metrics.
+
+Everything else in :mod:`repro.sim` is one-shot: a set of nodes activates,
+the engine stops at the first solo on the primary channel.  This module adds
+the dynamic-arrival model of the streaming contention-resolution literature
+(Jiang–Zheng, arXiv 2111.06650; Chen–Jiang–Zheng, arXiv 2102.09716):
+*packets* are born over time, each must eventually win a channel alone, and
+the quantities of interest are steady-state — throughput, per-packet latency
+percentiles, backlog trajectory, and the arrival rate at which the system
+stops being stable.
+
+The layer reuses the engine's existing activation path rather than adding a
+second one: a packet is a node whose ``wake_round`` is its birth round, so an
+:class:`ArrivalSchedule` compiles to a plain
+:class:`~repro.sim.adversary.Activation` and every engine feature — fault
+injection, hardening wrappers, instrumentation, the coroutine fast path and
+the vectorized backend — applies unchanged.  At rate zero (one batch born at
+the start) the compiled activation is *identical* to the one-shot path, a
+property the differential suite pins bitwise.
+
+Service detection is the engine's solve rule applied per packet: a packet is
+*served* in the first round it transmits alone on its channel (under strong
+CD a lone transmitter observes its own message, ``Observation.alone``).
+One-shot protocols are adapted with :class:`StreamingService`, which forwards
+the inner coroutine's actions untouched, restarts it if it terminates
+unserved (retry), and retires the packet at a deadline; streaming-native
+protocols such as :class:`repro.baselines.SawtoothBackoff` terminate on their
+own service and additionally lower to the vectorized backend.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .adversary import Activation
+from .cd_modes import CollisionDetection
+from .context import NodeContext
+from .engine import Engine, ExecutionResult, ProtocolCoroutine
+from .errors import ConfigurationError, RoundLimitExceeded
+from .network import Network
+from .rng import derive_seed
+
+__all__ = [
+    "SERVED_MARK",
+    "ArrivalProcess",
+    "ArrivalSchedule",
+    "BatchArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "ReplayArrivals",
+    "StreamResult",
+    "StreamingService",
+    "arrival_trial",
+    "build_process",
+    "run_stream",
+]
+
+#: Trace-mark label recording a packet's service round (payload: node id).
+SERVED_MARK = "arrivals:served"
+
+#: Domain-separation salt for arrival-schedule draws.
+_ARRIVAL_SALT = 0xA221
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fully resolved arrival pattern: which packet is born in which round.
+
+    Packets are node ids ``1..size`` assigned in birth order.  ``births``
+    maps each id to its birth round in ``[1, horizon]``; the schedule is the
+    replayable ground truth every stream run is derived from, and it
+    round-trips through plain dicts for JSON storage.
+    """
+
+    horizon: int
+    births: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {self.horizon}")
+        seen = set()
+        for nid, born in self.births:
+            if nid < 1:
+                raise ConfigurationError(f"packet id must be >= 1, got {nid}")
+            if nid in seen:
+                raise ConfigurationError(f"duplicate packet id {nid}")
+            seen.add(nid)
+            if born < 1 or (self.horizon and born > self.horizon):
+                raise ConfigurationError(
+                    f"birth round {born} for packet {nid} outside [1, {self.horizon}]"
+                )
+        object.__setattr__(self, "births", tuple(self.births))
+
+    @property
+    def size(self) -> int:
+        """Number of packets in the schedule."""
+        return len(self.births)
+
+    @property
+    def birth_rounds(self) -> Dict[int, int]:
+        """Packet id -> birth round."""
+        return dict(self.births)
+
+    def arrivals_by_round(self) -> Dict[int, List[int]]:
+        """Birth round -> packet ids born in it (ascending ids)."""
+        per_round: Dict[int, List[int]] = {}
+        for nid, born in self.births:
+            per_round.setdefault(born, []).append(nid)
+        for ids in per_round.values():
+            ids.sort()
+        return per_round
+
+    def to_activation(self) -> Activation:
+        """Compile to the engine's activation format.
+
+        Round-1 births carry no ``wake_rounds`` entry, so a single batch at
+        the start compiles to exactly the :class:`Activation` the one-shot
+        helpers produce — the λ=0 differential test compares them directly.
+        """
+        return Activation(
+            active_ids=sorted(nid for nid, _ in self.births),
+            wake_rounds={nid: born for nid, born in self.births if born > 1},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe) for replayable storage."""
+        return {
+            "schema": 1,
+            "horizon": self.horizon,
+            "births": [[nid, born] for nid, born in self.births],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ArrivalSchedule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            horizon=int(payload["horizon"]),
+            births=tuple((int(nid), int(born)) for nid, born in payload["births"]),
+        )
+
+
+def _schedule_from_counts(horizon: int, counts: Iterable[int]) -> ArrivalSchedule:
+    """Build a schedule from per-round birth counts (round 1 first)."""
+    births: List[Tuple[int, int]] = []
+    next_id = 1
+    for offset, count in enumerate(counts):
+        for _ in range(count):
+            births.append((next_id, offset + 1))
+            next_id += 1
+    return ArrivalSchedule(horizon=horizon, births=tuple(births))
+
+
+def _poisson_draw(rng: random.Random, rate: float) -> int:
+    """One Poisson(rate) variate (Knuth's product method; rate is small)."""
+    if rate <= 0.0:
+        return 0
+    threshold = math.exp(-rate)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+class ArrivalProcess:
+    """Base class: a recipe producing an :class:`ArrivalSchedule`.
+
+    Processes are deterministic functions of ``(seed, horizon)`` — the same
+    pair always reproduces the same schedule, whatever machine or pool the
+    draw happens on (the seed-discipline tests enforce this across
+    ``SweepRunner`` pool sizes).
+    """
+
+    kind: str = "process"
+
+    def schedule(self, *, horizon: int, seed: int = 0) -> ArrivalSchedule:
+        """Materialize the arrival schedule for one run."""
+        raise NotImplementedError
+
+    def _rng(self, horizon: int, seed: int, *components: int) -> random.Random:
+        return random.Random(
+            derive_seed(seed, _ARRIVAL_SALT, horizon, *components)
+        )
+
+
+def _rate_component(rate: float) -> int:
+    """A stable integer encoding of a rate for seed derivation."""
+    return int(round(rate * (1 << 24)))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless traffic: ``Poisson(rate)`` births per round.
+
+    ``initial`` packets are additionally born in round 1 (a starting
+    backlog).  ``rate=0`` with ``initial=k`` is exactly the one-shot model:
+    a single batch of ``k`` packets at the start.
+    """
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, *, initial: int = 0):
+        if rate < 0.0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        if initial < 0:
+            raise ConfigurationError(f"initial must be >= 0, got {initial}")
+        self.rate = float(rate)
+        self.initial = int(initial)
+
+    def schedule(self, *, horizon: int, seed: int = 0) -> ArrivalSchedule:
+        rng = self._rng(horizon, seed, _rate_component(self.rate), self.initial)
+        counts = [
+            _poisson_draw(rng, self.rate) + (self.initial if r == 1 else 0)
+            for r in range(1, horizon + 1)
+        ]
+        if horizon == 0 and self.initial:
+            raise ConfigurationError("initial packets need a horizon >= 1")
+        return _schedule_from_counts(horizon, counts)
+
+
+class BatchArrivals(ArrivalProcess):
+    """Adversarial bursts: ``size`` packets every ``period`` rounds.
+
+    The worst case for backoff-style protocols at a given average rate —
+    the same load as a Poisson stream of rate ``size / period`` but
+    delivered in synchronized batches that maximize instantaneous
+    contention.  Deterministic: the seed is ignored.
+    """
+
+    kind = "batch"
+
+    def __init__(self, size: int, period: int, *, start: int = 1):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if start < 1:
+            raise ConfigurationError(f"start must be >= 1, got {start}")
+        self.size = int(size)
+        self.period = int(period)
+        self.start = int(start)
+
+    def schedule(self, *, horizon: int, seed: int = 0) -> ArrivalSchedule:
+        counts = [
+            self.size
+            if r >= self.start and (r - self.start) % self.period == 0
+            else 0
+            for r in range(1, horizon + 1)
+        ]
+        return _schedule_from_counts(horizon, counts)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A sinusoidally modulated Poisson stream (daily load wave).
+
+    The instantaneous rate in round ``r`` is
+    ``rate * (1 + amplitude * sin(2*pi*(r-1)/period))`` clipped at zero, so
+    the *average* rate stays ``rate`` while peaks reach
+    ``rate * (1 + amplitude)`` — a stream that is stable on average can
+    still build backlog through every crest.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, rate: float, *, amplitude: float = 0.5, period: Optional[int] = None):
+        if rate < 0.0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ConfigurationError(f"amplitude must be in [0, 1], got {amplitude}")
+        if period is not None and period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        self.rate = float(rate)
+        self.amplitude = float(amplitude)
+        self.period = period
+
+    def schedule(self, *, horizon: int, seed: int = 0) -> ArrivalSchedule:
+        period = self.period if self.period is not None else max(2, horizon)
+        rng = self._rng(
+            horizon,
+            seed,
+            _rate_component(self.rate),
+            _rate_component(self.amplitude),
+            period,
+        )
+        counts = []
+        for r in range(1, horizon + 1):
+            wave = 1.0 + self.amplitude * math.sin(2.0 * math.pi * (r - 1) / period)
+            counts.append(_poisson_draw(rng, max(0.0, self.rate * wave)))
+        return _schedule_from_counts(horizon, counts)
+
+
+class ReplayArrivals(ArrivalProcess):
+    """Replay a stored :class:`ArrivalSchedule` verbatim.
+
+    The requested horizon must match the recorded one — a replay is a
+    byte-exact re-run, not a resampling.
+    """
+
+    kind = "replay"
+
+    def __init__(self, schedule: ArrivalSchedule):
+        self._schedule = schedule
+
+    def schedule(self, *, horizon: int, seed: int = 0) -> ArrivalSchedule:
+        if horizon != self._schedule.horizon:
+            raise ConfigurationError(
+                f"replay horizon {horizon} != recorded horizon "
+                f"{self._schedule.horizon}"
+            )
+        return self._schedule
+
+
+def build_process(
+    kind: str,
+    *,
+    rate: float,
+    initial: int = 0,
+    period: int = 0,
+    amplitude: float = 0.5,
+) -> ArrivalProcess:
+    """Construct an arrival process from flat (sweepable) parameters.
+
+    This is the factory the registered ``"arrivals"`` trial and the CLI
+    share, so a sweep cell's parameters fully determine the traffic:
+
+    * ``"poisson"`` — ``PoissonArrivals(rate, initial=initial)``;
+    * ``"batch"`` — bursts of ``max(1, round(rate * period))`` packets every
+      ``period`` rounds (default period 50), i.e. the same average rate
+      delivered adversarially;
+    * ``"diurnal"`` — ``DiurnalArrivals(rate, amplitude, period or None)``.
+    """
+    if kind == "poisson":
+        return PoissonArrivals(rate, initial=initial)
+    if kind == "batch":
+        batch_period = period if period > 0 else 50
+        return BatchArrivals(
+            max(1, int(round(rate * batch_period))), batch_period
+        )
+    if kind == "diurnal":
+        return DiurnalArrivals(
+            rate, amplitude=amplitude, period=period if period > 0 else None
+        )
+    raise ConfigurationError(
+        f"unknown arrival process {kind!r}; known: batch, diurnal, poisson"
+    )
+
+
+class StreamingService:
+    """Adapter running a one-shot protocol as a streaming packet service.
+
+    Duck-typed rather than subclassing
+    :class:`~repro.protocols.base.Protocol` (this module sits *below* the
+    protocol layer in the import graph), but engine-compatible all the
+    same: instances are callable protocol factories with a ``name``.
+
+    Per packet (node), the wrapper:
+
+    * forwards the inner protocol's actions and observations *untouched*
+      while it runs — up to the first service the wrapped execution is
+      bitwise identical to the bare one (the differential suite pins this
+      at λ=0 against the one-shot activation path);
+    * retires the packet at its first solo transmission, emitting the
+      :data:`SERVED_MARK` trace mark that stream accounting is built from;
+    * restarts the inner protocol when it terminates unserved — the retry
+      loop that turns a one-shot protocol into a streaming one (losers of a
+      Decay sweep come back for the next);
+    * gives up at ``deadline`` (an absolute round index), so a saturated
+      stream still ends in a normal engine completion instead of a
+      :class:`~repro.sim.errors.RoundLimitExceeded` that would discard the
+      per-packet marks.
+    """
+
+    def __init__(self, protocol, deadline: int):
+        if deadline < 1:
+            raise ConfigurationError(f"deadline must be >= 1, got {deadline}")
+        self.protocol = protocol
+        self.deadline = deadline
+        self.name = f"stream({getattr(protocol, 'name', type(protocol).__name__)})"
+
+    def __call__(self, ctx: NodeContext) -> ProtocolCoroutine:
+        """Usable directly as an engine protocol factory."""
+        return self.run(ctx)
+
+    def to_round_program(self, network: Network):  # pragma: no cover - guard
+        """Always raises: the retry wrapper is inherently data-dependent."""
+        from ..protocols.ir import LoweringError
+
+        raise LoweringError(
+            "streaming service wrappers have no round-program lowering; "
+            "use a streaming-native protocol for the vec backend"
+        )
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        """The per-packet service loop (see the class docstring)."""
+        while True:
+            inner = self.protocol.run(ctx)
+            try:
+                action = next(inner)
+            except StopIteration:
+                return  # inner refuses to run at all; retry would spin
+            while True:
+                observation = yield action
+                if action.transmit and observation.alone:
+                    ctx.mark(SERVED_MARK, ctx.node_id)
+                    inner.close()
+                    return
+                if observation.round_index >= self.deadline:
+                    inner.close()
+                    return
+                try:
+                    action = inner.send(observation)
+                except StopIteration:
+                    break  # terminated unserved: start a fresh attempt
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one streaming run, with per-packet accounting.
+
+    ``served`` maps packet id to service round; latency is measured in
+    rounds *inclusive* of both birth and service round (a packet served the
+    round it was born has latency 1).  ``backlog`` at round ``r`` counts
+    packets born in or before ``r`` and not yet served by the end of ``r``.
+    """
+
+    schedule: ArrivalSchedule
+    horizon: int
+    deadline: int
+    result: ExecutionResult
+    served: Dict[int, int]
+    backend_used: str = "coroutine"
+    _trajectory: Optional[List[int]] = field(default=None, repr=False)
+
+    @property
+    def injected(self) -> int:
+        return self.schedule.size
+
+    @property
+    def unserved(self) -> List[int]:
+        """Packet ids never served (still backlogged at the end)."""
+        return sorted(nid for nid, _ in self.schedule.births if nid not in self.served)
+
+    @property
+    def latencies(self) -> Dict[int, int]:
+        """Packet id -> service latency in rounds (served packets only)."""
+        births = self.schedule.birth_rounds
+        return {
+            nid: round_index - births[nid] + 1
+            for nid, round_index in self.served.items()
+        }
+
+    def backlog_trajectory(self) -> List[int]:
+        """In-system packet count at the end of each executed round."""
+        if self._trajectory is None:
+            rounds = max(self.result.rounds, self.horizon if self.schedule.size else 0)
+            births: Dict[int, int] = {}
+            for _, born in self.schedule.births:
+                births[born] = births.get(born, 0) + 1
+            services: Dict[int, int] = {}
+            for round_index in self.served.values():
+                services[round_index] = services.get(round_index, 0) + 1
+            backlog = 0
+            trajectory: List[int] = []
+            for r in range(1, rounds + 1):
+                backlog += births.get(r, 0) - services.get(r, 0)
+                trajectory.append(backlog)
+            self._trajectory = trajectory
+        return self._trajectory
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat per-run metrics in the sweep harness's shape.
+
+        Always includes ``"rounds"``; ``"solved"`` means the stream fully
+        drained (every injected packet served), so cell solve rates read as
+        drain rates.  Latency percentiles are nearest-rank over served
+        packets, 0.0 when nothing was served.
+        """
+        latencies = sorted(self.latencies.values())
+        trajectory = self.backlog_trajectory()
+        injected = self.injected
+        served = len(self.served)
+        rounds = self.result.rounds
+        drained = 1.0 if served == injected else 0.0
+        return {
+            "rounds": float(rounds),
+            "injected": float(injected),
+            "served": float(served),
+            "unserved": float(injected - served),
+            "throughput": served / rounds if rounds else 0.0,
+            "latency_mean": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "latency_p50": _nearest_rank(latencies, 0.50),
+            "latency_p95": _nearest_rank(latencies, 0.95),
+            "latency_p99": _nearest_rank(latencies, 0.99),
+            "backlog_final": float(trajectory[-1] if trajectory else 0),
+            "backlog_peak": float(max(trajectory) if trajectory else 0),
+            "backlog_mean": (
+                sum(trajectory) / len(trajectory) if trajectory else 0.0
+            ),
+            "drained": drained,
+            "solved": drained,
+        }
+
+    def fold_into(self, registry) -> None:
+        """Fold this run's stream accounting into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (mergeable across runs
+        and process boundaries like every other registry stream)."""
+        summary = self.metrics()
+        registry.counter("arrivals/injected").inc(summary["injected"])
+        registry.counter("arrivals/served").inc(summary["served"])
+        registry.counter("arrivals/unserved").inc(summary["unserved"])
+        histogram = registry.histogram("arrivals/latency_rounds")
+        for latency in self.latencies.values():
+            histogram.observe(float(latency))
+        registry.gauge("arrivals/backlog_final").set(summary["backlog_final"])
+        registry.gauge("arrivals/backlog_peak").set(summary["backlog_peak"])
+        registry.gauge("arrivals/throughput").set(summary["throughput"])
+
+
+def _nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+def _empty_result() -> ExecutionResult:
+    return ExecutionResult(
+        solved=False,
+        solved_round=None,
+        winner=None,
+        rounds=0,
+        all_terminated=True,
+    )
+
+
+def run_stream(
+    protocol,
+    process: Union[ArrivalProcess, ArrivalSchedule],
+    *,
+    horizon: int,
+    num_channels: int = 1,
+    seed: int = 0,
+    drain: Optional[int] = None,
+    collision_detection: Optional[CollisionDetection] = None,
+    instrument=None,
+    faults=None,
+    backend: str = "coroutine",
+    max_rounds: Optional[int] = None,
+    record_trace: bool = False,
+) -> StreamResult:
+    """Run a protocol against an arrival stream and account per packet.
+
+    Arrivals are injected in ``[1, horizon]``; the run then gets a *drain
+    window* of ``drain`` extra rounds (default: ``horizon``) for the backlog
+    to clear, so subcritical streams end with every coroutine terminated and
+    supercritical ones retire their leftover packets at the deadline.
+
+    Backends: the coroutine backend always works — the protocol is wrapped
+    in :class:`StreamingService` (retry + deadline).  ``backend="vec"``
+    serves streaming-native protocols (``streaming = True`` attribute with a
+    round-program lowering, e.g. ``SawtoothBackoff``) unwrapped on the
+    vectorized engine; anything the lowering cannot express — a wrapped
+    one-shot protocol, fault injection, trace recording, or a stream that
+    fails to drain within the budget — falls back to the coroutine path
+    with a :class:`~repro.sim.vec.VecFallbackWarning`.
+
+    Faults and hardening compose: ``faults=`` is forwarded to the engine,
+    and a hardened protocol (``repro.robust.harden``) can be passed directly
+    as ``protocol``.
+    """
+    if horizon < 0:
+        raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+    schedule = (
+        process
+        if isinstance(process, ArrivalSchedule)
+        else process.schedule(horizon=horizon, seed=seed)
+    )
+    if schedule.size == 0:
+        return StreamResult(
+            schedule=schedule,
+            horizon=horizon,
+            deadline=horizon,
+            result=_empty_result(),
+            served={},
+        )
+
+    drain_window = drain if drain is not None else horizon
+    if drain_window < 0:
+        raise ConfigurationError(f"drain must be >= 0, got {drain_window}")
+    deadline = max(1, horizon + drain_window)
+    budget = max_rounds if max_rounds is not None else deadline + 1
+
+    network = Network(
+        n=schedule.size,
+        num_channels=num_channels,
+        collision_detection=collision_detection or CollisionDetection.STRONG,
+    )
+    activation = schedule.to_activation()
+    engine = Engine(network, seed=seed, record_trace=record_trace)
+
+    if backend == "vec":
+        from .vec import VecFallbackWarning  # may raise the clean ImportError
+
+        name = getattr(protocol, "name", type(protocol).__name__)
+        reason: Optional[str] = None
+        if faults is not None:
+            reason = "fault injection requires the coroutine backend"
+        elif record_trace:
+            reason = "record_trace requires the coroutine backend"
+        elif not getattr(protocol, "streaming", False):
+            reason = (
+                "only streaming-native protocols (self-terminating on "
+                "service) can run unwrapped on the vec backend"
+            )
+        else:
+            from ..protocols.ir import LoweringError
+
+            lower = getattr(protocol, "to_round_program", None)
+            if lower is None:
+                reason = (
+                    "the protocol has no round-program lowering (to_round_program)"
+                )
+            else:
+                try:
+                    lower(network)
+                except LoweringError as error:
+                    reason = f"lowering failed: {error}"
+        if reason is None:
+            try:
+                result = engine.run(
+                    protocol,
+                    active_ids=activation.active_ids,
+                    wake_rounds=activation.wake_rounds,
+                    max_rounds=budget,
+                    stop_on_solve=False,
+                    instrument=instrument,
+                    backend="vec",
+                )
+            except RoundLimitExceeded:
+                reason = (
+                    f"stream did not drain within {budget} rounds; "
+                    "rerunning with the deadline-aware coroutine wrapper"
+                )
+            else:
+                if engine.used_backend == "vec":
+                    return _stream_result(
+                        schedule, horizon, deadline, result, backend_used="vec"
+                    )
+                reason = "the vec backend declined the run"
+        warnings.warn(VecFallbackWarning(name, reason), stacklevel=2)
+
+    wrapped = StreamingService(protocol, deadline)
+    result = engine.run(
+        wrapped,
+        active_ids=activation.active_ids,
+        wake_rounds=activation.wake_rounds,
+        max_rounds=budget,
+        stop_on_solve=False,
+        instrument=instrument,
+        faults=faults,
+    )
+    return _stream_result(schedule, horizon, deadline, result)
+
+
+def _stream_result(
+    schedule: ArrivalSchedule,
+    horizon: int,
+    deadline: int,
+    result: ExecutionResult,
+    *,
+    backend_used: str = "coroutine",
+) -> StreamResult:
+    served: Dict[int, int] = {}
+    for mark in result.trace.marks_with_label(SERVED_MARK):
+        if mark.payload not in served:
+            served[mark.payload] = mark.round_index
+    return StreamResult(
+        schedule=schedule,
+        horizon=horizon,
+        deadline=deadline,
+        result=result,
+        served=served,
+        backend_used=backend_used,
+    )
+
+
+def arrival_trial(
+    seed: int,
+    *,
+    protocol: str,
+    C: int,
+    rate: float,
+    horizon: int,
+    process: str = "poisson",
+    initial: int = 0,
+    period: int = 0,
+    amplitude: float = 0.5,
+    model: Optional[str] = None,
+    intensity: float = 0.0,
+    backend: str = "coroutine",
+) -> Mapping[str, float]:
+    """One seeded streaming run as a flat sweep trial.
+
+    Registered as the ``"arrivals"`` trial
+    (:mod:`repro.analysis.parallel`), so λ × protocol × fault grids run on
+    the standard :class:`~repro.analysis.runner.SweepRunner` with
+    checkpointing and bitwise pool-size independence.
+    """
+    from ..experiments.common import make_protocol
+
+    faults = None
+    if model is not None:
+        from ..faults import plan_for
+
+        faults = plan_for(model, intensity)
+    stream = run_stream(
+        make_protocol(protocol),
+        build_process(
+            process, rate=rate, initial=initial, period=period, amplitude=amplitude
+        ),
+        horizon=horizon,
+        num_channels=C,
+        seed=seed,
+        faults=faults,
+        backend=backend,
+    )
+    return stream.metrics()

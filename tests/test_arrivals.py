@@ -1,0 +1,334 @@
+"""Unit tests for the continuous-traffic arrival layer (repro.sim.arrivals).
+
+Covers the schedule container, the four arrival processes, the streaming
+service wrapper's retry/deadline semantics, per-packet stream accounting,
+metrics-registry folding, and the interaction with faults and hardening.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.stability import (
+    StabilityEstimate,
+    estimate_boundary,
+    leftover_fraction,
+)
+from repro.baselines import Decay, SawtoothBackoff, sawtooth_schedule
+from repro.obs import MetricsRegistry
+from repro.sim.arrivals import (
+    SERVED_MARK,
+    ArrivalSchedule,
+    BatchArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    StreamingService,
+    build_process,
+    run_stream,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class TestArrivalSchedule:
+    def test_round_trip_through_dict(self):
+        schedule = ArrivalSchedule(horizon=10, births=((1, 1), (2, 4), (3, 4)))
+        assert ArrivalSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_arrivals_by_round_groups_and_sorts(self):
+        schedule = ArrivalSchedule(horizon=5, births=((2, 3), (1, 3), (3, 5)))
+        assert schedule.arrivals_by_round() == {3: [1, 2], 5: [3]}
+
+    def test_to_activation_omits_round_one_wakes(self):
+        schedule = ArrivalSchedule(horizon=5, births=((1, 1), (2, 1), (3, 4)))
+        activation = schedule.to_activation()
+        assert activation.active_ids == [1, 2, 3]
+        assert activation.wake_rounds == {3: 4}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": -1, "births": ()},
+            {"horizon": 5, "births": ((0, 1),)},
+            {"horizon": 5, "births": ((1, 1), (1, 2))},
+            {"horizon": 5, "births": ((1, 6),)},
+            {"horizon": 5, "births": ((1, 0),)},
+        ],
+    )
+    def test_invalid_schedules_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule(**kwargs)
+
+
+class TestArrivalProcesses:
+    def test_poisson_is_deterministic_per_seed(self):
+        process = PoissonArrivals(0.3)
+        one = process.schedule(horizon=200, seed=9)
+        two = process.schedule(horizon=200, seed=9)
+        other = process.schedule(horizon=200, seed=10)
+        assert one == two
+        assert one != other
+
+    def test_poisson_mean_tracks_rate(self):
+        process = PoissonArrivals(0.25)
+        total = sum(
+            process.schedule(horizon=400, seed=s).size for s in range(20)
+        )
+        mean_rate = total / (20 * 400)
+        assert 0.2 < mean_rate < 0.3
+
+    def test_poisson_initial_packets_born_in_round_one(self):
+        schedule = PoissonArrivals(0.0, initial=4).schedule(horizon=10, seed=0)
+        assert schedule.size == 4
+        assert all(born == 1 for _, born in schedule.births)
+
+    def test_batch_is_deterministic_and_periodic(self):
+        schedule = BatchArrivals(3, 10).schedule(horizon=25, seed=123)
+        assert schedule.arrivals_by_round() == {
+            1: [1, 2, 3],
+            11: [4, 5, 6],
+            21: [7, 8, 9],
+        }
+        # Seed-independent by design (adversarial pattern, not a sample).
+        assert schedule == BatchArrivals(3, 10).schedule(horizon=25, seed=999)
+
+    def test_diurnal_average_rate_matches_flat_rate(self):
+        flat = sum(
+            PoissonArrivals(0.3).schedule(horizon=300, seed=s).size
+            for s in range(20)
+        )
+        wavy = sum(
+            DiurnalArrivals(0.3, amplitude=1.0, period=50)
+            .schedule(horizon=300, seed=s)
+            .size
+            for s in range(20)
+        )
+        assert abs(flat - wavy) / flat < 0.2
+
+    def test_replay_reproduces_and_checks_horizon(self):
+        original = PoissonArrivals(0.2).schedule(horizon=50, seed=3)
+        replay = ReplayArrivals(original)
+        assert replay.schedule(horizon=50, seed=12345) == original
+        with pytest.raises(ConfigurationError):
+            replay.schedule(horizon=51)
+
+    def test_build_process_factory(self):
+        assert isinstance(build_process("poisson", rate=0.1), PoissonArrivals)
+        batch = build_process("batch", rate=0.1, period=20)
+        assert isinstance(batch, BatchArrivals)
+        assert batch.size == 2 and batch.period == 20
+        assert isinstance(
+            build_process("diurnal", rate=0.1, amplitude=0.3), DiurnalArrivals
+        )
+        with pytest.raises(ConfigurationError):
+            build_process("bursty", rate=0.1)
+
+
+class TestSawtoothBackoff:
+    def test_schedule_shape(self):
+        assert sawtooth_schedule(3) == (
+            0.5,
+            0.5,
+            0.25,
+            0.5,
+            0.25,
+            0.125,
+        )
+
+    def test_marks_protocol_as_streaming(self):
+        protocol = SawtoothBackoff()
+        assert protocol.streaming is True
+        assert protocol.name == "sawtooth-backoff"
+
+
+class TestRunStream:
+    def test_empty_schedule_yields_empty_result(self):
+        stream = run_stream(SawtoothBackoff(), PoissonArrivals(0.0), horizon=20)
+        assert stream.injected == 0
+        assert stream.served == {}
+        metrics = stream.metrics()
+        assert metrics["rounds"] == 0.0
+        assert metrics["drained"] == 1.0
+
+    def test_light_stream_fully_drains(self):
+        stream = run_stream(
+            SawtoothBackoff(), PoissonArrivals(0.05), horizon=200, seed=2
+        )
+        assert stream.injected > 0
+        assert stream.unserved == []
+        assert stream.metrics()["drained"] == 1.0
+
+    def test_one_shot_protocol_streams_via_retry(self):
+        stream = run_stream(Decay(), PoissonArrivals(0.1), horizon=150, seed=4)
+        assert stream.injected > 0
+        assert stream.unserved == []
+
+    def test_latency_counts_birth_and_service_rounds(self):
+        schedule = ArrivalSchedule(horizon=5, births=((1, 2),))
+        stream = run_stream(SawtoothBackoff(), schedule, horizon=5, seed=0)
+        assert stream.served[1] >= 2
+        assert stream.latencies[1] == stream.served[1] - 2 + 1
+
+    def test_backlog_trajectory_conserves_packets(self):
+        stream = run_stream(
+            SawtoothBackoff(), PoissonArrivals(0.2), horizon=120, seed=5
+        )
+        trajectory = stream.backlog_trajectory()
+        assert trajectory[-1] == stream.injected - len(stream.served)
+        assert min(trajectory) >= 0
+
+    def test_saturated_stream_retires_at_deadline(self):
+        """A supercritical stream must end normally, not blow the budget."""
+        stream = run_stream(
+            Decay(), BatchArrivals(6, 5), horizon=60, drain=20, seed=1
+        )
+        assert stream.result.rounds <= stream.deadline + 1
+        metrics = stream.metrics()
+        assert metrics["unserved"] > 0
+        assert metrics["drained"] == 0.0
+
+    def test_metrics_keys_are_sweep_shaped(self):
+        metrics = run_stream(
+            SawtoothBackoff(), PoissonArrivals(0.1), horizon=80, seed=6
+        ).metrics()
+        for key in (
+            "rounds",
+            "injected",
+            "served",
+            "unserved",
+            "throughput",
+            "latency_mean",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "backlog_final",
+            "backlog_peak",
+            "backlog_mean",
+            "drained",
+            "solved",
+        ):
+            assert key in metrics
+            assert isinstance(metrics[key], float)
+
+    def test_fold_into_registry(self):
+        stream = run_stream(
+            SawtoothBackoff(), PoissonArrivals(0.1), horizon=100, seed=7
+        )
+        registry = MetricsRegistry()
+        stream.fold_into(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["arrivals/injected"] == stream.injected
+        assert snapshot["counters"]["arrivals/served"] == len(stream.served)
+        assert snapshot["histograms"]["arrivals/latency_rounds"]["count"] == len(
+            stream.served
+        )
+
+    def test_faults_compose_with_streams(self):
+        from repro.faults import plan_for
+
+        stream = run_stream(
+            Decay(),
+            PoissonArrivals(0.05),
+            horizon=120,
+            seed=8,
+            faults=plan_for("jamming", 0.2),
+        )
+        assert stream.injected >= 0
+        assert len(stream.served) <= stream.injected
+
+    def test_hardened_protocol_streams(self):
+        from repro.robust import harden
+
+        stream = run_stream(
+            harden(Decay()), PoissonArrivals(0.05), horizon=120, seed=9
+        )
+        assert stream.unserved == []
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_stream(SawtoothBackoff(), PoissonArrivals(0.1), horizon=-1)
+
+
+class TestStreamingServiceSemantics:
+    def test_deadline_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingService(Decay(), deadline=0)
+
+    def test_wrapper_emits_one_mark_per_packet(self):
+        stream = run_stream(
+            Decay(), PoissonArrivals(0.1), horizon=100, seed=11
+        )
+        marks = stream.result.trace.marks_with_label(SERVED_MARK)
+        assert len(marks) == len(stream.served)
+        assert {m.payload for m in marks} == set(stream.served)
+
+
+class TestStability:
+    def test_leftover_fraction_and_boundary(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        fractions = [0.0, 0.01, 0.2, 0.5]
+        boundary = estimate_boundary(rates, fractions, threshold=0.05)
+        # Crossing between 0.2 (0.01) and 0.3 (0.2): linear interpolation.
+        expected = 0.2 + (0.05 - 0.01) / (0.2 - 0.01) * 0.1
+        assert boundary == pytest.approx(expected)
+
+    def test_all_stable_has_no_boundary(self):
+        assert estimate_boundary([0.1, 0.2], [0.0, 0.0]) is None
+
+    def test_estimate_is_order_insensitive(self):
+        a = estimate_boundary([0.3, 0.1, 0.2], [0.2, 0.0, 0.01])
+        b = estimate_boundary([0.1, 0.2, 0.3], [0.0, 0.01, 0.2])
+        assert a == b
+
+    def test_stable_rates_property(self):
+        estimate = StabilityEstimate(
+            rates=(0.1, 0.2, 0.3),
+            fractions=(0.0, 0.01, 0.2),
+            threshold=0.05,
+            boundary=estimate_boundary(
+                [0.1, 0.2, 0.3], [0.0, 0.01, 0.2], threshold=0.05
+            ),
+        )
+        assert estimate.stable_rates == (0.1, 0.2)
+        assert estimate.boundary is not None
+
+    def test_empirical_boundary_is_measurable(self):
+        """A λ-sweep on one channel must locate a finite stability boundary
+        for both a streaming-native protocol and a retry-wrapped one-shot
+        protocol: a single transmitter can serve at most one packet per
+        round, so rates near 1 are necessarily supercritical."""
+
+        def fractions(protocol_factory, rates):
+            out = []
+            for rate in rates:
+                stream = run_stream(
+                    protocol_factory(),
+                    PoissonArrivals(rate),
+                    horizon=150,
+                    seed=21,
+                )
+                out.append(
+                    (stream.injected - len(stream.served))
+                    / max(1, stream.injected)
+                )
+            return out
+
+        rates = [0.05, 0.15, 0.3, 0.45, 0.6]
+        for factory in (SawtoothBackoff, Decay):
+            boundary = estimate_boundary(rates, fractions(factory, rates))
+            assert boundary is not None
+            assert rates[0] <= boundary <= rates[-1]
+        assert math.isfinite(rates[-1])  # sweep covered a supercritical rate
+
+    def test_leftover_fraction_from_cell(self):
+        class FakeCell:
+            trials = [
+                {"injected": 10.0, "unserved": 1.0},
+                {"injected": 0.0, "unserved": 0.0},
+            ]
+
+            def metric(self, name):
+                return [trial[name] for trial in self.trials]
+
+        # The empty-injection trial contributes 0, not a division error.
+        assert leftover_fraction(FakeCell()) == pytest.approx(0.05)

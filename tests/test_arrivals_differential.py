@@ -1,0 +1,197 @@
+"""Differential suite for the arrival layer.
+
+Two equivalences are pinned here:
+
+* **λ=0 is the one-shot model, bitwise.**  A rate-zero stream with ``k``
+  initial packets compiles to the *same* :class:`Activation` the one-shot
+  helpers build, so the engine — same seed, same protocol, same backend —
+  produces byte-identical executions.  This is the property that lets the
+  arrival layer reuse the existing activation path instead of adding a
+  second injection mechanism.
+
+* **Vec and coroutine streaming agree.**  For streaming-native protocols
+  the vectorized backend serves the stream unwrapped; its per-packet service
+  rounds (IR ``mark_node_id`` marks) must equal the coroutine wrapper's
+  :data:`SERVED_MARK` accounting exactly.  Anything the lowering cannot
+  express falls back with a :class:`VecFallbackWarning` and still returns
+  correct results.
+"""
+
+import warnings
+
+import pytest
+
+from repro.baselines import Decay, SawtoothBackoff
+from repro.protocols import solve
+from repro.sim import Activation
+from repro.sim.arrivals import (
+    ArrivalSchedule,
+    BatchArrivals,
+    PoissonArrivals,
+    run_stream,
+)
+from repro.sim.serialize import result_to_dict
+
+
+class TestLambdaZeroBitwise:
+    """Rate 0 + initial batch == the existing one-shot activation path."""
+
+    def test_activation_object_is_identical(self):
+        schedule = PoissonArrivals(0.0, initial=6).schedule(horizon=40, seed=3)
+        compiled = schedule.to_activation()
+        oneshot = Activation(active_ids=[1, 2, 3, 4, 5, 6])
+        assert compiled.active_ids == oneshot.active_ids
+        assert compiled.wake_rounds == oneshot.wake_rounds == {}
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    @pytest.mark.parametrize("initial", [1, 5, 12])
+    def test_execution_is_bitwise_identical(self, seed, initial):
+        schedule = PoissonArrivals(0.0, initial=initial).schedule(
+            horizon=60, seed=seed
+        )
+        via_arrivals = solve(
+            SawtoothBackoff(),
+            n=initial,
+            num_channels=1,
+            activation=schedule.to_activation(),
+            seed=seed,
+            stop_on_solve=False,
+            record_trace=True,
+        )
+        via_oneshot = solve(
+            SawtoothBackoff(),
+            n=initial,
+            num_channels=1,
+            activation=Activation(active_ids=list(range(1, initial + 1))),
+            seed=seed,
+            stop_on_solve=False,
+            record_trace=True,
+        )
+        assert result_to_dict(via_arrivals) == result_to_dict(via_oneshot)
+
+    def test_wrapper_preserves_prefix_until_first_service(self):
+        """Up to the first solo, the StreamingService wrapper forwards the
+        inner protocol's actions untouched: the channel history of the
+        wrapped run must be a prefix-equal match of the bare run through the
+        solving round."""
+        initial = 8
+        seed = 5
+        activation = Activation(active_ids=list(range(1, initial + 1)))
+        bare = solve(
+            Decay(),
+            n=initial,
+            num_channels=1,
+            activation=activation,
+            seed=seed,
+            stop_on_solve=True,
+            record_trace=True,
+        )
+        schedule = ArrivalSchedule(
+            horizon=1, births=tuple((i, 1) for i in range(1, initial + 1))
+        )
+        stream = run_stream(
+            Decay(), schedule, horizon=1, drain=300, seed=seed, record_trace=True
+        )
+        assert bare.solved
+        solved_round = bare.solved_round
+        bare_detail = [
+            r
+            for r in result_to_dict(bare)["rounds_detail"]
+            if r["round"] <= solved_round
+        ]
+        stream_detail = [
+            r
+            for r in result_to_dict(stream.result)["rounds_detail"]
+            if r["round"] <= solved_round
+        ]
+        assert bare_detail == stream_detail
+        # The first service is the bare run's solving round and winner.
+        first = min(stream.served.items(), key=lambda item: item[1])
+        assert first[1] == solved_round
+        assert first[0] == bare.winner
+
+
+class TestVecStreamParity:
+    @pytest.fixture(autouse=True)
+    def _numpy_required(self):
+        pytest.importorskip("numpy")
+
+    @pytest.mark.parametrize("seed", [1, 7, 19])
+    @pytest.mark.parametrize("rate", [0.05, 0.15])
+    def test_vec_serves_streaming_native_identically(self, seed, rate):
+        process = PoissonArrivals(rate)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any fallback fails the test
+            vec = run_stream(
+                SawtoothBackoff(),
+                process,
+                horizon=200,
+                seed=seed,
+                backend="vec",
+            )
+        coroutine = run_stream(
+            SawtoothBackoff(), process, horizon=200, seed=seed
+        )
+        assert vec.backend_used == "vec"
+        assert vec.served == coroutine.served
+        assert vec.result.rounds == coroutine.result.rounds
+        assert vec.metrics() == coroutine.metrics()
+
+    def test_batch_arrivals_on_vec(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            vec = run_stream(
+                SawtoothBackoff(),
+                BatchArrivals(3, 40),
+                horizon=160,
+                seed=2,
+                backend="vec",
+            )
+        coroutine = run_stream(
+            SawtoothBackoff(), BatchArrivals(3, 40), horizon=160, seed=2
+        )
+        assert vec.backend_used == "vec"
+        assert vec.served == coroutine.served
+
+    def test_one_shot_protocol_falls_back_with_warning(self):
+        from repro.sim.vec import VecFallbackWarning
+
+        with pytest.warns(VecFallbackWarning, match="streaming-native"):
+            stream = run_stream(
+                Decay(),
+                PoissonArrivals(0.05, initial=2),
+                horizon=100,
+                seed=3,
+                backend="vec",
+            )
+        assert stream.backend_used == "coroutine"
+        assert stream.unserved == []
+
+    def test_faults_fall_back_with_warning(self):
+        from repro.faults import plan_for
+        from repro.sim.vec import VecFallbackWarning
+
+        with pytest.warns(VecFallbackWarning, match="fault injection"):
+            stream = run_stream(
+                SawtoothBackoff(),
+                PoissonArrivals(0.05, initial=2),
+                horizon=100,
+                seed=4,
+                backend="vec",
+                faults=plan_for("jamming", 0.1),
+            )
+        assert stream.backend_used == "coroutine"
+
+    def test_record_trace_falls_back_with_warning(self):
+        from repro.sim.vec import VecFallbackWarning
+
+        with pytest.warns(VecFallbackWarning, match="record_trace"):
+            stream = run_stream(
+                SawtoothBackoff(),
+                PoissonArrivals(0.05, initial=2),
+                horizon=100,
+                seed=5,
+                backend="vec",
+                record_trace=True,
+            )
+        assert stream.backend_used == "coroutine"

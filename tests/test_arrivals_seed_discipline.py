@@ -1,0 +1,164 @@
+"""Seed discipline for arrival streams, and budget-exhaustion accounting.
+
+Arrival schedules are pure functions of ``(process params, horizon, seed)``,
+so a sweep over (λ × protocol × faults) must be bitwise-reproducible however
+it is executed: serial, one worker, many workers, or resumed from a
+checkpoint.  These tests pin that, plus one engine regression: when a stream
+keeps nodes busy through the whole round budget, instrumentation sinks must
+still receive their terminal ``RunSummary(solved=False)`` *before*
+``RoundLimitExceeded`` propagates.
+"""
+
+import pytest
+
+from repro.analysis.parallel import registered_trials
+from repro.analysis.runner import SweepRunner
+from repro.analysis.sweep import grid_product
+from repro.baselines import Decay, SawtoothBackoff
+from repro.obs import EventLog
+from repro.sim.arrivals import (
+    BatchArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_trial,
+    run_stream,
+)
+from repro.sim.errors import RoundLimitExceeded
+
+GRID = list(
+    grid_product(
+        protocol=["sawtooth-backoff", "decay"],
+        rate=[0.05, 0.2],
+    )
+)
+for _cell in GRID:
+    _cell.update(C=1, horizon=80)
+
+
+def _trials(sweep):
+    return [
+        (tuple(sorted(cell.params.items())), [dict(t) for t in cell.trials])
+        for cell in sweep.cells
+    ]
+
+
+class TestArrivalsTrialRegistration:
+    def test_trial_is_registered(self):
+        assert "arrivals" in registered_trials()
+
+    def test_trial_returns_sweep_shaped_metrics(self):
+        metrics = arrival_trial(
+            3, protocol="sawtooth-backoff", C=1, rate=0.1, horizon=60
+        )
+        assert "rounds" in metrics
+        assert "unserved" in metrics
+        assert "injected" in metrics
+
+
+class TestScheduleSeedDiscipline:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonArrivals(0.15),
+            PoissonArrivals(0.0, initial=5),
+            BatchArrivals(2, 9),
+            DiurnalArrivals(0.2, amplitude=0.8, period=30),
+        ],
+        ids=["poisson", "poisson-initial", "batch", "diurnal"],
+    )
+    def test_same_seed_same_schedule(self, process):
+        assert process.schedule(horizon=120, seed=13) == process.schedule(
+            horizon=120, seed=13
+        )
+
+    def test_schedule_independent_of_engine_seed_usage(self):
+        """The schedule draw is domain-separated from the engine's node
+        RNGs: running a stream must not perturb a later schedule draw."""
+        process = PoissonArrivals(0.1)
+        before = process.schedule(horizon=100, seed=17)
+        run_stream(SawtoothBackoff(), process, horizon=100, seed=17)
+        run_stream(Decay(), process, horizon=100, seed=17)
+        assert process.schedule(horizon=100, seed=17) == before
+
+    def test_distinct_rates_decorrelate(self):
+        """Nearby rates must not replay the same uniform stream."""
+        a = PoissonArrivals(0.100).schedule(horizon=400, seed=3)
+        b = PoissonArrivals(0.101).schedule(horizon=400, seed=3)
+        assert a.births != b.births
+
+
+class TestSweepRunnerPoolInvariance:
+    def test_pool_size_does_not_change_results(self):
+        with SweepRunner(processes=1) as one:
+            serial = one.run_grid("arrivals", GRID, trials=3, master_seed=5)
+        with SweepRunner(processes=2) as two:
+            parallel = two.run_grid("arrivals", GRID, trials=3, master_seed=5)
+        assert _trials(serial) == _trials(parallel)
+        assert all(not cell.failures for cell in serial.cells)
+
+    def test_master_seed_changes_trials(self):
+        with SweepRunner(processes=1) as runner:
+            a = runner.run_grid("arrivals", GRID[:1], trials=3, master_seed=5)
+            b = runner.run_grid("arrivals", GRID[:1], trials=3, master_seed=6)
+        assert _trials(a) != _trials(b)
+
+    def test_checkpoint_resume_is_bitwise(self, tmp_path):
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path / "ckpt")
+        ) as first:
+            original = first.run_grid("arrivals", GRID, trials=2, master_seed=9)
+        # Second runner resumes entirely from the checkpoint store.
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path / "ckpt")
+        ) as second:
+            resumed = second.run_grid("arrivals", GRID, trials=2, master_seed=9)
+        assert _trials(original) == _trials(resumed)
+
+
+class _AlwaysTransmit:
+    """Degenerate protocol: every packet transmits every round.
+
+    With batches of simultaneous births nothing is ever alone, so no packet
+    is ever served and no round solves — the stream is guaranteed to exhaust
+    any budget.
+    """
+
+    name = "always-transmit"
+
+    def run(self, ctx):
+        from repro.sim.actions import Action
+
+        action = Action(channel=1, transmit=True)
+        while True:
+            yield action
+
+
+class TestBudgetExhaustionAccounting:
+    def test_terminal_summary_delivered_before_round_limit_exceeded(self):
+        """A stream that stays busy (and unsolved) through the whole round
+        budget must deliver the failure summary to sinks, then raise."""
+        log = EventLog()
+        with pytest.raises(RoundLimitExceeded):
+            run_stream(
+                _AlwaysTransmit(),
+                BatchArrivals(5, 4),
+                horizon=200,
+                drain=100,
+                seed=1,
+                max_rounds=30,
+                instrument=log,
+            )
+        assert log.summary is not None
+        assert log.summary.solved is False
+        assert log.summary.rounds == 30
+        assert log.info is not None
+        assert len(log.events) == 30
+
+    def test_default_budget_avoids_round_limit_exceeded(self):
+        """With the deadline-aware wrapper and the default budget, even a
+        hopelessly saturated stream ends in a normal completion."""
+        stream = run_stream(
+            Decay(), BatchArrivals(5, 4), horizon=120, drain=40, seed=1
+        )
+        assert stream.metrics()["unserved"] > 0
+        assert stream.result.rounds <= stream.deadline + 1

@@ -33,7 +33,11 @@ class TestBenchmarkConventions:
 
     #: Substrate-timing modules (engine / sweep-orchestration throughput),
     #: not reproductions — exempt from the "Reproduces" docstring gate.
-    SUBSTRATE_BENCHES = {"bench_engine_throughput.py", "bench_sweep_runner.py"}
+    SUBSTRATE_BENCHES = {
+        "bench_arrivals.py",
+        "bench_engine_throughput.py",
+        "bench_sweep_runner.py",
+    }
 
     def test_docstrings_state_what_is_reproduced(self):
         for path, source in bench_sources():

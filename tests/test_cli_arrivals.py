@@ -1,0 +1,119 @@
+"""CLI ``repro arrivals``: golden JSONL output and exit-code contract.
+
+The arrivals subcommand's ``--jsonl`` export is a public format (the nightly
+soak and the experiment notebooks read it), so its deterministic content is
+pinned against a golden file the same way the profile/sweep exports are in
+``test_cli_backend.py``.  The export contains no wall-time fields by design,
+so the golden comparison is byte-level record equality with no
+canonicalization step.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN = DATA / "golden_arrivals_sweep_s1.jsonl"
+
+ARGS = [
+    "arrivals",
+    "--protocols", "sawtooth-backoff", "decay",
+    "--rates", "0.05", "0.3",
+    "--horizon", "120",
+    "--trials", "2",
+    "--seed", "1",
+    "--processes", "1",
+]
+
+
+def _read_jsonl(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def _run(tmp_path, extra=()):
+    path = tmp_path / "arrivals.jsonl"
+    assert main(ARGS + list(extra) + ["--jsonl", str(path)]) == 0
+    return _read_jsonl(path)
+
+
+class TestArrivalsGolden:
+    def test_jsonl_matches_golden(self, tmp_path, capsys):
+        records = _run(tmp_path)
+        capsys.readouterr()
+        assert records == _read_jsonl(GOLDEN)
+
+    def test_jsonl_is_reproducible(self, tmp_path, capsys):
+        first = _run(tmp_path)
+        second = _run(tmp_path)
+        capsys.readouterr()
+        assert first == second
+
+    def test_record_schema(self, tmp_path, capsys):
+        records = _run(tmp_path)
+        capsys.readouterr()
+        meta = [r for r in records if r["type"] == "meta"]
+        cells = [r for r in records if r["type"] == "cell"]
+        stability = [r for r in records if r["type"] == "stability"]
+        assert len(meta) == 1
+        assert meta[0]["master_seed"] == 1
+        assert len(cells) == 4  # 2 protocols x 2 rates
+        assert len(stability) == 2  # one per protocol
+        for cell in cells:
+            assert len(cell["trials"]) == 2
+            for trial in cell["trials"]:
+                assert trial["served"] + trial["unserved"] == trial["injected"]
+        for record in stability:
+            assert record["threshold"] == 0.05
+            assert len(record["rates"]) == len(record["leftover_fractions"]) == 2
+
+
+class TestArrivalsCliContract:
+    def test_table_and_boundary_printed(self, tmp_path, capsys):
+        _run(tmp_path)
+        out = capsys.readouterr().out
+        assert "steady-state metrics" in out
+        assert "throughput" in out
+        assert "sawtooth-backoff:" in out
+        assert "decay:" in out
+
+    def test_unknown_protocol_is_a_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["arrivals", "--protocols", "bogus", "--trials", "1"])
+        capsys.readouterr()
+        assert "unknown protocol" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["--trials", "0"],
+            ["--horizon", "0"],
+            ["--rates", "-0.1"],
+        ],
+    )
+    def test_invalid_arguments_exit_cleanly(self, args, capsys):
+        with pytest.raises(SystemExit):
+            main(["arrivals"] + args)
+        capsys.readouterr()
+
+    def test_batch_process_runs(self, tmp_path, capsys):
+        records = _run(tmp_path, extra=["--process", "batch", "--period", "20"])
+        capsys.readouterr()
+        assert all(
+            r["params"]["process"] == "batch"
+            for r in records
+            if r["type"] == "cell"
+        )
+
+    def test_fault_model_forwarded_to_cells(self, tmp_path, capsys):
+        records = _run(
+            tmp_path, extra=["--model", "jamming", "--intensity", "0.1"]
+        )
+        capsys.readouterr()
+        for record in records:
+            if record["type"] == "cell":
+                assert record["params"]["model"] == "jamming"
+                assert record["params"]["intensity"] == 0.1

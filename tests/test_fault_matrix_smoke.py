@@ -1,0 +1,63 @@
+"""Fault-matrix smoke: one bare and one hardened run per fault family.
+
+This used to live as an inline heredoc in the CI workflow, where a failure
+printed a bare traceback with no test identity and the code was invisible to
+linters and local runs.  As a pytest module the same matrix runs everywhere
+(`pytest tests/test_fault_matrix_smoke.py`), parametrized per fault model.
+
+The contract is asymmetric on purpose: a *bare* run under heavy faults may
+fail or even crash (that is what the fault models are for), but the
+*hardened* combinator stack must still solve every family at the same
+intensity.
+"""
+
+import pytest
+
+from repro import FNWGeneral, solve
+from repro.faults import plan_for
+from repro.robust import solve_hardened
+from repro.sim import activate_random
+
+FAULT_MODELS = ("jamming", "cd-noise", "churn")
+INTENSITY = 0.4
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS)
+def test_hardened_solves_under_fault_model(model):
+    activation = activate_random(64, 8, seed=7)
+    result = solve_hardened(
+        FNWGeneral(),
+        faults=plan_for(model, INTENSITY),
+        n=64,
+        num_channels=8,
+        activation=activation,
+        seed=7,
+        max_rounds=2000,
+    )
+    assert result.solved, f"hardened run failed under {model}"
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS)
+def test_bare_run_completes_or_fails_cleanly(model):
+    """A bare run may fail to solve, but must not corrupt the engine: any
+    outcome other than a normal result must surface as an exception, and a
+    normal result must carry consistent solve fields."""
+    activation = activate_random(64, 8, seed=7)
+    try:
+        result = solve(
+            FNWGeneral(),
+            n=64,
+            num_channels=8,
+            activation=activation,
+            seed=7,
+            max_rounds=2000,
+            faults=plan_for(model, INTENSITY),
+        )
+    except Exception:
+        return  # a loud failure is an acceptable bare-run outcome
+    if result.solved:
+        assert result.winner is not None
+        assert result.solved_round is not None
+        assert result.solved_round <= result.rounds
+    else:
+        assert result.winner is None
