@@ -1,0 +1,82 @@
+"""E22 — the CD-quality crossover atlas at benchmark scale.
+
+Reproduces the crossover verdicts of the atlas experiment
+(``repro.experiments.crossover_atlas``): the no-CD baseline zoo
+(Bender–Kuszmaul-style backoff, De Marco–Kowalski–Stachowiak non-adaptive
+schedules) posts *identical* columns at every collision-detection quality
+— the benchmark-level echo of the bitwise CD-blindness differential —
+while the CD protocols degrade as their feedback is noised and removed,
+so a crossover frontier resolves at every swept ``(n, C)`` coordinate.
+
+The ``atlas_minigrid`` workload feeds the same sweep into the CI
+regression guard (``check_regression.py`` + ``BENCH_baseline.json``), so
+the atlas pipeline's cost — registered-trial dispatch, paired per-quality
+sweeps, fault-plan construction per trial — is gated like the engine
+workloads.
+"""
+
+from conftest import run_once
+
+from repro.experiments import crossover_atlas
+
+#: CI-sized grid: 3 protocols x 1 n x 2 C x 2 qualities, 3 trials/cell.
+_MINI = crossover_atlas.Config(
+    protocols=("decay", "bk-backoff", "dmks-nonadaptive"),
+    ns=(16,),
+    channels=(1, 2),
+    cd_qualities=("strong", "none"),
+    trials=3,
+    max_rounds=600,
+    master_seed=22,
+)
+
+
+def atlas_minigrid():
+    """The mini atlas sweep (CI workload); returns the outcome."""
+    outcome = crossover_atlas.run(_MINI)
+    assert outcome.blind_columns_constant(tolerance=0.0)
+    return outcome
+
+
+#: Shared with ``check_regression.py`` so the CI regression guard times
+#: exactly what this benchmark gates.
+WORKLOADS = {"atlas_minigrid": atlas_minigrid}
+
+
+def test_bench_e22_crossover_atlas(benchmark, report):
+    config = crossover_atlas.Config(trials=8)
+    outcome = run_once(benchmark, lambda: crossover_atlas.run(config))
+    frontier = outcome.crossover_frontier()
+    report(
+        outcome.table,
+        footer=(
+            f"no-CD wins {outcome.nocd_win_count()} coordinates; frontier: "
+            + ", ".join(
+                f"n={n}/C={C}->{frontier[(n, C)] or 'never'}"
+                for n, C in outcome.coordinates
+            )
+        ),
+    )
+    # The no-CD columns are flat along the quality axis — exactly.
+    assert outcome.blind_columns_constant(tolerance=0.0)
+    # The paper's algorithm is never better off blind than under strong CD.
+    for n, C in outcome.coordinates:
+        assert (
+            outcome.cells[("fnw-general", n, C, "none")].mean_cost
+            >= outcome.cells[("fnw-general", n, C, "strong")].mean_cost
+        )
+    # Somewhere in the swept grid, assuming less wins: the blind zoo takes
+    # at least one coordinate (decay stays competitive even blinded — its
+    # schedule barely reads feedback — so "every cell" would overclaim).
+    assert outcome.nocd_win_count() >= 1
+    assert all(
+        outcome.win_factor(n, C, cd) >= 1.0
+        for n, C in outcome.coordinates
+        for cd in outcome.cd_qualities
+    )
+
+
+def test_bench_atlas_minigrid_workload(benchmark):
+    outcome = run_once(benchmark, atlas_minigrid)
+    assert outcome.cells  # sweep produced every cell
+    assert set(outcome.crossover_frontier()) == set(outcome.coordinates)

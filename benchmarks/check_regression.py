@@ -1,7 +1,8 @@
 """Benchmark-regression guard for the substrate throughput workloads.
 
 Times the workloads ``bench_engine_throughput.WORKLOADS``,
-``bench_hardening.WORKLOADS``, and ``bench_sweep_runner.WORKLOADS`` define and
+``bench_hardening.WORKLOADS``, ``bench_atlas.WORKLOADS``, and
+``bench_sweep_runner.WORKLOADS`` define and
 compares against the committed baseline (``BENCH_baseline.json``), failing
 when any workload is more than ``--tolerance`` slower.  Scores are
 *calibration-normalized*: each workload's best-of-N wall time is divided by
@@ -26,12 +27,14 @@ import sys
 import time
 
 import bench_arrivals
+import bench_atlas
 import bench_engine_throughput
 import bench_hardening
 import bench_sweep_runner
 
 WORKLOADS = {
     **bench_arrivals.WORKLOADS,
+    **bench_atlas.WORKLOADS,
     **bench_engine_throughput.WORKLOADS,
     **bench_hardening.WORKLOADS,
     **bench_sweep_runner.WORKLOADS,
@@ -51,6 +54,7 @@ _BATCH = {
     "multichannel_election": 3,
     "sweep_runner_grid": 5,
     "hardening_overhead": 2,
+    "atlas_minigrid": 3,
     "engine_dense": 1,
     "engine_sparse": 5,
     "engine_multichannel": 5,

@@ -450,6 +450,35 @@ def _arrivals(
     )
 
 
+@register_trial("atlas")
+def _atlas(
+    seed: int,
+    *,
+    protocol: str,
+    n: int,
+    C: int,
+    active: int,
+    cd: str,
+    energy_cost: float = 0.0,
+    collision_cost: float = 0.0,
+    max_rounds: int = 6400,
+) -> Mapping[str, float]:
+    """Registered wrapper over :func:`repro.experiments.crossover_atlas.atlas_trial`."""
+    from ..experiments.crossover_atlas import atlas_trial
+
+    return atlas_trial(
+        seed,
+        protocol=protocol,
+        n=n,
+        C=C,
+        active=active,
+        cd=cd,
+        energy_cost=energy_cost,
+        collision_cost=collision_cost,
+        max_rounds=max_rounds,
+    )
+
+
 @register_profiled_trial("solve-profiled")
 def _solve_profiled(
     seed: int, *, protocol: str, n: int, C: int, active: int, backend: str = "coroutine"

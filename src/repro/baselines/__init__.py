@@ -2,19 +2,26 @@
 
 These realize the bounds the paper's Section 2 surveys, so the benchmark
 harness can reproduce the paper's comparative landscape: who wins, by what
-factor, and where the crossovers fall.
+factor, and where the crossovers fall.  The no-CD entries
+(:class:`BenderKuszmaulBackoff`, :class:`DeMarcoNonAdaptive`) assume *less*
+than the paper's model — no collision detection at all — and anchor the
+CD-quality axis of the crossover atlas (``docs/atlas.md``, experiment E22).
 """
 
 from .aloha import SlottedAloha
 from .binary_search_cd import BinarySearchCD, binary_search_descent
+from .bk_backoff import BenderKuszmaulBackoff, windowed_backoff_schedule
 from .daum_multichannel import DaumMultiChannel
 from .decay import Decay, decay_sweep_length
+from .dmks_nonadaptive import DeMarcoNonAdaptive, strongly_selective_slots
 from .sawtooth import SawtoothBackoff, sawtooth_schedule
 from .tree_splitting import TreeSplitting
 
 __all__ = [
+    "BenderKuszmaulBackoff",
     "BinarySearchCD",
     "DaumMultiChannel",
+    "DeMarcoNonAdaptive",
     "Decay",
     "SawtoothBackoff",
     "SlottedAloha",
@@ -22,4 +29,6 @@ __all__ = [
     "binary_search_descent",
     "decay_sweep_length",
     "sawtooth_schedule",
+    "strongly_selective_slots",
+    "windowed_backoff_schedule",
 ]

@@ -1,0 +1,143 @@
+"""Bender–Kuszmaul-style windowed backoff: randomized contention resolution
+that assumes NO collision detection (arXiv 2004.08039).
+
+The no-CD line of work (Bender, Fineman, Gilbert, Kuszmaul, *Contention
+Resolution without Collision Detection*) shows that batched exponential
+backoff variants resolve contention without ever inspecting the channel: a
+node only needs to know whether *it itself* just succeeded, and in the
+weakest model not even that.  This module implements the CD-blind core of
+that idea as a first-class baseline for the crossover atlas: how much do
+the paper's CD-hungry algorithms actually buy over a protocol that ignores
+the channel entirely?
+
+Mechanics: the transmit-probability schedule is a sequence of *windows*,
+one per density guess ``j = 1..K`` with ``K = ceil(lg n)``.  Window ``j``
+holds probability ``2^-j`` for ``W = ceil(lg n) + 1`` consecutive rounds,
+so whatever the active count ``a <= n``, every cycle contains a window
+whose probability is within a factor 2 of ``1/a`` — and each of its ``W``
+slots then yields a solo with constant probability, so a cycle of
+``K * W = O(log^2 n)`` rounds succeeds w.h.p.  (This is Decay's budget with
+the sweep direction inverted and each guess *held* for a full window — the
+holding is what makes the protocol robust to batched arrivals in the
+streaming literature.)
+
+CD-blindness, by construction: a node either transmits or **idles** (never
+listens), and its transition is the same whatever feedback it observes.
+Executions are therefore bitwise identical under ``STRONG``,
+``RECEIVER_ONLY``, and ``NONE`` collision detection — the differential
+suite (``tests/test_baselines_nocd_differential.py``) pins this.  The node
+never terminates on its own; the engine's solve rule ends the run at the
+first solo on the primary channel.
+
+``ack=True`` adds the *acknowledgment* assumption common in the no-CD
+literature — a transmitter learns of its own solo (an ACK), strictly
+weaker than collision detection but not nothing: the served node retires,
+which makes the variant streaming-native (it runs unwrapped under packet
+arrivals and on the vectorized backend, like
+:class:`~repro.baselines.SawtoothBackoff`).  The ack transition branches on
+``MESSAGE``, so only the ``ack=False`` form is CD-blind.
+
+The protocol is data independent either way, so it lowers to the
+round-program IR and runs on the vectorized backend bitwise-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..mathutil import ceil_log2
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.ir import ProgramProtocol, RoundProgram, StateRule, Transition, always
+from ..sim.context import NodeContext
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
+
+#: Kept in sync with :data:`repro.sim.arrivals.SERVED_MARK` (defined locally
+#: to keep this module importable without the arrivals layer).
+_SERVED_MARK = "arrivals:served"
+
+
+def windowed_backoff_schedule(guesses: int, window: int) -> Tuple[float, ...]:
+    """The transmit-probability cycle: ``window`` slots at ``2^-j``, j=1..guesses."""
+    if guesses < 1:
+        raise ValueError(f"guesses must be >= 1, got {guesses}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return tuple(2.0 ** -j for j in range(1, guesses + 1) for _ in range(window))
+
+
+class BenderKuszmaulBackoff(Protocol):
+    """Windowed no-CD backoff on the primary channel (CD-blind baseline)."""
+
+    name = "bk-backoff"
+
+    def __init__(
+        self,
+        guesses: Optional[int] = None,
+        window: Optional[int] = None,
+        *,
+        ack: bool = False,
+    ):
+        """Args:
+        guesses: number of density guesses ``K``; defaults to
+            ``ceil(lg n)`` resolved per execution.
+        window: rounds each guess is held; defaults to ``ceil(lg n) + 1``.
+        ack: grant the acknowledgment assumption — a solo transmitter
+            retires.  Makes the protocol streaming-native but *not*
+            CD-blind (the served transition branches on ``MESSAGE``).
+        """
+        if guesses is not None and guesses < 1:
+            raise ValueError(f"guesses must be >= 1, got {guesses}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.guesses = guesses
+        self.window = window
+        self.ack = ack
+        if ack:
+            self.name = "bk-backoff-ack"
+            #: Safe to run unwrapped under a packet stream: the ACK retires
+            #: a served node, and nothing else terminates it.
+            self.streaming = True
+
+    def _program(self, n: int) -> RoundProgram:
+        log_n = ceil_log2(max(2, n))
+        guesses = self.guesses if self.guesses is not None else log_n
+        window = self.window if self.window is not None else log_n + 1
+        schedule = windowed_backoff_schedule(guesses, window)
+        keep = Transition(next_state=0)
+        if self.ack:
+            on_transmit = {
+                Feedback.MESSAGE: Transition(
+                    next_state=None, mark=_SERVED_MARK, mark_node_id=True
+                ),
+                Feedback.SILENCE: keep,
+                Feedback.COLLISION: keep,
+                Feedback.NONE: keep,
+            }
+        else:
+            # CD-blind: the transition is feedback-independent.
+            on_transmit = always(keep)
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=schedule,
+            on_transmit=on_transmit,
+            # Never consulted (idle_instead_of_listen), but the IR requires
+            # a total table; keep it feedback-independent regardless.
+            on_listen=always(keep),
+            idle_instead_of_listen=True,
+        )
+        return RoundProgram(
+            name=self.name, schedule_length=len(schedule), cycle=True, states=(rule,)
+        )
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (exact: one draw per round)."""
+        program = self._program(network.n)
+        program.validate_channels(network.num_channels)
+        return program
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        # Delegate to the reference interpreter so the coroutine and vec
+        # executions share one semantics (and one draw discipline) by
+        # construction.
+        return ProgramProtocol(self._program(ctx.n)).run(ctx)

@@ -1,0 +1,157 @@
+"""De Marco–Kowalski–Stachowiak-style deterministic non-adaptive contention
+resolution on a shared channel (arXiv 2209.13423).
+
+The deterministic non-adaptive model is the most austere in the contention
+landscape: the full transmit schedule is fixed *before* the execution as a
+function of the node's id alone — no randomness, no feedback, no collision
+detection.  Correctness comes from combinatorics instead of probability: a
+*strongly selective family* of slots guarantees that any small-enough set
+of active nodes contains one that transmits alone in some slot.
+
+Construction (prime residues, the classical strongly-selective family):
+a slot is a pair ``(p, r)`` with ``p`` prime, and node ``id`` transmits in
+it iff ``id % p == r``.  Two distinct ids ``x != y <= N`` share a residue
+mod at most ``log_p N`` primes ``>= p`` (each such prime divides
+``|x - y| < N``), so against an active set of size ``<= k`` a fixed node
+collides in at most ``(k-1) * floor(log N / log k)`` of the primes
+``>= k`` — one more prime guarantees a slot where it is alone.  The
+schedule therefore concatenates *blocks* for doubling density guesses
+``k = 2, 4, ...``: block ``k`` enumerates every residue of
+``m_k = (k-1) * max(1, floor(log N / log k)) + 1`` primes ``>= k``, and a
+final block enumerates one prime ``p >= N`` (ids ``1..N`` are already
+distinct mod such a ``p``, so this block isolates *every* node).  Any
+active set of size ``a`` is thus served by the first block with
+``k >= a`` — small backlogs resolve in the early, short blocks — and one
+full cycle is an unconditional deterministic guarantee.
+
+CD-blindness is trivial here: nothing in the schedule depends on feedback
+(non-transmitters idle), so executions are bitwise identical under every
+``CollisionDetection`` mode; the engine's solve rule ends the run at the
+first solo.  ``ack=True`` grants the acknowledgment assumption instead — a
+solo transmitter retires — which makes the variant streaming-native but
+feedback-dependent (see :class:`~repro.baselines.BenderKuszmaulBackoff`
+for the same trade).
+
+The schedule is a deterministic *residue* round program
+(:class:`~repro.protocols.ir.StateRule` ``residues``), so it runs on the
+vectorized backend; per the IR draw discipline one uniform per round is
+drawn and discarded, keeping coroutine/vec executions bitwise-aligned.
+Schedule length grows like ``O(n^2 / log n)`` slots — this baseline is
+meant for the atlas's moderate ``n``, not mega-scale runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from ..protocols.base import Protocol, ProtocolCoroutine
+from ..protocols.ir import ProgramProtocol, RoundProgram, StateRule, Transition, always
+from ..sim.context import NodeContext
+from ..sim.feedback import Feedback
+from ..sim.network import PRIMARY_CHANNEL, Network
+
+#: Kept in sync with :data:`repro.sim.arrivals.SERVED_MARK` (defined locally
+#: to keep this module importable without the arrivals layer).
+_SERVED_MARK = "arrivals:served"
+
+
+def _primes_from(start: int) -> Iterator[int]:
+    """Primes ``>= start`` in increasing order (trial division; small use)."""
+    candidate = max(2, start)
+    while True:
+        if candidate == 2 or (
+            candidate % 2
+            and all(
+                candidate % d for d in range(3, int(math.isqrt(candidate)) + 1, 2)
+            )
+        ):
+            yield candidate
+        candidate += 1
+
+
+def strongly_selective_slots(n: int) -> Tuple[Tuple[int, int], ...]:
+    """The ``(mod, residue)`` slot sequence isolating any subset of ``1..n``.
+
+    Doubling blocks ``k = 2, 4, ... < n`` of ``m_k`` primes ``>= k`` (all
+    residues each), then a final single-prime block with ``p >= n``.  Every
+    active set of size ``a`` has a solo slot in the first block with
+    ``k >= a``; the final block guarantees it unconditionally.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    n = max(2, n)
+    slots = []
+    k = 2
+    while k < n:
+        count = (k - 1) * max(1, int(math.log(n) / math.log(k))) + 1
+        primes = _primes_from(k)
+        for _ in range(count):
+            p = next(primes)
+            slots.extend((p, r) for r in range(p))
+        k *= 2
+    final_prime = next(_primes_from(n))
+    slots.extend((final_prime, r) for r in range(final_prime))
+    return tuple(slots)
+
+
+class DeMarcoNonAdaptive(Protocol):
+    """Deterministic non-adaptive prime-residue schedule (CD-blind baseline)."""
+
+    name = "dmks-nonadaptive"
+
+    def __init__(self, *, ack: bool = False):
+        """Args:
+        ack: grant the acknowledgment assumption — a solo transmitter
+            retires.  Makes the protocol streaming-native but *not*
+            CD-blind (the served transition branches on ``MESSAGE``).
+        """
+        self.ack = ack
+        if ack:
+            self.name = "dmks-nonadaptive-ack"
+            #: Safe to run unwrapped under a packet stream: the ACK retires
+            #: a served node, and nothing else terminates it.
+            self.streaming = True
+
+    def _program(self, n: int) -> RoundProgram:
+        slots = strongly_selective_slots(n)
+        keep = Transition(next_state=0)
+        if self.ack:
+            on_transmit = {
+                Feedback.MESSAGE: Transition(
+                    next_state=None, mark=_SERVED_MARK, mark_node_id=True
+                ),
+                Feedback.SILENCE: keep,
+                Feedback.COLLISION: keep,
+                Feedback.NONE: keep,
+            }
+        else:
+            # CD-blind: the transition is feedback-independent.
+            on_transmit = always(keep)
+        rule = StateRule(
+            channel=PRIMARY_CHANNEL,
+            probabilities=(),
+            on_transmit=on_transmit,
+            on_listen=always(keep),
+            idle_instead_of_listen=True,
+            residues=slots,
+        )
+        return RoundProgram(
+            name=self.name, schedule_length=len(slots), cycle=True, states=(rule,)
+        )
+
+    def cycle_length(self, n: int) -> int:
+        """Rounds in one full schedule cycle (the deterministic guarantee)."""
+        return len(strongly_selective_slots(n))
+
+    def to_round_program(self, network: Network) -> RoundProgram:
+        """IR lowering for the vectorized backend (residue schedule)."""
+        program = self._program(network.n)
+        program.validate_channels(network.num_channels)
+        return program
+
+    def run(self, ctx: NodeContext) -> ProtocolCoroutine:
+        # Delegate to the reference interpreter so the coroutine and vec
+        # executions share one semantics (and one draw discipline) by
+        # construction.
+        return ProgramProtocol(self._program(ctx.n)).run(ctx)

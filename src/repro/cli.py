@@ -16,7 +16,10 @@ Subcommands:
 * ``repro sweep --trial general --axis n=4096 --axis C=8,64 --axis active=100
   --trials 200 --processes 4 --checkpoint-dir ckpt`` — run a registered
   trial over a parameter grid on a shared process pool with per-trial error
-  containment and checkpoint/resume (see :mod:`repro.analysis.runner`).
+  containment and checkpoint/resume (see :mod:`repro.analysis.runner`);
+* ``repro atlas --cd strong noise-0.2 none --jsonl atlas.jsonl`` — run the
+  CD-quality crossover atlas (experiment E22): CD protocols vs the no-CD
+  baseline zoo as collision detection degrades (see docs/atlas.md).
 """
 
 from __future__ import annotations
@@ -483,6 +486,131 @@ def _cmd_arrivals(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import crossover_atlas
+    from .experiments.common import make_protocol
+
+    if args.trials < 1:
+        raise SystemExit("repro atlas: --trials must be >= 1")
+    if args.max_rounds < 1:
+        raise SystemExit("repro atlas: --max-rounds must be >= 1")
+    for name in args.protocols:
+        try:
+            make_protocol(name)
+        except KeyError as error:
+            raise SystemExit(f"repro atlas: {error.args[0]}")
+    for cd in args.cd:
+        try:
+            crossover_atlas.parse_cd_quality(cd)
+        except ValueError as error:
+            raise SystemExit(f"repro atlas: {error}")
+
+    config = crossover_atlas.Config(
+        protocols=tuple(args.protocols),
+        ns=tuple(args.n),
+        channels=tuple(args.channels),
+        cd_qualities=tuple(args.cd),
+        trials=args.trials,
+        max_rounds=args.max_rounds,
+        master_seed=args.seed,
+        energy_cost=args.energy_cost,
+        collision_cost=args.collision_cost,
+        processes=args.processes,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(
+        f"crossover atlas: protocols={','.join(config.protocols)} "
+        f"n={','.join(str(n) for n in config.ns)} "
+        f"C={','.join(str(c) for c in config.channels)} "
+        f"cd={','.join(config.cd_qualities)} trials={config.trials} "
+        f"max_rounds={config.max_rounds} master_seed={config.master_seed}"
+        + (
+            f" cost=rounds+{config.energy_cost:g}*tx+{config.collision_cost:g}*coll"
+            if config.energy_cost or config.collision_cost
+            else ""
+        )
+    )
+    print()
+    outcome = crossover_atlas.run(config)
+    print(outcome.table.render())
+    print()
+    frontier = outcome.crossover_frontier()
+    total = len(outcome.coordinates) * len(outcome.cd_qualities)
+    print(
+        f"no-CD wins {outcome.nocd_win_count()} of {total} coordinates; "
+        f"blind columns constant: {outcome.blind_columns_constant()}"
+    )
+    for n, C in outcome.coordinates:
+        crossover = frontier[(n, C)]
+        print(
+            f"n={n} C={C}: "
+            + (
+                f"no-CD takes the lead at cd={crossover}"
+                if crossover
+                else "CD wins at every swept quality"
+            )
+        )
+
+    if args.jsonl:
+        records = [
+            {
+                "schema": 1,
+                "type": "meta",
+                "trial": "atlas",
+                "protocols": list(config.protocols),
+                "ns": list(config.ns),
+                "channels": list(config.channels),
+                "cd": list(config.cd_qualities),
+                "trials": config.trials,
+                "max_rounds": config.max_rounds,
+                "master_seed": config.master_seed,
+                "energy_cost": config.energy_cost,
+                "collision_cost": config.collision_cost,
+            }
+        ]
+        for (protocol, n, C, cd), stats in sorted(outcome.cells.items()):
+            records.append(
+                {
+                    "schema": 1,
+                    "type": "cell",
+                    "protocol": protocol,
+                    "n": n,
+                    "C": C,
+                    "cd": cd,
+                    "solve_rate": stats.solve_rate,
+                    "mean_rounds": stats.mean_rounds,
+                    "mean_cost": stats.mean_cost,
+                    "crash_rate": stats.crash_rate,
+                }
+            )
+        for n, C in outcome.coordinates:
+            records.append(
+                {
+                    "schema": 1,
+                    "type": "frontier",
+                    "n": n,
+                    "C": C,
+                    "crossover": frontier[(n, C)],
+                }
+            )
+        records.append(
+            {
+                "schema": 1,
+                "type": "verdict",
+                "nocd_wins": outcome.nocd_win_count(),
+                "coordinates": total,
+                "blind_columns_constant": outcome.blind_columns_constant(),
+            }
+        )
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"\natlas written to {args.jsonl} ({len(records)} records)")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .sim.serialize import load_trace
 
@@ -777,6 +905,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="leftover fraction above which a rate counts as unstable",
     )
     arrivals_parser.set_defaults(fn=_cmd_arrivals)
+
+    atlas_parser = subparsers.add_parser(
+        "atlas",
+        help="run the CD-quality crossover atlas (E22): CD protocols vs "
+        "the no-CD baseline zoo as collision detection degrades",
+    )
+    atlas_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["fnw-general", "decay", "bk-backoff", "dmks-nonadaptive"],
+        metavar="NAME",
+        help="protocol names from the solve registry",
+    )
+    atlas_parser.add_argument(
+        "--n", nargs="+", type=int, default=[16, 64], help="namespace sizes"
+    )
+    atlas_parser.add_argument(
+        "--channels", nargs="+", type=int, default=[1, 8], help="channel counts"
+    )
+    atlas_parser.add_argument(
+        "--cd",
+        nargs="+",
+        default=["strong", "noise-0.1", "noise-0.3", "none"],
+        metavar="QUALITY",
+        help="CD-quality axis, clean to degraded: 'strong', 'noise-<x>' "
+        "(strong CD plus repro.faults CD noise at intensity x), 'none'",
+    )
+    atlas_parser.add_argument("--trials", type=int, default=10)
+    atlas_parser.add_argument("--seed", type=int, default=22)
+    atlas_parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=6400,
+        help="round budget per trial; also the censored score of an "
+        "unsolved or crashed trial",
+    )
+    atlas_parser.add_argument(
+        "--energy-cost",
+        type=float,
+        default=0.0,
+        help="cost weight per transmission (nonzero attaches instrumentation)",
+    )
+    atlas_parser.add_argument(
+        "--collision-cost",
+        type=float,
+        default=0.0,
+        help="cost weight per collision channel-round",
+    )
+    atlas_parser.add_argument("--processes", type=int, default=None)
+    atlas_parser.add_argument("--checkpoint-dir", metavar="DIR")
+    atlas_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write per-cell means, frontier, and verdict as JSON lines",
+    )
+    atlas_parser.set_defaults(fn=_cmd_atlas)
 
     replay_parser = subparsers.add_parser(
         "replay", help="render a saved execution trace"

@@ -12,6 +12,7 @@ from . import (
     baseline_comparison,
     channel_utilization,
     cohort_ablation,
+    crossover_atlas,
     expected_time,
     fault_tolerance,
     general_scaling,
@@ -51,6 +52,7 @@ REGISTRY = {
     "e19": (adversarial_search, "Adversarial activation search (bounded gain)"),
     "e20": (fault_tolerance, "Fault tolerance under jamming / CD noise / churn"),
     "e21": (hardening, "Hardened (repro.robust) vs bare under fault injection"),
+    "e22": (crossover_atlas, "CD-quality crossover atlas: CD protocols vs the no-CD zoo"),
 }
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "baseline_comparison",
     "channel_utilization",
     "cohort_ablation",
+    "crossover_atlas",
     "expected_time",
     "fault_tolerance",
     "general_scaling",

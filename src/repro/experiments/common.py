@@ -11,9 +11,11 @@ import random
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..baselines import (
+    BenderKuszmaulBackoff,
     BinarySearchCD,
     DaumMultiChannel,
     Decay,
+    DeMarcoNonAdaptive,
     SawtoothBackoff,
     SlottedAloha,
     TreeSplitting,
@@ -231,8 +233,12 @@ def make_protocol(name: str) -> Protocol:
         "fnw-general": lambda: FNWGeneral(),
         "two-active": lambda: TwoActive(),
         "binary-search-cd": lambda: BinarySearchCD(),
+        "bk-backoff": lambda: BenderKuszmaulBackoff(),
+        "bk-backoff-ack": lambda: BenderKuszmaulBackoff(ack=True),
         "decay": lambda: Decay(),
         "daum-multichannel": lambda: DaumMultiChannel(),
+        "dmks-nonadaptive": lambda: DeMarcoNonAdaptive(),
+        "dmks-nonadaptive-ack": lambda: DeMarcoNonAdaptive(ack=True),
         "sawtooth-backoff": lambda: SawtoothBackoff(),
         "slotted-aloha": lambda: SlottedAloha(),
         "tree-splitting": lambda: TreeSplitting(),

@@ -1,0 +1,384 @@
+"""E22 — crossover atlas: where does collision detection stop paying?
+
+The paper's algorithms buy their speed with collision detection; the no-CD
+baseline zoo (:class:`~repro.baselines.BenderKuszmaulBackoff`,
+:class:`~repro.baselines.DeMarcoNonAdaptive`) assumes strictly less.  This
+experiment charts the crossover: a sweep over protocol × ``n`` × ``C`` ×
+*CD quality*, where CD quality degrades from the paper's clean ``STRONG``
+model through :mod:`repro.faults` CD-noise intensities down to no collision
+detection at all (``CollisionDetection.NONE``).  The no-CD baselines are
+proven bitwise CD-blind (``tests/test_baselines_nocd_differential.py``), so
+their column is *constant* along the quality axis; the CD protocols' columns
+decay — and where the columns cross is the operating region in which the
+weaker model is the better engineering choice.
+
+Scoring.  Every trial reports a censored round count (unsolved or crashed
+trials score the full ``max_rounds`` budget) and a *cost*::
+
+    cost = rounds + energy_cost * transmissions + collision_cost * collision_rounds
+
+With both weights zero (the default) cost equals rounds and the trial runs
+uninstrumented; nonzero weights attach a :class:`repro.obs.RegistrySink`
+and price energy (per transmission) and destructive interference (per
+collision channel-round) following the cost-spectrum treatment of
+arXiv 2408.11275.  A protocol that cannot solve a cell is automatically
+priced at the budget, so "wins" are meaningful even across solve-rate
+cliffs.
+
+Verdict helpers the report and CLI use:
+
+1. **winner/factor per cell** — :meth:`Outcome.winner` and
+   :meth:`Outcome.win_factor` name the cheapest protocol for one
+   ``(n, C, cd)`` coordinate and its advantage over the runner-up;
+2. **frontier** — :meth:`Outcome.crossover_frontier` reports, per
+   ``(n, C)``, the first CD quality (walking from clean to none) at which
+   a no-CD baseline takes the lead, or ``None`` when CD wins everywhere;
+3. **blindness cross-check** — :meth:`Outcome.blind_columns_constant`
+   re-derives CD-blindness at the atlas level: a no-CD protocol's mean
+   rounds must not vary along the quality axis (noise injections perturb
+   only feedback, which the blind protocols never read).
+
+The sweep runs through the registered ``atlas`` trial
+(:mod:`repro.analysis.parallel`), so ``processes=`` / ``checkpoint_dir=``
+buy the resilient :class:`~repro.analysis.runner.SweepRunner` path with
+results bitwise-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis import Table
+
+DEFAULT_PROTOCOLS = ("fnw-general", "decay", "bk-backoff", "dmks-nonadaptive")
+#: Clean model -> noisy CD -> no CD, in strictly declining quality.
+DEFAULT_CD_QUALITIES = ("strong", "noise-0.1", "noise-0.3", "none")
+#: Protocols whose executions are CD-blind (differential-tested); their
+#: atlas columns must be constant along the quality axis.
+NO_CD_PROTOCOLS = frozenset({"bk-backoff", "dmks-nonadaptive"})
+
+
+def parse_cd_quality(cd: str):
+    """Decode one CD-quality axis label into engine-level settings.
+
+    Returns ``(collision_detection, faults)``:
+
+    * ``"strong"`` — the paper's model, no faults;
+    * ``"noise-X"`` (``X`` in ``[0, 1]``) — strong CD with
+      :func:`repro.faults.plan_for`'s CD-noise at intensity ``X``;
+    * ``"none"`` — ``CollisionDetection.NONE``: collisions read as
+      silence, the no-CD world the baselines are built for.
+    """
+    from ..faults import plan_for
+    from ..sim.cd_modes import CollisionDetection
+
+    if cd == "strong":
+        return CollisionDetection.STRONG, None
+    if cd == "none":
+        return CollisionDetection.NONE, None
+    if cd.startswith("noise-"):
+        try:
+            intensity = float(cd[len("noise-"):])
+        except ValueError:
+            raise ValueError(f"bad CD quality {cd!r}: noise-<intensity>") from None
+        return CollisionDetection.STRONG, plan_for("cd-noise", intensity)
+    raise ValueError(
+        f"unknown CD quality {cd!r}; expected 'strong', 'noise-<x>', or 'none'"
+    )
+
+
+def atlas_trial(
+    seed: int,
+    *,
+    protocol: str,
+    n: int,
+    C: int,
+    active: int,
+    cd: str,
+    energy_cost: float = 0.0,
+    collision_cost: float = 0.0,
+    max_rounds: int = 6400,
+) -> Mapping[str, float]:
+    """One seeded execution at one atlas coordinate, in sweep-trial shape.
+
+    Scoring follows E20/E21: round-budget exhaustion and protocol crashes
+    (CD protocols can violate internal invariants when fed degraded
+    feedback) both count as unsolved with the budget as the censored round
+    count.  ``cost`` is always reported; instrumentation is attached only
+    when a weight is nonzero, so the default atlas stays observer-free.
+    """
+    from ..obs import RegistrySink
+    from ..protocols import solve
+    from ..sim import activate_random
+    from ..sim.errors import RoundLimitExceeded
+    from .common import make_protocol
+
+    collision_detection, faults = parse_cd_quality(cd)
+    weighted = energy_cost != 0.0 or collision_cost != 0.0
+    sink = RegistrySink() if weighted else None
+    crashed = False
+    try:
+        result = solve(
+            make_protocol(protocol),
+            n=n,
+            num_channels=C,
+            activation=activate_random(n, active, seed=seed),
+            seed=seed,
+            max_rounds=max_rounds,
+            collision_detection=collision_detection,
+            faults=faults,
+            instrument=sink,
+        )
+        solved = result.solved
+        rounds = result.solved_round if result.solved else max_rounds
+    except RoundLimitExceeded:
+        solved = False
+        rounds = max_rounds
+    except Exception:  # noqa: BLE001 - degraded CD broke a protocol invariant
+        solved = False
+        rounds = max_rounds
+        crashed = True
+    cost = float(rounds)
+    metrics: Dict[str, float] = {
+        "rounds": float(rounds),
+        "solved": float(solved),
+        "crashed": float(crashed),
+    }
+    if weighted and sink is not None:
+        counters = sink.registry.snapshot()["counters"]
+        transmissions = float(counters.get("transmissions", 0))
+        collisions = float(counters.get("channel_collision", 0))
+        cost += energy_cost * transmissions + collision_cost * collisions
+        metrics["transmissions"] = transmissions
+        metrics["collision_rounds"] = collisions
+    metrics["cost"] = cost
+    return metrics
+
+
+@dataclass(frozen=True)
+class Config:
+    """Sweep configuration (defaults are the report/CLI scale)."""
+
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    ns: Sequence[int] = (16, 64)
+    channels: Sequence[int] = (1, 8)
+    cd_qualities: Sequence[str] = DEFAULT_CD_QUALITIES
+    trials: int = 10
+    #: Budget sized so DeMarcoNonAdaptive's full n=64 residue cycle
+    #: (5096 slots) fits with headroom; also the censored score.
+    max_rounds: int = 6400
+    master_seed: int = 22
+    #: Cost weights (arXiv 2408.11275-style): price per transmission and
+    #: per collision channel-round.  Zero keeps trials uninstrumented.
+    energy_cost: float = 0.0
+    collision_cost: float = 0.0
+    #: Forwarded to :func:`run_registered_sweep`: either selects the
+    #: resilient SweepRunner path (shared pool / checkpointed), neither
+    #: selects the serial path.  Results are identical either way.
+    processes: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+
+    def active_for(self, n: int) -> int:
+        """Contenders at size ``n``: a quarter of the namespace, min 2."""
+        return max(2, n // 4)
+
+
+@dataclass
+class CellStats:
+    """Aggregates for one (protocol, n, C, cd) atlas coordinate."""
+
+    solve_rate: float
+    mean_rounds: float
+    mean_cost: float
+    crash_rate: float
+
+
+@dataclass
+class Outcome:
+    """Atlas table plus the per-coordinate verdict data."""
+
+    table: Table
+    #: (protocol, n, C, cd) -> aggregated stats (censored means).
+    cells: Dict[Tuple[str, int, int, str], CellStats]
+    protocols: Tuple[str, ...]
+    cd_qualities: Tuple[str, ...] = DEFAULT_CD_QUALITIES
+    coordinates: List[Tuple[int, int]] = field(default_factory=list)
+
+    def _ranked(self, n: int, C: int, cd: str) -> List[Tuple[float, str]]:
+        ranked = sorted(
+            (self.cells[(p, n, C, cd)].mean_cost, p) for p in self.protocols
+        )
+        if not ranked:
+            raise KeyError(f"no cells at (n={n}, C={C}, cd={cd!r})")
+        return ranked
+
+    def winner(self, n: int, C: int, cd: str) -> str:
+        """Cheapest protocol (censored mean cost) at one coordinate."""
+        return self._ranked(n, C, cd)[0][1]
+
+    def win_factor(self, n: int, C: int, cd: str) -> float:
+        """Runner-up cost over winner cost — the winner's advantage."""
+        ranked = self._ranked(n, C, cd)
+        if len(ranked) < 2 or ranked[0][0] <= 0:
+            return float("nan")
+        return ranked[1][0] / ranked[0][0]
+
+    def crossover_frontier(self) -> Dict[Tuple[int, int], Optional[str]]:
+        """Per ``(n, C)``: first CD quality at which a no-CD protocol wins.
+
+        Walks the quality axis clean-to-none; ``None`` means collision
+        detection keeps winning even when it reads nothing (which can
+        happen at tiny scales where decay's schedule is simply shorter).
+        """
+        frontier: Dict[Tuple[int, int], Optional[str]] = {}
+        for n, C in self.coordinates:
+            frontier[(n, C)] = next(
+                (
+                    cd
+                    for cd in self.cd_qualities
+                    if self.winner(n, C, cd) in NO_CD_PROTOCOLS
+                ),
+                None,
+            )
+        return frontier
+
+    def nocd_win_count(self) -> int:
+        """Coordinates (n, C, cd) where a no-CD baseline is the winner."""
+        return sum(
+            self.winner(n, C, cd) in NO_CD_PROTOCOLS
+            for n, C in self.coordinates
+            for cd in self.cd_qualities
+        )
+
+    def blind_columns_constant(self, tolerance: float = 1e-9) -> bool:
+        """No-CD baselines post identical mean rounds at every CD quality.
+
+        This is the atlas-level echo of the differential suite: CD noise
+        and CD removal perturb only feedback, which the blind protocols
+        never read, so their rows must be flat along the quality axis.
+        """
+        for protocol in self.protocols:
+            if protocol not in NO_CD_PROTOCOLS:
+                continue
+            for n, C in self.coordinates:
+                rounds = {
+                    self.cells[(protocol, n, C, cd)].mean_rounds
+                    for cd in self.cd_qualities
+                }
+                if max(rounds) - min(rounds) > tolerance:
+                    return False
+        return True
+
+
+def _grid(config: Config, cd: str) -> List[Dict[str, object]]:
+    return [
+        {
+            "protocol": protocol,
+            "n": n,
+            "C": C,
+            "active": config.active_for(n),
+            "cd": cd,
+            "energy_cost": config.energy_cost,
+            "collision_cost": config.collision_cost,
+            "max_rounds": config.max_rounds,
+        }
+        for protocol in config.protocols
+        for n in config.ns
+        for C in config.channels
+    ]
+
+
+def run(config: Config = Config()) -> Outcome:
+    """Run one paired sweep per CD quality and aggregate the verdicts.
+
+    Each quality's sweep enumerates the identical ``protocol × n × C`` grid
+    in the identical order with the identical master seed, so cell *i*
+    draws the same seed stream in every sweep — comparisons *along the
+    quality axis* are paired (same activations, same protocol randomness),
+    which is what makes :meth:`Outcome.blind_columns_constant` an exact
+    equality rather than a statistical one.
+    """
+    from .common import run_registered_sweep
+
+    sweeps = [
+        run_registered_sweep(
+            "atlas",
+            _grid(config, cd),
+            trials=config.trials,
+            master_seed=config.master_seed,
+            processes=config.processes,
+            checkpoint_dir=config.checkpoint_dir,
+        )
+        for cd in config.cd_qualities
+    ]
+
+    weighted = config.energy_cost != 0.0 or config.collision_cost != 0.0
+    table = Table(
+        ["protocol", "n", "C", "cd", "solve_rate", "rounds", "cost", "crashes"],
+        caption=(
+            f"E22: CD-quality crossover atlas (censored at "
+            f"{config.max_rounds} rounds, {config.trials} trials/cell"
+            + (
+                f", cost = rounds + {config.energy_cost:g}*tx "
+                f"+ {config.collision_cost:g}*coll)"
+                if weighted
+                else ")"
+            )
+        ),
+        digits=1,
+    )
+    cells: Dict[Tuple[str, int, int, str], CellStats] = {}
+    for sweep in sweeps:
+        for cell in sweep.cells:
+            params = cell.params
+            rounds = cell.metric("rounds")
+            costs = cell.metric("cost")
+            stats = CellStats(
+                solve_rate=cell.rate("solved"),
+                mean_rounds=sum(rounds) / len(rounds),
+                mean_cost=sum(costs) / len(costs),
+                crash_rate=cell.rate("crashed"),
+            )
+            key = (params["protocol"], params["n"], params["C"], params["cd"])
+            cells[key] = stats
+            table.add_row(
+                params["protocol"],
+                params["n"],
+                params["C"],
+                params["cd"],
+                stats.solve_rate,
+                stats.mean_rounds,
+                stats.mean_cost,
+                stats.crash_rate,
+            )
+
+    coordinates = [(n, C) for n in config.ns for C in config.channels]
+    return Outcome(
+        table=table,
+        cells=cells,
+        protocols=tuple(config.protocols),
+        cd_qualities=tuple(config.cd_qualities),
+        coordinates=coordinates,
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the results."""
+    outcome = run()
+    outcome.table.print()
+    frontier = outcome.crossover_frontier()
+    lines = ", ".join(
+        f"n={n}/C={C}: {frontier[(n, C)] or 'CD wins throughout'}"
+        for n, C in outcome.coordinates
+    )
+    print(
+        f"no-CD wins {outcome.nocd_win_count()} of "
+        f"{len(outcome.coordinates) * len(outcome.cd_qualities)} coordinates; "
+        f"blind columns constant: {outcome.blind_columns_constant()}"
+    )
+    print(f"crossover frontier (first CD quality where no-CD leads): {lines}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,13 @@ uniform variate ``u = rng.random()`` (this fixed draw discipline is what
 makes the vectorized backend bitwise-reproducible).  With ``rule`` the
 :class:`StateRule` for its current state and ``slot`` the current schedule
 position, the node transmits on ``rule.channel`` iff
-``u < rule.probabilities[slot]``; otherwise it listens on the same channel
-(or idles, when ``idle_instead_of_listen`` is set).  The observed feedback —
+``u < rule.probabilities[slot]`` — or, for a *deterministic* state carrying
+``residues``, iff ``node_id % mod == residue`` for the slot's
+``(mod, residue)`` pair (the uniform is still drawn and discarded, so
+randomized and deterministic states share one draw discipline and the
+vectorized backend stays bitwise-aligned).  Otherwise it listens on the
+same channel (or idles, when ``idle_instead_of_listen`` is set).  The
+observed feedback —
 after collision-detection perception filtering — selects a
 :class:`Transition` from ``on_transmit`` / ``on_listen`` / ``on_idle``,
 which may emit a trace mark and either terminates the node or moves it to
@@ -102,6 +107,13 @@ class StateRule:
     engine, so all four can reach a node.  ``on_idle`` defaults to "stay in
     this state"; ``on_end`` (non-cyclic programs only) defaults to a silent
     termination and must itself terminate.
+
+    ``residues`` turns the state *deterministic*: one ``(mod, residue)``
+    pair per slot, the node transmitting iff ``node_id % mod == residue``
+    (the non-adaptive prime-residue schedules of the deterministic
+    contention-resolution literature).  ``probabilities`` must then be empty
+    — normalization fills it with zeros so the compiled tables stay
+    rectangular — and the per-round uniform is drawn and discarded.
     """
 
     channel: int
@@ -111,6 +123,7 @@ class StateRule:
     on_idle: Optional[Transition] = None
     on_end: Optional[Transition] = None
     idle_instead_of_listen: bool = False
+    residues: Optional[Tuple[Tuple[int, int], ...]] = None
 
 
 @dataclass(frozen=True)
@@ -152,17 +165,43 @@ class RoundProgram:
     def _normalize_rule(self, index: int, rule: StateRule, num_states: int) -> StateRule:
         if rule.channel < 1:
             raise LoweringError(f"state {index}: channel must be >= 1, got {rule.channel}")
-        if len(rule.probabilities) != self.schedule_length:
-            raise LoweringError(
-                f"state {index}: schedule has {len(rule.probabilities)} slots, "
-                f"expected {self.schedule_length}"
-            )
-        for slot, probability in enumerate(rule.probabilities):
-            if not 0.0 <= probability <= 1.0:
+        residues = rule.residues
+        if residues is not None:
+            if rule.probabilities:
                 raise LoweringError(
-                    f"state {index} slot {slot}: probability {probability!r} "
-                    "outside [0, 1]"
+                    f"state {index}: a deterministic (residue) state must "
+                    "leave probabilities empty"
                 )
+            residues = tuple((int(m), int(r)) for m, r in residues)
+            if len(residues) != self.schedule_length:
+                raise LoweringError(
+                    f"state {index}: residue schedule has {len(residues)} "
+                    f"slots, expected {self.schedule_length}"
+                )
+            for slot, (mod, residue) in enumerate(residues):
+                if mod < 1:
+                    raise LoweringError(
+                        f"state {index} slot {slot}: modulus must be >= 1, got {mod}"
+                    )
+                if not 0 <= residue < mod:
+                    raise LoweringError(
+                        f"state {index} slot {slot}: residue {residue} "
+                        f"outside [0, {mod - 1}]"
+                    )
+            probabilities: Tuple[float, ...] = (0.0,) * self.schedule_length
+        else:
+            probabilities = tuple(float(p) for p in rule.probabilities)
+            if len(probabilities) != self.schedule_length:
+                raise LoweringError(
+                    f"state {index}: schedule has {len(probabilities)} slots, "
+                    f"expected {self.schedule_length}"
+                )
+            for slot, probability in enumerate(probabilities):
+                if not 0.0 <= probability <= 1.0:
+                    raise LoweringError(
+                        f"state {index} slot {slot}: probability {probability!r} "
+                        "outside [0, 1]"
+                    )
 
         def check(transition: Transition, where: str) -> Transition:
             if transition.next_state is not None and not (
@@ -189,12 +228,13 @@ class RoundProgram:
             raise LoweringError(f"state {index} on_end: must terminate (next_state=None)")
         return StateRule(
             channel=rule.channel,
-            probabilities=tuple(float(p) for p in rule.probabilities),
+            probabilities=probabilities,
             on_transmit=table(rule.on_transmit, "on_transmit"),
             on_listen=table(rule.on_listen, "on_listen"),
             on_idle=check(on_idle, "on_idle"),
             on_end=on_end,
             idle_instead_of_listen=rule.idle_instead_of_listen,
+            residues=residues,
         )
 
     def validate_channels(self, num_channels: int) -> None:
@@ -239,7 +279,13 @@ class ProgramProtocol(Protocol):
         while True:
             rule = states[state_index]
             slot = step % length if cycle else step
-            if ctx.rng.random() < rule.probabilities[slot]:
+            draw = ctx.rng.random()
+            if rule.residues is not None:
+                mod, residue = rule.residues[slot]
+                transmits = ctx.node_id % mod == residue
+            else:
+                transmits = draw < rule.probabilities[slot]
+            if transmits:
                 observation = yield transmit(rule.channel)
                 transition = rule.on_transmit[observation.feedback]
             elif rule.idle_instead_of_listen:

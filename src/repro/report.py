@@ -26,6 +26,7 @@ from .experiments import (
     baseline_comparison,
     channel_utilization,
     cohort_ablation,
+    crossover_atlas,
     expected_time,
     fault_tolerance,
     general_scaling,
@@ -299,6 +300,29 @@ def _collect_e21(scale: str):
     )
 
 
+def _collect_e22(scale: str):
+    outcome = crossover_atlas.run(
+        crossover_atlas.Config(trials=_scaled(6, 15, scale))
+    )
+    frontier = outcome.crossover_frontier()
+    frontier_text = "; ".join(
+        f"n={n}/C={C} flips at {frontier[(n, C)]}"
+        if frontier[(n, C)]
+        else f"n={n}/C={C} never flips"
+        for n, C in outcome.coordinates
+    )
+    total = len(outcome.coordinates) * len(outcome.cd_qualities)
+    return [outcome.table], (
+        f"the no-CD zoo wins {outcome.nocd_win_count()} of {total} "
+        f"(n, C, CD-quality) coordinates; blind columns constant along the "
+        f"quality axis ({outcome.blind_columns_constant()}), as the bitwise "
+        f"CD-blindness differential predicts.  Crossover frontier: "
+        f"{frontier_text}.  Collision detection pays exactly while the "
+        "feedback it reads is trustworthy; degrade it enough and the "
+        "protocols that never listen win the cell."
+    )
+
+
 SECTIONS: List[Section] = [
     (
         "E1/E2 — Theorem 1 + Lemma 2: TwoActive matches the lower bound",
@@ -429,6 +453,18 @@ SECTIONS: List[Section] = [
         "algorithms should dominate the bare protocols at every fault "
         "intensity, at a bounded round overhead when nothing is attacking.",
         _collect_e21,
+    ),
+    (
+        "E22 — crossover atlas: CD quality vs the no-CD baseline zoo",
+        "The paper's speedups are purchased with collision detection.  "
+        "Against protocols that assume none of it (Bender-et-al-style "
+        "randomized backoff; De Marco–Kowalski–Stachowiak deterministic "
+        "non-adaptive schedules), sweeping CD quality from the clean strong "
+        "model through noisy CD to none should chart a crossover frontier: "
+        "CD protocols win while feedback is trustworthy, the CD-blind "
+        "baselines win beyond it — and their own columns must not move at "
+        "all along the quality axis.",
+        _collect_e22,
     ),
 ]
 

@@ -89,7 +89,7 @@ class ArrivalSchedule:
             if nid in seen:
                 raise ConfigurationError(f"duplicate packet id {nid}")
             seen.add(nid)
-            if born < 1 or (self.horizon and born > self.horizon):
+            if born < 1 or born > self.horizon:
                 raise ConfigurationError(
                     f"birth round {born} for packet {nid} outside [1, {self.horizon}]"
                 )
@@ -228,14 +228,16 @@ class BatchArrivals(ArrivalProcess):
     The worst case for backoff-style protocols at a given average rate —
     the same load as a Poisson stream of rate ``size / period`` but
     delivered in synchronized batches that maximize instantaneous
-    contention.  Deterministic: the seed is ignored.
+    contention.  Deterministic: the seed is ignored.  ``size=0`` is the
+    degenerate empty stream (no periodic arrivals), so a rate-0 batch cell
+    matches the λ=0 ≡ one-shot contract the other processes honor.
     """
 
     kind = "batch"
 
     def __init__(self, size: int, period: int, *, start: int = 1):
-        if size < 1:
-            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {size}")
         if period < 1:
             raise ConfigurationError(f"period must be >= 1, got {period}")
         if start < 1:
@@ -328,18 +330,18 @@ def build_process(
     share, so a sweep cell's parameters fully determine the traffic:
 
     * ``"poisson"`` — ``PoissonArrivals(rate, initial=initial)``;
-    * ``"batch"`` — bursts of ``max(1, round(rate * period))`` packets every
+    * ``"batch"`` — bursts of ``round(rate * period)`` packets every
       ``period`` rounds (default period 50), i.e. the same average rate
-      delivered adversarially;
+      delivered adversarially.  ``rate=0`` injects nothing — the λ=0 slice
+      stays the one-shot model, matching the origin anchor of
+      :func:`repro.analysis.stability.estimate_boundary`;
     * ``"diurnal"`` — ``DiurnalArrivals(rate, amplitude, period or None)``.
     """
     if kind == "poisson":
         return PoissonArrivals(rate, initial=initial)
     if kind == "batch":
         batch_period = period if period > 0 else 50
-        return BatchArrivals(
-            max(1, int(round(rate * batch_period))), batch_period
-        )
+        return BatchArrivals(int(round(rate * batch_period)), batch_period)
     if kind == "diurnal":
         return DiurnalArrivals(
             rate, amplitude=amplitude, period=period if period > 0 else None
@@ -530,6 +532,35 @@ def _nearest_rank(sorted_values: Sequence[float], q: float) -> float:
     return float(sorted_values[rank - 1])
 
 
+class _BufferedSink:
+    """A MetricsSink that records callbacks for optional later replay.
+
+    :func:`run_stream`'s vec attempt may be abandoned mid-flight (a
+    ``RoundLimitExceeded`` after the backend already folded rounds into the
+    sink, or an in-engine fallback that re-runs the stream on the coroutine
+    path).  Handing the caller's sink to that attempt would double-count the
+    stream, so the attempt writes here instead and the events are replayed
+    into the real sink only once the vec run is known to stand.
+    """
+
+    def __init__(self) -> None:
+        self._calls: List[Tuple[str, Any]] = []
+
+    def on_run_start(self, info) -> None:
+        self._calls.append(("on_run_start", info))
+
+    def on_round(self, event) -> None:
+        self._calls.append(("on_round", event))
+
+    def on_run_end(self, summary) -> None:
+        self._calls.append(("on_run_end", summary))
+
+    def replay(self, sink) -> None:
+        """Deliver the buffered event stream to ``sink`` in order."""
+        for method, payload in self._calls:
+            getattr(sink, method)(payload)
+
+
 def _empty_result() -> ExecutionResult:
     return ExecutionResult(
         solved=False,
@@ -633,6 +664,11 @@ def run_stream(
                 except LoweringError as error:
                     reason = f"lowering failed: {error}"
         if reason is None:
+            # The attempt gets a buffering sink, not the caller's: if it is
+            # abandoned (round-limit fallback below, or an in-engine
+            # decline), the coroutine re-run would otherwise double-count
+            # every event the failed attempt already delivered.
+            buffered = _BufferedSink() if instrument is not None else None
             try:
                 result = engine.run(
                     protocol,
@@ -640,7 +676,7 @@ def run_stream(
                     wake_rounds=activation.wake_rounds,
                     max_rounds=budget,
                     stop_on_solve=False,
-                    instrument=instrument,
+                    instrument=buffered,
                     backend="vec",
                 )
             except RoundLimitExceeded:
@@ -650,6 +686,8 @@ def run_stream(
                 )
             else:
                 if engine.used_backend == "vec":
+                    if buffered is not None:
+                        buffered.replay(instrument)
                     return _stream_result(
                         schedule, horizon, deadline, result, backend_used="vec"
                     )
@@ -712,6 +750,11 @@ def arrival_trial(
     (:mod:`repro.analysis.parallel`), so λ × protocol × fault grids run on
     the standard :class:`~repro.analysis.runner.SweepRunner` with
     checkpointing and bitwise pool-size independence.
+
+    ``rate=0`` means *no periodic traffic* for every process kind — a
+    Poisson λ=0 cell with ``initial=k`` is exactly the one-shot model and a
+    batch rate-0 cell injects nothing — so rate sweeps anchor cleanly at
+    the origin (:func:`repro.analysis.stability.estimate_boundary`).
     """
     from ..experiments.common import make_protocol
 

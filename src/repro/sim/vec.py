@@ -135,6 +135,33 @@ class _CompiledProgram:
             [rule.probabilities for rule in states], dtype=np.float64
         )
         self.prob_flat = self.prob.reshape(-1)
+        # Deterministic (residue) states: per-slot (mod, residue) pairs.
+        # Non-residue states get the sentinel pair (1, -1), which matches no
+        # id, and residue states have all-zero probabilities (normalized by
+        # RoundProgram) — so the transmit mask is simply the OR of the draw
+        # test and the residue test, with no per-state branching.
+        self.any_residues = any(rule.residues is not None for rule in states)
+        if self.any_residues:
+            self.mod = np.array(
+                [
+                    [m for m, _ in rule.residues]
+                    if rule.residues is not None
+                    else [1] * program.schedule_length
+                    for rule in states
+                ],
+                dtype=np.int64,
+            )
+            self.res = np.array(
+                [
+                    [r for _, r in rule.residues]
+                    if rule.residues is not None
+                    else [-1] * program.schedule_length
+                    for rule in states
+                ],
+                dtype=np.int64,
+            )
+            self.mod_flat = self.mod.reshape(-1)
+            self.res_flat = self.res.reshape(-1)
         self.channel = np.array([rule.channel for rule in states], dtype=np.int64)
         self.idle_instead = np.array(
             [rule.idle_instead_of_listen for rule in states], dtype=bool
@@ -326,6 +353,10 @@ def run_program(
         prob_row = compiled.prob[0]
         chan0 = int(compiled.channel[0])
         idle0 = bool(compiled.idle_instead[0])
+        res0 = compiled.any_residues
+        if res0:
+            mod_row = compiled.mod[0]
+            res_row = compiled.res[0]
     wake0 = int(wake_arr[0]) if ncols else 1
     uniform_wake = ncols == 0 or int(wake_arr[-1]) == wake0
 
@@ -402,7 +433,10 @@ def run_program(
 
         if fast:
             # -------------------------------------------- scalar resolution
-            tx_mask = draw_values < prob_row[slots]
+            if res0:
+                tx_mask = (ids_arr[active_cols] % mod_row[slots]) == res_row[slots]
+            else:
+                tx_mask = draw_values < prob_row[slots]
             tx_total = int(np.count_nonzero(tx_mask))
             outcome_code = 1 if tx_total == 1 else (0 if tx_total == 0 else 2)
             if not solved and chan0 == PRIMARY_CHANNEL and tx_total == 1:
@@ -436,12 +470,21 @@ def run_program(
             # --------------------------------------------- array resolution
             states_now = state[active_cols]
             if single_state:
-                tx_mask = draw_values < prob_row[slots]
+                if res0:
+                    tx_mask = (
+                        ids_arr[active_cols] % mod_row[slots]
+                    ) == res_row[slots]
+                else:
+                    tx_mask = draw_values < prob_row[slots]
                 channels_now = None
             else:
-                tx_mask = draw_values < compiled.prob_flat[
-                    states_now * schedule_length + slots
-                ]
+                flat_slot = states_now * schedule_length + slots
+                tx_mask = draw_values < compiled.prob_flat[flat_slot]
+                if compiled.any_residues:
+                    tx_mask = tx_mask | (
+                        (ids_arr[active_cols] % compiled.mod_flat[flat_slot])
+                        == compiled.res_flat[flat_slot]
+                    )
                 channels_now = compiled.channel[states_now]
 
             if single_state:

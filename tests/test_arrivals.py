@@ -332,3 +332,99 @@ class TestStability:
 
         # The empty-injection trial contributes 0, not a division error.
         assert leftover_fraction(FakeCell()) == pytest.approx(0.05)
+
+
+class TestValidationRegressions:
+    """Regressions for the arrival-layer validation holes fixed in PR 8."""
+
+    def test_horizon_zero_schedule_rejects_any_birth(self):
+        # The truthiness guard `self.horizon and born > self.horizon` used
+        # to skip the upper-bound check entirely at horizon 0.
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule(horizon=0, births=((1, 5),))
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule(horizon=0, births=((1, 1),))
+        # The empty horizon-0 schedule stays valid (the degenerate stream).
+        assert ArrivalSchedule(horizon=0, births=()).size == 0
+
+    def test_rate_zero_batch_injects_nothing(self):
+        # `max(1, ...)` used to turn a rate-0 batch stream into one packet
+        # per period, breaking the λ=0 ≡ one-shot contract.
+        process = build_process("batch", rate=0.0, period=20)
+        assert isinstance(process, BatchArrivals)
+        assert process.size == 0
+        schedule = process.schedule(horizon=100, seed=7)
+        assert schedule.size == 0
+        stream = run_stream(SawtoothBackoff(), process, horizon=100, seed=7)
+        assert stream.injected == 0
+        assert stream.metrics()["drained"] == 1.0
+
+    def test_batch_size_zero_is_the_empty_stream(self):
+        assert BatchArrivals(0, 10).schedule(horizon=50).size == 0
+        with pytest.raises(ConfigurationError):
+            BatchArrivals(-1, 10)
+
+    def test_vec_fallback_does_not_double_count_instrumentation(self):
+        # run_stream's abandoned vec attempt used to deliver its events to
+        # the caller's sink before the coroutine re-run delivered the real
+        # stream — every metric from the failed attempt was double-counted.
+        pytest.importorskip("numpy")
+        from repro.obs import EventLog
+        from repro.sim.vec import VecFallbackWarning
+
+        def run(backend, log):
+            return run_stream(
+                SawtoothBackoff(),
+                PoissonArrivals(0.9, initial=6),
+                horizon=30,
+                num_channels=1,
+                seed=2,
+                backend=backend,
+                instrument=log,
+            )
+
+        fallback_log = EventLog()
+        with pytest.warns(VecFallbackWarning):
+            stream = run("vec", fallback_log)
+        assert stream.backend_used == "coroutine"
+
+        coroutine_log = EventLog()
+        reference = run("coroutine", coroutine_log)
+
+        def content(log):
+            return [
+                (
+                    event.round_index,
+                    event.active_count,
+                    event.transmitters,
+                    event.listeners,
+                    event.outcomes,
+                )
+                for event in log.events
+            ]
+
+        # One run start, one summary, and exactly the coroutine stream.
+        assert stream.served == reference.served
+        assert len(fallback_log.events) == reference.result.rounds
+        assert content(fallback_log) == content(coroutine_log)
+        assert fallback_log.summary.rounds == reference.result.rounds
+
+    def test_vec_success_still_reaches_the_sink(self):
+        # The buffering must be invisible when the vec run stands.
+        pytest.importorskip("numpy")
+        from repro.obs import EventLog
+
+        vec_log = EventLog()
+        stream = run_stream(
+            SawtoothBackoff(),
+            PoissonArrivals(0.05, initial=2),
+            horizon=60,
+            num_channels=1,
+            seed=5,
+            backend="vec",
+            instrument=vec_log,
+        )
+        assert stream.backend_used == "vec"
+        assert vec_log.info is not None
+        assert vec_log.summary is not None
+        assert len(vec_log.events) == stream.result.rounds

@@ -1,0 +1,126 @@
+"""CLI ``repro atlas``: golden JSONL output and exit-code contract.
+
+The atlas subcommand's ``--jsonl`` export is the reproducible form of
+experiment E22 (the CI smoke step and docs/atlas.md point at it), so its
+deterministic content is pinned against a golden file the same way the
+arrivals/profile/sweep exports are.  The export contains no wall-time
+fields by design, so the golden comparison is record-level equality with
+no canonicalization step.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN = DATA / "golden_atlas_s1.jsonl"
+
+ARGS = [
+    "atlas",
+    "--protocols", "fnw-general", "decay", "bk-backoff", "dmks-nonadaptive",
+    "--n", "16",
+    "--channels", "1", "2",
+    "--cd", "strong", "noise-0.5", "none",
+    "--trials", "2",
+    "--seed", "1",
+    "--max-rounds", "600",
+    "--processes", "1",
+]
+
+
+def _read_jsonl(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def _run(tmp_path, extra=()):
+    path = tmp_path / "atlas.jsonl"
+    assert main(ARGS + list(extra) + ["--jsonl", str(path)]) == 0
+    return _read_jsonl(path)
+
+
+class TestAtlasGolden:
+    def test_jsonl_matches_golden(self, tmp_path, capsys):
+        records = _run(tmp_path)
+        capsys.readouterr()
+        assert records == _read_jsonl(GOLDEN)
+
+    def test_jsonl_is_reproducible(self, tmp_path, capsys):
+        first = _run(tmp_path)
+        second = _run(tmp_path)
+        capsys.readouterr()
+        assert first == second
+
+    def test_record_schema(self, tmp_path, capsys):
+        records = _run(tmp_path)
+        capsys.readouterr()
+        meta = [r for r in records if r["type"] == "meta"]
+        cells = [r for r in records if r["type"] == "cell"]
+        frontier = [r for r in records if r["type"] == "frontier"]
+        verdict = [r for r in records if r["type"] == "verdict"]
+        assert len(meta) == 1
+        assert meta[0]["master_seed"] == 1
+        assert len(cells) == 24  # 4 protocols x 1 n x 2 C x 3 cd
+        assert len(frontier) == 2  # one per (n, C)
+        assert len(verdict) == 1
+        for cell in cells:
+            assert 0.0 <= cell["solve_rate"] <= 1.0
+            assert cell["mean_cost"] >= cell["mean_rounds"] or cell["mean_cost"] == cell["mean_rounds"]
+        # The CD-blind baselines post identical means at every CD quality.
+        for blind in ("bk-backoff", "dmks-nonadaptive"):
+            for C in (1, 2):
+                rounds = {
+                    c["mean_rounds"]
+                    for c in cells
+                    if c["protocol"] == blind and c["C"] == C
+                }
+                assert len(rounds) == 1, (blind, C)
+        assert verdict[0]["blind_columns_constant"] is True
+
+
+class TestAtlasCliContract:
+    def test_table_and_frontier_printed(self, tmp_path, capsys):
+        _run(tmp_path)
+        out = capsys.readouterr().out
+        assert "crossover atlas" in out
+        assert "blind columns constant: True" in out
+        assert "n=16 C=1:" in out
+
+    def test_unknown_protocol_is_a_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["atlas", "--protocols", "bogus", "--trials", "1"])
+        capsys.readouterr()
+        assert "unknown protocol" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["--trials", "0"],
+            ["--max-rounds", "0"],
+            ["--cd", "sideways"],
+            ["--cd", "noise-lots"],
+        ],
+    )
+    def test_invalid_arguments_exit_cleanly(self, args, capsys):
+        with pytest.raises(SystemExit):
+            main(["atlas"] + args)
+        capsys.readouterr()
+
+    def test_cost_weights_reach_the_export(self, tmp_path, capsys):
+        records = _run(
+            tmp_path, extra=["--energy-cost", "0.1", "--collision-cost", "0.5"]
+        )
+        capsys.readouterr()
+        meta = next(r for r in records if r["type"] == "meta")
+        assert meta["energy_cost"] == 0.1
+        assert meta["collision_cost"] == 0.5
+        # With nonzero weights, at least one solved cell prices above rounds.
+        priced = [
+            r
+            for r in records
+            if r["type"] == "cell" and r["mean_cost"] > r["mean_rounds"]
+        ]
+        assert priced

@@ -17,6 +17,7 @@ from repro.experiments import (
     baseline_comparison,
     channel_utilization,
     cohort_ablation,
+    crossover_atlas,
     expected_time,
     general_scaling,
     id_reduction_scaling,
@@ -217,6 +218,78 @@ class TestPopulationTrajectory:
         assert outcome.non_increasing
         assert outcome.reduce_target_met
         assert outcome.sparkline
+
+
+class TestCrossoverAtlas:
+    CONFIG = crossover_atlas.Config(
+        protocols=("fnw-general", "decay", "bk-backoff", "dmks-nonadaptive"),
+        ns=(16,),
+        channels=(1, 2),
+        cd_qualities=("strong", "noise-0.5", "none"),
+        trials=3,
+        max_rounds=600,
+        master_seed=4,
+    )
+
+    def test_blind_columns_exactly_constant(self):
+        outcome = crossover_atlas.run(self.CONFIG)
+        # Paired per-quality sweeps + bitwise CD-blindness: the no-CD rows
+        # must be *equal*, not merely close, along the quality axis.
+        assert outcome.blind_columns_constant(tolerance=0.0)
+
+    def test_cd_protocols_degrade_and_frontiers_resolve(self):
+        outcome = crossover_atlas.run(self.CONFIG)
+        # The paper's algorithm cannot be better off without CD than with it.
+        for n, C in outcome.coordinates:
+            clean = outcome.cells[("fnw-general", n, C, "strong")]
+            blinded = outcome.cells[("fnw-general", n, C, "none")]
+            assert blinded.mean_cost >= clean.mean_cost
+        frontier = outcome.crossover_frontier()
+        assert set(frontier) == set(outcome.coordinates)
+        for crossover in frontier.values():
+            assert crossover is None or crossover in outcome.cd_qualities
+
+    def test_winner_and_factor_are_consistent(self):
+        outcome = crossover_atlas.run(self.CONFIG)
+        for n, C in outcome.coordinates:
+            for cd in outcome.cd_qualities:
+                winner = outcome.winner(n, C, cd)
+                best = outcome.cells[(winner, n, C, cd)].mean_cost
+                assert all(
+                    outcome.cells[(p, n, C, cd)].mean_cost >= best
+                    for p in outcome.protocols
+                )
+                factor = outcome.win_factor(n, C, cd)
+                assert factor >= 1.0
+
+    def test_weighted_costs_price_transmissions(self):
+        config = crossover_atlas.Config(
+            protocols=("decay", "bk-backoff"),
+            ns=(16,),
+            channels=(1,),
+            cd_qualities=("strong",),
+            trials=3,
+            max_rounds=600,
+            master_seed=4,
+            energy_cost=0.25,
+            collision_cost=1.0,
+        )
+        outcome = crossover_atlas.run(config)
+        # Every solved trial transmits at least once, so nonzero weights
+        # strictly raise cost above rounds.
+        for stats in outcome.cells.values():
+            assert stats.mean_cost > stats.mean_rounds
+
+    def test_parallel_path_matches_serial(self, tmp_path):
+        serial = crossover_atlas.run(self.CONFIG)
+        import dataclasses
+
+        checkpointed = crossover_atlas.run(
+            dataclasses.replace(
+                self.CONFIG, checkpoint_dir=str(tmp_path / "ckpt")
+            )
+        )
+        assert checkpointed.cells == serial.cells
 
 
 class TestAdversarialSearch:

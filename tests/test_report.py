@@ -7,9 +7,9 @@ from repro.report import ReportOptions, SECTIONS, build_report, write_report
 
 class TestReportStructure:
     def test_sections_cover_registry(self):
-        # Every experiment id e1..e21 (except e2, folded into e1) appears.
+        # Every experiment id e1..e22 (except e2, folded into e1) appears.
         keys = {title.split(" ")[0].lower().split("/")[0] for title, _, _ in SECTIONS}
-        expected = {f"e{i}" for i in range(1, 22) if i != 2}
+        expected = {f"e{i}" for i in range(1, 23) if i != 2}
         assert keys == expected
 
     def test_invalid_scale_rejected(self):
