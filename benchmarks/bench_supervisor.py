@@ -1,0 +1,125 @@
+"""Substrate performance benchmarks: sweep supervision overhead.
+
+Not a paper reproduction — these time the supervision layer
+(:mod:`repro.analysis.supervise`) that rides on the resilient sweep runner,
+pinning two properties:
+
+* **zero overhead when off** — a runner with supervision disabled (no
+  policy, or an inert one) must take the *original* dispatch path; the
+  gate below asserts its results are bitwise-identical to the plain
+  runner's and that its wall time stays within noise of it.
+* **bounded overhead when on** — ``sweep_supervised`` runs the same grid
+  through an *active* policy (watchdog timeout + retry budget) on the
+  healthy path, where supervision should cost bookkeeping only.  This
+  entry feeds ``check_regression.py`` via the committed baseline, so a
+  future change that makes the supervised hot path expensive fails CI.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.runner import SweepRunner
+from repro.analysis.supervise import SupervisionPolicy
+
+#: Same shape as ``bench_sweep_runner``: near-free trials over a small grid,
+#: so the timings isolate orchestration + supervision bookkeeping.
+from bench_sweep_runner import GRID, MASTER_SEED, TRIALS, _cells_as_data
+
+#: An active policy on a healthy grid: the watchdog is armed (but never
+#: fires — trials are near-instant) and a retry budget exists (but is never
+#: spent).  What remains is exactly the supervision bookkeeping we price.
+ACTIVE_POLICY = SupervisionPolicy(timeout=300.0, max_attempts=2, backoff_base=0.0)
+
+
+def sweep_supervised():
+    """Grid through an actively supervised in-process SweepRunner
+    (regression-gate workload)."""
+    with SweepRunner(processes=1, supervision=ACTIVE_POLICY) as runner:
+        return runner.run_grid(
+            "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+        )
+
+
+#: Shared with ``check_regression.py`` so the CI regression guard times
+#: exactly what this benchmark times.
+WORKLOADS = {
+    "sweep_supervised": sweep_supervised,
+}
+
+
+def _plain_grid():
+    with SweepRunner(processes=1) as runner:
+        return runner.run_grid(
+            "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+        )
+
+
+def _inert_supervision_grid():
+    with SweepRunner(processes=1, supervision=SupervisionPolicy()) as runner:
+        return runner.run_grid(
+            "two-active", GRID, trials=TRIALS, master_seed=MASTER_SEED
+        )
+
+
+def _best_of(fn, repetitions):
+    """(best wall time, last result) over several runs — robust to noise."""
+    best, result = float("inf"), None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_supervised_grid(benchmark):
+    sweep = benchmark(sweep_supervised)
+    assert _cells_as_data(sweep.cells) == _cells_as_data(_plain_grid().cells)
+
+
+def test_supervision_off_is_zero_overhead(benchmark, report):
+    """The zero-overhead gate: supervision disabled ≡ the original runner.
+
+    The results must be bitwise-identical (same dispatch path, same
+    records) and the inert-policy runner must not be measurably slower —
+    the 1.15x bound on best-of-5 minima is far above timer noise but far
+    below what any accidental supervisor engagement would cost.
+    """
+
+    def compare():
+        plain_s, plain = _best_of(_plain_grid, 5)
+        inert_s, inert = _best_of(_inert_supervision_grid, 5)
+        return plain_s, plain, inert_s, inert
+
+    plain_s, plain, inert_s, inert = run_once(benchmark, compare)
+    assert _cells_as_data(plain.cells) == _cells_as_data(inert.cells)
+    report(
+        footer=(
+            f"plain runner: {plain_s * 1e3:.1f} ms per grid; inert "
+            f"supervision: {inert_s * 1e3:.1f} ms "
+            f"({inert_s / plain_s:.2f}x)"
+        )
+    )
+    assert inert_s < plain_s * 1.15
+
+
+def test_active_supervision_overhead_is_bounded(benchmark, report):
+    """Active supervision on a healthy grid costs bookkeeping, not work:
+    allow 1.5x over the plain runner (observed ~1.0-1.1x) so a future
+    change that drags the supervisor into the per-trial hot path fails."""
+
+    def compare():
+        plain_s, plain = _best_of(_plain_grid, 5)
+        supervised_s, supervised = _best_of(sweep_supervised, 5)
+        return plain_s, plain, supervised_s, supervised
+
+    plain_s, plain, supervised_s, supervised = run_once(benchmark, compare)
+    assert _cells_as_data(plain.cells) == _cells_as_data(supervised.cells)
+    report(
+        footer=(
+            f"plain runner: {plain_s * 1e3:.1f} ms per grid; active "
+            f"supervision: {supervised_s * 1e3:.1f} ms "
+            f"({supervised_s / plain_s:.2f}x)"
+        )
+    )
+    assert supervised_s < plain_s * 1.5

@@ -30,6 +30,7 @@ import bench_arrivals
 import bench_atlas
 import bench_engine_throughput
 import bench_hardening
+import bench_supervisor
 import bench_sweep_runner
 
 WORKLOADS = {
@@ -37,6 +38,7 @@ WORKLOADS = {
     **bench_atlas.WORKLOADS,
     **bench_engine_throughput.WORKLOADS,
     **bench_hardening.WORKLOADS,
+    **bench_supervisor.WORKLOADS,
     **bench_sweep_runner.WORKLOADS,
 }
 
@@ -53,6 +55,7 @@ _BATCH = {
     "long_sparse_run": 200,
     "multichannel_election": 3,
     "sweep_runner_grid": 5,
+    "sweep_supervised": 5,
     "hardening_overhead": 2,
     "atlas_minigrid": 3,
     "engine_dense": 1,

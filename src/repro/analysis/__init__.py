@@ -9,6 +9,7 @@ from .distributions import (
 )
 from .fitting import LinearFit, RatioSpread, fit_linear, log_log_slope, ratio_spread, ratios
 from .runner import CheckpointStore, SweepRunner, run_sweep_parallel
+from .supervise import SupervisionPolicy, TrialSupervisor
 from .stability import (
     StabilityEstimate,
     estimate_boundary,
@@ -39,11 +40,13 @@ __all__ = [
     "RatioSpread",
     "StabilityEstimate",
     "Summary",
+    "SupervisionPolicy",
     "SweepResult",
     "SweepRunner",
     "Table",
     "TrialFailure",
     "TrialFn",
+    "TrialSupervisor",
     "estimate_boundary",
     "estimate_from_cells",
     "fit_linear",

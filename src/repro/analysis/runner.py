@@ -22,7 +22,15 @@ raises.  This module is the production harness on top of both:
   finished trial is appended (and flushed) to an on-disk JSONL store keyed
   by ``(trial, params, master_seed, stream, seed)``; an interrupted sweep
   resumes exactly where it stopped and re-running a completed sweep is a
-  pure cache hit that never touches the pool.
+  pure cache hit that never touches the pool;
+* **supervision (optional)** — a
+  :class:`~repro.analysis.supervise.SupervisionPolicy` adds a
+  coordinator-side per-trial timeout watchdog,
+  deterministic retry/backoff, pool self-healing after worker kills, and
+  poison-trial quarantine on top of all of the above; with no policy the
+  dispatch path below runs untouched (bitwise-identical to the original
+  runner, by differential test).  A :class:`~repro.faults.chaos.ChaosPlan`
+  can be armed inside the workers to prove the supervisor end to end.
 
 Progress is reported through a :class:`~repro.obs.metrics.MetricsRegistry`
 (counters ``sweep/trials_executed`` / ``sweep/trials_cached`` /
@@ -48,6 +56,8 @@ import os
 import re
 import time
 import traceback
+import warnings
+from contextlib import contextmanager
 from typing import (
     Any,
     Callable,
@@ -62,6 +72,7 @@ from typing import (
     Tuple,
 )
 
+from ..faults import chaos as _chaos
 from ..obs.metrics import MetricsRegistry
 from ..sim.rng import seed_sequence
 from ..sim.serialize import checkpoint_record_from_dict, checkpoint_record_to_dict
@@ -75,6 +86,7 @@ from .parallel import (
     registered_trials,
     resolve_processes,
 )
+from .supervise import SupervisionPolicy, TrialSupervisor
 from .sweep import CellResult, SweepResult, TrialFailure
 
 #: A task as shipped to workers: (trial name, params, seed, slot index).
@@ -160,11 +172,16 @@ class CheckpointStore:
     line in the :mod:`repro.sim.serialize` checkpoint schema.  Records are
     flushed as they are appended, which makes the store kill-safe: a
     process death mid-write loses at most the torn final line, which
-    :meth:`load` skips.
+    :meth:`load` skips — *visibly*: every skipped line counts toward the
+    ``sweep/checkpoint/skipped_lines`` metric and each load with damage
+    emits a single :class:`RuntimeWarning`.  Retried trials append
+    superseding records; :meth:`compact` rewrites a file down to the
+    surviving record per trial identity.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, *, metrics: Optional[MetricsRegistry] = None):
         self.directory = directory
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         os.makedirs(directory, exist_ok=True)
 
     def path_for(self, trial: str, master_seed: int) -> str:
@@ -172,19 +189,18 @@ class CheckpointStore:
         safe = re.sub(r"[^A-Za-z0-9._-]", "_", trial)
         return os.path.join(self.directory, f"{safe}-s{int(master_seed)}.jsonl")
 
-    def load(
-        self, trial: str, master_seed: int
-    ) -> Dict[Tuple[str, str, int, int, int], Dict[str, Any]]:
-        """All valid records for one sweep, keyed by trial identity.
+    @staticmethod
+    def _scan(
+        path: str,
+    ) -> Tuple[Dict[Tuple[str, str, int, int, int], Dict[str, Any]], int]:
+        """Parse one store file: surviving records by identity, skipped lines.
 
-        Unparsable or structurally invalid lines (a torn tail write from a
-        killed process, a foreign format version) are skipped, not fatal —
-        the corresponding trials simply re-run.
+        Later lines supersede earlier ones with the same identity (that is
+        how retries and ``resume=False`` re-runs append their updates), and
+        unparsable or structurally invalid lines are counted, not fatal.
         """
-        path = self.path_for(trial, master_seed)
         records: Dict[Tuple[str, str, int, int, int], Dict[str, Any]] = {}
-        if not os.path.exists(path):
-            return records
+        skipped = 0
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -193,9 +209,61 @@ class CheckpointStore:
                 try:
                     record = checkpoint_record_from_dict(json.loads(line))
                 except (ValueError, KeyError, TypeError):
+                    skipped += 1
                     continue
                 records[_record_key(record)] = record
+        return records, skipped
+
+    def load(
+        self, trial: str, master_seed: int
+    ) -> Dict[Tuple[str, str, int, int, int], Dict[str, Any]]:
+        """All valid records for one sweep, keyed by trial identity.
+
+        Unparsable or structurally invalid lines (a torn tail write from a
+        killed process, a foreign format version) are skipped, not fatal —
+        the corresponding trials simply re-run.  Skips are surfaced through
+        the ``sweep/checkpoint/skipped_lines`` counter and one warning per
+        damaged load, so silent corruption cannot masquerade as a short
+        sweep.
+        """
+        path = self.path_for(trial, master_seed)
+        if not os.path.exists(path):
+            return {}
+        records, skipped = self._scan(path)
+        if skipped:
+            self.metrics.counter("sweep/checkpoint/skipped_lines").inc(skipped)
+            warnings.warn(
+                f"checkpoint store {path}: skipped {skipped} invalid line(s); "
+                "the affected trials will re-run (run compact() to drop them)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return records
+
+    def compact(self, trial: str, master_seed: int) -> Dict[str, int]:
+        """Rewrite one sweep's file, dropping superseded and invalid lines.
+
+        Keeps exactly the records :meth:`load` would surface (the last
+        record per trial identity, in first-seen order) and atomically
+        replaces the file, so a kill mid-compaction leaves the original
+        intact.  Returns ``{"kept", "dropped_superseded", "dropped_invalid"}``.
+        """
+        path = self.path_for(trial, master_seed)
+        if not os.path.exists(path):
+            return {"kept": 0, "dropped_superseded": 0, "dropped_invalid": 0}
+        records, skipped = self._scan(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            total = sum(1 for line in handle if line.strip())
+        temp_path = path + ".compact.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for record in records.values():
+                self.append(handle, record)
+        os.replace(temp_path, path)
+        return {
+            "kept": len(records),
+            "dropped_superseded": total - skipped - len(records),
+            "dropped_invalid": skipped,
+        }
 
     def open_writer(self, trial: str, master_seed: int) -> IO[str]:
         """An append-mode handle for one sweep's file."""
@@ -232,6 +300,13 @@ class SweepRunner:
             :meth:`run_cell` call (cached trials count as done).
         chunk_size: tasks per pool dispatch; ``None`` picks a size that
             keeps every worker busy without serializing the tail.
+        supervision: a :class:`~repro.analysis.supervise.SupervisionPolicy`
+            adding timeout watchdog / retry / self-healing / quarantine.
+            ``None`` (and an inert policy) keeps the original dispatch
+            path, bitwise-identical to a runner without supervision.
+        chaos: a :class:`~repro.faults.chaos.ChaosPlan` armed inside pool
+            workers (test harness; requires an active supervision policy —
+            unsupervised chaos would just wedge or abort the sweep).
 
     Use as a context manager (or call :meth:`close`) so the pool is torn
     down deterministically.
@@ -248,15 +323,29 @@ class SweepRunner:
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressFn] = None,
         chunk_size: Optional[int] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        chaos: Optional[_chaos.ChaosPlan] = None,
     ):
         self.processes = resolve_processes(processes)
-        self.checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
         self.retry_failures = retry_failures
         self.start_method = start_method
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.checkpoint = (
+            CheckpointStore(checkpoint_dir, metrics=self.metrics)
+            if checkpoint_dir
+            else None
+        )
         self.progress = progress
         self.chunk_size = chunk_size
+        self.supervision = supervision
+        self.chaos = chaos
+        if chaos is not None and chaos.active:
+            if supervision is None or not supervision.active:
+                raise ValueError(
+                    "an active chaos plan requires an active supervision "
+                    "policy (set a timeout and/or max_attempts > 1)"
+                )
         self._pool: Optional[Any] = None
         self._done = 0
         self._total = 0
@@ -280,10 +369,32 @@ class SweepRunner:
         if self.processes == 1:
             return None
         if self._pool is None:
+            initializer = None
+            initargs: Tuple[Any, ...] = ()
+            if self.chaos is not None and self.chaos.active:
+                # Workers arm the plan from plain data so spawn-start
+                # workers (re-import, no inherited globals) behave exactly
+                # like fork workers.  The coordinator never arms.
+                initializer = _chaos.initializer
+                initargs = (self.chaos.to_dict(),)
             self._pool = _pool_context(self.start_method).Pool(
-                processes=self.processes
+                processes=self.processes,
+                initializer=initializer,
+                initargs=initargs,
             )
         return self._pool
+
+    def _respawn_pool(self) -> Optional[Any]:
+        """Tear down and recreate the pool after a stall (self-healing).
+
+        ``terminate`` is the only way to reap hung or killed workers —
+        ``close``/``join`` would block behind the very chunk that stalled.
+        The supervisor re-enqueues the unfinished work against the fresh
+        pool; ``sweep/pool_restart`` counts the heals.
+        """
+        self.close()
+        self.metrics.counter("sweep/pool_restart").inc()
+        return self._ensure_pool()
 
     # ------------------------------------------------------------- execution
 
@@ -293,10 +404,23 @@ class SweepRunner:
         # ~4 chunks per worker balances dispatch overhead against tail skew.
         return max(1, min(32, pending // (self.processes * 4) or 1))
 
+    @property
+    def _supervised(self) -> bool:
+        """Whether dispatch goes through the supervisor instead of the
+        original path (an inert policy deliberately does not qualify)."""
+        return self.supervision is not None and (
+            self.supervision.active
+            or (self.chaos is not None and self.chaos.active)
+        )
+
     def _iter_outputs(self, tasks: List[_Task]) -> Iterator[_Output]:
         """Yield worker outputs as they complete (unordered under a pool)."""
         if not tasks:
             return  # a fully-cached cell must not fork a pool
+        if self._supervised:
+            assert self.supervision is not None
+            yield from TrialSupervisor(self, self.supervision).run(tasks)
+            return
         pool = self._ensure_pool()
         if pool is None:
             for task in tasks:
@@ -317,6 +441,26 @@ class SweepRunner:
             self.metrics.counter("sweep/trials_failed").inc()
         if self.progress is not None:
             self.progress(self._done, self._total)
+
+    @contextmanager
+    def _cell_writer(
+        self, trial_name: str, master_seed: int
+    ) -> Iterator[Optional[IO[str]]]:
+        """One cell's checkpoint writer, closed on *every* exit path.
+
+        Yields ``None`` when checkpointing is disabled so the call site
+        stays a single ``with`` regardless of configuration; a progress
+        callback or pool failure raising mid-cell can never leak the
+        descriptor.
+        """
+        if self.checkpoint is None:
+            yield None
+            return
+        writer = self.checkpoint.open_writer(trial_name, master_seed)
+        try:
+            yield writer
+        finally:
+            writer.close()
 
     def run_cell(
         self,
@@ -356,19 +500,16 @@ class SweepRunner:
         seeds = list(seed_sequence(master_seed, trials, stream=stream))
 
         cached: Dict[Tuple[str, str, int, int, int], Dict[str, Any]] = {}
-        writer: Optional[IO[str]] = None
-        if self.checkpoint is not None:
-            if self.resume:
-                cached = self.checkpoint.load(trial_name, master_seed)
-                if self.retry_failures:
-                    cached = {
-                        key: record
-                        for key, record in cached.items()
-                        if record["status"] == "ok"
-                    }
-            writer = self.checkpoint.open_writer(trial_name, master_seed)
+        if self.checkpoint is not None and self.resume:
+            cached = self.checkpoint.load(trial_name, master_seed)
+            if self.retry_failures:
+                cached = {
+                    key: record
+                    for key, record in cached.items()
+                    if record["status"] == "ok"
+                }
 
-        try:
+        with self._cell_writer(trial_name, master_seed) as writer:
             slots: List[Optional[Dict[str, Any]]] = [None] * trials
             pending: List[_Task] = []
             for index, seed in enumerate(seeds):
@@ -404,9 +545,6 @@ class SweepRunner:
                     CheckpointStore.append(writer, record)
                 slots[index] = record
                 self._note_done(failed=status == "failed")
-        finally:
-            if writer is not None:
-                writer.close()
 
         # Deterministic reassembly: slots are in seed order by construction.
         cell = CellResult(params=dict(params))
@@ -422,6 +560,8 @@ class SweepRunner:
                         error=failure["error"],
                         message=failure["message"],
                         traceback=failure.get("traceback", ""),
+                        kind=failure.get("kind", "error"),
+                        attempts=failure.get("attempts", 1),
                     )
                 )
         return cell
@@ -499,6 +639,7 @@ def run_sweep_parallel(
     start_method: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressFn] = None,
+    supervision: Optional[SupervisionPolicy] = None,
 ) -> SweepResult:
     """One-call convenience: build a :class:`SweepRunner`, run the grid."""
     with SweepRunner(
@@ -508,6 +649,7 @@ def run_sweep_parallel(
         start_method=start_method,
         metrics=metrics,
         progress=progress,
+        supervision=supervision,
     ) as runner:
         return runner.run_grid(
             trial_name, grid, trials=trials, master_seed=master_seed

@@ -1,0 +1,383 @@
+"""Supervision layer for the resilient sweep runner: watchdog, retry, heal.
+
+:class:`~repro.analysis.runner.SweepRunner` (PR 3) contains *trial-level*
+failures: a raising trial becomes a structured record and the sweep keeps
+going.  What it cannot survive is the orchestration substrate failing —
+a worker SIGKILLed by the OOM killer silently loses its in-flight chunk and
+the result iterator blocks forever, and a wedged trial stalls the whole
+grid.  This module adds the missing supervision above the pool:
+
+* **coordinator-side watchdog** — with a per-trial ``timeout`` set, the
+  supervisor consumes ``imap_unordered`` output with a deadline; a stall
+  (no output for ``timeout`` seconds) marks every unfinished in-flight
+  trial as a suspect, so hung *and* silently-killed work is reaped without
+  any worker-side cooperation;
+* **retry with exponential backoff and deterministic jitter** — failing
+  trials re-dispatch up to ``max_attempts`` times; the backoff jitter is
+  derived from the trial seed (:func:`~repro.sim.rng.derive_seed`), so a
+  re-run of a supervised sweep waits the same intervals;
+* **pool self-healing** — on a stall the supervisor terminates and
+  respawns the runner's pool (``sweep/pool_restart``) and re-enqueues the
+  unfinished remainder of the in-flight work, which the checkpoint layer
+  already guards against duplication;
+* **poison-cell quarantine** — a trial striking out ``quarantine_after``
+  times (timeouts or suspected worker kills) is quarantined as a
+  structured failure (``kind="timeout"``/``"crash"``) instead of stalling
+  or re-crashing the grid; ``degrade_in_process=True`` optionally gives it
+  one last in-process attempt on the no-pool path.
+
+The supervisor only runs when the policy is *active* (a timeout is set,
+retries are enabled, or a chaos plan is armed); with supervision off the
+runner's original dispatch path executes untouched, and the differential
+suite proves that configuration bitwise-identical to the PR 3 runner.
+See ``docs/resilience.md`` for the threat-model table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..sim.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .runner import SweepRunner
+
+#: A supervised task as shipped to workers: the runner's ``_Task`` plus the
+#: dispatch attempt, which gates chaos injection and keys backoff jitter.
+_SupervisedTask = Tuple[str, Dict[str, Any], int, int, int]
+
+#: A worker reply: (slot index, "ok" | "failed", payload) — the runner's shape.
+_Output = Tuple[int, str, Dict[str, Any]]
+
+#: Scale turning a 63-bit ``derive_seed`` draw into a uniform in [0, 1).
+_U63 = float(1 << 63)
+
+#: Exceptions from the pool machinery itself (a dead queue feeder, a torn
+#: pipe) that the supervisor treats as a pool crash rather than a bug.
+_POOL_CRASH_ERRORS = (OSError, EOFError, BrokenPipeError)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How hard the sweep fabric fights for each trial before giving up.
+
+    The default policy is *inert*: no timeout, one attempt, which keeps the
+    runner on its original dispatch path (bitwise-identical to a build
+    without this module).  Activate supervision by setting a ``timeout``
+    and/or ``max_attempts > 1``.
+
+    Args:
+        timeout: per-trial wall-clock budget in seconds, enforced
+            coordinator-side as a progress watchdog over the unordered
+            output stream; ``None`` disables the watchdog (hung or killed
+            workers then block forever, exactly as without supervision).
+        max_attempts: total dispatch attempts per trial for *raising*
+            trials; ``1`` disables retries.
+        backoff_base: first retry delay in seconds (``0`` retries
+            immediately, which is what the tests use).
+        backoff_factor: multiplier per further attempt (exponential).
+        backoff_max: cap on the un-jittered delay.
+        backoff_jitter: jitter fraction; the actual delay is scaled by
+            ``1 + jitter * u`` with ``u`` derived from the trial seed and
+            attempt — deterministic, so re-runs are reproducible.
+        quarantine_after: strikes (watchdog timeouts / suspected worker
+            kills) before a trial is quarantined as a structured failure.
+        degrade_in_process: give a quarantined trial one final contained
+            attempt in the coordinator process (the no-pool path).  Off by
+            default: an in-process attempt of a genuinely *hanging* trial
+            would hang the coordinator — enable it only for crash-suspects.
+    """
+
+    timeout: Optional[float] = None
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    backoff_jitter: float = 0.25
+    quarantine_after: int = 3
+    degrade_in_process: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0 or None, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if self.backoff_jitter < 0:
+            raise ValueError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy changes anything over the unsupervised runner."""
+        return self.timeout is not None or self.max_attempts > 1
+
+    def backoff_delay(self, seed: int, attempt: int) -> float:
+        """Delay before dispatch ``attempt + 1`` of the trial with ``seed``.
+
+        Exponential in the attempt, capped at ``backoff_max``, scaled by a
+        seed-derived jitter factor in ``[1, 1 + backoff_jitter]``.  Attempt
+        counts completed dispatches, so the first dispatch (``attempt=0``)
+        never waits.
+        """
+        if attempt < 1 or self.backoff_base <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        jitter = derive_seed(seed, attempt) / _U63
+        return delay * (1.0 + self.backoff_jitter * jitter)
+
+
+def _execute_supervised(task: _SupervisedTask) -> _Output:
+    """Worker entry point of the supervised path: chaos probe, then contain.
+
+    Identical to the unsupervised worker entry except that (a) the task
+    carries its dispatch attempt and (b) an armed chaos plan is consulted
+    first.  A chaos ``error`` injection is contained like any trial
+    exception; ``kill``/``hang`` injections never return, by design — the
+    coordinator watchdog reaps them.
+    """
+    from ..faults.chaos import ChaosError, probe
+    from .runner import _execute_contained
+
+    name, params, seed, index, attempt = task
+    try:
+        probe(seed, attempt)
+    except ChaosError as error:
+        return (
+            index,
+            "failed",
+            {"error": type(error).__name__, "message": str(error), "traceback": ""},
+        )
+    return _execute_contained((name, params, seed, index))
+
+
+class TrialSupervisor:
+    """Drives one cell's pending trials to a final disposition each.
+
+    Owned by a :class:`~repro.analysis.runner.SweepRunner` per
+    ``run_cell`` invocation; yields the same ``(index, status, payload)``
+    outputs the unsupervised path does, except that failure payloads carry
+    the attempt count and a failure ``kind`` (``"error"``, ``"timeout"``,
+    ``"crash"``, or ``"quarantined"``) for the checkpoint schema.
+    """
+
+    def __init__(self, runner: "SweepRunner", policy: SupervisionPolicy):
+        self.runner = runner
+        self.policy = policy
+        self.metrics = runner.metrics
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self, tasks: List[Tuple[str, Dict[str, Any], int, int]]) -> Iterator[_Output]:
+        """Supervise ``tasks`` (the runner's pending list) to completion.
+
+        Dispatches in rounds: all pending trials go to the pool, outputs
+        are consumed under the watchdog, failures and stall suspects are
+        re-enqueued for the next round until every trial has a final
+        disposition (ok, retries exhausted, or quarantined).
+        """
+        if not tasks:
+            return
+        pending = {task[3]: task for task in tasks}
+        failures: Dict[int, int] = {}  # index -> raising attempts so far
+        strikes: Dict[int, int] = {}  # index -> watchdog strikes so far
+        dispatches: Dict[int, int] = {}  # index -> dispatches so far
+        pool = self.runner._ensure_pool()
+        if pool is None:
+            for index in sorted(pending):
+                yield self._run_in_process(pending[index])
+            return
+        while pending:
+            batch = [pending[index] for index in sorted(pending)]
+            self._sleep_backoff(batch, dispatches)
+            supervised = [
+                (name, params, seed, index, dispatches.get(index, 0))
+                for name, params, seed, index in batch
+            ]
+            for _name, _params, _seed, index in batch:
+                dispatches[index] = dispatches.get(index, 0) + 1
+            outputs = pool.imap_unordered(
+                _execute_supervised,
+                supervised,
+                chunksize=self.runner._chunk(len(supervised)),
+            )
+            in_flight = {task[3] for task in batch}
+            stalled: Optional[str] = None
+            while in_flight:
+                try:
+                    if self.policy.timeout is not None:
+                        index, status, payload = outputs.next(self.policy.timeout)
+                    else:
+                        index, status, payload = next(outputs)
+                except multiprocessing.TimeoutError:
+                    stalled = self._stall_kind(pool)
+                    break
+                except StopIteration:  # pool lost tasks without a traceback
+                    stalled = "crash"
+                    break
+                except _POOL_CRASH_ERRORS:
+                    stalled = "crash"
+                    break
+                in_flight.discard(index)
+                if status == "ok":
+                    del pending[index]
+                    yield (index, status, payload)
+                    continue
+                failures[index] = failures.get(index, 0) + 1
+                if failures[index] < self.policy.max_attempts:
+                    self.metrics.counter("sweep/retry/scheduled").inc()
+                    continue  # stays pending for the next round
+                if self.policy.max_attempts > 1:
+                    self.metrics.counter("sweep/retry/exhausted").inc()
+                del pending[index]
+                yield (index, "failed", self._finalize(payload, failures[index]))
+            if stalled is not None:
+                pool = self._heal(stalled, in_flight)
+                for output in self._strike(stalled, in_flight, pending, strikes):
+                    yield output
+
+    # -------------------------------------------------------------- plumbing
+
+    def _sleep_backoff(
+        self,
+        batch: List[Tuple[str, Dict[str, Any], int, int]],
+        dispatches: Dict[int, int],
+    ) -> None:
+        """One backoff sleep per dispatch round: the max over its retries.
+
+        Sleeping per-trial would serialize the round; the deterministic
+        per-trial delays still decide *how long*, the round just waits for
+        the slowest of them once.
+        """
+        delay = max(
+            (
+                self.policy.backoff_delay(seed, dispatches.get(index, 0))
+                for _name, _params, seed, index in batch
+            ),
+            default=0.0,
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    @staticmethod
+    def _finalize(
+        payload: Dict[str, Any], attempts: int, kind: str = "error"
+    ) -> Dict[str, Any]:
+        """A failure payload annotated with its disposition for the schema."""
+        final = dict(payload)
+        final["kind"] = kind
+        final["attempts"] = attempts
+        return final
+
+    @staticmethod
+    def _stall_kind(pool: Any) -> str:
+        """Classify a watchdog fire: ``"crash"`` if a worker died, else ``"timeout"``.
+
+        Best-effort: ``multiprocessing.Pool`` repopulates dead workers
+        within a fraction of a second, so a kill can present as a plain
+        timeout by the time the watchdog fires.  Both classes are handled
+        identically; the kind only flavors the failure records.
+        """
+        workers = getattr(pool, "_pool", None) or []
+        if any(worker.exitcode is not None for worker in workers):
+            return "crash"
+        return "timeout"
+
+    def _heal(self, kind: str, in_flight: Set[int]) -> Any:
+        """Respawn the pool after a stall and account for the event."""
+        self.metrics.counter("sweep/timeout/watchdog_fires").inc()
+        self.metrics.gauge("sweep/timeout/last_suspects").set(len(in_flight))
+        if kind == "crash":
+            self.metrics.counter("sweep/pool_crashes").inc()
+        return self.runner._respawn_pool()
+
+    def _strike(
+        self,
+        kind: str,
+        in_flight: Set[int],
+        pending: Dict[int, Tuple[str, Dict[str, Any], int, int]],
+        strikes: Dict[int, int],
+    ) -> Iterator[_Output]:
+        """Attribute a stall to every unfinished in-flight trial.
+
+        Each suspect gets a strike; suspects below the quarantine threshold
+        stay pending (the self-healed pool re-runs them), the rest are
+        quarantined — yielded as structured failures, or handed one final
+        in-process attempt when the policy degrades gracefully.
+        """
+        for index in sorted(in_flight):
+            strikes[index] = strikes.get(index, 0) + 1
+            self.metrics.counter("sweep/timeout/strikes").inc()
+            if strikes[index] < self.policy.quarantine_after:
+                continue
+            task = pending.pop(index)
+            self.metrics.counter("sweep/quarantine/trials").inc()
+            if self.policy.degrade_in_process:
+                self.metrics.counter("sweep/quarantine/degraded").inc()
+                yield self._run_in_process(task, quarantined=True)
+                continue
+            _name, _params, seed, _index = task
+            yield (
+                index,
+                "failed",
+                self._finalize(
+                    {
+                        "error": "TrialQuarantined",
+                        "message": (
+                            f"quarantined after {strikes[index]} strike(s); "
+                            f"last stall: {kind} (seed {seed})"
+                        ),
+                        "traceback": "",
+                    },
+                    strikes[index],
+                    kind=kind,
+                ),
+            )
+
+    def _run_in_process(
+        self,
+        task: Tuple[str, Dict[str, Any], int, int],
+        *,
+        quarantined: bool = False,
+    ) -> _Output:
+        """The contained no-pool path, with the policy's retry loop.
+
+        Used for ``processes=1`` runners and as the graceful-degradation
+        fallback for quarantined trials.  Timeouts cannot be enforced
+        in-process (there is nothing to kill but ourselves), so only the
+        retry half of the policy applies here.
+        """
+        from .runner import _execute_contained
+
+        name, params, seed, index = task
+        attempt = 0
+        while True:
+            output = _execute_contained((name, params, seed, index))
+            attempt += 1
+            if output[1] == "ok":
+                return output
+            if attempt >= self.policy.max_attempts:
+                kind = "quarantined" if quarantined else "error"
+                return (index, "failed", self._finalize(output[2], attempt, kind=kind))
+            self.metrics.counter("sweep/retry/scheduled").inc()
+            delay = self.policy.backoff_delay(seed, attempt)
+            if delay > 0:
+                time.sleep(delay)

@@ -33,15 +33,28 @@ class TrialFailure:
     cell, the pool, or the sweep.  ``error`` is the exception type name and
     ``traceback`` the formatted worker-side stack (empty when unavailable,
     e.g. after a checkpoint round-trip that dropped it).
+
+    Under a supervision policy (:mod:`repro.analysis.supervise`) the record
+    also carries its disposition: ``kind`` distinguishes a contained
+    exception (``"error"``) from a watchdog ``"timeout"``, a suspected
+    worker ``"crash"``, or a ``"quarantined"`` poison trial, and
+    ``attempts`` counts how many dispatches the supervisor spent before
+    giving up.  The unsupervised path always produces the defaults.
     """
 
     seed: int
     error: str
     message: str
     traceback: str = ""
+    kind: str = "error"
+    attempts: int = 1
 
     def __str__(self) -> str:
-        return f"seed {self.seed}: {self.error}: {self.message}"
+        disposition = "" if self.kind == "error" else f" [{self.kind}]"
+        retries = f" (attempts: {self.attempts})" if self.attempts > 1 else ""
+        return (
+            f"seed {self.seed}: {self.error}: {self.message}{disposition}{retries}"
+        )
 
 
 @dataclass

@@ -260,6 +260,37 @@ def _parse_axes(specs) -> "dict":
     return axes
 
 
+def _build_supervision(args: argparse.Namespace):
+    """The sweep command's supervision policy and chaos plan (or Nones).
+
+    Raises ``SystemExit`` with a usage message on bad values, so the
+    runner's ``ValueError``s never surface as tracebacks.
+    """
+    from .analysis.supervise import SupervisionPolicy
+    from .faults.chaos import ChaosPlan
+
+    supervision = None
+    if args.timeout is not None or args.max_attempts != 1:
+        try:
+            supervision = SupervisionPolicy(
+                timeout=args.timeout, max_attempts=args.max_attempts
+            )
+        except ValueError as error:
+            raise SystemExit(f"repro sweep: {error}")
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as error:
+            raise SystemExit(f"repro sweep: bad --chaos spec: {error}")
+        if supervision is None or not supervision.active:
+            raise SystemExit(
+                "repro sweep: --chaos requires supervision "
+                "(--timeout and/or --max-attempts > 1)"
+            )
+    return supervision, chaos
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.runner import SweepRunner, format_failures
     from .analysis.sweep import grid_product
@@ -279,11 +310,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cell in grid:
             cell["backend"] = args.backend
 
+    supervision, chaos = _build_supervision(args)
     metrics = MetricsRegistry()
+    supervised = (
+        f"timeout={args.timeout or 'off'} max_attempts={args.max_attempts}"
+        if supervision is not None
+        else "off"
+    )
     print(
         f"sweep: trial={args.trial} cells={len(grid)} trials/cell={args.trials} "
         f"master_seed={args.seed} processes={args.processes or 'auto'} "
-        f"checkpoint={args.checkpoint_dir or 'off'}"
+        f"checkpoint={args.checkpoint_dir or 'off'} supervision={supervised}"
+        + (f" chaos={args.chaos}" if chaos is not None else "")
     )
     with SweepRunner(
         processes=args.processes,
@@ -291,6 +329,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         retry_failures=args.retry_failures,
         metrics=metrics,
+        supervision=supervision,
+        chaos=chaos,
     ) as runner:
         sweep = runner.run_grid(
             args.trial, grid, trials=args.trials, master_seed=args.seed
@@ -321,6 +361,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     failed = int(counters.get("sweep/trials_failed", 0))
     print()
     print(f"trials: {executed} executed, {cached} cached, {failed} failed")
+    retries = int(counters.get("sweep/retry/scheduled", 0))
+    restarts = int(counters.get("sweep/pool_restart", 0))
+    quarantined = int(counters.get("sweep/quarantine/trials", 0))
+    if retries or restarts or quarantined:
+        print(
+            f"supervision: {retries} retried, {restarts} pool restart(s), "
+            f"{quarantined} quarantined"
+        )
     if failed:
         for line in format_failures(sweep.cells):
             print(f"  FAIL {line}")
@@ -826,6 +874,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="engine backend forwarded to backend-aware trials (e.g. "
         "'baseline') as a constant cell parameter; omitted by default",
+    )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock watchdog; hung or killed workers are "
+        "reaped, the pool self-heals, repeat offenders are quarantined",
+    )
+    sweep_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="total dispatch attempts per failing trial (retry with "
+        "exponential backoff and seed-deterministic jitter); default 1",
+    )
+    sweep_parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="arm the chaos harness in pool workers, e.g. "
+        "'kill=0.2,hang=0.1,error=0.3' (requires --timeout/--max-attempts)",
+    )
+    sweep_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="root seed of the chaos injection stream (default 0)",
     )
     sweep_parser.set_defaults(fn=_cmd_sweep)
 

@@ -21,8 +21,14 @@ hashing, never stream consumption), serializes to plain JSON
 and with ``faults=None`` the engine is bitwise-identical to a build without
 this package.  Fault activity is measurable through the :mod:`repro.obs`
 round-event stream (``RoundEvent.faults``).  See ``docs/faults.md``.
+
+A second family lives in :mod:`repro.faults.chaos`: instead of breaking the
+simulated channel it breaks the *sweep harness itself* (worker kills,
+hangs, spurious exceptions), which is how the supervised sweep runner's
+self-healing is proven.  See ``docs/resilience.md``.
 """
 
+from .chaos import ChaosError, ChaosPlan
 from .models import (
     CDNoise,
     Churn,
@@ -36,6 +42,8 @@ from .models import (
 
 __all__ = [
     "CDNoise",
+    "ChaosError",
+    "ChaosPlan",
     "Churn",
     "FaultModel",
     "FaultPlan",

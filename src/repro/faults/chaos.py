@@ -1,0 +1,217 @@
+"""Deterministic chaos injection for the sweep-orchestration layer.
+
+:mod:`repro.faults` breaks the *simulated* channel; this module breaks the
+*harness that runs the simulations*.  A :class:`ChaosPlan` describes, with
+seed-derived determinism, how sweep worker processes misbehave: a worker
+may be SIGKILLed mid-chunk, hang past any reasonable deadline, or raise a
+spurious exception before the trial runs.  The supervised sweep runner
+(:mod:`repro.analysis.supervise`) must absorb all three — that is exactly
+what the chaos integration tests prove end to end (self-healing pool,
+checkpoint/resume, zero lost or duplicated trial records).
+
+The plan is armed *inside worker initializers*: the coordinator passes the
+plan's plain-dict form to ``multiprocessing.Pool(initializer=...)``, each
+worker rebuilds it into a module global, and the supervised worker entry
+point probes it before every trial.  Decisions are pure functions of
+``(plan seed, trial seed, dispatch attempt)`` via the same stateless
+:func:`~repro.sim.rng.derive_seed` hashing every other fault model uses, so
+a chaos run is exactly reproducible and — because injection is gated on the
+dispatch attempt — retries of a struck trial deterministically converge.
+
+Nothing here is armed by default: an unarmed worker's probe is a no-op and
+the default sweep path never even calls it.  See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..sim.rng import derive_seed
+
+#: Scale turning a 63-bit ``derive_seed`` draw into a uniform in [0, 1).
+_U63 = float(1 << 63)
+
+
+class ChaosError(RuntimeError):
+    """The exception a chaos ``error`` injection raises inside a worker.
+
+    Deliberately a plain ``RuntimeError`` subclass: the sweep runner's
+    per-trial containment must treat it like any other trial exception
+    (flatten to a structured failure, retry under the supervision policy).
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seed-deterministic worker misbehaviour for the sweep fabric.
+
+    Each dispatch of a trial draws one uniform variate from
+    ``derive_seed(seed, trial_seed, attempt)`` and maps it onto the three
+    injection bands in order — ``kill``, then ``hang``, then ``error`` — so
+    the probabilities must sum to at most 1.  Injection only applies while
+    ``attempt < attempts`` (attempts count dispatches of the same trial, as
+    tracked by the supervisor), which is what makes chaos runs *convergent*:
+    with the default ``attempts=1`` a struck trial's re-dispatch always runs
+    clean.
+
+    Args:
+        kill: probability the worker SIGKILLs itself before the trial.
+        hang: probability the worker sleeps ``hang_seconds`` first (a stand-in
+            for a wedged trial; the coordinator watchdog must reap it).
+        error: probability a :class:`ChaosError` is raised instead of the
+            trial running.
+        seed: root seed of the chaos stream (independent of trial seeds).
+        attempts: number of leading dispatches per trial that are eligible
+            for injection; later dispatches always run clean.
+        hang_seconds: how long a ``hang`` injection sleeps.  The pool is
+            terminated by the watchdog long before a sensible value elapses.
+    """
+
+    kill: float = 0.0
+    hang: float = 0.0
+    error: float = 0.0
+    seed: int = 0
+    attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill", "hang", "error"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.kill + self.hang + self.error > 1.0 + 1e-12:
+            raise ValueError(
+                "kill + hang + error must not exceed 1, got "
+                f"{self.kill + self.hang + self.error}"
+            )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.hang_seconds <= 0:
+            raise ValueError(f"hang_seconds must be > 0, got {self.hang_seconds}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any injection band has nonzero probability."""
+        return (self.kill + self.hang + self.error) > 0.0
+
+    def decide(self, trial_seed: int, attempt: int) -> Optional[str]:
+        """The injection for one dispatch: ``"kill"``/``"hang"``/``"error"``/None.
+
+        Pure and stateless: the same ``(plan, trial_seed, attempt)`` always
+        decides the same way, in the coordinator or in any worker.
+        """
+        if attempt >= self.attempts or not self.active:
+            return None
+        draw = derive_seed(self.seed, trial_seed, attempt) / _U63
+        if draw < self.kill:
+            return "kill"
+        if draw < self.kill + self.hang:
+            return "hang"
+        if draw < self.kill + self.hang + self.error:
+            return "error"
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (what crosses into worker initializers)."""
+        return {
+            "kind": "chaos",
+            "kill": self.kill,
+            "hang": self.hang,
+            "error": self.error,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        if payload.get("kind") != "chaos":
+            raise ValueError(f"not a chaos plan payload: {payload.get('kind')!r}")
+        return cls(
+            kill=float(payload.get("kill", 0.0)),
+            hang=float(payload.get("hang", 0.0)),
+            error=float(payload.get("error", 0.0)),
+            seed=int(payload.get("seed", 0)),
+            attempts=int(payload.get("attempts", 1)),
+            hang_seconds=float(payload.get("hang_seconds", 30.0)),
+        )
+
+    @classmethod
+    def parse(cls, spec: str, *, seed: int = 0) -> "ChaosPlan":
+        """Build a plan from a CLI spec like ``"kill=0.2,hang=0.1,error=0.3"``.
+
+        Recognized keys: ``kill``, ``hang``, ``error``, ``attempts``,
+        ``hang_seconds``.  Unknown keys raise ``ValueError`` (a typo must not
+        silently disable an injector).
+        """
+        fields: Dict[str, Any] = {"seed": seed}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, separator, value = part.partition("=")
+            if not separator:
+                raise ValueError(f"bad chaos spec component {part!r}; expected k=v")
+            name = name.strip()
+            if name in ("kill", "hang", "error", "hang_seconds"):
+                fields[name] = float(value)
+            elif name == "attempts":
+                fields[name] = int(value)
+            else:
+                raise ValueError(f"unknown chaos spec key {name!r}")
+        return cls(**fields)
+
+
+#: The plan armed in *this* process (workers only; the coordinator never arms).
+_ACTIVE: Optional[ChaosPlan] = None
+
+
+def arm(plan: Optional[ChaosPlan]) -> None:
+    """Arm (or, with ``None``, disarm) chaos injection in this process."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def armed() -> Optional[ChaosPlan]:
+    """The plan currently armed in this process, if any."""
+    return _ACTIVE
+
+
+def initializer(payload: Dict[str, Any]) -> None:
+    """``multiprocessing.Pool`` initializer: rebuild and arm the plan.
+
+    Receives the plan as plain data (:meth:`ChaosPlan.to_dict`) so spawn-
+    start-method workers — which re-import rather than inherit — arm the
+    exact same plan as fork workers.
+    """
+    arm(ChaosPlan.from_dict(payload))
+
+
+def probe(trial_seed: int, attempt: int) -> None:
+    """Execute this process's chaos decision for one trial dispatch.
+
+    No-op when unarmed or when the plan decides ``None``.  Otherwise:
+    ``kill`` SIGKILLs the process (an un-catchable mid-chunk worker death),
+    ``hang`` sleeps ``hang_seconds`` (then runs the trial normally — the
+    watchdog usually reaps the worker first), and ``error`` raises
+    :class:`ChaosError` for the containment path to flatten.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    action = plan.decide(trial_seed, attempt)
+    if action is None:
+        return
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        time.sleep(plan.hang_seconds)
+    else:
+        raise ChaosError(
+            f"chaos error injection (seed {trial_seed}, attempt {attempt})"
+        )

@@ -183,6 +183,13 @@ def checkpoint_record_to_dict(
     record's ``status`` is derived from which.  The five identity fields
     ``(trial, params, master_seed, stream, seed)`` key the record — the same
     key the resilient runner uses to decide whether a trial is already done.
+
+    A failure mapping may additionally carry its supervision disposition —
+    ``kind`` (``"timeout"``/``"crash"``/``"quarantined"``) and ``attempts``
+    (total dispatches) — which is serialized only when it differs from the
+    unsupervised defaults (``"error"``, 1).  That keeps the format at
+    version 1: records from unsupervised runs are byte-identical to the
+    pre-supervision schema, and old readers simply ignore the extra keys.
     """
     if (metrics is None) == (failure is None):
         raise ValueError("exactly one of metrics/failure must be given")
@@ -199,11 +206,18 @@ def checkpoint_record_to_dict(
         record["metrics"] = {str(k): float(v) for k, v in dict(metrics).items()}
     else:
         record["status"] = "failed"
-        record["failure"] = {
+        entry: Dict[str, Any] = {
             "error": str(failure["error"]),
             "message": str(failure["message"]),
             "traceback": str(failure.get("traceback", "")),
         }
+        kind = failure.get("kind")
+        if kind is not None and str(kind) != "error":
+            entry["kind"] = str(kind)
+        attempts = failure.get("attempts")
+        if attempts is not None and int(attempts) != 1:
+            entry["attempts"] = int(attempts)
+        record["failure"] = entry
     return record
 
 

@@ -230,7 +230,9 @@ class TestCheckpointResume:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("\n".join(keep) + "\n")
             handle.write(lines[len(lines) // 2][: 20])  # torn tail
-        resumed, counters = self.run_checkpointed(tmp_path, processes=1)
+        # The torn tail is now *visible*: the resuming load warns about it.
+        with pytest.warns(RuntimeWarning, match="skipped 1 invalid line"):
+            resumed, counters = self.run_checkpointed(tmp_path, processes=1)
         assert cells_data(resumed.cells) == cells_data(serial_reference().cells)
         assert counters["sweep/trials_cached"] == len(keep)
         assert counters["sweep/trials_executed"] == len(lines) - len(keep)
@@ -309,7 +311,8 @@ class TestCheckpointResume:
                 stream=0, seed=17, metrics={"rounds": 4.0},
             )
             handle.write(json.dumps(record) + "\n")
-        loaded = store.load("two-active", 0)
+        with pytest.warns(RuntimeWarning, match="skipped 2 invalid line"):
+            loaded = store.load("two-active", 0)
         assert list(loaded.values()) == [record]
 
 

@@ -36,6 +36,7 @@ class TestBenchmarkConventions:
     SUBSTRATE_BENCHES = {
         "bench_arrivals.py",
         "bench_engine_throughput.py",
+        "bench_supervisor.py",
         "bench_sweep_runner.py",
     }
 

@@ -1,0 +1,220 @@
+"""CheckpointStore hygiene: visible corruption, compaction, no leaked fds.
+
+The store's kill-safety contract (a torn tail line is skipped, never
+fatal) used to be *silent*; these tests pin the visibility half — every
+skipped line counts on ``sweep/checkpoint/skipped_lines`` and each damaged
+load warns once — plus :meth:`CheckpointStore.compact` and the runner's
+guarantee that a mid-sweep exception cannot leak an open writer handle.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.parallel import register_trial
+from repro.analysis.runner import CheckpointStore, SweepRunner
+from repro.analysis.sweep import grid_product
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.serialize import checkpoint_record_to_dict
+
+GRID = grid_product(n=[16, 32])
+TRIALS = 4
+MASTER_SEED = 7
+TRIAL = "ckpt-test-flaky"
+
+
+@register_trial(TRIAL)
+def flaky_trial(seed, n):
+    """Raises deterministically for a third of the seeds (keyed on seed)."""
+    if seed % 3 == 0:
+        raise RuntimeError(f"deliberate failure for seed {seed}")
+    return {"rounds": float(seed % 7 + n), "solved": 1.0}
+
+
+def _record(seed, *, n=16, metrics=None):
+    return checkpoint_record_to_dict(
+        trial=TRIAL,
+        params={"n": n},
+        master_seed=MASTER_SEED,
+        stream=0,
+        seed=seed,
+        metrics=metrics if metrics is not None else {"rounds": 1.0},
+    )
+
+
+def _write_lines(store, lines):
+    with open(store.path_for(TRIAL, MASTER_SEED), "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+class TestSkippedLineVisibility:
+    def test_clean_load_neither_warns_nor_counts(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = CheckpointStore(str(tmp_path), metrics=metrics)
+        _write_lines(store, [json.dumps(_record(1)), json.dumps(_record(2))])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            records = store.load(TRIAL, MASTER_SEED)
+        assert len(records) == 2
+        counters = metrics.snapshot()["counters"]
+        assert "sweep/checkpoint/skipped_lines" not in counters
+
+    def test_damaged_load_counts_and_warns_once(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = CheckpointStore(str(tmp_path), metrics=metrics)
+        _write_lines(
+            store,
+            [
+                json.dumps(_record(1)),
+                '{"torn": tail',  # unparsable JSON
+                json.dumps({"format_version": 999}),  # foreign version
+                json.dumps(_record(2))[:-5],  # truncated record
+            ],
+        )
+        with pytest.warns(RuntimeWarning, match="skipped 3 invalid line") as caught:
+            records = store.load(TRIAL, MASTER_SEED)
+        assert len(caught) == 1  # a single warning, not one per line
+        assert len(records) == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/checkpoint/skipped_lines"] == 3
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.load(TRIAL, MASTER_SEED) == {}
+
+
+class TestCompact:
+    def test_compact_missing_file_is_a_noop(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        stats = store.compact(TRIAL, MASTER_SEED)
+        assert stats == {"kept": 0, "dropped_superseded": 0, "dropped_invalid": 0}
+
+    def test_compact_drops_superseded_and_invalid(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        superseding = _record(1, metrics={"rounds": 9.0})
+        _write_lines(
+            store,
+            [
+                json.dumps(_record(1)),  # superseded by the later line
+                json.dumps(_record(2)),
+                "not json at all",
+                json.dumps(superseding),
+            ],
+        )
+        before = store.compact(TRIAL, MASTER_SEED)
+        assert before == {"kept": 2, "dropped_superseded": 1, "dropped_invalid": 1}
+        with open(store.path_for(TRIAL, MASTER_SEED), "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert len(lines) == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = store.load(TRIAL, MASTER_SEED)  # now pristine
+        assert any(r["metrics"]["rounds"] == 9.0 for r in records.values())
+
+    def test_compact_preserves_load_semantics(self, tmp_path):
+        """Compaction must keep exactly what load() would surface."""
+        store = CheckpointStore(str(tmp_path))
+        _write_lines(
+            store,
+            [json.dumps(_record(seed, n=n)) for n in (16, 32) for seed in (1, 2, 3)]
+            + [json.dumps(_record(2, n=16, metrics={"rounds": 5.0}))],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            before = store.load(TRIAL, MASTER_SEED)
+        store.compact(TRIAL, MASTER_SEED)
+        after = store.load(TRIAL, MASTER_SEED)
+        assert after == before
+
+    def test_retry_failures_after_compaction_reruns_only_failures(self, tmp_path):
+        """The resume contract survives a compaction: completed trials stay
+        cached, failed ones re-run (and, deterministically, fail again)."""
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path), metrics=metrics
+        ) as runner:
+            first = runner.run_grid(
+                TRIAL, GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        failed = sum(len(cell.failures) for cell in first.cells)
+        completed = sum(len(cell.trials) for cell in first.cells)
+        assert failed and completed
+
+        store = CheckpointStore(str(tmp_path))
+        stats = store.compact(TRIAL, MASTER_SEED)
+        assert stats["kept"] == failed + completed
+
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=1,
+            checkpoint_dir=str(tmp_path),
+            retry_failures=True,
+            metrics=metrics,
+        ) as runner:
+            second = runner.run_grid(
+                TRIAL, GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/trials_executed"] == failed
+        assert counters["sweep/trials_cached"] == completed
+        assert [len(c.trials) for c in second.cells] == [
+            len(c.trials) for c in first.cells
+        ]
+
+
+class TestWriterLifecycle:
+    def test_mid_sweep_exception_leaks_no_open_handles(self, tmp_path, monkeypatch):
+        """A progress callback raising mid-cell must close the checkpoint
+        writer on the way out (the contextmanager path), so an aborted
+        sweep leaves no dangling fds behind."""
+        handles = []
+        original = CheckpointStore.open_writer
+
+        def spying_open_writer(self, trial, master_seed):
+            handle = original(self, trial, master_seed)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(CheckpointStore, "open_writer", spying_open_writer)
+
+        def exploding_progress(done, total):
+            if done >= 2:
+                raise RuntimeError("mid-sweep abort")
+
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path), progress=exploding_progress
+        ) as runner:
+            with pytest.raises(RuntimeError, match="mid-sweep abort"):
+                runner.run_grid(TRIAL, GRID, trials=TRIALS, master_seed=MASTER_SEED)
+        assert handles, "the checkpoint writer must have been opened"
+        assert all(handle.closed for handle in handles)
+
+    def test_aborted_sweep_resumes_from_flushed_records(self, tmp_path):
+        """The handle hygiene above is what makes this safe: records written
+        before the abort are already flushed and resume cleanly."""
+        count = {"done": 0}
+
+        def exploding_progress(done, total):
+            count["done"] = done
+            if done >= 3:
+                raise RuntimeError("mid-sweep abort")
+
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path), progress=exploding_progress
+        ) as runner:
+            with pytest.raises(RuntimeError):
+                runner.run_grid(TRIAL, GRID, trials=TRIALS, master_seed=MASTER_SEED)
+
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=1, checkpoint_dir=str(tmp_path), metrics=metrics
+        ) as runner:
+            runner.run_grid(TRIAL, GRID, trials=TRIALS, master_seed=MASTER_SEED)
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/trials_cached"] >= count["done"]
+        total = counters["sweep/trials_cached"] + counters.get(
+            "sweep/trials_executed", 0
+        )
+        assert total == len(GRID) * TRIALS

@@ -151,3 +151,38 @@ class TestSweepCommand:
         # an unknown trial name must fail loudly, not schedule anything.
         with pytest.raises(KeyError):
             main(["sweep", "--trial", "bogus", "--axis", "flag=true,false"])
+
+    def test_sweep_supervised_flags_run_clean_grid(self, capsys):
+        args = self.ARGS + [
+            "--processes", "1", "--timeout", "30", "--max-attempts", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "supervision=timeout=30.0 max_attempts=2" in out
+        assert "trials: 4 executed, 0 cached, 0 failed" in out
+
+    def test_sweep_chaos_kill_self_heals(self, capsys):
+        # Every first dispatch SIGKILLs its worker; the supervised runner
+        # must still complete the grid (self-healing + retry) with exit 0.
+        args = self.ARGS + [
+            "--processes", "2",
+            "--timeout", "5", "--max-attempts", "2",
+            "--chaos", "kill=1.0", "--chaos-seed", "3",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "chaos=kill=1.0" in out
+        assert "trials: 4 executed, 0 cached, 0 failed" in out
+        assert "pool restart(s)" in out
+
+    def test_sweep_chaos_requires_supervision(self):
+        with pytest.raises(SystemExit, match="--chaos requires supervision"):
+            main(self.ARGS + ["--chaos", "kill=0.5"])
+
+    def test_sweep_rejects_bad_chaos_spec(self):
+        with pytest.raises(SystemExit, match="bad --chaos spec"):
+            main(self.ARGS + ["--timeout", "5", "--chaos", "frobnicate=1"])
+
+    def test_sweep_rejects_bad_timeout(self):
+        with pytest.raises(SystemExit, match="timeout must be > 0"):
+            main(self.ARGS + ["--timeout", "-1"])

@@ -1,0 +1,126 @@
+"""Chaos soak: repeated supervised sweeps under randomized harness faults.
+
+The full soak is nightly-CI material (many chaos seeds, wall-clock spent
+inside watchdog windows), so it is gated behind ``REPRO_SOAK=1``; a
+scaled-down smoke round of the same invariants always runs so the soak
+logic itself cannot rot unnoticed.
+
+Invariants checked per chaos round (one supervised checkpointed sweep under
+a mixed kill/hang/error plan eligible on first dispatches only):
+
+* the grid *converges*: results equal the serial fault-free reference —
+  chaos may cost retries and pool restarts but never correctness;
+* record accounting is exact: one checkpoint record per trial identity,
+  zero lost, zero duplicated, all ``ok``;
+* a follow-up resume is a pure cache hit (no trial re-runs);
+* when ``REPRO_SOAK_JSONL`` is set, per-round supervision counters are
+  appended as JSON lines (the nightly workflow uploads this file).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.parallel import register_trial
+from repro.analysis.runner import CheckpointStore, SweepRunner, checkpoint_key
+from repro.analysis.supervise import SupervisionPolicy
+from repro.analysis.sweep import grid_product, run_sweep
+from repro.faults.chaos import ChaosPlan
+from repro.obs.metrics import MetricsRegistry
+
+_SOAK = os.environ.get("REPRO_SOAK", "") == "1"
+
+TRIAL = "chaos-soak-trial"
+MASTER_SEED = 17
+
+#: Mixed plan: on a trial's first dispatch, half of all dispatches
+#: misbehave (worker SIGKILL, 30 s hang, or injected exception); retries
+#: run clean, so every round must converge.
+CHAOS_KWARGS = dict(kill=0.25, hang=0.1, error=0.15, attempts=1)
+
+POLICY = SupervisionPolicy(
+    timeout=2.0, max_attempts=3, backoff_base=0.0, quarantine_after=3
+)
+
+
+@register_trial(TRIAL)
+def soak_trial(seed, n, C):
+    """A cheap deterministic trial; all the hostility comes from chaos."""
+    return {"rounds": float(seed % 11 + n + C), "solved": 1.0}
+
+
+def _reference(grid, trials):
+    def make(params):
+        return lambda seed: soak_trial(seed, **params)
+
+    return run_sweep(grid, make, trials=trials, master_seed=MASTER_SEED)
+
+
+def _cells_data(cells):
+    return [(dict(c.params), [dict(t) for t in c.trials]) for c in cells]
+
+
+def _chaos_round(chaos_seed, directory, grid, trials):
+    """One supervised chaos sweep; returns its supervision counters."""
+    metrics = MetricsRegistry()
+    plan = ChaosPlan(seed=chaos_seed, **CHAOS_KWARGS)
+    with SweepRunner(
+        processes=2,
+        checkpoint_dir=directory,
+        supervision=POLICY,
+        chaos=plan,
+        metrics=metrics,
+    ) as runner:
+        sweep = runner.run_grid(TRIAL, grid, trials=trials, master_seed=MASTER_SEED)
+
+    assert _cells_data(sweep.cells) == _cells_data(_reference(grid, trials).cells)
+
+    store = CheckpointStore(directory)
+    with open(store.path_for(TRIAL, MASTER_SEED), "r", encoding="utf-8") as handle:
+        raw = [json.loads(line) for line in handle if line.strip()]
+    assert len(raw) == len(grid) * trials, "lost or duplicated trial records"
+    keys = {
+        checkpoint_key(
+            r["trial"], r["params"], r["master_seed"], r["stream"], r["seed"]
+        )
+        for r in raw
+    }
+    assert len(keys) == len(raw)
+    assert all(r["status"] == "ok" for r in raw)
+
+    resume_metrics = MetricsRegistry()
+    with SweepRunner(
+        processes=1, checkpoint_dir=directory, metrics=resume_metrics
+    ) as runner:
+        runner.run_grid(TRIAL, grid, trials=trials, master_seed=MASTER_SEED)
+    counters = resume_metrics.snapshot()["counters"]
+    assert counters.get("sweep/trials_executed", 0) == 0
+    assert counters["sweep/trials_cached"] == len(grid) * trials
+
+    return metrics.snapshot()["counters"]
+
+
+def _append_jsonl(payload):
+    path = os.environ.get("REPRO_SOAK_JSONL", "")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+
+def test_chaos_smoke_round(tmp_path):
+    """Always-on scaled-down soak round: one chaos seed, a small grid."""
+    grid = grid_product(n=[32], C=[2])
+    counters = _chaos_round(1, str(tmp_path), grid, trials=4)
+    _append_jsonl({"round": "smoke", "chaos_seed": 1, "counters": counters})
+
+
+@pytest.mark.skipif(not _SOAK, reason="chaos soak runs in nightly CI (REPRO_SOAK=1)")
+@pytest.mark.parametrize("chaos_seed", list(range(2, 10)))
+def test_chaos_soak_rounds(tmp_path, chaos_seed):
+    """Nightly: eight independent chaos seeds over a wider grid, each with
+    full convergence, record-accounting, and pure-cache-resume checks."""
+    grid = grid_product(n=[32, 64], C=[2, 4])
+    counters = _chaos_round(chaos_seed, str(tmp_path), grid, trials=5)
+    _append_jsonl({"round": "soak", "chaos_seed": chaos_seed, "counters": counters})

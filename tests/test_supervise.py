@@ -1,0 +1,524 @@
+"""Supervised sweep fabric: watchdog, retry, self-healing, chaos, quarantine.
+
+The acceptance bar mirrors the runner's own: (1) supervision *disabled*
+must leave the runner bitwise-identical to the unsupervised code path,
+(2) supervision *enabled* on a healthy grid must still produce the serial
+reference results, and (3) under the deterministic chaos harness — workers
+SIGKILLed mid-chunk, hung past the watchdog, or raising injected errors —
+the full grid must complete via retry + pool self-healing + checkpoint
+resume with zero lost or duplicated trial records.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.parallel import register_trial
+from repro.analysis.runner import (
+    CheckpointStore,
+    SweepRunner,
+    checkpoint_key,
+)
+from repro.analysis.supervise import SupervisionPolicy, TrialSupervisor
+from repro.analysis.sweep import TrialFailure, grid_product, run_sweep
+from repro.faults.chaos import ChaosError, ChaosPlan, arm, armed, initializer, probe
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.serialize import checkpoint_record_from_dict, checkpoint_record_to_dict
+
+GRID = grid_product(n=[32, 64], C=[2, 4])
+TRIALS = 5
+MASTER_SEED = 3
+
+
+@register_trial("supervise-test-ok")
+def ok_trial(seed, n, C):
+    """A fast deterministic trial used as the healthy-grid reference."""
+    return {"rounds": float(seed % 7 + n + C), "solved": 1.0}
+
+
+@register_trial("supervise-test-flaky")
+def flaky_trial(seed, n, C):
+    """Raises deterministically for a third of the seeds (keyed on seed)."""
+    if seed % 3 == 0:
+        raise RuntimeError(f"deliberate failure for seed {seed}")
+    return {"rounds": float(seed % 7 + n + C), "solved": 1.0}
+
+
+@register_trial("supervise-test-sleep")
+def sleep_trial(seed, n, sleep_s):
+    """Sleeps ``sleep_s`` then succeeds: hangs or completes depending on the
+    policy's timeout, which is how quarantine-then-recover is driven."""
+    time.sleep(sleep_s)
+    return {"rounds": float(seed % 5 + n), "solved": 1.0}
+
+
+def serial_reference(trial="supervise-test-ok", grid=GRID):
+    def make(params):
+        fn = {"supervise-test-ok": ok_trial}[trial]
+        return lambda seed: fn(seed, **params)
+
+    return run_sweep(grid, make, trials=TRIALS, master_seed=MASTER_SEED)
+
+
+def cells_data(cells):
+    return [(dict(c.params), [dict(t) for t in c.trials]) for c in cells]
+
+
+def read_raw_records(store, trial, master_seed):
+    """Every line of one store file, parsed but not deduplicated."""
+    with open(store.path_for(trial, master_seed), "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# --------------------------------------------------------------------- policy
+
+
+class TestSupervisionPolicy:
+    def test_default_policy_is_inert(self):
+        assert not SupervisionPolicy().active
+
+    def test_timeout_or_retries_activate(self):
+        assert SupervisionPolicy(timeout=1.0).active
+        assert SupervisionPolicy(max_attempts=2).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"max_attempts": 0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+            {"backoff_jitter": -0.5},
+            {"quarantine_after": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(**kwargs)
+
+    def test_backoff_first_dispatch_never_waits(self):
+        assert SupervisionPolicy().backoff_delay(123, 0) == 0.0
+
+    def test_backoff_is_deterministic(self):
+        policy = SupervisionPolicy(max_attempts=5)
+        assert policy.backoff_delay(9, 2) == policy.backoff_delay(9, 2)
+
+    def test_backoff_grows_exponentially_to_cap(self):
+        policy = SupervisionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.4, backoff_jitter=0.0
+        )
+        delays = [policy.backoff_delay(1, attempt) for attempt in (1, 2, 3, 4, 9)]
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_backoff_jitter_bounded_and_seed_dependent(self):
+        policy = SupervisionPolicy(
+            backoff_base=1.0, backoff_factor=1.0, backoff_max=1.0, backoff_jitter=0.5
+        )
+        delays = {policy.backoff_delay(seed, 1) for seed in range(32)}
+        assert all(1.0 <= d <= 1.5 for d in delays)
+        assert len(delays) > 1  # jitter actually varies across seeds
+
+    def test_zero_base_disables_backoff(self):
+        policy = SupervisionPolicy(backoff_base=0.0)
+        assert policy.backoff_delay(7, 3) == 0.0
+
+
+# ----------------------------------------------------------------- chaos plan
+
+
+class TestChaosPlan:
+    def test_inactive_by_default(self):
+        assert not ChaosPlan().active
+        assert ChaosPlan().decide(1, 0) is None
+
+    def test_decide_is_deterministic_and_attempt_gated(self):
+        plan = ChaosPlan(kill=0.3, hang=0.3, error=0.3, seed=5, attempts=2)
+        for seed in range(50):
+            assert plan.decide(seed, 0) == plan.decide(seed, 0)
+            assert plan.decide(seed, 2) is None  # past the eligible dispatches
+        decisions = {plan.decide(seed, 0) for seed in range(200)}
+        assert {"kill", "hang", "error"} <= decisions
+
+    def test_certain_kill_band(self):
+        plan = ChaosPlan(kill=1.0, seed=1)
+        assert all(plan.decide(seed, 0) == "kill" for seed in range(20))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill": -0.1},
+            {"kill": 1.5},
+            {"kill": 0.6, "hang": 0.6},
+            {"attempts": 0},
+            {"hang_seconds": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosPlan(**kwargs)
+
+    def test_dict_round_trip(self):
+        plan = ChaosPlan(kill=0.1, hang=0.2, error=0.3, seed=9, attempts=2)
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+        with pytest.raises(ValueError):
+            ChaosPlan.from_dict({"kind": "not-chaos"})
+
+    def test_parse_spec(self):
+        plan = ChaosPlan.parse("kill=0.2, hang=0.1,error=0.3,attempts=2", seed=4)
+        assert plan == ChaosPlan(kill=0.2, hang=0.1, error=0.3, seed=4, attempts=2)
+
+    @pytest.mark.parametrize("spec", ["kill", "frob=1", "kill=0.2,oops=3"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            ChaosPlan.parse(spec)
+
+    def test_arm_probe_error_and_disarm(self):
+        plan = ChaosPlan(error=1.0, seed=2)
+        try:
+            initializer(plan.to_dict())
+            assert armed() == plan
+            with pytest.raises(ChaosError):
+                probe(7, 0)
+            probe(7, plan.attempts)  # past the gate: clean
+        finally:
+            arm(None)
+        probe(7, 0)  # disarmed: no-op
+
+
+# ------------------------------------------------- differential (supervision)
+
+
+class TestSupervisionDifferential:
+    def test_no_policy_uses_original_path(self):
+        with SweepRunner(processes=1) as runner:
+            assert not runner._supervised
+
+    def test_inert_policy_uses_original_path(self):
+        with SweepRunner(processes=1, supervision=SupervisionPolicy()) as runner:
+            assert not runner._supervised
+
+    def test_disabled_supervision_bitwise_identical_checkpoints(self, tmp_path):
+        """The zero-overhead contract at the byte level: an inert policy
+        must leave the on-disk records byte-for-byte what the plain runner
+        writes (single-process, so append order is deterministic)."""
+        kwargs = dict(processes=1, resume=False)
+        with SweepRunner(checkpoint_dir=str(tmp_path / "a"), **kwargs) as runner:
+            plain = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        with SweepRunner(
+            checkpoint_dir=str(tmp_path / "b"),
+            supervision=SupervisionPolicy(),
+            **kwargs,
+        ) as runner:
+            inert = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(plain.cells) == cells_data(inert.cells)
+        path_a = CheckpointStore(str(tmp_path / "a")).path_for(
+            "supervise-test-ok", MASTER_SEED
+        )
+        path_b = CheckpointStore(str(tmp_path / "b")).path_for(
+            "supervise-test-ok", MASTER_SEED
+        )
+        with open(path_a, "rb") as a, open(path_b, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_active_supervision_matches_serial_in_process(self):
+        policy = SupervisionPolicy(timeout=30.0, max_attempts=3, backoff_base=0.0)
+        with SweepRunner(processes=1, supervision=policy) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_active_supervision_matches_serial_on_pool(self):
+        policy = SupervisionPolicy(timeout=30.0, max_attempts=3, backoff_base=0.0)
+        with SweepRunner(processes=2, supervision=policy) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+
+    def test_chaos_requires_active_supervision(self):
+        with pytest.raises(ValueError):
+            SweepRunner(processes=2, chaos=ChaosPlan(kill=0.5))
+        with pytest.raises(ValueError):
+            SweepRunner(
+                processes=2,
+                chaos=ChaosPlan(kill=0.5),
+                supervision=SupervisionPolicy(),
+            )
+
+    def test_inactive_chaos_plan_is_allowed_without_policy(self):
+        with SweepRunner(processes=1, chaos=ChaosPlan()) as runner:
+            assert not runner._supervised
+
+
+# ------------------------------------------------------------ retry + records
+
+
+class TestRetryAndAttemptRecords:
+    def _run_flaky(self, processes, max_attempts=3, **kwargs):
+        policy = SupervisionPolicy(max_attempts=max_attempts, backoff_base=0.0)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=processes, supervision=policy, metrics=metrics, **kwargs
+        ) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-flaky", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        return sweep, metrics.snapshot()["counters"]
+
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_deterministic_failures_exhaust_attempts(self, processes):
+        sweep, counters = self._run_flaky(processes)
+        failures = [f for cell in sweep.cells for f in cell.failures]
+        assert failures, "the flaky trial must fail for some seeds"
+        assert all(f.attempts == 3 for f in failures)
+        assert all(f.kind == "error" for f in failures)
+        assert all(f.error == "RuntimeError" for f in failures)
+        # Two retries per deterministic failure were scheduled and burned.
+        assert counters["sweep/retry/scheduled"] == 2 * len(failures)
+
+    def test_pool_path_counts_exhaustion(self):
+        _sweep, counters = self._run_flaky(2)
+        failures = counters["sweep/trials_failed"]
+        assert counters["sweep/retry/exhausted"] == failures > 0
+
+    def test_attempt_records_reach_checkpoint_and_round_trip(self, tmp_path):
+        self._run_flaky(1, checkpoint_dir=str(tmp_path))
+        store = CheckpointStore(str(tmp_path))
+        records = store.load("supervise-test-flaky", MASTER_SEED)
+        failed = [r for r in records.values() if r["status"] == "failed"]
+        assert failed
+        for record in failed:
+            assert record["failure"]["attempts"] == 3
+            assert "kind" not in record["failure"]  # "error" is the default
+            round_tripped = checkpoint_record_from_dict(
+                json.loads(json.dumps(record))
+            )
+            assert round_tripped == record
+
+    def test_default_failure_record_is_schema_identical(self):
+        """A plain (unsupervised) failure record must not grow new keys."""
+        record = checkpoint_record_to_dict(
+            trial="t",
+            params={"n": 1},
+            master_seed=0,
+            stream=0,
+            seed=1,
+            failure={"error": "E", "message": "m", "traceback": ""},
+        )
+        assert set(record["failure"]) == {"error", "message", "traceback"}
+
+    def test_trial_failure_str_mentions_disposition(self):
+        failure = TrialFailure(
+            seed=1, error="E", message="m", kind="timeout", attempts=3
+        )
+        assert "[timeout]" in str(failure) and "attempts: 3" in str(failure)
+        plain = TrialFailure(seed=1, error="E", message="m")
+        assert "[" not in str(plain)
+
+    def test_chaos_error_injection_retried_to_success(self):
+        """error=1.0 on the first dispatch only: with one retry allowed the
+        grid completes clean and matches the serial reference."""
+        policy = SupervisionPolicy(timeout=30.0, max_attempts=2, backoff_base=0.0)
+        plan = ChaosPlan(error=1.0, seed=11, attempts=1)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2, supervision=policy, chaos=plan, metrics=metrics
+        ) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/retry/scheduled"] == len(GRID) * TRIALS
+
+    def test_chaos_error_without_retries_fails_structurally(self):
+        policy = SupervisionPolicy(timeout=30.0)  # active, but no retries
+        plan = ChaosPlan(error=1.0, seed=11, attempts=1)
+        with SweepRunner(processes=2, supervision=policy, chaos=plan) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        for cell in sweep.cells:
+            assert not cell.trials
+            assert all(f.error == "ChaosError" for f in cell.failures)
+
+
+# ----------------------------------------------- self-healing + chaos SIGKILL
+
+
+class TestChaosSelfHealing:
+    def test_sigkill_mid_chunk_completes_via_self_healing(self, tmp_path):
+        """The headline acceptance test: every worker is SIGKILLed on the
+        first dispatch of every trial; the watchdog reaps the stall, the
+        pool respawns, the re-dispatch runs clean, and the results and the
+        on-disk records are exactly the reference — zero lost, zero
+        duplicated."""
+        policy = SupervisionPolicy(timeout=5.0, max_attempts=2, backoff_base=0.0)
+        plan = ChaosPlan(kill=1.0, seed=99, attempts=1)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2,
+            checkpoint_dir=str(tmp_path),
+            supervision=policy,
+            chaos=plan,
+            metrics=metrics,
+        ) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        assert cells_data(sweep.cells) == cells_data(serial_reference().cells)
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/pool_restart"] >= 1
+        assert counters["sweep/timeout/watchdog_fires"] >= 1
+
+        store = CheckpointStore(str(tmp_path))
+        raw = read_raw_records(store, "supervise-test-ok", MASTER_SEED)
+        assert len(raw) == len(GRID) * TRIALS  # zero lost, zero duplicated
+        keys = {
+            checkpoint_key(
+                r["trial"], r["params"], r["master_seed"], r["stream"], r["seed"]
+            )
+            for r in raw
+        }
+        assert len(keys) == len(raw)
+        assert all(r["status"] == "ok" for r in raw)
+
+    def test_resume_after_chaos_is_a_pure_cache_hit(self, tmp_path):
+        policy = SupervisionPolicy(timeout=5.0, max_attempts=2, backoff_base=0.0)
+        plan = ChaosPlan(kill=1.0, seed=99, attempts=1)
+        with SweepRunner(
+            processes=2,
+            checkpoint_dir=str(tmp_path),
+            supervision=policy,
+            chaos=plan,
+        ) as runner:
+            runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2, checkpoint_dir=str(tmp_path), metrics=metrics
+        ) as runner:
+            resumed = runner.run_grid(
+                "supervise-test-ok", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("sweep/trials_executed", 0) == 0
+        assert counters["sweep/trials_cached"] == len(GRID) * TRIALS
+        assert cells_data(resumed.cells) == cells_data(serial_reference().cells)
+
+    def test_mixed_chaos_full_grid_still_converges(self):
+        """Kills, hangs, and errors together (summing to certainty) on the
+        first dispatch: supervision must still complete the healthy grid."""
+        policy = SupervisionPolicy(timeout=1.0, max_attempts=2, backoff_base=0.0)
+        plan = ChaosPlan(
+            kill=0.4, hang=0.2, error=0.4, seed=21, attempts=1, hang_seconds=30.0
+        )
+        small_grid = grid_product(n=[32], C=[2])
+        with SweepRunner(processes=2, supervision=policy, chaos=plan) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-ok", small_grid, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        reference = serial_reference(grid=small_grid)
+        assert cells_data(sweep.cells) == cells_data(reference.cells)
+
+
+# ------------------------------------------------------------------ quarantine
+
+
+class TestQuarantine:
+    GRID = grid_product(n=[32], sleep_s=[1.2])
+
+    def _quarantine_run(self, tmp_path):
+        policy = SupervisionPolicy(timeout=0.3, quarantine_after=2, max_attempts=2)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2,
+            checkpoint_dir=str(tmp_path),
+            supervision=policy,
+            metrics=metrics,
+        ) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-sleep", self.GRID, trials=2, master_seed=1
+            )
+        return sweep, metrics.snapshot()["counters"]
+
+    def test_hung_trials_are_quarantined_not_fatal(self, tmp_path):
+        sweep, counters = self._quarantine_run(tmp_path)
+        failures = [f for cell in sweep.cells for f in cell.failures]
+        assert len(failures) == 2
+        assert all(f.kind in ("timeout", "crash") for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+        assert all(f.error == "TrialQuarantined" for f in failures)
+        assert counters["sweep/quarantine/trials"] == 2
+        assert counters["sweep/pool_restart"] >= 2
+
+    def test_quarantined_trials_rerun_on_retry_failures_resume(self, tmp_path):
+        self._quarantine_run(tmp_path)
+        # Resume with a generous timeout: the quarantined records must
+        # re-run (retry_failures) and now complete.
+        policy = SupervisionPolicy(timeout=30.0)
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2,
+            checkpoint_dir=str(tmp_path),
+            retry_failures=True,
+            supervision=policy,
+            metrics=metrics,
+        ) as runner:
+            resumed = runner.run_grid(
+                "supervise-test-sleep", self.GRID, trials=2, master_seed=1
+            )
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/trials_executed"] == 2
+        assert counters.get("sweep/trials_cached", 0) == 0
+        assert all(not cell.failures for cell in resumed.cells)
+        assert all(len(cell.trials) == 2 for cell in resumed.cells)
+
+    def test_degrade_in_process_completes_suspects_inline(self):
+        """With graceful degradation the quarantined sleeper runs in the
+        coordinator (no watchdog there) and completes instead of failing."""
+        policy = SupervisionPolicy(
+            timeout=0.3, quarantine_after=1, degrade_in_process=True
+        )
+        metrics = MetricsRegistry()
+        with SweepRunner(
+            processes=2, supervision=policy, metrics=metrics
+        ) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-sleep", self.GRID, trials=2, master_seed=1
+            )
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep/quarantine/degraded"] == 2
+        assert all(not cell.failures for cell in sweep.cells)
+        assert all(len(cell.trials) == 2 for cell in sweep.cells)
+
+
+# -------------------------------------------------------------- in-process sup
+
+
+class TestInProcessSupervision:
+    def test_no_pool_supervised_path_retries(self):
+        policy = SupervisionPolicy(max_attempts=2, backoff_base=0.0)
+        metrics = MetricsRegistry()
+        with SweepRunner(processes=1, supervision=policy, metrics=metrics) as runner:
+            sweep = runner.run_grid(
+                "supervise-test-flaky", GRID, trials=TRIALS, master_seed=MASTER_SEED
+            )
+        counters = metrics.snapshot()["counters"]
+        failures = [f for cell in sweep.cells for f in cell.failures]
+        assert counters["sweep/retry/scheduled"] == len(failures)
+        assert all(f.attempts == 2 for f in failures)
+
+    def test_supervisor_empty_task_list_is_a_noop(self):
+        with SweepRunner(processes=1, supervision=SupervisionPolicy()) as runner:
+            supervisor = TrialSupervisor(runner, SupervisionPolicy(timeout=1.0))
+            assert list(supervisor.run([])) == []
