@@ -32,6 +32,7 @@ import bench_engine_throughput
 import bench_hardening
 import bench_supervisor
 import bench_sweep_runner
+import bench_vec_batch
 
 WORKLOADS = {
     **bench_arrivals.WORKLOADS,
@@ -40,6 +41,7 @@ WORKLOADS = {
     **bench_hardening.WORKLOADS,
     **bench_supervisor.WORKLOADS,
     **bench_sweep_runner.WORKLOADS,
+    **bench_vec_batch.WORKLOADS,
 }
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_baseline.json"
@@ -67,6 +69,7 @@ _BATCH = {
     "stream_wrapped_decay": 3,
     "stream_batch_saturated": 2,
     "stream_vec_sawtooth": 3,
+    "sweep_vec_batch": 2,
 }
 
 #: Workloads whose baseline carries a ``seed_engine_scores`` reference: the

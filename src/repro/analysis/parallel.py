@@ -24,7 +24,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..sim.rng import seed_sequence
@@ -35,6 +35,10 @@ _TRIAL_REGISTRY: Dict[str, Callable[..., Mapping[str, float]]] = {}
 
 #: name -> profiled trial taking (seed, **params) -> (metrics, registry).
 _PROFILED_TRIAL_REGISTRY: Dict[str, Callable[..., Tuple[Mapping[str, float], MetricsRegistry]]] = {}
+
+#: name -> batched companion taking (seeds, **params) -> per-seed
+#: (status, payload) pairs, or None to decline the batch.
+_BATCH_TRIAL_REGISTRY: Dict[str, Callable[..., Optional[Sequence[Any]]]] = {}
 
 
 def _same_function(a: Callable, b: Callable) -> bool:
@@ -76,6 +80,21 @@ def register_profiled_trial(name: str):
     return _register(_PROFILED_TRIAL_REGISTRY, "profiled trial", name)
 
 
+def register_batch_trial(name: str):
+    """Register a batched companion for an already-registered trial.
+
+    The companion takes ``(seeds, **params)`` — the same cell params its
+    per-trial sibling receives — and returns one ``(status, payload)`` pair
+    per seed (``status`` is ``"ok"`` or ``"failed"``), or ``None`` to
+    decline the batch (wrong backend, protocol not lowerable, NumPy
+    missing), in which case the sweep runner silently falls back to
+    per-trial dispatch.  A companion MUST be bitwise identical to running
+    its sibling seed by seed: resume, retries, and supervision re-dispatch
+    individual trials and their records must interchange freely.
+    """
+    return _register(_BATCH_TRIAL_REGISTRY, "batch trial", name)
+
+
 def registered_trials() -> Tuple[str, ...]:
     """Names of all registered trial functions."""
     return tuple(sorted(_TRIAL_REGISTRY))
@@ -84,6 +103,11 @@ def registered_trials() -> Tuple[str, ...]:
 def registered_profiled_trials() -> Tuple[str, ...]:
     """Names of all registered profiled trial functions."""
     return tuple(sorted(_PROFILED_TRIAL_REGISTRY))
+
+
+def registered_batch_trials() -> Tuple[str, ...]:
+    """Names of all trials with a registered batched companion."""
+    return tuple(sorted(_BATCH_TRIAL_REGISTRY))
 
 
 def resolve_processes(processes: Optional[int]) -> int:
@@ -344,12 +368,44 @@ def _general(seed: int, *, n: int, C: int, active: int) -> Mapping[str, float]:
 
 @register_trial("baseline")
 def _baseline(
-    seed: int, *, protocol: str, n: int, C: int, active: int, backend: str = "coroutine"
+    seed: int,
+    *,
+    protocol: str,
+    n: int,
+    C: int,
+    active: int,
+    backend: str = "coroutine",
+    draws: str = "auto",
 ) -> Mapping[str, float]:
     """Registered wrapper over :func:`repro.experiments.common.baseline_trial`."""
     from ..experiments.common import baseline_trial
 
-    return baseline_trial(protocol, n, C, active, seed, backend=backend)
+    return baseline_trial(protocol, n, C, active, seed, backend=backend, draws=draws)
+
+
+@register_batch_trial("baseline")
+def _baseline_batch(
+    seeds: Sequence[int],
+    *,
+    protocol: str,
+    n: int,
+    C: int,
+    active: int,
+    backend: str = "coroutine",
+    draws: str = "auto",
+) -> Optional[Sequence[Any]]:
+    """Batched companion over :func:`repro.experiments.common.baseline_trial_batch`."""
+    from ..experiments.common import baseline_trial_batch
+
+    return baseline_trial_batch(
+        seeds,
+        protocol_name=protocol,
+        n=n,
+        num_channels=C,
+        active_count=active,
+        backend=backend,
+        draws=draws,
+    )
 
 
 @register_trial("leaf-election")

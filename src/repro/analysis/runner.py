@@ -70,13 +70,16 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..faults import chaos as _chaos
 from ..obs.metrics import MetricsRegistry
+from ..sim import vec as _vec
 from ..sim.rng import seed_sequence
 from ..sim.serialize import checkpoint_record_from_dict, checkpoint_record_to_dict
 from .parallel import (
+    _BATCH_TRIAL_REGISTRY,
     _TRIAL_REGISTRY,
     ParallelProfile,
     _assemble_profile,
@@ -91,6 +94,11 @@ from .sweep import CellResult, SweepResult, TrialFailure
 
 #: A task as shipped to workers: (trial name, params, seed, slot index).
 _Task = Tuple[str, Dict[str, Any], int, int]
+
+#: A batch task: (trial name, params, seeds tuple, slot index tuple).  The
+#: tuple-typed third/fourth members are what distinguish it from a plain
+#: :data:`_Task` at dispatch boundaries.
+_BatchTask = Tuple[str, Dict[str, Any], Tuple[int, ...], Tuple[int, ...]]
 
 #: A worker reply: (slot index, "ok", metrics) or (slot index, "failed", info).
 _Output = Tuple[int, str, Dict[str, Any]]
@@ -126,6 +134,20 @@ def _record_key(record: Mapping[str, Any]) -> Tuple[str, str, int, int, int]:
     )
 
 
+def _attach_fallbacks(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp drained vec-fallback events onto a worker payload.
+
+    The ``__vec_fallbacks__`` key rides the payload back across the process
+    boundary and is popped by the coordinator into the
+    ``sweep/vec_fallbacks`` metric before the record is checkpointed — the
+    checkpoint schema never sees it.
+    """
+    events = _vec.drain_fallback_events()
+    if events:
+        payload["__vec_fallbacks__"] = events
+    return payload
+
+
 def _execute_contained(task: _Task) -> _Output:
     """Worker entry point with error containment.
 
@@ -151,17 +173,71 @@ def _execute_contained(task: _Task) -> _Output:
             },
         )
     try:
-        return (index, "ok", dict(fn(seed, **params)))
+        return (index, "ok", _attach_fallbacks(dict(fn(seed, **params))))
     except Exception as error:
         return (
             index,
             "failed",
-            {
-                "error": type(error).__name__,
-                "message": str(error),
-                "traceback": traceback.format_exc(),
-            },
+            _attach_fallbacks(
+                {
+                    "error": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback.format_exc(),
+                }
+            ),
         )
+
+
+def _execute_batch_contained(task: _BatchTask) -> List[_Output]:
+    """Worker entry point for one batched chunk of a cell's replications.
+
+    The batched companion may decline (``None``) or die; either way every
+    seed falls back to :func:`_execute_contained`, which is bitwise
+    identical per trial — batching is a dispatch optimization, never a
+    semantics change.  A companion returning the wrong number of statuses
+    is treated as a decline rather than trusted.
+    """
+    name, params, seeds, indices = task
+    fn = _BATCH_TRIAL_REGISTRY.get(name)
+    statuses: Optional[Sequence[Any]] = None
+    if fn is not None:
+        try:
+            statuses = fn(list(seeds), **params)
+        except Exception:
+            statuses = None
+    if statuses is not None and len(statuses) != len(seeds):
+        statuses = None
+    if statuses is None:
+        return [
+            _execute_contained((name, params, seed, index))
+            for seed, index in zip(seeds, indices)
+        ]
+    outputs: List[_Output] = [
+        (index, status, dict(payload))
+        for (status, payload), index in zip(statuses, indices)
+    ]
+    _attach_fallbacks(outputs[0][2])
+    return outputs
+
+
+def _execute_any(task: Union[_Task, _BatchTask]) -> List[_Output]:
+    """Uniform worker entry point: one output list per (batch or plain) task."""
+    if isinstance(task[2], tuple):
+        return _execute_batch_contained(task)  # type: ignore[arg-type]
+    return [_execute_contained(task)]  # type: ignore[arg-type]
+
+
+def _worker_initializer(chaos_dict: Optional[Dict[str, Any]]) -> None:
+    """Pool-worker bootstrap: dedup vec-fallback warnings, arm chaos.
+
+    Dedup scope is the worker's lifetime — one warning per (protocol,
+    reason) per worker per sweep instead of one per trial.  Chaos arms
+    from plain data so spawn-start workers (re-import, no inherited
+    globals) behave exactly like fork workers; the coordinator never arms.
+    """
+    _vec.enable_fallback_dedup()
+    if chaos_dict is not None:
+        _chaos.initializer(chaos_dict)
 
 
 class CheckpointStore:
@@ -307,6 +383,17 @@ class SweepRunner:
         chaos: a :class:`~repro.faults.chaos.ChaosPlan` armed inside pool
             workers (test harness; requires an active supervision policy —
             unsupervised chaos would just wedge or abort the sweep).
+        vec_batch: dispatch whole chunks of a cell's replications as one
+            batched task when the trial has a registered batched companion
+            (see :func:`repro.analysis.parallel.register_batch_trial`).
+            Results are bitwise identical to per-trial dispatch — the
+            companion contract — so checkpoints, resume, retries, and
+            supervision interchange freely; ineligible cells (wrong
+            backend/draw mode, protocol not lowerable) silently fall back
+            to per-trial execution inside the worker.
+        vec_batch_size: replications per batched task; ``None`` splits a
+            cell's pending trials one batch per worker (capped at 128 to
+            bound the R×n buffers).
 
     Use as a context manager (or call :meth:`close`) so the pool is torn
     down deterministically.
@@ -325,6 +412,8 @@ class SweepRunner:
         chunk_size: Optional[int] = None,
         supervision: Optional[SupervisionPolicy] = None,
         chaos: Optional[_chaos.ChaosPlan] = None,
+        vec_batch: bool = False,
+        vec_batch_size: Optional[int] = None,
     ):
         self.processes = resolve_processes(processes)
         self.resume = resume
@@ -340,6 +429,10 @@ class SweepRunner:
         self.chunk_size = chunk_size
         self.supervision = supervision
         self.chaos = chaos
+        self.vec_batch = vec_batch
+        if vec_batch_size is not None and vec_batch_size < 1:
+            raise ValueError(f"vec_batch_size must be >= 1, got {vec_batch_size}")
+        self.vec_batch_size = vec_batch_size
         if chaos is not None and chaos.active:
             if supervision is None or not supervision.active:
                 raise ValueError(
@@ -369,18 +462,15 @@ class SweepRunner:
         if self.processes == 1:
             return None
         if self._pool is None:
-            initializer = None
-            initargs: Tuple[Any, ...] = ()
-            if self.chaos is not None and self.chaos.active:
-                # Workers arm the plan from plain data so spawn-start
-                # workers (re-import, no inherited globals) behave exactly
-                # like fork workers.  The coordinator never arms.
-                initializer = _chaos.initializer
-                initargs = (self.chaos.to_dict(),)
+            chaos_dict = (
+                self.chaos.to_dict()
+                if self.chaos is not None and self.chaos.active
+                else None
+            )
             self._pool = _pool_context(self.start_method).Pool(
                 processes=self.processes,
-                initializer=initializer,
-                initargs=initargs,
+                initializer=_worker_initializer,
+                initargs=(chaos_dict,),
             )
         return self._pool
 
@@ -404,6 +494,44 @@ class SweepRunner:
         # ~4 chunks per worker balances dispatch overhead against tail skew.
         return max(1, min(32, pending // (self.processes * 4) or 1))
 
+    def _batch_chunk(self, pending: int) -> int:
+        if self.vec_batch_size is not None:
+            return self.vec_batch_size
+        # One batch per worker wave; the cap bounds each batch's (R × n)
+        # buffers regardless of how replication-heavy the cell is.
+        return max(1, min(128, -(-pending // self.processes)))
+
+    def _maybe_batch(self, tasks: List[_Task]) -> List[Union[_Task, _BatchTask]]:
+        """Group a cell's pending trials into batched tasks when eligible.
+
+        Grouping is purely a dispatch decision: the worker-side companion
+        still declines ineligible cells (wrong backend, no NumPy, protocol
+        not lowerable) and falls back to per-trial execution, so grouping
+        eagerly costs nothing but a declined call.  Size-1 groups stay
+        plain tasks.
+        """
+        if not self.vec_batch:
+            return list(tasks)
+        name = tasks[0][0]
+        if name not in _BATCH_TRIAL_REGISTRY:
+            return list(tasks)
+        size = self._batch_chunk(len(tasks))
+        grouped: List[Union[_Task, _BatchTask]] = []
+        for start in range(0, len(tasks), size):
+            group = tasks[start : start + size]
+            if len(group) == 1:
+                grouped.append(group[0])
+            else:
+                grouped.append(
+                    (
+                        name,
+                        group[0][1],
+                        tuple(task[2] for task in group),
+                        tuple(task[3] for task in group),
+                    )
+                )
+        return grouped
+
     @property
     def _supervised(self) -> bool:
         """Whether dispatch goes through the supervisor instead of the
@@ -417,14 +545,20 @@ class SweepRunner:
         """Yield worker outputs as they complete (unordered under a pool)."""
         if not tasks:
             return  # a fully-cached cell must not fork a pool
+        batched = self._maybe_batch(tasks)
         if self._supervised:
             assert self.supervision is not None
-            yield from TrialSupervisor(self, self.supervision).run(tasks)
+            yield from TrialSupervisor(self, self.supervision).run(batched)
             return
         pool = self._ensure_pool()
         if pool is None:
-            for task in tasks:
-                yield _execute_contained(task)
+            for task in batched:
+                yield from _execute_any(task)
+            return
+        if len(batched) != len(tasks):
+            # Batched tasks are already chunky; dispatch them one at a time.
+            for outputs in pool.imap_unordered(_execute_any, batched, chunksize=1):
+                yield from outputs
             return
         for output in pool.imap_unordered(
             _execute_contained, tasks, chunksize=self._chunk(len(tasks))
@@ -522,29 +656,40 @@ class SweepRunner:
                 else:
                     pending.append((trial_name, dict(params), seed, index))
 
-            for index, status, payload in self._iter_outputs(pending):
-                if status == "ok":
-                    record = checkpoint_record_to_dict(
-                        trial=trial_name,
-                        params=params,
-                        master_seed=master_seed,
-                        stream=stream,
-                        seed=seeds[index],
-                        metrics=payload,
-                    )
-                else:
-                    record = checkpoint_record_to_dict(
-                        trial=trial_name,
-                        params=params,
-                        master_seed=master_seed,
-                        stream=stream,
-                        seed=seeds[index],
-                        failure=payload,
-                    )
-                if writer is not None:
-                    CheckpointStore.append(writer, record)
-                slots[index] = record
-                self._note_done(failed=status == "failed")
+            # In-process trials run in this process: scope fallback dedup to
+            # the cell (pool workers enable it in their initializer) and
+            # discard any events a previous caller left behind.
+            _vec.drain_fallback_events()
+            _vec.enable_fallback_dedup()
+            try:
+                for index, status, payload in self._iter_outputs(pending):
+                    fallbacks = payload.pop("__vec_fallbacks__", 0)
+                    if fallbacks:
+                        self.metrics.counter("sweep/vec_fallbacks").inc(fallbacks)
+                    if status == "ok":
+                        record = checkpoint_record_to_dict(
+                            trial=trial_name,
+                            params=params,
+                            master_seed=master_seed,
+                            stream=stream,
+                            seed=seeds[index],
+                            metrics=payload,
+                        )
+                    else:
+                        record = checkpoint_record_to_dict(
+                            trial=trial_name,
+                            params=params,
+                            master_seed=master_seed,
+                            stream=stream,
+                            seed=seeds[index],
+                            failure=payload,
+                        )
+                    if writer is not None:
+                        CheckpointStore.append(writer, record)
+                    slots[index] = record
+                    self._note_done(failed=status == "failed")
+            finally:
+                _vec.disable_fallback_dedup()
 
         # Deterministic reassembly: slots are in seed order by construction.
         cell = CellResult(params=dict(params))
@@ -640,6 +785,7 @@ def run_sweep_parallel(
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressFn] = None,
     supervision: Optional[SupervisionPolicy] = None,
+    vec_batch: bool = False,
 ) -> SweepResult:
     """One-call convenience: build a :class:`SweepRunner`, run the grid."""
     with SweepRunner(
@@ -650,6 +796,7 @@ def run_sweep_parallel(
         metrics=metrics,
         progress=progress,
         supervision=supervision,
+        vec_batch=vec_batch,
     ) as runner:
         return runner.run_grid(
             trial_name, grid, trials=trials, master_seed=master_seed

@@ -45,12 +45,31 @@ from ..sim.rng import derive_seed
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from .runner import SweepRunner
 
-#: A supervised task as shipped to workers: the runner's ``_Task`` plus the
-#: dispatch attempt, which gates chaos injection and keys backoff jitter.
-_SupervisedTask = Tuple[str, Dict[str, Any], int, int, int]
+#: A supervised task as shipped to workers: the runner's ``_Task`` (or
+#: ``_BatchTask`` — seeds and indices are then tuples) plus the dispatch
+#: attempt, which gates chaos injection and keys backoff jitter.
+_SupervisedTask = Tuple[str, Dict[str, Any], Any, Any, int]
 
 #: A worker reply: (slot index, "ok" | "failed", payload) — the runner's shape.
 _Output = Tuple[int, str, Dict[str, Any]]
+
+
+def _slot_order(key: Any) -> Tuple[int, ...]:
+    """Total order over slot keys: plain ints and batch index-tuples mix."""
+    return (key,) if isinstance(key, int) else tuple(key)
+
+
+def _expand(task: Tuple[str, Dict[str, Any], Any, Any]) -> List[Tuple[str, Dict[str, Any], int, int]]:
+    """A task's per-trial tasks: itself, or a batch split into members.
+
+    Splitting never changes results — the batched-companion contract is
+    bitwise per-trial identity — so the supervisor may freely degrade a
+    batch to per-trial dispatch for striking, retries, or the no-pool path.
+    """
+    name, params, seed, index = task
+    if isinstance(index, tuple):
+        return [(name, params, s, i) for s, i in zip(seed, index)]
+    return [task]
 
 #: Scale turning a 63-bit ``derive_seed`` draw into a uniform in [0, 1).
 _U63 = float(1 << 63)
@@ -145,7 +164,7 @@ class SupervisionPolicy:
         return delay * (1.0 + self.backoff_jitter * jitter)
 
 
-def _execute_supervised(task: _SupervisedTask) -> _Output:
+def _execute_supervised(task: _SupervisedTask) -> List[_Output]:
     """Worker entry point of the supervised path: chaos probe, then contain.
 
     Identical to the unsupervised worker entry except that (a) the task
@@ -153,20 +172,54 @@ def _execute_supervised(task: _SupervisedTask) -> _Output:
     first.  A chaos ``error`` injection is contained like any trial
     exception; ``kill``/``hang`` injections never return, by design — the
     coordinator watchdog reaps them.
+
+    Always returns the task's complete output list in member order: one
+    element for a plain task, one per seed for a batch (each seed probed
+    individually, so chaos targets specific trials inside a batch too).
     """
     from ..faults.chaos import ChaosError, probe
-    from .runner import _execute_contained
+    from .runner import _execute_batch_contained, _execute_contained
 
     name, params, seed, index, attempt = task
-    try:
-        probe(seed, attempt)
-    except ChaosError as error:
-        return (
-            index,
-            "failed",
-            {"error": type(error).__name__, "message": str(error), "traceback": ""},
-        )
-    return _execute_contained((name, params, seed, index))
+
+    def probed(one_seed: int, one_index: int) -> Optional[_Output]:
+        try:
+            probe(one_seed, attempt)
+        except ChaosError as error:
+            return (
+                one_index,
+                "failed",
+                {
+                    "error": type(error).__name__,
+                    "message": str(error),
+                    "traceback": "",
+                },
+            )
+        return None
+
+    if isinstance(index, tuple):
+        by_slot: Dict[int, _Output] = {}
+        clean: List[Tuple[int, int]] = []
+        for one_seed, one_index in zip(seed, index):
+            injected = probed(one_seed, one_index)
+            if injected is not None:
+                by_slot[one_index] = injected
+            else:
+                clean.append((one_seed, one_index))
+        if clean:
+            batch = (
+                name,
+                params,
+                tuple(s for s, _ in clean),
+                tuple(i for _, i in clean),
+            )
+            for output in _execute_batch_contained(batch):
+                by_slot[output[0]] = output
+        return [by_slot[one_index] for one_index in index]
+    injected = probed(seed, index)
+    if injected is not None:
+        return [injected]
+    return [_execute_contained((name, params, seed, index))]
 
 
 class TrialSupervisor:
@@ -186,27 +239,34 @@ class TrialSupervisor:
 
     # ------------------------------------------------------------- main loop
 
-    def run(self, tasks: List[Tuple[str, Dict[str, Any], int, int]]) -> Iterator[_Output]:
+    def run(self, tasks: List[Tuple[str, Dict[str, Any], Any, Any]]) -> Iterator[_Output]:
         """Supervise ``tasks`` (the runner's pending list) to completion.
 
         Dispatches in rounds: all pending trials go to the pool, outputs
         are consumed under the watchdog, failures and stall suspects are
         re-enqueued for the next round until every trial has a final
-        disposition (ok, retries exhausted, or quarantined).
+        disposition (ok, retries exhausted, or quarantined).  Batched
+        tasks (index is a tuple) are one dispatch unit — the watchdog and
+        a stall strike apply to the whole batch — but retries, strikes,
+        and quarantine always degrade to per-trial tasks, which the
+        bitwise batch↔per-trial contract makes result-neutral.
         """
         if not tasks:
             return
-        pending = {task[3]: task for task in tasks}
+        pending: Dict[Any, Tuple[str, Dict[str, Any], Any, Any]] = {
+            task[3]: task for task in tasks
+        }
         failures: Dict[int, int] = {}  # index -> raising attempts so far
         strikes: Dict[int, int] = {}  # index -> watchdog strikes so far
-        dispatches: Dict[int, int] = {}  # index -> dispatches so far
+        dispatches: Dict[Any, int] = {}  # slot key -> dispatches so far
         pool = self.runner._ensure_pool()
         if pool is None:
-            for index in sorted(pending):
-                yield self._run_in_process(pending[index])
+            for key in sorted(pending, key=_slot_order):
+                for task in _expand(pending[key]):
+                    yield self._run_in_process(task)
             return
         while pending:
-            batch = [pending[index] for index in sorted(pending)]
+            batch = [pending[key] for key in sorted(pending, key=_slot_order)]
             self._sleep_backoff(batch, dispatches)
             supervised = [
                 (name, params, seed, index, dispatches.get(index, 0))
@@ -224,9 +284,9 @@ class TrialSupervisor:
             while in_flight:
                 try:
                     if self.policy.timeout is not None:
-                        index, status, payload = outputs.next(self.policy.timeout)
+                        result = outputs.next(self.policy.timeout)
                     else:
-                        index, status, payload = next(outputs)
+                        result = next(outputs)
                 except multiprocessing.TimeoutError:
                     stalled = self._stall_kind(pool)
                     break
@@ -236,18 +296,47 @@ class TrialSupervisor:
                 except _POOL_CRASH_ERRORS:
                     stalled = "crash"
                     break
-                in_flight.discard(index)
+                # One result is one task's complete output list, in member
+                # order — so the owning slot key is reconstructible.
+                if len(result) == 1:
+                    key: Any = result[0][0]
+                else:
+                    key = tuple(output[0] for output in result)
+                in_flight.discard(key)
+                task = pending.pop(key)
+                if isinstance(key, tuple):
+                    # Un-batch: each member gets the plain per-trial
+                    # disposition; failures re-enqueue as per-trial tasks
+                    # carrying the batch's dispatch count forward.
+                    seed_of = dict(zip(task[3], task[2]))
+                    dispatched = dispatches.get(key, 1)
+                    for index, status, payload in result:
+                        if status == "ok":
+                            yield (index, status, payload)
+                            continue
+                        failures[index] = failures.get(index, 0) + 1
+                        if failures[index] < self.policy.max_attempts:
+                            self.metrics.counter("sweep/retry/scheduled").inc()
+                            pending[index] = (task[0], task[1], seed_of[index], index)
+                            dispatches[index] = max(
+                                dispatches.get(index, 0), dispatched
+                            )
+                            continue
+                        if self.policy.max_attempts > 1:
+                            self.metrics.counter("sweep/retry/exhausted").inc()
+                        yield (index, "failed", self._finalize(payload, failures[index]))
+                    continue
+                index, status, payload = result[0]
                 if status == "ok":
-                    del pending[index]
                     yield (index, status, payload)
                     continue
                 failures[index] = failures.get(index, 0) + 1
                 if failures[index] < self.policy.max_attempts:
                     self.metrics.counter("sweep/retry/scheduled").inc()
-                    continue  # stays pending for the next round
+                    pending[index] = task  # stays pending for the next round
+                    continue
                 if self.policy.max_attempts > 1:
                     self.metrics.counter("sweep/retry/exhausted").inc()
-                del pending[index]
                 yield (index, "failed", self._finalize(payload, failures[index]))
             if stalled is not None:
                 pool = self._heal(stalled, in_flight)
@@ -258,18 +347,22 @@ class TrialSupervisor:
 
     def _sleep_backoff(
         self,
-        batch: List[Tuple[str, Dict[str, Any], int, int]],
-        dispatches: Dict[int, int],
+        batch: List[Tuple[str, Dict[str, Any], Any, Any]],
+        dispatches: Dict[Any, int],
     ) -> None:
         """One backoff sleep per dispatch round: the max over its retries.
 
         Sleeping per-trial would serialize the round; the deterministic
         per-trial delays still decide *how long*, the round just waits for
-        the slowest of them once.
+        the slowest of them once.  Batched tasks key their jitter off the
+        first member's seed (fresh batches are attempt 0 and never wait).
         """
         delay = max(
             (
-                self.policy.backoff_delay(seed, dispatches.get(index, 0))
+                self.policy.backoff_delay(
+                    seed if isinstance(seed, int) else seed[0],
+                    dispatches.get(index, 0),
+                )
                 for _name, _params, seed, index in batch
             ),
             default=0.0,
@@ -312,8 +405,8 @@ class TrialSupervisor:
     def _strike(
         self,
         kind: str,
-        in_flight: Set[int],
-        pending: Dict[int, Tuple[str, Dict[str, Any], int, int]],
+        in_flight: Set[Any],
+        pending: Dict[Any, Tuple[str, Dict[str, Any], Any, Any]],
         strikes: Dict[int, int],
     ) -> Iterator[_Output]:
         """Attribute a stall to every unfinished in-flight trial.
@@ -321,36 +414,40 @@ class TrialSupervisor:
         Each suspect gets a strike; suspects below the quarantine threshold
         stay pending (the self-healed pool re-runs them), the rest are
         quarantined — yielded as structured failures, or handed one final
-        in-process attempt when the policy degrades gracefully.
+        in-process attempt when the policy degrades gracefully.  A stalled
+        *batch* strikes every member and splits into per-trial tasks, so
+        quarantine attribution (and the healed re-run) is per-trial.
         """
-        for index in sorted(in_flight):
-            strikes[index] = strikes.get(index, 0) + 1
-            self.metrics.counter("sweep/timeout/strikes").inc()
-            if strikes[index] < self.policy.quarantine_after:
-                continue
-            task = pending.pop(index)
-            self.metrics.counter("sweep/quarantine/trials").inc()
-            if self.policy.degrade_in_process:
-                self.metrics.counter("sweep/quarantine/degraded").inc()
-                yield self._run_in_process(task, quarantined=True)
-                continue
-            _name, _params, seed, _index = task
-            yield (
-                index,
-                "failed",
-                self._finalize(
-                    {
-                        "error": "TrialQuarantined",
-                        "message": (
-                            f"quarantined after {strikes[index]} strike(s); "
-                            f"last stall: {kind} (seed {seed})"
-                        ),
-                        "traceback": "",
-                    },
-                    strikes[index],
-                    kind=kind,
-                ),
-            )
+        for key in sorted(in_flight, key=_slot_order):
+            members = _expand(pending.pop(key))
+            for task in members:
+                _name, _params, seed, index = task
+                strikes[index] = strikes.get(index, 0) + 1
+                self.metrics.counter("sweep/timeout/strikes").inc()
+                if strikes[index] < self.policy.quarantine_after:
+                    pending[index] = task
+                    continue
+                self.metrics.counter("sweep/quarantine/trials").inc()
+                if self.policy.degrade_in_process:
+                    self.metrics.counter("sweep/quarantine/degraded").inc()
+                    yield self._run_in_process(task, quarantined=True)
+                    continue
+                yield (
+                    index,
+                    "failed",
+                    self._finalize(
+                        {
+                            "error": "TrialQuarantined",
+                            "message": (
+                                f"quarantined after {strikes[index]} strike(s); "
+                                f"last stall: {kind} (seed {seed})"
+                            ),
+                            "traceback": "",
+                        },
+                        strikes[index],
+                        kind=kind,
+                    ),
+                )
 
     def _run_in_process(
         self,

@@ -309,6 +309,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # checkpoint records keep their schema.
         for cell in grid:
             cell["backend"] = args.backend
+    if args.draws is not None:
+        for cell in grid:
+            cell["draws"] = args.draws
+    if args.vec_batch and (args.backend != "vec" or args.draws != "counter"):
+        raise SystemExit(
+            "repro sweep: --vec-batch needs --backend vec --draws counter "
+            "(counter draws are what keep batched and per-trial dispatch "
+            "bitwise-identical)"
+        )
 
     supervision, chaos = _build_supervision(args)
     metrics = MetricsRegistry()
@@ -331,6 +340,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         metrics=metrics,
         supervision=supervision,
         chaos=chaos,
+        vec_batch=args.vec_batch,
+        vec_batch_size=args.vec_batch_size,
     ) as runner:
         sweep = runner.run_grid(
             args.trial, grid, trials=args.trials, master_seed=args.seed
@@ -361,6 +372,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     failed = int(counters.get("sweep/trials_failed", 0))
     print()
     print(f"trials: {executed} executed, {cached} cached, {failed} failed")
+    fallbacks = int(counters.get("sweep/vec_fallbacks", 0))
+    if fallbacks:
+        print(f"vec fallbacks: {fallbacks} trial(s) ran on the coroutine engine")
     retries = int(counters.get("sweep/retry/scheduled", 0))
     restarts = int(counters.get("sweep/pool_restart", 0))
     quarantined = int(counters.get("sweep/quarantine/trials", 0))
@@ -874,6 +888,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="engine backend forwarded to backend-aware trials (e.g. "
         "'baseline') as a constant cell parameter; omitted by default",
+    )
+    sweep_parser.add_argument(
+        "--draws",
+        choices=("auto", "exact", "counter"),
+        default=None,
+        help="vec draw mode forwarded as a constant cell parameter; "
+        "'counter' is what makes cells eligible for --vec-batch",
+    )
+    sweep_parser.add_argument(
+        "--vec-batch",
+        action="store_true",
+        help="dispatch whole chunks of replications as one batched vec "
+        "execution (needs --backend vec --draws counter; results are "
+        "bitwise-identical to per-trial dispatch)",
+    )
+    sweep_parser.add_argument(
+        "--vec-batch-size",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replications per batched task (default: one batch per worker, "
+        "capped at 128)",
     )
     sweep_parser.add_argument(
         "--timeout",

@@ -212,6 +212,7 @@ def baseline_trial(
     active_count: int,
     seed: int,
     backend: str = "coroutine",
+    draws: str = "auto",
 ) -> Mapping[str, float]:
     """One execution of a named protocol (ours or a baseline)."""
     protocol = make_protocol(protocol_name)
@@ -223,8 +224,71 @@ def baseline_trial(
         activation=activation,
         seed=seed,
         backend=backend,
+        draws=draws,
     )
     return {"rounds": float(result.rounds), "solved": float(result.solved)}
+
+
+def baseline_trial_batch(
+    seeds: Sequence[int],
+    *,
+    protocol_name: str,
+    n: int,
+    num_channels: int,
+    active_count: int,
+    backend: str = "coroutine",
+    draws: str = "auto",
+) -> Optional[Sequence[Any]]:
+    """Batched companion of :func:`baseline_trial` for vec counter sweeps.
+
+    Returns one ``(status, payload)`` pair per seed — ``("ok", metrics)`` or
+    ``("failed", {"error", "message", "traceback"})`` — or ``None`` to
+    decline, in which case the sweep runner falls back to per-trial
+    dispatch.  Only ``backend="vec"`` with ``draws="counter"`` is eligible:
+    counter draws are what make each batched trial bitwise identical to its
+    standalone run, so batched and per-trial dispatch (resume, retries,
+    supervision) interchange freely.
+    """
+    from ..sim import vec
+
+    if backend != "vec" or draws != "counter" or not vec.numpy_available():
+        return None
+    protocol = make_protocol(protocol_name)
+    if not hasattr(protocol, "to_round_program"):
+        return None
+    activations = [activate_random(n, active_count, seed=s) for s in seeds]
+    try:
+        outcomes = vec.run_protocol_batch(
+            protocol,
+            n=n,
+            num_channels=num_channels,
+            seeds=list(seeds),
+            activations=activations,
+        )
+    except vec.LoweringError:
+        return None
+    results: list = []
+    for outcome in outcomes:
+        if outcome.ok:
+            result = outcome.result
+            assert result is not None
+            results.append(
+                ("ok", {"rounds": float(result.rounds), "solved": float(result.solved)})
+            )
+        else:
+            error = outcome.error
+            assert error is not None
+            results.append(
+                (
+                    "failed",
+                    {
+                        "error": type(error).__name__,
+                        "message": str(error),
+                        "traceback": "",
+                    },
+                )
+            )
+    return results
 
 
 def make_protocol(name: str) -> Protocol:

@@ -38,7 +38,7 @@ moved *into* fires (in the same round) and the node terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..sim.actions import idle, listen, transmit
 from ..sim.context import NodeContext
@@ -235,6 +235,39 @@ class RoundProgram:
             on_end=on_end,
             idle_instead_of_listen=rule.idle_instead_of_listen,
             residues=residues,
+        )
+
+    def content_key(self) -> Tuple[Any, ...]:
+        """A hashable structural identity for memoizing compiled forms.
+
+        Two programs with equal keys behave identically under every backend,
+        so compiled lookup tables may be shared between them.  The dataclass
+        itself cannot serve as a cache key: normalization rebuilds the
+        transition tables as plain (unhashable) dicts.
+        """
+
+        def t(transition: Optional[Transition]) -> Tuple[Any, ...]:
+            assert transition is not None  # normalization fills on_idle/on_end
+            return (transition.next_state, transition.mark, transition.mark_node_id)
+
+        return (
+            self.name,
+            self.schedule_length,
+            self.cycle,
+            self.initial_state,
+            tuple(
+                (
+                    rule.channel,
+                    rule.probabilities,
+                    rule.residues,
+                    rule.idle_instead_of_listen,
+                    tuple(t(rule.on_transmit[f]) for f in CODE_TO_FEEDBACK),
+                    tuple(t(rule.on_listen[f]) for f in CODE_TO_FEEDBACK),
+                    t(rule.on_idle),
+                    t(rule.on_end),
+                )
+                for rule in self.states
+            ),
         )
 
     def validate_channels(self, num_channels: int) -> None:

@@ -29,6 +29,7 @@ def solve(
     instrument: Optional[MetricsSink] = None,
     faults: Optional["FaultModel"] = None,
     backend: str = "coroutine",
+    draws: str = "auto",
 ) -> ExecutionResult:
     """Run ``protocol`` on one instance and return the execution result.
 
@@ -53,6 +54,10 @@ def solve(
             (default) leaves behavior bitwise-identical.
         backend: engine backend, ``"coroutine"`` (default) or ``"vec"``;
             see :meth:`repro.sim.engine.Engine.run`.
+        draws: vec-backend draw mode (``"auto"``, ``"exact"``, or
+            ``"counter"``); ignored by the coroutine backend.  Sweeps that
+            batch replications pin ``"counter"`` so batched and per-trial
+            dispatch stay bitwise identical.
     """
     network = Network(
         n=n,
@@ -71,4 +76,5 @@ def solve(
         instrument=instrument,
         faults=faults,
         backend=backend,
+        draws=draws,
     )

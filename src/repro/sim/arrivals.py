@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import math
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -637,7 +636,7 @@ def run_stream(
     engine = Engine(network, seed=seed, record_trace=record_trace)
 
     if backend == "vec":
-        from .vec import VecFallbackWarning  # may raise the clean ImportError
+        from .vec import warn_fallback  # may raise the clean ImportError
 
         name = getattr(protocol, "name", type(protocol).__name__)
         reason: Optional[str] = None
@@ -692,7 +691,7 @@ def run_stream(
                         schedule, horizon, deadline, result, backend_used="vec"
                     )
                 reason = "the vec backend declined the run"
-        warnings.warn(VecFallbackWarning(name, reason), stacklevel=2)
+        warn_fallback(name, reason, stacklevel=3)
 
     wrapped = StreamingService(protocol, deadline)
     result = engine.run(

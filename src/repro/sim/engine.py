@@ -37,7 +37,6 @@ protocols, seeds, and collision-detection modes.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -78,6 +77,42 @@ _FAST_PATH_ENABLED = True
 
 #: Engine backends selectable via ``Engine.run(..., backend=...)``.
 _BACKENDS = ("coroutine", "vec")
+
+
+def resolve_active_ids(n: int, active_ids: Optional[Iterable[int]]) -> List[int]:
+    """Validated sorted active-id list for a network of ``n`` nodes.
+
+    ``None`` means "every node".  Module-level (not an :class:`Engine`
+    method) so object-free callers — the vectorized backend, the batched
+    sweep path — can resolve activations without instantiating an engine.
+    """
+    if active_ids is None:
+        return list(range(1, n + 1))
+    ids = sorted(set(active_ids))
+    if not ids:
+        raise ConfigurationError("at least one node must be activated")
+    if ids[0] < 1 or ids[-1] > n:
+        raise ConfigurationError(
+            f"active ids must lie in [1, {n}], got {ids[0]}..{ids[-1]}"
+        )
+    return ids
+
+
+def resolve_wake_rounds(
+    ids: List[int], wake_rounds: Optional[Dict[int, int]]
+) -> Dict[int, int]:
+    """Validated per-node wake rounds (default 1) for resolved ``ids``."""
+    wake = {nid: 1 for nid in ids}
+    if wake_rounds:
+        for nid, round_index in wake_rounds.items():
+            if nid not in wake:
+                raise ConfigurationError(f"wake round given for inactive node {nid}")
+            if round_index < 1:
+                raise ConfigurationError(
+                    f"wake round must be >= 1, got {round_index} for node {nid}"
+                )
+            wake[nid] = round_index
+    return wake
 
 
 def default_round_budget(n: int) -> int:
@@ -166,6 +201,7 @@ class Engine:
         instrument: Optional[MetricsSink] = None,
         faults: Optional["FaultModel"] = None,
         backend: str = "coroutine",
+        draws: str = "auto",
     ) -> ExecutionResult:
         """Execute one instance of the protocol on this network.
 
@@ -211,6 +247,10 @@ class Engine:
                 the coroutine engine with a
                 :class:`~repro.sim.vec.VecFallbackWarning`.  The
                 ``used_backend`` attribute reports what actually ran.
+            draws: vec-backend draw mode (``"auto"`` / ``"exact"`` /
+                ``"counter"``, see :data:`repro.sim.vec.DRAW_MODES`).
+                Ignored by the coroutine backend, which always uses exact
+                per-node streams.
 
         Returns:
             An :class:`ExecutionResult`.
@@ -233,7 +273,14 @@ class Engine:
         self.used_backend = "coroutine"
         if backend == "vec":
             result = self._run_vec(
-                protocol_factory, ids, wake, budget, stop_on_solve, instrument, faults
+                protocol_factory,
+                ids,
+                wake,
+                budget,
+                stop_on_solve,
+                instrument,
+                faults,
+                draws,
             )
             if result is not None:
                 return result
@@ -261,6 +308,7 @@ class Engine:
         stop_on_solve: bool,
         instrument: Optional[MetricsSink],
         faults: Optional["FaultModel"],
+        draws: str = "auto",
     ) -> Optional[ExecutionResult]:
         """Serve the run on the vectorized backend, or return ``None``.
 
@@ -289,7 +337,7 @@ class Engine:
             except LoweringError as error:
                 reason = f"lowering failed: {error}"
         if reason is not None:
-            warnings.warn(vec_module.VecFallbackWarning(name, reason), stacklevel=3)
+            vec_module.warn_fallback(name, reason, stacklevel=4)
             return None
         self.used_backend = "vec"
         self.used_fast_path = False
@@ -302,6 +350,7 @@ class Engine:
             budget=budget,
             stop_on_solve=stop_on_solve,
             instrument=instrument,
+            draws=draws,
         )
 
     # ------------------------------------------------------------- fast path
@@ -817,31 +866,12 @@ class Engine:
         )
 
     def _resolve_active_ids(self, active_ids: Optional[Iterable[int]]) -> List[int]:
-        if active_ids is None:
-            return list(range(1, self.network.n + 1))
-        ids = sorted(set(active_ids))
-        if not ids:
-            raise ConfigurationError("at least one node must be activated")
-        if ids[0] < 1 or ids[-1] > self.network.n:
-            raise ConfigurationError(
-                f"active ids must lie in [1, {self.network.n}], got {ids[0]}..{ids[-1]}"
-            )
-        return ids
+        return resolve_active_ids(self.network.n, active_ids)
 
     def _resolve_wake_rounds(
         self, ids: List[int], wake_rounds: Optional[Dict[int, int]]
     ) -> Dict[int, int]:
-        wake = {nid: 1 for nid in ids}
-        if wake_rounds:
-            for nid, round_index in wake_rounds.items():
-                if nid not in wake:
-                    raise ConfigurationError(f"wake round given for inactive node {nid}")
-                if round_index < 1:
-                    raise ConfigurationError(
-                        f"wake round must be >= 1, got {round_index} for node {nid}"
-                    )
-                wake[nid] = round_index
-        return wake
+        return resolve_wake_rounds(ids, wake_rounds)
 
     def _validate_action(self, action: Any, node_id: int, round_index: int) -> Action:
         if not isinstance(action, Action):

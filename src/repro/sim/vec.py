@@ -21,6 +21,19 @@ Semantics contract (enforced by ``tests/test_engine_vec_differential.py``):
   pools, but a *different* sample path — agreement with the coroutine
   backend is distributional, not bitwise.
 
+Beyond single runs, :func:`run_program_batch` /
+:func:`run_protocol_batch` execute *R replications at once* as
+``(R × n)`` column matrices — one compiled program, one round loop, per-trial
+Philox keys — with each trial's sample path bitwise identical to its
+standalone ``run_program(..., draws="counter")`` run (the batch differential
+suite enforces this).  Solved trials drop out of the batch via row
+compaction instead of padding to the slowest trial's budget.
+
+Compiled programs and protocol lowerings are memoized across calls
+(:func:`compile_program`, bounded LRU keyed by
+:meth:`~repro.protocols.ir.RoundProgram.content_key`), so replication-heavy
+sweeps pay the lowering/compilation cost once per program, not per trial.
+
 NumPy itself is an optional dependency (the ``[vec]`` extra): importing this
 module never requires it; running does, and :func:`require_numpy` raises an
 ``ImportError`` that names the extra.
@@ -29,14 +42,23 @@ module never requires it; running does, and :func:`require_numpy` raises an
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..obs.events import RoundEvent, RunInfo, RunSummary
 from ..obs.metrics import MetricsSink
 from ..protocols.ir import CODE_TO_FEEDBACK, FEEDBACK_CODE, LoweringError, RoundProgram
+from .adversary import Activation
 from .cd_modes import CollisionDetection, perception_views
 from .context import MarkRecord
-from .engine import Engine, ExecutionResult, default_round_budget
+from .engine import (
+    ExecutionResult,
+    default_round_budget,
+    resolve_active_ids,
+    resolve_wake_rounds,
+)
 from .errors import ConfigurationError, RoundLimitExceeded
 from .network import PRIMARY_CHANNEL, Network
 from .rng import derive_seed, node_rng
@@ -44,11 +66,21 @@ from .trace import ExecutionTrace
 
 __all__ = [
     "DRAW_MODES",
+    "BatchOutcome",
     "VecFallbackWarning",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_program",
+    "disable_fallback_dedup",
+    "drain_fallback_events",
+    "enable_fallback_dedup",
     "numpy_available",
     "require_numpy",
     "run_program",
+    "run_program_batch",
     "run_protocol",
+    "run_protocol_batch",
+    "warn_fallback",
 ]
 
 #: Recognized values for the ``draws`` parameter.
@@ -114,6 +146,58 @@ class VecFallbackWarning(UserWarning):
             f"vec backend unavailable for {protocol!r}: {reason}; "
             "falling back to the coroutine engine"
         )
+
+
+# --------------------------------------------------- fallback deduplication
+#
+# A non-lowerable protocol swept over a big grid would emit one
+# VecFallbackWarning per trial.  Sweep workers (and the in-process sweep
+# path) enable dedup so each distinct (protocol, reason) pair warns once per
+# process; every fallback still counts toward an event counter that the
+# sweep layer drains into its ``sweep/vec_fallbacks`` metric.  Outside
+# sweeps the dedup is off and every fallback warns, as before.
+
+_fallback_dedup_enabled = False
+_fallback_seen: Set[Tuple[str, str]] = set()
+_fallback_events = 0
+
+
+def enable_fallback_dedup() -> None:
+    """Warn once per (protocol, reason) from here on (idempotent)."""
+    global _fallback_dedup_enabled
+    _fallback_dedup_enabled = True
+
+
+def disable_fallback_dedup() -> None:
+    """Restore warn-every-time behavior and forget what has been seen."""
+    global _fallback_dedup_enabled
+    _fallback_dedup_enabled = False
+    _fallback_seen.clear()
+
+
+def drain_fallback_events() -> int:
+    """Return the number of fallbacks since the last drain, resetting it."""
+    global _fallback_events
+    count = _fallback_events
+    _fallback_events = 0
+    return count
+
+
+def warn_fallback(protocol: str, reason: str, *, stacklevel: int = 2) -> None:
+    """Emit a :class:`VecFallbackWarning`, deduplicated when enabled.
+
+    The event is always counted (see :func:`drain_fallback_events`); only
+    the warning itself is suppressed for repeat (protocol, reason) pairs
+    while dedup is on.
+    """
+    global _fallback_events
+    _fallback_events += 1
+    if _fallback_dedup_enabled:
+        key = (protocol, reason)
+        if key in _fallback_seen:
+            return
+        _fallback_seen.add(key)
+    warnings.warn(VecFallbackWarning(protocol, reason), stacklevel=stacklevel)
 
 
 class _CompiledProgram:
@@ -208,6 +292,92 @@ class _CompiledProgram:
         self.any_marks = bool(self.marks)
 
 
+# ------------------------------------------------- compile / lowering caches
+#
+# Replication-heavy sweeps run the same program hundreds of times; without
+# memoization every trial re-lowers the protocol and rebuilds the flat
+# lookup tables.  Both caches are bounded LRUs, private to the process (pool
+# workers each grow their own), and keyed so stale hits are impossible:
+# compiled programs by structural content key, lowerings by protocol
+# *identity* (the cache holds a strong reference, so the id cannot be
+# recycled while the entry lives; the ``is`` check makes that explicit).
+
+_COMPILE_CACHE_SIZE = 64
+_compile_cache: "OrderedDict[Tuple[Any, ...], _CompiledProgram]" = OrderedDict()
+_compile_stats = {"hits": 0, "misses": 0}
+
+_LOWERING_CACHE_SIZE = 64
+_lowering_cache: "OrderedDict[Tuple[Any, ...], Tuple[Any, RoundProgram]]" = (
+    OrderedDict()
+)
+
+
+def compile_program(program: RoundProgram) -> _CompiledProgram:
+    """The flattened lookup tables for ``program``, memoized by content.
+
+    Two structurally equal programs (same
+    :meth:`~repro.protocols.ir.RoundProgram.content_key`) share one compiled
+    object, so per-trial re-lowering — which builds fresh but equal
+    ``RoundProgram`` instances — still hits the cache.
+    """
+    np = require_numpy()
+    key = program.content_key()
+    compiled = _compile_cache.get(key)
+    if compiled is not None:
+        _compile_stats["hits"] += 1
+        _compile_cache.move_to_end(key)
+        return compiled
+    _compile_stats["misses"] += 1
+    compiled = _CompiledProgram(np, program)
+    _compile_cache[key] = compiled
+    while len(_compile_cache) > _COMPILE_CACHE_SIZE:
+        _compile_cache.popitem(last=False)
+    return compiled
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss counts of the compiled-program cache (diagnostics/tests)."""
+    return dict(_compile_stats)
+
+
+def clear_compile_cache() -> None:
+    """Drop both memo caches and reset the stats (tests)."""
+    _compile_cache.clear()
+    _lowering_cache.clear()
+    _compile_stats["hits"] = 0
+    _compile_stats["misses"] = 0
+
+
+def _lower_cached(protocol: Any, network: Network) -> RoundProgram:
+    """``protocol.to_round_program(network)``, memoized per live protocol.
+
+    Keyed by (protocol identity, n, C, CD mode); the entry pins the protocol
+    object, so an id recycled after garbage collection can never alias a
+    cache line, and the ``is`` check rejects it even if it somehow did.
+    """
+    lower = getattr(protocol, "to_round_program", None)
+    if lower is None:
+        name = getattr(protocol, "name", type(protocol).__name__)
+        raise LoweringError(
+            f"protocol {name!r} has no round-program lowering (to_round_program)"
+        )
+    key = (
+        id(protocol),
+        network.n,
+        network.num_channels,
+        network.collision_detection,
+    )
+    entry = _lowering_cache.get(key)
+    if entry is not None and entry[0] is protocol:
+        _lowering_cache.move_to_end(key)
+        return entry[1]
+    program = lower(network)
+    _lowering_cache[key] = (protocol, program)
+    while len(_lowering_cache) > _LOWERING_CACHE_SIZE:
+        _lowering_cache.popitem(last=False)
+    return program
+
+
 def run_protocol(
     protocol,
     *,
@@ -239,13 +409,7 @@ def run_protocol(
             else CollisionDetection.STRONG
         ),
     )
-    lower = getattr(protocol, "to_round_program", None)
-    if lower is None:
-        name = getattr(protocol, "name", type(protocol).__name__)
-        raise LoweringError(
-            f"protocol {name!r} has no round-program lowering (to_round_program)"
-        )
-    program = lower(network)
+    program = _lower_cached(protocol, network)
     budget = max_rounds if max_rounds is not None else default_round_budget(n)
     if budget < 1:
         raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
@@ -255,9 +419,8 @@ def run_protocol(
         ids: Optional[Sequence[int]] = None
         wake: Optional[Dict[int, int]] = None
     else:
-        engine = Engine(network, seed=seed)
-        ids = engine._resolve_active_ids(active_ids)
-        wake = engine._resolve_wake_rounds(ids, wake_rounds)
+        ids = resolve_active_ids(n, active_ids)
+        wake = resolve_wake_rounds(list(ids), wake_rounds)
     return run_program(
         program,
         network,
@@ -300,7 +463,7 @@ def run_program(
             f"unknown draw mode {draws!r}; known modes: {', '.join(DRAW_MODES)}"
         )
     program.validate_channels(network.num_channels)
-    compiled = _CompiledProgram(np, program)
+    compiled = compile_program(program)
 
     if ids is None:
         ncols = network.n
@@ -651,4 +814,615 @@ def run_program(
         all_terminated=not bool(alive.any()),
         crashed=0,
         trace=trace,
+    )
+
+
+# ------------------------------------------------------ batched replications
+
+
+@dataclass
+class BatchOutcome:
+    """One trial's disposition inside a batch: a result or an error.
+
+    Exactly one of ``result`` / ``error`` is set; ``error`` carries the
+    exception the standalone run would have raised (today always
+    :class:`~repro.sim.errors.RoundLimitExceeded`).
+    """
+
+    seed: int
+    result: Optional[ExecutionResult] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> ExecutionResult:
+        """The result, or re-raise the trial's error."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+def _batch_rows(
+    np: Any,
+    network: Network,
+    seeds: Sequence[int],
+    ids: Union[None, Sequence[int], Sequence[Optional[Sequence[int]]]],
+    wake: Union[None, Mapping[int, int], Sequence[Optional[Mapping[int, int]]]],
+) -> Tuple[Any, Any]:
+    """Materialize per-trial (ids, wake) rows in the engine's column order.
+
+    Shared specs broadcast across the batch; per-trial specs are sequences
+    with one entry per seed (``None`` entries mean "all nodes, round 1").
+    Every row must have the same length — that is what keeps the batch
+    rectangular.  Column order per row is the standalone order: ascending
+    wake round, ties by ascending id.  Missing wake entries default to
+    round 1.
+    """
+    num_trials = len(seeds)
+    if ids is None:
+        ids_list: List[Optional[Sequence[int]]] = [None] * num_trials
+    elif len(ids) > 0 and isinstance(ids[0], (int, np.integer)):
+        ids_list = [ids] * num_trials  # type: ignore[list-item]
+    else:
+        if len(ids) != num_trials:
+            raise ConfigurationError(
+                f"per-trial ids: {len(ids)} spec(s) for {num_trials} seed(s)"
+            )
+        ids_list = list(ids)  # type: ignore[arg-type]
+    if wake is None:
+        wake_list: List[Optional[Mapping[int, int]]] = [None] * num_trials
+    elif isinstance(wake, Mapping):
+        wake_list = [wake] * num_trials
+    else:
+        if len(wake) != num_trials:
+            raise ConfigurationError(
+                f"per-trial wake: {len(wake)} spec(s) for {num_trials} seed(s)"
+            )
+        wake_list = list(wake)
+
+    def row_len(spec: Optional[Sequence[int]]) -> int:
+        return network.n if spec is None else len(spec)
+
+    ncols = row_len(ids_list[0])
+    ids_mat = np.empty((num_trials, ncols), dtype=np.int64)
+    wake_mat = np.empty((num_trials, ncols), dtype=np.int64)
+    for row, (ids_t, wake_t) in enumerate(zip(ids_list, wake_list)):
+        if row_len(ids_t) != ncols:
+            raise ConfigurationError(
+                "all trials in a batch must activate the same number of "
+                f"nodes; trial 0 activates {ncols}, trial {row} activates "
+                f"{row_len(ids_t)}"
+            )
+        if not wake_t:
+            # No wake spec: the stable sort by wake round is the identity,
+            # so the given id order is already the column order.
+            if ids_t is None:
+                ids_mat[row] = np.arange(1, ncols + 1, dtype=np.int64)
+            else:
+                ids_mat[row] = ids_t
+            wake_mat[row] = 1
+            continue
+        trial_ids = range(1, network.n + 1) if ids_t is None else ids_t
+        wake_full = dict(wake_t)
+        order = sorted(trial_ids, key=lambda nid: wake_full.get(nid, 1))
+        ids_mat[row] = order
+        wake_mat[row] = [wake_full.get(nid, 1) for nid in order]
+    return ids_mat, wake_mat
+
+
+def run_program_batch(
+    program: RoundProgram,
+    network: Network,
+    *,
+    seeds: Sequence[int],
+    ids: Union[None, Sequence[int], Sequence[Optional[Sequence[int]]]] = None,
+    wake: Union[None, Mapping[int, int], Sequence[Optional[Mapping[int, int]]]] = None,
+    budget: int,
+    stop_on_solve: bool = True,
+) -> List[BatchOutcome]:
+    """Execute R replications of one program as ``(R × ncols)`` matrices.
+
+    Replications stack as rows: the alive mask, state, and draw buffers are
+    two-dimensional, one compiled program serves the whole batch, and each
+    row draws from its own Philox key ``derive_seed(seed_i, 0x7EC)`` — so
+    every trial's sample path is **bitwise identical** to a standalone
+    ``run_program(..., seed=seed_i, draws="counter")`` run: same marks,
+    round counts, winners, and :class:`RoundLimitExceeded` details (the
+    batch differential suite enforces this per trial).  Finished rows —
+    solved under ``stop_on_solve``, or fully terminated — are compacted out
+    of the batch, so fast trials never pad to the slowest trial's budget.
+
+    ``ids`` / ``wake`` follow :func:`run_program`'s resolved-activation
+    contract, either shared across the batch or per trial (a sequence of
+    one spec per seed, ``None`` entries meaning "all nodes, round 1");
+    every trial must activate the same number of nodes.  The batched path
+    is counter-draws only (per-trial independence is what makes the rows
+    independent) and does not support instrumentation.
+    """
+    np = require_numpy()
+    num_trials = len(seeds)
+    if num_trials < 1:
+        raise ConfigurationError("a batch needs at least one seed")
+    if budget < 1:
+        raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+    program.validate_channels(network.num_channels)
+    compiled = compile_program(program)
+    ids_mat, wake_mat = _batch_rows(np, network, seeds, ids, wake)
+    ncols = int(ids_mat.shape[1])
+
+    outcomes: List[Optional[BatchOutcome]] = [None] * num_trials
+    if ncols == 0:
+        # Like the standalone engine: nobody to wake, round 1 never executes.
+        return [
+            BatchOutcome(
+                seed=int(seed),
+                result=ExecutionResult(
+                    solved=False,
+                    solved_round=None,
+                    winner=None,
+                    rounds=0,
+                    all_terminated=True,
+                    crashed=0,
+                    trace=ExecutionTrace(),
+                ),
+            )
+            for seed in seeds
+        ]
+
+    gens = [
+        np.random.Generator(np.random.Philox(derive_seed(int(seed), _COUNTER_STREAM)))
+        for seed in seeds
+    ]
+    row_max_wake = wake_mat.max(axis=1)
+    max_wake_all = int(row_max_wake.max())
+    # Every wake round is 1 iff the max is 1 (wake rounds are >= 1), so the
+    # schedule position is a single scalar shared by the whole batch.
+    uniform_wake = max_wake_all == 1
+    # Counter-mode draws are one full-ncols buffer per participating round.
+    # A Philox stream is continuous across call granularity, so when every
+    # row participates in every round (uniform wake) each row pre-generates
+    # a block of future rounds in one call: bitwise the same consumed
+    # values, a fraction of the per-call overhead.  Tail draws of rows that
+    # finish mid-block are generated but never consumed, which is harmless.
+    block_cap = max(1, min(64, 8192 // max(1, ncols))) if uniform_wake else 1
+    draw_blocks = np.empty((num_trials, block_cap, ncols), dtype=np.float64)
+    draw_mat = draw_blocks[:, 0, :]
+    # Blocks grow geometrically (1, 2, 4, ... rounds) so short-lived trials
+    # waste almost nothing while long-lived ones amortize the call overhead.
+    filled = 0
+    cursor = 0
+    # With blocks in play, compaction would copy (rows x cap x ncols) of
+    # pre-generated draws per solve round; a row indirection into the
+    # never-moved block store is much cheaper.  Without blocks (one round
+    # in flight) slicing the store directly is the cheaper option.
+    block_row = np.arange(num_trials, dtype=np.int64)
+    alive = np.ones((num_trials, ncols), dtype=bool)
+    state = np.full((num_trials, ncols), compiled.initial_state, dtype=np.int64)
+    solved = np.zeros(num_trials, dtype=bool)
+    solved_round = np.zeros(num_trials, dtype=np.int64)
+    winner = np.zeros(num_trials, dtype=np.int64)
+    live = np.arange(num_trials, dtype=np.int64)
+    marks_by_trial: List[List[MarkRecord]] = [[] for _ in range(num_trials)]
+
+    num_channels = network.num_channels
+    schedule_length = compiled.schedule_length
+    cycle = compiled.cycle
+    receiver_view, transmitter_view = perception_views(network.collision_detection)
+    rx_table = np.array(
+        [FEEDBACK_CODE[receiver_view[CODE_TO_FEEDBACK[c]]] for c in range(4)],
+        dtype=np.int64,
+    )
+    tx_table = np.array(
+        [FEEDBACK_CODE[transmitter_view[CODE_TO_FEEDBACK[c]]] for c in range(4)],
+        dtype=np.int64,
+    )
+
+    def finish(row: int, rounds: int) -> None:
+        """Record the standalone-identical result for one live row."""
+        orig = int(live[row])
+        trace = ExecutionTrace()
+        trace.marks = marks_by_trial[orig]
+        outcomes[orig] = BatchOutcome(
+            seed=int(seeds[orig]),
+            result=ExecutionResult(
+                solved=bool(solved[row]),
+                solved_round=int(solved_round[row]) if solved[row] else None,
+                winner=int(winner[row]) if solved[row] else None,
+                rounds=int(rounds),
+                all_terminated=not bool(alive[row].any()),
+                crashed=0,
+                trace=trace,
+            ),
+        )
+
+    def compact(keep: Any) -> None:
+        nonlocal alive, state, wake_mat, ids_mat, draw_blocks, live
+        nonlocal solved, solved_round, winner, row_max_wake, gens, block_row
+        alive = alive[keep]
+        state = state[keep]
+        wake_mat = wake_mat[keep]
+        ids_mat = ids_mat[keep]
+        if block_cap > 1:
+            block_row = block_row[keep]
+        else:
+            draw_blocks = draw_blocks[keep]
+        live = live[keep]
+        solved = solved[keep]
+        solved_round = solved_round[keep]
+        winner = winner[keep]
+        row_max_wake = row_max_wake[keep]
+        gens = [gen for gen, kept in zip(gens, keep) if kept]
+
+    single_state = len(program.states) == 1
+    chan0 = int(compiled.channel[0]) if single_state else -1
+    idle0 = bool(compiled.idle_instead[0]) if single_state else False
+    any_idle = bool(compiled.idle_instead.any())
+    # Row-scalar fast branch, mirroring the standalone scalar path: one
+    # state and one shared schedule position mean a round has at most two
+    # distinct transitions per row (transmitters and everyone else), so the
+    # only whole-matrix work left is the transmit test itself.
+    fast = single_state and uniform_wake and not compiled.any_marks
+    check_finished = False
+    for round_index in range(1, budget + 1):
+        if uniform_wake:
+            # Everyone woke in round 1, so the alive set only changes on
+            # rounds that killed nodes — the finished-row scan can wait for
+            # one of those instead of running every round.
+            active = alive
+            participating = None  # every live row participates
+            if check_finished:
+                check_finished = False
+                row_alive = alive.any(axis=1)
+                if not row_alive.all():
+                    # A row whose nodes are all finished ends *before* this
+                    # round executes (rounds = round_index - 1), exactly
+                    # like the standalone early break.
+                    for row in np.flatnonzero(~row_alive):
+                        finish(int(row), round_index - 1)
+                    compact(row_alive)
+                    if live.size == 0:
+                        break
+                    active = alive
+        else:
+            if round_index >= max_wake_all:
+                active = alive
+            else:
+                active = alive & (wake_mat <= round_index)
+            row_active = active.sum(axis=1)
+            # A row whose nodes are all finished with nobody left to wake
+            # ends *before* this round executes (rounds = round_index - 1),
+            # exactly like the standalone early break.
+            finished_rows = (row_active == 0) & (row_max_wake <= round_index)
+            if finished_rows.any():
+                for row in np.flatnonzero(finished_rows):
+                    finish(int(row), round_index - 1)
+                keep = ~finished_rows
+                shared = active is alive
+                compact(keep)
+                if live.size == 0:
+                    break
+                active = alive if shared else active[keep]
+                row_active = row_active[keep]
+
+            participating = np.flatnonzero(row_active > 0)
+            if participating.size == 0:
+                continue  # nodes exist but none are awake yet: empty rounds
+        # Draw discipline: each participating row consumes one full ncols
+        # buffer from its own generator, exactly as its standalone run would.
+        if block_cap > 1:
+            # Uniform wake: every live row participates in every round, so
+            # the block cursor is shared by the whole batch.
+            if cursor == filled:
+                filled = min(block_cap, filled * 2) if filled else 1
+                width = filled * ncols
+                flat_blocks = draw_blocks.reshape(num_trials, -1)
+                for row in range(len(gens)):
+                    gens[row].random(out=flat_blocks[int(block_row[row]), :width])
+                cursor = 0
+            draw_mat = draw_blocks[block_row, cursor, :]
+            cursor += 1
+        else:
+            draw_mat = draw_blocks[:, 0, :]
+            rows_drawing = (
+                range(len(gens)) if participating is None else participating
+            )
+            for row in rows_drawing:
+                gens[int(row)].random(out=draw_mat[int(row)])
+
+        if fast:
+            step_last = round_index - 1
+            slot = (
+                step_last % schedule_length
+                if cycle
+                else min(step_last, schedule_length - 1)
+            )
+            # Residue states have all-zero probabilities, so the draw test
+            # is skipped outright (the draws were still consumed above).
+            if compiled.any_residues:
+                tx = active & (
+                    (ids_mat % int(compiled.mod_flat[slot]))
+                    == int(compiled.res_flat[slot])
+                )
+            else:
+                tx = active & (draw_mat < compiled.prob_flat[slot])
+            tx_count = tx.sum(axis=1)
+            if chan0 == PRIMARY_CHANNEL:
+                newly_solved = (tx_count == 1) & ~solved
+                for row in np.flatnonzero(newly_solved):
+                    solved[row] = True
+                    solved_round[row] = round_index
+                    winner[row] = ids_mat[row, int(np.argmax(tx[row]))]
+            else:
+                newly_solved = np.zeros(int(live.size), dtype=bool)
+
+            out_row = np.minimum(tx_count, 2)
+            tx_dies_row = compiled.next_flat[4 + tx_table[out_row]] < 0
+            if idle0:
+                other_dies_row = (
+                    np.zeros(int(live.size), dtype=bool)
+                    if int(compiled.next_flat[2 * 4 + 3]) >= 0
+                    else np.ones(int(live.size), dtype=bool)
+                )
+            else:
+                other_dies_row = compiled.next_flat[rx_table[out_row]] < 0
+            # The single state can only transition to itself, so survivors
+            # never change state; only deaths touch the matrices.
+            if not cycle and slot + 1 >= schedule_length:
+                alive &= ~active
+                check_finished = True
+            elif tx_dies_row.any() or other_dies_row.any():
+                dead = active & np.where(
+                    tx, tx_dies_row[:, None], other_dies_row[:, None]
+                )
+                alive &= ~dead
+                check_finished = True
+
+            if stop_on_solve and newly_solved.any():
+                for row in np.flatnonzero(newly_solved):
+                    finish(int(row), round_index)
+                compact(~newly_solved)
+                if live.size == 0:
+                    break
+            continue
+
+        # The round resolves on whole (rows x ncols) matrices: every op below
+        # is contiguous elementwise work or a gather from a small compiled
+        # table. Entries outside `active` compute garbage that every consumer
+        # masks back out — far cheaper than materializing the active set with
+        # index-pair gathers, which made the batch memory-bound.
+        nrows = int(live.size)
+
+        # ------------------------------------------------ schedule position
+        if uniform_wake:
+            step_last = round_index - 1
+            slot_scalar = (
+                step_last % schedule_length
+                if cycle
+                else min(step_last, schedule_length - 1)
+            )
+            flat_slot = state * schedule_length + slot_scalar
+            steps = None
+        else:
+            steps = round_index - wake_mat
+            if cycle:
+                slots = steps % schedule_length
+            else:
+                # Not-yet-woken entries have negative steps; clamp them into
+                # the table (they are masked out of every consumer anyway).
+                slots = np.where(active, steps, 0)
+            flat_slot = state * schedule_length + slots
+
+        # --------------------------------------------------------- transmit
+        tx = active & (draw_mat < compiled.prob_flat.take(flat_slot))
+        if compiled.any_residues:
+            tx |= active & (
+                (ids_mat % compiled.mod_flat.take(flat_slot))
+                == compiled.res_flat.take(flat_slot)
+            )
+
+        # ------------------------------------------- channel outcome counts
+        if single_state:
+            tx_count = tx.sum(axis=1)
+            primary_counts = (
+                tx_count
+                if chan0 == PRIMARY_CHANNEL
+                else np.zeros(nrows, dtype=np.int64)
+            )
+            # A (rows x 1) outcome column broadcasts against every node.
+            ch_out = np.minimum(tx_count, 2)[:, None]
+            chans = None
+        else:
+            chans = compiled.channel.take(state)
+            t_rows, t_cols = np.nonzero(tx)
+            tx_counts = np.bincount(
+                t_rows * (num_channels + 1) + chans[t_rows, t_cols],
+                minlength=nrows * (num_channels + 1),
+            ).reshape(nrows, num_channels + 1)
+            primary_counts = tx_counts[:, PRIMARY_CHANNEL]
+            outcome_codes = np.minimum(tx_counts, 2)
+            row_base = (np.arange(nrows, dtype=np.int64) * (num_channels + 1))[
+                :, None
+            ]
+            ch_out = outcome_codes.take(chans + row_base)
+
+        newly_solved = (primary_counts == 1) & ~solved
+        for row in np.flatnonzero(newly_solved):
+            prim = (
+                tx[row]
+                if chans is None
+                else tx[row] & (chans[row] == PRIMARY_CHANNEL)
+            )
+            # argmax on the boolean row is the lowest transmitting column —
+            # the standalone winner-selection order.
+            col = int(np.argmax(prim))
+            solved[row] = True
+            solved_round[row] = round_index
+            winner[row] = ids_mat[row, col]
+
+        # ------------------------------------------------------ transitions
+        seen = np.where(tx, tx_table.take(ch_out), rx_table.take(ch_out))
+        kind = tx.astype(np.int64)
+        if any_idle:
+            idle_m = active & ~tx & compiled.idle_instead.take(state)
+            if idle_m.any():
+                seen[idle_m] = 3
+                kind[idle_m] = 2
+        flat = (state * 3 + kind) * 4 + seen
+        nxt = compiled.next_flat.take(flat)
+
+        continuing = active & (nxt >= 0)
+        if cycle:
+            ends = None
+        elif uniform_wake:
+            ends = continuing if step_last + 1 >= schedule_length else None
+        else:
+            ends = continuing & (steps + 1 >= schedule_length)
+
+        if compiled.any_marks:
+            mark_ids_now = compiled.mark_flat.take(flat)
+            emit = active & (mark_ids_now >= 0)
+            if ends is not None:
+                emit |= ends
+            for raw_row, raw_col in zip(*np.nonzero(emit)):
+                row = int(raw_row)
+                col = int(raw_col)
+                node_id = int(ids_mat[row, col])
+                trial_marks = marks_by_trial[int(live[row])]
+                mid = int(mark_ids_now[row, col])
+                if mid >= 0:
+                    label, with_node_id = compiled.marks[mid]
+                    trial_marks.append(
+                        MarkRecord(
+                            round_index,
+                            node_id,
+                            label,
+                            node_id if with_node_id else None,
+                        )
+                    )
+                if ends is not None and ends[row, col]:
+                    end_mid = int(compiled.end_mark[int(nxt[row, col])])
+                    if end_mid >= 0:
+                        label, with_node_id = compiled.marks[end_mid]
+                        trial_marks.append(
+                            MarkRecord(
+                                round_index,
+                                node_id,
+                                label,
+                                node_id if with_node_id else None,
+                            )
+                        )
+
+        np.copyto(state, nxt, where=continuing)
+        if ends is None:
+            dead = active & ~continuing
+        else:
+            dead = (active & ~continuing) | ends
+        alive &= ~dead
+        check_finished = True
+
+        if stop_on_solve and newly_solved.any():
+            for row in np.flatnonzero(newly_solved):
+                finish(int(row), round_index)
+            compact(~newly_solved)
+            if live.size == 0:
+                break
+
+    # Budget exhausted for every row still live: solved rows (stop_on_solve
+    # off) return their result, unsolved rows get the standalone error.
+    for row in range(int(live.size)):
+        if solved[row]:
+            finish(row, budget)
+        else:
+            orig = int(live[row])
+            still_running = int(
+                np.count_nonzero(alive[row] & (wake_mat[row] <= budget))
+            )
+            outcomes[orig] = BatchOutcome(
+                seed=int(seeds[orig]),
+                error=RoundLimitExceeded(
+                    budget, detail=f"{still_running} node(s) still running"
+                ),
+            )
+
+    final = [outcome for outcome in outcomes if outcome is not None]
+    assert len(final) == num_trials  # every trial reached a disposition
+    return final
+
+
+def run_protocol_batch(
+    protocol: Any,
+    *,
+    n: int,
+    num_channels: int,
+    seeds: Sequence[int],
+    activations: Union[None, Activation, Sequence[Optional[Activation]]] = None,
+    max_rounds: Optional[int] = None,
+    stop_on_solve: bool = True,
+    collision_detection: Optional[CollisionDetection] = None,
+) -> List[BatchOutcome]:
+    """Batched counterpart of :func:`run_protocol`: R seeds, one execution.
+
+    Lowers ``protocol`` once (memoized), resolves every trial's activation
+    with the engine's shared helpers, and runs the whole batch through
+    :func:`run_program_batch`.  Each trial is bitwise identical to a
+    standalone ``run_protocol(..., seed=seed_i, draws="counter")`` run.
+
+    ``activations`` may be ``None`` (all nodes, round 1), one shared
+    :class:`~repro.sim.adversary.Activation`, or a sequence with one
+    ``Optional[Activation]`` per seed; per-trial activations must all
+    activate the same number of nodes.
+    """
+    require_numpy()
+    network = Network(
+        n=n,
+        num_channels=num_channels,
+        collision_detection=(
+            collision_detection
+            if collision_detection is not None
+            else CollisionDetection.STRONG
+        ),
+    )
+    program = _lower_cached(protocol, network)
+    budget = max_rounds if max_rounds is not None else default_round_budget(n)
+    if budget < 1:
+        raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+
+    if activations is None or isinstance(activations, Activation):
+        activation_list: Sequence[Optional[Activation]] = [activations] * len(seeds)
+    else:
+        if len(activations) != len(seeds):
+            raise ConfigurationError(
+                f"per-trial activations: {len(activations)} spec(s) for "
+                f"{len(seeds)} seed(s)"
+            )
+        activation_list = list(activations)
+
+    ids_specs: List[Optional[Sequence[int]]] = []
+    wake_specs: List[Optional[Mapping[int, int]]] = []
+    for activation in activation_list:
+        active_ids = activation.active_ids if activation is not None else None
+        wake_rounds = activation.wake_rounds if activation is not None else None
+        if active_ids is None and wake_rounds is None:
+            ids_specs.append(None)
+            wake_specs.append(None)
+        else:
+            resolved = resolve_active_ids(n, active_ids)
+            ids_specs.append(resolved)
+            # An explicit all-default wake map is the same as no wake map,
+            # but the latter keeps _batch_rows on its sort-free fast path.
+            wake_specs.append(
+                resolve_wake_rounds(resolved, wake_rounds) if wake_rounds else None
+            )
+    return run_program_batch(
+        program,
+        network,
+        seeds=seeds,
+        ids=ids_specs if any(spec is not None for spec in ids_specs) else None,
+        wake=wake_specs if any(spec is not None for spec in wake_specs) else None,
+        budget=budget,
+        stop_on_solve=stop_on_solve,
     )

@@ -38,6 +38,7 @@ class TestBenchmarkConventions:
         "bench_engine_throughput.py",
         "bench_supervisor.py",
         "bench_sweep_runner.py",
+        "bench_vec_batch.py",
     }
 
     def test_docstrings_state_what_is_reproduced(self):
